@@ -1,0 +1,21 @@
+//! # ws-apps — application scenarios built on world-set decompositions (§10)
+//!
+//! The paper closes with two application patterns beyond the census workload:
+//!
+//! * [`repairs`] — *inconsistent databases*: the minimal repairs of a
+//!   relation violating a key (or more generally a functional dependency)
+//!   form a finite world-set that WSDs represent compactly; consistent query
+//!   answering becomes certain-tuple computation and, unlike the
+//!   certain-answers-only systems the paper compares against, the full set of
+//!   repairs remains available for further querying and cleaning.
+//! * [`medical`] — *linked medical data*: clusters of interdependent facts
+//!   (drug interactions, contraindications) map to shared components, while
+//!   independent facts stay in separate components.
+
+pub mod medical;
+pub mod repairs;
+
+pub use medical::{MedicalScenario, PatientRecord};
+pub use repairs::{
+    consistent_answers, possible_answers, repair_key_violations, RepairReport,
+};

@@ -1,0 +1,292 @@
+//! Conditional tables (c-tables) of Imieliński & Lipski [20], as far as they
+//! are needed to mirror the paper's comparison (§1): a WSDT can be read as a
+//! c-table whose body is the template relation and whose global condition is
+//! a conjunction — one conjunct per component — of disjunctions over the
+//! component's local worlds.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use ws_core::{FieldId, Result as WsResult, WsError, Wsdt};
+use ws_relational::{Relation, Tuple, Value};
+
+/// A term of a c-table field: a constant or a named variable.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Term {
+    /// A constant value.
+    Constant(Value),
+    /// A variable, identified by name.
+    Variable(String),
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Constant(v) => write!(f, "{v}"),
+            Term::Variable(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// The global condition of the c-table, in the normal form induced by a
+/// WSDT: a conjunction over components of disjunctions over local worlds,
+/// each local world being a conjunction of `variable = constant` equalities.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GlobalCondition {
+    /// One conjunct per component: the list of its local worlds, each a list
+    /// of `(variable, value)` equalities.
+    pub conjuncts: Vec<Vec<Vec<(String, Value)>>>,
+}
+
+impl GlobalCondition {
+    /// Number of satisfying assignments (product of the disjunct counts —
+    /// the variables of different conjuncts are disjoint by construction).
+    pub fn satisfying_assignments(&self) -> u128 {
+        self.conjuncts
+            .iter()
+            .fold(1u128, |acc, c| acc.saturating_mul(c.len() as u128))
+    }
+
+    /// Whether an assignment (variable → value) satisfies the condition.
+    pub fn satisfied_by(&self, assignment: &BTreeMap<String, Value>) -> bool {
+        self.conjuncts.iter().all(|disjunction| {
+            disjunction.iter().any(|world| {
+                world
+                    .iter()
+                    .all(|(var, value)| assignment.get(var) == Some(value))
+            })
+        })
+    }
+}
+
+impl fmt::Display for GlobalCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.conjuncts.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, disjunction) in self.conjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "(")?;
+            for (j, world) in disjunction.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ∨ ")?;
+                }
+                write!(f, "(")?;
+                for (k, (var, value)) in world.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{var}={value}")?;
+                }
+                write!(f, ")")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// A c-table over one relation: a table of terms plus a global condition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CTable {
+    /// The relation name.
+    pub relation: String,
+    /// The attribute names.
+    pub attrs: Vec<String>,
+    /// The table body: tuples of terms.
+    pub rows: Vec<Vec<Term>>,
+    /// The global condition `Φ`.
+    pub condition: GlobalCondition,
+}
+
+impl CTable {
+    /// Build the c-table view of one relation of a WSDT (the §1 equivalence).
+    ///
+    /// Every `?` placeholder of the template becomes a fresh variable named
+    /// after its field (`R_t1_S`), and every component contributes one
+    /// conjunct to the global condition.
+    pub fn from_wsdt(wsdt: &Wsdt, relation: &str) -> WsResult<Self> {
+        let template = wsdt
+            .templates
+            .get(relation)
+            .ok_or_else(|| WsError::unknown_relation(relation))?;
+        let slots = &wsdt.tuple_slots[relation];
+        let attrs: Vec<String> = template
+            .schema()
+            .attrs()
+            .iter()
+            .map(|a| a.to_string())
+            .collect();
+        let var_name = |field: &FieldId| format!("{}_{}_{}", field.relation, field.tuple, field.attr);
+        let mut rows = Vec::with_capacity(template.len());
+        for (row, &slot) in template.rows().iter().zip(slots) {
+            let mut terms = Vec::with_capacity(attrs.len());
+            for (i, attr) in attrs.iter().enumerate() {
+                if row[i].is_unknown() {
+                    terms.push(Term::Variable(var_name(&FieldId::new(relation, slot, attr))));
+                } else {
+                    terms.push(Term::Constant(row[i].clone()));
+                }
+            }
+            rows.push(terms);
+        }
+        let mut conjuncts = Vec::new();
+        for component in &wsdt.components {
+            if !component.fields.iter().any(|f| f.in_relation(relation)) {
+                continue;
+            }
+            let mut disjunction = Vec::with_capacity(component.rows.len());
+            for local in &component.rows {
+                let mut equalities = Vec::new();
+                for (pos, field) in component.fields.iter().enumerate() {
+                    if field.in_relation(relation) && !local.values[pos].is_bottom() {
+                        equalities.push((var_name(field), local.values[pos].clone()));
+                    }
+                }
+                disjunction.push(equalities);
+            }
+            conjuncts.push(disjunction);
+        }
+        Ok(CTable {
+            relation: relation.to_string(),
+            attrs,
+            rows,
+            condition: GlobalCondition { conjuncts },
+        })
+    }
+
+    /// The variables appearing in the table body.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .rows
+            .iter()
+            .flatten()
+            .filter_map(|t| match t {
+                Term::Variable(x) => Some(x.as_str()),
+                Term::Constant(_) => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Instantiate the c-table under a variable assignment, dropping rows
+    /// with unassigned variables.
+    pub fn instantiate(&self, assignment: &BTreeMap<String, Value>) -> WsResult<Relation> {
+        let schema = ws_relational::Schema::new(
+            &self.relation,
+            &self.attrs.iter().map(String::as_str).collect::<Vec<_>>(),
+        )?;
+        let mut out = Relation::new(schema);
+        if !self.condition.satisfied_by(assignment) {
+            return Ok(out);
+        }
+        for row in &self.rows {
+            let mut values = Vec::with_capacity(row.len());
+            let mut complete = true;
+            for term in row {
+                match term {
+                    Term::Constant(v) => values.push(v.clone()),
+                    Term::Variable(x) => match assignment.get(x) {
+                        Some(v) => values.push(v.clone()),
+                        None => {
+                            complete = false;
+                            break;
+                        }
+                    },
+                }
+            }
+            if complete {
+                let tuple = Tuple::new(values);
+                if !out.contains(&tuple) {
+                    out.push(tuple)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for CTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}[{}]", self.relation, self.attrs.join(", "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(Term::to_string).collect();
+            writeln!(f, "  ({})", cells.join(", "))?;
+        }
+        write!(f, "Φ = {}", self.condition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ws_core::wsd::example_census_wsd;
+
+    fn census_ctable() -> CTable {
+        let wsdt = Wsdt::from_wsd(&example_census_wsd()).unwrap();
+        CTable::from_wsdt(&wsdt, "R").unwrap()
+    }
+
+    #[test]
+    fn ctable_matches_the_introduction_example() {
+        let ct = census_ctable();
+        assert_eq!(ct.rows.len(), 2);
+        assert_eq!(ct.attrs, vec!["S", "N", "M"]);
+        // Names are constants, SSNs and marital statuses are variables.
+        assert!(matches!(ct.rows[0][1], Term::Constant(_)));
+        assert!(matches!(ct.rows[0][0], Term::Variable(_)));
+        assert_eq!(ct.variables().len(), 4);
+        // Global condition: 3 conjuncts (SSN pair, t1.M, t2.M) and
+        // 3 · 2 · 4 = 24 satisfying assignments — the 24 worlds.
+        assert_eq!(ct.condition.conjuncts.len(), 3);
+        assert_eq!(ct.condition.satisfying_assignments(), 24);
+        let shown = ct.to_string();
+        assert!(shown.contains("Φ ="));
+        assert!(shown.contains("Smith"));
+    }
+
+    #[test]
+    fn instantiation_recovers_a_world() {
+        let ct = census_ctable();
+        // Choose the first local world of each component.
+        let assignment: BTreeMap<String, Value> = [
+            ("R_t1_S".to_string(), Value::int(185)),
+            ("R_t2_S".to_string(), Value::int(186)),
+            ("R_t1_M".to_string(), Value::int(1)),
+            ("R_t2_M".to_string(), Value::int(2)),
+        ]
+        .into();
+        assert!(ct.condition.satisfied_by(&assignment));
+        let world = ct.instantiate(&assignment).unwrap();
+        assert_eq!(world.len(), 2);
+        assert!(world.contains(&Tuple::from_iter([
+            Value::int(185),
+            Value::text("Smith"),
+            Value::int(1)
+        ])));
+
+        // An assignment violating the SSN component yields no rows.
+        let bad: BTreeMap<String, Value> = [
+            ("R_t1_S".to_string(), Value::int(185)),
+            ("R_t2_S".to_string(), Value::int(185)),
+            ("R_t1_M".to_string(), Value::int(1)),
+            ("R_t2_M".to_string(), Value::int(2)),
+        ]
+        .into();
+        assert!(!ct.condition.satisfied_by(&bad));
+        assert!(ct.instantiate(&bad).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_relation_is_rejected_and_empty_condition_is_true() {
+        let wsdt = Wsdt::from_wsd(&example_census_wsd()).unwrap();
+        assert!(CTable::from_wsdt(&wsdt, "NOPE").is_err());
+        let cond = GlobalCondition::default();
+        assert_eq!(cond.satisfying_assignments(), 1);
+        assert!(cond.satisfied_by(&BTreeMap::new()));
+        assert_eq!(cond.to_string(), "true");
+    }
+}

@@ -1,0 +1,370 @@
+//! Or-set relations [21]: the weakest representation system the paper starts
+//! from.
+//!
+//! An or-set relation is a relation whose fields hold finite sets of possible
+//! values; every combination of choices yields a possible world, and all
+//! fields are independent.  Or-set relations cannot represent the result of
+//! data cleaning (the introduction's SSN-uniqueness example) or of most
+//! queries — which is exactly why WSDs exist — but they are the natural input
+//! format for dirty data and convert losslessly *into* WSDs and UWSDTs.
+
+use std::collections::BTreeSet;
+use ws_core::{FieldId, Result as WsResult, Wsd, WsError};
+use ws_relational::{Relation, Schema, Tuple, Value};
+use ws_uwsdt::{from_or_relation, OrField, Result as UwsdtResult, Uwsdt};
+
+/// An or-set field: one or more possible values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrSet {
+    values: Vec<Value>,
+}
+
+impl OrSet {
+    /// A certain field (singleton or-set).
+    pub fn certain(value: impl Into<Value>) -> Self {
+        OrSet {
+            values: vec![value.into()],
+        }
+    }
+
+    /// An or-set of several possible values (duplicates removed, order kept).
+    pub fn of<V: Into<Value>>(values: Vec<V>) -> Self {
+        let mut out: Vec<Value> = Vec::new();
+        for v in values {
+            let v = v.into();
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+        OrSet { values: out }
+    }
+
+    /// The possible values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of possible values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the or-set is empty (an invalid field).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Whether the field is certain (exactly one possible value).
+    pub fn is_certain(&self) -> bool {
+        self.values.len() == 1
+    }
+}
+
+/// A relation with or-set fields.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrSetRelation {
+    schema: Schema,
+    rows: Vec<Vec<OrSet>>,
+}
+
+impl OrSetRelation {
+    /// Create an empty or-set relation.
+    pub fn new(schema: Schema) -> Self {
+        OrSetRelation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Vec<OrSet>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Add a row of or-set fields.
+    pub fn push(&mut self, row: Vec<OrSet>) -> WsResult<()> {
+        if row.len() != self.schema.arity() {
+            return Err(WsError::invalid(format!(
+                "or-set row arity {} does not match schema arity {}",
+                row.len(),
+                self.schema.arity()
+            )));
+        }
+        if row.iter().any(OrSet::is_empty) {
+            return Err(WsError::invalid("or-set fields must be non-empty"));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// The number of possible worlds (product of the or-set sizes).
+    pub fn world_count(&self) -> u128 {
+        self.rows
+            .iter()
+            .flat_map(|row| row.iter())
+            .fold(1u128, |acc, f| acc.saturating_mul(f.len() as u128))
+    }
+
+    /// Convert to a WSD: each field becomes its own component with uniform
+    /// probabilities (the paper notes this conversion is linear).
+    pub fn to_wsd(&self) -> WsResult<Wsd> {
+        let mut wsd = Wsd::new();
+        let name = self.schema.relation().to_string();
+        let attrs: Vec<&str> = self.schema.attrs().iter().map(|a| a.as_ref()).collect();
+        wsd.register_relation(&name, &attrs, self.rows.len())?;
+        for (t, row) in self.rows.iter().enumerate() {
+            for (i, field) in row.iter().enumerate() {
+                let fid = FieldId::new(&name, t, attrs[i]);
+                if field.is_certain() {
+                    wsd.set_certain(fid, field.values[0].clone())?;
+                } else {
+                    wsd.set_uniform(fid, field.values.clone())?;
+                }
+            }
+        }
+        Ok(wsd)
+    }
+
+    /// Convert to a UWSDT (template + one component per uncertain field).
+    pub fn to_uwsdt(&self) -> UwsdtResult<Uwsdt> {
+        let mut template = Relation::new(self.schema.clone());
+        let mut noise = Vec::new();
+        for (t, row) in self.rows.iter().enumerate() {
+            let mut values = Vec::with_capacity(row.len());
+            for (i, field) in row.iter().enumerate() {
+                if field.is_certain() {
+                    values.push(field.values[0].clone());
+                } else {
+                    values.push(field.values[0].clone()); // replaced below
+                    noise.push(OrField::uniform(
+                        t,
+                        self.schema.attrs()[i].as_ref(),
+                        field.values.clone(),
+                    ));
+                }
+            }
+            template
+                .push(Tuple::new(values))
+                .expect("row arity was checked on insert");
+        }
+        from_or_relation(&template, &noise)
+    }
+
+    /// Enumerate the possible worlds (each world is one fully chosen
+    /// relation).  Uses set semantics per world.
+    pub fn worlds(&self, limit: u128) -> WsResult<Vec<Relation>> {
+        let count = self.world_count();
+        if count > limit {
+            return Err(WsError::TooManyWorlds {
+                worlds: count,
+                limit,
+            });
+        }
+        let fields: Vec<&OrSet> = self.rows.iter().flat_map(|row| row.iter()).collect();
+        let arity = self.schema.arity();
+        let mut choice = vec![0usize; fields.len()];
+        let mut out = Vec::new();
+        loop {
+            let mut rel = Relation::new(self.schema.clone());
+            for (t, _) in self.rows.iter().enumerate() {
+                let values: Vec<Value> = (0..arity)
+                    .map(|i| fields[t * arity + i].values[choice[t * arity + i]].clone())
+                    .collect();
+                let tuple = Tuple::new(values);
+                if !rel.contains(&tuple) {
+                    rel.push(tuple)?;
+                }
+            }
+            out.push(rel);
+            let mut k = 0;
+            loop {
+                if k == fields.len() {
+                    return Ok(out);
+                }
+                choice[k] += 1;
+                if choice[k] < fields[k].len() {
+                    break;
+                }
+                choice[k] = 0;
+                k += 1;
+            }
+            if fields.is_empty() {
+                return Ok(out);
+            }
+        }
+    }
+
+    /// Whether a given world-set is representable as *this* or-set relation,
+    /// i.e. whether the or-set reading (all combinations of the per-field
+    /// value sets) describes exactly the given set of relations.  Used to
+    /// demonstrate the incompleteness of or-set relations (§1).
+    pub fn represents_exactly(&self, worlds: &[Relation], limit: u128) -> WsResult<bool> {
+        let mine = self.worlds(limit)?;
+        let mine: Vec<&Relation> = mine.iter().collect();
+        let all_mine_present = mine
+            .iter()
+            .all(|w| worlds.iter().any(|o| o.set_eq(w)));
+        let all_theirs_present = worlds
+            .iter()
+            .all(|o| mine.iter().any(|w| w.set_eq(o)));
+        Ok(all_mine_present && all_theirs_present)
+    }
+}
+
+/// Build the tightest or-set relation covering a set of worlds of identical
+/// cardinality: field `t.A` gets the set of values it takes across the
+/// worlds.  (This is an over-approximation in general — the point of §1.)
+pub fn tightest_orset_cover(worlds: &[Relation]) -> WsResult<OrSetRelation> {
+    let first = worlds
+        .first()
+        .ok_or_else(|| WsError::invalid("need at least one world"))?;
+    if worlds.iter().any(|w| w.len() != first.len()) {
+        return Err(WsError::invalid("worlds must have equal cardinality"));
+    }
+    let mut out = OrSetRelation::new(first.schema().clone());
+    for t in 0..first.len() {
+        let mut row = Vec::with_capacity(first.schema().arity());
+        for i in 0..first.schema().arity() {
+            let mut values: Vec<Value> = Vec::new();
+            let mut seen = BTreeSet::new();
+            for w in worlds {
+                let v = w
+                    .rows()
+                    .get(t)
+                    .ok_or_else(|| WsError::invalid("worlds must have equal cardinality"))?[i]
+                    .clone();
+                if seen.insert(v.clone()) {
+                    values.push(v);
+                }
+            }
+            row.push(OrSet::of(values));
+        }
+        out.push(row)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The introduction's or-set relation (32 worlds).
+    fn intro_orset() -> OrSetRelation {
+        let schema = Schema::new("R", &["S", "N", "M"]).unwrap();
+        let mut rel = OrSetRelation::new(schema);
+        rel.push(vec![
+            OrSet::of(vec![185i64, 785]),
+            OrSet::certain("Smith"),
+            OrSet::of(vec![1i64, 2]),
+        ])
+        .unwrap();
+        rel.push(vec![
+            OrSet::of(vec![185i64, 186]),
+            OrSet::certain("Brown"),
+            OrSet::of(vec![1i64, 2, 3, 4]),
+        ])
+        .unwrap();
+        rel
+    }
+
+    #[test]
+    fn world_count_and_enumeration() {
+        let rel = intro_orset();
+        assert_eq!(rel.world_count(), 32);
+        assert_eq!(rel.len(), 2);
+        assert!(!rel.is_empty());
+        let worlds = rel.worlds(100).unwrap();
+        assert_eq!(worlds.len(), 32);
+        assert!(rel.worlds(10).is_err());
+    }
+
+    #[test]
+    fn conversion_to_wsd_preserves_worlds() {
+        let rel = intro_orset();
+        let wsd = rel.to_wsd().unwrap();
+        wsd.validate().unwrap();
+        assert_eq!(wsd.world_count(), 32);
+        let worlds = wsd.rep().unwrap();
+        assert_eq!(worlds.len(), 32);
+        // The same worlds as direct enumeration.
+        for w in rel.worlds(100).unwrap() {
+            let mut db = ws_relational::Database::new();
+            db.insert_relation(w);
+            assert!(worlds.contains(&db));
+        }
+    }
+
+    #[test]
+    fn conversion_to_uwsdt_preserves_worlds() {
+        let rel = intro_orset();
+        let uwsdt = rel.to_uwsdt().unwrap();
+        uwsdt.validate().unwrap();
+        assert_eq!(uwsdt.world_count(), 32);
+        // Names are certain, so the template holds them.
+        let template = uwsdt.template("R").unwrap();
+        assert_eq!(template.rows()[0][1], Value::text("Smith"));
+        assert!(template.rows()[0][0].is_unknown());
+    }
+
+    #[test]
+    fn orsets_cannot_represent_the_cleaned_world_set() {
+        // Enforce SSN uniqueness on the 32 worlds: 24 remain.  The tightest
+        // or-set cover of those 24 worlds regenerates all 32 → or-sets are
+        // not expressive enough (the §1 argument).
+        let rel = intro_orset();
+        let cleaned: Vec<Relation> = rel
+            .worlds(100)
+            .unwrap()
+            .into_iter()
+            .filter(|w| w.distinct_column("S").unwrap().len() == w.len())
+            .collect();
+        assert_eq!(cleaned.len(), 24);
+        let cover = tightest_orset_cover(&cleaned).unwrap();
+        assert!(!cover.represents_exactly(&cleaned, 1000).unwrap());
+        // But the original or-set relation does represent its own world-set.
+        let own: Vec<Relation> = rel.worlds(100).unwrap();
+        assert!(rel.represents_exactly(&own, 1000).unwrap());
+    }
+
+    #[test]
+    fn invalid_rows_are_rejected() {
+        let schema = Schema::new("R", &["A", "B"]).unwrap();
+        let mut rel = OrSetRelation::new(schema);
+        assert!(rel.push(vec![OrSet::certain(1i64)]).is_err());
+        assert!(rel
+            .push(vec![OrSet::of(Vec::<i64>::new()), OrSet::certain(1i64)])
+            .is_err());
+        // Duplicates inside an or-set are collapsed.
+        let field = OrSet::of(vec![1i64, 1, 2]);
+        assert_eq!(field.len(), 2);
+        assert!(!field.is_certain());
+        assert!(OrSet::certain(5i64).is_certain());
+    }
+
+    #[test]
+    fn tightest_cover_requires_uniform_cardinality() {
+        let schema = Schema::new("R", &["A"]).unwrap();
+        let mut w1 = Relation::new(schema.clone());
+        w1.push_values([1i64]).unwrap();
+        let mut w2 = Relation::new(schema);
+        w2.push_values([1i64]).unwrap();
+        w2.push_values([2i64]).unwrap();
+        assert!(tightest_orset_cover(&[w1, w2]).is_err());
+        assert!(tightest_orset_cover(&[]).is_err());
+    }
+}

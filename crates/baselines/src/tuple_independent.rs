@@ -1,0 +1,278 @@
+//! Tuple-independent probabilistic databases (Dalvi & Suciu [15]).
+//!
+//! Every tuple carries a confidence and the tuples are mutually independent;
+//! a possible world is any subset of the tuples, with probability equal to
+//! the product of the per-tuple "in or out" probabilities.  The paper shows
+//! (Example 5 / Figure 7) that probabilistic WSDs strictly generalize this
+//! model: each tuple becomes a two-local-world component — the tuple with
+//! probability `c`, or the empty (`⊥`) world with probability `1 − c`.
+
+use ws_core::{Component, FieldId, Result as WsResult, Wsd, WsError};
+use ws_relational::{Database, Schema, Tuple, Value};
+
+/// One relation of a tuple-independent probabilistic database.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TupleIndependentRelation {
+    schema: Schema,
+    rows: Vec<(Tuple, f64)>,
+}
+
+impl TupleIndependentRelation {
+    /// Create an empty relation.
+    pub fn new(schema: Schema) -> Self {
+        TupleIndependentRelation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The tuples with their confidences.
+    pub fn rows(&self) -> &[(Tuple, f64)] {
+        &self.rows
+    }
+
+    /// Number of (possible) tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Add a tuple with a confidence in `(0, 1]`.
+    pub fn push(&mut self, tuple: Tuple, confidence: f64) -> WsResult<()> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(WsError::invalid("tuple arity does not match the schema"));
+        }
+        if !(confidence > 0.0 && confidence <= 1.0) {
+            return Err(WsError::invalid(format!(
+                "confidence {confidence} out of (0, 1]"
+            )));
+        }
+        self.rows.push((tuple, confidence));
+        Ok(())
+    }
+}
+
+/// A tuple-independent probabilistic database: a set of relations.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TupleIndependentDb {
+    relations: Vec<TupleIndependentRelation>,
+}
+
+impl TupleIndependentDb {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        TupleIndependentDb::default()
+    }
+
+    /// Add a relation.
+    pub fn add_relation(&mut self, relation: TupleIndependentRelation) {
+        self.relations.push(relation);
+    }
+
+    /// The relations.
+    pub fn relations(&self) -> &[TupleIndependentRelation] {
+        &self.relations
+    }
+
+    /// Number of possible tuples across all relations.
+    pub fn tuple_count(&self) -> usize {
+        self.relations.iter().map(TupleIndependentRelation::len).sum()
+    }
+
+    /// Number of possible worlds (`2^tuples`, saturating).
+    pub fn world_count(&self) -> u128 {
+        1u128.checked_shl(self.tuple_count() as u32).unwrap_or(u128::MAX)
+    }
+
+    /// Convert to a probabilistic WSD, following Figure 7: one component per
+    /// tuple, with a present local world (probability `c`) and an absent
+    /// (`⊥`) local world (probability `1 − c`).  Tuples with confidence 1 get
+    /// a single certain local world.
+    pub fn to_wsd(&self) -> WsResult<Wsd> {
+        let mut wsd = Wsd::new();
+        for relation in &self.relations {
+            let name = relation.schema().relation().to_string();
+            let attrs: Vec<&str> = relation
+                .schema()
+                .attrs()
+                .iter()
+                .map(|a| a.as_ref())
+                .collect();
+            wsd.register_relation(&name, &attrs, relation.len())?;
+            for (t, (tuple, confidence)) in relation.rows().iter().enumerate() {
+                let fields: Vec<FieldId> = attrs
+                    .iter()
+                    .map(|a| FieldId::new(&name, t, *a))
+                    .collect();
+                let mut component = Component::new(fields);
+                component.push_row(tuple.values().to_vec(), *confidence)?;
+                if *confidence < 1.0 {
+                    component.push_row(
+                        vec![Value::Bottom; relation.schema().arity()],
+                        1.0 - confidence,
+                    )?;
+                }
+                wsd.add_component(component)?;
+            }
+        }
+        Ok(wsd)
+    }
+
+    /// Enumerate the possible worlds with their probabilities (for tests and
+    /// small examples).
+    pub fn worlds(&self, limit: u128) -> WsResult<Vec<(Database, f64)>> {
+        let count = self.world_count();
+        if count > limit {
+            return Err(WsError::TooManyWorlds {
+                worlds: count,
+                limit,
+            });
+        }
+        // Flatten (relation index, tuple, confidence).
+        let all: Vec<(usize, &Tuple, f64)> = self
+            .relations
+            .iter()
+            .enumerate()
+            .flat_map(|(r, rel)| rel.rows().iter().map(move |(t, c)| (r, t, *c)))
+            .collect();
+        let n = all.len();
+        let mut out = Vec::with_capacity(1 << n);
+        for mask in 0u64..(1u64 << n) {
+            let mut prob = 1.0;
+            let mut db = Database::new();
+            for relation in &self.relations {
+                db.create_relation(relation.schema().clone());
+            }
+            for (bit, (r, tuple, confidence)) in all.iter().enumerate() {
+                let included = mask & (1 << bit) != 0;
+                prob *= if included { *confidence } else { 1.0 - confidence };
+                if included {
+                    let name = self.relations[*r].schema().relation().to_string();
+                    let rel = db.relation_mut(&name)?;
+                    if !rel.contains(tuple) {
+                        rel.push((*tuple).clone())?;
+                    }
+                }
+            }
+            if prob > 0.0 {
+                out.push((db, prob));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Build the example database of Figure 6 (taken from Dalvi & Suciu): two
+/// relations `S` and `T` with three independent tuples.
+pub fn figure6_database() -> TupleIndependentDb {
+    let mut s = TupleIndependentRelation::new(Schema::new("S", &["A", "B"]).unwrap());
+    s.push(Tuple::from_iter([Value::text("m"), Value::int(1)]), 0.8)
+        .unwrap();
+    s.push(Tuple::from_iter([Value::text("n"), Value::int(1)]), 0.5)
+        .unwrap();
+    let mut t = TupleIndependentRelation::new(Schema::new("T", &["C", "D"]).unwrap());
+    t.push(Tuple::from_iter([Value::int(1), Value::text("p")]), 0.6)
+        .unwrap();
+    let mut db = TupleIndependentDb::new();
+    db.add_relation(s);
+    db.add_relation(t);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ws_core::confidence;
+
+    #[test]
+    fn figure6_has_eight_worlds_with_paper_probabilities() {
+        let db = figure6_database();
+        assert_eq!(db.tuple_count(), 3);
+        assert_eq!(db.world_count(), 8);
+        let worlds = db.worlds(100).unwrap();
+        assert_eq!(worlds.len(), 8);
+        let total: f64 = worlds.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // D3 = {s2, t1} has probability (1 − 0.8) · 0.5 · 0.6 = 0.06.
+        let d3 = worlds
+            .iter()
+            .find(|(w, _)| {
+                let s = w.relation("S").unwrap();
+                let t = w.relation("T").unwrap();
+                s.len() == 1
+                    && s.contains(&Tuple::from_iter([Value::text("n"), Value::int(1)]))
+                    && t.len() == 1
+            })
+            .unwrap();
+        assert!((d3.1 - 0.06).abs() < 1e-9);
+        // D8 = ∅ has probability 0.2 · 0.5 · 0.4 = 0.04.
+        let d8 = worlds
+            .iter()
+            .find(|(w, _)| w.relation("S").unwrap().is_empty() && w.relation("T").unwrap().is_empty())
+            .unwrap();
+        assert!((d8.1 - 0.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conversion_to_wsd_matches_figure7() {
+        let db = figure6_database();
+        let wsd = db.to_wsd().unwrap();
+        wsd.validate().unwrap();
+        assert_eq!(wsd.component_count(), 3);
+        let expected = ws_core::WorldSet::from_weighted_worlds(db.worlds(100).unwrap());
+        let actual = wsd.rep().unwrap();
+        assert!(expected.same_worlds(&actual));
+        assert!(expected.same_distribution(&actual, 1e-9));
+        // Tuple confidences are recovered by the WSD confidence operator.
+        let c = confidence::conf(
+            &wsd,
+            "S",
+            &Tuple::from_iter([Value::text("m"), Value::int(1)]),
+        )
+        .unwrap();
+        assert!((c - 0.8).abs() < 1e-9);
+        let c = confidence::conf(
+            &wsd,
+            "T",
+            &Tuple::from_iter([Value::int(1), Value::text("p")]),
+        )
+        .unwrap();
+        assert!((c - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn certain_tuples_get_single_local_world_components() {
+        let mut s = TupleIndependentRelation::new(Schema::new("S", &["A"]).unwrap());
+        s.push(Tuple::from_iter([1i64]), 1.0).unwrap();
+        let mut db = TupleIndependentDb::new();
+        db.add_relation(s);
+        let wsd = db.to_wsd().unwrap();
+        assert_eq!(wsd.component_count(), 1);
+        assert_eq!(wsd.world_count(), 1);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let mut s = TupleIndependentRelation::new(Schema::new("S", &["A"]).unwrap());
+        assert!(s.push(Tuple::from_iter([1i64, 2]), 0.5).is_err());
+        assert!(s.push(Tuple::from_iter([1i64]), 0.0).is_err());
+        assert!(s.push(Tuple::from_iter([1i64]), 1.5).is_err());
+        assert!(s.is_empty());
+        s.push(Tuple::from_iter([1i64]), 0.5).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rows().len(), 1);
+        let mut db = TupleIndependentDb::new();
+        db.add_relation(s);
+        assert_eq!(db.relations().len(), 1);
+        assert!(db.worlds(1).is_err());
+    }
+}

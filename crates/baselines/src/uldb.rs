@@ -1,0 +1,375 @@
+//! ULDB-style x-relations: tuples with alternatives.
+//!
+//! The related-work discussion of the paper compares WSDs against ULDBs
+//! (Benjelloun et al. [11]) and the "working models" of [28]: relations whose
+//! rows are **x-tuples**, each a set of mutually exclusive alternatives,
+//! optionally allowed to be absent altogether (a *maybe* x-tuple).  Cross-
+//! x-tuple correlations require lineage in full ULDBs; the comparison the
+//! paper draws, however, is about representation *size*: an or-set relation
+//! with `k` uncertain fields per tuple has a WSD of linear size but an
+//! x-relation needs one alternative per combination of field values — in
+//! general exponentially many.  This module implements the x-relation model
+//! far enough to reproduce that comparison and to serve as an additional
+//! baseline in the ablation benches:
+//!
+//! * [`XTuple`] / [`UldbRelation`] — alternatives, maybe-tuples, world
+//!   counting and world enumeration (x-tuples are independent, as in [28]),
+//! * [`UldbRelation::from_or_relation`] — the blow-up conversion from or-set
+//!   relations,
+//! * [`UldbRelation::from_tuple_independent`] — the (linear) conversion from
+//!   tuple-independent probabilistic relations, and
+//! * possible-tuple and confidence computation for the independent case.
+
+use std::collections::BTreeSet;
+
+use ws_core::{Result as WsResult, WsError};
+use ws_relational::{Relation, Schema, Tuple};
+
+use crate::orset::OrSetRelation;
+use crate::tuple_independent::TupleIndependentRelation;
+
+/// One x-tuple: a set of mutually exclusive alternatives with probabilities.
+///
+/// The probabilities must sum to at most one; the remaining mass is the
+/// probability that the x-tuple contributes no tuple at all (a *maybe*
+/// x-tuple has strictly positive remaining mass).
+#[derive(Clone, Debug, PartialEq)]
+pub struct XTuple {
+    alternatives: Vec<(Tuple, f64)>,
+}
+
+impl XTuple {
+    /// Build an x-tuple from weighted alternatives.
+    pub fn new(alternatives: Vec<(Tuple, f64)>) -> WsResult<Self> {
+        if alternatives.is_empty() {
+            return Err(WsError::invalid("an x-tuple needs at least one alternative"));
+        }
+        let total: f64 = alternatives.iter().map(|(_, p)| p).sum();
+        if alternatives.iter().any(|(_, p)| *p < 0.0) || total > 1.0 + 1e-9 {
+            return Err(WsError::invalid(format!(
+                "alternative probabilities must be non-negative and sum to ≤ 1 (got {total})"
+            )));
+        }
+        Ok(XTuple { alternatives })
+    }
+
+    /// An x-tuple whose alternatives are equally likely and exhaustive.
+    pub fn uniform(alternatives: Vec<Tuple>) -> WsResult<Self> {
+        let n = alternatives.len();
+        if n == 0 {
+            return Err(WsError::invalid("an x-tuple needs at least one alternative"));
+        }
+        XTuple::new(
+            alternatives
+                .into_iter()
+                .map(|t| (t, 1.0 / n as f64))
+                .collect(),
+        )
+    }
+
+    /// A certain x-tuple.
+    pub fn certain(tuple: Tuple) -> Self {
+        XTuple {
+            alternatives: vec![(tuple, 1.0)],
+        }
+    }
+
+    /// The alternatives with their probabilities.
+    pub fn alternatives(&self) -> &[(Tuple, f64)] {
+        &self.alternatives
+    }
+
+    /// Number of alternatives.
+    pub fn len(&self) -> usize {
+        self.alternatives.len()
+    }
+
+    /// Whether there are no alternatives (never true for a valid x-tuple).
+    pub fn is_empty(&self) -> bool {
+        self.alternatives.is_empty()
+    }
+
+    /// The probability that the x-tuple contributes no tuple.
+    pub fn absence_probability(&self) -> f64 {
+        (1.0 - self.alternatives.iter().map(|(_, p)| p).sum::<f64>()).max(0.0)
+    }
+
+    /// Whether the x-tuple may be absent (a "maybe" x-tuple).
+    pub fn is_maybe(&self) -> bool {
+        self.absence_probability() > 1e-9
+    }
+
+    /// The number of choices a world makes for this x-tuple.
+    pub fn choice_count(&self) -> usize {
+        self.alternatives.len() + usize::from(self.is_maybe())
+    }
+}
+
+/// An x-relation: a schema plus a list of independent x-tuples.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UldbRelation {
+    schema: Schema,
+    xtuples: Vec<XTuple>,
+}
+
+impl UldbRelation {
+    /// An empty x-relation.
+    pub fn new(schema: Schema) -> Self {
+        UldbRelation {
+            schema,
+            xtuples: Vec::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The x-tuples.
+    pub fn xtuples(&self) -> &[XTuple] {
+        &self.xtuples
+    }
+
+    /// Append an x-tuple, validating the arity of every alternative.
+    pub fn push(&mut self, xtuple: XTuple) -> WsResult<()> {
+        for (t, _) in xtuple.alternatives() {
+            if t.arity() != self.schema.arity() {
+                return Err(WsError::invalid(format!(
+                    "alternative arity {} does not match schema arity {}",
+                    t.arity(),
+                    self.schema.arity()
+                )));
+            }
+        }
+        self.xtuples.push(xtuple);
+        Ok(())
+    }
+
+    /// Number of x-tuples.
+    pub fn len(&self) -> usize {
+        self.xtuples.len()
+    }
+
+    /// Whether the relation has no x-tuples.
+    pub fn is_empty(&self) -> bool {
+        self.xtuples.is_empty()
+    }
+
+    /// Total number of stored alternatives — the representation-size metric
+    /// the paper's related-work comparison is about.
+    pub fn alternative_count(&self) -> usize {
+        self.xtuples.iter().map(XTuple::len).sum()
+    }
+
+    /// The number of represented worlds (saturating).
+    pub fn world_count(&self) -> u128 {
+        self.xtuples
+            .iter()
+            .fold(1u128, |acc, x| acc.saturating_mul(x.choice_count() as u128))
+    }
+
+    /// The blow-up conversion from an or-set relation: every row becomes one
+    /// x-tuple whose alternatives are the combinations of its or-set fields.
+    ///
+    /// A row with `k` uncertain fields of sizes `d1 … dk` produces
+    /// `d1 · … · dk` alternatives, versus the `d1 + … + dk` component rows of
+    /// its WSD — the exponential gap of the related-work comparison.
+    pub fn from_or_relation(orset: &OrSetRelation) -> WsResult<Self> {
+        let mut out = UldbRelation::new(orset.schema().clone());
+        for row in orset.rows() {
+            let mut combos: Vec<Vec<ws_relational::Value>> = vec![Vec::new()];
+            for field in row {
+                let mut next = Vec::with_capacity(combos.len() * field.len());
+                for combo in &combos {
+                    for v in field.values() {
+                        let mut extended = combo.clone();
+                        extended.push(v.clone());
+                        next.push(extended);
+                    }
+                }
+                combos = next;
+            }
+            out.push(XTuple::uniform(
+                combos.into_iter().map(Tuple::new).collect(),
+            )?)?;
+        }
+        Ok(out)
+    }
+
+    /// The (linear) conversion from a tuple-independent probabilistic
+    /// relation: one maybe x-tuple per row.
+    pub fn from_tuple_independent(relation: &TupleIndependentRelation) -> WsResult<Self> {
+        let mut out = UldbRelation::new(relation.schema().clone());
+        for (tuple, confidence) in relation.rows() {
+            out.push(XTuple::new(vec![(tuple.clone(), *confidence)])?)?;
+        }
+        Ok(out)
+    }
+
+    /// The distinct tuples appearing in at least one world.
+    pub fn possible_tuples(&self) -> Relation {
+        let mut out = Relation::new(self.schema.clone());
+        let mut seen: BTreeSet<&Tuple> = BTreeSet::new();
+        for x in &self.xtuples {
+            for (t, _) in x.alternatives() {
+                if seen.insert(t) {
+                    out.push(t.clone()).expect("arity checked on push");
+                }
+            }
+        }
+        out
+    }
+
+    /// The confidence of a tuple: the probability that some x-tuple
+    /// contributes it (x-tuples are independent, alternatives within one
+    /// x-tuple are exclusive).
+    pub fn conf(&self, tuple: &Tuple) -> f64 {
+        let mut absent = 1.0;
+        for x in &self.xtuples {
+            let here: f64 = x
+                .alternatives()
+                .iter()
+                .filter(|(t, _)| t == tuple)
+                .map(|(_, p)| p)
+                .sum();
+            absent *= 1.0 - here;
+        }
+        1.0 - absent
+    }
+
+    /// Enumerate every world with its probability (testing / oracle use).
+    pub fn enumerate_worlds(&self, limit: u128) -> WsResult<Vec<(Relation, f64)>> {
+        if self.world_count() > limit {
+            return Err(WsError::invalid(format!(
+                "enumeration of {} worlds exceeds the limit {limit}",
+                self.world_count()
+            )));
+        }
+        let mut worlds: Vec<(Vec<Tuple>, f64)> = vec![(Vec::new(), 1.0)];
+        for x in &self.xtuples {
+            let mut next = Vec::with_capacity(worlds.len() * x.choice_count());
+            for (tuples, p) in &worlds {
+                for (alt, q) in x.alternatives() {
+                    let mut extended = tuples.clone();
+                    extended.push(alt.clone());
+                    next.push((extended, p * q));
+                }
+                if x.is_maybe() {
+                    next.push((tuples.clone(), p * x.absence_probability()));
+                }
+            }
+            worlds = next;
+        }
+        worlds
+            .into_iter()
+            .map(|(tuples, p)| {
+                let mut rel = Relation::new(self.schema.clone());
+                for t in tuples {
+                    rel.insert(t).map_err(WsError::from)?;
+                }
+                Ok((rel, p))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orset::OrSet;
+    use ws_relational::Value;
+
+    fn or_relation_with_wide_row(fields: usize, domain: usize) -> OrSetRelation {
+        let attrs: Vec<String> = (0..fields).map(|i| format!("A{i}")).collect();
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let mut rel = OrSetRelation::new(Schema::new("R", &attr_refs).unwrap());
+        let row: Vec<OrSet> = (0..fields)
+            .map(|_| OrSet::of((0..domain as i64).collect::<Vec<_>>()))
+            .collect();
+        rel.push(row).unwrap();
+        rel
+    }
+
+    #[test]
+    fn xtuple_validation_and_metrics() {
+        let t = |v: i64| Tuple::from_iter([Value::int(v)]);
+        assert!(XTuple::new(vec![]).is_err());
+        assert!(XTuple::uniform(vec![]).is_err());
+        assert!(XTuple::new(vec![(t(1), 0.7), (t(2), 0.6)]).is_err());
+        assert!(XTuple::new(vec![(t(1), -0.1)]).is_err());
+        let x = XTuple::new(vec![(t(1), 0.3), (t(2), 0.4)]).unwrap();
+        assert_eq!(x.len(), 2);
+        assert!(!x.is_empty());
+        assert!(x.is_maybe());
+        assert!((x.absence_probability() - 0.3).abs() < 1e-12);
+        assert_eq!(x.choice_count(), 3);
+        let certain = XTuple::certain(t(5));
+        assert!(!certain.is_maybe());
+        assert_eq!(certain.choice_count(), 1);
+    }
+
+    #[test]
+    fn or_set_conversion_exhibits_the_exponential_blowup() {
+        // A single row with 6 binary or-set fields: the WSD (and the or-set
+        // relation itself) stores 12 values, the x-relation needs 2^6 = 64
+        // alternatives.
+        let orset = or_relation_with_wide_row(6, 2);
+        let uldb = UldbRelation::from_or_relation(&orset).unwrap();
+        assert_eq!(uldb.len(), 1);
+        assert_eq!(uldb.alternative_count(), 64);
+        assert_eq!(uldb.world_count(), 64);
+        // The WSD of the same or-set relation is linear: 6 components with
+        // 2 rows each.
+        let wsd = orset.to_wsd().unwrap();
+        let wsd_rows: usize = wsd.components().map(|(_, c)| c.len()).sum();
+        assert_eq!(wsd_rows, 12);
+        assert_eq!(wsd.world_count(), 64);
+    }
+
+    #[test]
+    fn tuple_independent_conversion_and_confidence() {
+        let db = crate::tuple_independent::figure6_database();
+        let s = &db.relations()[0];
+        let uldb = UldbRelation::from_tuple_independent(s).unwrap();
+        assert_eq!(uldb.len(), s.len());
+        assert_eq!(uldb.alternative_count(), s.len());
+        for (tuple, confidence) in s.rows() {
+            assert!((uldb.conf(tuple) - confidence).abs() < 1e-12);
+        }
+        // Worlds of the x-relation match the tuple-independent semantics.
+        let worlds = uldb.enumerate_worlds(1 << 10).unwrap();
+        let total: f64 = worlds.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(worlds.len(), 4, "two maybe x-tuples give four worlds");
+    }
+
+    #[test]
+    fn possible_tuples_and_world_enumeration() {
+        let schema = Schema::new("R", &["A"]).unwrap();
+        let mut uldb = UldbRelation::new(schema);
+        assert!(uldb.is_empty());
+        uldb.push(XTuple::uniform(vec![
+            Tuple::from_iter([Value::int(1)]),
+            Tuple::from_iter([Value::int(2)]),
+        ]).unwrap())
+            .unwrap();
+        uldb.push(XTuple::certain(Tuple::from_iter([Value::int(3)]))).unwrap();
+        assert_eq!(uldb.possible_tuples().len(), 3);
+        assert_eq!(uldb.world_count(), 2);
+        let worlds = uldb.enumerate_worlds(10).unwrap();
+        assert_eq!(worlds.len(), 2);
+        for (world, _) in &worlds {
+            assert!(world.contains(&Tuple::from_iter([Value::int(3)])));
+            assert_eq!(world.len(), 2);
+        }
+        assert!((uldb.conf(&Tuple::from_iter([Value::int(1)])) - 0.5).abs() < 1e-12);
+        assert!((uldb.conf(&Tuple::from_iter([Value::int(3)])) - 1.0).abs() < 1e-12);
+        assert_eq!(uldb.conf(&Tuple::from_iter([Value::int(9)])), 0.0);
+        // Arity mismatches and over-budget enumerations are rejected.
+        assert!(uldb
+            .push(XTuple::certain(Tuple::from_iter([Value::int(1), Value::int(2)])))
+            .is_err());
+        assert!(uldb.enumerate_worlds(1).is_err());
+    }
+}

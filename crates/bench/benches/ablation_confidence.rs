@@ -1,0 +1,106 @@
+//! Ablation: confidence computation across representations.
+//!
+//! Section 6 defines confidence computation on (tuple-level) WSDs; the UWSDT
+//! layer and the U-relation extension provide the same operator.  This bench
+//! measures the time to compute the confidences of all possible tuples of a
+//! projection query as the amount of uncertainty grows, and compares the
+//! exact U-relation evaluator against its Monte-Carlo estimator.
+//!
+//! Run with: `cargo bench -p ws-bench --bench ablation_confidence`
+
+use ws_bench::{print_header, print_row, secs, time_once};
+use ws_census::CensusScenario;
+use ws_core::interval::IntervalView;
+use ws_relational::RaExpr;
+
+fn main() {
+    println!("# Confidence computation: WSD vs. UWSDT vs. U-relations (exact and Monte-Carlo)");
+    println!("(census scenarios; query π_CITIZEN,IMMIGR(R); times include all possible tuples)");
+    print_header(&[
+        "tuples",
+        "density",
+        "possible tuples",
+        "WSD conf (s)",
+        "UWSDT conf (s)",
+        "U-rel exact (s)",
+        "U-rel MC 2k samples (s)",
+        "interval bounds (s)",
+    ]);
+
+    let query = RaExpr::rel(ws_census::RELATION_NAME).project(vec!["CITIZEN", "IMMIGR"]);
+
+    for &(tuples, density, label) in &[
+        (200usize, 0.0005f64, "0.05%"),
+        (200, 0.001, "0.1%"),
+        (500, 0.001, "0.1%"),
+        (1000, 0.001, "0.1%"),
+    ] {
+        let scenario = CensusScenario::new(tuples, density, 0xC0FFEE);
+
+        // WSD view of the same scenario (built from the or-set noise).
+        let base = scenario.base_relation();
+        let noise = scenario.noise();
+        let mut wsd = ws_core::Wsd::new();
+        {
+            let attrs: Vec<&str> = base.schema().attrs().iter().map(|a| a.as_ref()).collect();
+            wsd.register_relation(ws_census::RELATION_NAME, &attrs, base.len()).unwrap();
+            use std::collections::BTreeMap;
+            let mut uncertain: BTreeMap<(usize, String), Vec<(ws_relational::Value, f64)>> =
+                BTreeMap::new();
+            for field in &noise {
+                uncertain.insert((field.tuple, field.attr.clone()), field.alternatives.clone());
+            }
+            for (t, row) in base.rows().iter().enumerate() {
+                for (a, attr) in base.schema().attrs().iter().enumerate() {
+                    let field = ws_core::FieldId::new(ws_census::RELATION_NAME, t, attr.as_ref());
+                    match uncertain.get(&(t, attr.to_string())) {
+                        Some(alternatives) => {
+                            wsd.set_alternatives(field, alternatives.clone()).unwrap()
+                        }
+                        None => wsd.set_certain(field, row[a].clone()).unwrap(),
+                    }
+                }
+            }
+        }
+
+        // Evaluate the query on each representation.
+        let mut wsd_q = wsd.clone();
+        let out_wsd = ws_core::ops::evaluate_query(&mut wsd_q, &query, "Q").unwrap();
+        let (wsd_conf, wsd_time) =
+            time_once(|| ws_core::confidence::possible_with_confidence(&wsd_q, &out_wsd).unwrap());
+
+        let mut uwsdt = scenario.dirty_uwsdt().unwrap();
+        let out_uw = ws_uwsdt::evaluate_query(&mut uwsdt, &query, "Q").unwrap();
+        let (uw_conf, uw_time) =
+            time_once(|| ws_uwsdt::possible_with_confidence(&uwsdt, &out_uw).unwrap());
+
+        let mut udb = ws_urel::from_wsd(&wsd).unwrap();
+        let out_u = ws_urel::evaluate_query(&mut udb, &query, "Q").unwrap();
+        let (u_conf, u_time) =
+            time_once(|| ws_urel::possible_with_confidence(&udb, &out_u).unwrap());
+        let (_, mc_time) = time_once(|| {
+            for (tuple, _) in &u_conf {
+                ws_urel::approx_conf(&udb, &out_u, tuple, 2000, 7).unwrap();
+            }
+        });
+
+        let (_, interval_time) = time_once(|| {
+            let view = IntervalView::with_margin(&wsd_q, &out_wsd, 0.05).unwrap();
+            view.possible_with_bounds().unwrap()
+        });
+
+        assert_eq!(wsd_conf.len(), uw_conf.len());
+        assert_eq!(wsd_conf.len(), u_conf.len());
+
+        print_row(&[
+            tuples.to_string(),
+            label.to_string(),
+            wsd_conf.len().to_string(),
+            secs(wsd_time),
+            secs(uw_time),
+            secs(u_time),
+            secs(mc_time),
+            secs(interval_time),
+        ]);
+    }
+}

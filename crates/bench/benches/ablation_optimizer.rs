@@ -1,0 +1,65 @@
+//! Ablation: the plan rewrites of §5 (selection pushdown, operator merging)
+//! on the one-world baseline.
+//!
+//! The paper's query-evaluation optimizations merge products with their join
+//! selections and distribute selections/projections to the operands; this
+//! bench measures the effect of the equivalent rule-based plan rewriting on
+//! the single-world evaluator, using the evaluation queries Q1–Q6 of Figure
+//! 29 plus an explicitly join-shaped query, and reports the cost-model
+//! estimates next to the measured times.
+//!
+//! Run with: `cargo bench -p ws-bench --bench ablation_optimizer`
+
+use ws_bench::{print_header, print_row, secs, time_once};
+use ws_census::CensusScenario;
+use ws_relational::{evaluate_set, optimizer, CmpOp, Predicate, RaExpr};
+
+fn main() {
+    println!("# Plan optimization on the one-world census baseline");
+    print_header(&[
+        "query",
+        "tuples",
+        "rows (plain = optimized)",
+        "plain time (s)",
+        "optimized time (s)",
+        "estimated cost plain",
+        "estimated cost optimized",
+    ]);
+
+    let scenario = CensusScenario::new(5_000, 0.0, 0xC0FFEE);
+    let world = scenario.one_world();
+
+    let mut queries = ws_census::all_queries();
+    // An explicitly join-shaped query: married people working in the state of
+    // their birth, paired with PhD holders of the same state.
+    queries.push((
+        "QJ",
+        RaExpr::rel(ws_census::RELATION_NAME)
+            .select(Predicate::eq_const("MARITAL", 1i64))
+            .project(vec!["POWSTATE"])
+            .rename("POWSTATE", "P1")
+            .product(
+                RaExpr::rel(ws_census::RELATION_NAME)
+                    .select(Predicate::eq_const("YEARSCH", 17i64))
+                    .project(vec!["POWSTATE"])
+                    .rename("POWSTATE", "P2"),
+            )
+            .select(Predicate::cmp_attr("P1", CmpOp::Eq, "P2")),
+    ));
+
+    for (name, query) in queries {
+        let (plain, plain_time) = time_once(|| evaluate_set(&world, &query).unwrap());
+        let plan = optimizer::optimize(&world, &query).unwrap();
+        let (optimized, optimized_time) = time_once(|| evaluate_set(&world, &plan).unwrap());
+        assert!(plain.set_eq(&optimized), "optimization changed the answer of {name}");
+        print_row(&[
+            name.to_string(),
+            "5000".to_string(),
+            plain.len().to_string(),
+            secs(plain_time),
+            secs(optimized_time),
+            format!("{:.0}", optimizer::estimated_cost(&world, &query).unwrap()),
+            format!("{:.0}", optimizer::estimated_cost(&world, &plan).unwrap()),
+        ]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Ablation: representation growth of join pipelines — WSD component
+//! composition vs. U-relation descriptor conjunction.
+//!
+//! Section 4 notes that the selection with a join condition (`σ_{A=B}`) may
+//! compose WSD components and thereby blow the representation up, and points
+//! to U-relations as the intensional refinement avoiding this.  This bench
+//! quantifies the effect on a self-join workload: a relation of `n` tuples
+//! whose join attribute is an or-set of size `d` is joined with itself; we
+//! report the representation size (component rows for the WSD, annotated rows
+//! for the U-relation) and the evaluation time of both systems.
+//!
+//! Run with: `cargo bench -p ws-bench --bench ablation_urel`
+
+use ws_bench::{print_header, print_row, secs, time_once};
+use ws_core::{FieldId, Wsd};
+use ws_relational::{CmpOp, Predicate, RaExpr, Value};
+
+/// Build a WSD over two relations `L[K, X]` and `R[K, Y]` with `n` tuples
+/// each whose `K` attribute is an or-set of size `d`.
+fn two_relation_wsd(n: usize, d: i64) -> Wsd {
+    let mut wsd = Wsd::new();
+    wsd.register_relation("L", &["K", "X"], n).unwrap();
+    wsd.register_relation("R", &["K", "Y"], n).unwrap();
+    for t in 0..n {
+        let domain: Vec<Value> = (0..d).map(|v| Value::int((t as i64 % 3) + v)).collect();
+        wsd.set_uniform(FieldId::new("L", t, "K"), domain.clone()).unwrap();
+        wsd.set_certain(FieldId::new("L", t, "X"), Value::int(t as i64)).unwrap();
+        wsd.set_uniform(FieldId::new("R", t, "K"), domain).unwrap();
+        wsd.set_certain(FieldId::new("R", t, "Y"), Value::int(10 + t as i64)).unwrap();
+    }
+    wsd
+}
+
+fn wsd_component_rows(wsd: &Wsd) -> usize {
+    wsd.components().map(|(_, c)| c.len()).sum()
+}
+
+fn join_query() -> RaExpr {
+    RaExpr::rel("L")
+        .rename("K", "K1")
+        .product(RaExpr::rel("R").rename("K", "K2"))
+        .select(Predicate::cmp_attr("K1", CmpOp::Eq, "K2"))
+        .project(vec!["X", "Y"])
+}
+
+fn main() {
+    println!("# Join pipelines: WSD composition vs. U-relation descriptors");
+    println!("(σ_K1=K2(L × R) with or-set join keys; sizes are representation rows)");
+    print_header(&[
+        "tuples/rel",
+        "or-set size",
+        "WSD rows before",
+        "WSD rows after join",
+        "WSD time (s)",
+        "U-rel rows before",
+        "U-rel rows after join",
+        "U-rel time (s)",
+    ]);
+
+    // (4, 4) already composes 65 536 local worlds on the WSD side; larger
+    // settings exhaust memory, which is precisely the blow-up the table
+    // demonstrates.
+    for &(n, d) in &[(2usize, 2i64), (2, 4), (3, 2), (3, 4), (4, 4)] {
+        let wsd = two_relation_wsd(n, d);
+        let query = join_query();
+
+        let wsd_before = wsd_component_rows(&wsd);
+        let (wsd_after, wsd_time) = {
+            let mut scratch = wsd.clone();
+            let ((), elapsed) = time_once(|| {
+                ws_core::ops::evaluate_query(&mut scratch, &query, "J").map(|_| ()).unwrap();
+            });
+            (wsd_component_rows(&scratch), elapsed)
+        };
+
+        let udb = ws_urel::from_wsd(&wsd).unwrap();
+        let urel_before = udb.total_rows();
+        let (urel_after, urel_time) = {
+            let mut scratch = udb.clone();
+            let ((), elapsed) = time_once(|| {
+                ws_urel::evaluate_query(&mut scratch, &query, "J").map(|_| ()).unwrap();
+            });
+            (scratch.total_rows(), elapsed)
+        };
+
+        print_row(&[
+            n.to_string(),
+            d.to_string(),
+            wsd_before.to_string(),
+            wsd_after.to_string(),
+            secs(wsd_time),
+            urel_before.to_string(),
+            urel_after.to_string(),
+            secs(urel_time),
+        ]);
+    }
+
+    println!();
+    println!("# Or-set relations: WSD (linear) vs. ULDB x-relation (exponential) size");
+    print_header(&["or-set fields per tuple", "WSD component rows", "x-relation alternatives"]);
+    for fields in [2usize, 4, 6, 8, 10] {
+        let attrs: Vec<String> = (0..fields).map(|i| format!("A{i}")).collect();
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let mut orset = ws_baselines::OrSetRelation::new(
+            ws_relational::Schema::new("O", &attr_refs).unwrap(),
+        );
+        orset
+            .push((0..fields).map(|_| ws_baselines::OrSet::of(vec![0i64, 1i64])).collect())
+            .unwrap();
+        let wsd = orset.to_wsd().unwrap();
+        let uldb = ws_baselines::UldbRelation::from_or_relation(&orset).unwrap();
+        print_row(&[
+            fields.to_string(),
+            wsd_component_rows(&wsd).to_string(),
+            uldb.alternative_count().to_string(),
+        ]);
+    }
+}

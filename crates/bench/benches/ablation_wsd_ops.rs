@@ -1,0 +1,140 @@
+//! Ablation: micro-benchmarks (Criterion) of the WSD-level building blocks —
+//! the operator algorithms of Figure 9, normalization (Figure 20), the chase
+//! (Figure 24) and confidence computation (Figure 17) — on synthetic
+//! world-sets of increasing size.
+//!
+//! These are not figures of the paper; they quantify the design choices
+//! DESIGN.md calls out (cost of composing components, payoff of
+//! decomposition, confidence vs. world enumeration).
+//!
+//! Run with: `cargo bench -p ws-bench --bench ablation_wsd_ops`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ws_core::chase::{chase, Dependency, EqualityGeneratingDependency, FunctionalDependency};
+use ws_core::confidence::TupleLevelView;
+use ws_core::normalize;
+use ws_core::{FieldId, Wsd};
+use ws_relational::{CmpOp, Predicate, RaExpr, Tuple, Value};
+
+/// A WSD over R[A, B, C] with `tuples` tuple slots and an uncertain field
+/// every `spacing` tuples (or-set of three values).
+fn synthetic_wsd(tuples: usize, spacing: usize) -> Wsd {
+    let mut wsd = Wsd::new();
+    wsd.register_relation("R", &["A", "B", "C"], tuples).unwrap();
+    for t in 0..tuples {
+        for (i, attr) in ["A", "B", "C"].iter().enumerate() {
+            let field = FieldId::new("R", t, *attr);
+            let base = (t * 3 + i) as i64 % 10;
+            if i == 0 && t % spacing == 0 {
+                wsd.set_uniform(
+                    field,
+                    vec![Value::int(base), Value::int(base + 1), Value::int(base + 2)],
+                )
+                .unwrap();
+            } else {
+                wsd.set_certain(field, Value::int(base)).unwrap();
+            }
+        }
+    }
+    wsd
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wsd_operators");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for &tuples in &[50usize, 200, 500] {
+        let wsd = synthetic_wsd(tuples, 5);
+        group.bench_with_input(
+            BenchmarkId::new("select_const", tuples),
+            &wsd,
+            |b, wsd| {
+                b.iter(|| {
+                    let mut w = wsd.clone();
+                    ws_core::ops::select_const(&mut w, "R", "P", "A", CmpOp::Gt, &Value::int(3))
+                        .unwrap();
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("select_attr_attr", tuples),
+            &wsd,
+            |b, wsd| {
+                b.iter(|| {
+                    let mut w = wsd.clone();
+                    ws_core::ops::select_attr(&mut w, "R", "P", "A", CmpOp::Eq, "B").unwrap();
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("project", tuples), &wsd, |b, wsd| {
+            b.iter(|| {
+                let mut w = wsd.clone();
+                ws_core::ops::project(&mut w, "R", "P", &["A", "B"]).unwrap();
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("union_self", tuples), &wsd, |b, wsd| {
+            b.iter(|| {
+                let mut w = wsd.clone();
+                ws_core::ops::evaluate_query(
+                    &mut w,
+                    &RaExpr::rel("R")
+                        .select(Predicate::eq_const("B", 1i64))
+                        .union(RaExpr::rel("R").select(Predicate::eq_const("C", 2i64))),
+                    "P",
+                )
+                .unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_normalization_and_chase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wsd_maintenance");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for &tuples in &[50usize, 200] {
+        let wsd = synthetic_wsd(tuples, 4);
+        group.bench_with_input(BenchmarkId::new("normalize", tuples), &wsd, |b, wsd| {
+            b.iter(|| {
+                let mut w = wsd.clone();
+                // De-normalize a little, then re-normalize.
+                w.compose_fields(&[FieldId::new("R", 0, "A"), FieldId::new("R", 0, "B")])
+                    .unwrap();
+                normalize::normalize(&mut w).unwrap();
+            })
+        });
+        let deps = vec![
+            Dependency::Egd(EqualityGeneratingDependency::implies(
+                "R",
+                "A",
+                1i64,
+                "B",
+                CmpOp::Ne,
+                4i64,
+            )),
+            Dependency::Fd(FunctionalDependency::new("R", vec!["A"], vec!["C"])),
+        ];
+        group.bench_with_input(BenchmarkId::new("chase", tuples), &wsd, |b, wsd| {
+            b.iter(|| {
+                let mut w = wsd.clone();
+                let _ = chase(&mut w, &deps);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("confidence", tuples), &wsd, |b, wsd| {
+            b.iter(|| {
+                let view = TupleLevelView::new(wsd, "R").unwrap();
+                view.conf(&Tuple::from_iter([0i64, 1, 2])).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators, bench_normalization_and_chase);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 26: time for chasing the twelve dependencies of Figure 25 on
+//! census UWSDTs of various sizes and noise densities.
+//!
+//! The paper plots chase time (log–log) against the number of tuples
+//! (0.1M–12.5M) for densities 0.005%–0.1% and observes linear growth in both
+//! the number of tuples and the density.  This harness reproduces the series
+//! on the scaled-down sweep (override sizes with `WS_BENCH_SIZES=...`).
+//!
+//! Run with: `cargo bench -p ws-bench --bench fig26_chase`
+
+use ws_bench::{bench_sizes, print_header, print_row, secs, time_once, DENSITIES, DENSITY_LABELS};
+use ws_census::{census_dependencies, CensusScenario, RELATION_NAME};
+use ws_uwsdt::stats_for;
+
+fn main() {
+    println!("# Figure 25: the dependencies used for cleaning");
+    for dependency in census_dependencies() {
+        println!("  {dependency}");
+    }
+    println!();
+    println!("# Figure 26: chase time vs. #tuples and density (seconds)");
+    print_header(&[
+        "tuples",
+        "density",
+        "placeholders",
+        "|C| before",
+        "|C| after",
+        "#comp>1 after",
+        "chase time [s]",
+    ]);
+    for &tuples in &bench_sizes() {
+        for (i, &density) in DENSITIES.iter().enumerate() {
+            let scenario = CensusScenario::new(tuples, density, 0xC0FFEE);
+            let mut uwsdt = scenario
+                .dirty_uwsdt()
+                .expect("census scenario construction cannot fail");
+            let before = stats_for(&uwsdt, RELATION_NAME).unwrap();
+            let deps = census_dependencies();
+            let (result, elapsed) = time_once(|| ws_uwsdt::chase::chase(&mut uwsdt, &deps));
+            result.expect("the census data always has a consistent world");
+            let after = stats_for(&uwsdt, RELATION_NAME).unwrap();
+            print_row(&[
+                tuples.to_string(),
+                DENSITY_LABELS[i].to_string(),
+                before.placeholders.to_string(),
+                before.c_size.to_string(),
+                after.c_size.to_string(),
+                after.components_multi.to_string(),
+                secs(elapsed),
+            ]);
+        }
+    }
+    println!();
+    println!("Expected shape (paper): time grows roughly linearly with the tuple count and");
+    println!("with the density; the number of multi-placeholder components stays a small");
+    println!("fraction (≈1-2%) of all components even at the highest density.");
+}

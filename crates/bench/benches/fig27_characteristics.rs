@@ -1,0 +1,61 @@
+//! Figure 27: UWSDT characteristics of the chased census relation and of the
+//! answers to the queries Q1–Q6, per noise density.
+//!
+//! The paper reports, for the 12.5M-tuple data set and each density, the
+//! number of components (`#comp`), the number of components with more than
+//! one placeholder (`#comp>1`), the size of the component relation (`|C|`)
+//! and the size of the template relation (`|R|`) — first for the chased
+//! relation, then for every query answer.  This harness prints the same rows
+//! for the largest configured size (override with `WS_BENCH_SIZES=...`).
+//!
+//! Run with: `cargo bench -p ws-bench --bench fig27_characteristics`
+
+use ws_bench::{bench_sizes, print_header, print_row, DENSITIES, DENSITY_LABELS};
+use ws_census::{all_queries, CensusScenario, RELATION_NAME};
+use ws_uwsdt::{evaluate_query, stats_for, UwsdtStats};
+
+fn row(label: &str, density: &str, stats: &UwsdtStats) -> Vec<String> {
+    vec![
+        label.to_string(),
+        density.to_string(),
+        stats.components.to_string(),
+        stats.components_multi.to_string(),
+        stats.c_size.to_string(),
+        stats.template_rows.to_string(),
+    ]
+}
+
+fn main() {
+    let tuples = *bench_sizes().iter().max().expect("size list is non-empty");
+    println!("# Figure 27: UWSDT characteristics for {tuples} tuples");
+    print_header(&["stage", "density", "#comp", "#comp>1", "|C|", "|R|"]);
+    for (i, &density) in DENSITIES.iter().enumerate() {
+        let scenario = CensusScenario::new(tuples, density, 0xC0FFEE);
+        let dirty = scenario.dirty_uwsdt().unwrap();
+        print_row(&row(
+            "initial",
+            DENSITY_LABELS[i],
+            &stats_for(&dirty, RELATION_NAME).unwrap(),
+        ));
+        let mut uwsdt = scenario.chased_uwsdt().unwrap();
+        print_row(&row(
+            "after chase",
+            DENSITY_LABELS[i],
+            &stats_for(&uwsdt, RELATION_NAME).unwrap(),
+        ));
+        for (label, query) in all_queries() {
+            let out = format!("{label}_OUT");
+            evaluate_query(&mut uwsdt, &query, &out).unwrap();
+            print_row(&row(
+                &format!("after {label}"),
+                DENSITY_LABELS[i],
+                &stats_for(&uwsdt, &out).unwrap(),
+            ));
+        }
+    }
+    println!();
+    println!("Expected shape (paper): the number of components of every query answer is a");
+    println!("small fraction of the input's, grows linearly with the density, and the answer");
+    println!("template |R| stays close to the size of the same answer on a single world;");
+    println!("query evaluation merges far fewer components than the chase does.");
+}

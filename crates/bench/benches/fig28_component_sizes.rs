@@ -1,0 +1,41 @@
+//! Figure 28: distribution of component sizes (number of placeholders per
+//! component) of the chased census relations, for different data sizes and
+//! densities.
+//!
+//! The paper buckets the components into sizes 1, 2, 3 and "4 and more" and
+//! observes that the counts drop off very quickly: almost all fields remain
+//! independent after cleaning.
+//!
+//! Run with: `cargo bench -p ws-bench --bench fig28_component_sizes`
+
+use ws_bench::{bench_sizes, print_header, print_row, DENSITIES, DENSITY_LABELS};
+use ws_census::{CensusScenario, RELATION_NAME};
+use ws_uwsdt::component_size_histogram;
+use ws_uwsdt::stats::bucketed_histogram;
+
+fn main() {
+    println!("# Figure 28: component-size distribution after the chase");
+    print_header(&[
+        "tuples", "density", "size 1", "size 2", "size 3", "size 4+",
+    ]);
+    for &tuples in &bench_sizes() {
+        for (i, &density) in DENSITIES.iter().enumerate() {
+            let scenario = CensusScenario::new(tuples, density, 0xC0FFEE);
+            let uwsdt = scenario.chased_uwsdt().unwrap();
+            let histogram = component_size_histogram(&uwsdt, RELATION_NAME).unwrap();
+            let buckets = bucketed_histogram(&histogram);
+            print_row(&[
+                tuples.to_string(),
+                DENSITY_LABELS[i].to_string(),
+                buckets[0].to_string(),
+                buckets[1].to_string(),
+                buckets[2].to_string(),
+                buckets[3].to_string(),
+            ]);
+        }
+    }
+    println!();
+    println!("Expected shape (paper): the count drops sharply with the component size —");
+    println!("single-placeholder components dominate, size-2 components are two to three");
+    println!("orders of magnitude rarer, and larger components are almost absent.");
+}

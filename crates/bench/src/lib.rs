@@ -1,0 +1,100 @@
+//! # ws-bench — benchmark harness for the paper's evaluation section
+//!
+//! One benchmark target per evaluation figure (see DESIGN.md §3 and
+//! EXPERIMENTS.md), plus ablation benches.  The helpers in this library crate
+//! are shared by the individual `benches/*.rs` harnesses: scenario grids,
+//! timing utilities and table printing.
+
+use std::time::{Duration, Instant};
+use ws_census::CensusScenario;
+
+/// The default tuple counts of the scaled-down sweep (the paper sweeps
+/// 0.1M–12.5M tuples on a 32 GB server; see DESIGN.md for the substitution).
+pub const DEFAULT_SIZES: [usize; 5] = [1_000, 5_000, 10_000, 20_000, 50_000];
+
+/// The densities of the paper's evaluation (0.005% … 0.1%).
+pub const DENSITIES: [f64; 4] = ws_census::PAPER_DENSITIES;
+
+/// Labels matching [`DENSITIES`].
+pub const DENSITY_LABELS: [&str; 4] = ws_census::PAPER_DENSITY_LABELS;
+
+/// Read the benchmark tuple counts from the `WS_BENCH_SIZES` environment
+/// variable (comma-separated), falling back to [`DEFAULT_SIZES`].
+pub fn bench_sizes() -> Vec<usize> {
+    match std::env::var("WS_BENCH_SIZES") {
+        Ok(raw) => {
+            let parsed: Vec<usize> = raw
+                .split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect();
+            if parsed.is_empty() {
+                DEFAULT_SIZES.to_vec()
+            } else {
+                parsed
+            }
+        }
+        Err(_) => DEFAULT_SIZES.to_vec(),
+    }
+}
+
+/// The scenario grid: every size × density combination with a fixed seed.
+pub fn scenario_grid() -> Vec<(CensusScenario, &'static str)> {
+    let mut out = Vec::new();
+    for &tuples in &bench_sizes() {
+        for (i, &density) in DENSITIES.iter().enumerate() {
+            out.push((
+                CensusScenario::new(tuples, density, 0xC0FFEE),
+                DENSITY_LABELS[i],
+            ));
+        }
+    }
+    out
+}
+
+/// Time a closure once, returning its result and the elapsed wall-clock time.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Format a duration in seconds with three decimal places.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Print a Markdown-ish table row.
+pub fn print_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Print a Markdown-ish table header with a separator line.
+pub fn print_header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!("|{}|", cells.iter().map(|_| " --- ").collect::<Vec<_>>().join("|"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_fall_back_to_defaults() {
+        // The environment variable is unlikely to be set during unit tests;
+        // either way the result must be non-empty and sorted ascending-ish.
+        let sizes = bench_sizes();
+        assert!(!sizes.is_empty());
+        let grid = scenario_grid();
+        assert_eq!(grid.len(), sizes.len() * DENSITIES.len());
+    }
+
+    #[test]
+    fn timing_and_formatting_helpers() {
+        let (value, elapsed) = time_once(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(elapsed.as_secs_f64() >= 0.0);
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500");
+        print_header(&["a", "b"]);
+        print_row(&["1".into(), "2".into()]);
+    }
+}

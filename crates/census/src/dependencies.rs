@@ -1,0 +1,76 @@
+//! The twelve equality-generating dependencies of Figure 25.
+//!
+//! These are real-life constraints on the census data: e.g. citizens born in
+//! the USA are not immigrants (1), and citizens who served in the second
+//! world war must have done their military service (5).
+
+use crate::schema::RELATION_NAME;
+use ws_core::chase::{Dependency, EqualityGeneratingDependency};
+use ws_relational::CmpOp;
+
+/// The 12 dependencies of Figure 25, in the paper's order.
+pub fn census_dependencies() -> Vec<Dependency> {
+    census_egds().into_iter().map(Dependency::Egd).collect()
+}
+
+/// The same dependencies as plain EGDs.
+pub fn census_egds() -> Vec<EqualityGeneratingDependency> {
+    let r = RELATION_NAME;
+    vec![
+        // 1: CITIZEN = 0 ⇒ IMMIGR = 0
+        EqualityGeneratingDependency::implies(r, "CITIZEN", 0i64, "IMMIGR", CmpOp::Eq, 0i64),
+        // 2: FEB55 = 1 ⇒ MILITARY ≠ 4
+        EqualityGeneratingDependency::implies(r, "FEB55", 1i64, "MILITARY", CmpOp::Ne, 4i64),
+        // 3: KOREAN = 1 ⇒ MILITARY ≠ 4
+        EqualityGeneratingDependency::implies(r, "KOREAN", 1i64, "MILITARY", CmpOp::Ne, 4i64),
+        // 4: VIETNAM = 1 ⇒ MILITARY ≠ 4
+        EqualityGeneratingDependency::implies(r, "VIETNAM", 1i64, "MILITARY", CmpOp::Ne, 4i64),
+        // 5: WWII = 1 ⇒ MILITARY ≠ 4
+        EqualityGeneratingDependency::implies(r, "WWII", 1i64, "MILITARY", CmpOp::Ne, 4i64),
+        // 6: MARITAL = 0 ⇒ RSPOUSE ≠ 6
+        EqualityGeneratingDependency::implies(r, "MARITAL", 0i64, "RSPOUSE", CmpOp::Ne, 6i64),
+        // 7: MARITAL = 0 ⇒ RSPOUSE ≠ 5
+        EqualityGeneratingDependency::implies(r, "MARITAL", 0i64, "RSPOUSE", CmpOp::Ne, 5i64),
+        // 8: LANG1 = 2 ⇒ ENGLISH ≠ 4
+        EqualityGeneratingDependency::implies(r, "LANG1", 2i64, "ENGLISH", CmpOp::Ne, 4i64),
+        // 9: RPOB = 52 ⇒ CITIZEN ≠ 0
+        EqualityGeneratingDependency::implies(r, "RPOB", 52i64, "CITIZEN", CmpOp::Ne, 0i64),
+        // 10: SCHOOL = 0 ⇒ KOREAN ≠ 1
+        EqualityGeneratingDependency::implies(r, "SCHOOL", 0i64, "KOREAN", CmpOp::Ne, 1i64),
+        // 11: SCHOOL = 0 ⇒ FEB55 ≠ 1
+        EqualityGeneratingDependency::implies(r, "SCHOOL", 0i64, "FEB55", CmpOp::Ne, 1i64),
+        // 12: SCHOOL = 0 ⇒ WWII ≠ 1
+        EqualityGeneratingDependency::implies(r, "SCHOOL", 0i64, "WWII", CmpOp::Ne, 1i64),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::attribute;
+
+    #[test]
+    fn twelve_dependencies_over_known_attributes() {
+        let deps = census_egds();
+        assert_eq!(deps.len(), 12);
+        for egd in &deps {
+            assert_eq!(egd.relation, RELATION_NAME);
+            for attr in egd.attrs() {
+                assert!(attribute(attr).is_some(), "unknown attribute {attr}");
+            }
+        }
+        assert_eq!(census_dependencies().len(), 12);
+    }
+
+    #[test]
+    fn first_dependency_is_the_citizen_immigration_rule() {
+        let deps = census_egds();
+        let shown = deps[0].to_string();
+        assert!(shown.contains("CITIZEN=0"));
+        assert!(shown.contains("IMMIGR=0"));
+        // Dependency 5 is the WWII rule the paper spells out.
+        let shown = deps[4].to_string();
+        assert!(shown.contains("WWII=1"));
+        assert!(shown.contains("MILITARY!=4"));
+    }
+}

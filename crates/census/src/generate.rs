@@ -1,0 +1,162 @@
+//! Synthetic census data generation.
+//!
+//! The generator produces a seeded, reproducible relation with the schema of
+//! [`crate::schema`] whose base data *satisfies the twelve dependencies of
+//! Figure 25*: the paper's experiments introduce uncertainty (or-sets) into
+//! otherwise clean data and then measure the cost of cleaning that
+//! uncertainty away, so the certain part of the data must be consistent to
+//! begin with.
+
+use crate::dependencies::census_egds;
+use crate::schema::{census_schema, ATTRIBUTES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ws_relational::{Relation, Tuple, Value};
+
+/// Generate `tuples` census rows with the given RNG seed.
+///
+/// Values are drawn uniformly from each attribute's domain and then repaired
+/// (by a bounded fix-point pass over the dependencies) so that every row
+/// satisfies all twelve EGDs of Figure 25.
+pub fn generate_census(tuples: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = census_schema();
+    let egds = census_egds();
+    // Pre-resolve attribute positions for the repair step.
+    let resolved: Vec<(Vec<(usize, ws_core::chase::AttrComparison)>, usize, ws_core::chase::AttrComparison)> =
+        egds.iter()
+            .map(|egd| {
+                let body = egd
+                    .body
+                    .iter()
+                    .map(|atom| (schema.position(&atom.attr).unwrap(), atom.clone()))
+                    .collect();
+                let head_pos = schema.position(&egd.head.attr).unwrap();
+                (body, head_pos, egd.head.clone())
+            })
+            .collect();
+
+    let mut relation = Relation::new(schema);
+    for _ in 0..tuples {
+        let mut values: Vec<i64> = ATTRIBUTES
+            .iter()
+            .map(|a| rng.gen_range(a.domain()))
+            .collect();
+        repair_row(&mut values, &resolved, &mut rng);
+        relation
+            .push(Tuple::from_iter(values))
+            .expect("generated row matches the schema arity");
+    }
+    relation
+}
+
+/// Repair one row until it satisfies every dependency (bounded fix-point).
+fn repair_row(
+    values: &mut [i64],
+    egds: &[(Vec<(usize, ws_core::chase::AttrComparison)>, usize, ws_core::chase::AttrComparison)],
+    rng: &mut StdRng,
+) {
+    for _ in 0..8 {
+        let mut changed = false;
+        for (body, head_pos, head) in egds {
+            let body_holds = body
+                .iter()
+                .all(|(pos, atom)| atom.eval(&Value::Int(values[*pos])));
+            if body_holds && !head.eval(&Value::Int(values[*head_pos])) {
+                values[*head_pos] = satisfying_value(head, rng);
+                changed = true;
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+    debug_assert!(
+        egds.iter().all(|(body, head_pos, head)| {
+            !body
+                .iter()
+                .all(|(pos, atom)| atom.eval(&Value::Int(values[*pos])))
+                || head.eval(&Value::Int(values[*head_pos]))
+        }),
+        "dependency repair did not converge"
+    );
+}
+
+/// A domain value satisfying a head atom.
+fn satisfying_value(head: &ws_core::chase::AttrComparison, rng: &mut StdRng) -> i64 {
+    let domain = crate::schema::domain_size(&head.attr);
+    let target = head.value.as_int().expect("census constants are integers");
+    match head.op {
+        ws_relational::CmpOp::Eq => target,
+        ws_relational::CmpOp::Ne => {
+            let mut v = rng.gen_range(0..domain);
+            if v == target {
+                v = (v + 1) % domain;
+            }
+            v
+        }
+        ws_relational::CmpOp::Lt => rng.gen_range(0..target),
+        ws_relational::CmpOp::Le => rng.gen_range(0..=target),
+        ws_relational::CmpOp::Gt => rng.gen_range(target + 1..domain),
+        ws_relational::CmpOp::Ge => rng.gen_range(target..domain),
+    }
+}
+
+/// Check whether a relation satisfies all census dependencies (used in tests
+/// and as a sanity check by the benchmark harness).
+pub fn satisfies_dependencies(relation: &Relation) -> bool {
+    let egds = census_egds();
+    relation.rows().iter().all(|row| {
+        egds.iter().all(|egd| {
+            let body_holds = egd.body.iter().all(|atom| {
+                let pos = relation.schema().position(&atom.attr).unwrap();
+                atom.eval(&row[pos])
+            });
+            let head_pos = relation.schema().position(&egd.head.attr).unwrap();
+            !body_holds || egd.head.eval(&row[head_pos])
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_seeded_and_well_formed() {
+        let a = generate_census(200, 42);
+        let b = generate_census(200, 42);
+        let c = generate_census(200, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 200);
+        assert_eq!(a.schema().arity(), 50);
+    }
+
+    #[test]
+    fn generated_data_satisfies_the_dependencies() {
+        let relation = generate_census(500, 7);
+        assert!(satisfies_dependencies(&relation));
+    }
+
+    #[test]
+    fn values_stay_within_their_domains() {
+        let relation = generate_census(300, 11);
+        for row in relation.rows() {
+            for (i, attr) in ATTRIBUTES.iter().enumerate() {
+                let v = row[i].as_int().unwrap();
+                assert!(attr.domain().contains(&v), "{} = {v} out of domain", attr.name);
+            }
+        }
+    }
+
+    #[test]
+    fn violations_are_detected() {
+        let mut relation = generate_census(10, 3);
+        let citizen = relation.schema().position("CITIZEN").unwrap();
+        let immigr = relation.schema().position("IMMIGR").unwrap();
+        relation.rows_mut()[0].set(citizen, Value::int(0));
+        relation.rows_mut()[0].set(immigr, Value::int(5));
+        assert!(!satisfies_dependencies(&relation));
+    }
+}

@@ -1,0 +1,30 @@
+//! # ws-census — the census workload of the paper's evaluation (§9)
+//!
+//! The paper evaluates UWSDTs on the IPUMS 1990 5% census extract: a
+//! 50-attribute multiple-choice relation with up to 12.5 million tuples,
+//! made uncertain by replacing a small fraction of fields with or-sets and
+//! cleaned with twelve real-life dependencies.  This crate provides a
+//! faithful synthetic stand-in (see DESIGN.md for the substitution
+//! rationale):
+//!
+//! * [`schema`] — the 50-attribute schema with IPUMS-like domains,
+//! * [`generate`] — a seeded generator producing dependency-consistent data,
+//! * [`noise`] — or-set noise injection at the paper's densities,
+//! * [`dependencies`] — the 12 EGDs of Figure 25,
+//! * [`queries`] — the queries Q1–Q6 of Figure 29, and
+//! * [`workload`] — end-to-end scenario helpers (dirty / chased UWSDTs and
+//!   the single-world baseline).
+
+pub mod dependencies;
+pub mod generate;
+pub mod noise;
+pub mod queries;
+pub mod schema;
+pub mod workload;
+
+pub use dependencies::{census_dependencies, census_egds};
+pub use generate::{generate_census, satisfies_dependencies};
+pub use noise::{add_noise, average_or_set_size, PAPER_DENSITIES, PAPER_DENSITY_LABELS};
+pub use queries::{all_queries, q1, q2, q3, q4, q5, q6};
+pub use schema::{census_schema, CensusAttribute, ATTRIBUTES, ATTRIBUTE_COUNT, RELATION_NAME};
+pub use workload::CensusScenario;

@@ -1,0 +1,137 @@
+//! Or-set noise injection (§9, "Adding Incompleteness").
+//!
+//! The paper replaces a fraction (the *density*: 0.005%–0.1%) of the census
+//! fields by or-sets whose size is drawn uniformly from
+//! `[2, min(8, domain_size)]` (measured average ≈ 3.5 values per or-set).
+//! The original value is always among the alternatives, so the uncertain
+//! database still contains the original clean world.
+
+use crate::schema::ATTRIBUTES;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use ws_relational::{Relation, Value};
+use ws_uwsdt::OrField;
+
+/// The maximum or-set size used by the paper.
+pub const MAX_OR_SET_SIZE: i64 = 8;
+
+/// Replace `density` of the fields of `base` by or-sets.
+///
+/// `density` is a fraction of the total number of fields (e.g. `0.001` for
+/// the paper's "0.1%" scenario).  Returns the noisy fields in a deterministic
+/// (seeded) order; the base relation itself is not modified.
+pub fn add_noise(base: &Relation, density: f64, seed: u64) -> Vec<OrField> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tuples = base.len();
+    let attrs = base.schema().arity();
+    let total_fields = tuples * attrs;
+    let noisy_fields = ((total_fields as f64) * density).round() as usize;
+    if noisy_fields == 0 || total_fields == 0 {
+        return Vec::new();
+    }
+    // Choose distinct field positions.
+    let mut chosen = std::collections::BTreeSet::new();
+    while chosen.len() < noisy_fields.min(total_fields) {
+        let t = rng.gen_range(0..tuples);
+        let a = rng.gen_range(0..attrs);
+        chosen.insert((t, a));
+    }
+    let mut out = Vec::with_capacity(chosen.len());
+    for (t, a) in chosen {
+        let attr = &ATTRIBUTES[a];
+        let original = base.rows()[t][a]
+            .as_int()
+            .expect("census fields are integer-coded");
+        let max_size = MAX_OR_SET_SIZE.min(attr.domain_size) as usize;
+        let size = rng.gen_range(2..=max_size.max(2));
+        // Alternatives: the original value plus distinct random other codes.
+        let mut others: Vec<i64> = attr.domain().filter(|v| *v != original).collect();
+        others.shuffle(&mut rng);
+        let mut values: Vec<Value> = vec![Value::Int(original)];
+        values.extend(others.into_iter().take(size - 1).map(Value::Int));
+        out.push(OrField::uniform(t, attr.name, values));
+    }
+    out
+}
+
+/// The density scenarios of the paper's evaluation, as fractions.
+pub const PAPER_DENSITIES: [f64; 4] = [0.00005, 0.0001, 0.0005, 0.001];
+
+/// Human-readable labels for [`PAPER_DENSITIES`] ("0.005%" … "0.1%").
+pub const PAPER_DENSITY_LABELS: [&str; 4] = ["0.005%", "0.01%", "0.05%", "0.1%"];
+
+/// Average or-set size of a noise set (the paper reports ≈ 3.5).
+pub fn average_or_set_size(noise: &[OrField]) -> f64 {
+    if noise.is_empty() {
+        return 0.0;
+    }
+    noise.iter().map(|f| f.alternatives.len()).sum::<usize>() as f64 / noise.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate_census;
+
+    #[test]
+    fn noise_volume_matches_the_density() {
+        let base = generate_census(1000, 1);
+        let noise = add_noise(&base, 0.001, 2);
+        // 1000 tuples × 50 attributes × 0.1% = 50 noisy fields.
+        assert_eq!(noise.len(), 50);
+        let sparse = add_noise(&base, 0.00005, 2);
+        assert_eq!(sparse.len(), 3); // rounded from 2.5
+        assert!(add_noise(&base, 0.0, 2).is_empty());
+    }
+
+    #[test]
+    fn noise_is_seeded_and_distinct() {
+        let base = generate_census(500, 1);
+        let a = add_noise(&base, 0.001, 7);
+        let b = add_noise(&base, 0.001, 7);
+        let c = add_noise(&base, 0.001, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut positions: Vec<(usize, String)> =
+            a.iter().map(|f| (f.tuple, f.attr.clone())).collect();
+        positions.sort();
+        positions.dedup();
+        assert_eq!(positions.len(), a.len());
+    }
+
+    #[test]
+    fn or_sets_contain_the_original_value_and_respect_domains() {
+        let base = generate_census(400, 3);
+        let noise = add_noise(&base, 0.002, 4);
+        assert!(!noise.is_empty());
+        for field in &noise {
+            let pos = base.schema().position(&field.attr).unwrap();
+            let original = &base.rows()[field.tuple][pos];
+            let values: Vec<&Value> = field.alternatives.iter().map(|(v, _)| v).collect();
+            assert!(values.contains(&original));
+            let domain = crate::schema::domain_size(&field.attr);
+            assert!(field.alternatives.len() >= 2);
+            assert!(field.alternatives.len() as i64 <= MAX_OR_SET_SIZE.min(domain));
+            for (v, p) in &field.alternatives {
+                assert!((0..domain).contains(&v.as_int().unwrap()));
+                assert!(*p > 0.0 && *p <= 0.5 + 1e-9);
+            }
+            // Distinct alternatives.
+            let mut distinct = values.clone();
+            distinct.sort();
+            distinct.dedup();
+            assert_eq!(distinct.len(), field.alternatives.len());
+        }
+        let avg = average_or_set_size(&noise);
+        assert!(avg >= 2.0 && avg <= 8.0);
+        assert_eq!(average_or_set_size(&[]), 0.0);
+    }
+
+    #[test]
+    fn paper_densities_are_consistent_with_labels() {
+        assert_eq!(PAPER_DENSITIES.len(), PAPER_DENSITY_LABELS.len());
+        assert!((PAPER_DENSITIES[3] - 0.001).abs() < 1e-12);
+        assert_eq!(PAPER_DENSITY_LABELS[0], "0.005%");
+    }
+}

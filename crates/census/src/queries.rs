@@ -1,0 +1,127 @@
+//! The six census queries of Figure 29.
+//!
+//! * `Q1` — US citizens with a PhD degree (selective).
+//! * `Q2` — place of work of non-citizens that do not speak English well.
+//! * `Q3` — widows with more than three children living in their birth state.
+//! * `Q4` — married persons with no children (very unselective).
+//! * `Q5` — join of (renamed) `Q2` and `Q3` restricted to states with IPUMS
+//!   index greater than 50.
+//! * `Q6` — places of birth and work of persons speaking English well.
+
+use crate::schema::RELATION_NAME;
+use ws_relational::{CmpOp, Predicate, RaExpr};
+
+/// `Q1 := σ_{YEARSCH=17 ∧ CITIZEN=0}(R)`.
+pub fn q1() -> RaExpr {
+    RaExpr::rel(RELATION_NAME).select(Predicate::and(vec![
+        Predicate::eq_const("YEARSCH", 17i64),
+        Predicate::eq_const("CITIZEN", 0i64),
+    ]))
+}
+
+/// `Q2 := π_{POWSTATE,CITIZEN,IMMIGR}(σ_{CITIZEN≠0 ∧ ENGLISH>3}(R))`.
+pub fn q2() -> RaExpr {
+    RaExpr::rel(RELATION_NAME)
+        .select(Predicate::and(vec![
+            Predicate::cmp_const("CITIZEN", CmpOp::Ne, 0i64),
+            Predicate::cmp_const("ENGLISH", CmpOp::Gt, 3i64),
+        ]))
+        .project(vec!["POWSTATE", "CITIZEN", "IMMIGR"])
+}
+
+/// `Q3 := π_{POWSTATE,MARITAL,FERTIL}(σ_{POWSTATE=POB}(σ_{FERTIL>4 ∧ MARITAL=1}(R)))`.
+pub fn q3() -> RaExpr {
+    RaExpr::rel(RELATION_NAME)
+        .select(Predicate::and(vec![
+            Predicate::cmp_const("FERTIL", CmpOp::Gt, 4i64),
+            Predicate::eq_const("MARITAL", 1i64),
+        ]))
+        .select(Predicate::cmp_attr("POWSTATE", CmpOp::Eq, "POB"))
+        .project(vec!["POWSTATE", "MARITAL", "FERTIL"])
+}
+
+/// `Q4 := σ_{FERTIL=1 ∧ (RSPOUSE=1 ∨ RSPOUSE=2)}(R)`.
+pub fn q4() -> RaExpr {
+    RaExpr::rel(RELATION_NAME).select(Predicate::and(vec![
+        Predicate::eq_const("FERTIL", 1i64),
+        Predicate::or(vec![
+            Predicate::eq_const("RSPOUSE", 1i64),
+            Predicate::eq_const("RSPOUSE", 2i64),
+        ]),
+    ]))
+}
+
+/// `Q5 := δ_{POWSTATE→P1}(σ_{POWSTATE>50}(Q2)) ⋈_{P1=P2} δ_{POWSTATE→P2}(σ_{POWSTATE>50}(Q3))`.
+pub fn q5() -> RaExpr {
+    let left = q2()
+        .select(Predicate::cmp_const("POWSTATE", CmpOp::Gt, 50i64))
+        .rename("POWSTATE", "P1");
+    let right = q3()
+        .select(Predicate::cmp_const("POWSTATE", CmpOp::Gt, 50i64))
+        .rename("POWSTATE", "P2");
+    left.join(right, Predicate::cmp_attr("P1", CmpOp::Eq, "P2"))
+}
+
+/// `Q6 := π_{POWSTATE,POB}(σ_{ENGLISH=3}(R))`.
+pub fn q6() -> RaExpr {
+    RaExpr::rel(RELATION_NAME)
+        .select(Predicate::eq_const("ENGLISH", 3i64))
+        .project(vec!["POWSTATE", "POB"])
+}
+
+/// All six queries with their paper labels, in order.
+pub fn all_queries() -> Vec<(&'static str, RaExpr)> {
+    vec![
+        ("Q1", q1()),
+        ("Q2", q2()),
+        ("Q3", q3()),
+        ("Q4", q4()),
+        ("Q5", q5()),
+        ("Q6", q6()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate_census;
+    use ws_relational::{evaluate_set, Database};
+
+    #[test]
+    fn all_queries_reference_only_the_census_relation() {
+        for (label, q) in all_queries() {
+            assert_eq!(q.base_relations(), vec![RELATION_NAME], "{label}");
+            assert!(q.node_count() >= 2, "{label} should not be a bare scan");
+        }
+    }
+
+    #[test]
+    fn queries_evaluate_on_one_world_and_are_selective() {
+        let relation = generate_census(3000, 5);
+        let mut db = Database::new();
+        db.insert_relation(relation);
+        let full = 3000usize;
+        for (label, q) in all_queries() {
+            let out = evaluate_set(&db, &q).unwrap();
+            assert!(
+                out.len() < full,
+                "{label} should be selective, got {} rows",
+                out.len()
+            );
+        }
+        // Q4 is the least selective of the single-relation queries.
+        let q4_len = evaluate_set(&db, &q4()).unwrap().len();
+        let q1_len = evaluate_set(&db, &q1()).unwrap().len();
+        assert!(q4_len > q1_len);
+        // Q2, Q3 and Q6 project onto the expected schemas.
+        let q2_out = evaluate_set(&db, &q2()).unwrap();
+        assert_eq!(q2_out.schema().arity(), 3);
+        let q6_out = evaluate_set(&db, &q6()).unwrap();
+        assert_eq!(q6_out.schema().arity(), 2);
+        // Q5's schema concatenates both renamed sides.
+        let q5_out = evaluate_set(&db, &q5()).unwrap();
+        assert!(q5_out.schema().contains("P1"));
+        assert!(q5_out.schema().contains("P2"));
+        assert_eq!(q5_out.schema().arity(), 6);
+    }
+}

@@ -1,0 +1,158 @@
+//! The IPUMS-like census schema.
+//!
+//! The paper's evaluation uses the public 5% extract of the 1990 US census
+//! (IPUMS): a single relation with 50 exclusively multiple-choice attributes.
+//! That data set cannot be redistributed here, so this module defines a
+//! synthetic schema with the same shape: every attribute the paper's
+//! dependencies (Fig. 25) and queries (Fig. 29) mention, with domain sizes
+//! matching the IPUMS code books, padded with filler multiple-choice
+//! attributes up to 50 columns.
+
+use ws_relational::Schema;
+
+/// One census attribute: its name and the size of its categorical domain
+/// (codes `0 .. domain_size-1`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CensusAttribute {
+    /// The attribute name (IPUMS variable name where applicable).
+    pub name: &'static str,
+    /// Number of codes in the attribute's domain.
+    pub domain_size: i64,
+}
+
+impl CensusAttribute {
+    /// The domain of the attribute as the code range `0 .. domain_size`.
+    pub fn domain(&self) -> std::ops::Range<i64> {
+        0..self.domain_size
+    }
+}
+
+/// Number of attributes of the census relation (as in the paper).
+pub const ATTRIBUTE_COUNT: usize = 50;
+
+/// The attributes referenced by the paper's dependencies and queries,
+/// followed by filler attributes up to [`ATTRIBUTE_COUNT`].
+pub const ATTRIBUTES: [CensusAttribute; ATTRIBUTE_COUNT] = [
+    CensusAttribute { name: "CITIZEN", domain_size: 5 },
+    CensusAttribute { name: "IMMIGR", domain_size: 11 },
+    CensusAttribute { name: "FEB55", domain_size: 2 },
+    CensusAttribute { name: "KOREAN", domain_size: 2 },
+    CensusAttribute { name: "VIETNAM", domain_size: 2 },
+    CensusAttribute { name: "WWII", domain_size: 2 },
+    CensusAttribute { name: "MILITARY", domain_size: 5 },
+    CensusAttribute { name: "MARITAL", domain_size: 5 },
+    CensusAttribute { name: "RSPOUSE", domain_size: 7 },
+    CensusAttribute { name: "LANG1", domain_size: 3 },
+    CensusAttribute { name: "ENGLISH", domain_size: 5 },
+    CensusAttribute { name: "RPOB", domain_size: 53 },
+    CensusAttribute { name: "SCHOOL", domain_size: 3 },
+    CensusAttribute { name: "YEARSCH", domain_size: 18 },
+    CensusAttribute { name: "POWSTATE", domain_size: 57 },
+    CensusAttribute { name: "POB", domain_size: 57 },
+    CensusAttribute { name: "FERTIL", domain_size: 14 },
+    CensusAttribute { name: "SEX", domain_size: 2 },
+    CensusAttribute { name: "AGE", domain_size: 91 },
+    CensusAttribute { name: "RACE", domain_size: 10 },
+    CensusAttribute { name: "HISPANIC", domain_size: 4 },
+    CensusAttribute { name: "DISABL1", domain_size: 3 },
+    CensusAttribute { name: "DISABL2", domain_size: 3 },
+    CensusAttribute { name: "MOBILITY", domain_size: 3 },
+    CensusAttribute { name: "PERSCARE", domain_size: 3 },
+    CensusAttribute { name: "CLASS", domain_size: 10 },
+    CensusAttribute { name: "HOURS", domain_size: 99 },
+    CensusAttribute { name: "LOOKING", domain_size: 3 },
+    CensusAttribute { name: "AVAIL", domain_size: 5 },
+    CensusAttribute { name: "TMPABSNT", domain_size: 4 },
+    CensusAttribute { name: "WORK89", domain_size: 3 },
+    CensusAttribute { name: "YEARWRK", domain_size: 8 },
+    CensusAttribute { name: "INDUSTRY", domain_size: 13 },
+    CensusAttribute { name: "OCCUP", domain_size: 26 },
+    CensusAttribute { name: "MEANS", domain_size: 13 },
+    CensusAttribute { name: "RIDERS", domain_size: 8 },
+    CensusAttribute { name: "DEPART", domain_size: 24 },
+    CensusAttribute { name: "TRAVTIME", domain_size: 99 },
+    CensusAttribute { name: "ROOMS", domain_size: 10 },
+    CensusAttribute { name: "TENURE", domain_size: 5 },
+    CensusAttribute { name: "VALUE", domain_size: 21 },
+    CensusAttribute { name: "RENT", domain_size: 17 },
+    CensusAttribute { name: "VEHICLES", domain_size: 8 },
+    CensusAttribute { name: "FUEL", domain_size: 9 },
+    CensusAttribute { name: "WATER", domain_size: 5 },
+    CensusAttribute { name: "SEWAGE", domain_size: 4 },
+    CensusAttribute { name: "YRBUILT", domain_size: 8 },
+    CensusAttribute { name: "BEDROOMS", domain_size: 6 },
+    CensusAttribute { name: "PLUMBING", domain_size: 3 },
+    CensusAttribute { name: "KITCHEN", domain_size: 3 },
+];
+
+/// The name of the census relation.
+pub const RELATION_NAME: &str = "R";
+
+/// The relational schema of the census relation.
+pub fn census_schema() -> Schema {
+    let names: Vec<&str> = ATTRIBUTES.iter().map(|a| a.name).collect();
+    Schema::new(RELATION_NAME, &names).expect("census attribute names are unique")
+}
+
+/// Look up one attribute's metadata by name.
+pub fn attribute(name: &str) -> Option<&'static CensusAttribute> {
+    ATTRIBUTES.iter().find(|a| a.name == name)
+}
+
+/// The domain size of an attribute (panics on unknown attributes; the
+/// attribute list is a compile-time constant).
+pub fn domain_size(name: &str) -> i64 {
+    attribute(name)
+        .unwrap_or_else(|| panic!("unknown census attribute `{name}`"))
+        .domain_size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn fifty_distinct_attributes() {
+        assert_eq!(ATTRIBUTES.len(), 50);
+        let names: BTreeSet<&str> = ATTRIBUTES.iter().map(|a| a.name).collect();
+        assert_eq!(names.len(), 50);
+        assert!(ATTRIBUTES.iter().all(|a| a.domain_size >= 2));
+    }
+
+    #[test]
+    fn schema_matches_attribute_list() {
+        let schema = census_schema();
+        assert_eq!(schema.arity(), 50);
+        assert_eq!(schema.relation().as_ref(), "R");
+        assert_eq!(schema.position("CITIZEN"), Some(0));
+        assert!(schema.contains("POWSTATE"));
+    }
+
+    #[test]
+    fn referenced_attributes_exist_with_expected_domains() {
+        for (name, minimum) in [
+            ("CITIZEN", 5),
+            ("IMMIGR", 11),
+            ("MILITARY", 5),
+            ("MARITAL", 5),
+            ("RSPOUSE", 7),
+            ("ENGLISH", 5),
+            ("RPOB", 53),
+            ("YEARSCH", 18),
+            ("POWSTATE", 57),
+            ("POB", 57),
+            ("FERTIL", 14),
+        ] {
+            assert!(domain_size(name) >= minimum, "{name} domain too small");
+        }
+        assert!(attribute("NOPE").is_none());
+        assert_eq!(attribute("SEX").unwrap().domain(), 0..2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown census attribute")]
+    fn unknown_attribute_panics() {
+        domain_size("NOPE");
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end census workload helpers used by examples, integration tests and
+//! the benchmark harness: generate the base data, inject or-set noise, load
+//! the UWSDT and clean it with the chase of Figure 25's dependencies.
+
+use crate::dependencies::census_dependencies;
+use crate::generate::generate_census;
+use crate::noise::add_noise;
+use crate::schema::RELATION_NAME;
+use ws_relational::{Database, Relation};
+use ws_uwsdt::{from_or_relation, OrField, Result, Uwsdt};
+
+/// Parameters of one census scenario.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CensusScenario {
+    /// Number of tuples of the census relation.
+    pub tuples: usize,
+    /// Fraction of fields replaced by or-sets (e.g. `0.001` for 0.1%).
+    pub density: f64,
+    /// RNG seed (data and noise are both derived from it).
+    pub seed: u64,
+}
+
+impl CensusScenario {
+    /// A new scenario.
+    pub fn new(tuples: usize, density: f64, seed: u64) -> Self {
+        CensusScenario {
+            tuples,
+            density,
+            seed,
+        }
+    }
+
+    /// The clean base relation of the scenario.
+    pub fn base_relation(&self) -> Relation {
+        generate_census(self.tuples, self.seed)
+    }
+
+    /// The base relation wrapped in a single-world database (the 0% density
+    /// baseline of Figure 30).
+    pub fn one_world(&self) -> Database {
+        let mut db = Database::new();
+        db.insert_relation(self.base_relation());
+        db
+    }
+
+    /// The or-set noise of the scenario.
+    pub fn noise(&self) -> Vec<OrField> {
+        add_noise(&self.base_relation(), self.density, self.seed.wrapping_add(1))
+    }
+
+    /// The *uncleaned* UWSDT: base data plus independent or-set placeholders.
+    pub fn dirty_uwsdt(&self) -> Result<Uwsdt> {
+        let base = self.base_relation();
+        let noise = add_noise(&base, self.density, self.seed.wrapping_add(1));
+        from_or_relation(&base, &noise)
+    }
+
+    /// The cleaned UWSDT: the dirty UWSDT after chasing the 12 dependencies
+    /// of Figure 25.
+    pub fn chased_uwsdt(&self) -> Result<Uwsdt> {
+        let mut uwsdt = self.dirty_uwsdt()?;
+        ws_uwsdt::chase::chase(&mut uwsdt, &census_dependencies())?;
+        Ok(uwsdt)
+    }
+
+    /// Number of fields in the relation (tuples × attributes).
+    pub fn total_fields(&self) -> usize {
+        self.tuples * crate::schema::ATTRIBUTE_COUNT
+    }
+}
+
+/// The name of the census relation (re-exported for convenience).
+pub fn relation_name() -> &'static str {
+    RELATION_NAME
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ws_uwsdt::stats_for;
+
+    #[test]
+    fn dirty_and_chased_uwsdts_are_well_formed() {
+        let scenario = CensusScenario::new(400, 0.002, 99);
+        let dirty = scenario.dirty_uwsdt().unwrap();
+        dirty.validate().unwrap();
+        let dirty_stats = stats_for(&dirty, RELATION_NAME).unwrap();
+        assert_eq!(dirty_stats.template_rows, 400);
+        assert_eq!(dirty_stats.placeholders, scenario.noise().len());
+        assert_eq!(dirty_stats.components, dirty_stats.placeholders);
+        assert_eq!(dirty_stats.components_multi, 0);
+
+        let chased = scenario.chased_uwsdt().unwrap();
+        chased.validate().unwrap();
+        let chased_stats = stats_for(&chased, RELATION_NAME).unwrap();
+        // Chasing never adds placeholders; it may merge components and drop
+        // local worlds, so |C| can only shrink.
+        assert_eq!(chased_stats.placeholders, dirty_stats.placeholders);
+        assert!(chased_stats.components <= dirty_stats.components);
+        assert!(chased_stats.c_size <= dirty_stats.c_size);
+        assert_eq!(chased_stats.template_rows, 400);
+    }
+
+    #[test]
+    fn chased_worlds_satisfy_the_dependencies() {
+        // Small enough that the worlds can be enumerated.
+        let scenario = CensusScenario::new(40, 0.002, 3);
+        let chased = scenario.chased_uwsdt().unwrap();
+        let worlds = chased.enumerate_worlds(100_000).unwrap();
+        assert!(!worlds.is_empty());
+        for (db, _) in worlds {
+            let rel = db.relation(RELATION_NAME).unwrap();
+            assert!(crate::generate::satisfies_dependencies(rel));
+        }
+    }
+
+    #[test]
+    fn scenario_helpers_are_consistent() {
+        let scenario = CensusScenario::new(100, 0.001, 5);
+        assert_eq!(scenario.total_fields(), 5000);
+        assert_eq!(scenario.noise().len(), 5);
+        assert_eq!(scenario.base_relation().len(), 100);
+        assert_eq!(
+            scenario.one_world().relation(RELATION_NAME).unwrap().len(),
+            100
+        );
+        assert_eq!(relation_name(), "R");
+    }
+}

@@ -1,0 +1,693 @@
+//! Chasing dependencies on probabilistic WSDs (§8, Figure 24).
+//!
+//! Data cleaning removes the worlds that violate a set of integrity
+//! constraints.  Two constraint classes are supported, exactly as in the
+//! paper:
+//!
+//! * functional dependencies `A1,…,Am → A0` over a relation, and
+//! * single-tuple equality-generating dependencies
+//!   `A1θ1c1 ∧ … ∧ Amθmcm ⇒ A0θ0c0`.
+//!
+//! Enforcing a dependency (1) composes the components defining the involved
+//! fields, (2) removes the local worlds in which the dependency is violated,
+//! and (3) renormalizes the surviving probabilities.  Unlike the classical
+//! chase on tableaux no fixpoint is needed: enforcing one of these
+//! dependencies cannot introduce new violations of another (§8).  The chase
+//! result does not depend on the order of the dependencies, although the
+//! *size* of the resulting decomposition may (Fig. 23).
+
+use crate::error::{Result, WsError};
+use crate::field::FieldId;
+use crate::wsd::Wsd;
+use std::fmt;
+use ws_relational::{CmpOp, Value};
+
+/// One comparison atom `A θ c` of an equality-generating dependency.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttrComparison {
+    /// The attribute `A`.
+    pub attr: String,
+    /// The comparison operator `θ`.
+    pub op: CmpOp,
+    /// The constant `c`.
+    pub value: Value,
+}
+
+impl AttrComparison {
+    /// Build an atom.
+    pub fn new(attr: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Self {
+        AttrComparison {
+            attr: attr.into(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Evaluate the atom on a field value (undefined comparisons are `false`).
+    pub fn eval(&self, value: &Value) -> bool {
+        self.op.eval(value, &self.value)
+    }
+}
+
+impl fmt::Display for AttrComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}{}", self.attr, self.op, self.value)
+    }
+}
+
+/// A functional dependency `A1,…,Am → B1,…,Bk` over one relation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FunctionalDependency {
+    /// The relation the dependency ranges over.
+    pub relation: String,
+    /// The determinant attributes `A1,…,Am`.
+    pub lhs: Vec<String>,
+    /// The dependent attributes `B1,…,Bk`.
+    pub rhs: Vec<String>,
+}
+
+impl FunctionalDependency {
+    /// Build a functional dependency.
+    pub fn new<S: Into<String>>(
+        relation: impl Into<String>,
+        lhs: Vec<S>,
+        rhs: Vec<S>,
+    ) -> Self {
+        FunctionalDependency {
+            relation: relation.into(),
+            lhs: lhs.into_iter().map(Into::into).collect(),
+            rhs: rhs.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+impl fmt::Display for FunctionalDependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} → {}",
+            self.relation,
+            self.lhs.join(","),
+            self.rhs.join(",")
+        )
+    }
+}
+
+/// A single-tuple equality-generating dependency
+/// `A1θ1c1 ∧ … ∧ Amθmcm ⇒ A0θ0c0` over one relation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EqualityGeneratingDependency {
+    /// The relation the dependency ranges over.
+    pub relation: String,
+    /// The body atoms (conjunction).
+    pub body: Vec<AttrComparison>,
+    /// The head atom.
+    pub head: AttrComparison,
+}
+
+impl EqualityGeneratingDependency {
+    /// Build an EGD.
+    pub fn new(
+        relation: impl Into<String>,
+        body: Vec<AttrComparison>,
+        head: AttrComparison,
+    ) -> Self {
+        EqualityGeneratingDependency {
+            relation: relation.into(),
+            body,
+            head,
+        }
+    }
+
+    /// The implication `A=a ⇒ B θ b` used throughout the census workload.
+    pub fn implies(
+        relation: impl Into<String>,
+        body_attr: impl Into<String>,
+        body_value: impl Into<Value>,
+        head_attr: impl Into<String>,
+        head_op: CmpOp,
+        head_value: impl Into<Value>,
+    ) -> Self {
+        EqualityGeneratingDependency::new(
+            relation,
+            vec![AttrComparison::new(body_attr, CmpOp::Eq, body_value)],
+            AttrComparison::new(head_attr, head_op, head_value),
+        )
+    }
+
+    /// All attributes involved in the dependency (body then head, deduped).
+    pub fn attrs(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.body.iter().map(|a| a.attr.as_str()).collect();
+        out.push(self.head.attr.as_str());
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl fmt::Display for EqualityGeneratingDependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.relation)?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, " ⇒ {}", self.head)
+    }
+}
+
+/// A dependency chased by the data-cleaning procedure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Dependency {
+    /// A functional dependency.
+    Fd(FunctionalDependency),
+    /// A single-tuple equality-generating dependency.
+    Egd(EqualityGeneratingDependency),
+}
+
+impl Dependency {
+    /// The relation the dependency ranges over.
+    pub fn relation(&self) -> &str {
+        match self {
+            Dependency::Fd(fd) => &fd.relation,
+            Dependency::Egd(egd) => &egd.relation,
+        }
+    }
+}
+
+impl fmt::Display for Dependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dependency::Fd(fd) => write!(f, "{fd}"),
+            Dependency::Egd(egd) => write!(f, "{egd}"),
+        }
+    }
+}
+
+/// Chase a set of dependencies on the WSD (Fig. 24).
+///
+/// On success the WSD represents exactly the subset of the original worlds
+/// satisfying every dependency, with probabilities renormalized, and the
+/// returned value is the probability mass of the *original* world-set that
+/// satisfies all dependencies (i.e. `P(ψ)`; the §4 discussion of conditional
+/// probabilities builds on this).  Fails with [`WsError::Inconsistent`] if no
+/// world satisfies the dependencies.
+pub fn chase(wsd: &mut Wsd, dependencies: &[Dependency]) -> Result<f64> {
+    let mut mass = 1.0;
+    for dep in dependencies {
+        mass *= match dep {
+            Dependency::Fd(fd) => chase_fd(wsd, fd)?,
+            Dependency::Egd(egd) => chase_egd(wsd, egd)?,
+        };
+    }
+    Ok(mass)
+}
+
+/// Chase one single-tuple EGD.
+///
+/// Returns the fraction of the input probability mass whose worlds satisfy
+/// the dependency (1.0 when nothing had to be removed).
+pub fn chase_egd(wsd: &mut Wsd, egd: &EqualityGeneratingDependency) -> Result<f64> {
+    let meta = wsd.meta(&egd.relation)?.clone();
+    for a in egd.attrs() {
+        if !meta.attrs.iter().any(|b| b.as_ref() == a) {
+            return Err(WsError::invalid(format!(
+                "dependency attribute `{a}` not in schema of `{}`",
+                egd.relation
+            )));
+        }
+    }
+    let mut survival = 1.0;
+    let tuples: Vec<usize> = meta.live_tuples().collect();
+    for t in tuples {
+        if !egd_possibly_violated(wsd, egd, t)? {
+            continue;
+        }
+        // Compose the components of all involved fields of this tuple, plus
+        // every field of the tuple that may carry ⊥: a tuple that is absent
+        // from a world (any field ⊥, per the inline⁻¹ semantics) cannot
+        // violate the dependency there, and that absence may be recorded in a
+        // field the dependency does not mention.
+        let mut fields: Vec<FieldId> = egd
+            .attrs()
+            .iter()
+            .map(|a| FieldId::new(&egd.relation, t, a))
+            .collect();
+        fields.extend(presence_fields(wsd, &egd.relation, &meta.attrs, t)?);
+        fields.sort();
+        fields.dedup();
+        let presence: Vec<FieldId> = fields.clone();
+        let slot = wsd.compose_fields(&fields)?;
+        let comp = wsd.component_mut(slot)?;
+        let body_positions: Vec<usize> = egd
+            .body
+            .iter()
+            .map(|a| {
+                comp.position(&FieldId::new(&egd.relation, t, a.attr.as_str()))
+                    .expect("composed component defines the body fields")
+            })
+            .collect();
+        let head_position = comp
+            .position(&FieldId::new(&egd.relation, t, egd.head.attr.as_str()))
+            .expect("composed component defines the head field");
+        let presence_positions: Vec<usize> = presence
+            .iter()
+            .map(|f| {
+                comp.position(f)
+                    .expect("composed component defines all presence fields")
+            })
+            .collect();
+        let before = comp.len();
+        let before_mass = comp.total_probability();
+        comp.rows.retain(|row| {
+            // A local world violates the EGD for tuple t iff the tuple is
+            // present (no ⊥ among its fields), the body holds and the head
+            // fails.
+            let involved_present = presence_positions
+                .iter()
+                .all(|&p| !row.values[p].is_bottom());
+            if !involved_present {
+                return true;
+            }
+            let body_holds = egd
+                .body
+                .iter()
+                .zip(&body_positions)
+                .all(|(atom, &p)| atom.eval(&row.values[p]));
+            let head_holds = egd.head.eval(&row.values[head_position]);
+            !(body_holds && !head_holds)
+        });
+        if comp.len() != before {
+            if comp.is_empty() {
+                return Err(WsError::Inconsistent);
+            }
+            let kept = comp.total_probability();
+            survival *= kept / before_mass;
+            comp.renormalize()?;
+        }
+    }
+    Ok(survival)
+}
+
+/// The fields of a tuple that can carry `⊥` in some local world — the fields
+/// recording that the tuple is absent from some worlds.  These must be part
+/// of any violation check, because an absent tuple cannot violate anything.
+fn presence_fields(
+    wsd: &Wsd,
+    relation: &str,
+    attrs: &[std::sync::Arc<str>],
+    tuple: usize,
+) -> Result<Vec<FieldId>> {
+    let mut out = Vec::new();
+    for a in attrs {
+        let field = FieldId::new(relation, tuple, a.as_ref());
+        if wsd.possible_values(&field)?.contains(&Value::Bottom) {
+            out.push(field);
+        }
+    }
+    Ok(out)
+}
+
+/// Cheap refinement check (§8): skip the composition when the dependency
+/// cannot be violated for this tuple — when the body is certainly false for
+/// some atom, or the head certainly holds.
+fn egd_possibly_violated(
+    wsd: &Wsd,
+    egd: &EqualityGeneratingDependency,
+    tuple: usize,
+) -> Result<bool> {
+    for atom in &egd.body {
+        let values = wsd.possible_values(&FieldId::new(&egd.relation, tuple, atom.attr.as_str()))?;
+        if values
+            .iter()
+            .all(|v| v.is_bottom() || !atom.eval(v))
+        {
+            return Ok(false);
+        }
+    }
+    let head_values =
+        wsd.possible_values(&FieldId::new(&egd.relation, tuple, egd.head.attr.as_str()))?;
+    if head_values
+        .iter()
+        .all(|v| v.is_bottom() || egd.head.eval(v))
+    {
+        return Ok(false);
+    }
+    Ok(true)
+}
+
+/// Chase one functional dependency.
+///
+/// Returns the fraction of the input probability mass whose worlds satisfy
+/// the dependency (1.0 when nothing had to be removed).
+pub fn chase_fd(wsd: &mut Wsd, fd: &FunctionalDependency) -> Result<f64> {
+    let meta = wsd.meta(&fd.relation)?.clone();
+    for a in fd.lhs.iter().chain(&fd.rhs) {
+        if !meta.attrs.iter().any(|b| b.as_ref() == a.as_str()) {
+            return Err(WsError::invalid(format!(
+                "dependency attribute `{a}` not in schema of `{}`",
+                fd.relation
+            )));
+        }
+    }
+    let mut survival = 1.0;
+    let tuples: Vec<usize> = meta.live_tuples().collect();
+    for (si, &s) in tuples.iter().enumerate() {
+        for &t in &tuples[si + 1..] {
+            if !fd_possibly_violated(wsd, fd, s, t)? {
+                continue;
+            }
+            let mut fields: Vec<FieldId> = Vec::new();
+            for a in fd.lhs.iter().chain(&fd.rhs) {
+                fields.push(FieldId::new(&fd.relation, s, a.as_str()));
+                fields.push(FieldId::new(&fd.relation, t, a.as_str()));
+            }
+            // A violation also requires both tuples to be *present*, so every
+            // field that may record an absence (⊥) joins the composition.
+            fields.extend(presence_fields(wsd, &fd.relation, &meta.attrs, s)?);
+            fields.extend(presence_fields(wsd, &fd.relation, &meta.attrs, t)?);
+            fields.sort();
+            fields.dedup();
+            let presence: Vec<FieldId> = fields.clone();
+            let slot = wsd.compose_fields(&fields)?;
+            let comp = wsd.component_mut(slot)?;
+            let pos = |tuple: usize, attr: &str| {
+                comp.position(&FieldId::new(&fd.relation, tuple, attr))
+                    .expect("composed component defines all involved fields")
+            };
+            let lhs_positions: Vec<(usize, usize)> =
+                fd.lhs.iter().map(|a| (pos(s, a), pos(t, a))).collect();
+            let rhs_positions: Vec<(usize, usize)> =
+                fd.rhs.iter().map(|a| (pos(s, a), pos(t, a))).collect();
+            let presence_positions: Vec<usize> = presence
+                .iter()
+                .map(|f| {
+                    comp.position(f)
+                        .expect("composed component defines all presence fields")
+                })
+                .collect();
+            let before = comp.len();
+            let before_mass = comp.total_probability();
+            comp.rows.retain(|row| {
+                let all_present = presence_positions
+                    .iter()
+                    .all(|&p| !row.values[p].is_bottom());
+                if !all_present {
+                    return true;
+                }
+                let lhs_equal = lhs_positions
+                    .iter()
+                    .all(|&(ps, pt)| row.values[ps] == row.values[pt]);
+                if !lhs_equal {
+                    return true;
+                }
+                // Violation iff some dependent attribute differs.
+                rhs_positions
+                    .iter()
+                    .all(|&(ps, pt)| row.values[ps] == row.values[pt])
+            });
+            if comp.len() != before {
+                if comp.is_empty() {
+                    return Err(WsError::Inconsistent);
+                }
+                let kept = comp.total_probability();
+                survival *= kept / before_mass;
+                comp.renormalize()?;
+            }
+        }
+    }
+    Ok(survival)
+}
+
+/// Cheap refinement check for FDs (§8): a pair can only violate the
+/// dependency if every determinant attribute has a shared possible value and
+/// the dependent attributes are not certainly equal.
+fn fd_possibly_violated(wsd: &Wsd, fd: &FunctionalDependency, s: usize, t: usize) -> Result<bool> {
+    for a in &fd.lhs {
+        let vs = wsd.possible_values(&FieldId::new(&fd.relation, s, a.as_str()))?;
+        let vt = wsd.possible_values(&FieldId::new(&fd.relation, t, a.as_str()))?;
+        if !vs
+            .iter()
+            .any(|v| !v.is_bottom() && vt.contains(v))
+        {
+            return Ok(false);
+        }
+    }
+    let mut all_rhs_certainly_equal = true;
+    for a in &fd.rhs {
+        let cs = wsd.certain_value(&FieldId::new(&fd.relation, s, a.as_str()))?;
+        let ct = wsd.certain_value(&FieldId::new(&fd.relation, t, a.as_str()))?;
+        match (cs, ct) {
+            (Some(x), Some(y)) if x == y => {}
+            _ => {
+                all_rhs_certainly_equal = false;
+                break;
+            }
+        }
+    }
+    Ok(!all_rhs_certainly_equal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Component;
+    use crate::normalize;
+    use crate::wsd::example_census_wsd;
+    use ws_relational::Database;
+
+    fn f(rel: &str, t: usize, a: &str) -> FieldId {
+        FieldId::new(rel, t, a)
+    }
+
+    /// Oracle: condition the explicitly enumerated world-set on a predicate.
+    fn oracle_filter(
+        wsd: &Wsd,
+        keep: impl Fn(&Database) -> bool,
+    ) -> Vec<(Database, f64)> {
+        let worlds = wsd.enumerate_worlds(1_000_000).unwrap();
+        let surviving: Vec<(Database, f64)> =
+            worlds.into_iter().filter(|(db, _)| keep(db)).collect();
+        let mass: f64 = surviving.iter().map(|(_, p)| p).sum();
+        surviving
+            .into_iter()
+            .map(|(db, p)| (db, p / mass))
+            .collect()
+    }
+
+    /// Build the introduction's *uncleaned* WSD: independent or-set fields.
+    fn uncleaned_census_wsd() -> Wsd {
+        let mut wsd = Wsd::new();
+        wsd.register_relation("R", &["S", "N", "M"], 2).unwrap();
+        wsd.set_uniform(f("R", 0, "S"), vec![Value::int(185), Value::int(785)])
+            .unwrap();
+        wsd.set_certain(f("R", 0, "N"), Value::text("Smith")).unwrap();
+        wsd.set_uniform(f("R", 0, "M"), vec![Value::int(1), Value::int(2)])
+            .unwrap();
+        wsd.set_uniform(f("R", 1, "S"), vec![Value::int(185), Value::int(186)])
+            .unwrap();
+        wsd.set_certain(f("R", 1, "N"), Value::text("Brown")).unwrap();
+        wsd.set_uniform(
+            f("R", 1, "M"),
+            vec![Value::int(1), Value::int(2), Value::int(3), Value::int(4)],
+        )
+        .unwrap();
+        wsd
+    }
+
+    #[test]
+    fn fd_chase_enforces_key_uniqueness() {
+        // S → N, M over the 32-world or-set relation of the introduction:
+        // 8 of the 32 worlds (both SSNs = 185) are removed.
+        let mut wsd = uncleaned_census_wsd();
+        assert_eq!(wsd.world_count(), 32);
+        let fd = FunctionalDependency::new("R", vec!["S"], vec!["N", "M"]);
+        chase_fd(&mut wsd, &fd).unwrap();
+        wsd.validate().unwrap();
+        let worlds = wsd.rep().unwrap();
+        assert_eq!(worlds.len(), 24);
+        assert!((worlds.total_probability() - 1.0).abs() < 1e-9);
+        // Every remaining world has distinct SSNs.
+        for (db, _) in worlds.worlds() {
+            let ssns = db.relation("R").unwrap().distinct_column("S").unwrap();
+            assert_eq!(ssns.len(), 2);
+        }
+    }
+
+    #[test]
+    fn fd_chase_matches_world_filtering_oracle() {
+        let mut wsd = uncleaned_census_wsd();
+        let oracle = oracle_filter(&wsd, |db| {
+            let r = db.relation("R").unwrap();
+            // FD S → M: no two tuples share S with different M.
+            for a in r.rows() {
+                for b in r.rows() {
+                    if a[0] == b[0] && a[2] != b[2] {
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+        let fd = FunctionalDependency::new("R", vec!["S"], vec!["M"]);
+        chase_fd(&mut wsd, &fd).unwrap();
+        let ours = wsd.rep().unwrap();
+        assert_eq!(ours.len(), oracle.len());
+        for (db, p) in &oracle {
+            assert!((ours.probability_of(db) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn egd_chase_example_from_section8() {
+        // "The person with SSN 785 is married": S = 785 ⇒ M = 1, chased on
+        // the cleaned Fig. 4 WSD, gives the 4-local-world component of Fig. 22.
+        let mut wsd = example_census_wsd();
+        let egd =
+            EqualityGeneratingDependency::implies("R", "S", 785i64, "M", CmpOp::Eq, 1i64);
+        chase_egd(&mut wsd, &egd).unwrap();
+        wsd.validate().unwrap();
+        let comp = wsd.component_of(&f("R", 0, "S")).unwrap();
+        // t1.S, t2.S and t1.M are now in one component with 4 local worlds.
+        assert_eq!(comp.len(), 4);
+        assert!(comp.position(&f("R", 0, "M")).is_some());
+        // Probabilities of Fig. 22 (renormalized by 1 - 0.4*0.3 = 0.88... the
+        // paper's figures: 0.1842, 0.0790, 0.3684, 0.3684).
+        let probs: Vec<f64> = comp.rows.iter().map(|r| r.prob).collect();
+        let mut sorted = probs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((sorted[0] - 0.0790).abs() < 1e-3);
+        assert!((sorted[1] - 0.1842).abs() < 1e-3);
+        assert!((sorted[2] - 0.3684).abs() < 1e-3);
+        assert!((sorted[3] - 0.3684).abs() < 1e-3);
+        assert!((comp.total_probability() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn egd_chase_matches_world_filtering_oracle() {
+        let mut wsd = example_census_wsd();
+        let oracle = oracle_filter(&wsd, |db| {
+            db.relation("R").unwrap().rows().iter().all(|t| {
+                t[0] != Value::int(785) || t[2] == Value::int(1)
+            })
+        });
+        let egd =
+            EqualityGeneratingDependency::implies("R", "S", 785i64, "M", CmpOp::Eq, 1i64);
+        chase_egd(&mut wsd, &egd).unwrap();
+        let ours = wsd.rep().unwrap();
+        assert_eq!(ours.len(), oracle.len());
+        for (db, p) in &oracle {
+            assert!((ours.probability_of(db) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn chase_order_does_not_change_the_world_set() {
+        // The Figure 23 scenario: two tuples, dependencies d1 = (B → C) and
+        // d2 = (A = 1 ⇒ B ≠ 2); chasing in either order yields the same
+        // world-set (though possibly different decompositions).
+        fn fig23_wsd() -> Wsd {
+            let mut wsd = Wsd::new();
+            wsd.register_relation("R", &["A", "B", "C"], 2).unwrap();
+            wsd.set_certain(f("R", 0, "A"), Value::int(1)).unwrap();
+            wsd.set_uniform(f("R", 0, "B"), vec![Value::int(1), Value::int(2)])
+                .unwrap();
+            wsd.set_certain(f("R", 0, "C"), Value::int(5)).unwrap();
+            wsd.set_certain(f("R", 1, "A"), Value::int(2)).unwrap();
+            wsd.set_uniform(f("R", 1, "B"), vec![Value::int(2), Value::int(3)])
+                .unwrap();
+            wsd.set_uniform(f("R", 1, "C"), vec![Value::int(5), Value::int(6)])
+                .unwrap();
+            wsd
+        }
+        let d1 = Dependency::Fd(FunctionalDependency::new("R", vec!["B"], vec!["C"]));
+        let d2 = Dependency::Egd(EqualityGeneratingDependency::implies(
+            "R",
+            "A",
+            1i64,
+            "B",
+            CmpOp::Ne,
+            2i64,
+        ));
+        let mut first = fig23_wsd();
+        chase(&mut first, &[d1.clone(), d2.clone()]).unwrap();
+        let mut second = fig23_wsd();
+        chase(&mut second, &[d2, d1]).unwrap();
+        let w1 = first.rep().unwrap();
+        let w2 = second.rep().unwrap();
+        assert!(w1.same_worlds(&w2));
+        assert!(w1.same_distribution(&w2, 1e-9));
+        // Chasing d2 before d1 avoids composing the B/C components entirely
+        // (Fig. 23 (e)): afterwards normalization gives at least as many
+        // components as the d1-first order before normalization.
+        normalize::normalize(&mut first).unwrap();
+        normalize::normalize(&mut second).unwrap();
+        assert!(first.rep().unwrap().same_worlds(&w1));
+    }
+
+    #[test]
+    fn inconsistent_world_set_is_reported() {
+        let mut wsd = Wsd::new();
+        wsd.register_relation("R", &["A", "B"], 1).unwrap();
+        wsd.set_certain(f("R", 0, "A"), Value::int(1)).unwrap();
+        wsd.set_certain(f("R", 0, "B"), Value::int(2)).unwrap();
+        // A = 1 ⇒ B = 3 can never hold: every world is inconsistent.
+        let egd = EqualityGeneratingDependency::implies("R", "A", 1i64, "B", CmpOp::Eq, 3i64);
+        assert_eq!(chase_egd(&mut wsd, &egd), Err(WsError::Inconsistent));
+    }
+
+    #[test]
+    fn unknown_attributes_are_rejected() {
+        let mut wsd = example_census_wsd();
+        let fd = FunctionalDependency::new("R", vec!["Z"], vec!["M"]);
+        assert!(chase_fd(&mut wsd, &fd).is_err());
+        let egd = EqualityGeneratingDependency::implies("R", "Z", 1i64, "M", CmpOp::Eq, 1i64);
+        assert!(chase_egd(&mut wsd, &egd).is_err());
+        let fd = FunctionalDependency::new("NOPE", vec!["A"], vec!["B"]);
+        assert!(chase(&mut wsd, &[Dependency::Fd(fd)]).is_err());
+    }
+
+    #[test]
+    fn refinement_avoids_unnecessary_composition() {
+        // An EGD whose body can never hold must not merge any components.
+        let mut wsd = example_census_wsd();
+        let before = wsd.component_count();
+        let egd =
+            EqualityGeneratingDependency::implies("R", "S", 999i64, "M", CmpOp::Eq, 1i64);
+        chase_egd(&mut wsd, &egd).unwrap();
+        assert_eq!(wsd.component_count(), before);
+        // Same for an FD whose determinants never overlap.
+        let mut wsd2 = Wsd::new();
+        wsd2.register_relation("R", &["A", "B"], 2).unwrap();
+        wsd2.set_certain(f("R", 0, "A"), Value::int(1)).unwrap();
+        wsd2.set_uniform(f("R", 0, "B"), vec![Value::int(1), Value::int(2)])
+            .unwrap();
+        wsd2.set_certain(f("R", 1, "A"), Value::int(2)).unwrap();
+        wsd2.set_uniform(f("R", 1, "B"), vec![Value::int(3), Value::int(4)])
+            .unwrap();
+        let before = wsd2.component_count();
+        chase_fd(&mut wsd2, &FunctionalDependency::new("R", vec!["A"], vec!["B"])).unwrap();
+        assert_eq!(wsd2.component_count(), before);
+    }
+
+    #[test]
+    fn dependency_display_and_accessors() {
+        let fd = FunctionalDependency::new("R", vec!["S"], vec!["N", "M"]);
+        assert_eq!(fd.to_string(), "R: S → N,M");
+        let egd = EqualityGeneratingDependency::implies("R", "S", 785i64, "M", CmpOp::Eq, 1i64);
+        assert!(egd.to_string().contains("S=785"));
+        assert!(egd.to_string().contains("⇒ M=1"));
+        assert_eq!(egd.attrs(), vec!["M", "S"]);
+        assert_eq!(Dependency::Fd(fd).relation(), "R");
+        assert_eq!(Dependency::Egd(egd).relation(), "R");
+        let atom = AttrComparison::new("A", CmpOp::Gt, 3i64);
+        assert!(atom.eval(&Value::int(4)));
+        assert!(!atom.eval(&Value::int(3)));
+        assert!(!atom.eval(&Value::Bottom));
+        // A multi-field component used in composition keeps working in chase.
+        let c = Component::certain(f("X", 0, "A"), Value::int(1));
+        assert_eq!(c.width(), 1);
+    }
+}

@@ -1,0 +1,462 @@
+//! WSD components and their local worlds.
+//!
+//! A component is one factor of a product decomposition of a world-set
+//! relation (§3, Definition 1).  Its columns are fields `R.t.A`; its rows are
+//! the *local worlds*: each row assigns one value to every column and carries
+//! a probability.  Choosing one row from every component of a WSD yields one
+//! possible world, with probability equal to the product of the chosen rows'
+//! probabilities.
+
+use crate::error::{Result, WsError};
+use crate::field::FieldId;
+use std::collections::BTreeSet;
+use ws_relational::Value;
+
+/// Tolerance used when validating that component probabilities sum to one.
+pub const PROB_EPSILON: f64 = 1e-6;
+
+/// One local world of a component: a value for each component column plus the
+/// probability of this combination.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LocalWorld {
+    /// The values, positionally aligned with [`Component::fields`].
+    pub values: Vec<Value>,
+    /// The probability of this local world within its component.
+    pub prob: f64,
+}
+
+impl LocalWorld {
+    /// Create a local world.
+    pub fn new(values: Vec<Value>, prob: f64) -> Self {
+        LocalWorld { values, prob }
+    }
+}
+
+/// A component relation of a WSD.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Component {
+    /// The component's schema: the fields it defines values for.
+    pub fields: Vec<FieldId>,
+    /// The local worlds.
+    pub rows: Vec<LocalWorld>,
+}
+
+impl Component {
+    /// Create an empty component over the given fields.
+    pub fn new(fields: Vec<FieldId>) -> Self {
+        Component {
+            fields,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Create a *certain* component: one field, one local world, probability 1.
+    pub fn certain(field: FieldId, value: Value) -> Self {
+        Component {
+            fields: vec![field],
+            rows: vec![LocalWorld::new(vec![value], 1.0)],
+        }
+    }
+
+    /// Create a single-field component from weighted alternatives.
+    pub fn weighted(field: FieldId, alternatives: Vec<(Value, f64)>) -> Result<Self> {
+        let mut c = Component::new(vec![field]);
+        for (v, p) in alternatives {
+            c.rows.push(LocalWorld::new(vec![v], p));
+        }
+        c.validate()?;
+        Ok(c)
+    }
+
+    /// Create a single-field component from equally likely alternatives
+    /// (the or-set reading of a field).
+    pub fn uniform(field: FieldId, alternatives: Vec<Value>) -> Result<Self> {
+        if alternatives.is_empty() {
+            return Err(WsError::invalid("or-set must contain at least one value"));
+        }
+        let p = 1.0 / alternatives.len() as f64;
+        Component::weighted(field, alternatives.into_iter().map(|v| (v, p)).collect())
+    }
+
+    /// Add a local world.
+    pub fn push_row(&mut self, values: Vec<Value>, prob: f64) -> Result<()> {
+        if values.len() != self.fields.len() {
+            return Err(WsError::invalid(format!(
+                "component row arity {} does not match field count {}",
+                values.len(),
+                self.fields.len()
+            )));
+        }
+        self.rows.push(LocalWorld::new(values, prob));
+        Ok(())
+    }
+
+    /// Number of columns (fields / placeholders) of the component.
+    pub fn width(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Number of local worlds.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the component has no local worlds (an inconsistent component).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Position of a field among the component's columns.
+    pub fn position(&self, field: &FieldId) -> Option<usize> {
+        self.fields.iter().position(|f| f == field)
+    }
+
+    /// Sum of the local-world probabilities.
+    pub fn total_probability(&self) -> f64 {
+        self.rows.iter().map(|r| r.prob).sum()
+    }
+
+    /// Validate that the component is well formed: consistent arity, all
+    /// probabilities in `[0, 1]`, probabilities summing to one, and no
+    /// duplicated field.
+    pub fn validate(&self) -> Result<()> {
+        let mut seen = BTreeSet::new();
+        for f in &self.fields {
+            if !seen.insert(f.clone()) {
+                return Err(WsError::invalid(format!(
+                    "field {f} appears twice in a component"
+                )));
+            }
+        }
+        for row in &self.rows {
+            if row.values.len() != self.fields.len() {
+                return Err(WsError::invalid("component row arity mismatch"));
+            }
+            if !(0.0..=1.0 + PROB_EPSILON).contains(&row.prob) {
+                return Err(WsError::invalid(format!(
+                    "local-world probability {} out of range",
+                    row.prob
+                )));
+            }
+        }
+        let total = self.total_probability();
+        if self.is_empty() || (total - 1.0).abs() > PROB_EPSILON {
+            return Err(WsError::invalid(format!(
+                "component probabilities sum to {total}, expected 1"
+            )));
+        }
+        Ok(())
+    }
+
+    /// The `ext` operation of §4: extend the component with a new column that
+    /// is a copy of the column of `src`, named `dst`.
+    pub fn ext(&mut self, src: &FieldId, dst: FieldId) -> Result<()> {
+        let pos = self
+            .position(src)
+            .ok_or_else(|| WsError::unknown_field(src))?;
+        if self.position(&dst).is_some() {
+            return Err(WsError::invalid(format!("field {dst} already present")));
+        }
+        self.fields.push(dst);
+        for row in &mut self.rows {
+            let v = row.values[pos].clone();
+            row.values.push(v);
+        }
+        Ok(())
+    }
+
+    /// The `compose` operation of §4: the relational product of two
+    /// components, with probabilities multiplied.
+    pub fn compose(&self, other: &Component) -> Component {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        let mut rows = Vec::with_capacity(self.rows.len() * other.rows.len());
+        for a in &self.rows {
+            for b in &other.rows {
+                let mut values = a.values.clone();
+                values.extend(b.values.iter().cloned());
+                rows.push(LocalWorld::new(values, a.prob * b.prob));
+            }
+        }
+        Component { fields, rows }
+    }
+
+    /// `propagate-⊥` (Fig. 12) restricted to one relation: within every local
+    /// world, if any field of tuple `R.t` carries `⊥`, set all fields of
+    /// `R.t` present in this component to `⊥`.
+    pub fn propagate_bottom(&mut self, relation: &str) {
+        // Group column positions by tuple id of the target relation.
+        let mut by_tuple: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (pos, f) in self.fields.iter().enumerate() {
+            if f.in_relation(relation) {
+                match by_tuple.iter_mut().find(|(t, _)| *t == f.tuple.0) {
+                    Some((_, v)) => v.push(pos),
+                    None => by_tuple.push((f.tuple.0, vec![pos])),
+                }
+            }
+        }
+        for row in &mut self.rows {
+            for (_, positions) in &by_tuple {
+                if positions.iter().any(|&p| row.values[p].is_bottom()) {
+                    for &p in positions {
+                        row.values[p] = Value::Bottom;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Remove the column of the given field ("project away"), keeping rows.
+    pub fn project_away(&mut self, field: &FieldId) -> Result<()> {
+        let pos = self
+            .position(field)
+            .ok_or_else(|| WsError::unknown_field(field))?;
+        self.fields.remove(pos);
+        for row in &mut self.rows {
+            row.values.remove(pos);
+        }
+        Ok(())
+    }
+
+    /// Keep only the columns for the given fields (in their current order).
+    pub fn project_to(&mut self, keep: &BTreeSet<FieldId>) {
+        let positions: Vec<usize> = self
+            .fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| keep.contains(f))
+            .map(|(i, _)| i)
+            .collect();
+        self.fields = positions.iter().map(|&i| self.fields[i].clone()).collect();
+        for row in &mut self.rows {
+            row.values = positions.iter().map(|&i| row.values[i].clone()).collect();
+        }
+    }
+
+    /// The `compress` normalization (Fig. 20): merge identical rows, summing
+    /// their probabilities.
+    pub fn compress(&mut self) {
+        let mut merged: Vec<LocalWorld> = Vec::with_capacity(self.rows.len());
+        for row in self.rows.drain(..) {
+            match merged.iter_mut().find(|m| m.values == row.values) {
+                Some(m) => m.prob += row.prob,
+                None => merged.push(row),
+            }
+        }
+        self.rows = merged;
+    }
+
+    /// Renormalize probabilities so they sum to one.  Returns an error if all
+    /// probability mass has been removed (the world-set became empty).
+    pub fn renormalize(&mut self) -> Result<()> {
+        let total = self.total_probability();
+        if self.is_empty() || total <= 0.0 {
+            return Err(WsError::Inconsistent);
+        }
+        for row in &mut self.rows {
+            row.prob /= total;
+        }
+        Ok(())
+    }
+
+    /// The distinct values appearing in the column of `field`.
+    pub fn possible_values(&self, field: &FieldId) -> Result<BTreeSet<Value>> {
+        let pos = self
+            .position(field)
+            .ok_or_else(|| WsError::unknown_field(field))?;
+        Ok(self.rows.iter().map(|r| r.values[pos].clone()).collect())
+    }
+
+    /// Whether the column of `field` holds the same single value in every
+    /// local world (the field is *certain*).
+    pub fn is_certain(&self, field: &FieldId) -> Result<Option<Value>> {
+        let values = self.possible_values(field)?;
+        if values.len() == 1 {
+            Ok(values.into_iter().next())
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// The value of `field` in row `row_idx`.
+    pub fn value_at(&self, row_idx: usize, field: &FieldId) -> Result<&Value> {
+        let pos = self
+            .position(field)
+            .ok_or_else(|| WsError::unknown_field(field))?;
+        Ok(&self.rows[row_idx].values[pos])
+    }
+
+    /// Overwrite the value of `field` in row `row_idx`.
+    pub fn set_value(&mut self, row_idx: usize, field: &FieldId, value: Value) -> Result<()> {
+        let pos = self
+            .position(field)
+            .ok_or_else(|| WsError::unknown_field(field))?;
+        self.rows[row_idx].values[pos] = value;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rel: &str, t: usize, a: &str) -> FieldId {
+        FieldId::new(rel, t, a)
+    }
+
+    fn ssn_component() -> Component {
+        // The first component of Fig. 4: {t1.S, t2.S} with three local worlds.
+        let mut c = Component::new(vec![f("R", 0, "S"), f("R", 1, "S")]);
+        c.push_row(vec![Value::int(185), Value::int(186)], 0.2).unwrap();
+        c.push_row(vec![Value::int(785), Value::int(185)], 0.4).unwrap();
+        c.push_row(vec![Value::int(785), Value::int(186)], 0.4).unwrap();
+        c
+    }
+
+    #[test]
+    fn construction_and_validation() {
+        let c = ssn_component();
+        assert_eq!(c.width(), 2);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert!(c.validate().is_ok());
+        assert!((c.total_probability() - 1.0).abs() < PROB_EPSILON);
+
+        let certain = Component::certain(f("R", 0, "N"), Value::text("Smith"));
+        assert!(certain.validate().is_ok());
+        assert_eq!(
+            certain.is_certain(&f("R", 0, "N")).unwrap(),
+            Some(Value::text("Smith"))
+        );
+    }
+
+    #[test]
+    fn invalid_components_are_rejected() {
+        // Probabilities not summing to 1.
+        let mut c = Component::new(vec![f("R", 0, "A")]);
+        c.push_row(vec![Value::int(1)], 0.5).unwrap();
+        assert!(c.validate().is_err());
+        // Arity mismatch.
+        assert!(c.push_row(vec![Value::int(1), Value::int(2)], 0.5).is_err());
+        // Duplicate field.
+        let d = Component::new(vec![f("R", 0, "A"), f("R", 0, "A")]);
+        assert!(d.validate().is_err());
+        // Out-of-range probability.
+        let mut e = Component::new(vec![f("R", 0, "A")]);
+        e.push_row(vec![Value::int(1)], 1.5).unwrap();
+        assert!(e.validate().is_err());
+        // Empty or-set.
+        assert!(Component::uniform(f("R", 0, "A"), vec![]).is_err());
+    }
+
+    #[test]
+    fn uniform_and_weighted_alternatives() {
+        let c = Component::uniform(
+            f("R", 1, "M"),
+            vec![Value::int(1), Value::int(2), Value::int(3), Value::int(4)],
+        )
+        .unwrap();
+        assert_eq!(c.len(), 4);
+        assert!((c.rows[0].prob - 0.25).abs() < PROB_EPSILON);
+
+        let w = Component::weighted(
+            f("R", 0, "M"),
+            vec![(Value::int(1), 0.7), (Value::int(2), 0.3)],
+        )
+        .unwrap();
+        assert_eq!(w.len(), 2);
+        assert!(Component::weighted(f("R", 0, "M"), vec![(Value::int(1), 0.7)]).is_err());
+    }
+
+    #[test]
+    fn ext_copies_a_column() {
+        let mut c = ssn_component();
+        c.ext(&f("R", 0, "S"), f("P", 0, "S")).unwrap();
+        assert_eq!(c.width(), 3);
+        assert_eq!(c.rows[1].values[2], Value::int(785));
+        // Copying a missing column or duplicating a field fails.
+        assert!(c.ext(&f("R", 9, "S"), f("P", 9, "S")).is_err());
+        assert!(c.ext(&f("R", 0, "S"), f("P", 0, "S")).is_err());
+    }
+
+    #[test]
+    fn compose_multiplies_probabilities() {
+        let a = ssn_component();
+        let b = Component::weighted(
+            f("R", 0, "M"),
+            vec![(Value::int(1), 0.7), (Value::int(2), 0.3)],
+        )
+        .unwrap();
+        let c = a.compose(&b);
+        assert_eq!(c.width(), 3);
+        assert_eq!(c.len(), 6);
+        assert!((c.total_probability() - 1.0).abs() < PROB_EPSILON);
+        assert!((c.rows[0].prob - 0.2 * 0.7).abs() < PROB_EPSILON);
+    }
+
+    #[test]
+    fn propagate_bottom_within_tuples() {
+        // Component over P.t1.B, P.t1.C, P.t2.B as in Fig. 11 (a).
+        let mut c = Component::new(vec![f("P", 0, "B"), f("P", 0, "C"), f("P", 1, "B")]);
+        c.push_row(vec![Value::Bottom, Value::int(0), Value::int(3)], 0.5)
+            .unwrap();
+        c.push_row(vec![Value::int(2), Value::int(7), Value::int(4)], 0.5)
+            .unwrap();
+        c.propagate_bottom("P");
+        // t1's C must become ⊥ in the first row; t2 untouched.
+        assert_eq!(c.rows[0].values[1], Value::Bottom);
+        assert_eq!(c.rows[0].values[2], Value::int(3));
+        assert_eq!(c.rows[1].values[1], Value::int(7));
+    }
+
+    #[test]
+    fn project_away_and_project_to() {
+        let mut c = ssn_component();
+        c.project_away(&f("R", 1, "S")).unwrap();
+        assert_eq!(c.width(), 1);
+        assert!(c.project_away(&f("R", 1, "S")).is_err());
+
+        let mut c = ssn_component();
+        let keep: BTreeSet<FieldId> = [f("R", 1, "S")].into_iter().collect();
+        c.project_to(&keep);
+        assert_eq!(c.width(), 1);
+        assert_eq!(c.fields[0], f("R", 1, "S"));
+        assert_eq!(c.rows[0].values, vec![Value::int(186)]);
+    }
+
+    #[test]
+    fn compress_merges_equal_rows() {
+        let mut c = Component::new(vec![f("R", 0, "A")]);
+        c.push_row(vec![Value::int(1)], 0.3).unwrap();
+        c.push_row(vec![Value::int(1)], 0.2).unwrap();
+        c.push_row(vec![Value::int(2)], 0.5).unwrap();
+        c.compress();
+        assert_eq!(c.len(), 2);
+        assert!((c.rows[0].prob - 0.5).abs() < PROB_EPSILON);
+    }
+
+    #[test]
+    fn renormalize_after_row_removal() {
+        let mut c = ssn_component();
+        c.rows.remove(0); // drop the 0.2 row
+        c.renormalize().unwrap();
+        assert!((c.total_probability() - 1.0).abs() < PROB_EPSILON);
+        assert!((c.rows[0].prob - 0.5).abs() < PROB_EPSILON);
+        c.rows.clear();
+        assert!(c.renormalize().is_err());
+    }
+
+    #[test]
+    fn possible_values_and_cell_access() {
+        let mut c = ssn_component();
+        let vals = c.possible_values(&f("R", 0, "S")).unwrap();
+        assert_eq!(vals.len(), 2);
+        assert!(c.is_certain(&f("R", 0, "S")).unwrap().is_none());
+        assert_eq!(c.value_at(1, &f("R", 1, "S")).unwrap(), &Value::int(185));
+        c.set_value(1, &f("R", 1, "S"), Value::int(999)).unwrap();
+        assert_eq!(c.value_at(1, &f("R", 1, "S")).unwrap(), &Value::int(999));
+        assert!(c.possible_values(&f("X", 0, "A")).is_err());
+        assert!(c.value_at(0, &f("X", 0, "A")).is_err());
+        assert!(c.set_value(0, &f("X", 0, "A"), Value::int(0)).is_err());
+    }
+}

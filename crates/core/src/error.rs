@@ -1,0 +1,98 @@
+//! Errors for the world-set decomposition layer.
+
+use crate::field::FieldId;
+use std::fmt;
+use ws_relational::RelationalError;
+
+/// Result alias for the WSD layer.
+pub type Result<T> = std::result::Result<T, WsError>;
+
+/// Errors raised by world-set decompositions and their operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WsError {
+    /// A field `R.t.A` is not covered by any component of the WSD.
+    UnknownField(String),
+    /// A relation name is not registered in the WSD.
+    UnknownRelation(String),
+    /// The represented world-set became empty (e.g. the chase removed every
+    /// world because no world satisfies the dependencies).
+    Inconsistent,
+    /// Enumerating the possible worlds would exceed the requested limit.
+    TooManyWorlds {
+        /// Number of worlds the representation describes (saturating).
+        worlds: u128,
+        /// The enumeration limit that was exceeded.
+        limit: u128,
+    },
+    /// An error bubbled up from the relational substrate.
+    Relational(RelationalError),
+    /// Anything else worth reporting with a message.
+    Invalid(String),
+}
+
+impl WsError {
+    /// Build an [`WsError::Invalid`] from a message.
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        WsError::Invalid(msg.into())
+    }
+
+    /// Build an [`WsError::UnknownField`] from a field id.
+    pub fn unknown_field(field: &FieldId) -> Self {
+        WsError::UnknownField(field.to_string())
+    }
+
+    /// Build an [`WsError::UnknownRelation`].
+    pub fn unknown_relation(name: impl Into<String>) -> Self {
+        WsError::UnknownRelation(name.into())
+    }
+}
+
+impl fmt::Display for WsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WsError::UnknownField(field) => write!(f, "field {field} is not part of the WSD"),
+            WsError::UnknownRelation(rel) => {
+                write!(f, "relation `{rel}` is not part of the WSD")
+            }
+            WsError::Inconsistent => write!(f, "world-set is inconsistent (no world remains)"),
+            WsError::TooManyWorlds { worlds, limit } => write!(
+                f,
+                "the representation describes {worlds} worlds, more than the enumeration limit {limit}"
+            ),
+            WsError::Relational(e) => write!(f, "relational error: {e}"),
+            WsError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WsError {}
+
+impl From<RelationalError> for WsError {
+    fn from(e: RelationalError) -> Self {
+        WsError::Relational(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = WsError::unknown_field(&FieldId::new("R", 0, "A"));
+        assert!(e.to_string().contains("R.t1.A"));
+        let e = WsError::unknown_relation("S");
+        assert!(e.to_string().contains('S'));
+        assert!(WsError::Inconsistent.to_string().contains("inconsistent"));
+        let e = WsError::TooManyWorlds {
+            worlds: 100,
+            limit: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        let rel_err = RelationalError::UnknownRelation("T".into());
+        let e: WsError = rel_err.into();
+        assert!(matches!(e, WsError::Relational(_)));
+        assert!(e.to_string().contains('T'));
+        assert_eq!(WsError::invalid("boom").to_string(), "boom");
+    }
+}

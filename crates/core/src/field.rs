@@ -1,0 +1,141 @@
+//! Field identifiers `R.t.A`.
+//!
+//! A world-set relation has one column per *field* of the original schema:
+//! relation name `R`, tuple position/identifier `t`, attribute `A` (§3).
+//! Components of a WSD draw their columns from this field space, and the
+//! UWSDT layer uses the same triple as its `FID`.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A tuple identifier: the position `i` of tuple `t_i` within `inline(R^A)`.
+///
+/// Tuple identifiers denote *positions*, not values (§3); the same identifier
+/// refers to "the same tuple slot" across all possible worlds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TupleId(pub usize);
+
+impl TupleId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0 + 1)
+    }
+}
+
+/// A field identifier `R.t.A`: the `A`-field of tuple `t` in relation `R`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FieldId {
+    /// The relation name `R`.
+    pub relation: Arc<str>,
+    /// The tuple identifier `t`.
+    pub tuple: TupleId,
+    /// The attribute name `A`.
+    pub attr: Arc<str>,
+}
+
+impl FieldId {
+    /// Construct a field identifier.
+    pub fn new(relation: impl AsRef<str>, tuple: usize, attr: impl AsRef<str>) -> Self {
+        FieldId {
+            relation: Arc::from(relation.as_ref()),
+            tuple: TupleId(tuple),
+            attr: Arc::from(attr.as_ref()),
+        }
+    }
+
+    /// Construct from already-interned names (avoids re-allocating).
+    pub fn from_parts(relation: Arc<str>, tuple: TupleId, attr: Arc<str>) -> Self {
+        FieldId {
+            relation,
+            tuple,
+            attr,
+        }
+    }
+
+    /// `true` iff the field belongs to the given relation.
+    pub fn in_relation(&self, relation: &str) -> bool {
+        self.relation.as_ref() == relation
+    }
+
+    /// `true` iff the field belongs to the given relation *and* tuple.
+    pub fn in_tuple(&self, relation: &str, tuple: usize) -> bool {
+        self.in_relation(relation) && self.tuple.0 == tuple
+    }
+
+    /// A copy of this field re-addressed to another relation/tuple, keeping
+    /// the attribute name (used by `copy`, product and union, which create
+    /// fields of the result relation mirroring input fields).
+    pub fn readdressed(&self, relation: &str, tuple: usize) -> FieldId {
+        FieldId {
+            relation: Arc::from(relation),
+            tuple: TupleId(tuple),
+            attr: self.attr.clone(),
+        }
+    }
+
+    /// A copy of this field with a different attribute name (used by `δ`).
+    pub fn with_attr(&self, attr: impl AsRef<str>) -> FieldId {
+        FieldId {
+            relation: self.relation.clone(),
+            tuple: self.tuple,
+            attr: Arc::from(attr.as_ref()),
+        }
+    }
+}
+
+impl fmt::Display for FieldId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}", self.relation, self.tuple, self.attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_membership() {
+        let f = FieldId::new("R", 0, "S");
+        assert!(f.in_relation("R"));
+        assert!(!f.in_relation("S"));
+        assert!(f.in_tuple("R", 0));
+        assert!(!f.in_tuple("R", 1));
+        assert_eq!(f.tuple.index(), 0);
+        assert_eq!(f.to_string(), "R.t1.S");
+    }
+
+    #[test]
+    fn readdressing_preserves_attribute() {
+        let f = FieldId::new("R", 2, "M");
+        let g = f.readdressed("P", 5);
+        assert_eq!(g.relation.as_ref(), "P");
+        assert_eq!(g.tuple, TupleId(5));
+        assert_eq!(g.attr.as_ref(), "M");
+        let h = f.with_attr("M2");
+        assert_eq!(h.attr.as_ref(), "M2");
+        assert_eq!(h.relation.as_ref(), "R");
+    }
+
+    #[test]
+    fn ordering_is_stable_for_map_keys() {
+        let a = FieldId::new("R", 0, "A");
+        let b = FieldId::new("R", 1, "A");
+        let c = FieldId::new("S", 0, "A");
+        let mut v = vec![c.clone(), b.clone(), a.clone()];
+        v.sort();
+        assert_eq!(v, vec![a, b, c]);
+    }
+
+    #[test]
+    fn from_parts_equals_new() {
+        let a = FieldId::new("R", 3, "X");
+        let b = FieldId::from_parts(Arc::from("R"), TupleId(3), Arc::from("X"));
+        assert_eq!(a, b);
+    }
+}

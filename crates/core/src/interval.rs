@@ -1,0 +1,427 @@
+//! Interval probabilities over world-set decompositions.
+//!
+//! The related-work discussion of the paper points to follow-up work ([17],
+//! Götz & Koch) on managing *interval* probabilities: either because the
+//! exact probabilities of the local worlds are not known (an expert or an
+//! extraction tool only provides bounds), or because approximation introduced
+//! uncertainty about the weights themselves.  This module equips WSD
+//! components with probability intervals and computes **confidence bounds**:
+//! for every tuple `t` it returns an interval that is guaranteed to contain
+//! the exact confidence for *any* choice of local-world probabilities
+//! consistent with the given intervals (and with the sum-to-one constraint of
+//! each component).
+//!
+//! Within a composed, tuple-level component the bound uses both directions of
+//! the simplex constraint — the probability of the matching local worlds is
+//! at least `max(Σ lo_match, 1 − Σ hi_rest)` and at most
+//! `min(Σ hi_match, 1 − Σ lo_rest)` — and independent components combine with
+//! the usual `1 − Π (1 − c_i)` rule evaluated in interval arithmetic.  When
+//! every interval is a point, the bounds collapse to the exact confidence of
+//! [`crate::confidence`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use crate::component::Component;
+use crate::error::{Result, WsError};
+use crate::field::FieldId;
+use crate::wsd::Wsd;
+use ws_relational::{Tuple, Value};
+
+/// A closed probability interval `[lo, hi] ⊆ [0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProbInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl ProbInterval {
+    /// Build an interval, validating `0 ≤ lo ≤ hi ≤ 1`.
+    pub fn new(lo: f64, hi: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo > hi {
+            return Err(WsError::invalid(format!(
+                "[{lo}, {hi}] is not a probability interval"
+            )));
+        }
+        Ok(ProbInterval { lo, hi })
+    }
+
+    /// The degenerate interval `[p, p]`.
+    pub fn point(p: f64) -> Result<Self> {
+        ProbInterval::new(p, p)
+    }
+
+    /// The vacuous interval `[0, 1]`.
+    pub fn full() -> Self {
+        ProbInterval { lo: 0.0, hi: 1.0 }
+    }
+
+    /// Widen a point probability by `margin` on both sides, clamped to
+    /// `[0, 1]`.
+    pub fn around(p: f64, margin: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&p) || margin < 0.0 {
+            return Err(WsError::invalid(format!(
+                "cannot widen probability {p} by margin {margin}"
+            )));
+        }
+        ProbInterval::new((p - margin).max(0.0), (p + margin).min(1.0))
+    }
+
+    /// Whether the interval is a single point (up to float tolerance).
+    pub fn is_point(&self) -> bool {
+        (self.hi - self.lo).abs() < 1e-12
+    }
+
+    /// The width `hi − lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether `p` lies in the interval (inclusive, with tolerance).
+    pub fn contains(&self, p: f64) -> bool {
+        p >= self.lo - 1e-9 && p <= self.hi + 1e-9
+    }
+
+    /// Interval product — the interval of `a · b` for independent events.
+    pub fn product(&self, other: &ProbInterval) -> ProbInterval {
+        ProbInterval {
+            lo: (self.lo * other.lo).clamp(0.0, 1.0),
+            hi: (self.hi * other.hi).clamp(0.0, 1.0),
+        }
+    }
+
+    /// Interval complement — the interval of `1 − a`.
+    pub fn complement(&self) -> ProbInterval {
+        ProbInterval {
+            lo: (1.0 - self.hi).clamp(0.0, 1.0),
+            hi: (1.0 - self.lo).clamp(0.0, 1.0),
+        }
+    }
+
+    /// `1 − (1 − a)(1 − b)`: the probability that at least one of two
+    /// independent events happens, in interval arithmetic.
+    pub fn independent_or(&self, other: &ProbInterval) -> ProbInterval {
+        self.complement()
+            .product(&other.complement())
+            .complement()
+    }
+}
+
+/// A tuple-level view of one WSD relation in which every composed local world
+/// carries a probability *interval* instead of a point probability.
+#[derive(Clone, Debug)]
+pub struct IntervalView {
+    relation: String,
+    attrs: Vec<Arc<str>>,
+    /// Composed component, the tuple slots it covers, and one interval per
+    /// composed local world (row).
+    groups: Vec<(Component, Vec<usize>, Vec<ProbInterval>)>,
+}
+
+impl IntervalView {
+    /// Build the view, assigning each original local world an interval via
+    /// `assign(slot, row_index, point_probability)`.
+    ///
+    /// Composition multiplies intervals (independent components), mirroring
+    /// how [`Component::compose`] multiplies point probabilities.
+    pub fn new<F>(wsd: &Wsd, relation: &str, mut assign: F) -> Result<Self>
+    where
+        F: FnMut(usize, usize, f64) -> Result<ProbInterval>,
+    {
+        let meta = wsd.meta(relation)?.clone();
+        // Group the component slots by shared tuples, exactly as the exact
+        // tuple-level view of §6 does.
+        let mut slot_groups: Vec<BTreeSet<usize>> = Vec::new();
+        let mut tuple_slots: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        for t in meta.live_tuples() {
+            let mut slots = BTreeSet::new();
+            for a in &meta.attrs {
+                slots.insert(wsd.slot_of(&FieldId::new(relation, t, a.as_ref()))?);
+            }
+            tuple_slots.insert(t, slots);
+        }
+        for slots in tuple_slots.values() {
+            let mut merged = slots.clone();
+            let mut remaining = Vec::new();
+            for g in slot_groups.drain(..) {
+                if g.intersection(&merged).next().is_some() {
+                    merged.extend(g);
+                } else {
+                    remaining.push(g);
+                }
+            }
+            remaining.push(merged);
+            slot_groups = remaining;
+        }
+
+        let mut groups = Vec::with_capacity(slot_groups.len());
+        for slots in slot_groups {
+            let mut iter = slots.iter();
+            let first = *iter.next().expect("groups are non-empty");
+            let first_comp = wsd.component(first)?;
+            let mut composed = first_comp.clone();
+            let mut intervals: Vec<ProbInterval> = first_comp
+                .rows
+                .iter()
+                .enumerate()
+                .map(|(i, row)| assign(first, i, row.prob))
+                .collect::<Result<_>>()?;
+            for &slot in iter {
+                let next_comp = wsd.component(slot)?;
+                let next_intervals: Vec<ProbInterval> = next_comp
+                    .rows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, row)| assign(slot, i, row.prob))
+                    .collect::<Result<_>>()?;
+                // The composed row order of `Component::compose` is the
+                // nested loop (left-major) over the two input row lists.
+                let mut combined = Vec::with_capacity(intervals.len() * next_intervals.len());
+                for a in &intervals {
+                    for b in &next_intervals {
+                        combined.push(a.product(b));
+                    }
+                }
+                composed = composed.compose(next_comp);
+                intervals = combined;
+            }
+            debug_assert_eq!(composed.len(), intervals.len());
+            let covered: Vec<usize> = tuple_slots
+                .iter()
+                .filter(|(_, ts)| ts.is_subset(&slots))
+                .map(|(t, _)| *t)
+                .collect();
+            groups.push((composed, covered, intervals));
+        }
+        Ok(IntervalView {
+            relation: relation.to_string(),
+            attrs: meta.attrs.clone(),
+            groups,
+        })
+    }
+
+    /// Build a view whose intervals are the WSD's point probabilities — the
+    /// bounds then coincide with the exact confidences.
+    pub fn exact(wsd: &Wsd, relation: &str) -> Result<Self> {
+        IntervalView::new(wsd, relation, |_, _, p| ProbInterval::point(p))
+    }
+
+    /// Build a view widening every point probability by `margin`.
+    pub fn with_margin(wsd: &Wsd, relation: &str, margin: f64) -> Result<Self> {
+        IntervalView::new(wsd, relation, move |_, _, p| ProbInterval::around(p, margin))
+    }
+
+    /// Number of independent groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Confidence bounds of `tuple`: an interval guaranteed to contain the
+    /// exact confidence for every probability assignment consistent with the
+    /// per-row intervals and the sum-to-one constraint of each group.
+    pub fn conf_bounds(&self, tuple: &Tuple) -> Result<ProbInterval> {
+        if tuple.arity() != self.attrs.len() {
+            return Err(WsError::invalid(format!(
+                "tuple arity {} does not match relation `{}` arity {}",
+                tuple.arity(),
+                self.relation,
+                self.attrs.len()
+            )));
+        }
+        let mut not_lo = 1.0; // Π (1 − lo_C)
+        let mut not_hi = 1.0; // Π (1 − hi_C)
+        for (comp, tuples, intervals) in &self.groups {
+            let mut lo_match = 0.0;
+            let mut hi_match = 0.0;
+            let mut lo_rest = 0.0;
+            let mut hi_rest = 0.0;
+            for (row, interval) in comp.rows.iter().zip(intervals) {
+                if self.row_defines_tuple(comp, &row.values, tuples, tuple) {
+                    lo_match += interval.lo;
+                    hi_match += interval.hi;
+                } else {
+                    lo_rest += interval.lo;
+                    hi_rest += interval.hi;
+                }
+            }
+            // Both directions of the simplex constraint Σ p = 1.
+            let lo_c = lo_match.max(1.0 - hi_rest).clamp(0.0, 1.0);
+            let hi_c = hi_match.min(1.0 - lo_rest).clamp(0.0, 1.0);
+            let (lo_c, hi_c) = if lo_c <= hi_c { (lo_c, hi_c) } else { (hi_c, hi_c) };
+            not_lo *= 1.0 - lo_c;
+            not_hi *= 1.0 - hi_c;
+        }
+        ProbInterval::new(
+            (1.0 - not_lo).clamp(0.0, 1.0),
+            (1.0 - not_hi).clamp(0.0, 1.0),
+        )
+    }
+
+    /// Possible tuples with their confidence bounds, ordered by tuple.
+    pub fn possible_with_bounds(&self) -> Result<Vec<(Tuple, ProbInterval)>> {
+        let mut seen: BTreeSet<Tuple> = BTreeSet::new();
+        for (comp, tuples, _) in &self.groups {
+            for row in &comp.rows {
+                for &t in tuples {
+                    let mut values = Vec::with_capacity(self.attrs.len());
+                    let mut dropped = false;
+                    for a in &self.attrs {
+                        let pos = comp
+                            .position(&FieldId::new(&self.relation, t, a.as_ref()))
+                            .expect("group covers all fields of its tuples");
+                        let v = row.values[pos].clone();
+                        if v.is_bottom() {
+                            dropped = true;
+                            break;
+                        }
+                        values.push(v);
+                    }
+                    if !dropped {
+                        seen.insert(Tuple::new(values));
+                    }
+                }
+            }
+        }
+        seen.into_iter()
+            .map(|t| {
+                let bounds = self.conf_bounds(&t)?;
+                Ok((t, bounds))
+            })
+            .collect()
+    }
+
+    fn row_defines_tuple(
+        &self,
+        comp: &Component,
+        values: &[Value],
+        tuples: &[usize],
+        tuple: &Tuple,
+    ) -> bool {
+        tuples.iter().any(|&t| {
+            self.attrs.iter().enumerate().all(|(i, a)| {
+                comp.position(&FieldId::new(&self.relation, t, a.as_ref()))
+                    .map(|pos| values[pos] == tuple[i])
+                    .unwrap_or(false)
+            })
+        })
+    }
+}
+
+/// Convenience wrapper: confidence bounds for one tuple after widening every
+/// local-world probability by `margin`.
+pub fn conf_bounds(wsd: &Wsd, relation: &str, tuple: &Tuple, margin: f64) -> Result<ProbInterval> {
+    IntervalView::with_margin(wsd, relation, margin)?.conf_bounds(tuple)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confidence;
+    use crate::wsd::example_census_wsd;
+    use crate::Component;
+
+    #[test]
+    fn interval_arithmetic_helpers() {
+        let a = ProbInterval::new(0.2, 0.4).unwrap();
+        let b = ProbInterval::new(0.5, 0.5).unwrap();
+        assert!(b.is_point());
+        assert!(!a.is_point());
+        assert!((a.width() - 0.2).abs() < 1e-12);
+        assert_eq!(a.product(&b), ProbInterval::new(0.1, 0.2).unwrap());
+        assert_eq!(a.complement(), ProbInterval::new(0.6, 0.8).unwrap());
+        let or = a.independent_or(&b);
+        assert!((or.lo - 0.6).abs() < 1e-12 && (or.hi - 0.7).abs() < 1e-12);
+        assert!(ProbInterval::new(0.5, 0.4).is_err());
+        assert!(ProbInterval::new(-0.1, 0.4).is_err());
+        assert!(ProbInterval::around(1.5, 0.1).is_err());
+        assert_eq!(ProbInterval::around(0.95, 0.1).unwrap().hi, 1.0);
+        assert_eq!(ProbInterval::full(), ProbInterval::new(0.0, 1.0).unwrap());
+        assert!(a.contains(0.3));
+        assert!(!a.contains(0.7));
+    }
+
+    #[test]
+    fn point_intervals_reproduce_exact_confidence() {
+        let wsd = example_census_wsd();
+        let view = IntervalView::exact(&wsd, "R").unwrap();
+        for (tuple, exact) in confidence::possible_with_confidence(&wsd, "R").unwrap() {
+            let bounds = view.conf_bounds(&tuple).unwrap();
+            assert!(
+                (bounds.lo - exact).abs() < 1e-9 && (bounds.hi - exact).abs() < 1e-9,
+                "point bounds [{}, {}] should equal exact {exact}",
+                bounds.lo,
+                bounds.hi
+            );
+        }
+    }
+
+    #[test]
+    fn widened_intervals_contain_the_exact_confidence() {
+        let wsd = example_census_wsd();
+        for margin in [0.01, 0.05, 0.2] {
+            let view = IntervalView::with_margin(&wsd, "R", margin).unwrap();
+            for (tuple, exact) in confidence::possible_with_confidence(&wsd, "R").unwrap() {
+                let bounds = view.conf_bounds(&tuple).unwrap();
+                assert!(
+                    bounds.contains(exact),
+                    "[{}, {}] must contain {exact} at margin {margin}",
+                    bounds.lo,
+                    bounds.hi
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_widen_monotonically_with_the_margin() {
+        let wsd = example_census_wsd();
+        let tuple = confidence::possible(&wsd, "R").unwrap().rows()[0].clone();
+        let narrow = conf_bounds(&wsd, "R", &tuple, 0.01).unwrap();
+        let wide = conf_bounds(&wsd, "R", &tuple, 0.1).unwrap();
+        assert!(wide.lo <= narrow.lo + 1e-12);
+        assert!(wide.hi >= narrow.hi - 1e-12);
+        assert!(wide.width() >= narrow.width() - 1e-12);
+    }
+
+    #[test]
+    fn simplex_constraint_tightens_vacuous_intervals() {
+        // A single certain field whose probability interval is vacuous on the
+        // matching row: the sum-to-one constraint still forces conf = 1
+        // because there are no other rows to absorb the mass.
+        let mut wsd = Wsd::new();
+        let mut rel = ws_relational::Relation::new(
+            ws_relational::Schema::new("S", &["X"]).unwrap(),
+        );
+        rel.push_values([7i64]).unwrap();
+        wsd.add_certain_relation(&rel).unwrap();
+        let view = IntervalView::new(&wsd, "S", |_, _, _| Ok(ProbInterval::full())).unwrap();
+        let bounds = view.conf_bounds(&Tuple::from_iter([7i64])).unwrap();
+        assert!((bounds.lo - 1.0).abs() < 1e-12 && (bounds.hi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn possible_with_bounds_lists_every_possible_tuple() {
+        let wsd = example_census_wsd();
+        let view = IntervalView::with_margin(&wsd, "R", 0.05).unwrap();
+        let with_bounds = view.possible_with_bounds().unwrap();
+        let exact = confidence::possible(&wsd, "R").unwrap();
+        assert_eq!(with_bounds.len(), exact.len());
+        for (tuple, bounds) in &with_bounds {
+            assert!(exact.contains(tuple));
+            assert!(bounds.lo <= bounds.hi);
+        }
+        assert!(view.group_count() >= 1);
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let wsd = example_census_wsd();
+        let view = IntervalView::exact(&wsd, "R").unwrap();
+        assert!(view.conf_bounds(&Tuple::from_iter([1i64])).is_err());
+        assert!(IntervalView::exact(&wsd, "NOPE").is_err());
+        // Silence the unused-import lint for Component in non-debug builds.
+        let _ = std::mem::size_of::<Component>();
+    }
+}

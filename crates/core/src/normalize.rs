@@ -1,0 +1,438 @@
+//! Normalization of (probabilistic) WSDs (§7, Figure 20).
+//!
+//! Normalization searches for an equivalent WSD taking less space:
+//!
+//! * [`remove_invalid_tuples`] drops tuple slots that are absent from every
+//!   world (all-`⊥` columns),
+//! * [`compress_component`] merges identical local worlds, summing their
+//!   probabilities, and
+//! * [`decompose_component`] / [`decompose_all`] factorize components into
+//!   products of smaller, probabilistically independent components
+//!   (relational factorization).
+//!
+//! The factorization here is counting-based: a partition `{B1,…,Bk}` of a
+//! component's fields is a product decomposition iff `Π|π_Bi(C)| = |C|` *and*
+//! the probability of every local world equals the product of its blocks'
+//! marginal probabilities.  We refine greedily from singleton blocks by
+//! merging pairwise-correlated blocks, then verify with factor checks;
+//! higher-order-only dependencies (e.g. three fields correlated by parity
+//! while pairwise independent) are kept in one coarser block, which is still
+//! a correct — just not always maximal — decomposition (see DESIGN.md).
+
+use crate::component::{Component, LocalWorld, PROB_EPSILON};
+use crate::error::Result;
+use crate::field::FieldId;
+use crate::wsd::Wsd;
+use std::collections::BTreeMap;
+use ws_relational::Value;
+
+/// Remove tuple slots of `relation` that are invalid, i.e. absent (`⊥`) in
+/// every possible world (Fig. 20, `remove invalid tuples`; Example 12).
+/// Returns the number of removed tuple slots.
+pub fn remove_invalid_tuples(wsd: &mut Wsd, relation: &str) -> Result<usize> {
+    let meta = wsd.meta(relation)?.clone();
+    let mut removed = 0;
+    for t in meta.live_tuples() {
+        let mut invalid = false;
+        for a in &meta.attrs {
+            let field = FieldId::new(relation, t, a.as_ref());
+            let values = wsd.possible_values(&field)?;
+            if values.len() == 1 && values.contains(&Value::Bottom) {
+                invalid = true;
+                break;
+            }
+        }
+        if invalid {
+            wsd.remove_tuple(relation, t)?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+/// Merge identical local worlds of every component, summing probabilities
+/// (Fig. 20, `compress`).  Returns the number of rows eliminated.
+pub fn compress_all(wsd: &mut Wsd) -> Result<usize> {
+    let slots: Vec<usize> = wsd.components().map(|(s, _)| s).collect();
+    let mut eliminated = 0;
+    for slot in slots {
+        let comp = wsd.component_mut(slot)?;
+        let before = comp.len();
+        comp.compress();
+        eliminated += before - comp.len();
+    }
+    Ok(eliminated)
+}
+
+/// Compress one component (convenience wrapper around
+/// [`Component::compress`]).
+pub fn compress_component(component: &mut Component) {
+    component.compress();
+}
+
+/// Marginalize a component onto a block of its column positions: group the
+/// rows by their projected values and sum probabilities.
+fn marginal(component: &Component, block: &[usize]) -> Vec<(Vec<Value>, f64)> {
+    let mut groups: BTreeMap<Vec<Value>, f64> = BTreeMap::new();
+    for row in &component.rows {
+        let key: Vec<Value> = block.iter().map(|&i| row.values[i].clone()).collect();
+        *groups.entry(key).or_insert(0.0) += row.prob;
+    }
+    groups.into_iter().collect()
+}
+
+/// Check whether a partition of the column positions factorizes the component
+/// both as a relation (support) and as a probability distribution.
+fn partition_factorizes(component: &Component, blocks: &[Vec<usize>]) -> bool {
+    // Support check: Π|π_Bi(C)| = |distinct rows of C|.
+    let distinct_rows: std::collections::BTreeSet<&Vec<Value>> =
+        component.rows.iter().map(|r| &r.values).collect();
+    let mut product: u128 = 1;
+    let marginals: Vec<Vec<(Vec<Value>, f64)>> =
+        blocks.iter().map(|b| marginal(component, b)).collect();
+    for m in &marginals {
+        product = product.saturating_mul(m.len() as u128);
+        if product > distinct_rows.len() as u128 {
+            return false;
+        }
+    }
+    if product != distinct_rows.len() as u128 {
+        return false;
+    }
+    // Probability check: every row's probability is the product of its blocks'
+    // marginal probabilities (after compressing duplicate rows).
+    let mut compressed = component.clone();
+    compressed.compress();
+    for row in &compressed.rows {
+        let mut expected = 1.0;
+        for (block, m) in blocks.iter().zip(&marginals) {
+            let key: Vec<Value> = block.iter().map(|&i| row.values[i].clone()).collect();
+            let p = m
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, p)| *p)
+                .unwrap_or(0.0);
+            expected *= p;
+        }
+        if (expected - row.prob).abs() > PROB_EPSILON {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether two columns are (pairwise) probabilistically independent: the
+/// joint marginal over `{a, b}` equals the product of the marginals over
+/// `{a}` and `{b}`, both in support and in probability.
+fn columns_independent(component: &Component, a: usize, b: usize) -> bool {
+    let joint = marginal(component, &[a, b]);
+    let ma = marginal(component, &[a]);
+    let mb = marginal(component, &[b]);
+    if joint.len() != ma.len() * mb.len() {
+        return false;
+    }
+    joint.iter().all(|(values, p)| {
+        let pa = ma
+            .iter()
+            .find(|(k, _)| k[0] == values[0])
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0);
+        let pb = mb
+            .iter()
+            .find(|(k, _)| k[0] == values[1])
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0);
+        (pa * pb - p).abs() <= PROB_EPSILON
+    })
+}
+
+/// Factorize a component into a maximal (under pairwise-detectable
+/// correlations) list of probabilistically independent components whose
+/// composition equals the input.
+pub fn decompose_component(component: &Component) -> Vec<Component> {
+    let width = component.width();
+    if width <= 1 {
+        return vec![component.clone()];
+    }
+    let mut compressed = component.clone();
+    compressed.compress();
+
+    // Start from the connected components of the pairwise-correlation graph.
+    let mut block_of: Vec<usize> = (0..width).collect();
+    fn find(block_of: &mut Vec<usize>, i: usize) -> usize {
+        if block_of[i] != i {
+            let root = find(block_of, block_of[i]);
+            block_of[i] = root;
+        }
+        block_of[i]
+    }
+    for a in 0..width {
+        for b in (a + 1)..width {
+            if !columns_independent(&compressed, a, b) {
+                let ra = find(&mut block_of, a);
+                let rb = find(&mut block_of, b);
+                block_of[ra] = rb;
+            }
+        }
+    }
+    let roots: Vec<usize> = (0..width).map(|i| find(&mut block_of, i)).collect();
+    let mut blocks: Vec<Vec<usize>> = Vec::new();
+    for i in 0..width {
+        match blocks.iter_mut().find(|b| roots[b[0]] == roots[i]) {
+            Some(b) => b.push(i),
+            None => blocks.push(vec![i]),
+        }
+    }
+
+    // Verify; if higher-order correlations remain, coarsen: keep blocks that
+    // are individually factors, merge everything else.
+    if !partition_factorizes(&compressed, &blocks) {
+        let mut factor_blocks: Vec<Vec<usize>> = Vec::new();
+        let mut rest: Vec<usize> = Vec::new();
+        for b in &blocks {
+            let complement: Vec<usize> = (0..width).filter(|i| !b.contains(i)).collect();
+            if complement.is_empty() {
+                rest.extend(b.iter().copied());
+                continue;
+            }
+            if partition_factorizes(&compressed, &[b.clone(), complement]) {
+                factor_blocks.push(b.clone());
+            } else {
+                rest.extend(b.iter().copied());
+            }
+        }
+        if !rest.is_empty() {
+            factor_blocks.push(rest);
+        }
+        blocks = factor_blocks;
+        if !partition_factorizes(&compressed, &blocks) {
+            // Fall back to the trivial decomposition.
+            blocks = vec![(0..width).collect()];
+        }
+    }
+
+    if blocks.len() == 1 {
+        return vec![compressed];
+    }
+    blocks
+        .into_iter()
+        .map(|block| {
+            let fields: Vec<FieldId> = block
+                .iter()
+                .map(|&i| compressed.fields[i].clone())
+                .collect();
+            let rows = marginal(&compressed, &block)
+                .into_iter()
+                .map(|(values, prob)| LocalWorld::new(values, prob))
+                .collect();
+            Component { fields, rows }
+        })
+        .collect()
+}
+
+/// Apply [`decompose_component`] to every component of the WSD, replacing
+/// decomposable components in place.  Returns the number of additional
+/// components gained.
+pub fn decompose_all(wsd: &mut Wsd) -> Result<usize> {
+    let slots: Vec<usize> = wsd.components().map(|(s, _)| s).collect();
+    let mut gained = 0;
+    for slot in slots {
+        let parts = decompose_component(wsd.component(slot)?);
+        if parts.len() > 1 {
+            gained += parts.len() - 1;
+            wsd.replace_component(slot, parts)?;
+        }
+    }
+    Ok(gained)
+}
+
+/// Full normalization pass: remove invalid tuples of every relation, compress
+/// every component, and maximally decompose.
+pub fn normalize(wsd: &mut Wsd) -> Result<()> {
+    let relations: Vec<String> = wsd.relation_names().iter().map(|s| s.to_string()).collect();
+    for rel in relations {
+        remove_invalid_tuples(wsd, &rel)?;
+    }
+    compress_all(wsd)?;
+    decompose_all(wsd)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wsd::example_census_wsd;
+    use ws_relational::Value;
+
+    fn f(rel: &str, t: usize, a: &str) -> FieldId {
+        FieldId::new(rel, t, a)
+    }
+
+    /// A component that is secretly the product of two independent parts.
+    fn product_component() -> Component {
+        let a = Component::uniform(f("R", 0, "A"), vec![Value::int(1), Value::int(2)]).unwrap();
+        let b = Component::weighted(
+            f("R", 0, "B"),
+            vec![(Value::int(10), 0.3), (Value::int(20), 0.7)],
+        )
+        .unwrap();
+        a.compose(&b)
+    }
+
+    #[test]
+    fn decompose_splits_independent_fields() {
+        let comp = product_component();
+        let parts = decompose_component(&comp);
+        assert_eq!(parts.len(), 2);
+        for p in &parts {
+            assert_eq!(p.width(), 1);
+            p.validate().unwrap();
+        }
+        // Recomposing yields the original distribution.
+        let recomposed = parts[0].compose(&parts[1]);
+        let mut original = comp.clone();
+        original.compress();
+        for row in &original.rows {
+            let found = recomposed
+                .rows
+                .iter()
+                .find(|r| {
+                    // fields may be ordered differently; match by field name.
+                    original
+                        .fields
+                        .iter()
+                        .enumerate()
+                        .all(|(i, field)| {
+                            let pos = recomposed.position(field).unwrap();
+                            r.values[pos] == row.values[i]
+                        })
+                })
+                .unwrap();
+            assert!((found.prob - row.prob).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn decompose_keeps_correlated_fields_together() {
+        // The SSN component of Fig. 4 is not a product: t1.S and t2.S correlate.
+        let mut c = Component::new(vec![f("R", 0, "S"), f("R", 1, "S")]);
+        c.push_row(vec![Value::int(185), Value::int(186)], 0.2).unwrap();
+        c.push_row(vec![Value::int(785), Value::int(185)], 0.4).unwrap();
+        c.push_row(vec![Value::int(785), Value::int(186)], 0.4).unwrap();
+        let parts = decompose_component(&c);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].width(), 2);
+    }
+
+    #[test]
+    fn decompose_detects_probabilistic_dependence_despite_full_support() {
+        // Support is the full product {1,2}×{1,2} but probabilities correlate.
+        let mut c = Component::new(vec![f("R", 0, "A"), f("R", 0, "B")]);
+        c.push_row(vec![Value::int(1), Value::int(1)], 0.4).unwrap();
+        c.push_row(vec![Value::int(1), Value::int(2)], 0.1).unwrap();
+        c.push_row(vec![Value::int(2), Value::int(1)], 0.1).unwrap();
+        c.push_row(vec![Value::int(2), Value::int(2)], 0.4).unwrap();
+        let parts = decompose_component(&c);
+        assert_eq!(parts.len(), 1);
+    }
+
+    #[test]
+    fn decompose_single_row_component_into_singletons() {
+        let mut c = Component::new(vec![f("R", 0, "A"), f("R", 0, "B"), f("R", 0, "C")]);
+        c.push_row(vec![Value::int(1), Value::int(2), Value::int(3)], 1.0)
+            .unwrap();
+        let parts = decompose_component(&c);
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().all(|p| p.len() == 1 && p.width() == 1));
+    }
+
+    #[test]
+    fn higher_order_dependency_is_kept_coarse_but_correct() {
+        // XOR-style: C = A ⊕ B; all pairs are independent but the triple is not.
+        let mut c = Component::new(vec![f("R", 0, "A"), f("R", 0, "B"), f("R", 0, "C")]);
+        for (a, b) in [(0i64, 0i64), (0, 1), (1, 0), (1, 1)] {
+            c.push_row(
+                vec![Value::int(a), Value::int(b), Value::int(a ^ b)],
+                0.25,
+            )
+            .unwrap();
+        }
+        let parts = decompose_component(&c);
+        // No factorization exists, so the component must stay whole.
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].width(), 3);
+    }
+
+    #[test]
+    fn decompose_all_splits_composed_wsd_back() {
+        let mut wsd = example_census_wsd();
+        let before_worlds = wsd.rep().unwrap();
+        let before_components = wsd.component_count();
+        // Artificially compose two independent components.
+        wsd.compose_fields(&[f("R", 0, "M"), f("R", 1, "M")]).unwrap();
+        assert_eq!(wsd.component_count(), before_components - 1);
+        let gained = decompose_all(&mut wsd).unwrap();
+        assert_eq!(gained, 1);
+        assert_eq!(wsd.component_count(), before_components);
+        wsd.validate().unwrap();
+        assert!(before_worlds.same_worlds(&wsd.rep().unwrap()));
+        assert!(before_worlds.same_distribution(&wsd.rep().unwrap(), 1e-9));
+    }
+
+    #[test]
+    fn compress_all_merges_duplicate_local_worlds() {
+        let mut wsd = Wsd::new();
+        wsd.register_relation("R", &["A"], 1).unwrap();
+        let mut c = Component::new(vec![f("R", 0, "A")]);
+        c.push_row(vec![Value::int(1)], 0.25).unwrap();
+        c.push_row(vec![Value::int(1)], 0.25).unwrap();
+        c.push_row(vec![Value::int(2)], 0.5).unwrap();
+        wsd.add_component(c).unwrap();
+        let eliminated = compress_all(&mut wsd).unwrap();
+        assert_eq!(eliminated, 1);
+        let field = f("R", 0, "A");
+        assert_eq!(wsd.component_of(&field).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn remove_invalid_tuples_drops_all_bottom_slots() {
+        // Figure 11 (a) / Example 12: tuple t2 of P is ⊥ in all worlds.
+        let mut wsd = Wsd::new();
+        wsd.register_relation("P", &["A", "C"], 2).unwrap();
+        wsd.set_uniform(f("P", 0, "A"), vec![Value::int(1), Value::int(2)])
+            .unwrap();
+        wsd.set_certain(f("P", 0, "C"), Value::int(7)).unwrap();
+        wsd.set_certain(f("P", 1, "A"), Value::Bottom).unwrap();
+        wsd.set_certain(f("P", 1, "C"), Value::Bottom).unwrap();
+        let removed = remove_invalid_tuples(&mut wsd, "P").unwrap();
+        assert_eq!(removed, 1);
+        wsd.validate().unwrap();
+        for (db, _) in wsd.enumerate_worlds(10).unwrap() {
+            assert_eq!(db.relation("P").unwrap().len(), 1);
+        }
+        // Idempotent.
+        assert_eq!(remove_invalid_tuples(&mut wsd, "P").unwrap(), 0);
+    }
+
+    #[test]
+    fn full_normalization_preserves_the_world_set() {
+        let mut wsd = example_census_wsd();
+        // Mess the representation up: compose everything into one component.
+        let fields: Vec<FieldId> = ["S", "N", "M"]
+            .iter()
+            .flat_map(|a| (0..2).map(move |t| f("R", t, a)))
+            .collect();
+        let before = wsd.rep().unwrap();
+        wsd.compose_fields(&fields).unwrap();
+        assert_eq!(wsd.component_count(), 1);
+        normalize(&mut wsd).unwrap();
+        wsd.validate().unwrap();
+        // The maximal decomposition of Fig. 4 has 5 components.
+        assert_eq!(wsd.component_count(), 5);
+        let after = wsd.rep().unwrap();
+        assert!(before.same_worlds(&after));
+        assert!(before.same_distribution(&after, 1e-9));
+    }
+
+    use crate::wsd::Wsd;
+}

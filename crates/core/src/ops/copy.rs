@@ -1,0 +1,32 @@
+//! The `copy` helper of §4: make `dst` a copy of `src` within the same WSD.
+//!
+//! `copy(R, P)` executes `ext(C, R.ti.A, P.ti.A)` for every component `C` and
+//! every field `R.ti.A`; afterwards `P` has the same tuples as `R` in every
+//! represented world and is perfectly correlated with it.
+
+use crate::error::{Result, WsError};
+use crate::field::FieldId;
+use crate::wsd::Wsd;
+
+/// Create relation `dst` as a copy of `src` (see module docs).
+pub fn copy(wsd: &mut Wsd, src: &str, dst: &str) -> Result<()> {
+    if wsd.contains_relation(dst) {
+        return Err(WsError::invalid(format!(
+            "result relation `{dst}` already exists"
+        )));
+    }
+    let meta = wsd.meta(src)?.clone();
+    let attrs: Vec<&str> = meta.attrs.iter().map(|a| a.as_ref()).collect();
+    wsd.register_relation(dst, &attrs, meta.tuple_count)?;
+    for t in meta.live_tuples() {
+        for a in &meta.attrs {
+            let src_field = FieldId::new(src, t, a.as_ref());
+            let dst_field = FieldId::new(dst, t, a.as_ref());
+            wsd.ext_field(&src_field, dst_field)?;
+        }
+    }
+    for &t in &meta.removed {
+        wsd.remove_tuple(dst, t)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! The difference `P := R − S` on WSDs (Figure 9).
+//!
+//! For every pair of tuple slots `(R.t_i, S.t_j)` the components defining
+//! their fields are composed; within each local world of the composed
+//! component, if `R.t_i` equals `S.t_j` on every attribute then `P.t_i` is
+//! marked absent (`⊥`) in the worlds that local world describes.  As the
+//! paper notes, difference is the least efficient operator: in the worst case
+//! it composes all components of both operands.
+
+use super::copy::copy;
+use crate::error::{Result, WsError};
+use crate::field::FieldId;
+use crate::wsd::Wsd;
+use ws_relational::Value;
+
+/// `P := R − S` (operands must have identical attribute lists).
+pub fn difference(wsd: &mut Wsd, left: &str, right: &str, dst: &str) -> Result<()> {
+    let left_meta = wsd.meta(left)?.clone();
+    let right_meta = wsd.meta(right)?.clone();
+    if left_meta.attrs != right_meta.attrs {
+        return Err(WsError::invalid(format!(
+            "difference operands `{left}` and `{right}` have different schemas"
+        )));
+    }
+    copy(wsd, left, dst)?;
+    let meta = wsd.meta(dst)?.clone();
+
+    for i in meta.live_tuples() {
+        for j in right_meta.live_tuples() {
+            // Compose every component defining a field of P.t_i or S.t_j.
+            let mut fields: Vec<FieldId> = meta
+                .attrs
+                .iter()
+                .map(|a| FieldId::new(dst, i, a.as_ref()))
+                .collect();
+            fields.extend(
+                right_meta
+                    .attrs
+                    .iter()
+                    .map(|a| FieldId::new(right, j, a.as_ref())),
+            );
+            let slot = wsd.compose_fields(&fields)?;
+            let comp = wsd.component_mut(slot)?;
+            let dst_positions: Vec<usize> = meta
+                .attrs
+                .iter()
+                .map(|a| {
+                    comp.position(&FieldId::new(dst, i, a.as_ref()))
+                        .expect("composed component defines all P.t_i fields")
+                })
+                .collect();
+            let right_positions: Vec<usize> = right_meta
+                .attrs
+                .iter()
+                .map(|a| {
+                    comp.position(&FieldId::new(right, j, a.as_ref()))
+                        .expect("composed component defines all S.t_j fields")
+                })
+                .collect();
+            for row in &mut comp.rows {
+                // The S tuple only "matches" when it is actually present.
+                let s_present = right_positions
+                    .iter()
+                    .all(|&p| !row.values[p].is_bottom());
+                let equal = s_present
+                    && dst_positions
+                        .iter()
+                        .zip(&right_positions)
+                        .all(|(&dp, &rp)| row.values[dp] == row.values[rp]);
+                if equal {
+                    for &dp in &dst_positions {
+                        row.values[dp] = Value::Bottom;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! The product `T := R × S` on WSDs (Figure 9 / Figure 14).
+//!
+//! The result relation has `|R|max · |S|max` tuple slots; slot `t_{ij}` pairs
+//! tuple `i` of `R` with tuple `j` of `S`.  Each component holding a field of
+//! `R.t_i` is extended with one copy of that column per `S` tuple slot (and
+//! symmetrically for `S`), so the result stays perfectly correlated with both
+//! inputs.  If either input tuple is absent (`⊥`) in a world, the copied `⊥`
+//! makes the paired result tuple absent as well.
+
+use crate::error::{Result, WsError};
+use crate::field::FieldId;
+use crate::wsd::Wsd;
+
+/// Tuple-slot pairing used by the product: the result slot of `(i, j)` given
+/// `|S|max` slots on the right.
+pub fn paired_slot(i: usize, j: usize, right_count: usize) -> usize {
+    i * right_count + j
+}
+
+/// `T := R × S`.
+pub fn product(wsd: &mut Wsd, left: &str, right: &str, dst: &str) -> Result<()> {
+    if wsd.contains_relation(dst) {
+        return Err(WsError::invalid(format!(
+            "result relation `{dst}` already exists"
+        )));
+    }
+    let left_meta = wsd.meta(left)?.clone();
+    let right_meta = wsd.meta(right)?.clone();
+    for a in &left_meta.attrs {
+        if right_meta.attrs.contains(a) {
+            return Err(WsError::invalid(format!(
+                "product operands share attribute `{a}`; rename first"
+            )));
+        }
+    }
+    let attrs: Vec<&str> = left_meta
+        .attrs
+        .iter()
+        .chain(right_meta.attrs.iter())
+        .map(|a| a.as_ref())
+        .collect();
+    let dst_count = left_meta.tuple_count * right_meta.tuple_count;
+    wsd.register_relation(dst, &attrs, dst_count)?;
+
+    for i in 0..left_meta.tuple_count {
+        for j in 0..right_meta.tuple_count {
+            let tid = paired_slot(i, j, right_meta.tuple_count);
+            let left_dead = left_meta.removed.contains(&i);
+            let right_dead = right_meta.removed.contains(&j);
+            if left_dead || right_dead {
+                wsd.remove_tuple(dst, tid)?;
+                continue;
+            }
+            for a in &left_meta.attrs {
+                let src = FieldId::new(left, i, a.as_ref());
+                let dst_field = FieldId::new(dst, tid, a.as_ref());
+                wsd.ext_field(&src, dst_field)?;
+            }
+            for a in &right_meta.attrs {
+                let src = FieldId::new(right, j, a.as_ref());
+                let dst_field = FieldId::new(dst, tid, a.as_ref());
+                wsd.ext_field(&src, dst_field)?;
+            }
+        }
+    }
+    Ok(())
+}

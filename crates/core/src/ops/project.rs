@@ -1,0 +1,73 @@
+//! The projection `P := π_U(R)` on WSDs (Figure 9 / Figure 15).
+//!
+//! Simply dropping the non-`U` columns would be wrong when a projected-away
+//! field carries the `⊥` marker that records the absence of its tuple in some
+//! worlds (the Fig. 15 example): the tuple would be "reintroduced".  The
+//! algorithm therefore first propagates `⊥` information from the columns to
+//! be discarded into the kept columns — composing components where necessary
+//! — and only then projects the discarded columns away.
+//!
+//! Our implementation composes *all* components holding fields of a tuple
+//! whenever any of the tuple's discarded fields can be `⊥`.  This is slightly
+//! coarser than the paper's minimal fixpoint (which only composes components
+//! actually containing a `⊥`) but represents the same world-set; a subsequent
+//! `normalize::decompose` re-splits any unnecessarily composed component.
+
+use super::copy::copy;
+use crate::error::{Result, WsError};
+use crate::field::FieldId;
+use crate::wsd::Wsd;
+use std::sync::Arc;
+use ws_relational::Value;
+
+/// `P := π_U(R)` where `attrs` is the projection list `U` (order preserved).
+pub fn project(wsd: &mut Wsd, src: &str, dst: &str, attrs: &[&str]) -> Result<()> {
+    let src_meta = wsd.meta(src)?.clone();
+    for a in attrs {
+        if !src_meta.attrs.iter().any(|b| b.as_ref() == *a) {
+            return Err(WsError::invalid(format!(
+                "projection attribute `{a}` not in schema of `{src}`"
+            )));
+        }
+    }
+    copy(wsd, src, dst)?;
+    let meta = wsd.meta(dst)?.clone();
+    let keep: Vec<Arc<str>> = attrs.iter().map(|a| Arc::from(*a)).collect();
+    let dropped: Vec<Arc<str>> = meta
+        .attrs
+        .iter()
+        .filter(|a| !attrs.contains(&a.as_ref()))
+        .cloned()
+        .collect();
+
+    // Phase 1: propagate deletion markers into the kept columns.
+    for t in meta.live_tuples() {
+        let mut needs_composition = false;
+        for a in &dropped {
+            let field = FieldId::new(dst, t, a.as_ref());
+            let values = wsd.possible_values(&field)?;
+            if values.contains(&Value::Bottom) {
+                needs_composition = true;
+                break;
+            }
+        }
+        if needs_composition {
+            let fields: Vec<FieldId> = meta
+                .attrs
+                .iter()
+                .map(|a| FieldId::new(dst, t, a.as_ref()))
+                .collect();
+            let slot = wsd.compose_fields(&fields)?;
+            wsd.component_mut(slot)?.propagate_bottom(dst);
+        }
+    }
+
+    // Phase 2: project away the discarded columns and shrink the schema.
+    for t in meta.live_tuples() {
+        for a in &dropped {
+            wsd.remove_field(&FieldId::new(dst, t, a.as_ref()))?;
+        }
+    }
+    wsd.set_relation_attrs(dst, keep)?;
+    Ok(())
+}

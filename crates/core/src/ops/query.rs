@@ -1,0 +1,170 @@
+//! The query processor `Q̂` on WSDs: translate a relational-algebra query to
+//! the per-operator algorithms of Figure 9.
+//!
+//! Given a query `Q`, the result of `evaluate_query` is a new relation inside
+//! the same WSD such that dropping all other relations yields a WSD
+//! representing `{ Q(A) | A ∈ rep(W) }` (Theorem 1).  Intermediate results
+//! get fresh relation names and remain represented, which is exactly what
+//! keeps correlated sub-queries correlated.
+//!
+//! Composite selection conditions — which the paper's Fig. 9 leaves to the
+//! atomic cases — are handled by rewriting:
+//! `σ_{φ∧ψ} = σ_φ ∘ σ_ψ`, `σ_{φ∨ψ}(R) = σ_φ(R) ∪ σ_ψ(R)` (set semantics), and
+//! negations are pushed onto the atoms by flipping the comparison operator.
+
+use super::{copy, difference, product, project, rename, select_attr, select_const, union};
+use crate::error::{Result, WsError};
+use crate::wsd::Wsd;
+use ws_relational::{Predicate, RaExpr};
+
+/// Generate a fresh intermediate relation name that does not clash with any
+/// relation already registered in the WSD.
+pub fn fresh_name(wsd: &Wsd, counter: &mut usize, hint: &str) -> String {
+    loop {
+        let name = format!("__{hint}{}", *counter);
+        *counter += 1;
+        if !wsd.contains_relation(&name) {
+            return name;
+        }
+    }
+}
+
+/// Evaluate a relational-algebra query over the WSD, materializing the result
+/// as relation `out`.  Returns the name of the result relation (`out`).
+pub fn evaluate_query(wsd: &mut Wsd, query: &RaExpr, out: &str) -> Result<String> {
+    let mut counter = 0usize;
+    eval_into(wsd, query, out, &mut counter)?;
+    Ok(out.to_string())
+}
+
+fn eval_into(wsd: &mut Wsd, query: &RaExpr, out: &str, counter: &mut usize) -> Result<()> {
+    match query {
+        RaExpr::Rel(name) => {
+            if !wsd.contains_relation(name) {
+                return Err(WsError::unknown_relation(name.clone()));
+            }
+            copy(wsd, name, out)
+        }
+        RaExpr::Select { pred, input } => {
+            let in_name = fresh_name(wsd, counter, "sel_in");
+            eval_into(wsd, input, &in_name, counter)?;
+            apply_selection(wsd, &in_name, pred, out, counter)
+        }
+        RaExpr::Project { attrs, input } => {
+            let in_name = fresh_name(wsd, counter, "proj_in");
+            eval_into(wsd, input, &in_name, counter)?;
+            let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            project(wsd, &in_name, out, &attr_refs)
+        }
+        RaExpr::Product { left, right } => {
+            let l = fresh_name(wsd, counter, "prod_l");
+            let r = fresh_name(wsd, counter, "prod_r");
+            eval_into(wsd, left, &l, counter)?;
+            eval_into(wsd, right, &r, counter)?;
+            product(wsd, &l, &r, out)
+        }
+        RaExpr::Union { left, right } => {
+            let l = fresh_name(wsd, counter, "union_l");
+            let r = fresh_name(wsd, counter, "union_r");
+            eval_into(wsd, left, &l, counter)?;
+            eval_into(wsd, right, &r, counter)?;
+            union(wsd, &l, &r, out)
+        }
+        RaExpr::Difference { left, right } => {
+            let l = fresh_name(wsd, counter, "diff_l");
+            let r = fresh_name(wsd, counter, "diff_r");
+            eval_into(wsd, left, &l, counter)?;
+            eval_into(wsd, right, &r, counter)?;
+            difference(wsd, &l, &r, out)
+        }
+        RaExpr::Rename { from, to, input } => {
+            let in_name = fresh_name(wsd, counter, "ren_in");
+            eval_into(wsd, input, &in_name, counter)?;
+            rename(wsd, &in_name, out, from, to)
+        }
+    }
+}
+
+/// Apply a possibly composite selection predicate to relation `src`,
+/// materializing the result as `out`.
+fn apply_selection(
+    wsd: &mut Wsd,
+    src: &str,
+    pred: &Predicate,
+    out: &str,
+    counter: &mut usize,
+) -> Result<()> {
+    match pred {
+        Predicate::AttrConst { attr, op, value } => {
+            select_const(wsd, src, out, attr, *op, value)
+        }
+        Predicate::AttrAttr { left, op, right } => select_attr(wsd, src, out, left, *op, right),
+        Predicate::And(ps) => {
+            if ps.is_empty() {
+                return copy(wsd, src, out);
+            }
+            let mut current = src.to_string();
+            for (i, p) in ps.iter().enumerate() {
+                let target = if i + 1 == ps.len() {
+                    out.to_string()
+                } else {
+                    fresh_name(wsd, counter, "and")
+                };
+                apply_selection(wsd, &current, p, &target, counter)?;
+                current = target;
+            }
+            Ok(())
+        }
+        Predicate::Or(ps) => {
+            if ps.is_empty() {
+                return Err(WsError::invalid(
+                    "empty disjunction is not supported as a WSD selection",
+                ));
+            }
+            if ps.len() == 1 {
+                return apply_selection(wsd, src, &ps[0], out, counter);
+            }
+            // σ_{φ1∨…∨φk}(R) = σ_{φ1}(R) ∪ … ∪ σ_{φk}(R).
+            let mut branches = Vec::with_capacity(ps.len());
+            for p in ps {
+                let b = fresh_name(wsd, counter, "or");
+                apply_selection(wsd, src, p, &b, counter)?;
+                branches.push(b);
+            }
+            let mut acc = branches[0].clone();
+            for (i, b) in branches.iter().enumerate().skip(1) {
+                let target = if i + 1 == branches.len() {
+                    out.to_string()
+                } else {
+                    fresh_name(wsd, counter, "or_u")
+                };
+                union(wsd, &acc, b, &target)?;
+                acc = target;
+            }
+            Ok(())
+        }
+        Predicate::Not(p) => {
+            let pushed = negate(p)?;
+            apply_selection(wsd, src, &pushed, out, counter)
+        }
+    }
+}
+
+/// Push a negation onto the comparison atoms (De Morgan + operator flipping).
+fn negate(pred: &Predicate) -> Result<Predicate> {
+    Ok(match pred {
+        Predicate::AttrConst { attr, op, value } => Predicate::AttrConst {
+            attr: attr.clone(),
+            op: op.negate(),
+            value: value.clone(),
+        },
+        Predicate::AttrAttr { left, op, right } => Predicate::AttrAttr {
+            left: left.clone(),
+            op: op.negate(),
+            right: right.clone(),
+        },
+        Predicate::And(ps) => Predicate::Or(ps.iter().map(negate).collect::<Result<_>>()?),
+        Predicate::Or(ps) => Predicate::And(ps.iter().map(negate).collect::<Result<_>>()?),
+        Predicate::Not(p) => (**p).clone(),
+    })
+}

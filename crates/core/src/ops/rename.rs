@@ -1,0 +1,54 @@
+//! The renaming `δ_{A→A'}(R)` on WSDs (Figure 9).
+//!
+//! Renaming only changes attribute names; the result is materialized as a new
+//! relation `dst` whose fields are copies of `R`'s fields under the renamed
+//! attribute, so that (as with every other operator) the input relation stays
+//! available in the same WSD.
+
+use crate::error::{Result, WsError};
+use crate::field::FieldId;
+use crate::wsd::Wsd;
+
+/// `P := δ_{from→to}(R)`.
+pub fn rename(wsd: &mut Wsd, src: &str, dst: &str, from: &str, to: &str) -> Result<()> {
+    if wsd.contains_relation(dst) {
+        return Err(WsError::invalid(format!(
+            "result relation `{dst}` already exists"
+        )));
+    }
+    let meta = wsd.meta(src)?.clone();
+    if !meta.attrs.iter().any(|a| a.as_ref() == from) {
+        return Err(WsError::invalid(format!(
+            "attribute `{from}` not in schema of `{src}`"
+        )));
+    }
+    if from != to && meta.attrs.iter().any(|a| a.as_ref() == to) {
+        return Err(WsError::invalid(format!(
+            "attribute `{to}` already in schema of `{src}`"
+        )));
+    }
+    let new_attrs: Vec<String> = meta
+        .attrs
+        .iter()
+        .map(|a| {
+            if a.as_ref() == from {
+                to.to_string()
+            } else {
+                a.to_string()
+            }
+        })
+        .collect();
+    let new_attr_refs: Vec<&str> = new_attrs.iter().map(String::as_str).collect();
+    wsd.register_relation(dst, &new_attr_refs, meta.tuple_count)?;
+    for t in meta.live_tuples() {
+        for (old, new) in meta.attrs.iter().zip(&new_attrs) {
+            let src_field = FieldId::new(src, t, old.as_ref());
+            let dst_field = FieldId::new(dst, t, new.as_str());
+            wsd.ext_field(&src_field, dst_field)?;
+        }
+    }
+    for &t in &meta.removed {
+        wsd.remove_tuple(dst, t)?;
+    }
+    Ok(())
+}

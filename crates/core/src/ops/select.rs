@@ -1,0 +1,93 @@
+//! Selections on WSDs: `σ_{Aθc}` and `σ_{AθB}` (Figure 9, first column).
+//!
+//! A selection must not delete tuples from component relations — a component
+//! tuple describes many worlds at once and may define values for several
+//! tuples.  Instead, fields of tuples that fail the condition are overwritten
+//! with `⊥`, and `propagate-⊥` (Fig. 12) marks the rest of the tuple's fields
+//! in the same component so that later projections cannot "reintroduce" the
+//! deleted tuple.
+
+use super::copy::copy;
+use crate::error::Result;
+use crate::field::FieldId;
+use crate::wsd::Wsd;
+use ws_relational::{CmpOp, Value};
+
+/// `P := σ_{Aθc}(R)`: selection with a constant comparison.
+pub fn select_const(
+    wsd: &mut Wsd,
+    src: &str,
+    dst: &str,
+    attr: &str,
+    op: CmpOp,
+    constant: &Value,
+) -> Result<()> {
+    copy(wsd, src, dst)?;
+    let meta = wsd.meta(dst)?.clone();
+    for t in meta.live_tuples() {
+        let field = FieldId::new(dst, t, attr);
+        let slot = wsd.slot_of(&field)?;
+        let comp = wsd.component_mut(slot)?;
+        let pos = comp
+            .position(&field)
+            .expect("field index points to defining component");
+        for row in &mut comp.rows {
+            let v = &row.values[pos];
+            if v.is_bottom() {
+                continue; // tuple already absent in these worlds
+            }
+            if !op.eval(v, constant) {
+                row.values[pos] = Value::Bottom;
+            }
+        }
+        comp.propagate_bottom(dst);
+    }
+    Ok(())
+}
+
+/// `P := σ_{AθB}(R)`: selection comparing two attributes of the same tuple.
+///
+/// If the two attributes of a tuple live in different components, those
+/// components are composed first — the current decomposition may not be able
+/// to express exactly the combinations satisfying the join condition.
+pub fn select_attr(
+    wsd: &mut Wsd,
+    src: &str,
+    dst: &str,
+    left: &str,
+    op: CmpOp,
+    right: &str,
+) -> Result<()> {
+    copy(wsd, src, dst)?;
+    let meta = wsd.meta(dst)?.clone();
+    for t in meta.live_tuples() {
+        let f_left = FieldId::new(dst, t, left);
+        let f_right = FieldId::new(dst, t, right);
+        let slot_left = wsd.slot_of(&f_left)?;
+        let slot_right = wsd.slot_of(&f_right)?;
+        let slot = if slot_left == slot_right {
+            slot_left
+        } else {
+            wsd.compose_slots(&[slot_left, slot_right])?
+        };
+        let comp = wsd.component_mut(slot)?;
+        let pos_left = comp
+            .position(&f_left)
+            .expect("left field defined in composed component");
+        let pos_right = comp
+            .position(&f_right)
+            .expect("right field defined in composed component");
+        for row in &mut comp.rows {
+            let l = &row.values[pos_left];
+            let r = &row.values[pos_right];
+            if l.is_bottom() {
+                continue;
+            }
+            if !op.eval(l, r) {
+                row.values[pos_left] = Value::Bottom;
+            }
+        }
+        comp.propagate_bottom(dst);
+    }
+    Ok(())
+}

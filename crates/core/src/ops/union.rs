@@ -1,0 +1,51 @@
+//! The union `T := R ∪ S` on WSDs (Figure 9).
+//!
+//! The result has `|R|max + |S|max` tuple slots: the first block mirrors the
+//! tuples of `R`, the second block mirrors the tuples of `S`.  Each component
+//! holding a field of `R` or `S` is extended so that in each of its local
+//! worlds all values of `R` and `S` also become values of `T`.
+
+use crate::error::{Result, WsError};
+use crate::field::FieldId;
+use crate::wsd::Wsd;
+
+/// `T := R ∪ S` (operands must have identical attribute lists).
+pub fn union(wsd: &mut Wsd, left: &str, right: &str, dst: &str) -> Result<()> {
+    if wsd.contains_relation(dst) {
+        return Err(WsError::invalid(format!(
+            "result relation `{dst}` already exists"
+        )));
+    }
+    let left_meta = wsd.meta(left)?.clone();
+    let right_meta = wsd.meta(right)?.clone();
+    if left_meta.attrs != right_meta.attrs {
+        return Err(WsError::invalid(format!(
+            "union operands `{left}` and `{right}` have different schemas"
+        )));
+    }
+    let attrs: Vec<&str> = left_meta.attrs.iter().map(|a| a.as_ref()).collect();
+    wsd.register_relation(dst, &attrs, left_meta.tuple_count + right_meta.tuple_count)?;
+
+    for i in 0..left_meta.tuple_count {
+        if left_meta.removed.contains(&i) {
+            wsd.remove_tuple(dst, i)?;
+            continue;
+        }
+        for a in &left_meta.attrs {
+            let src = FieldId::new(left, i, a.as_ref());
+            wsd.ext_field(&src, FieldId::new(dst, i, a.as_ref()))?;
+        }
+    }
+    for j in 0..right_meta.tuple_count {
+        let tid = left_meta.tuple_count + j;
+        if right_meta.removed.contains(&j) {
+            wsd.remove_tuple(dst, tid)?;
+            continue;
+        }
+        for a in &right_meta.attrs {
+            let src = FieldId::new(right, j, a.as_ref());
+            wsd.ext_field(&src, FieldId::new(dst, tid, a.as_ref()))?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,828 @@
+//! World-set decompositions (WSDs).
+//!
+//! A WSD represents a finite set of possible worlds over a relational schema
+//! as a set of [`Component`]s whose product is a world-set relation of the
+//! world-set (§3, Definitions 1–2).  Each field `R.t.A` of the inlined schema
+//! is covered by exactly one component; choosing one local world per
+//! component yields one possible world whose probability is the product of
+//! the chosen local worlds' probabilities.
+
+use crate::component::{Component, LocalWorld};
+use crate::error::{Result, WsError};
+use crate::field::{FieldId, TupleId};
+use crate::worldset::WorldSet;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::sync::Arc;
+use ws_relational::{Database, Relation, Schema, Tuple, Value};
+
+/// Default cap on explicit world enumeration (used by [`Wsd::rep`]).
+pub const DEFAULT_WORLD_LIMIT: u128 = 1_000_000;
+
+/// Metadata about one relation represented by a WSD.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelationMeta {
+    /// The attribute names, in schema order.
+    pub attrs: Vec<Arc<str>>,
+    /// `|R|max`: the number of tuple slots of the relation.
+    pub tuple_count: usize,
+    /// Tuple slots removed entirely by normalization (absent from all worlds).
+    pub removed: BTreeSet<usize>,
+}
+
+impl RelationMeta {
+    /// The tuple slots that are still live (not removed by normalization).
+    pub fn live_tuples(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.tuple_count).filter(move |t| !self.removed.contains(t))
+    }
+
+    /// The schema of the relation (named-perspective view).
+    pub fn schema(&self, name: &str) -> Schema {
+        Schema::from_parts(Arc::from(name), self.attrs.clone())
+    }
+}
+
+/// A (probabilistic) world-set decomposition.
+#[derive(Clone, Debug, Default)]
+pub struct Wsd {
+    relations: BTreeMap<String, RelationMeta>,
+    /// Component slots; `None` marks slots vacated by composition/removal.
+    components: Vec<Option<Component>>,
+    /// Which component slot covers each field.
+    field_index: HashMap<FieldId, usize>,
+}
+
+impl Wsd {
+    /// Create an empty WSD (representing the single empty database if no
+    /// relations are registered).
+    pub fn new() -> Self {
+        Wsd::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Register a relation with the given attributes and number of tuple
+    /// slots.  Fields must subsequently be covered via [`Wsd::set_certain`],
+    /// [`Wsd::set_uniform`], [`Wsd::set_alternatives`] or
+    /// [`Wsd::add_component`].
+    pub fn register_relation<S: AsRef<str>>(
+        &mut self,
+        name: impl AsRef<str>,
+        attrs: &[S],
+        tuple_count: usize,
+    ) -> Result<()> {
+        let name = name.as_ref().to_string();
+        if self.relations.contains_key(&name) {
+            return Err(WsError::invalid(format!(
+                "relation `{name}` already registered"
+            )));
+        }
+        self.relations.insert(
+            name,
+            RelationMeta {
+                attrs: attrs.iter().map(|a| Arc::from(a.as_ref())).collect(),
+                tuple_count,
+                removed: BTreeSet::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Register a completely certain relation: every field becomes its own
+    /// single-row component with probability 1.
+    pub fn add_certain_relation(&mut self, relation: &Relation) -> Result<()> {
+        let name = relation.schema().relation().to_string();
+        let attrs: Vec<&str> = relation
+            .schema()
+            .attrs()
+            .iter()
+            .map(|a| a.as_ref())
+            .collect();
+        self.register_relation(&name, &attrs, relation.len())?;
+        for (t, row) in relation.rows().iter().enumerate() {
+            for (a, attr) in attrs.iter().enumerate() {
+                self.set_certain(FieldId::new(&name, t, attr), row[a].clone())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Cover a field with a certain value.
+    pub fn set_certain(&mut self, field: FieldId, value: Value) -> Result<()> {
+        self.add_component(Component::certain(field, value))
+    }
+
+    /// Cover a field with equally likely alternatives (or-set semantics).
+    pub fn set_uniform(&mut self, field: FieldId, alternatives: Vec<Value>) -> Result<()> {
+        self.add_component(Component::uniform(field, alternatives)?)
+    }
+
+    /// Cover a field with weighted alternatives.
+    pub fn set_alternatives(
+        &mut self,
+        field: FieldId,
+        alternatives: Vec<(Value, f64)>,
+    ) -> Result<()> {
+        self.add_component(Component::weighted(field, alternatives)?)
+    }
+
+    /// Add a (validated) component covering the fields it mentions.
+    ///
+    /// All fields must belong to registered relations, address tuple slots
+    /// within range, and not already be covered by another component.
+    pub fn add_component(&mut self, component: Component) -> Result<()> {
+        component.validate()?;
+        for f in &component.fields {
+            let meta = self
+                .relations
+                .get(f.relation.as_ref())
+                .ok_or_else(|| WsError::unknown_relation(f.relation.as_ref()))?;
+            if f.tuple.0 >= meta.tuple_count {
+                return Err(WsError::invalid(format!(
+                    "tuple slot {} out of range for relation `{}`",
+                    f.tuple, f.relation
+                )));
+            }
+            if !meta.attrs.contains(&f.attr) {
+                return Err(WsError::invalid(format!(
+                    "attribute `{}` not in schema of `{}`",
+                    f.attr, f.relation
+                )));
+            }
+            if self.field_index.contains_key(f) {
+                return Err(WsError::invalid(format!(
+                    "field {f} is already covered by a component"
+                )));
+            }
+        }
+        let slot = self.components.len();
+        for f in &component.fields {
+            self.field_index.insert(f.clone(), slot);
+        }
+        self.components.push(Some(component));
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Names of the relations represented by this WSD.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.keys().map(String::as_str).collect()
+    }
+
+    /// Whether a relation is registered.
+    pub fn contains_relation(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// The metadata of a relation.
+    pub fn meta(&self, name: &str) -> Result<&RelationMeta> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| WsError::unknown_relation(name))
+    }
+
+    fn meta_mut(&mut self, name: &str) -> Result<&mut RelationMeta> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| WsError::unknown_relation(name))
+    }
+
+    /// Remove a relation and all fields referring to it from the WSD.
+    ///
+    /// Dropping a relation marginalizes out the uncertainty that only
+    /// affected that relation; correlations with other relations are
+    /// preserved because shared components simply lose the dropped columns.
+    pub fn drop_relation(&mut self, name: &str) -> Result<()> {
+        let meta = self.meta(name)?.clone();
+        for t in 0..meta.tuple_count {
+            for a in &meta.attrs {
+                let field = FieldId::from_parts(Arc::from(name), TupleId(t), a.clone());
+                if self.field_index.contains_key(&field) {
+                    self.remove_field(&field)?;
+                }
+            }
+        }
+        self.relations.remove(name);
+        Ok(())
+    }
+
+    /// The fields of one tuple slot of a relation, in schema order.
+    pub fn tuple_fields(&self, relation: &str, tuple: usize) -> Result<Vec<FieldId>> {
+        let meta = self.meta(relation)?;
+        Ok(meta
+            .attrs
+            .iter()
+            .map(|a| FieldId::from_parts(Arc::from(relation), TupleId(tuple), a.clone()))
+            .collect())
+    }
+
+    /// The component slot covering a field.
+    pub fn slot_of(&self, field: &FieldId) -> Result<usize> {
+        self.field_index
+            .get(field)
+            .copied()
+            .ok_or_else(|| WsError::unknown_field(field))
+    }
+
+    /// The component covering a field.
+    pub fn component_of(&self, field: &FieldId) -> Result<&Component> {
+        let slot = self.slot_of(field)?;
+        self.component(slot)
+    }
+
+    /// The component stored at a slot.
+    pub fn component(&self, slot: usize) -> Result<&Component> {
+        self.components
+            .get(slot)
+            .and_then(Option::as_ref)
+            .ok_or_else(|| WsError::invalid(format!("component slot {slot} is empty")))
+    }
+
+    /// Mutable access to the component stored at a slot.
+    pub fn component_mut(&mut self, slot: usize) -> Result<&mut Component> {
+        self.components
+            .get_mut(slot)
+            .and_then(Option::as_mut)
+            .ok_or_else(|| WsError::invalid(format!("component slot {slot} is empty")))
+    }
+
+    /// Iterate over the live components (slot, component).
+    pub fn components(&self) -> impl Iterator<Item = (usize, &Component)> {
+        self.components
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|c| (i, c)))
+    }
+
+    /// Number of live components (the `m` of an `m`-WSD).
+    pub fn component_count(&self) -> usize {
+        self.components().count()
+    }
+
+    /// The possible values of a field across its component's local worlds.
+    pub fn possible_values(&self, field: &FieldId) -> Result<BTreeSet<Value>> {
+        self.component_of(field)?.possible_values(field)
+    }
+
+    /// The certain value of a field, if it has exactly one possible value.
+    pub fn certain_value(&self, field: &FieldId) -> Result<Option<Value>> {
+        self.component_of(field)?.is_certain(field)
+    }
+
+    // ------------------------------------------------------------------
+    // Structural mutation
+    // ------------------------------------------------------------------
+
+    /// Compose the components at the given slots into one (the `compose`
+    /// operation of §4), returning the slot of the merged component.
+    pub fn compose_slots(&mut self, slots: &[usize]) -> Result<usize> {
+        let mut distinct: Vec<usize> = slots.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        if distinct.is_empty() {
+            return Err(WsError::invalid("compose requires at least one slot"));
+        }
+        let target = distinct[0];
+        // Verify all slots are live before mutating anything.
+        for &s in &distinct {
+            self.component(s)?;
+        }
+        let mut merged = self.components[target].take().unwrap();
+        for &s in &distinct[1..] {
+            let other = self.components[s].take().unwrap();
+            merged = merged.compose(&other);
+        }
+        for f in &merged.fields {
+            self.field_index.insert(f.clone(), target);
+        }
+        self.components[target] = Some(merged);
+        Ok(target)
+    }
+
+    /// Compose the components covering the given fields, returning the slot
+    /// of the resulting component.
+    pub fn compose_fields(&mut self, fields: &[FieldId]) -> Result<usize> {
+        let slots: Vec<usize> = fields
+            .iter()
+            .map(|f| self.slot_of(f))
+            .collect::<Result<_>>()?;
+        self.compose_slots(&slots)
+    }
+
+    /// The `ext`-based copy of one field: add `dst` as a new column of the
+    /// component covering `src`, copying `src`'s values.
+    pub fn ext_field(&mut self, src: &FieldId, dst: FieldId) -> Result<()> {
+        let meta = self
+            .relations
+            .get(dst.relation.as_ref())
+            .ok_or_else(|| WsError::unknown_relation(dst.relation.as_ref()))?;
+        if dst.tuple.0 >= meta.tuple_count {
+            return Err(WsError::invalid(format!(
+                "tuple slot {} out of range for relation `{}`",
+                dst.tuple, dst.relation
+            )));
+        }
+        if self.field_index.contains_key(&dst) {
+            return Err(WsError::invalid(format!("field {dst} already covered")));
+        }
+        let slot = self.slot_of(src)?;
+        self.component_mut(slot)?.ext(src, dst.clone())?;
+        self.field_index.insert(dst, slot);
+        Ok(())
+    }
+
+    /// Remove a field's column from its component.  Components left without
+    /// columns are dropped (their uncertainty is marginalized out).
+    pub fn remove_field(&mut self, field: &FieldId) -> Result<()> {
+        let slot = self.slot_of(field)?;
+        {
+            let comp = self.component_mut(slot)?;
+            comp.project_away(field)?;
+            if comp.width() == 0 {
+                self.components[slot] = None;
+            }
+        }
+        self.field_index.remove(field);
+        Ok(())
+    }
+
+    /// Remove an entire tuple slot of a relation: all its fields are dropped
+    /// and the slot is marked as removed (absent from every world).
+    pub fn remove_tuple(&mut self, relation: &str, tuple: usize) -> Result<()> {
+        let fields = self.tuple_fields(relation, tuple)?;
+        for f in fields {
+            if self.field_index.contains_key(&f) {
+                self.remove_field(&f)?;
+            }
+        }
+        self.meta_mut(relation)?.removed.insert(tuple);
+        Ok(())
+    }
+
+    /// Replace the component at `slot` by one or more parts covering exactly
+    /// the same fields (used by the `decompose` normalization).  The first
+    /// part stays in `slot`; the remaining parts get fresh slots.
+    pub fn replace_component(&mut self, slot: usize, parts: Vec<Component>) -> Result<()> {
+        let original = self.component(slot)?;
+        let original_fields: BTreeSet<FieldId> = original.fields.iter().cloned().collect();
+        let part_fields: BTreeSet<FieldId> = parts
+            .iter()
+            .flat_map(|p| p.fields.iter().cloned())
+            .collect();
+        let total: usize = parts.iter().map(|p| p.fields.len()).sum();
+        if parts.is_empty() || part_fields != original_fields || total != original_fields.len() {
+            return Err(WsError::invalid(
+                "replacement parts must partition exactly the original component's fields",
+            ));
+        }
+        for p in &parts {
+            p.validate()?;
+        }
+        let mut parts = parts;
+        let first = parts.remove(0);
+        for f in &first.fields {
+            self.field_index.insert(f.clone(), slot);
+        }
+        self.components[slot] = Some(first);
+        for p in parts {
+            let new_slot = self.components.len();
+            for f in &p.fields {
+                self.field_index.insert(f.clone(), new_slot);
+            }
+            self.components.push(Some(p));
+        }
+        Ok(())
+    }
+
+    /// Restrict a relation's schema to a subset of its attributes (used by the
+    /// projection operator after the corresponding field columns have been
+    /// dropped).  The attribute list is replaced by `attrs` in the given order.
+    pub fn set_relation_attrs(&mut self, name: &str, attrs: Vec<Arc<str>>) -> Result<()> {
+        let meta = self.meta_mut(name)?;
+        meta.attrs = attrs;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Validation
+    // ------------------------------------------------------------------
+
+    /// Check the structural invariants of the WSD: every live field of every
+    /// registered relation is covered by exactly one live component, the
+    /// field index agrees with the component schemas, and every component
+    /// validates (arity, probabilities summing to one).
+    pub fn validate(&self) -> Result<()> {
+        for (slot, comp) in self.components() {
+            comp.validate()?;
+            for f in &comp.fields {
+                match self.field_index.get(f) {
+                    Some(&s) if s == slot => {}
+                    _ => {
+                        return Err(WsError::invalid(format!(
+                            "field {f} not indexed to its component"
+                        )))
+                    }
+                }
+            }
+        }
+        for (field, &slot) in &self.field_index {
+            let comp = self.component(slot)?;
+            if comp.position(field).is_none() {
+                return Err(WsError::invalid(format!(
+                    "field {field} indexed to a component that does not define it"
+                )));
+            }
+        }
+        for (name, meta) in &self.relations {
+            for t in meta.live_tuples() {
+                for a in &meta.attrs {
+                    let field = FieldId::from_parts(Arc::from(name.as_str()), TupleId(t), a.clone());
+                    if !self.field_index.contains_key(&field) {
+                        return Err(WsError::invalid(format!(
+                            "field {field} of relation `{name}` is not covered"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // World semantics
+    // ------------------------------------------------------------------
+
+    /// The number of component-tuple combinations, i.e. the number of worlds
+    /// described by the decomposition (worlds may repeat; saturating).
+    pub fn world_count(&self) -> u128 {
+        let mut n: u128 = 1;
+        for (_, c) in self.components() {
+            n = n.saturating_mul(c.len() as u128);
+        }
+        n
+    }
+
+    /// Enumerate all possible worlds with their probabilities.
+    ///
+    /// This materializes the represented world-set and is intended for
+    /// testing, oracles and small examples; it fails if the decomposition
+    /// describes more than `limit` worlds.
+    pub fn enumerate_worlds(&self, limit: u128) -> Result<Vec<(Database, f64)>> {
+        let count = self.world_count();
+        if count > limit {
+            return Err(WsError::TooManyWorlds {
+                worlds: count,
+                limit,
+            });
+        }
+        let slots: Vec<usize> = self.components().map(|(i, _)| i).collect();
+        let mut choice = vec![0usize; slots.len()];
+        let mut out = Vec::new();
+        loop {
+            let mut prob = 1.0;
+            for (k, &slot) in slots.iter().enumerate() {
+                prob *= self.component(slot)?.rows[choice[k]].prob;
+            }
+            out.push((self.world_for_choice(&slots, &choice)?, prob));
+            // Advance the odometer.
+            let mut k = 0;
+            loop {
+                if k == slots.len() {
+                    return Ok(out);
+                }
+                choice[k] += 1;
+                if choice[k] < self.component(slots[k])?.len() {
+                    break;
+                }
+                choice[k] = 0;
+                k += 1;
+            }
+            if slots.is_empty() {
+                return Ok(out);
+            }
+        }
+    }
+
+    /// Build the database obtained by picking the given local world from each
+    /// listed component slot.
+    fn world_for_choice(&self, slots: &[usize], choice: &[usize]) -> Result<Database> {
+        let mut db = Database::new();
+        for (name, meta) in &self.relations {
+            let schema = meta.schema(name);
+            let mut rel = Relation::new(schema);
+            for t in meta.live_tuples() {
+                let mut values = Vec::with_capacity(meta.attrs.len());
+                let mut dropped = false;
+                for a in &meta.attrs {
+                    let field =
+                        FieldId::from_parts(Arc::from(name.as_str()), TupleId(t), a.clone());
+                    let slot = self.slot_of(&field)?;
+                    let k = slots
+                        .iter()
+                        .position(|&s| s == slot)
+                        .ok_or_else(|| WsError::invalid("component slot not enumerated"))?;
+                    let comp = self.component(slot)?;
+                    let pos = comp
+                        .position(&field)
+                        .ok_or_else(|| WsError::unknown_field(&field))?;
+                    let v = comp.rows[choice[k]].values[pos].clone();
+                    if v.is_bottom() {
+                        dropped = true;
+                        break;
+                    }
+                    values.push(v);
+                }
+                if !dropped {
+                    let tuple = Tuple::new(values);
+                    if !rel.contains(&tuple) {
+                        rel.push(tuple)?;
+                    }
+                }
+            }
+            db.insert_relation(rel);
+        }
+        Ok(db)
+    }
+
+    /// The represented set of possible worlds, `rep(W)`, with duplicate
+    /// worlds merged and their probabilities added.
+    pub fn rep(&self) -> Result<WorldSet> {
+        self.rep_with_limit(DEFAULT_WORLD_LIMIT)
+    }
+
+    /// Like [`Wsd::rep`] with an explicit enumeration limit.
+    pub fn rep_with_limit(&self, limit: u128) -> Result<WorldSet> {
+        Ok(WorldSet::from_weighted_worlds(
+            self.enumerate_worlds(limit)?,
+        ))
+    }
+
+    /// The marginal one-relation view: enumerate the possible worlds of a
+    /// single relation (other relations' uncertainty is marginalized out).
+    pub fn rep_relation(&self, relation: &str, limit: u128) -> Result<Vec<(Relation, f64)>> {
+        let meta = self.meta(relation)?.clone();
+        let worlds = self.enumerate_worlds(limit)?;
+        let mut out: Vec<(Relation, f64)> = Vec::new();
+        for (db, p) in worlds {
+            let rel = db.relation(relation)?.clone();
+            match out.iter_mut().find(|(r, _)| r.set_eq(&rel)) {
+                Some((_, q)) => *q += p,
+                None => out.push((rel, p)),
+            }
+        }
+        let _ = meta;
+        Ok(out)
+    }
+
+    /// Probability-weighted local worlds of one component covering a field.
+    pub fn local_worlds(&self, field: &FieldId) -> Result<&[LocalWorld]> {
+        Ok(&self.component_of(field)?.rows)
+    }
+}
+
+impl fmt::Display for Wsd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "WSD with {} relation(s), {} component(s), ~{} world(s)",
+            self.relations.len(),
+            self.component_count(),
+            self.world_count()
+        )?;
+        for (slot, comp) in self.components() {
+            write!(f, "  C{slot}: [")?;
+            for (i, field) in comp.fields.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{field}")?;
+            }
+            writeln!(f, "] ({} local worlds)", comp.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// Build the WSD of the introduction's running example (Figures 4/5):
+/// relation `R[S, N, M]` with two tuples, correlated social security numbers
+/// and independent marital statuses.  Used by tests, examples and benches.
+pub fn example_census_wsd() -> Wsd {
+    let mut wsd = Wsd::new();
+    wsd.register_relation("R", &["S", "N", "M"], 2).unwrap();
+    // Correlated SSN component (after cleaning with the uniqueness constraint).
+    let mut ssn = Component::new(vec![FieldId::new("R", 0, "S"), FieldId::new("R", 1, "S")]);
+    ssn.push_row(vec![Value::int(185), Value::int(186)], 0.2)
+        .unwrap();
+    ssn.push_row(vec![Value::int(785), Value::int(185)], 0.4)
+        .unwrap();
+    ssn.push_row(vec![Value::int(785), Value::int(186)], 0.4)
+        .unwrap();
+    wsd.add_component(ssn).unwrap();
+    wsd.set_certain(FieldId::new("R", 0, "N"), Value::text("Smith"))
+        .unwrap();
+    wsd.set_certain(FieldId::new("R", 1, "N"), Value::text("Brown"))
+        .unwrap();
+    wsd.set_alternatives(
+        FieldId::new("R", 0, "M"),
+        vec![(Value::int(1), 0.7), (Value::int(2), 0.3)],
+    )
+    .unwrap();
+    wsd.set_uniform(
+        FieldId::new("R", 1, "M"),
+        vec![Value::int(1), Value::int(2), Value::int(3), Value::int(4)],
+    )
+    .unwrap();
+    wsd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_wsd_has_expected_shape() {
+        let wsd = example_census_wsd();
+        assert_eq!(wsd.relation_names(), vec!["R"]);
+        assert!(wsd.contains_relation("R"));
+        assert_eq!(wsd.component_count(), 5);
+        assert_eq!(wsd.world_count(), 3 * 2 * 4);
+        wsd.validate().unwrap();
+    }
+
+    #[test]
+    fn world_probabilities_multiply_across_components() {
+        let wsd = example_census_wsd();
+        let worlds = wsd.enumerate_worlds(1000).unwrap();
+        assert_eq!(worlds.len(), 24);
+        let total: f64 = worlds.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // The world from Example 3: SSNs (185, 186), marital (2, 2) has
+        // probability 0.2 * 1 * 0.3 * 1 * 0.25 = 0.015.
+        let target: f64 = 0.2 * 0.3 * 0.25;
+        let found = worlds.iter().any(|(db, p)| {
+            let r = db.relation("R").unwrap();
+            r.len() == 2
+                && r.contains(&Tuple::from_iter([
+                    Value::int(185),
+                    Value::text("Smith"),
+                    Value::int(2),
+                ]))
+                && r.contains(&Tuple::from_iter([
+                    Value::int(186),
+                    Value::text("Brown"),
+                    Value::int(2),
+                ]))
+                && (p - target).abs() < 1e-9
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn enumeration_limit_is_enforced() {
+        let wsd = example_census_wsd();
+        assert!(matches!(
+            wsd.enumerate_worlds(3),
+            Err(WsError::TooManyWorlds { .. })
+        ));
+        assert!(wsd.rep_with_limit(3).is_err());
+    }
+
+    #[test]
+    fn registering_and_covering_fields() {
+        let mut wsd = Wsd::new();
+        wsd.register_relation("R", &["A", "B"], 1).unwrap();
+        assert!(wsd.register_relation("R", &["A"], 1).is_err());
+        wsd.set_certain(FieldId::new("R", 0, "A"), Value::int(1))
+            .unwrap();
+        // Covering the same field twice fails.
+        assert!(wsd
+            .set_certain(FieldId::new("R", 0, "A"), Value::int(2))
+            .is_err());
+        // Unknown relation / attribute / out-of-range tuple fail.
+        assert!(wsd
+            .set_certain(FieldId::new("S", 0, "A"), Value::int(1))
+            .is_err());
+        assert!(wsd
+            .set_certain(FieldId::new("R", 0, "Z"), Value::int(1))
+            .is_err());
+        assert!(wsd
+            .set_certain(FieldId::new("R", 5, "B"), Value::int(1))
+            .is_err());
+        // Validation notices the uncovered field R.t1.B.
+        assert!(wsd.validate().is_err());
+        wsd.set_uniform(FieldId::new("R", 0, "B"), vec![Value::int(1), Value::int(2)])
+            .unwrap();
+        wsd.validate().unwrap();
+        assert_eq!(wsd.world_count(), 2);
+    }
+
+    #[test]
+    fn add_certain_relation_covers_all_fields() {
+        let mut rel = Relation::new(Schema::new("S", &["X", "Y"]).unwrap());
+        rel.push_values([1i64, 2]).unwrap();
+        rel.push_values([3i64, 4]).unwrap();
+        let mut wsd = Wsd::new();
+        wsd.add_certain_relation(&rel).unwrap();
+        wsd.validate().unwrap();
+        assert_eq!(wsd.world_count(), 1);
+        let worlds = wsd.enumerate_worlds(10).unwrap();
+        assert_eq!(worlds.len(), 1);
+        assert!(worlds[0].0.relation("S").unwrap().set_eq(&rel));
+    }
+
+    #[test]
+    fn compose_and_possible_values() {
+        let mut wsd = example_census_wsd();
+        let f_s1 = FieldId::new("R", 0, "S");
+        let f_m1 = FieldId::new("R", 0, "M");
+        assert_eq!(wsd.possible_values(&f_s1).unwrap().len(), 2);
+        assert_eq!(wsd.certain_value(&f_s1).unwrap(), None);
+        assert_eq!(
+            wsd.certain_value(&FieldId::new("R", 0, "N")).unwrap(),
+            Some(Value::text("Smith"))
+        );
+        let before = wsd.rep().unwrap();
+        let slot = wsd.compose_fields(&[f_s1.clone(), f_m1.clone()]).unwrap();
+        assert_eq!(wsd.slot_of(&f_s1).unwrap(), slot);
+        assert_eq!(wsd.slot_of(&f_m1).unwrap(), slot);
+        assert_eq!(wsd.component(slot).unwrap().len(), 6);
+        wsd.validate().unwrap();
+        // Composition does not change the represented world-set.
+        let after = wsd.rep().unwrap();
+        assert!(before.same_worlds(&after));
+        assert!(wsd.compose_slots(&[]).is_err());
+    }
+
+    #[test]
+    fn ext_and_remove_field() {
+        let mut wsd = example_census_wsd();
+        wsd.register_relation("P", &["S", "N", "M"], 2).unwrap();
+        wsd.ext_field(&FieldId::new("R", 0, "S"), FieldId::new("P", 0, "S"))
+            .unwrap();
+        assert_eq!(
+            wsd.possible_values(&FieldId::new("P", 0, "S")).unwrap(),
+            wsd.possible_values(&FieldId::new("R", 0, "S")).unwrap()
+        );
+        // Copying again or onto an unregistered relation fails.
+        assert!(wsd
+            .ext_field(&FieldId::new("R", 0, "S"), FieldId::new("P", 0, "S"))
+            .is_err());
+        assert!(wsd
+            .ext_field(&FieldId::new("R", 0, "S"), FieldId::new("Q", 0, "S"))
+            .is_err());
+        assert!(wsd
+            .ext_field(&FieldId::new("R", 0, "S"), FieldId::new("P", 7, "S"))
+            .is_err());
+        wsd.remove_field(&FieldId::new("P", 0, "S")).unwrap();
+        assert!(wsd.slot_of(&FieldId::new("P", 0, "S")).is_err());
+    }
+
+    #[test]
+    fn remove_tuple_marks_slot_removed() {
+        let mut wsd = example_census_wsd();
+        wsd.remove_tuple("R", 1).unwrap();
+        wsd.validate().unwrap();
+        let meta = wsd.meta("R").unwrap();
+        assert_eq!(meta.live_tuples().collect::<Vec<_>>(), vec![0]);
+        let worlds = wsd.enumerate_worlds(100).unwrap();
+        assert!(worlds
+            .iter()
+            .all(|(db, _)| db.relation("R").unwrap().len() == 1));
+    }
+
+    #[test]
+    fn drop_relation_removes_fields_and_metadata() {
+        let mut wsd = example_census_wsd();
+        let mut extra = Relation::new(Schema::new("S", &["X"]).unwrap());
+        extra.push_values([7i64]).unwrap();
+        wsd.add_certain_relation(&extra).unwrap();
+        wsd.drop_relation("S").unwrap();
+        assert!(!wsd.contains_relation("S"));
+        wsd.validate().unwrap();
+        assert!(wsd.drop_relation("S").is_err());
+    }
+
+    #[test]
+    fn rep_relation_marginalizes() {
+        let wsd = example_census_wsd();
+        let rels = wsd.rep_relation("R", 1000).unwrap();
+        // 3 SSN combinations × 2 × 4 marital choices = 24 distinct R-worlds.
+        assert_eq!(rels.len(), 24);
+        let total: f64 = rels.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_components_and_worlds() {
+        let wsd = example_census_wsd();
+        let s = wsd.to_string();
+        assert!(s.contains("component"));
+        assert!(s.contains("R.t1.S"));
+        assert_eq!(wsd.local_worlds(&FieldId::new("R", 1, "M")).unwrap().len(), 4);
+    }
+}

@@ -1,0 +1,230 @@
+//! WSDs with template relations (WSDTs, §3 "Adding Template Relations").
+//!
+//! A template relation stores, once and for all, the information that is the
+//! same in every possible world; fields on which the worlds disagree hold the
+//! placeholder `?` and their possible values live in the (multi-local-world)
+//! components.  A WSDT is equivalent to a WSD in which every certain field
+//! has been split off into its own single-local-world component; the
+//! conversion functions below go back and forth between the two views.
+
+use crate::component::Component;
+use crate::error::{Result, WsError};
+use crate::field::FieldId;
+use crate::normalize;
+use crate::wsd::Wsd;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use ws_relational::{Relation, Schema, Tuple, Value};
+
+/// A world-set decomposition with template relations.
+#[derive(Clone, Debug)]
+pub struct Wsdt {
+    /// One template relation per represented relation, with `?` placeholders
+    /// for uncertain fields.  Row `i` of a template corresponds to the `i`-th
+    /// *live* tuple slot listed in [`Wsdt::tuple_slots`].
+    pub templates: BTreeMap<String, Relation>,
+    /// For each relation, the tuple slots backing the template rows.
+    pub tuple_slots: BTreeMap<String, Vec<usize>>,
+    /// The components defining the possible values of the placeholders.
+    pub components: Vec<Component>,
+}
+
+impl Wsdt {
+    /// Build a WSDT from a WSD.
+    ///
+    /// Certain fields (a single possible value) move into the templates; all
+    /// other fields keep their component columns.  The input is first
+    /// compressed so that duplicate local worlds do not hide certainty.
+    pub fn from_wsd(wsd: &Wsd) -> Result<Self> {
+        let mut wsd = wsd.clone();
+        normalize::compress_all(&mut wsd)?;
+
+        let mut templates = BTreeMap::new();
+        let mut tuple_slots = BTreeMap::new();
+        let mut uncertain: BTreeSet<FieldId> = BTreeSet::new();
+
+        for name in wsd.relation_names().iter().map(|s| s.to_string()) {
+            let meta = wsd.meta(&name)?.clone();
+            let schema = Schema::from_parts(Arc::from(name.as_str()), meta.attrs.clone());
+            let mut template = Relation::new(schema);
+            let mut slots = Vec::new();
+            for t in meta.live_tuples() {
+                let mut values = Vec::with_capacity(meta.attrs.len());
+                for a in &meta.attrs {
+                    let field = FieldId::new(&name, t, a.as_ref());
+                    match wsd.certain_value(&field)? {
+                        Some(v) => values.push(v),
+                        None => {
+                            values.push(Value::Unknown);
+                            uncertain.insert(field);
+                        }
+                    }
+                }
+                template.push(Tuple::new(values))?;
+                slots.push(t);
+            }
+            templates.insert(name.clone(), template);
+            tuple_slots.insert(name, slots);
+        }
+
+        // Keep only the uncertain columns of each component.
+        let mut components = Vec::new();
+        for (_, comp) in wsd.components() {
+            let mut c = comp.clone();
+            c.project_to(&uncertain);
+            if c.width() > 0 {
+                c.compress();
+                components.push(c);
+            }
+        }
+        Ok(Wsdt {
+            templates,
+            tuple_slots,
+            components,
+        })
+    }
+
+    /// Rebuild the equivalent WSD: template values become certain
+    /// single-local-world components, placeholders keep their components.
+    pub fn to_wsd(&self) -> Result<Wsd> {
+        let mut wsd = Wsd::new();
+        for (name, template) in &self.templates {
+            let attrs: Vec<&str> = template
+                .schema()
+                .attrs()
+                .iter()
+                .map(|a| a.as_ref())
+                .collect();
+            let slots = self
+                .tuple_slots
+                .get(name)
+                .ok_or_else(|| WsError::unknown_relation(name.clone()))?;
+            let tuple_count = slots.iter().copied().max().map_or(0, |m| m + 1);
+            wsd.register_relation(name, &attrs, tuple_count)?;
+            // Mark slots not backed by a template row as removed.
+            for t in 0..tuple_count {
+                if !slots.contains(&t) {
+                    wsd.remove_tuple(name, t)?;
+                }
+            }
+        }
+        for component in &self.components {
+            wsd.add_component(component.clone())?;
+        }
+        for (name, template) in &self.templates {
+            let slots = &self.tuple_slots[name];
+            for (row, &t) in template.rows().iter().zip(slots) {
+                for (i, a) in template.schema().attrs().iter().enumerate() {
+                    if !row[i].is_unknown() {
+                        wsd.set_certain(FieldId::new(name, t, a.as_ref()), row[i].clone())?;
+                    }
+                }
+            }
+        }
+        wsd.validate()?;
+        Ok(wsd)
+    }
+
+    /// Total number of placeholder (`?`) fields across all templates.
+    pub fn placeholder_count(&self) -> usize {
+        self.templates
+            .values()
+            .flat_map(|t| t.rows())
+            .map(|row| row.values().iter().filter(|v| v.is_unknown()).count())
+            .sum()
+    }
+
+    /// Number of components (equal to the number of independent groups of
+    /// placeholders).
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Number of components defining more than one placeholder.
+    pub fn multi_placeholder_components(&self) -> usize {
+        self.components.iter().filter(|c| c.width() > 1).count()
+    }
+
+    /// Total number of template rows (≈ the size of one world).
+    pub fn template_rows(&self) -> usize {
+        self.templates.values().map(Relation::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wsd::example_census_wsd;
+
+    #[test]
+    fn figure5_template_and_components() {
+        // The WSDT of Figure 5: names are certain, SSNs and marital statuses
+        // are placeholders; three components (SSN pair, t1.M, t2.M).
+        let wsd = example_census_wsd();
+        let wsdt = Wsdt::from_wsd(&wsd).unwrap();
+        let template = &wsdt.templates["R"];
+        assert_eq!(template.len(), 2);
+        // N column certain, S and M columns are placeholders.
+        for row in template.rows() {
+            assert!(row[1].is_constant());
+            assert!(row[0].is_unknown());
+            assert!(row[2].is_unknown());
+        }
+        assert_eq!(wsdt.placeholder_count(), 4);
+        assert_eq!(wsdt.component_count(), 3);
+        assert_eq!(wsdt.multi_placeholder_components(), 1);
+        assert_eq!(wsdt.template_rows(), 2);
+    }
+
+    #[test]
+    fn wsdt_round_trip_preserves_the_world_set() {
+        let wsd = example_census_wsd();
+        let before = wsd.rep().unwrap();
+        let wsdt = Wsdt::from_wsd(&wsd).unwrap();
+        let back = wsdt.to_wsd().unwrap();
+        let after = back.rep().unwrap();
+        assert!(before.same_worlds(&after));
+        assert!(before.same_distribution(&after, 1e-9));
+    }
+
+    #[test]
+    fn fully_certain_relation_has_no_components() {
+        let mut rel = Relation::new(Schema::new("S", &["X", "Y"]).unwrap());
+        rel.push_values([1i64, 2]).unwrap();
+        rel.push_values([3i64, 4]).unwrap();
+        let mut wsd = Wsd::new();
+        wsd.add_certain_relation(&rel).unwrap();
+        let wsdt = Wsdt::from_wsd(&wsd).unwrap();
+        assert_eq!(wsdt.component_count(), 0);
+        assert_eq!(wsdt.placeholder_count(), 0);
+        assert!(wsdt.templates["S"].set_eq(&rel));
+        let back = wsdt.to_wsd().unwrap();
+        assert_eq!(back.rep().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn removed_tuples_survive_the_round_trip() {
+        let mut wsd = example_census_wsd();
+        wsd.remove_tuple("R", 0).unwrap();
+        let before = wsd.rep().unwrap();
+        let wsdt = Wsdt::from_wsd(&wsd).unwrap();
+        assert_eq!(wsdt.templates["R"].len(), 1);
+        let back = wsdt.to_wsd().unwrap();
+        assert!(before.same_worlds(&back.rep().unwrap()));
+    }
+
+    #[test]
+    fn compression_moves_spuriously_uncertain_fields_to_the_template() {
+        // A component listing the same value twice is certain after compress.
+        let mut wsd = Wsd::new();
+        wsd.register_relation("R", &["A"], 1).unwrap();
+        let mut c = Component::new(vec![FieldId::new("R", 0, "A")]);
+        c.push_row(vec![Value::int(7)], 0.5).unwrap();
+        c.push_row(vec![Value::int(7)], 0.5).unwrap();
+        wsd.add_component(c).unwrap();
+        let wsdt = Wsdt::from_wsd(&wsd).unwrap();
+        assert_eq!(wsdt.placeholder_count(), 0);
+        assert_eq!(wsdt.component_count(), 0);
+        assert_eq!(wsdt.templates["R"].rows()[0][0], Value::int(7));
+    }
+}

@@ -1,0 +1,71 @@
+//! # maybms — facade crate for the world-set decomposition stack
+//!
+//! This crate re-exports the whole reproduction of *"10^(10^6) Worlds and
+//! Beyond"* under one roof, mirroring how the paper's prototype system
+//! (MayBMS) packaged WSD-based incomplete-information management:
+//!
+//! * [`relational`] — the in-memory relational substrate (stand-in for
+//!   PostgreSQL),
+//! * [`core`] — world-set decompositions: representation, relational algebra,
+//!   normalization, confidence computation and the chase,
+//! * [`uwsdt`] — the uniform, RDBMS-friendly representation used at scale,
+//! * [`urel`] — U-relations, the intensional (blow-up-free) refinement the
+//!   paper points to for join-heavy workloads,
+//! * [`census`] — the synthetic IPUMS-like evaluation workload,
+//! * [`apps`] — the §10 application scenarios (minimal repairs / consistent
+//!   query answering, linked medical data), and
+//! * [`baselines`] — or-sets, tuple-independent probabilistic databases,
+//!   c-tables, ULDB-style x-relations and the explicit world-enumeration
+//!   oracle.
+//!
+//! The repository-level `examples/` and `tests/` directories are compiled as
+//! part of this crate; see the README for a guided tour.
+
+pub use ws_apps as apps;
+pub use ws_baselines as baselines;
+pub use ws_census as census;
+pub use ws_core as core;
+pub use ws_relational as relational;
+pub use ws_urel as urel;
+pub use ws_uwsdt as uwsdt;
+
+/// One-stop prelude for examples and downstream users.
+pub mod prelude {
+    pub use ws_apps::{
+        consistent_answers, possible_answers, repair_key_violations, MedicalScenario,
+        PatientRecord, RepairReport,
+    };
+    pub use ws_baselines::{
+        OrSet, OrSetRelation, TupleIndependentDb, TupleIndependentRelation, UldbRelation, XTuple,
+    };
+    pub use ws_census::CensusScenario;
+    pub use ws_core::{
+        chase::{chase, AttrComparison, Dependency, EqualityGeneratingDependency, FunctionalDependency},
+        conditional::{conditional_conf, joint_probability, satisfaction_probability},
+        confidence::{conf, possible, possible_with_confidence, TupleLevelView},
+        interval::{IntervalView, ProbInterval},
+        normalize::normalize,
+        Component, FieldId, LocalWorld, TupleId, WorldSet, WorldSetRelation, WsError, Wsd, Wsdt,
+    };
+    pub use ws_relational::{
+        CmpOp, Database, Predicate, RaExpr, Relation, Schema, Tuple, Value,
+    };
+    pub use ws_urel::{UDatabase, URelation, WsDescriptor};
+    pub use ws_uwsdt::{
+        from_or_relation, from_wsd, from_wsdt, stats_for, OrField, Uwsdt, UwsdtError, UwsdtStats,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_wired_up() {
+        let wsd = crate::core::wsd::example_census_wsd();
+        assert_eq!(wsd.world_count(), 24);
+        assert_eq!(crate::census::ATTRIBUTE_COUNT, 50);
+        let db = crate::baselines::figure6_database();
+        assert_eq!(db.world_count(), 8);
+        let uwsdt = crate::uwsdt::from_wsd(&wsd).unwrap();
+        assert_eq!(uwsdt.world_count(), 24);
+    }
+}

@@ -1,0 +1,188 @@
+//! A database: a catalog of named relations (one possible world).
+
+use crate::error::{RelationalError, Result};
+use crate::relation::Relation;
+use crate::schema::Schema;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A relational database over some schema `Σ = (R1[U1], …, Rk[Uk])`.
+///
+/// In the world-set setting a `Database` plays the role of one *possible
+/// world* `A` (§2/§3); the explicit world-enumeration oracle in
+/// `ws-baselines` manipulates sets of these.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Add (or replace) a relation, keyed by its schema's relation name.
+    pub fn insert_relation(&mut self, relation: Relation) {
+        self.relations
+            .insert(relation.schema().relation().to_string(), relation);
+    }
+
+    /// Add an empty relation for the given schema.
+    pub fn create_relation(&mut self, schema: Schema) {
+        self.insert_relation(Relation::new(schema));
+    }
+
+    /// Look up a relation by name.
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| RelationalError::UnknownRelation(name.to_string()))
+    }
+
+    /// Mutable lookup.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| RelationalError::UnknownRelation(name.to_string()))
+    }
+
+    /// Remove a relation, returning it if present.
+    pub fn remove_relation(&mut self, name: &str) -> Option<Relation> {
+        self.relations.remove(name)
+    }
+
+    /// Whether a relation with the given name exists.
+    pub fn contains_relation(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Names of all relations, in sorted order.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.keys().map(String::as_str).collect()
+    }
+
+    /// Iterate over `(name, relation)` pairs in sorted name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.relations.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the database has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Set-semantics equality of two databases: same relation names, and each
+    /// pair of relations equal as *sets* of tuples.  This is the equality
+    /// used when comparing possible worlds.
+    pub fn world_eq(&self, other: &Database) -> bool {
+        if self.relation_names() != other.relation_names() {
+            return false;
+        }
+        self.relations
+            .iter()
+            .all(|(name, rel)| other.relations.get(name).is_some_and(|o| rel.set_eq(o)))
+    }
+
+    /// A canonical key for this database under world (set) semantics, usable
+    /// for deduplicating possible worlds in `BTreeSet`s.
+    pub fn canonical_key(&self) -> Vec<(String, Vec<crate::tuple::Tuple>)> {
+        self.relations
+            .iter()
+            .map(|(name, rel)| {
+                let mut rows: Vec<_> = rel.row_set().into_iter().collect();
+                rows.sort();
+                (name.clone(), rows)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, rel) in &self.relations {
+            writeln!(f, "-- {name} --")?;
+            write!(f, "{rel}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        let schema = Schema::new("R", &["A"]).unwrap();
+        let mut r = Relation::new(schema);
+        r.push_values([1i64]).unwrap();
+        r.push_values([2i64]).unwrap();
+        d.insert_relation(r);
+        d.create_relation(Schema::new("S", &["X", "Y"]).unwrap());
+        d
+    }
+
+    #[test]
+    fn catalog_operations() {
+        let mut d = db();
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.relation_names(), vec!["R", "S"]);
+        assert!(d.contains_relation("R"));
+        assert!(d.relation("R").is_ok());
+        assert!(d.relation("T").is_err());
+        d.relation_mut("S")
+            .unwrap()
+            .push_values([1i64, 2i64])
+            .unwrap();
+        assert_eq!(d.relation("S").unwrap().len(), 1);
+        assert!(d.remove_relation("S").is_some());
+        assert!(d.remove_relation("S").is_none());
+        assert_eq!(d.iter().count(), 1);
+    }
+
+    #[test]
+    fn world_equality_ignores_row_order_and_duplicates() {
+        let mut a = db();
+        let mut b = db();
+        b.relation_mut("R").unwrap().rows_mut().reverse();
+        // Duplicate row does not change the world under set semantics.
+        b.relation_mut("R")
+            .unwrap()
+            .push(Tuple::from_iter([1i64]))
+            .unwrap();
+        assert!(a.world_eq(&b));
+        a.relation_mut("R").unwrap().push_values([3i64]).unwrap();
+        assert!(!a.world_eq(&b));
+
+        let mut c = db();
+        c.remove_relation("S");
+        assert!(!c.world_eq(&db()));
+    }
+
+    #[test]
+    fn canonical_key_is_order_insensitive() {
+        let mut a = db();
+        let mut b = db();
+        a.relation_mut("R").unwrap().rows_mut().reverse();
+        b.relation_mut("R")
+            .unwrap()
+            .push(Tuple::from_iter([2i64]))
+            .unwrap();
+        assert_eq!(a.canonical_key(), b.canonical_key());
+    }
+
+    #[test]
+    fn display_lists_relations() {
+        let s = db().to_string();
+        assert!(s.contains("-- R --"));
+        assert!(s.contains("-- S --"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type shared by the relational substrate.
+
+use std::fmt;
+
+/// Result alias used throughout the substrate.
+pub type Result<T> = std::result::Result<T, RelationalError>;
+
+/// Errors raised by the relational engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// An attribute name was not found in a schema.
+    UnknownAttribute {
+        /// The missing attribute.
+        attr: String,
+        /// The schema (relation) in which it was looked up.
+        relation: String,
+    },
+    /// A relation name was not found in the database catalog.
+    UnknownRelation(String),
+    /// A tuple's arity did not match the schema it was inserted into.
+    ArityMismatch {
+        /// Relation the tuple was inserted into.
+        relation: String,
+        /// Arity the schema expects.
+        expected: usize,
+        /// Arity of the offending tuple.
+        actual: usize,
+    },
+    /// Union/difference operands had incompatible schemas.
+    SchemaMismatch {
+        /// Left operand description.
+        left: String,
+        /// Right operand description.
+        right: String,
+    },
+    /// An attribute would be duplicated (e.g. by a product or rename).
+    DuplicateAttribute(String),
+    /// Anything else worth reporting with a message.
+    Invalid(String),
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::UnknownAttribute { attr, relation } => {
+                write!(f, "unknown attribute `{attr}` in relation `{relation}`")
+            }
+            RelationalError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            RelationalError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "arity mismatch for `{relation}`: expected {expected}, got {actual}"
+            ),
+            RelationalError::SchemaMismatch { left, right } => {
+                write!(f, "schema mismatch between `{left}` and `{right}`")
+            }
+            RelationalError::DuplicateAttribute(a) => {
+                write!(f, "duplicate attribute `{a}`")
+            }
+            RelationalError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offenders() {
+        let e = RelationalError::UnknownAttribute {
+            attr: "SSN".into(),
+            relation: "R".into(),
+        };
+        assert!(e.to_string().contains("SSN"));
+        assert!(e.to_string().contains('R'));
+
+        let e = RelationalError::ArityMismatch {
+            relation: "R".into(),
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('2'));
+
+        let e = RelationalError::UnknownRelation("S".into());
+        assert!(e.to_string().contains('S'));
+        let e = RelationalError::SchemaMismatch {
+            left: "R".into(),
+            right: "S".into(),
+        };
+        assert!(e.to_string().contains("mismatch"));
+        let e = RelationalError::DuplicateAttribute("A".into());
+        assert!(e.to_string().contains("duplicate"));
+        let e = RelationalError::Invalid("boom".into());
+        assert_eq!(e.to_string(), "boom");
+    }
+}

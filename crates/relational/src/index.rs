@@ -1,0 +1,106 @@
+//! Hash indexes over relation columns.
+//!
+//! The paper tunes its PostgreSQL-based evaluation "by employing indices and
+//! materializing often used temporary results" (§5).  The world-set layers
+//! use these indexes for equi-join evaluation on templates and for finding
+//! candidate tuple pairs during the chase of functional dependencies.
+
+use crate::error::Result;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A hash index from the values of one or more key columns to row positions.
+#[derive(Clone, Debug, Default)]
+pub struct Index {
+    /// Positions of the key attributes inside the indexed relation's schema.
+    key_positions: Vec<usize>,
+    /// key values → row indices in the indexed relation.
+    map: HashMap<Vec<Value>, Vec<usize>>,
+}
+
+impl Index {
+    /// Build an index on the given key attributes of a relation.
+    pub fn build(relation: &Relation, key_attrs: &[&str]) -> Result<Self> {
+        let mut key_positions = Vec::with_capacity(key_attrs.len());
+        for a in key_attrs {
+            key_positions.push(relation.schema().position_of(a)?);
+        }
+        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (row_idx, row) in relation.rows().iter().enumerate() {
+            let key: Vec<Value> = key_positions.iter().map(|&p| row[p].clone()).collect();
+            map.entry(key).or_default().push(row_idx);
+        }
+        Ok(Index { key_positions, map })
+    }
+
+    /// The attribute positions this index is keyed on.
+    pub fn key_positions(&self) -> &[usize] {
+        &self.key_positions
+    }
+
+    /// Row indices whose key equals `key` (empty slice if none).
+    pub fn lookup(&self, key: &[Value]) -> &[usize] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Row indices matching the key extracted from another tuple, given the
+    /// positions of the probe attributes in that tuple.
+    pub fn probe(&self, tuple: &Tuple, probe_positions: &[usize]) -> &[usize] {
+        let key: Vec<Value> = probe_positions.iter().map(|&p| tuple[p].clone()).collect();
+        self.map.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterate over `(key, row indices)` groups.
+    pub fn groups(&self) -> impl Iterator<Item = (&Vec<Value>, &Vec<usize>)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn rel() -> Relation {
+        let schema = Schema::new("R", &["A", "B"]).unwrap();
+        let mut r = Relation::new(schema);
+        r.push_values([1i64, 10]).unwrap();
+        r.push_values([2i64, 20]).unwrap();
+        r.push_values([1i64, 30]).unwrap();
+        r
+    }
+
+    #[test]
+    fn single_column_lookup() {
+        let r = rel();
+        let idx = Index::build(&r, &["A"]).unwrap();
+        assert_eq!(idx.lookup(&[Value::int(1)]), &[0, 2]);
+        assert_eq!(idx.lookup(&[Value::int(2)]), &[1]);
+        assert!(idx.lookup(&[Value::int(9)]).is_empty());
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.key_positions(), &[0]);
+    }
+
+    #[test]
+    fn multi_column_lookup_and_probe() {
+        let r = rel();
+        let idx = Index::build(&r, &["A", "B"]).unwrap();
+        assert_eq!(idx.lookup(&[Value::int(1), Value::int(30)]), &[2]);
+        // Probe with a tuple whose layout differs: (B, A) at positions (0, 1).
+        let probe = Tuple::from_iter([30i64, 1i64]);
+        assert_eq!(idx.probe(&probe, &[1, 0]), &[2]);
+        assert_eq!(idx.groups().count(), 3);
+    }
+
+    #[test]
+    fn unknown_key_attr_is_error() {
+        assert!(Index::build(&rel(), &["Z"]).is_err());
+    }
+}

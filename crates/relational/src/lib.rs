@@ -1,0 +1,43 @@
+//! # ws-relational — in-memory relational engine substrate
+//!
+//! The paper's prototype (MayBMS) is implemented as a layer on top of
+//! PostgreSQL.  This crate is the from-scratch substitute for that substrate:
+//! a small but complete in-memory relational engine providing
+//!
+//! * typed [`Value`]s (including the special `⊥` and `?` markers used by
+//!   world-set decompositions and template relations),
+//! * named [`Schema`]s and [`Relation`]s with both set and bag semantics,
+//! * boolean [`Predicate`]s over tuples,
+//! * a relational-algebra AST ([`RaExpr`]) with the named-perspective
+//!   operators used in the paper (selection, projection, product, union,
+//!   difference, renaming) and a straightforward single-world evaluator,
+//! * hash [`Index`]es used by the higher layers for join and chase
+//!   acceleration, and
+//! * a [`Database`] catalog mapping relation names to relations.
+//!
+//! Everything in the world-set stack (`ws-core`, `ws-uwsdt`, `ws-census`,
+//! `ws-baselines`) is built on top of these types; the single-world evaluator
+//! in [`algebra`] doubles as the "0% density / one world" baseline of the
+//! paper's Figure 30.
+
+pub mod algebra;
+pub mod database;
+pub mod error;
+pub mod index;
+pub mod optimizer;
+pub mod predicate;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use algebra::{evaluate, evaluate_checked, evaluate_set, RaExpr};
+pub use optimizer::{estimated_cost, estimated_rows, evaluate_optimized, optimize, output_attrs};
+pub use database::Database;
+pub use error::{RelationalError, Result};
+pub use index::Index;
+pub use predicate::{CmpOp, Predicate};
+pub use relation::Relation;
+pub use schema::{AttrName, RelName, Schema};
+pub use tuple::Tuple;
+pub use value::Value;

@@ -1,0 +1,348 @@
+//! Selection predicates.
+//!
+//! The paper's selections are of the form `σ_{AθB}` or `σ_{Aθc}` where `θ` is
+//! one of `=, ≠, <, ≤, >, ≥` (§4).  For convenience the single-world evaluator
+//! also supports conjunction, disjunction and negation so that the census
+//! queries Q1–Q6 (Fig. 29), which use composite conditions, can be expressed
+//! as a single selection node.
+
+use crate::error::Result;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+
+/// A comparison operator `θ`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate `left θ right`.
+    ///
+    /// Comparisons involving `⊥`/`?` or mixed types are undefined and yield
+    /// `false` (no world-set operator relies on comparing these markers).
+    pub fn eval(self, left: &Value, right: &Value) -> bool {
+        use std::cmp::Ordering::*;
+        match left.partial_cmp_sql(right) {
+            None => false,
+            Some(ord) => match self {
+                CmpOp::Eq => ord == Equal,
+                CmpOp::Ne => ord != Equal,
+                CmpOp::Lt => ord == Less,
+                CmpOp::Le => ord != Greater,
+                CmpOp::Gt => ord == Greater,
+                CmpOp::Ge => ord != Less,
+            },
+        }
+    }
+
+    /// The negated operator (`¬(a θ b)  ⇔  a θ̄ b` on defined comparisons).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A boolean predicate over the attributes of one tuple.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Predicate {
+    /// `A θ c` — attribute compared with a constant.
+    AttrConst {
+        /// The attribute name `A`.
+        attr: String,
+        /// The comparison operator `θ`.
+        op: CmpOp,
+        /// The constant `c`.
+        value: Value,
+    },
+    /// `A θ B` — two attributes of the same tuple compared.
+    AttrAttr {
+        /// The left attribute `A`.
+        left: String,
+        /// The comparison operator `θ`.
+        op: CmpOp,
+        /// The right attribute `B`.
+        right: String,
+    },
+    /// Conjunction of sub-predicates (empty conjunction is `true`).
+    And(Vec<Predicate>),
+    /// Disjunction of sub-predicates (empty disjunction is `false`).
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `A = c` shorthand.
+    pub fn eq_const(attr: impl Into<String>, value: impl Into<Value>) -> Predicate {
+        Predicate::AttrConst {
+            attr: attr.into(),
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// `A θ c` shorthand.
+    pub fn cmp_const(attr: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Predicate {
+        Predicate::AttrConst {
+            attr: attr.into(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// `A θ B` shorthand.
+    pub fn cmp_attr(left: impl Into<String>, op: CmpOp, right: impl Into<String>) -> Predicate {
+        Predicate::AttrAttr {
+            left: left.into(),
+            op,
+            right: right.into(),
+        }
+    }
+
+    /// Conjunction helper.
+    pub fn and(preds: Vec<Predicate>) -> Predicate {
+        Predicate::And(preds)
+    }
+
+    /// Disjunction helper.
+    pub fn or(preds: Vec<Predicate>) -> Predicate {
+        Predicate::Or(preds)
+    }
+
+    /// Negation helper.
+    pub fn not(pred: Predicate) -> Predicate {
+        Predicate::Not(Box::new(pred))
+    }
+
+    /// All attribute names referenced by the predicate.
+    pub fn referenced_attrs(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_attrs(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_attrs<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Predicate::AttrConst { attr, .. } => out.push(attr),
+            Predicate::AttrAttr { left, right, .. } => {
+                out.push(left);
+                out.push(right);
+            }
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                for p in ps {
+                    p.collect_attrs(out);
+                }
+            }
+            Predicate::Not(p) => p.collect_attrs(out),
+        }
+    }
+
+    /// Evaluate the predicate on a tuple under the given schema.
+    ///
+    /// Unknown attributes yield an error (rather than silently `false`) so
+    /// that malformed queries are surfaced.
+    pub fn eval(&self, schema: &Schema, tuple: &Tuple) -> Result<bool> {
+        Ok(match self {
+            Predicate::AttrConst { attr, op, value } => {
+                let pos = schema.position_of(attr)?;
+                op.eval(&tuple[pos], value)
+            }
+            Predicate::AttrAttr { left, op, right } => {
+                let l = schema.position_of(left)?;
+                let r = schema.position_of(right)?;
+                op.eval(&tuple[l], &tuple[r])
+            }
+            Predicate::And(ps) => {
+                for p in ps {
+                    if !p.eval(schema, tuple)? {
+                        return Ok(false);
+                    }
+                }
+                true
+            }
+            Predicate::Or(ps) => {
+                for p in ps {
+                    if p.eval(schema, tuple)? {
+                        return Ok(true);
+                    }
+                }
+                false
+            }
+            Predicate::Not(p) => !p.eval(schema, tuple)?,
+        })
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::AttrConst { attr, op, value } => write!(f, "{attr}{op}{value}"),
+            Predicate::AttrAttr { left, op, right } => write!(f, "{left}{op}{right}"),
+            Predicate::And(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::Or(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::Not(p) => write!(f, "¬{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> Schema {
+        Schema::new("R", &["A", "B", "C"]).unwrap()
+    }
+
+    fn tuple(a: i64, b: i64, c: i64) -> Tuple {
+        Tuple::from_iter([a, b, c])
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let one = Value::int(1);
+        let two = Value::int(2);
+        assert!(CmpOp::Eq.eval(&one, &one));
+        assert!(CmpOp::Ne.eval(&one, &two));
+        assert!(CmpOp::Lt.eval(&one, &two));
+        assert!(CmpOp::Le.eval(&one, &one));
+        assert!(CmpOp::Gt.eval(&two, &one));
+        assert!(CmpOp::Ge.eval(&two, &two));
+        assert!(!CmpOp::Eq.eval(&Value::Bottom, &Value::Bottom));
+        assert!(!CmpOp::Eq.eval(&one, &Value::text("1")));
+    }
+
+    #[test]
+    fn operator_negation_roundtrip() {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            assert_eq!(op.negate().negate(), op);
+            // On defined comparisons, negate flips the truth value.
+            let a = Value::int(3);
+            let b = Value::int(5);
+            assert_ne!(op.eval(&a, &b), op.negate().eval(&a, &b));
+        }
+    }
+
+    #[test]
+    fn attr_const_and_attr_attr() {
+        let s = schema();
+        let p = Predicate::cmp_const("A", CmpOp::Gt, 1i64);
+        assert!(!p.eval(&s, &tuple(1, 1, 1)).unwrap());
+        assert!(p.eval(&s, &tuple(2, 1, 1)).unwrap());
+
+        let q = Predicate::cmp_attr("A", CmpOp::Eq, "B");
+        assert!(q.eval(&s, &tuple(4, 4, 0)).unwrap());
+        assert!(!q.eval(&s, &tuple(4, 5, 0)).unwrap());
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let s = schema();
+        let p = Predicate::and(vec![
+            Predicate::eq_const("A", 1i64),
+            Predicate::or(vec![
+                Predicate::eq_const("B", 2i64),
+                Predicate::eq_const("B", 3i64),
+            ]),
+        ]);
+        assert!(p.eval(&s, &tuple(1, 3, 0)).unwrap());
+        assert!(!p.eval(&s, &tuple(1, 4, 0)).unwrap());
+        assert!(!p.eval(&s, &tuple(2, 2, 0)).unwrap());
+
+        let n = Predicate::not(Predicate::eq_const("C", 0i64));
+        assert!(!n.eval(&s, &tuple(1, 1, 0)).unwrap());
+        assert!(n.eval(&s, &tuple(1, 1, 9)).unwrap());
+
+        assert!(Predicate::And(vec![]).eval(&s, &tuple(0, 0, 0)).unwrap());
+        assert!(!Predicate::Or(vec![]).eval(&s, &tuple(0, 0, 0)).unwrap());
+    }
+
+    #[test]
+    fn unknown_attribute_is_an_error() {
+        let s = schema();
+        let p = Predicate::eq_const("Z", 1i64);
+        assert!(p.eval(&s, &tuple(1, 1, 1)).is_err());
+    }
+
+    #[test]
+    fn referenced_attrs_deduplicated() {
+        let p = Predicate::and(vec![
+            Predicate::eq_const("A", 1i64),
+            Predicate::cmp_attr("A", CmpOp::Lt, "B"),
+            Predicate::not(Predicate::eq_const("C", 2i64)),
+        ]);
+        assert_eq!(p.referenced_attrs(), vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Predicate::and(vec![
+            Predicate::eq_const("A", 1i64),
+            Predicate::not(Predicate::cmp_attr("B", CmpOp::Lt, "C")),
+        ]);
+        let s = p.to_string();
+        assert!(s.contains("A=1"));
+        assert!(s.contains("¬B<C"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Relation schemas in the named perspective of the relational model.
+//!
+//! A relational schema is a tuple `Σ = (R1[U1], …, Rk[Uk])` where each `Ri`
+//! is a relation name and `Ui` a list of attribute names (§2 of the paper).
+//! Attribute order is significant for tuple layout, but lookups are by name.
+
+use crate::error::{RelationalError, Result};
+use std::fmt;
+use std::sync::Arc;
+
+/// An attribute name.  Cheap to clone; interned per construction site.
+pub type AttrName = Arc<str>;
+
+/// A relation name.
+pub type RelName = Arc<str>;
+
+/// Create an [`AttrName`] / [`RelName`] from a string slice.
+pub fn name(s: impl AsRef<str>) -> Arc<str> {
+    Arc::from(s.as_ref())
+}
+
+/// The schema of one relation: its name and ordered attribute list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    name: RelName,
+    attrs: Vec<AttrName>,
+}
+
+impl Schema {
+    /// Create a schema from a relation name and attribute names.
+    ///
+    /// Duplicate attribute names are rejected.
+    pub fn new<S: AsRef<str>>(relation: impl AsRef<str>, attrs: &[S]) -> Result<Self> {
+        let attrs: Vec<AttrName> = attrs.iter().map(|a| name(a.as_ref())).collect();
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].iter().any(|b| b == a) {
+                return Err(RelationalError::DuplicateAttribute(a.to_string()));
+            }
+        }
+        Ok(Schema {
+            name: name(relation),
+            attrs,
+        })
+    }
+
+    /// Create a schema without duplicate checking from already-interned names.
+    pub fn from_parts(relation: RelName, attrs: Vec<AttrName>) -> Self {
+        Schema {
+            name: relation,
+            attrs,
+        }
+    }
+
+    /// The relation name.
+    pub fn relation(&self) -> &RelName {
+        &self.name
+    }
+
+    /// The ordered attribute names (`sch(R)` in the paper).
+    pub fn attrs(&self) -> &[AttrName] {
+        &self.attrs
+    }
+
+    /// The arity `ar(R)` of the relation.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The position of an attribute, if present.
+    pub fn position(&self, attr: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.as_ref() == attr)
+    }
+
+    /// The position of an attribute, or an error naming the relation.
+    pub fn position_of(&self, attr: &str) -> Result<usize> {
+        self.position(attr)
+            .ok_or_else(|| RelationalError::UnknownAttribute {
+                attr: attr.to_string(),
+                relation: self.name.to_string(),
+            })
+    }
+
+    /// Whether the schema contains the attribute.
+    pub fn contains(&self, attr: &str) -> bool {
+        self.position(attr).is_some()
+    }
+
+    /// Returns a copy of this schema under a different relation name.
+    pub fn renamed_relation(&self, new_name: impl AsRef<str>) -> Schema {
+        Schema {
+            name: name(new_name),
+            attrs: self.attrs.clone(),
+        }
+    }
+
+    /// Returns a copy of this schema with one attribute renamed
+    /// (the `δ_{A→A'}` operation on schemas).
+    pub fn renamed_attr(&self, from: &str, to: impl AsRef<str>) -> Result<Schema> {
+        let pos = self.position_of(from)?;
+        let new_attr = name(to);
+        if self.attrs.iter().enumerate().any(|(i, a)| i != pos && *a == new_attr) {
+            return Err(RelationalError::DuplicateAttribute(new_attr.to_string()));
+        }
+        let mut attrs = self.attrs.clone();
+        attrs[pos] = new_attr;
+        Ok(Schema {
+            name: self.name.clone(),
+            attrs,
+        })
+    }
+
+    /// Returns the schema obtained by keeping only the attributes in `keep`
+    /// (in `keep` order) — the schema-level projection `π_U`.
+    pub fn projected<S: AsRef<str>>(&self, keep: &[S]) -> Result<Schema> {
+        let mut attrs = Vec::with_capacity(keep.len());
+        for a in keep {
+            self.position_of(a.as_ref())?;
+            attrs.push(name(a.as_ref()));
+        }
+        Ok(Schema {
+            name: self.name.clone(),
+            attrs,
+        })
+    }
+
+    /// Returns the concatenated schema of a product `R × S`.
+    ///
+    /// Attribute sets must be disjoint, as the paper assumes for `×`.
+    pub fn product(&self, other: &Schema, result_name: impl AsRef<str>) -> Result<Schema> {
+        let mut attrs = self.attrs.clone();
+        for a in other.attrs() {
+            if attrs.iter().any(|b| b == a) {
+                return Err(RelationalError::DuplicateAttribute(a.to_string()));
+            }
+            attrs.push(a.clone());
+        }
+        Ok(Schema {
+            name: name(result_name),
+            attrs,
+        })
+    }
+
+    /// Checks that two schemas are union-compatible (same attribute list).
+    pub fn check_union_compatible(&self, other: &Schema) -> Result<()> {
+        if self.attrs == other.attrs {
+            Ok(())
+        } else {
+            Err(RelationalError::SchemaMismatch {
+                left: self.name.to_string(),
+                right: other.name.to_string(),
+            })
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.name)?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::new("R", &["A", "B", "C"]).unwrap()
+    }
+
+    #[test]
+    fn positions_and_arity() {
+        let s = abc();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.position("B"), Some(1));
+        assert_eq!(s.position("Z"), None);
+        assert!(s.contains("C"));
+        assert!(!s.contains("D"));
+        assert!(s.position_of("Z").is_err());
+    }
+
+    #[test]
+    fn duplicate_attributes_rejected() {
+        assert!(Schema::new("R", &["A", "A"]).is_err());
+    }
+
+    #[test]
+    fn rename_relation_and_attribute() {
+        let s = abc();
+        let p = s.renamed_relation("P");
+        assert_eq!(p.relation().as_ref(), "P");
+        assert_eq!(p.attrs(), s.attrs());
+
+        let r = s.renamed_attr("B", "B2").unwrap();
+        assert_eq!(r.position("B2"), Some(1));
+        assert!(!r.contains("B"));
+        // Renaming onto an existing attribute is rejected.
+        assert!(s.renamed_attr("B", "A").is_err());
+        // Renaming an attribute to itself is fine.
+        assert!(s.renamed_attr("B", "B").is_ok());
+    }
+
+    #[test]
+    fn projection_reorders_and_validates() {
+        let s = abc();
+        let p = s.projected(&["C", "A"]).unwrap();
+        assert_eq!(
+            p.attrs().iter().map(|a| a.as_ref()).collect::<Vec<_>>(),
+            vec!["C", "A"]
+        );
+        assert!(s.projected(&["X"]).is_err());
+    }
+
+    #[test]
+    fn product_requires_disjoint_attrs() {
+        let s = abc();
+        let t = Schema::new("S", &["D", "E"]).unwrap();
+        let p = s.product(&t, "T").unwrap();
+        assert_eq!(p.arity(), 5);
+        assert_eq!(p.relation().as_ref(), "T");
+        let clash = Schema::new("S", &["C"]).unwrap();
+        assert!(s.product(&clash, "T").is_err());
+    }
+
+    #[test]
+    fn union_compatibility() {
+        let s = abc();
+        let same = Schema::new("S", &["A", "B", "C"]).unwrap();
+        assert!(s.check_union_compatible(&same).is_ok());
+        let diff = Schema::new("S", &["A", "B"]).unwrap();
+        assert!(s.check_union_compatible(&diff).is_err());
+    }
+
+    #[test]
+    fn display_shows_name_and_attrs() {
+        assert_eq!(abc().to_string(), "R[A, B, C]");
+    }
+}

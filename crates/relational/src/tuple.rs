@@ -1,0 +1,206 @@
+//! Tuples: fixed-arity rows of [`Value`]s.
+
+use crate::value::Value;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A tuple `(A1: a1, …, Ak: ak)`; the attribute names live in the schema, the
+/// tuple itself stores only the positional values.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Create a tuple from a vector of values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// Create a tuple of `arity` copies of `⊥` (the padding tuple `t⊥`).
+    pub fn bottom(arity: usize) -> Self {
+        Tuple {
+            values: vec![Value::Bottom; arity],
+        }
+    }
+
+    /// Create a tuple from anything convertible to values.
+    pub fn from_iter<I, V>(values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Tuple {
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The arity of the tuple.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the tuple has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The underlying values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Mutable access to the underlying values.
+    pub fn values_mut(&mut self) -> &mut [Value] {
+        &mut self.values
+    }
+
+    /// Consume the tuple, returning its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// The value at position `i`, if in range.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// Overwrite the value at position `i`.
+    pub fn set(&mut self, i: usize, v: Value) {
+        self.values[i] = v;
+    }
+
+    /// Append a value (used by `ext`-style column extensions).
+    pub fn push(&mut self, v: Value) {
+        self.values.push(v);
+    }
+
+    /// `true` iff at least one field is the `⊥` marker — i.e. the tuple is a
+    /// `t⊥` tuple in the sense of §3 and is dropped by `inline⁻¹`.
+    pub fn has_bottom(&self) -> bool {
+        self.values.iter().any(Value::is_bottom)
+    }
+
+    /// `true` iff every field is the `⊥` marker.
+    pub fn all_bottom(&self) -> bool {
+        !self.values.is_empty() && self.values.iter().all(Value::is_bottom)
+    }
+
+    /// `true` iff at least one field is the `?` template placeholder.
+    pub fn has_unknown(&self) -> bool {
+        self.values.iter().any(Value::is_unknown)
+    }
+
+    /// Concatenation `self ◦ other` used by the `inline` encoding.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.arity() + other.arity());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple { values }
+    }
+
+    /// The sub-tuple formed by the given positions, in the given order.
+    pub fn project_positions(&self, positions: &[usize]) -> Tuple {
+        Tuple {
+            values: positions.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+}
+
+impl IndexMut<usize> for Tuple {
+    fn index_mut(&mut self, i: usize) -> &mut Value {
+        &mut self.values[i]
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::from_iter([1i64, 2, 3]);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t[1], Value::Int(2));
+        assert_eq!(t.get(5), None);
+        assert!(!t.is_empty());
+        let mut t = t;
+        t.set(0, Value::int(9));
+        t[2] = Value::int(8);
+        assert_eq!(t.values(), &[Value::int(9), Value::int(2), Value::int(8)]);
+        t.push(Value::text("x"));
+        assert_eq!(t.arity(), 4);
+        assert_eq!(t.clone().into_values().len(), 4);
+    }
+
+    #[test]
+    fn bottom_padding_and_detection() {
+        let pad = Tuple::bottom(3);
+        assert!(pad.all_bottom());
+        assert!(pad.has_bottom());
+
+        let mut t = Tuple::from_iter([1i64, 2]);
+        assert!(!t.has_bottom());
+        t.set(0, Value::Bottom);
+        assert!(t.has_bottom());
+        assert!(!t.all_bottom());
+        assert!(!Tuple::new(vec![]).all_bottom());
+    }
+
+    #[test]
+    fn unknown_detection() {
+        let mut t = Tuple::from_iter([1i64]);
+        assert!(!t.has_unknown());
+        t.push(Value::Unknown);
+        assert!(t.has_unknown());
+    }
+
+    #[test]
+    fn concat_is_inline_concatenation() {
+        let a = Tuple::from_iter([1i64, 2]);
+        let b = Tuple::from_iter(["x", "y"]);
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 4);
+        assert_eq!(c[0], Value::int(1));
+        assert_eq!(c[3], Value::text("y"));
+    }
+
+    #[test]
+    fn projection_by_positions() {
+        let t = Tuple::from_iter([10i64, 20, 30]);
+        let p = t.project_positions(&[2, 0]);
+        assert_eq!(p.values(), &[Value::int(30), Value::int(10)]);
+    }
+
+    #[test]
+    fn display_is_parenthesised() {
+        let t = Tuple::from_iter([1i64, 2]);
+        assert_eq!(t.to_string(), "(1, 2)");
+    }
+}

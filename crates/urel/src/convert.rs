@@ -1,0 +1,173 @@
+//! Conversion from world-set decompositions to U-relations.
+//!
+//! Every non-trivial WSD component (more than one local world) becomes one
+//! world-table variable whose domain indexes the component's local worlds and
+//! whose distribution is the component's probability column.  A tuple of a
+//! represented relation then expands into one annotated row per combination
+//! of local worlds of the components its fields live in — skipping the
+//! combinations in which the tuple is absent (a `⊥` field) — with the
+//! descriptor recording exactly that combination.
+//!
+//! The expansion is per-tuple (the same granularity as the tuple-level view
+//! used for confidence computation in §6), so the result size is bounded by
+//! the tuple-level normalization of the WSD, not by the number of worlds.
+
+use std::collections::BTreeMap;
+
+use ws_core::{FieldId, Wsd};
+use ws_relational::{Schema, Tuple};
+
+use crate::database::UDatabase;
+use crate::descriptor::WsDescriptor;
+use crate::error::Result;
+use crate::urelation::URelation;
+
+/// The world-table variable name assigned to a WSD component slot.
+pub fn variable_for_slot(slot: usize) -> String {
+    format!("c{slot}")
+}
+
+/// Convert a WSD into an equivalent U-relational database.
+pub fn from_wsd(wsd: &Wsd) -> Result<UDatabase> {
+    let mut udb = UDatabase::new();
+
+    // One variable per uncertain component.
+    let mut var_names: BTreeMap<usize, String> = BTreeMap::new();
+    for (slot, comp) in wsd.components() {
+        if comp.len() > 1 {
+            let name = variable_for_slot(slot);
+            udb.world_table_mut()
+                .add_variable(&name, comp.rows.iter().map(|r| r.prob).collect())?;
+            var_names.insert(slot, name);
+        }
+    }
+
+    for rel_name in wsd.relation_names() {
+        let meta = wsd.meta(rel_name)?.clone();
+        let attr_names: Vec<&str> = meta.attrs.iter().map(|a| a.as_ref()).collect();
+        let schema = Schema::new(rel_name, &attr_names)?;
+        let mut urel = URelation::new(schema);
+
+        for t in meta.live_tuples() {
+            // The component slots this tuple's fields live in.
+            let mut slots: Vec<usize> = Vec::new();
+            for a in &meta.attrs {
+                let slot = wsd.slot_of(&FieldId::new(rel_name, t, a.as_ref()))?;
+                if !slots.contains(&slot) {
+                    slots.push(slot);
+                }
+            }
+            slots.sort_unstable();
+
+            // Enumerate the combinations of local worlds of those slots.
+            let mut combos: Vec<Vec<(usize, usize)>> = vec![Vec::new()];
+            for &slot in &slots {
+                let comp = wsd.component(slot)?;
+                let mut next = Vec::with_capacity(combos.len() * comp.len());
+                for combo in &combos {
+                    for row in 0..comp.len() {
+                        let mut extended = combo.clone();
+                        extended.push((slot, row));
+                        next.push(extended);
+                    }
+                }
+                combos = next;
+            }
+
+            'combo: for combo in combos {
+                let mut values = Vec::with_capacity(meta.attrs.len());
+                for a in &meta.attrs {
+                    let field = FieldId::new(rel_name, t, a.as_ref());
+                    let slot = wsd.slot_of(&field)?;
+                    let &(_, row) = combo
+                        .iter()
+                        .find(|(s, _)| *s == slot)
+                        .expect("every involved slot is part of the combination");
+                    let value = wsd.component(slot)?.value_at(row, &field)?;
+                    if value.is_bottom() {
+                        // The tuple is absent from the worlds of this combination.
+                        continue 'combo;
+                    }
+                    values.push(value.clone());
+                }
+                let descriptor = WsDescriptor::of(
+                    combo
+                        .iter()
+                        .filter_map(|(slot, row)| var_names.get(slot).map(|n| (n.clone(), *row))),
+                )
+                .expect("distinct slots cannot bind the same variable twice");
+                urel.push(Tuple::new(values), descriptor)?;
+            }
+        }
+        urel.absorb();
+        udb.insert_relation(urel);
+    }
+    debug_assert!(udb.validate().is_ok());
+    Ok(udb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ws_core::wsd::example_census_wsd;
+    use ws_relational::Value;
+
+    #[test]
+    fn census_example_round_trips_through_u_relations() {
+        let wsd = example_census_wsd();
+        let udb = from_wsd(&wsd).unwrap();
+        assert!(udb.validate().is_ok());
+        // Same number of worlds (the or-set of component choices).
+        assert_eq!(udb.world_count(), wsd.world_count());
+
+        // The represented world-sets coincide (compare world by world).
+        let wsd_worlds = wsd.enumerate_worlds(1 << 20).unwrap();
+        let u_worlds = udb.enumerate_worlds(1 << 20).unwrap();
+        assert_eq!(wsd_worlds.len(), u_worlds.len());
+        for (db, p) in &wsd_worlds {
+            let matching: f64 = u_worlds
+                .iter()
+                .filter(|(u, _)| u.relation("R").unwrap().set_eq(db.relation("R").unwrap()))
+                .map(|(_, q)| q)
+                .sum();
+            assert!(
+                (matching - p).abs() < 1e-9,
+                "world probability mismatch: {matching} vs {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn certain_relations_need_no_variables() {
+        let mut rel = ws_relational::Relation::new(Schema::new("S", &["X", "Y"]).unwrap());
+        rel.push_values([1i64, 2i64]).unwrap();
+        rel.push_values([3i64, 4i64]).unwrap();
+        let mut wsd = Wsd::new();
+        wsd.add_certain_relation(&rel).unwrap();
+        let udb = from_wsd(&wsd).unwrap();
+        assert!(udb.world_table().is_empty());
+        assert_eq!(udb.world_count(), 1);
+        let u = udb.relation("S").unwrap();
+        assert_eq!(u.len(), 2);
+        assert!(u.rows().iter().all(|(_, d)| d.is_empty()));
+    }
+
+    #[test]
+    fn or_set_fields_become_one_row_per_alternative() {
+        // One tuple with a 3-way or-set field: three annotated rows over one
+        // ternary variable.
+        let mut wsd = Wsd::new();
+        wsd.register_relation("T", &["A", "B"], 1).unwrap();
+        wsd.set_certain(FieldId::new("T", 0, "A"), Value::int(7)).unwrap();
+        wsd.set_uniform(
+            FieldId::new("T", 0, "B"),
+            vec![Value::int(1), Value::int(2), Value::int(3)],
+        )
+        .unwrap();
+        let udb = from_wsd(&wsd).unwrap();
+        assert_eq!(udb.world_table().len(), 1);
+        let u = udb.relation("T").unwrap();
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.possible_tuples().len(), 3);
+    }
+}

@@ -1,0 +1,201 @@
+//! The U-database: a world table plus a catalog of U-relations.
+
+use std::collections::BTreeMap;
+
+use ws_relational::Database;
+
+use crate::error::{Result, UrelError};
+use crate::urelation::URelation;
+use crate::world::{Assignment, WorldTable};
+
+/// A complete U-relational database: the shared [`WorldTable`] and the named
+/// [`URelation`]s whose descriptors refer to its variables.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct UDatabase {
+    world_table: WorldTable,
+    relations: BTreeMap<String, URelation>,
+}
+
+impl UDatabase {
+    /// An empty U-database (one world, no relations).
+    pub fn new() -> Self {
+        UDatabase::default()
+    }
+
+    /// Shared access to the world table.
+    pub fn world_table(&self) -> &WorldTable {
+        &self.world_table
+    }
+
+    /// Mutable access to the world table (for declaring variables).
+    pub fn world_table_mut(&mut self) -> &mut WorldTable {
+        &mut self.world_table
+    }
+
+    /// Insert (or replace) a U-relation under the name of its schema.
+    pub fn insert_relation(&mut self, relation: URelation) {
+        self.relations
+            .insert(relation.schema().relation().to_string(), relation);
+    }
+
+    /// Look up a relation by name.
+    pub fn relation(&self, name: &str) -> Result<&URelation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| UrelError::UnknownRelation(name.to_string()))
+    }
+
+    /// Whether a relation is present.
+    pub fn contains_relation(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Remove a relation, returning it if present.
+    pub fn remove_relation(&mut self, name: &str) -> Option<URelation> {
+        self.relations.remove(name)
+    }
+
+    /// The names of all relations.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.keys().map(String::as_str).collect()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Total number of annotated rows across all relations — the
+    /// representation size the blow-up comparisons report.
+    pub fn total_rows(&self) -> usize {
+        self.relations.values().map(URelation::len).sum()
+    }
+
+    /// Validate that every descriptor only references declared variables with
+    /// in-range indices.
+    pub fn validate(&self) -> Result<()> {
+        for relation in self.relations.values() {
+            for (_, descriptor) in relation.rows() {
+                for (var, idx) in descriptor.bindings() {
+                    let size = self.world_table.domain_size(var)?;
+                    if idx >= size {
+                        return Err(UrelError::invalid(format!(
+                            "descriptor binds `{var}` to {idx}, outside its domain of size {size}"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of represented worlds: the number of total assignments.
+    pub fn world_count(&self) -> u128 {
+        self.world_table.assignment_count()
+    }
+
+    /// The ordinary relational database obtained in the world described by a
+    /// total assignment.
+    pub fn instantiate(&self, assignment: &Assignment) -> Database {
+        let mut db = Database::new();
+        for relation in self.relations.values() {
+            db.insert_relation(relation.instantiate(assignment));
+        }
+        db
+    }
+
+    /// Enumerate every world with its probability (testing / oracle use).
+    ///
+    /// Fails with [`UrelError::ExactTooLarge`] when more than `limit` worlds
+    /// would be produced.
+    pub fn enumerate_worlds(&self, limit: u128) -> Result<Vec<(Database, f64)>> {
+        let assignments = self.world_table.enumerate_all(limit)?;
+        Ok(assignments
+            .into_iter()
+            .map(|(a, p)| (self.instantiate(&a), p))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::WsDescriptor;
+    use ws_relational::{Schema, Tuple, Value};
+
+    fn sample() -> UDatabase {
+        let mut db = UDatabase::new();
+        db.world_table_mut()
+            .add_variable("x", vec![0.3, 0.7])
+            .unwrap();
+        let mut r = URelation::new(Schema::new("R", &["A"]).unwrap());
+        r.push(Tuple::from_iter([Value::int(1)]), WsDescriptor::bind("x", 0))
+            .unwrap();
+        r.push(Tuple::from_iter([Value::int(2)]), WsDescriptor::bind("x", 1))
+            .unwrap();
+        r.push(Tuple::from_iter([Value::int(3)]), WsDescriptor::empty())
+            .unwrap();
+        db.insert_relation(r);
+        db
+    }
+
+    #[test]
+    fn catalog_management() {
+        let mut db = sample();
+        assert!(!db.is_empty());
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.relation_names(), vec!["R"]);
+        assert!(db.contains_relation("R"));
+        assert!(db.relation("R").is_ok());
+        assert!(db.relation("S").is_err());
+        assert_eq!(db.total_rows(), 3);
+        assert!(db.remove_relation("R").is_some());
+        assert!(db.remove_relation("R").is_none());
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn validation_catches_out_of_range_descriptors() {
+        let mut db = sample();
+        assert!(db.validate().is_ok());
+        let mut bad = URelation::new(Schema::new("S", &["B"]).unwrap());
+        bad.push(Tuple::from_iter([Value::int(9)]), WsDescriptor::bind("x", 5))
+            .unwrap();
+        db.insert_relation(bad);
+        assert!(db.validate().is_err());
+        let mut unknown = URelation::new(Schema::new("T", &["C"]).unwrap());
+        unknown
+            .push(Tuple::from_iter([Value::int(9)]), WsDescriptor::bind("z", 0))
+            .unwrap();
+        db.remove_relation("S");
+        db.insert_relation(unknown);
+        assert!(db.validate().is_err());
+    }
+
+    #[test]
+    fn enumeration_matches_the_descriptor_semantics() {
+        let db = sample();
+        assert_eq!(db.world_count(), 2);
+        let worlds = db.enumerate_worlds(16).unwrap();
+        assert_eq!(worlds.len(), 2);
+        let total: f64 = worlds.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // World x=0 contains tuples 1 and 3; world x=1 contains 2 and 3.
+        let sizes: Vec<usize> = worlds
+            .iter()
+            .map(|(w, _)| w.relation("R").unwrap().len())
+            .collect();
+        assert_eq!(sizes, vec![2, 2]);
+        for (world, _) in &worlds {
+            assert!(world
+                .relation("R")
+                .unwrap()
+                .contains(&Tuple::from_iter([Value::int(3)])));
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! World-set descriptors: the per-tuple presence conditions of U-relations.
+//!
+//! A descriptor is a *partial* assignment of world-table variables.  A tuple
+//! annotated with descriptor `d` belongs to exactly those worlds whose total
+//! assignment extends `d`.  The empty descriptor holds in every world, two
+//! descriptors conjoin by merging their bindings (failing on a conflict), and
+//! the probability of a descriptor is the product of the probabilities of its
+//! bindings because the variables are independent.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::Result;
+use crate::world::{Assignment, WorldTable};
+
+/// A world-set descriptor: a consistent set of `variable ↦ domain index`
+/// bindings.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WsDescriptor {
+    bindings: BTreeMap<String, usize>,
+}
+
+impl WsDescriptor {
+    /// The empty descriptor, holding in every world.
+    pub fn empty() -> Self {
+        WsDescriptor::default()
+    }
+
+    /// A descriptor with a single binding.
+    pub fn bind(var: impl Into<String>, index: usize) -> Self {
+        let mut d = WsDescriptor::empty();
+        d.bindings.insert(var.into(), index);
+        d
+    }
+
+    /// Build a descriptor from bindings; later duplicates of a variable must
+    /// agree with earlier ones, otherwise `None` is returned.
+    pub fn of<S: Into<String>>(bindings: impl IntoIterator<Item = (S, usize)>) -> Option<Self> {
+        let mut d = WsDescriptor::empty();
+        for (var, idx) in bindings {
+            let var = var.into();
+            match d.bindings.get(&var) {
+                Some(&existing) if existing != idx => return None,
+                _ => {
+                    d.bindings.insert(var, idx);
+                }
+            }
+        }
+        Some(d)
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether the descriptor holds in every world.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// The binding of one variable, if any.
+    pub fn get(&self, var: &str) -> Option<usize> {
+        self.bindings.get(var).copied()
+    }
+
+    /// The bound variables.
+    pub fn variables(&self) -> impl Iterator<Item = &str> {
+        self.bindings.keys().map(String::as_str)
+    }
+
+    /// Iterate over the bindings.
+    pub fn bindings(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.bindings.iter().map(|(v, &i)| (v.as_str(), i))
+    }
+
+    /// Conjoin two descriptors (the ⋈ of U-relations): the union of the
+    /// bindings, or `None` if they bind some variable to different values —
+    /// in which case no world satisfies both and the joined tuple is dropped.
+    pub fn conjoin(&self, other: &WsDescriptor) -> Option<WsDescriptor> {
+        let mut merged = self.bindings.clone();
+        for (var, &idx) in &other.bindings {
+            match merged.get(var) {
+                Some(&existing) if existing != idx => return None,
+                _ => {
+                    merged.insert(var.clone(), idx);
+                }
+            }
+        }
+        Some(WsDescriptor { bindings: merged })
+    }
+
+    /// Whether the descriptor is satisfied by a total (or larger partial)
+    /// assignment.
+    pub fn satisfied_by(&self, assignment: &Assignment) -> bool {
+        self.bindings
+            .iter()
+            .all(|(var, &idx)| assignment.get(var) == Some(&idx))
+    }
+
+    /// Whether `self` is at least as general as `other`: every world
+    /// satisfying `other` also satisfies `self` (i.e. `self`'s bindings are a
+    /// subset of `other`'s).  Used to absorb redundant tuple copies after
+    /// projections and unions.
+    pub fn generalizes(&self, other: &WsDescriptor) -> bool {
+        self.bindings
+            .iter()
+            .all(|(var, &idx)| other.bindings.get(var) == Some(&idx))
+    }
+
+    /// The probability of the descriptor under the world table: the product
+    /// of the probabilities of its bindings (variables are independent).
+    pub fn probability(&self, world_table: &WorldTable) -> Result<f64> {
+        let mut p = 1.0;
+        for (var, &idx) in &self.bindings {
+            p *= world_table.prob(var, idx)?;
+        }
+        Ok(p)
+    }
+}
+
+impl fmt::Display for WsDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bindings.is_empty() {
+            return write!(f, "⟨⟩");
+        }
+        write!(f, "⟨")?;
+        for (i, (var, idx)) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{var}={idx}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = WsDescriptor::of([("x", 1), ("y", 0)]).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.get("x"), Some(1));
+        assert_eq!(d.get("z"), None);
+        assert_eq!(d.variables().collect::<Vec<_>>(), vec!["x", "y"]);
+        assert_eq!(d.bindings().count(), 2);
+        assert!(WsDescriptor::of([("x", 1), ("x", 2)]).is_none());
+        assert!(WsDescriptor::of([("x", 1), ("x", 1)]).is_some());
+        assert_eq!(WsDescriptor::empty().to_string(), "⟨⟩");
+        assert_eq!(d.to_string(), "⟨x=1, y=0⟩");
+    }
+
+    #[test]
+    fn conjoin_merges_and_detects_conflicts() {
+        let a = WsDescriptor::bind("x", 1);
+        let b = WsDescriptor::bind("y", 2);
+        let c = WsDescriptor::bind("x", 0);
+        let ab = a.conjoin(&b).unwrap();
+        assert_eq!(ab.get("x"), Some(1));
+        assert_eq!(ab.get("y"), Some(2));
+        assert!(a.conjoin(&c).is_none());
+        assert_eq!(a.conjoin(&a).unwrap(), a);
+        assert_eq!(WsDescriptor::empty().conjoin(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn satisfaction_and_generalization() {
+        let d = WsDescriptor::of([("x", 1)]).unwrap();
+        let wider = WsDescriptor::of([("x", 1), ("y", 0)]).unwrap();
+        let mut world = Assignment::new();
+        world.insert("x".into(), 1);
+        world.insert("y".into(), 0);
+        assert!(d.satisfied_by(&world));
+        assert!(wider.satisfied_by(&world));
+        world.insert("x".into(), 0);
+        assert!(!d.satisfied_by(&world));
+        assert!(d.generalizes(&wider));
+        assert!(!wider.generalizes(&d));
+        assert!(WsDescriptor::empty().generalizes(&d));
+        assert!(d.generalizes(&d));
+    }
+
+    #[test]
+    fn probability_multiplies_independent_bindings() {
+        let mut w = WorldTable::new();
+        w.add_variable("x", vec![0.2, 0.8]).unwrap();
+        w.add_variable("y", vec![0.5, 0.5]).unwrap();
+        let d = WsDescriptor::of([("x", 1), ("y", 0)]).unwrap();
+        assert!((d.probability(&w).unwrap() - 0.4).abs() < 1e-12);
+        assert!((WsDescriptor::empty().probability(&w).unwrap() - 1.0).abs() < 1e-12);
+        let unknown = WsDescriptor::bind("z", 0);
+        assert!(unknown.probability(&w).is_err());
+    }
+}

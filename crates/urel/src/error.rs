@@ -1,0 +1,99 @@
+//! Error type of the U-relation layer.
+
+use std::fmt;
+
+/// Result alias of this crate.
+pub type Result<T> = std::result::Result<T, UrelError>;
+
+/// Errors raised by U-relation construction, querying and confidence
+/// computation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UrelError {
+    /// A relation name was not found in the U-database.
+    UnknownRelation(String),
+    /// A world-table variable was referenced but never declared.
+    UnknownVariable(String),
+    /// A malformed input (invalid probabilities, arity mismatch, …).
+    Invalid(String),
+    /// The requested operation is not supported on U-relations
+    /// (e.g. relational difference, which is not a positive operator).
+    Unsupported(String),
+    /// Exact confidence computation would have to enumerate more assignments
+    /// than the configured limit; use the Monte-Carlo estimator instead.
+    ExactTooLarge {
+        /// Number of relevant variables.
+        variables: usize,
+        /// Number of assignments that enumeration would require.
+        assignments: u128,
+    },
+    /// An error bubbled up from the relational substrate.
+    Relational(ws_relational::RelationalError),
+    /// An error bubbled up from the WSD layer (conversions).
+    Ws(ws_core::WsError),
+}
+
+impl UrelError {
+    /// Convenience constructor for invalid-input errors.
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        UrelError::Invalid(msg.into())
+    }
+}
+
+impl fmt::Display for UrelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UrelError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            UrelError::UnknownVariable(name) => write!(f, "unknown world-table variable `{name}`"),
+            UrelError::Invalid(msg) => write!(f, "invalid input: {msg}"),
+            UrelError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            UrelError::ExactTooLarge {
+                variables,
+                assignments,
+            } => write!(
+                f,
+                "exact confidence over {variables} variables needs {assignments} assignments; \
+                 use approx_conf"
+            ),
+            UrelError::Relational(e) => write!(f, "relational error: {e}"),
+            UrelError::Ws(e) => write!(f, "world-set error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UrelError {}
+
+impl From<ws_relational::RelationalError> for UrelError {
+    fn from(e: ws_relational::RelationalError) -> Self {
+        UrelError::Relational(e)
+    }
+}
+
+impl From<ws_core::WsError> for UrelError {
+    fn from(e: ws_core::WsError) -> Self {
+        UrelError::Ws(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_the_offender() {
+        assert!(UrelError::UnknownRelation("R".into()).to_string().contains("R"));
+        assert!(UrelError::UnknownVariable("x".into()).to_string().contains("x"));
+        assert!(UrelError::invalid("bad").to_string().contains("bad"));
+        assert!(UrelError::Unsupported("difference".into())
+            .to_string()
+            .contains("difference"));
+        let e = UrelError::ExactTooLarge {
+            variables: 40,
+            assignments: 1 << 40,
+        };
+        assert!(e.to_string().contains("40"));
+        let rel_err: UrelError = ws_relational::RelationalError::UnknownRelation("S".into()).into();
+        assert!(rel_err.to_string().contains("S"));
+        let ws_err: UrelError = ws_core::WsError::invalid("oops").into();
+        assert!(ws_err.to_string().contains("oops"));
+    }
+}

@@ -1,0 +1,398 @@
+//! Positive relational algebra on U-relations.
+//!
+//! Section 4 of the paper observes that join selections, projections and
+//! differences on WSDs may force component compositions and hence an
+//! exponential growth of the representation, and points to U-relations as
+//! the intensional refinement that avoids the blow-up: every positive
+//! operator is a plain relational operation on the annotated rows —
+//! descriptors are only *conjoined pairwise* (product/join) or copied
+//! (selection, projection, union, renaming), never expanded.
+//!
+//! The operators here mirror the named-perspective algebra of
+//! [`ws_relational::RaExpr`]; the non-positive difference operator is
+//! deliberately unsupported (the paper evaluates differences via conditional
+//! confidence instead — see `ws_core::conditional`).
+
+use ws_relational::{Predicate, RaExpr, Schema, Tuple};
+
+use crate::database::UDatabase;
+use crate::error::{Result, UrelError};
+use crate::urelation::URelation;
+
+/// Selection `σ_pred(src)`.
+pub fn select(udb: &UDatabase, src: &str, pred: &Predicate) -> Result<URelation> {
+    let input = udb.relation(src)?;
+    let mut out = URelation::new(input.schema().clone());
+    for (tuple, descriptor) in input.rows() {
+        if pred.eval(input.schema(), tuple)? {
+            out.push(tuple.clone(), descriptor.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Projection `π_attrs(src)`.
+pub fn project(udb: &UDatabase, src: &str, attrs: &[&str]) -> Result<URelation> {
+    let input = udb.relation(src)?;
+    let positions: Vec<usize> = attrs
+        .iter()
+        .map(|a| input.schema().position_of(a))
+        .collect::<std::result::Result<_, _>>()?;
+    let schema = input.schema().projected(attrs)?;
+    let mut out = URelation::new(schema);
+    for (tuple, descriptor) in input.rows() {
+        out.push(tuple.project_positions(&positions), descriptor.clone())?;
+    }
+    out.absorb();
+    Ok(out)
+}
+
+/// Product `left × right`: descriptors are conjoined; inconsistent pairs
+/// (bindings of the same variable to different local worlds) are dropped
+/// because no world contains both input tuples.
+pub fn product(udb: &UDatabase, left: &str, right: &str, dst: &str) -> Result<URelation> {
+    let l = udb.relation(left)?;
+    let r = udb.relation(right)?;
+    let schema = l.schema().product(r.schema(), dst)?;
+    let mut out = URelation::new(schema);
+    for (lt, ld) in l.rows() {
+        for (rt, rd) in r.rows() {
+            if let Some(descriptor) = ld.conjoin(rd) {
+                out.push(lt.concat(rt), descriptor)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// θ-join `left ⋈_pred right`, evaluated as a filtered product without
+/// materializing the non-matching pairs.
+pub fn join(
+    udb: &UDatabase,
+    left: &str,
+    right: &str,
+    dst: &str,
+    pred: &Predicate,
+) -> Result<URelation> {
+    let l = udb.relation(left)?;
+    let r = udb.relation(right)?;
+    let schema = l.schema().product(r.schema(), dst)?;
+    let mut out = URelation::new(schema.clone());
+    for (lt, ld) in l.rows() {
+        for (rt, rd) in r.rows() {
+            let joined = lt.concat(rt);
+            if pred.eval(&schema, &joined)? {
+                if let Some(descriptor) = ld.conjoin(rd) {
+                    out.push(joined, descriptor)?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Union `left ∪ right` (union-compatible schemas).
+pub fn union(udb: &UDatabase, left: &str, right: &str) -> Result<URelation> {
+    let l = udb.relation(left)?;
+    let r = udb.relation(right)?;
+    l.schema().check_union_compatible(r.schema())?;
+    let mut out = URelation::new(l.schema().clone());
+    for (tuple, descriptor) in l.rows().iter().chain(r.rows()) {
+        out.push(tuple.clone(), descriptor.clone())?;
+    }
+    out.absorb();
+    Ok(out)
+}
+
+/// Attribute renaming `δ_{from→to}(src)`.
+pub fn rename(udb: &UDatabase, src: &str, from: &str, to: &str) -> Result<URelation> {
+    let input = udb.relation(src)?;
+    let schema = input.schema().renamed_attr(from, to)?;
+    let mut out = URelation::new(schema);
+    for (tuple, descriptor) in input.rows() {
+        out.push(tuple.clone(), descriptor.clone())?;
+    }
+    Ok(out)
+}
+
+/// Evaluate a positive relational-algebra expression bottom-up, returning the
+/// resulting U-relation (not yet registered in the catalog).
+pub fn eval_expr(udb: &UDatabase, expr: &RaExpr) -> Result<URelation> {
+    match expr {
+        RaExpr::Rel(name) => Ok(udb.relation(name)?.clone()),
+        RaExpr::Select { pred, input } => {
+            let rel = eval_into(udb, input, "__urel_sel")?;
+            filtered(&rel, pred)
+        }
+        RaExpr::Project { attrs, input } => {
+            let rel = eval_into(udb, input, "__urel_proj")?;
+            let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            let positions: Vec<usize> = attr_refs
+                .iter()
+                .map(|a| rel.schema().position_of(a))
+                .collect::<std::result::Result<_, _>>()?;
+            let schema = rel.schema().projected(&attr_refs)?;
+            let mut out = URelation::new(schema);
+            for (tuple, descriptor) in rel.rows() {
+                out.push(tuple.project_positions(&positions), descriptor.clone())?;
+            }
+            out.absorb();
+            Ok(out)
+        }
+        RaExpr::Product { left, right } => {
+            let l = eval_into(udb, left, "__urel_l")?;
+            let r = eval_into(udb, right, "__urel_r")?;
+            let schema = l.schema().product(r.schema(), "__urel_prod")?;
+            let mut out = URelation::new(schema);
+            for (lt, ld) in l.rows() {
+                for (rt, rd) in r.rows() {
+                    if let Some(descriptor) = ld.conjoin(rd) {
+                        out.push(lt.concat(rt), descriptor)?;
+                    }
+                }
+            }
+            Ok(out)
+        }
+        RaExpr::Union { left, right } => {
+            let l = eval_into(udb, left, "__urel_l")?;
+            let r = eval_into(udb, right, "__urel_r")?;
+            l.schema().check_union_compatible(r.schema())?;
+            let mut out = URelation::new(l.schema().clone());
+            for (tuple, descriptor) in l.rows().iter().chain(r.rows()) {
+                out.push(tuple.clone(), descriptor.clone())?;
+            }
+            out.absorb();
+            Ok(out)
+        }
+        RaExpr::Difference { .. } => Err(UrelError::Unsupported(
+            "relational difference is not a positive operator; \
+             compute it via conditional confidence (ws_core::conditional) instead"
+                .to_string(),
+        )),
+        RaExpr::Rename { from, to, input } => {
+            let rel = eval_into(udb, input, "__urel_ren")?;
+            let schema = rel.schema().renamed_attr(from, to.as_str())?;
+            let mut out = URelation::new(schema);
+            for (tuple, descriptor) in rel.rows() {
+                out.push(tuple.clone(), descriptor.clone())?;
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Evaluate a query and register its result under `out` in the catalog,
+/// returning the (final) relation name.
+pub fn evaluate_query(udb: &mut UDatabase, query: &RaExpr, out: &str) -> Result<String> {
+    let mut result = eval_expr(udb, query)?;
+    let attrs: Vec<String> = result
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
+    let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    result.set_schema(Schema::new(out, &attr_refs)?)?;
+    udb.insert_relation(result);
+    Ok(out.to_string())
+}
+
+fn eval_into(udb: &UDatabase, expr: &RaExpr, _hint: &str) -> Result<URelation> {
+    eval_expr(udb, expr)
+}
+
+fn filtered(rel: &URelation, pred: &Predicate) -> Result<URelation> {
+    let mut out = URelation::new(rel.schema().clone());
+    for (tuple, descriptor) in rel.rows() {
+        if pred.eval(rel.schema(), tuple)? {
+            out.push(tuple.clone(), descriptor.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// The possible tuples of a query answer, computed without registering the
+/// result: evaluate, then strip descriptors.
+pub fn possible_answer(udb: &UDatabase, query: &RaExpr) -> Result<ws_relational::Relation> {
+    Ok(eval_expr(udb, query)?.possible_tuples())
+}
+
+/// Convenience: the distinct tuples of `relation` present in *some* world.
+pub fn possible_tuples(udb: &UDatabase, relation: &str) -> Result<Vec<Tuple>> {
+    Ok(udb
+        .relation(relation)?
+        .possible_tuples()
+        .rows()
+        .to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::from_wsd;
+    use crate::descriptor::WsDescriptor;
+    use ws_core::wsd::example_census_wsd;
+    use ws_relational::{evaluate_set, CmpOp, Value};
+
+    fn census_udb() -> UDatabase {
+        from_wsd(&example_census_wsd()).unwrap()
+    }
+
+    /// Oracle: evaluate the query in every world and collect the union of the
+    /// answers (set of possible answer tuples).
+    fn oracle_possible(udb: &UDatabase, query: &RaExpr) -> std::collections::BTreeSet<Tuple> {
+        let mut out = std::collections::BTreeSet::new();
+        for (world, _) in udb.enumerate_worlds(1 << 20).unwrap() {
+            let answer = evaluate_set(&world, query).unwrap();
+            out.extend(answer.rows().iter().cloned());
+        }
+        out
+    }
+
+    #[test]
+    fn selection_projection_match_the_world_oracle() {
+        let udb = census_udb();
+        let queries = [
+            RaExpr::rel("R").select(Predicate::eq_const("M", 1i64)),
+            RaExpr::rel("R")
+                .select(Predicate::cmp_const("S", CmpOp::Gt, 200i64))
+                .project(vec!["S"]),
+            RaExpr::rel("R").project(vec!["N", "M"]),
+        ];
+        for query in queries {
+            let ours: std::collections::BTreeSet<Tuple> = possible_answer(&udb, &query)
+                .unwrap()
+                .rows()
+                .iter()
+                .cloned()
+                .collect();
+            let oracle = oracle_possible(&udb, &query);
+            assert_eq!(ours, oracle, "possible answers differ for {query}");
+        }
+    }
+
+    #[test]
+    fn self_join_keeps_only_consistent_descriptor_pairs() {
+        let udb = census_udb();
+        // Pairs of persons with different SSNs (the §1 query): a self-join.
+        let query = RaExpr::rel("R")
+            .project(vec!["S"])
+            .rename("S", "S1")
+            .product(RaExpr::rel("R").project(vec!["S"]).rename("S", "S2"))
+            .select(Predicate::cmp_attr("S1", CmpOp::Ne, "S2"));
+        let ours: std::collections::BTreeSet<Tuple> = possible_answer(&udb, &query)
+            .unwrap()
+            .rows()
+            .iter()
+            .cloned()
+            .collect();
+        let oracle = oracle_possible(&udb, &query);
+        assert_eq!(ours, oracle);
+    }
+
+    #[test]
+    fn union_and_rename_match_the_world_oracle() {
+        let udb = census_udb();
+        let query = RaExpr::rel("R")
+            .select(Predicate::eq_const("M", 1i64))
+            .project(vec!["S"])
+            .union(RaExpr::rel("R").select(Predicate::eq_const("M", 2i64)).project(vec!["S"]));
+        let ours: std::collections::BTreeSet<Tuple> = possible_answer(&udb, &query)
+            .unwrap()
+            .rows()
+            .iter()
+            .cloned()
+            .collect();
+        assert_eq!(ours, oracle_possible(&udb, &query));
+    }
+
+    #[test]
+    fn named_operators_behave_like_the_expression_evaluator() {
+        let mut udb = census_udb();
+        let sel = select(&udb, "R", &Predicate::eq_const("M", 1i64)).unwrap();
+        assert!(sel.len() <= udb.relation("R").unwrap().len());
+        let proj = project(&udb, "R", &["S"]).unwrap();
+        assert_eq!(proj.schema().arity(), 1);
+        let renamed = rename(&udb, "R", "S", "SSN").unwrap();
+        assert!(renamed.schema().contains("SSN"));
+        let prod = {
+            let mut scratch = udb.clone();
+            let mut left = proj.clone();
+            left.set_schema(Schema::new("L", &["S1"]).unwrap()).unwrap();
+            scratch.insert_relation(left);
+            let mut right = proj.clone();
+            right.set_schema(Schema::new("Rt", &["S2"]).unwrap()).unwrap();
+            scratch.insert_relation(right);
+            product(&scratch, "L", "Rt", "LR").unwrap()
+        };
+        assert!(prod.len() <= proj.len() * proj.len());
+        let joined = {
+            let mut scratch = udb.clone();
+            let mut left = proj.clone();
+            left.set_schema(Schema::new("L", &["S1"]).unwrap()).unwrap();
+            scratch.insert_relation(left);
+            let mut right = proj.clone();
+            right.set_schema(Schema::new("Rt", &["S2"]).unwrap()).unwrap();
+            scratch.insert_relation(right);
+            join(&scratch, "L", "Rt", "J", &Predicate::cmp_attr("S1", CmpOp::Eq, "S2")).unwrap()
+        };
+        assert!(joined.len() <= prod.len());
+        let unioned = {
+            let mut scratch = udb.clone();
+            let mut a = proj.clone();
+            a.set_schema(Schema::new("A", &["S"]).unwrap()).unwrap();
+            let mut b = proj.clone();
+            b.set_schema(Schema::new("B", &["S"]).unwrap()).unwrap();
+            scratch.insert_relation(a);
+            scratch.insert_relation(b);
+            union(&scratch, "A", "B").unwrap()
+        };
+        assert_eq!(unioned.possible_tuples().len(), proj.possible_tuples().len());
+
+        // evaluate_query registers the result under the requested name.
+        let out = evaluate_query(
+            &mut udb,
+            &RaExpr::rel("R").select(Predicate::eq_const("M", 1i64)),
+            "Q",
+        )
+        .unwrap();
+        assert_eq!(out, "Q");
+        assert!(udb.contains_relation("Q"));
+        assert_eq!(possible_tuples(&udb, "Q").unwrap().len(), sel.possible_tuples().len());
+    }
+
+    #[test]
+    fn difference_is_rejected_as_non_positive() {
+        let udb = census_udb();
+        let query = RaExpr::rel("R").difference(RaExpr::rel("R"));
+        assert!(matches!(
+            eval_expr(&udb, &query),
+            Err(UrelError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn join_blowup_stays_polynomial_in_the_representation() {
+        // Two independent 4-way or-set fields joined on equality: the WSD
+        // representation would have to compose the two components (16 rows);
+        // the U-relation join just produces one annotated row per matching
+        // pair, without touching the world table.
+        let mut wsd = ws_core::Wsd::new();
+        wsd.register_relation("A", &["X"], 1).unwrap();
+        wsd.register_relation("B", &["Y"], 1).unwrap();
+        let domain: Vec<Value> = (0..4).map(Value::int).collect();
+        wsd.set_uniform(ws_core::FieldId::new("A", 0, "X"), domain.clone()).unwrap();
+        wsd.set_uniform(ws_core::FieldId::new("B", 0, "Y"), domain).unwrap();
+        let udb = from_wsd(&wsd).unwrap();
+        let query = RaExpr::rel("A")
+            .product(RaExpr::rel("B"))
+            .select(Predicate::cmp_attr("X", CmpOp::Eq, "Y"));
+        let result = eval_expr(&udb, &query).unwrap();
+        // Exactly the four matching pairs, each annotated with a two-variable
+        // descriptor; the world table still has two variables.
+        assert_eq!(result.len(), 4);
+        assert!(result.rows().iter().all(|(_, d)| d.len() == 2));
+        assert_eq!(udb.world_table().len(), 2);
+        let _ = WsDescriptor::empty();
+    }
+}

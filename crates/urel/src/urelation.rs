@@ -1,0 +1,208 @@
+//! U-relations: relations whose tuples carry world-set descriptors.
+
+use std::collections::BTreeSet;
+
+use ws_relational::{Relation, Schema, Tuple};
+
+use crate::descriptor::WsDescriptor;
+use crate::error::{Result, UrelError};
+
+/// A relation in which each tuple is annotated with the descriptor of the
+/// worlds it belongs to.
+///
+/// The same tuple value may appear several times with different descriptors;
+/// the tuple is then present in the union of the described world-sets.  This
+/// is what makes positive relational algebra purely relational on
+/// U-relations — no operator ever has to merge or compose descriptors beyond
+/// per-row conjunction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct URelation {
+    schema: Schema,
+    rows: Vec<(Tuple, WsDescriptor)>,
+}
+
+impl URelation {
+    /// An empty U-relation over the given schema.
+    pub fn new(schema: Schema) -> Self {
+        URelation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Replace the schema (used by renaming operators).
+    pub fn set_schema(&mut self, schema: Schema) -> Result<()> {
+        if schema.arity() != self.schema.arity() {
+            return Err(UrelError::invalid(format!(
+                "cannot change arity from {} to {}",
+                self.schema.arity(),
+                schema.arity()
+            )));
+        }
+        self.schema = schema;
+        Ok(())
+    }
+
+    /// The annotated rows.
+    pub fn rows(&self) -> &[(Tuple, WsDescriptor)] {
+        &self.rows
+    }
+
+    /// Number of annotated rows (not the number of distinct tuples).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the U-relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append an annotated row.
+    pub fn push(&mut self, tuple: Tuple, descriptor: WsDescriptor) -> Result<()> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(UrelError::invalid(format!(
+                "tuple arity {} does not match schema arity {} of `{}`",
+                tuple.arity(),
+                self.schema.arity(),
+                self.schema.relation()
+            )));
+        }
+        self.rows.push((tuple, descriptor));
+        Ok(())
+    }
+
+    /// The distinct tuple values that occur in at least one world.
+    pub fn possible_tuples(&self) -> Relation {
+        let mut out = Relation::new(self.schema.clone());
+        let mut seen: BTreeSet<&Tuple> = BTreeSet::new();
+        for (tuple, _) in &self.rows {
+            if seen.insert(tuple) {
+                out.push(tuple.clone()).expect("schema matches by construction");
+            }
+        }
+        out
+    }
+
+    /// All descriptors annotating a given tuple value.
+    pub fn descriptors_of(&self, tuple: &Tuple) -> Vec<&WsDescriptor> {
+        self.rows
+            .iter()
+            .filter(|(t, _)| t == tuple)
+            .map(|(_, d)| d)
+            .collect()
+    }
+
+    /// Remove redundant rows: duplicates, and rows whose descriptor is
+    /// strictly less general than another descriptor of the same tuple
+    /// (absorption: `t@⟨x=1⟩` makes `t@⟨x=1, y=0⟩` redundant).
+    ///
+    /// Returns the number of removed rows.
+    pub fn absorb(&mut self) -> usize {
+        let before = self.rows.len();
+        let mut kept: Vec<(Tuple, WsDescriptor)> = Vec::with_capacity(self.rows.len());
+        for (tuple, descriptor) in self.rows.drain(..) {
+            // Skip if an already-kept row absorbs this one.
+            if kept
+                .iter()
+                .any(|(t, d)| t == &tuple && d.generalizes(&descriptor))
+            {
+                continue;
+            }
+            // Drop already-kept rows this one absorbs.
+            kept.retain(|(t, d)| !(t == &tuple && descriptor.generalizes(d) && *d != descriptor));
+            kept.push((tuple, descriptor));
+        }
+        self.rows = kept;
+        before - self.rows.len()
+    }
+
+    /// The tuples present in the world described by `assignment`.
+    pub fn instantiate(&self, assignment: &crate::world::Assignment) -> Relation {
+        let mut out = Relation::new(self.schema.clone());
+        let mut seen: BTreeSet<&Tuple> = BTreeSet::new();
+        for (tuple, descriptor) in &self.rows {
+            if descriptor.satisfied_by(assignment) && seen.insert(tuple) {
+                out.push(tuple.clone()).expect("schema matches by construction");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::Assignment;
+    use ws_relational::Value;
+
+    fn schema() -> Schema {
+        Schema::new("R", &["A", "B"]).unwrap()
+    }
+
+    fn tup(a: i64, b: i64) -> Tuple {
+        Tuple::from_iter([Value::int(a), Value::int(b)])
+    }
+
+    #[test]
+    fn pushing_and_possible_tuples() {
+        let mut u = URelation::new(schema());
+        assert!(u.is_empty());
+        u.push(tup(1, 2), WsDescriptor::bind("x", 0)).unwrap();
+        u.push(tup(1, 2), WsDescriptor::bind("x", 1)).unwrap();
+        u.push(tup(3, 4), WsDescriptor::empty()).unwrap();
+        assert_eq!(u.len(), 3);
+        let possible = u.possible_tuples();
+        assert_eq!(possible.len(), 2);
+        assert_eq!(u.descriptors_of(&tup(1, 2)).len(), 2);
+        assert_eq!(u.descriptors_of(&tup(9, 9)).len(), 0);
+        // Arity mismatches are rejected.
+        assert!(u
+            .push(Tuple::from_iter([Value::int(1)]), WsDescriptor::empty())
+            .is_err());
+    }
+
+    #[test]
+    fn absorption_removes_redundant_rows() {
+        let mut u = URelation::new(schema());
+        let general = WsDescriptor::bind("x", 1);
+        let specific = WsDescriptor::of([("x", 1), ("y", 0)]).unwrap();
+        u.push(tup(1, 2), specific.clone()).unwrap();
+        u.push(tup(1, 2), general.clone()).unwrap();
+        u.push(tup(1, 2), general.clone()).unwrap(); // exact duplicate
+        u.push(tup(3, 4), specific.clone()).unwrap(); // different tuple — kept
+        let removed = u.absorb();
+        assert_eq!(removed, 2);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.descriptors_of(&tup(1, 2)), vec![&general]);
+        assert_eq!(u.descriptors_of(&tup(3, 4)), vec![&specific]);
+    }
+
+    #[test]
+    fn instantiation_selects_the_right_world() {
+        let mut u = URelation::new(schema());
+        u.push(tup(1, 2), WsDescriptor::bind("x", 0)).unwrap();
+        u.push(tup(3, 4), WsDescriptor::bind("x", 1)).unwrap();
+        u.push(tup(5, 6), WsDescriptor::empty()).unwrap();
+        let mut world = Assignment::new();
+        world.insert("x".into(), 0);
+        let rel = u.instantiate(&world);
+        assert!(rel.contains(&tup(1, 2)));
+        assert!(!rel.contains(&tup(3, 4)));
+        assert!(rel.contains(&tup(5, 6)));
+    }
+
+    #[test]
+    fn schema_replacement_preserves_arity() {
+        let mut u = URelation::new(schema());
+        u.push(tup(1, 2), WsDescriptor::empty()).unwrap();
+        assert!(u.set_schema(Schema::new("S", &["C", "D"]).unwrap()).is_ok());
+        assert_eq!(u.schema().relation().as_ref(), "S");
+        assert!(u.set_schema(Schema::new("T", &["X"]).unwrap()).is_err());
+    }
+}

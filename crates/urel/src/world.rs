@@ -1,0 +1,244 @@
+//! The world table: independent finite random variables.
+//!
+//! U-relations factor a finite world-set into a set of independent variables
+//! `x` with finite domains `{0, …, k−1}` and a probability for each
+//! assignment `x ↦ i`.  A possible world corresponds to one total assignment;
+//! its probability is the product of the chosen assignment probabilities.
+//! This is exactly the role the component relations play in a WSD — the
+//! conversion in [`crate::convert`] maps every non-trivial component to one
+//! variable whose domain indexes the component's local worlds.
+
+use std::collections::BTreeMap;
+
+use crate::error::{Result, UrelError};
+
+/// A total assignment of domain indices to (a subset of) the variables.
+pub type Assignment = BTreeMap<String, usize>;
+
+/// The table of independent random variables and their distributions.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorldTable {
+    /// Variable name → probability of each domain index.
+    vars: BTreeMap<String, Vec<f64>>,
+}
+
+impl WorldTable {
+    /// An empty world table (a single, certain world).
+    pub fn new() -> Self {
+        WorldTable::default()
+    }
+
+    /// Declare a variable with the given assignment probabilities.
+    ///
+    /// The probabilities must be non-negative and sum to one (within float
+    /// tolerance); the domain is `0..probs.len()`.
+    pub fn add_variable(&mut self, name: impl Into<String>, probs: Vec<f64>) -> Result<()> {
+        let name = name.into();
+        if probs.is_empty() {
+            return Err(UrelError::invalid(format!("variable `{name}` has an empty domain")));
+        }
+        if probs.iter().any(|p| !(0.0..=1.0 + 1e-9).contains(p)) {
+            return Err(UrelError::invalid(format!(
+                "variable `{name}` has an out-of-range probability"
+            )));
+        }
+        let total: f64 = probs.iter().sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(UrelError::invalid(format!(
+                "probabilities of variable `{name}` sum to {total}, not 1"
+            )));
+        }
+        if self.vars.contains_key(&name) {
+            return Err(UrelError::invalid(format!("variable `{name}` declared twice")));
+        }
+        self.vars.insert(name, probs);
+        Ok(())
+    }
+
+    /// Declare a variable with a uniform distribution over `domain_size`
+    /// values.
+    pub fn add_uniform_variable(
+        &mut self,
+        name: impl Into<String>,
+        domain_size: usize,
+    ) -> Result<()> {
+        if domain_size == 0 {
+            return Err(UrelError::invalid("uniform variable needs a non-empty domain"));
+        }
+        self.add_variable(name, vec![1.0 / domain_size as f64; domain_size])
+    }
+
+    /// Whether the variable is declared.
+    pub fn contains(&self, name: &str) -> bool {
+        self.vars.contains_key(name)
+    }
+
+    /// The declared variable names.
+    pub fn variables(&self) -> impl Iterator<Item = &str> {
+        self.vars.keys().map(String::as_str)
+    }
+
+    /// Number of declared variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether no variable is declared.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// The domain size of a variable.
+    pub fn domain_size(&self, name: &str) -> Result<usize> {
+        Ok(self.distribution(name)?.len())
+    }
+
+    /// The probability of assignment `name ↦ index`.
+    pub fn prob(&self, name: &str, index: usize) -> Result<f64> {
+        let dist = self.distribution(name)?;
+        dist.get(index).copied().ok_or_else(|| {
+            UrelError::invalid(format!(
+                "index {index} outside the domain of `{name}` (size {})",
+                dist.len()
+            ))
+        })
+    }
+
+    /// The full distribution of one variable.
+    pub fn distribution(&self, name: &str) -> Result<&[f64]> {
+        self.vars
+            .get(name)
+            .map(Vec::as_slice)
+            .ok_or_else(|| UrelError::UnknownVariable(name.to_string()))
+    }
+
+    /// The number of total assignments (possible worlds): the product of the
+    /// domain sizes, saturating at `u128::MAX`.
+    pub fn assignment_count(&self) -> u128 {
+        self.vars
+            .values()
+            .fold(1u128, |acc, d| acc.saturating_mul(d.len() as u128))
+    }
+
+    /// The probability of a (partial) assignment: the product of the chosen
+    /// probabilities; unmentioned variables are marginalized out.
+    pub fn assignment_probability(&self, assignment: &Assignment) -> Result<f64> {
+        let mut p = 1.0;
+        for (var, &idx) in assignment {
+            p *= self.prob(var, idx)?;
+        }
+        Ok(p)
+    }
+
+    /// Enumerate every total assignment over the given variables together
+    /// with its marginal probability.
+    ///
+    /// Fails with [`UrelError::ExactTooLarge`] if more than `limit`
+    /// assignments would be produced.
+    pub fn enumerate_assignments(
+        &self,
+        variables: &[String],
+        limit: u128,
+    ) -> Result<Vec<(Assignment, f64)>> {
+        let mut count: u128 = 1;
+        for v in variables {
+            count = count.saturating_mul(self.domain_size(v)? as u128);
+        }
+        if count > limit {
+            return Err(UrelError::ExactTooLarge {
+                variables: variables.len(),
+                assignments: count,
+            });
+        }
+        let mut out: Vec<(Assignment, f64)> = vec![(Assignment::new(), 1.0)];
+        for v in variables {
+            let dist = self.distribution(v)?.to_vec();
+            let mut next = Vec::with_capacity(out.len() * dist.len());
+            for (assignment, p) in &out {
+                for (idx, q) in dist.iter().enumerate() {
+                    let mut extended = assignment.clone();
+                    extended.insert(v.clone(), idx);
+                    next.push((extended, p * q));
+                }
+            }
+            out = next;
+        }
+        Ok(out)
+    }
+
+    /// Enumerate every total assignment over *all* variables.
+    pub fn enumerate_all(&self, limit: u128) -> Result<Vec<(Assignment, f64)>> {
+        let names: Vec<String> = self.vars.keys().cloned().collect();
+        self.enumerate_assignments(&names, limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declaring_and_querying_variables() {
+        let mut w = WorldTable::new();
+        assert!(w.is_empty());
+        w.add_variable("x", vec![0.2, 0.8]).unwrap();
+        w.add_uniform_variable("y", 4).unwrap();
+        assert_eq!(w.len(), 2);
+        assert!(w.contains("x") && !w.contains("z"));
+        assert_eq!(w.domain_size("x").unwrap(), 2);
+        assert_eq!(w.domain_size("y").unwrap(), 4);
+        assert!((w.prob("x", 1).unwrap() - 0.8).abs() < 1e-12);
+        assert!((w.prob("y", 3).unwrap() - 0.25).abs() < 1e-12);
+        assert_eq!(w.assignment_count(), 8);
+        assert_eq!(w.variables().collect::<Vec<_>>(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn invalid_declarations_are_rejected() {
+        let mut w = WorldTable::new();
+        assert!(w.add_variable("x", vec![]).is_err());
+        assert!(w.add_variable("x", vec![0.5, 0.6]).is_err());
+        assert!(w.add_variable("x", vec![1.5, -0.5]).is_err());
+        assert!(w.add_uniform_variable("x", 0).is_err());
+        w.add_variable("x", vec![1.0]).unwrap();
+        assert!(w.add_variable("x", vec![1.0]).is_err(), "duplicate declaration");
+        assert!(w.prob("x", 3).is_err());
+        assert!(w.prob("nope", 0).is_err());
+        assert!(w.distribution("nope").is_err());
+    }
+
+    #[test]
+    fn assignment_probabilities_multiply() {
+        let mut w = WorldTable::new();
+        w.add_variable("x", vec![0.2, 0.8]).unwrap();
+        w.add_variable("y", vec![0.5, 0.5]).unwrap();
+        let mut a = Assignment::new();
+        a.insert("x".into(), 1);
+        a.insert("y".into(), 0);
+        assert!((w.assignment_probability(&a).unwrap() - 0.4).abs() < 1e-12);
+        // Partial assignments marginalize the rest out.
+        let mut partial = Assignment::new();
+        partial.insert("x".into(), 0);
+        assert!((w.assignment_probability(&partial).unwrap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enumeration_covers_all_assignments_and_sums_to_one() {
+        let mut w = WorldTable::new();
+        w.add_variable("x", vec![0.2, 0.8]).unwrap();
+        w.add_uniform_variable("y", 3).unwrap();
+        let all = w.enumerate_all(1 << 20).unwrap();
+        assert_eq!(all.len(), 6);
+        let total: f64 = all.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Enumerating a subset marginalizes correctly.
+        let xs = w.enumerate_assignments(&["x".to_string()], 1 << 20).unwrap();
+        assert_eq!(xs.len(), 2);
+        assert!((xs.iter().map(|(_, p)| p).sum::<f64>() - 1.0).abs() < 1e-12);
+        // The limit is enforced.
+        assert!(matches!(
+            w.enumerate_all(3),
+            Err(UrelError::ExactTooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,490 @@
+//! Chasing dependencies on UWSDTs (§8 applied to the uniform representation;
+//! used for the census data cleaning of §9).
+//!
+//! Chasing removes *worlds*, not tuples: for every tuple that could violate a
+//! dependency, the components defining the involved uncertain fields are
+//! composed and the violating local worlds are deleted from `W` (and their
+//! values from `C`), renormalizing the surviving probabilities.  A violation
+//! by a completely certain tuple makes every world inconsistent.
+
+use crate::error::{Result, UwsdtError};
+use crate::model::{Cid, Lwid, Uwsdt};
+use std::collections::{BTreeSet, HashMap};
+use ws_core::chase::{Dependency, EqualityGeneratingDependency, FunctionalDependency};
+use ws_core::FieldId;
+use ws_relational::Value;
+
+/// Chase a set of dependencies on the UWSDT.
+pub fn chase(uwsdt: &mut Uwsdt, dependencies: &[Dependency]) -> Result<()> {
+    for dep in dependencies {
+        match dep {
+            Dependency::Egd(egd) => chase_egd(uwsdt, egd)?,
+            Dependency::Fd(fd) => chase_fd(uwsdt, fd)?,
+        }
+    }
+    Ok(())
+}
+
+/// The placeholders of a tuple that encode a possible *absence* of the tuple
+/// (their `C` values do not cover every local world of their component).  An
+/// absent tuple cannot violate a dependency, so these placeholders join every
+/// violation check.
+fn absence_placeholders(uwsdt: &Uwsdt, relation: &str, tuple: usize) -> Vec<ws_core::FieldId> {
+    uwsdt
+        .placeholders_of(relation)
+        .into_iter()
+        .filter(|f| f.tuple.0 == tuple)
+        .filter(|f| {
+            let cid = match uwsdt.component_of(f) {
+                Some(cid) => cid,
+                None => return false,
+            };
+            let covered = uwsdt.placeholder_values(f).map(|v| v.len()).unwrap_or(0);
+            let total = uwsdt
+                .component_worlds(cid)
+                .map(|w| w.len())
+                .unwrap_or(covered);
+            covered < total
+        })
+        .collect()
+}
+
+/// Chase one single-tuple equality-generating dependency.
+pub fn chase_egd(uwsdt: &mut Uwsdt, egd: &EqualityGeneratingDependency) -> Result<()> {
+    let template = uwsdt.template(&egd.relation)?.clone();
+    let schema = template.schema().clone();
+    for atom in egd.body.iter().chain(std::iter::once(&egd.head)) {
+        schema.position_of(&atom.attr)?;
+    }
+    let tuple_count = template.len();
+    for t in 0..tuple_count {
+        let row = &template.rows()[t];
+        // Refinement (§8): skip when the body is certainly false or the head
+        // certainly true.
+        let mut body_possible = true;
+        for atom in &egd.body {
+            let values = uwsdt.possible_field_values(&egd.relation, t, &atom.attr)?;
+            if !values.iter().any(|v| atom.eval(v)) {
+                body_possible = false;
+                break;
+            }
+        }
+        if !body_possible {
+            continue;
+        }
+        let head_values = uwsdt.possible_field_values(&egd.relation, t, &egd.head.attr)?;
+        if head_values.iter().all(|v| egd.head.eval(v)) {
+            continue;
+        }
+
+        // Which involved attributes are uncertain?
+        let involved: Vec<&str> = {
+            let mut v: Vec<&str> = egd.body.iter().map(|a| a.attr.as_str()).collect();
+            v.push(egd.head.attr.as_str());
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let uncertain: Vec<&str> = involved
+            .iter()
+            .copied()
+            .filter(|a| row[schema.position_of(a).unwrap()].is_unknown())
+            .collect();
+        if uncertain.is_empty() {
+            // Certain violation: no world satisfies the dependency.
+            return Err(UwsdtError::Inconsistent);
+        }
+        // Compose the components spanned by the dependency (and any presence
+        // conditions of the tuple, so that absent-in-some-worlds tuples are
+        // not over-cleaned).
+        let mut cids: Vec<Cid> = uncertain
+            .iter()
+            .filter_map(|a| uwsdt.component_of(&FieldId::new(&egd.relation, t, *a)))
+            .collect();
+        for cond in uwsdt.presence_of(&egd.relation, t).to_vec() {
+            cids.push(cond.cid);
+        }
+        let absence = absence_placeholders(uwsdt, &egd.relation, t);
+        for f in &absence {
+            if let Some(cid) = uwsdt.component_of(f) {
+                cids.push(cid);
+            }
+        }
+        cids.sort_unstable();
+        cids.dedup();
+        let cid = uwsdt.compose(&cids)?;
+
+        let mut violating: BTreeSet<Lwid> = BTreeSet::new();
+        for w in uwsdt.component_worlds(cid)?.to_vec() {
+            // Tuple absent (presence condition or missing placeholder value)
+            // ⇒ no violation in this local world.
+            if uwsdt
+                .presence_of(&egd.relation, t)
+                .iter()
+                .any(|c| c.cid == cid && !c.lwids.contains(&w.lwid))
+            {
+                continue;
+            }
+            if absence.iter().any(|f| {
+                uwsdt
+                    .placeholder_values(f)
+                    .map(|vals| !vals.contains_key(&w.lwid))
+                    .unwrap_or(false)
+            }) {
+                continue;
+            }
+            let value_of = |attr: &str| -> Option<Value> {
+                let pos = schema.position_of(attr).unwrap();
+                if row[pos].is_unknown() {
+                    uwsdt
+                        .placeholder_values(&FieldId::new(&egd.relation, t, attr))
+                        .and_then(|vals| vals.get(&w.lwid).cloned())
+                } else {
+                    Some(row[pos].clone())
+                }
+            };
+            let mut all_present = true;
+            let mut body_holds = true;
+            for atom in &egd.body {
+                match value_of(&atom.attr) {
+                    Some(v) => {
+                        if !atom.eval(&v) {
+                            body_holds = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        all_present = false;
+                        break;
+                    }
+                }
+            }
+            if !all_present || !body_holds {
+                continue;
+            }
+            if let Some(v) = value_of(&egd.head.attr) {
+                if !egd.head.eval(&v) {
+                    violating.insert(w.lwid);
+                }
+            }
+        }
+        if !violating.is_empty() {
+            uwsdt.remove_local_worlds(cid, &violating)?;
+        }
+    }
+    Ok(())
+}
+
+/// Chase one functional dependency `lhs → rhs`.
+///
+/// Candidate pairs are found through a hash index over the possible values of
+/// the first determinant attribute, so that only tuples that could agree on
+/// the determinant are compared.
+pub fn chase_fd(uwsdt: &mut Uwsdt, fd: &FunctionalDependency) -> Result<()> {
+    let template = uwsdt.template(&fd.relation)?.clone();
+    let schema = template.schema().clone();
+    for a in fd.lhs.iter().chain(&fd.rhs) {
+        schema.position_of(a)?;
+    }
+    if fd.lhs.is_empty() || fd.rhs.is_empty() {
+        return Err(UwsdtError::invalid("functional dependency needs lhs and rhs"));
+    }
+    // Index tuples by the possible values of the first determinant attribute.
+    let first = &fd.lhs[0];
+    let mut by_value: HashMap<Value, Vec<usize>> = HashMap::new();
+    for t in 0..template.len() {
+        for v in uwsdt.possible_field_values(&fd.relation, t, first)? {
+            by_value.entry(v).or_default().push(t);
+        }
+    }
+    let mut candidate_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for tuples in by_value.values() {
+        for (i, &s) in tuples.iter().enumerate() {
+            for &t in &tuples[i + 1..] {
+                candidate_pairs.insert((s.min(t), s.max(t)));
+            }
+        }
+    }
+
+    for (s, t) in candidate_pairs {
+        // Refinement: every determinant attribute must share a possible
+        // value, and the dependents must not be certainly equal.
+        let mut overlap = true;
+        for a in &fd.lhs {
+            let vs = uwsdt.possible_field_values(&fd.relation, s, a)?;
+            let vt = uwsdt.possible_field_values(&fd.relation, t, a)?;
+            if !vs.iter().any(|v| vt.contains(v)) {
+                overlap = false;
+                break;
+            }
+        }
+        if !overlap {
+            continue;
+        }
+        let mut rhs_certainly_equal = true;
+        for a in &fd.rhs {
+            let vs = uwsdt.possible_field_values(&fd.relation, s, a)?;
+            let vt = uwsdt.possible_field_values(&fd.relation, t, a)?;
+            if !(vs.len() == 1 && vt.len() == 1 && vs[0] == vt[0]) {
+                rhs_certainly_equal = false;
+                break;
+            }
+        }
+        if rhs_certainly_equal {
+            continue;
+        }
+
+        // Collect the components of the uncertain involved fields of both
+        // tuples (plus presence conditions).
+        let involved: Vec<&String> = fd.lhs.iter().chain(&fd.rhs).collect();
+        let mut cids: Vec<Cid> = Vec::new();
+        let mut any_uncertain = false;
+        for &tuple in &[s, t] {
+            let row = &template.rows()[tuple];
+            for a in &involved {
+                let pos = schema.position_of(a)?;
+                if row[pos].is_unknown() {
+                    any_uncertain = true;
+                    if let Some(cid) =
+                        uwsdt.component_of(&FieldId::new(&fd.relation, tuple, a.as_str()))
+                    {
+                        cids.push(cid);
+                    }
+                }
+            }
+            for cond in uwsdt.presence_of(&fd.relation, tuple).to_vec() {
+                cids.push(cond.cid);
+            }
+        }
+        let absence: Vec<ws_core::FieldId> = [s, t]
+            .iter()
+            .flat_map(|&tuple| absence_placeholders(uwsdt, &fd.relation, tuple))
+            .collect();
+        for f in &absence {
+            if let Some(cid) = uwsdt.component_of(f) {
+                cids.push(cid);
+            }
+        }
+        if !any_uncertain && absence.is_empty() {
+            // Both tuples certain and always present: a violation means no
+            // world is consistent.
+            return Err(UwsdtError::Inconsistent);
+        }
+        cids.sort_unstable();
+        cids.dedup();
+        if cids.is_empty() {
+            return Err(UwsdtError::Inconsistent);
+        }
+        let cid = uwsdt.compose(&cids)?;
+
+        let mut violating: BTreeSet<Lwid> = BTreeSet::new();
+        for w in uwsdt.component_worlds(cid)?.to_vec() {
+            if absence.iter().any(|f| {
+                uwsdt
+                    .placeholder_values(f)
+                    .map(|vals| !vals.contains_key(&w.lwid))
+                    .unwrap_or(false)
+            }) {
+                continue;
+            }
+            let value_of = |tuple: usize, attr: &str| -> Option<Value> {
+                let pos = schema.position_of(attr).unwrap();
+                let row = &template.rows()[tuple];
+                if row[pos].is_unknown() {
+                    uwsdt
+                        .placeholder_values(&FieldId::new(&fd.relation, tuple, attr))
+                        .and_then(|vals| vals.get(&w.lwid).cloned())
+                } else {
+                    Some(row[pos].clone())
+                }
+            };
+            // Presence conditions on the composed component.
+            let present = |tuple: usize| {
+                uwsdt
+                    .presence_of(&fd.relation, tuple)
+                    .iter()
+                    .all(|c| c.cid != cid || c.lwids.contains(&w.lwid))
+            };
+            if !present(s) || !present(t) {
+                continue;
+            }
+            let mut lhs_equal = true;
+            for a in &fd.lhs {
+                match (value_of(s, a), value_of(t, a)) {
+                    (Some(x), Some(y)) if x == y => {}
+                    _ => {
+                        lhs_equal = false;
+                        break;
+                    }
+                }
+            }
+            if !lhs_equal {
+                continue;
+            }
+            let mut rhs_equal = true;
+            for a in &fd.rhs {
+                match (value_of(s, a), value_of(t, a)) {
+                    (Some(x), Some(y)) if x == y => {}
+                    (None, _) | (_, None) => {
+                        // A missing dependent value means the tuple is absent.
+                        rhs_equal = true;
+                        lhs_equal = false;
+                        break;
+                    }
+                    _ => {
+                        rhs_equal = false;
+                        break;
+                    }
+                }
+            }
+            if lhs_equal && !rhs_equal {
+                violating.insert(w.lwid);
+            }
+        }
+        if !violating.is_empty() {
+            uwsdt.remove_local_worlds(cid, &violating)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{from_or_relation, OrField};
+    use ws_core::chase::AttrComparison;
+    use ws_relational::{CmpOp, Relation, Schema};
+
+    /// The introduction's uncleaned or-set relation (32 worlds).
+    fn census_or_relation() -> Uwsdt {
+        let mut base = Relation::new(Schema::new("R", &["S", "N", "M"]).unwrap());
+        base.push_values([Value::int(0), Value::text("Smith"), Value::int(0)])
+            .unwrap();
+        base.push_values([Value::int(0), Value::text("Brown"), Value::int(0)])
+            .unwrap();
+        from_or_relation(
+            &base,
+            &[
+                OrField::uniform(0, "S", vec![Value::int(185), Value::int(785)]),
+                OrField::uniform(0, "M", vec![Value::int(1), Value::int(2)]),
+                OrField::uniform(1, "S", vec![Value::int(185), Value::int(186)]),
+                OrField::uniform(
+                    1,
+                    "M",
+                    vec![Value::int(1), Value::int(2), Value::int(3), Value::int(4)],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fd_chase_keeps_24_of_32_worlds() {
+        let mut uwsdt = census_or_relation();
+        assert_eq!(uwsdt.world_count(), 32);
+        let fd = FunctionalDependency::new("R", vec!["S"], vec!["N", "M"]);
+        chase_fd(&mut uwsdt, &fd).unwrap();
+        uwsdt.validate().unwrap();
+        let worlds = uwsdt.enumerate_worlds(100_000).unwrap();
+        assert_eq!(worlds.len(), 24);
+        let total: f64 = worlds.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for (db, _) in &worlds {
+            assert_eq!(
+                db.relation("R").unwrap().distinct_column("S").unwrap().len(),
+                2
+            );
+        }
+    }
+
+    #[test]
+    fn egd_chase_restricts_values_and_renormalizes() {
+        let mut uwsdt = census_or_relation();
+        // S = 785 ⇒ M = 1 for tuple t1 (as in §8).
+        let egd = EqualityGeneratingDependency::implies("R", "S", 785i64, "M", CmpOp::Eq, 1i64);
+        chase_egd(&mut uwsdt, &egd).unwrap();
+        uwsdt.validate().unwrap();
+        for (db, _) in uwsdt.enumerate_worlds(100_000).unwrap() {
+            for row in db.relation("R").unwrap().rows() {
+                assert!(row[0] != Value::int(785) || row[2] == Value::int(1));
+            }
+        }
+    }
+
+    #[test]
+    fn certain_violation_is_inconsistent() {
+        let mut base = Relation::new(Schema::new("R", &["A", "B"]).unwrap());
+        base.push_values([1i64, 2]).unwrap();
+        let mut uwsdt = from_or_relation(&base, &[]).unwrap();
+        let egd = EqualityGeneratingDependency::implies("R", "A", 1i64, "B", CmpOp::Eq, 3i64);
+        assert_eq!(chase_egd(&mut uwsdt, &egd), Err(UwsdtError::Inconsistent));
+
+        let mut base = Relation::new(Schema::new("R", &["A", "B"]).unwrap());
+        base.push_values([1i64, 2]).unwrap();
+        base.push_values([1i64, 3]).unwrap();
+        let mut uwsdt = from_or_relation(&base, &[]).unwrap();
+        let fd = FunctionalDependency::new("R", vec!["A"], vec!["B"]);
+        assert_eq!(chase_fd(&mut uwsdt, &fd), Err(UwsdtError::Inconsistent));
+    }
+
+    #[test]
+    fn chase_skips_tuples_that_cannot_violate() {
+        let mut base = Relation::new(Schema::new("R", &["A", "B"]).unwrap());
+        base.push_values([1i64, 1]).unwrap();
+        base.push_values([2i64, 2]).unwrap();
+        let mut uwsdt = from_or_relation(
+            &base,
+            &[OrField::uniform(0, "B", vec![Value::int(1), Value::int(9)])],
+        )
+        .unwrap();
+        let components_before = uwsdt.component_ids().len();
+        // Body never holds (A is never 5): nothing changes.
+        let egd = EqualityGeneratingDependency::implies("R", "A", 5i64, "B", CmpOp::Eq, 0i64);
+        chase_egd(&mut uwsdt, &egd).unwrap();
+        assert_eq!(uwsdt.component_ids().len(), components_before);
+        assert_eq!(uwsdt.world_count(), 2);
+        // Head always holds for B of tuple 2; determinants never overlap.
+        let fd = FunctionalDependency::new("R", vec!["A"], vec!["B"]);
+        chase_fd(&mut uwsdt, &fd).unwrap();
+        assert_eq!(uwsdt.world_count(), 2);
+    }
+
+    #[test]
+    fn chase_matches_world_filtering_oracle() {
+        let mut uwsdt = census_or_relation();
+        let before = uwsdt.enumerate_worlds(100_000).unwrap();
+        let deps = vec![
+            Dependency::Fd(FunctionalDependency::new("R", vec!["S"], vec!["M"])),
+            Dependency::Egd(EqualityGeneratingDependency::new(
+                "R",
+                vec![AttrComparison::new("S", CmpOp::Eq, 785i64)],
+                AttrComparison::new("M", CmpOp::Ne, 4i64),
+            )),
+        ];
+        chase(&mut uwsdt, &deps).unwrap();
+        let after = uwsdt.enumerate_worlds(100_000).unwrap();
+        // Oracle: filter + renormalize the original worlds.
+        let ok = |db: &ws_relational::Database| {
+            let r = db.relation("R").unwrap();
+            let fd_ok = r.rows().iter().all(|a| {
+                r.rows()
+                    .iter()
+                    .all(|b| a[0] != b[0] || a[2] == b[2])
+            });
+            let egd_ok = r
+                .rows()
+                .iter()
+                .all(|a| a[0] != Value::int(785) || a[2] != Value::int(4));
+            fd_ok && egd_ok
+        };
+        let surviving: Vec<(ws_relational::Database, f64)> =
+            before.into_iter().filter(|(db, _)| ok(db)).collect();
+        let mass: f64 = surviving.iter().map(|(_, p)| p).sum();
+        let expected = ws_core::WorldSet::from_weighted_worlds(
+            surviving.into_iter().map(|(db, p)| (db, p / mass)).collect(),
+        );
+        let actual = ws_core::WorldSet::from_weighted_worlds(after);
+        assert!(expected.same_worlds(&actual));
+        assert!(expected.same_distribution(&actual, 1e-9));
+    }
+}

@@ -1,0 +1,109 @@
+//! Errors of the UWSDT layer.
+
+use std::fmt;
+use ws_core::WsError;
+use ws_relational::RelationalError;
+
+/// Result alias for the UWSDT layer.
+pub type Result<T> = std::result::Result<T, UwsdtError>;
+
+/// Errors raised by UWSDT construction, querying and cleaning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UwsdtError {
+    /// A relation name is not represented.
+    UnknownRelation(String),
+    /// A component identifier is not present in `W`.
+    UnknownComponent(usize),
+    /// The represented world-set became empty (no consistent world remains).
+    Inconsistent,
+    /// Enumerating the possible worlds would exceed the requested limit.
+    TooManyWorlds {
+        /// Number of described worlds (saturating).
+        worlds: u128,
+        /// The limit that was exceeded.
+        limit: u128,
+    },
+    /// A query shape not supported by the UWSDT engine (fall back to the
+    /// WSD-level evaluation in `ws-core`).
+    Unsupported(String),
+    /// An error bubbled up from the relational substrate.
+    Relational(RelationalError),
+    /// An error bubbled up from the WSD layer.
+    Core(String),
+    /// Anything else worth reporting with a message.
+    Invalid(String),
+}
+
+impl UwsdtError {
+    /// Build an [`UwsdtError::Invalid`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        UwsdtError::Invalid(msg.into())
+    }
+
+    /// Build an [`UwsdtError::Unsupported`].
+    pub fn unsupported(msg: impl Into<String>) -> Self {
+        UwsdtError::Unsupported(msg.into())
+    }
+}
+
+impl fmt::Display for UwsdtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UwsdtError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            UwsdtError::UnknownComponent(c) => write!(f, "unknown component C{c}"),
+            UwsdtError::Inconsistent => {
+                write!(f, "world-set is inconsistent (no world remains)")
+            }
+            UwsdtError::TooManyWorlds { worlds, limit } => write!(
+                f,
+                "the representation describes {worlds} worlds, more than the enumeration limit {limit}"
+            ),
+            UwsdtError::Unsupported(msg) => write!(f, "unsupported on UWSDTs: {msg}"),
+            UwsdtError::Relational(e) => write!(f, "relational error: {e}"),
+            UwsdtError::Core(e) => write!(f, "world-set error: {e}"),
+            UwsdtError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for UwsdtError {}
+
+impl From<RelationalError> for UwsdtError {
+    fn from(e: RelationalError) -> Self {
+        UwsdtError::Relational(e)
+    }
+}
+
+impl From<WsError> for UwsdtError {
+    fn from(e: WsError) -> Self {
+        match e {
+            WsError::Inconsistent => UwsdtError::Inconsistent,
+            other => UwsdtError::Core(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(UwsdtError::UnknownRelation("R".into()).to_string().contains('R'));
+        assert!(UwsdtError::UnknownComponent(3).to_string().contains("C3"));
+        assert!(UwsdtError::Inconsistent.to_string().contains("inconsistent"));
+        assert!(UwsdtError::unsupported("difference")
+            .to_string()
+            .contains("difference"));
+        assert!(UwsdtError::TooManyWorlds { worlds: 8, limit: 2 }
+            .to_string()
+            .contains('8'));
+        let e: UwsdtError = RelationalError::UnknownRelation("S".into()).into();
+        assert!(matches!(e, UwsdtError::Relational(_)));
+        let e: UwsdtError = WsError::Inconsistent.into();
+        assert_eq!(e, UwsdtError::Inconsistent);
+        let e: UwsdtError = WsError::invalid("x").into();
+        assert!(matches!(e, UwsdtError::Core(_)));
+        assert_eq!(UwsdtError::invalid("boom").to_string(), "boom");
+    }
+}

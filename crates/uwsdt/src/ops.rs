@@ -1,0 +1,739 @@
+//! Relational algebra on UWSDTs (§5, Figure 16).
+//!
+//! Each operator reads one or two relations of the UWSDT and materializes a
+//! new result relation *in the same UWSDT*, sharing the component store, so
+//! that the result stays correlated with its inputs (exactly as for WSDs in
+//! §4).  The template relation carries the bulk of the data and is processed
+//! with ordinary relational operations; the component relations are only
+//! touched for tuples with placeholders, which is what makes query processing
+//! on UWSDTs comparable to single-world processing when uncertainty is
+//! sparse (§9).
+//!
+//! Where the paper's Fig. 16 removes "incomplete world tuples" from `C`
+//! (line 4), this implementation additionally supports *presence conditions*
+//! — the "exists column" refinement mentioned in §4 — so that projections
+//! never need to compose components.
+
+use crate::error::{Result, UwsdtError};
+use crate::model::{Cid, Lwid, PresenceCondition, Uwsdt};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use ws_core::FieldId;
+use ws_relational::{Predicate, Relation, Schema, Tuple, Value};
+
+/// Copy the placeholder machinery of one source field to a destination field
+/// (same component, same values), optionally restricted to a set of local
+/// worlds of `restrict_cid`.
+fn copy_placeholder(
+    uwsdt: &mut Uwsdt,
+    src: &FieldId,
+    dst: FieldId,
+    restrict: Option<(&Cid, &BTreeSet<Lwid>)>,
+) -> Result<()> {
+    let cid = uwsdt
+        .component_of(src)
+        .ok_or_else(|| UwsdtError::invalid(format!("{src} is not a placeholder")))?;
+    let mut values = uwsdt
+        .placeholder_values(src)
+        .cloned()
+        .unwrap_or_default();
+    if let Some((rcid, lwids)) = restrict {
+        if *rcid == cid {
+            values.retain(|l, _| lwids.contains(l));
+        }
+    }
+    uwsdt.add_placeholder_in_component(dst, cid, values)?;
+    Ok(())
+}
+
+/// Copy a source tuple's presence conditions onto a destination tuple.
+fn copy_presence(
+    uwsdt: &mut Uwsdt,
+    src_rel: &str,
+    src_tuple: usize,
+    dst_rel: &str,
+    dst_tuple: usize,
+) -> Result<()> {
+    let conditions: Vec<PresenceCondition> = uwsdt.presence_of(src_rel, src_tuple).to_vec();
+    for cond in conditions {
+        uwsdt.add_presence(dst_rel, dst_tuple, cond.cid, cond.lwids)?;
+    }
+    Ok(())
+}
+
+/// The distinct components of the uncertain fields among `attrs` of a tuple.
+fn components_of_attrs(
+    uwsdt: &Uwsdt,
+    relation: &str,
+    tuple: usize,
+    attrs: &[&str],
+) -> Vec<Cid> {
+    let mut cids: Vec<Cid> = attrs
+        .iter()
+        .filter_map(|a| uwsdt.component_of(&FieldId::new(relation, tuple, *a)))
+        .collect();
+    cids.sort_unstable();
+    cids.dedup();
+    cids
+}
+
+/// `P := σ_pred(R)` for an arbitrary predicate over constants and attribute
+/// comparisons (the composite conditions of the census queries Q1–Q6).
+///
+/// Certain tuples are filtered directly against the template (exactly the
+/// single-world cost); tuples with placeholders referenced by the predicate
+/// restrict their placeholder values to the satisfying local worlds,
+/// composing components only when the predicate spans several of them.
+pub fn select(uwsdt: &mut Uwsdt, src: &str, dst: &str, pred: &Predicate) -> Result<()> {
+    if uwsdt.contains_relation(dst) {
+        return Err(UwsdtError::invalid(format!("relation `{dst}` already exists")));
+    }
+    let src_template = uwsdt.template(src)?.clone();
+    let schema = src_template.schema().renamed_relation(dst);
+    uwsdt.add_template(Relation::new(schema))?;
+
+    let referenced: Vec<&str> = pred.referenced_attrs();
+    for a in &referenced {
+        src_template.schema().position_of(a)?;
+    }
+    let attrs: Vec<String> = src_template
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
+
+    for (t, row) in src_template.rows().iter().enumerate() {
+        // Which referenced attributes are uncertain for this tuple?
+        let uncertain_refs: Vec<&str> = referenced
+            .iter()
+            .copied()
+            .filter(|a| {
+                let pos = src_template.schema().position(a).unwrap();
+                row[pos].is_unknown()
+            })
+            .collect();
+
+        let restriction: Option<(Cid, BTreeSet<Lwid>)> = if uncertain_refs.is_empty() {
+            // Purely certain condition: evaluate on the template row.
+            if !pred.eval(src_template.schema(), row)? {
+                continue;
+            }
+            None
+        } else {
+            // Compose the components spanned by the condition, then find the
+            // satisfying local worlds.
+            let cids = components_of_attrs(uwsdt, src, t, &uncertain_refs);
+            let cid = uwsdt.compose(&cids)?;
+            let lwids: Vec<Lwid> = uwsdt
+                .component_worlds(cid)?
+                .iter()
+                .map(|w| w.lwid)
+                .collect();
+            let mut satisfied = BTreeSet::new();
+            'lwids: for lwid in lwids {
+                let mut values = row.clone();
+                for a in &uncertain_refs {
+                    let field = FieldId::new(src, t, *a);
+                    let pos = src_template.schema().position(a).unwrap();
+                    match uwsdt
+                        .placeholder_values(&field)
+                        .and_then(|vals| vals.get(&lwid))
+                    {
+                        Some(v) => values.set(pos, v.clone()),
+                        // The source tuple is absent in this local world.
+                        None => continue 'lwids,
+                    }
+                }
+                if pred.eval(src_template.schema(), &values)? {
+                    satisfied.insert(lwid);
+                }
+            }
+            if satisfied.is_empty() {
+                continue;
+            }
+            Some((cid, satisfied))
+        };
+
+        // Materialize the result tuple.
+        let dst_idx = uwsdt.template(dst)?.len();
+        uwsdt.template_mut(dst)?.push(row.clone())?;
+        for (i, attr) in attrs.iter().enumerate() {
+            if row[i].is_unknown() {
+                let src_field = FieldId::new(src, t, attr.as_str());
+                let dst_field = FieldId::new(dst, dst_idx, attr.as_str());
+                let restrict = restriction.as_ref().map(|(c, s)| (c, s));
+                copy_placeholder(uwsdt, &src_field, dst_field, restrict)?;
+            }
+        }
+        copy_presence(uwsdt, src, t, dst, dst_idx)?;
+        if let Some((cid, satisfied)) = &restriction {
+            uwsdt.add_presence(dst, dst_idx, *cid, satisfied.clone())?;
+        }
+    }
+    Ok(())
+}
+
+/// `P := π_attrs(R)` — projection.
+///
+/// Thanks to presence conditions no component composition is needed: if a
+/// projected-away placeholder encoded the absence of its tuple in some local
+/// worlds, that information is preserved as a presence condition on the
+/// result tuple.
+pub fn project(uwsdt: &mut Uwsdt, src: &str, dst: &str, attrs: &[&str]) -> Result<()> {
+    if uwsdt.contains_relation(dst) {
+        return Err(UwsdtError::invalid(format!("relation `{dst}` already exists")));
+    }
+    let src_template = uwsdt.template(src)?.clone();
+    let positions: Vec<usize> = attrs
+        .iter()
+        .map(|a| src_template.schema().position_of(a))
+        .collect::<std::result::Result<_, _>>()?;
+    let schema = src_template.schema().projected(attrs)?.renamed_relation(dst);
+    uwsdt.add_template(Relation::new(schema))?;
+
+    let all_attrs: Vec<String> = src_template
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
+
+    for (t, row) in src_template.rows().iter().enumerate() {
+        let dst_idx = uwsdt.template(dst)?.len();
+        uwsdt
+            .template_mut(dst)?
+            .push(row.project_positions(&positions))?;
+        // Kept placeholders are copied.
+        for (k, &pos) in positions.iter().enumerate() {
+            if row[pos].is_unknown() {
+                let src_field = FieldId::new(src, t, all_attrs[pos].as_str());
+                let dst_field = FieldId::new(dst, dst_idx, attrs[k]);
+                copy_placeholder(uwsdt, &src_field, dst_field, None)?;
+            }
+        }
+        copy_presence(uwsdt, src, t, dst, dst_idx)?;
+        // Dropped placeholders that encode absence become presence conditions.
+        for (pos, attr) in all_attrs.iter().enumerate() {
+            if positions.contains(&pos) || !row[pos].is_unknown() {
+                continue;
+            }
+            let field = FieldId::new(src, t, attr.as_str());
+            let cid = uwsdt
+                .component_of(&field)
+                .ok_or_else(|| UwsdtError::invalid(format!("{field} is not a placeholder")))?;
+            let covered: BTreeSet<Lwid> = uwsdt
+                .placeholder_values(&field)
+                .map(|vals| vals.keys().copied().collect())
+                .unwrap_or_default();
+            let total = uwsdt.component_worlds(cid)?.len();
+            if covered.len() < total {
+                uwsdt.add_presence(dst, dst_idx, cid, covered)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `P := δ_{from→to}(R)` — attribute renaming.
+pub fn rename(uwsdt: &mut Uwsdt, src: &str, dst: &str, from: &str, to: &str) -> Result<()> {
+    if uwsdt.contains_relation(dst) {
+        return Err(UwsdtError::invalid(format!("relation `{dst}` already exists")));
+    }
+    let src_template = uwsdt.template(src)?.clone();
+    let schema = src_template
+        .schema()
+        .renamed_attr(from, to)?
+        .renamed_relation(dst);
+    uwsdt.add_template(Relation::new(schema.clone()))?;
+    let old_attrs: Vec<String> = src_template
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
+    let new_attrs: Vec<String> = schema.attrs().iter().map(|a| a.to_string()).collect();
+    for (t, row) in src_template.rows().iter().enumerate() {
+        let dst_idx = uwsdt.template(dst)?.len();
+        uwsdt.template_mut(dst)?.push(row.clone())?;
+        for (i, old) in old_attrs.iter().enumerate() {
+            if row[i].is_unknown() {
+                copy_placeholder(
+                    uwsdt,
+                    &FieldId::new(src, t, old.as_str()),
+                    FieldId::new(dst, dst_idx, new_attrs[i].as_str()),
+                    None,
+                )?;
+            }
+        }
+        copy_presence(uwsdt, src, t, dst, dst_idx)?;
+    }
+    Ok(())
+}
+
+/// `T := R ∪ S` — union of two relations with identical attribute lists.
+pub fn union(uwsdt: &mut Uwsdt, left: &str, right: &str, dst: &str) -> Result<()> {
+    if uwsdt.contains_relation(dst) {
+        return Err(UwsdtError::invalid(format!("relation `{dst}` already exists")));
+    }
+    let left_template = uwsdt.template(left)?.clone();
+    let right_template = uwsdt.template(right)?.clone();
+    if left_template.schema().attrs() != right_template.schema().attrs() {
+        return Err(UwsdtError::invalid(format!(
+            "union operands `{left}` and `{right}` have different schemas"
+        )));
+    }
+    let schema = left_template.schema().renamed_relation(dst);
+    uwsdt.add_template(Relation::new(schema))?;
+    let attrs: Vec<String> = left_template
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
+    for (src, template) in [(left, &left_template), (right, &right_template)] {
+        for (t, row) in template.rows().iter().enumerate() {
+            let dst_idx = uwsdt.template(dst)?.len();
+            uwsdt.template_mut(dst)?.push(row.clone())?;
+            for (i, attr) in attrs.iter().enumerate() {
+                if row[i].is_unknown() {
+                    copy_placeholder(
+                        uwsdt,
+                        &FieldId::new(src, t, attr.as_str()),
+                        FieldId::new(dst, dst_idx, attr.as_str()),
+                        None,
+                    )?;
+                }
+            }
+            copy_presence(uwsdt, src, t, dst, dst_idx)?;
+        }
+    }
+    Ok(())
+}
+
+/// `T := R × S` — cartesian product (attribute sets must be disjoint).
+///
+/// The result template has `|R|·|S|` rows; prefer [`join`] whenever an
+/// equality condition is available (the paper merges the product with its
+/// join selections for exactly this reason).
+pub fn product(uwsdt: &mut Uwsdt, left: &str, right: &str, dst: &str) -> Result<()> {
+    join_impl(uwsdt, left, right, dst, None)
+}
+
+/// `T := R ⋈_{left_attr = right_attr} S` — equi-join, evaluated as a hash
+/// join over the possible values of the join attributes.
+pub fn join(
+    uwsdt: &mut Uwsdt,
+    left: &str,
+    right: &str,
+    dst: &str,
+    left_attr: &str,
+    right_attr: &str,
+) -> Result<()> {
+    join_impl(uwsdt, left, right, dst, Some((left_attr, right_attr)))
+}
+
+fn join_impl(
+    uwsdt: &mut Uwsdt,
+    left: &str,
+    right: &str,
+    dst: &str,
+    condition: Option<(&str, &str)>,
+) -> Result<()> {
+    if uwsdt.contains_relation(dst) {
+        return Err(UwsdtError::invalid(format!("relation `{dst}` already exists")));
+    }
+    let left_template = uwsdt.template(left)?.clone();
+    let right_template = uwsdt.template(right)?.clone();
+    let schema = left_template
+        .schema()
+        .product(right_template.schema(), dst)?;
+    uwsdt.add_template(Relation::new(schema))?;
+    let left_attrs: Vec<String> = left_template
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
+    let right_attrs: Vec<String> = right_template
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
+
+    // Candidate pairs: all pairs for a plain product, hash-matched pairs for
+    // an equi-join.
+    let pairs: Vec<(usize, usize)> = match condition {
+        None => (0..left_template.len())
+            .flat_map(|i| (0..right_template.len()).map(move |j| (i, j)))
+            .collect(),
+        Some((la, ra)) => {
+            let mut by_value: HashMap<Value, Vec<usize>> = HashMap::new();
+            for j in 0..right_template.len() {
+                for v in uwsdt.possible_field_values(right, j, ra)? {
+                    by_value.entry(v).or_default().push(j);
+                }
+            }
+            let mut pairs = Vec::new();
+            for i in 0..left_template.len() {
+                let mut seen: BTreeSet<usize> = BTreeSet::new();
+                for v in uwsdt.possible_field_values(left, i, la)? {
+                    if let Some(js) = by_value.get(&v) {
+                        for &j in js {
+                            if seen.insert(j) {
+                                pairs.push((i, j));
+                            }
+                        }
+                    }
+                }
+            }
+            pairs
+        }
+    };
+
+    for (i, j) in pairs {
+        let left_row = &left_template.rows()[i];
+        let right_row = &right_template.rows()[j];
+
+        // Evaluate the join condition, composing components if it spans two
+        // uncertain fields.
+        let restriction: Option<(Cid, BTreeSet<Lwid>)> = match condition {
+            None => None,
+            Some((la, ra)) => {
+                let lpos = left_template.schema().position_of(la)?;
+                let rpos = right_template.schema().position_of(ra)?;
+                let l_uncertain = left_row[lpos].is_unknown();
+                let r_uncertain = right_row[rpos].is_unknown();
+                if !l_uncertain && !r_uncertain {
+                    if left_row[lpos] != right_row[rpos] {
+                        continue;
+                    }
+                    None
+                } else {
+                    let mut cids = Vec::new();
+                    if l_uncertain {
+                        cids.push(
+                            uwsdt
+                                .component_of(&FieldId::new(left, i, la))
+                                .expect("uncertain field has a component"),
+                        );
+                    }
+                    if r_uncertain {
+                        cids.push(
+                            uwsdt
+                                .component_of(&FieldId::new(right, j, ra))
+                                .expect("uncertain field has a component"),
+                        );
+                    }
+                    let cid = uwsdt.compose(&cids)?;
+                    let mut satisfied = BTreeSet::new();
+                    for w in uwsdt.component_worlds(cid)?.to_vec() {
+                        let lv = if l_uncertain {
+                            uwsdt
+                                .placeholder_values(&FieldId::new(left, i, la))
+                                .and_then(|vals| vals.get(&w.lwid).cloned())
+                        } else {
+                            Some(left_row[lpos].clone())
+                        };
+                        let rv = if r_uncertain {
+                            uwsdt
+                                .placeholder_values(&FieldId::new(right, j, ra))
+                                .and_then(|vals| vals.get(&w.lwid).cloned())
+                        } else {
+                            Some(right_row[rpos].clone())
+                        };
+                        if let (Some(lv), Some(rv)) = (lv, rv) {
+                            if lv == rv {
+                                satisfied.insert(w.lwid);
+                            }
+                        }
+                    }
+                    if satisfied.is_empty() {
+                        continue;
+                    }
+                    Some((cid, satisfied))
+                }
+            }
+        };
+
+        let dst_idx = uwsdt.template(dst)?.len();
+        uwsdt
+            .template_mut(dst)?
+            .push(left_row.concat(right_row))?;
+        for (pos, attr) in left_attrs.iter().enumerate() {
+            if left_row[pos].is_unknown() {
+                copy_placeholder(
+                    uwsdt,
+                    &FieldId::new(left, i, attr.as_str()),
+                    FieldId::new(dst, dst_idx, attr.as_str()),
+                    restriction.as_ref().map(|(c, s)| (c, s)),
+                )?;
+            }
+        }
+        for (pos, attr) in right_attrs.iter().enumerate() {
+            if right_row[pos].is_unknown() {
+                copy_placeholder(
+                    uwsdt,
+                    &FieldId::new(right, j, attr.as_str()),
+                    FieldId::new(dst, dst_idx, attr.as_str()),
+                    restriction.as_ref().map(|(c, s)| (c, s)),
+                )?;
+            }
+        }
+        copy_presence(uwsdt, left, i, dst, dst_idx)?;
+        copy_presence(uwsdt, right, j, dst, dst_idx)?;
+        if let Some((cid, satisfied)) = restriction {
+            uwsdt.add_presence(dst, dst_idx, cid, satisfied)?;
+        }
+    }
+    Ok(())
+}
+
+/// `P := R − S` — difference of two relations with identical attribute lists.
+///
+/// For every pair of tuples that could coincide, the components spanned by
+/// the pair (join values, placeholders and the `S` tuple's presence
+/// conditions) are composed and the result tuple is restricted to the local
+/// worlds in which the `S` tuple is either absent or different.
+pub fn difference(uwsdt: &mut Uwsdt, left: &str, right: &str, dst: &str) -> Result<()> {
+    if uwsdt.contains_relation(dst) {
+        return Err(UwsdtError::invalid(format!("relation `{dst}` already exists")));
+    }
+    let left_template = uwsdt.template(left)?.clone();
+    let right_template = uwsdt.template(right)?.clone();
+    if left_template.schema().attrs() != right_template.schema().attrs() {
+        return Err(UwsdtError::invalid(format!(
+            "difference operands `{left}` and `{right}` have different schemas"
+        )));
+    }
+    let schema = left_template.schema().renamed_relation(dst);
+    uwsdt.add_template(Relation::new(schema))?;
+    let attrs: Vec<String> = left_template
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
+
+    for (i, left_row) in left_template.rows().iter().enumerate() {
+        // Exclusion conditions accumulated over the matching right tuples.
+        let mut exclusions: Vec<(Cid, BTreeSet<Lwid>)> = Vec::new();
+        let mut certainly_removed = false;
+        for (j, right_row) in right_template.rows().iter().enumerate() {
+            // Quick check: every attribute must share a possible value.
+            let mut possible = true;
+            for (pos, attr) in attrs.iter().enumerate() {
+                let lv = uwsdt.possible_field_values(left, i, attr)?;
+                let rv = uwsdt.possible_field_values(right, j, attr)?;
+                if !lv.iter().any(|v| rv.contains(v)) {
+                    possible = false;
+                    break;
+                }
+                let _ = pos;
+            }
+            if !possible {
+                continue;
+            }
+            // Collect every component the pair's equality and the right
+            // tuple's presence depend on.
+            let mut cids: Vec<Cid> = Vec::new();
+            for attr in &attrs {
+                for (rel, t, row) in [(left, i, left_row), (right, j, right_row)] {
+                    let pos = left_template.schema().position_of(attr)?;
+                    if row[pos].is_unknown() {
+                        if let Some(cid) = uwsdt.component_of(&FieldId::new(rel, t, attr.as_str()))
+                        {
+                            cids.push(cid);
+                        }
+                    }
+                }
+            }
+            for cond in uwsdt.presence_of(right, j).to_vec() {
+                cids.push(cond.cid);
+            }
+            cids.sort_unstable();
+            cids.dedup();
+            if cids.is_empty() {
+                // Both tuples certain and equal on all attributes, and the
+                // right tuple is unconditionally present.
+                certainly_removed = true;
+                break;
+            }
+            let cid = uwsdt.compose(&cids)?;
+            let mut conflict = BTreeSet::new();
+            for w in uwsdt.component_worlds(cid)?.to_vec() {
+                // Is the right tuple present and equal to the left tuple?
+                let mut present = uwsdt
+                    .presence_of(right, j)
+                    .iter()
+                    .all(|c| c.cid != cid || c.lwids.contains(&w.lwid));
+                let mut equal = true;
+                for attr in &attrs {
+                    let pos = left_template.schema().position_of(attr)?;
+                    let lv = if left_row[pos].is_unknown() {
+                        uwsdt
+                            .placeholder_values(&FieldId::new(left, i, attr.as_str()))
+                            .and_then(|vals| vals.get(&w.lwid).cloned())
+                    } else {
+                        Some(left_row[pos].clone())
+                    };
+                    let rv = if right_row[pos].is_unknown() {
+                        uwsdt
+                            .placeholder_values(&FieldId::new(right, j, attr.as_str()))
+                            .and_then(|vals| vals.get(&w.lwid).cloned())
+                    } else {
+                        Some(right_row[pos].clone())
+                    };
+                    match (lv, rv) {
+                        (Some(lv), Some(rv)) => {
+                            if lv != rv {
+                                equal = false;
+                                break;
+                            }
+                        }
+                        (_, None) => {
+                            present = false;
+                            break;
+                        }
+                        (None, _) => {
+                            // The left tuple is absent in this local world; it
+                            // cannot appear in the result there anyway.
+                            equal = false;
+                            break;
+                        }
+                    }
+                }
+                if present && equal {
+                    conflict.insert(w.lwid);
+                }
+            }
+            if !conflict.is_empty() {
+                let all: BTreeSet<Lwid> = uwsdt
+                    .component_worlds(cid)?
+                    .iter()
+                    .map(|w| w.lwid)
+                    .collect();
+                let keep: BTreeSet<Lwid> = all.difference(&conflict).copied().collect();
+                exclusions.push((cid, keep));
+            }
+        }
+        if certainly_removed || exclusions.iter().any(|(_, keep)| keep.is_empty()) {
+            continue;
+        }
+        let dst_idx = uwsdt.template(dst)?.len();
+        uwsdt.template_mut(dst)?.push(left_row.clone())?;
+        for (pos, attr) in attrs.iter().enumerate() {
+            if left_row[pos].is_unknown() {
+                copy_placeholder(
+                    uwsdt,
+                    &FieldId::new(left, i, attr.as_str()),
+                    FieldId::new(dst, dst_idx, attr.as_str()),
+                    None,
+                )?;
+            }
+        }
+        copy_presence(uwsdt, left, i, dst, dst_idx)?;
+        for (cid, keep) in exclusions {
+            uwsdt.add_presence(dst, dst_idx, cid, keep)?;
+        }
+    }
+    Ok(())
+}
+
+/// Build the ordinary one-world relation obtained by keeping only the certain
+/// information: placeholders and conditionally-present tuples are dropped.
+/// Used by reporting code; not a query operator of the paper.
+pub fn certain_core(uwsdt: &Uwsdt, relation: &str) -> Result<Relation> {
+    let template = uwsdt.template(relation)?;
+    let mut out = Relation::new(Schema::from_parts(
+        template.schema().relation().clone(),
+        template.schema().attrs().to_vec(),
+    ));
+    for (t, row) in template.rows().iter().enumerate() {
+        if row.has_unknown() || !uwsdt.presence_of(relation, t).is_empty() {
+            continue;
+        }
+        out.push(row.clone())?;
+    }
+    Ok(out)
+}
+
+/// Convenience used by tests and the possible-tuples reporting: all tuples of
+/// a relation that appear in at least one world, by expanding placeholders of
+/// each tuple (per tuple, independent of other tuples).
+pub fn possible_tuples(uwsdt: &Uwsdt, relation: &str) -> Result<Vec<Tuple>> {
+    let template = uwsdt.template(relation)?;
+    let mut out: BTreeSet<Tuple> = BTreeSet::new();
+    for (t, row) in template.rows().iter().enumerate() {
+        // Group this tuple's placeholders by component so that correlated
+        // placeholders expand jointly.
+        let mut by_cid: BTreeMap<Cid, Vec<(usize, FieldId)>> = BTreeMap::new();
+        for (i, attr) in template.schema().attrs().iter().enumerate() {
+            if row[i].is_unknown() {
+                let field = FieldId::new(relation, t, attr.as_ref());
+                let cid = uwsdt
+                    .component_of(&field)
+                    .ok_or_else(|| UwsdtError::invalid(format!("{field} is not a placeholder")))?;
+                by_cid.entry(cid).or_default().push((i, field));
+            }
+        }
+        // Presence conditions restrict the usable local worlds per component.
+        let mut allowed: BTreeMap<Cid, BTreeSet<Lwid>> = BTreeMap::new();
+        for cond in uwsdt.presence_of(relation, t) {
+            allowed.insert(cond.cid, cond.lwids.clone());
+        }
+        let mut partials: Vec<Tuple> = vec![row.clone()];
+        for (cid, fields) in &by_cid {
+            let mut next = Vec::new();
+            for w in uwsdt.component_worlds(*cid)? {
+                if let Some(allowed_lwids) = allowed.get(cid) {
+                    if !allowed_lwids.contains(&w.lwid) {
+                        continue;
+                    }
+                }
+                let mut values = Vec::with_capacity(fields.len());
+                let mut missing = false;
+                for (_, field) in fields {
+                    match uwsdt
+                        .placeholder_values(field)
+                        .and_then(|vals| vals.get(&w.lwid))
+                    {
+                        Some(v) => values.push(v.clone()),
+                        None => {
+                            missing = true;
+                            break;
+                        }
+                    }
+                }
+                if missing {
+                    continue;
+                }
+                for partial in &partials {
+                    let mut tuple = partial.clone();
+                    for ((pos, _), v) in fields.iter().zip(&values) {
+                        tuple.set(*pos, v.clone());
+                    }
+                    next.push(tuple);
+                }
+            }
+            partials = next;
+        }
+        // Presence conditions on components without placeholders of this
+        // tuple: the tuple exists only if the condition is satisfiable.
+        let satisfiable = allowed.iter().all(|(cid, lwids)| {
+            by_cid.contains_key(cid) || !lwids.is_empty()
+        });
+        if satisfiable {
+            for tuple in partials {
+                if !tuple.has_unknown() {
+                    out.insert(tuple);
+                }
+            }
+        }
+    }
+    Ok(out.into_iter().collect())
+}
+
+#[cfg(test)]
+#[path = "ops_tests.rs"]
+mod ops_tests;

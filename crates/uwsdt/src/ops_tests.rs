@@ -1,0 +1,310 @@
+//! Unit tests of the UWSDT operators (`crate::ops`), complementing the
+//! oracle-based integration tests in the repository-level `tests/` directory:
+//! each operator is exercised on a small hand-built UWSDT and checked by
+//! enumerating the represented worlds.
+
+use crate::build::{from_or_relation, OrField};
+use crate::model::Uwsdt;
+use crate::ops;
+use ws_relational::{CmpOp, Predicate, Relation, Schema, Tuple, Value};
+
+/// R[A, B] with three tuples; t1.B and t2.A are uncertain.
+fn sample() -> Uwsdt {
+    let mut base = Relation::new(Schema::new("R", &["A", "B"]).unwrap());
+    base.push_values([1i64, 10]).unwrap();
+    base.push_values([2i64, 20]).unwrap();
+    base.push_values([3i64, 30]).unwrap();
+    from_or_relation(
+        &base,
+        &[
+            OrField::uniform(0, "B", vec![Value::int(10), Value::int(11)]),
+            OrField::uniform(1, "A", vec![Value::int(2), Value::int(4)]),
+        ],
+    )
+    .unwrap()
+}
+
+/// Collect, per world, the rows of one relation (as sorted tuples) together
+/// with the world's probability.
+fn worlds_of(uwsdt: &Uwsdt, relation: &str) -> Vec<(Vec<Tuple>, f64)> {
+    uwsdt
+        .enumerate_worlds(100_000)
+        .unwrap()
+        .into_iter()
+        .map(|(db, p)| {
+            let mut rows: Vec<Tuple> = db.relation(relation).unwrap().rows().to_vec();
+            rows.sort();
+            rows.dedup();
+            (rows, p)
+        })
+        .collect()
+}
+
+#[test]
+fn select_on_certain_fields_filters_the_template_only() {
+    let mut uwsdt = sample();
+    ops::select(&mut uwsdt, "R", "P", &Predicate::eq_const("A", 3i64)).unwrap();
+    uwsdt.validate().unwrap();
+    let template = uwsdt.template("P").unwrap();
+    assert_eq!(template.len(), 1);
+    assert_eq!(template.rows()[0][1], Value::int(30));
+    // No new components were created, nothing composed.
+    assert_eq!(uwsdt.component_ids().len(), 2);
+}
+
+#[test]
+fn select_on_uncertain_fields_restricts_values_per_world() {
+    let mut uwsdt = sample();
+    ops::select(
+        &mut uwsdt,
+        "R",
+        "P",
+        &Predicate::cmp_const("B", CmpOp::Gt, 10i64),
+    )
+    .unwrap();
+    uwsdt.validate().unwrap();
+    for (r_rows, _) in worlds_of(&uwsdt, "R") {
+        let _ = r_rows;
+    }
+    // In every world, P = σ_{B>10}(R).
+    for (db, _) in uwsdt.enumerate_worlds(10_000).unwrap() {
+        let r = db.relation("R").unwrap();
+        let p = db.relation("P").unwrap();
+        for row in r.rows() {
+            assert_eq!(row[1].as_int().unwrap() > 10, p.contains(row));
+        }
+        for row in p.rows() {
+            assert!(r.contains(row));
+        }
+    }
+}
+
+#[test]
+fn select_dropping_every_alternative_removes_the_tuple() {
+    let mut uwsdt = sample();
+    // t1.B ∈ {10, 11}: the selection B > 50 never holds for tuple 1.
+    ops::select(
+        &mut uwsdt,
+        "R",
+        "P",
+        &Predicate::cmp_const("B", CmpOp::Gt, 50i64),
+    )
+    .unwrap();
+    assert_eq!(uwsdt.template("P").unwrap().len(), 0);
+}
+
+#[test]
+fn conjunction_spanning_two_components_composes_them() {
+    let mut base = Relation::new(Schema::new("R", &["A", "B"]).unwrap());
+    base.push_values([1i64, 10]).unwrap();
+    let mut uwsdt = from_or_relation(
+        &base,
+        &[
+            OrField::uniform(0, "A", vec![Value::int(1), Value::int(2)]),
+            OrField::uniform(0, "B", vec![Value::int(10), Value::int(20)]),
+        ],
+    )
+    .unwrap();
+    assert_eq!(uwsdt.component_ids().len(), 2);
+    ops::select(
+        &mut uwsdt,
+        "R",
+        "P",
+        &Predicate::or(vec![
+            Predicate::eq_const("A", 1i64),
+            Predicate::eq_const("B", 20i64),
+        ]),
+    )
+    .unwrap();
+    // The disjunction spans both placeholders: they are now in one component.
+    assert_eq!(uwsdt.component_ids().len(), 1);
+    for (db, _) in uwsdt.enumerate_worlds(100).unwrap() {
+        let r = db.relation("R").unwrap();
+        let p = db.relation("P").unwrap();
+        for row in r.rows() {
+            let keep = row[0] == Value::int(1) || row[1] == Value::int(20);
+            assert_eq!(keep, p.contains(row));
+        }
+    }
+}
+
+#[test]
+fn attribute_comparison_selection_within_a_tuple() {
+    let mut base = Relation::new(Schema::new("R", &["A", "B"]).unwrap());
+    base.push_values([1i64, 1]).unwrap();
+    base.push_values([2i64, 5]).unwrap();
+    let mut uwsdt = from_or_relation(
+        &base,
+        &[OrField::uniform(1, "B", vec![Value::int(2), Value::int(5)])],
+    )
+    .unwrap();
+    ops::select(
+        &mut uwsdt,
+        "R",
+        "P",
+        &Predicate::cmp_attr("A", CmpOp::Lt, "B"),
+    )
+    .unwrap();
+    for (db, _) in uwsdt.enumerate_worlds(100).unwrap() {
+        let p = db.relation("P").unwrap();
+        let r = db.relation("R").unwrap();
+        for row in r.rows() {
+            assert_eq!(row[0].as_int() < row[1].as_int(), p.contains(row));
+        }
+    }
+}
+
+#[test]
+fn projection_preserves_absence_information() {
+    // Select away some alternatives of t1.B, then project B out: tuple 1 must
+    // not reappear in the worlds where the selection had removed it.
+    let mut uwsdt = sample();
+    ops::select(
+        &mut uwsdt,
+        "R",
+        "S",
+        &Predicate::eq_const("B", 11i64),
+    )
+    .unwrap();
+    ops::project(&mut uwsdt, "S", "P", &["A"]).unwrap();
+    uwsdt.validate().unwrap();
+    for (db, _) in uwsdt.enumerate_worlds(10_000).unwrap() {
+        let s = db.relation("S").unwrap();
+        let p = db.relation("P").unwrap();
+        assert_eq!(s.len(), p.len());
+        for row in s.rows() {
+            assert!(p.contains(&Tuple::new(vec![row[0].clone()])));
+        }
+    }
+}
+
+#[test]
+fn projection_keeps_placeholders_of_kept_attributes() {
+    let mut uwsdt = sample();
+    ops::project(&mut uwsdt, "R", "P", &["B"]).unwrap();
+    let stats = crate::stats::stats_for(&uwsdt, "P").unwrap();
+    assert_eq!(stats.placeholders, 1); // only t1.B was uncertain among B's
+    assert_eq!(stats.template_rows, 3);
+    assert!(crate::ops::possible_tuples(&uwsdt, "P")
+        .unwrap()
+        .contains(&Tuple::from_iter([11i64])));
+}
+
+#[test]
+fn rename_and_union_carry_placeholders() {
+    let mut uwsdt = sample();
+    ops::rename(&mut uwsdt, "R", "R2", "A", "A2").unwrap();
+    assert!(uwsdt.template("R2").unwrap().schema().contains("A2"));
+    assert_eq!(crate::stats::stats_for(&uwsdt, "R2").unwrap().placeholders, 2);
+
+    let mut uwsdt = sample();
+    ops::select(&mut uwsdt, "R", "S1", &Predicate::eq_const("A", 1i64)).unwrap();
+    ops::select(&mut uwsdt, "R", "S2", &Predicate::eq_const("A", 3i64)).unwrap();
+    ops::union(&mut uwsdt, "S1", "S2", "U").unwrap();
+    assert_eq!(uwsdt.template("U").unwrap().len(), 2);
+    for (db, _) in uwsdt.enumerate_worlds(10_000).unwrap() {
+        let u = db.relation("U").unwrap();
+        let r = db.relation("R").unwrap();
+        for row in r.rows() {
+            let keep = row[0] == Value::int(1) || row[0] == Value::int(3);
+            assert_eq!(keep, u.contains(row));
+        }
+    }
+    // Union of incompatible schemas is rejected.
+    ops::rename(&mut uwsdt, "R", "R3", "A", "A3").unwrap();
+    assert!(ops::union(&mut uwsdt, "R", "R3", "X").is_err());
+}
+
+#[test]
+fn product_and_join_semantics() {
+    let mut uwsdt = sample();
+    let mut other = Relation::new(Schema::new("S", &["C"]).unwrap());
+    other.push_values([10i64]).unwrap();
+    other.push_values([11i64]).unwrap();
+    uwsdt.add_template(other).unwrap();
+
+    let mut with_product = uwsdt.clone();
+    ops::product(&mut with_product, "R", "S", "T").unwrap();
+    assert_eq!(with_product.template("T").unwrap().len(), 6);
+
+    ops::join(&mut uwsdt, "R", "S", "J", "B", "C").unwrap();
+    for (db, _) in uwsdt.enumerate_worlds(10_000).unwrap() {
+        let j = db.relation("J").unwrap();
+        let r = db.relation("R").unwrap();
+        let s = db.relation("S").unwrap();
+        let mut expected = 0;
+        for a in r.rows() {
+            for b in s.rows() {
+                if a[1] == b[0] {
+                    expected += 1;
+                    assert!(j.contains(&a.concat(b)));
+                }
+            }
+        }
+        assert_eq!(j.len(), expected);
+    }
+}
+
+#[test]
+fn difference_respects_uncertain_matches() {
+    let mut base = Relation::new(Schema::new("R", &["A"]).unwrap());
+    base.push_values([1i64]).unwrap();
+    base.push_values([2i64]).unwrap();
+    let mut uwsdt = from_or_relation(&base, &[]).unwrap();
+    let mut other = Relation::new(Schema::new("S", &["A"]).unwrap());
+    other.push_values([0i64]).unwrap();
+    let s_noise = vec![OrField::uniform(0, "A", vec![Value::int(1), Value::int(3)])];
+    let s = from_or_relation(&other, &s_noise).unwrap();
+    uwsdt.add_template(s.template("S").unwrap().clone()).unwrap();
+    for field in s.placeholders_of("S") {
+        let values: Vec<(Value, f64)> = s
+            .component_worlds(s.component_of(&field).unwrap())
+            .unwrap()
+            .iter()
+            .filter_map(|w| {
+                s.placeholder_values(&field)
+                    .unwrap()
+                    .get(&w.lwid)
+                    .map(|v| (v.clone(), w.prob))
+            })
+            .collect();
+        uwsdt.add_placeholder(field, values).unwrap();
+    }
+    ops::difference(&mut uwsdt, "R", "S", "D").unwrap();
+    uwsdt.validate().unwrap();
+    for (db, _) in uwsdt.enumerate_worlds(100).unwrap() {
+        let d = db.relation("D").unwrap();
+        let s_rel = db.relation("S").unwrap();
+        // 1 is in the difference iff S's tuple is 3 in that world.
+        assert_eq!(
+            d.contains(&Tuple::from_iter([1i64])),
+            s_rel.contains(&Tuple::from_iter([3i64]))
+        );
+        // 2 is never matched by S, so it is always in the difference.
+        assert!(d.contains(&Tuple::from_iter([2i64])));
+    }
+    // Schema mismatch is rejected.
+    assert!(ops::difference(&mut uwsdt, "R", "D", "D").is_err());
+}
+
+#[test]
+fn certain_core_returns_only_unconditional_tuples() {
+    let mut uwsdt = sample();
+    ops::select(&mut uwsdt, "R", "P", &Predicate::cmp_const("B", CmpOp::Gt, 10i64)).unwrap();
+    let core_r = ops::certain_core(&uwsdt, "R").unwrap();
+    assert_eq!(core_r.len(), 1); // only tuple (3, 30) has no placeholders
+    let core_p = ops::certain_core(&uwsdt, "P").unwrap();
+    // (2|4, 20) has an uncertain A; (3, 30) is certain and always selected.
+    assert_eq!(core_p.len(), 1);
+    assert_eq!(core_p.rows()[0][0], Value::int(3));
+}
+
+#[test]
+fn result_relations_cannot_clobber_existing_names() {
+    let mut uwsdt = sample();
+    assert!(ops::select(&mut uwsdt, "R", "R", &Predicate::eq_const("A", 1i64)).is_err());
+    assert!(ops::project(&mut uwsdt, "R", "R", &["A"]).is_err());
+    assert!(ops::rename(&mut uwsdt, "R", "R", "A", "A2").is_err());
+    assert!(ops::select(&mut uwsdt, "NOPE", "X", &Predicate::eq_const("A", 1i64)).is_err());
+    assert!(ops::project(&mut uwsdt, "R", "P", &["NOPE"]).is_err());
+}

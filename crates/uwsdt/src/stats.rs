@@ -1,0 +1,171 @@
+//! Representation statistics (the quantities reported in Figures 27 and 28).
+
+use crate::error::Result;
+use crate::model::{Cid, Uwsdt};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The UWSDT characteristics the paper reports per relation (Fig. 27):
+/// number of components, number of components with more than one
+/// placeholder, `|C|` (component-table entries) and `|R|` (template rows).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct UwsdtStats {
+    /// `#comp`: components referenced by the relation's placeholders.
+    pub components: usize,
+    /// `#comp>1`: components defining more than one placeholder.
+    pub components_multi: usize,
+    /// `|C|`: number of `(FID, LWID, VAL)` entries of the relation.
+    pub c_size: usize,
+    /// `|R|`: number of template rows.
+    pub template_rows: usize,
+    /// Number of placeholder fields (`?` entries) in the template.
+    pub placeholders: usize,
+}
+
+/// Compute the Fig. 27-style statistics of one relation.
+pub fn stats_for(uwsdt: &Uwsdt, relation: &str) -> Result<UwsdtStats> {
+    let template = uwsdt.template(relation)?;
+    let placeholders = uwsdt.placeholders_of(relation);
+    let mut per_component: BTreeMap<Cid, usize> = BTreeMap::new();
+    let mut c_size = 0;
+    for field in &placeholders {
+        if let Some(cid) = uwsdt.component_of(field) {
+            *per_component.entry(cid).or_default() += 1;
+        }
+        c_size += uwsdt
+            .placeholder_values(field)
+            .map(|v| v.len())
+            .unwrap_or(0);
+    }
+    Ok(UwsdtStats {
+        components: per_component.len(),
+        components_multi: per_component.values().filter(|&&n| n > 1).count(),
+        c_size,
+        template_rows: template.len(),
+        placeholders: placeholders.len(),
+    })
+}
+
+/// The component-size distribution of one relation (Fig. 28): how many
+/// components define 1, 2, 3, … placeholders of that relation.
+pub fn component_size_histogram(uwsdt: &Uwsdt, relation: &str) -> Result<BTreeMap<usize, usize>> {
+    let placeholders = uwsdt.placeholders_of(relation);
+    let mut per_component: BTreeMap<Cid, usize> = BTreeMap::new();
+    for field in &placeholders {
+        if let Some(cid) = uwsdt.component_of(field) {
+            *per_component.entry(cid).or_default() += 1;
+        }
+    }
+    let mut histogram: BTreeMap<usize, usize> = BTreeMap::new();
+    for size in per_component.values() {
+        *histogram.entry(*size).or_default() += 1;
+    }
+    Ok(histogram)
+}
+
+/// Bucket a component-size histogram the way Figure 28 presents it:
+/// sizes 1, 2, 3, and "4 and more".
+pub fn bucketed_histogram(histogram: &BTreeMap<usize, usize>) -> [usize; 4] {
+    let mut buckets = [0usize; 4];
+    for (&size, &count) in histogram {
+        match size {
+            0 => {}
+            1 => buckets[0] += count,
+            2 => buckets[1] += count,
+            3 => buckets[2] += count,
+            _ => buckets[3] += count,
+        }
+    }
+    buckets
+}
+
+/// Statistics for every relation of the UWSDT, keyed by relation name.
+pub fn stats_all(uwsdt: &Uwsdt) -> Result<BTreeMap<String, UwsdtStats>> {
+    let mut out = BTreeMap::new();
+    for name in uwsdt.relation_names() {
+        let name = name.to_string();
+        let stats = stats_for(uwsdt, &name)?;
+        out.insert(name, stats);
+    }
+    Ok(out)
+}
+
+/// The set of distinct components referenced by any placeholder of any
+/// relation (useful for whole-store reporting).
+pub fn referenced_components(uwsdt: &Uwsdt) -> BTreeSet<Cid> {
+    uwsdt
+        .relation_names()
+        .iter()
+        .flat_map(|r| uwsdt.placeholders_of(r))
+        .filter_map(|f| uwsdt.component_of(&f))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{from_or_relation, OrField};
+    use ws_relational::{Relation, Schema, Value};
+
+    fn sample() -> Uwsdt {
+        let mut base = Relation::new(Schema::new("R", &["A", "B"]).unwrap());
+        for i in 0..5 {
+            base.push_values([i as i64, 10 + i as i64]).unwrap();
+        }
+        from_or_relation(
+            &base,
+            &[
+                OrField::uniform(0, "A", vec![Value::int(0), Value::int(100)]),
+                OrField::uniform(2, "B", vec![Value::int(12), Value::int(13), Value::int(14)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stats_count_components_and_c_entries() {
+        let uwsdt = sample();
+        let stats = stats_for(&uwsdt, "R").unwrap();
+        assert_eq!(stats.components, 2);
+        assert_eq!(stats.components_multi, 0);
+        assert_eq!(stats.c_size, 5);
+        assert_eq!(stats.template_rows, 5);
+        assert_eq!(stats.placeholders, 2);
+        assert!(stats_for(&uwsdt, "NOPE").is_err());
+        assert_eq!(stats_all(&uwsdt).unwrap()["R"], stats);
+        assert_eq!(referenced_components(&uwsdt).len(), 2);
+    }
+
+    #[test]
+    fn multi_placeholder_components_are_counted_after_composition() {
+        let mut uwsdt = sample();
+        let c1 = uwsdt
+            .component_of(&ws_core::FieldId::new("R", 0, "A"))
+            .unwrap();
+        let c2 = uwsdt
+            .component_of(&ws_core::FieldId::new("R", 2, "B"))
+            .unwrap();
+        uwsdt.compose(&[c1, c2]).unwrap();
+        let stats = stats_for(&uwsdt, "R").unwrap();
+        assert_eq!(stats.components, 1);
+        assert_eq!(stats.components_multi, 1);
+        // The composed component has 6 local worlds; each placeholder now has
+        // one value per local world.
+        assert_eq!(stats.c_size, 12);
+    }
+
+    #[test]
+    fn histogram_and_bucketing() {
+        let uwsdt = sample();
+        let histogram = component_size_histogram(&uwsdt, "R").unwrap();
+        assert_eq!(histogram.get(&1), Some(&2));
+        assert_eq!(bucketed_histogram(&histogram), [2, 0, 0, 0]);
+
+        let mut composed = sample();
+        let cids = composed.component_ids();
+        composed.compose(&cids).unwrap();
+        let histogram = component_size_histogram(&composed, "R").unwrap();
+        assert_eq!(bucketed_histogram(&histogram), [0, 1, 0, 0]);
+        let big: BTreeMap<usize, usize> = [(1, 3), (2, 2), (3, 1), (4, 5), (7, 1)].into();
+        assert_eq!(bucketed_histogram(&big), [3, 2, 1, 6]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Managing an inconsistent database through its minimal repairs (§10,
+//! "Inconsistent databases").
+//!
+//! An inconsistent database violates its integrity constraints; one classical
+//! way to live with the inconsistency is to consider all *minimal repairs* —
+//! consistent instances obtained with a minimal number of changes — as the
+//! set of possible worlds.  Repairs overlap almost completely, which makes
+//! them a perfect fit for (U)WSDTs: the consistent part of the data lives in
+//! the template, the differences between repairs live in small components.
+//!
+//! This example builds an employee relation that violates the key constraint
+//! `EMP → DEPT, SALARY`, represents all minimal value-repairs as a WSD,
+//! queries across the repairs, and reports both *certain* answers (true in
+//! every repair — the consistent query answers of Arenas et al.) and
+//! *possible* answers with their confidences.
+//!
+//! Run with: `cargo run --example inconsistent_repairs -p maybms`
+
+use maybms::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --------------------------------------------------------------
+    // 1. A dirty payroll relation: EMP 102 appears twice with conflicting
+    //    department/salary values (e.g. after merging two sources).
+    // --------------------------------------------------------------
+    let schema = Schema::new("PAYROLL", &["EMP", "DEPT", "SALARY"])?;
+    let mut dirty = OrSetRelation::new(schema);
+    dirty.push(vec![
+        OrSet::certain(101i64),
+        OrSet::certain("sales"),
+        OrSet::certain(50i64),
+    ])?;
+    // Source A says (research, 65), source B says (marketing, 60): the
+    // repairs keep one of the two variants for each conflicting field.
+    dirty.push(vec![
+        OrSet::certain(102i64),
+        OrSet::of(vec!["research", "marketing"]),
+        OrSet::of(vec![65i64, 60]),
+    ])?;
+    dirty.push(vec![
+        OrSet::certain(103i64),
+        OrSet::of(vec!["sales", "support"]),
+        OrSet::certain(55i64),
+    ])?;
+
+    println!(
+        "dirty relation admits {} candidate repairs before cleaning",
+        dirty.world_count()
+    );
+
+    // --------------------------------------------------------------
+    // 2. Represent the repairs as a WSD and enforce the key constraint.
+    //    (With value-repairs the key is already satisfied here, but chasing
+    //    it demonstrates that cleaning composes with repair enumeration.)
+    // --------------------------------------------------------------
+    let mut wsd = dirty.to_wsd()?;
+    chase(
+        &mut wsd,
+        &[Dependency::Fd(FunctionalDependency::new(
+            "PAYROLL",
+            vec!["EMP"],
+            vec!["DEPT", "SALARY"],
+        ))],
+    )?;
+    normalize(&mut wsd)?;
+    println!(
+        "{} repairs represented by {} components",
+        wsd.rep()?.len(),
+        wsd.component_count()
+    );
+
+    // --------------------------------------------------------------
+    // 3. Query across all repairs: who earns at least 55?
+    // --------------------------------------------------------------
+    let query = RaExpr::rel("PAYROLL")
+        .select(Predicate::cmp_const("SALARY", CmpOp::Ge, 55i64))
+        .project(vec!["EMP"]);
+    maybms::core::ops::evaluate_query(&mut wsd, &query, "WELL_PAID")?;
+
+    println!("\nemployees earning ≥ 55, across all repairs:");
+    for (tuple, confidence) in possible_with_confidence(&wsd, "WELL_PAID")? {
+        let certainty = if confidence >= 1.0 - 1e-9 {
+            "certain answer"
+        } else {
+            "possible answer"
+        };
+        println!("  EMP {}  conf = {confidence:.2}  ({certainty})", tuple[0]);
+    }
+
+    // --------------------------------------------------------------
+    // 4. Unlike consistent-query-answering systems, the result is itself a
+    //    world-set: we can keep querying it.  Which departments could the
+    //    well-paid employees work in?
+    // --------------------------------------------------------------
+    let follow_up = RaExpr::rel("PAYROLL")
+        .select(Predicate::cmp_const("SALARY", CmpOp::Ge, 55i64))
+        .project(vec!["DEPT"]);
+    maybms::core::ops::evaluate_query(&mut wsd, &follow_up, "WELL_PAID_DEPTS")?;
+    println!("\npossible departments of well-paid employees:");
+    for (tuple, confidence) in possible_with_confidence(&wsd, "WELL_PAID_DEPTS")? {
+        println!("  {}  conf = {confidence:.2}", tuple[0]);
+    }
+    Ok(())
+}

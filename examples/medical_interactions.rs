@@ -1,0 +1,107 @@
+//! Medical data with interdependent clusters (§10, "Medical data").
+//!
+//! Medications, diseases and procedures interact: some medications must not
+//! be combined, some procedures are forbidden for some conditions.  Following
+//! the paper's suggestion, interdependent values are kept inside one
+//! component while independent information stays in separate components, so a
+//! patient record with an incompletely specified history is a small set of
+//! possible worlds.
+//!
+//! This example models a patient whose diagnosis and medication are uncertain
+//! but correlated (the joint distribution lives in one component), chases a
+//! drug-interaction constraint when a second prescription arrives, and asks
+//! for the possible treatments with their confidences.
+//!
+//! Run with: `cargo run --example medical_interactions -p maybms`
+
+use maybms::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --------------------------------------------------------------
+    // 1. The patient record: PATIENT[CASE, DIAGNOSIS, DRUG, DOSE].
+    //    Diagnosis and drug are correlated: the extraction from the (partly
+    //    illegible) chart gives a joint distribution over (diagnosis, drug).
+    // --------------------------------------------------------------
+    let mut wsd = Wsd::new();
+    wsd.register_relation("PATIENT", &["CASE", "DIAGNOSIS", "DRUG", "DOSE"], 2)?;
+
+    // Tuple t1: the current episode.
+    wsd.set_certain(FieldId::new("PATIENT", 0, "CASE"), Value::int(1))?;
+    let mut episode = Component::new(vec![
+        FieldId::new("PATIENT", 0, "DIAGNOSIS"),
+        FieldId::new("PATIENT", 0, "DRUG"),
+    ]);
+    episode.push_row(vec![Value::text("hypertension"), Value::text("lisinopril")], 0.5)?;
+    episode.push_row(vec![Value::text("hypertension"), Value::text("amlodipine")], 0.2)?;
+    episode.push_row(vec![Value::text("migraine"), Value::text("propranolol")], 0.3)?;
+    wsd.add_component(episode)?;
+    wsd.set_alternatives(
+        FieldId::new("PATIENT", 0, "DOSE"),
+        vec![(Value::int(10), 0.6), (Value::int(20), 0.4)],
+    )?;
+
+    // Tuple t2: an older episode, fully certain.
+    wsd.set_certain(FieldId::new("PATIENT", 1, "CASE"), Value::int(2))?;
+    wsd.set_certain(FieldId::new("PATIENT", 1, "DIAGNOSIS"), Value::text("asthma"))?;
+    wsd.set_certain(FieldId::new("PATIENT", 1, "DRUG"), Value::text("salbutamol"))?;
+    wsd.set_certain(FieldId::new("PATIENT", 1, "DOSE"), Value::int(100))?;
+    wsd.validate()?;
+
+    println!("patient record describes {} possible worlds", wsd.rep()?.len());
+
+    // --------------------------------------------------------------
+    // 2. Clinical knowledge arrives: because of the documented asthma,
+    //    non-selective beta blockers are contraindicated — the current drug
+    //    cannot be propranolol.  Clean the record with an EGD.
+    // --------------------------------------------------------------
+    let contraindication = Dependency::Egd(EqualityGeneratingDependency::new(
+        "PATIENT",
+        vec![AttrComparison::new("CASE", CmpOp::Eq, 1i64)],
+        AttrComparison::new("DRUG", CmpOp::Ne, "propranolol"),
+    ));
+    chase(&mut wsd, &[contraindication])?;
+    normalize(&mut wsd)?;
+    println!(
+        "after applying the beta-blocker contraindication: {} worlds remain",
+        wsd.rep()?.len()
+    );
+
+    // --------------------------------------------------------------
+    // 3. What are the possible (diagnosis, drug) treatments now, and how
+    //    likely is each?  (Confidence = probability across the worlds.)
+    // --------------------------------------------------------------
+    let treatments = RaExpr::rel("PATIENT")
+        .select(Predicate::eq_const("CASE", 1i64))
+        .project(vec!["DIAGNOSIS", "DRUG"]);
+    maybms::core::ops::evaluate_query(&mut wsd, &treatments, "TREATMENTS")?;
+    println!("\npossible treatments of the current episode:");
+    for (tuple, confidence) in possible_with_confidence(&wsd, "TREATMENTS")? {
+        println!("  {:<14} {:<12} conf = {confidence:.3}", tuple[0].to_string(), tuple[1].to_string());
+    }
+
+    // --------------------------------------------------------------
+    // 4. Commonly asked cross-world question: is the hypertension diagnosis
+    //    certain?  (It is, once propranolol/migraine is excluded.)
+    // --------------------------------------------------------------
+    let diagnosis = RaExpr::rel("PATIENT")
+        .select(Predicate::eq_const("CASE", 1i64))
+        .project(vec!["DIAGNOSIS"]);
+    maybms::core::ops::evaluate_query(&mut wsd, &diagnosis, "DIAGNOSIS_ONLY")?;
+    let hypertension = Tuple::from_iter([Value::text("hypertension")]);
+    println!(
+        "\nconf(diagnosis = hypertension) = {:.3}",
+        conf(&wsd, "DIAGNOSIS_ONLY", &hypertension)?
+    );
+
+    // --------------------------------------------------------------
+    // 5. The record in the uniform representation (what a hospital DBMS
+    //    would store): template + tiny component tables.
+    // --------------------------------------------------------------
+    let uwsdt = from_wsd(&wsd)?;
+    let stats = stats_for(&uwsdt, "PATIENT")?;
+    println!(
+        "\nUWSDT storage: {} template rows, {} placeholders, {} components, |C| = {}",
+        stats.template_rows, stats.placeholders, stats.components, stats.c_size
+    );
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! Quickstart: the paper's running census-form example, end to end.
+//!
+//! Builds the or-set relation of the introduction (two survey forms with
+//! ambiguous entries), cleans it with the SSN-uniqueness constraint, attaches
+//! probabilities, runs a query on all worlds at once, and computes tuple
+//! confidences — reproducing Figures 1–5, 22 and Example 11 of the paper.
+//!
+//! Run with: `cargo run --example quickstart -p maybms`
+
+use maybms::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --------------------------------------------------------------
+    // 1. The two survey forms as an or-set relation (32 worlds).
+    // --------------------------------------------------------------
+    let schema = Schema::new("R", &["S", "N", "M"])?;
+    let mut forms = OrSetRelation::new(schema);
+    forms.push(vec![
+        OrSet::of(vec![185i64, 785]),
+        OrSet::certain("Smith"),
+        OrSet::of(vec![1i64, 2]),
+    ])?;
+    forms.push(vec![
+        OrSet::of(vec![185i64, 186]),
+        OrSet::certain("Brown"),
+        OrSet::of(vec![1i64, 2, 3, 4]),
+    ])?;
+    println!(
+        "or-set relation describes {} possible worlds",
+        forms.world_count()
+    );
+
+    // --------------------------------------------------------------
+    // 2. Convert to a WSD and clean: social security numbers are unique.
+    // --------------------------------------------------------------
+    let mut wsd = forms.to_wsd()?;
+    let ssn_unique = Dependency::Fd(FunctionalDependency::new("R", vec!["S"], vec!["N", "M"]));
+    chase(&mut wsd, &[ssn_unique])?;
+    normalize(&mut wsd)?;
+    println!(
+        "after enforcing the key constraint: {} worlds in {} components",
+        wsd.rep()?.len(),
+        wsd.component_count()
+    );
+
+    // --------------------------------------------------------------
+    // 3. The probabilistic WSD of Figure 4 (weights from an extraction tool).
+    // --------------------------------------------------------------
+    let mut prob = maybms::core::wsd::example_census_wsd();
+    println!("\nprobabilistic WSD (Figure 4):\n{prob}");
+
+    // New evidence (§8): the person with SSN 785 is married (code 1).
+    let married = Dependency::Egd(EqualityGeneratingDependency::implies(
+        "R",
+        "S",
+        785i64,
+        "M",
+        CmpOp::Eq,
+        1i64,
+    ));
+    chase(&mut prob, &[married])?;
+    println!("after chasing S=785 ⇒ M=1 (Figure 22):\n{prob}");
+
+    // --------------------------------------------------------------
+    // 4. Query all worlds at once: Q = π_S(σ_{M=1}(R)).
+    // --------------------------------------------------------------
+    let query = RaExpr::rel("R")
+        .select(Predicate::eq_const("M", 1i64))
+        .project(vec!["S"]);
+    maybms::core::ops::evaluate_query(&mut prob, &query, "Q")?;
+
+    // --------------------------------------------------------------
+    // 5. Possible answer tuples and their confidences (Example 11 style).
+    // --------------------------------------------------------------
+    println!("possible answers to π_S(σ_M=1(R)) with confidences:");
+    for (tuple, confidence) in possible_with_confidence(&prob, "Q")? {
+        println!("  S = {}   conf = {confidence:.4}", tuple[0]);
+    }
+
+    // --------------------------------------------------------------
+    // 6. The same world-set in the uniform (UWSDT) representation.
+    // --------------------------------------------------------------
+    let uwsdt = from_wsd(&prob)?;
+    let stats = stats_for(&uwsdt, "R")?;
+    println!(
+        "\nUWSDT: {} template rows, {} placeholders, {} components, |C| = {}",
+        stats.template_rows, stats.placeholders, stats.components, stats.c_size
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Join-heavy querying: WSD composition vs. U-relation descriptors.
+//!
+//! Section 4 of the paper warns that selections with join conditions compose
+//! WSD components and can blow the representation up; U-relations (the
+//! follow-up representation implemented in `ws-urel`) keep positive queries
+//! purely relational by annotating tuples with world-set descriptors.  This
+//! example runs the §1 "pairs of persons with different social security
+//! numbers" query on both representations, compares the representation sizes
+//! and verifies that the answers (and their confidences) agree.
+//!
+//! Run with: `cargo run -p maybms --example urelations_join`
+
+use maybms::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The running census example of the paper (Figure 4): 24 worlds.
+    let wsd = maybms::core::wsd::example_census_wsd();
+    println!("world-set: {} worlds", wsd.world_count());
+
+    // The §1 query: pairs of distinct social security numbers.
+    let query = RaExpr::rel("R")
+        .project(vec!["S"])
+        .rename("S", "S1")
+        .product(RaExpr::rel("R").project(vec!["S"]).rename("S", "S2"))
+        .select(Predicate::cmp_attr("S1", CmpOp::Ne, "S2"));
+
+    // --- WSD evaluation (components may need to be composed) -------------
+    let mut wsd_q = wsd.clone();
+    let wsd_rows_before: usize = wsd_q.components().map(|(_, c)| c.len()).sum();
+    maybms::core::ops::evaluate_query(&mut wsd_q, &query, "Pairs")?;
+    let wsd_rows_after: usize = wsd_q.components().map(|(_, c)| c.len()).sum();
+    let wsd_answers = possible_with_confidence(&wsd_q, "Pairs")?;
+
+    // --- U-relation evaluation (descriptors conjoined pairwise) ----------
+    let mut udb = maybms::urel::from_wsd(&wsd)?;
+    let urel_rows_before = udb.total_rows();
+    maybms::urel::evaluate_query(&mut udb, &query, "Pairs")?;
+    let urel_rows_after = udb.total_rows();
+    let urel_answers = maybms::urel::possible_with_confidence(&udb, "Pairs")?;
+
+    println!("\nrepresentation size (rows):");
+    println!("  WSD        {wsd_rows_before} → {wsd_rows_after}");
+    println!("  U-relation {urel_rows_before} → {urel_rows_after}");
+
+    println!("\npossible pairs of distinct SSNs (confidence, both systems):");
+    for (tuple, wsd_conf) in &wsd_answers {
+        let urel_conf = urel_answers
+            .iter()
+            .find(|(t, _)| t == tuple)
+            .map(|(_, c)| *c)
+            .unwrap_or(0.0);
+        assert!((wsd_conf - urel_conf).abs() < 1e-9, "the two systems disagree");
+        println!("  {tuple}  conf = {wsd_conf:.3}");
+    }
+
+    // --- The related-work size comparison against ULDB x-relations -------
+    let mut orset = OrSetRelation::new(Schema::new("O", &["A", "B", "C", "D"]).unwrap());
+    orset.push(vec![
+        OrSet::of(vec![1i64, 2]),
+        OrSet::of(vec![1i64, 2, 3]),
+        OrSet::of(vec![0i64, 1]),
+        OrSet::of(vec![4i64, 5]),
+    ])?;
+    let as_wsd = orset.to_wsd()?;
+    let as_uldb = UldbRelation::from_or_relation(&orset)?;
+    let wsd_cells: usize = as_wsd.components().map(|(_, c)| c.len()).sum();
+    println!("\none or-set tuple with fields of sizes 2·3·2·2:");
+    println!("  WSD component rows       = {wsd_cells}");
+    println!("  ULDB x-tuple alternatives = {}", as_uldb.alternative_count());
+
+    Ok(())
+}

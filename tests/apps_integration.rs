@@ -1,0 +1,149 @@
+//! Integration tests of the §10 application scenarios: minimal repairs /
+//! consistent query answering and the linked medical data, exercised through
+//! the public facade and checked against explicit world enumeration.
+
+use maybms::apps::{medical, repairs};
+use maybms::prelude::*;
+
+fn dirty_orders() -> Relation {
+    let mut rel = Relation::new(Schema::new("Orders", &["OID", "CUSTOMER", "TOTAL"]).unwrap());
+    for (oid, customer, total) in [
+        (1i64, "ann", 10i64),
+        (1, "ann", 12),
+        (2, "bea", 20),
+        (3, "cid", 30),
+        (3, "dan", 31),
+        (3, "dan", 32),
+        (4, "eve", 40),
+    ] {
+        rel.push_values([Value::int(oid), Value::text(customer), Value::int(total)])
+            .unwrap();
+    }
+    rel
+}
+
+#[test]
+fn repair_world_set_matches_explicit_repair_enumeration() {
+    let rel = dirty_orders();
+    let (wsd, report) = repairs::repair_key_violations(&rel, &["OID"]).unwrap();
+    // OID 1 has 2 resolutions, OID 3 has 3, the others are clean.
+    assert_eq!(report.conflict_clusters, 2);
+    assert_eq!(report.repair_count, 6);
+    assert_eq!(wsd.world_count(), 6);
+
+    // Every repair is key-consistent and contains the clean tuples.
+    for (world, _) in wsd.enumerate_worlds(100).unwrap() {
+        let orders = world.relation("Orders").unwrap();
+        assert_eq!(orders.len(), 4);
+        let mut oids: Vec<Value> = orders.rows().iter().map(|r| r[0].clone()).collect();
+        oids.sort();
+        oids.dedup();
+        assert_eq!(oids.len(), 4);
+        assert!(orders.contains(&Tuple::from_iter([
+            Value::int(2),
+            Value::text("bea"),
+            Value::int(20)
+        ])));
+    }
+}
+
+#[test]
+fn consistent_possible_and_support_answers_are_coherent() {
+    let rel = dirty_orders();
+    let (wsd, _) = repairs::repair_key_violations(&rel, &["OID"]).unwrap();
+    let customers = RaExpr::rel("Orders").project(vec!["CUSTOMER"]);
+    let consistent = repairs::consistent_answers(&wsd, &customers).unwrap();
+    let possible = repairs::possible_answers(&wsd, &customers).unwrap();
+    let support = repairs::answers_with_support(&wsd, &customers).unwrap();
+
+    // Consistent ⊆ possible; support 1.0 exactly for consistent answers.
+    for t in consistent.rows() {
+        assert!(possible.contains(t));
+    }
+    assert!(consistent.contains(&Tuple::from_iter([Value::text("ann")])));
+    assert!(consistent.contains(&Tuple::from_iter([Value::text("bea")])));
+    assert!(!consistent.contains(&Tuple::from_iter([Value::text("cid")])));
+    assert!(possible.contains(&Tuple::from_iter([Value::text("cid")])));
+    for (tuple, share) in &support {
+        assert!(*share > 0.0 && *share <= 1.0 + 1e-9);
+        let is_consistent = consistent.contains(tuple);
+        assert_eq!(is_consistent, *share >= 1.0 - 1e-9, "support/consistency mismatch for {tuple}");
+    }
+
+    // cid is kept in exactly 1 of the 3 resolutions of OID 3.
+    let cid_share = support
+        .iter()
+        .find(|(t, _)| *t == Tuple::from_iter([Value::text("cid")]))
+        .map(|(_, s)| *s)
+        .unwrap();
+    assert!((cid_share - 1.0 / 3.0).abs() < 1e-9);
+}
+
+#[test]
+fn further_cleaning_composes_with_repairs() {
+    // Chasing an additional constraint on the repair world-set keeps it a
+    // valid world-set and only removes repairs.
+    let rel = dirty_orders();
+    let (wsd, _) = repairs::repair_key_violations(&rel, &["OID"]).unwrap();
+    let constraint = Dependency::Egd(EqualityGeneratingDependency::implies(
+        "Orders", "CUSTOMER", "dan", "TOTAL", CmpOp::Eq, 31i64,
+    ));
+    let mut cleaned = wsd.clone();
+    let survived = chase(&mut cleaned, std::slice::from_ref(&constraint)).unwrap();
+    assert!(survived > 0.0 && survived < 1.0);
+    assert!(cleaned.world_count() < wsd.world_count());
+    for (world, _) in cleaned.enumerate_worlds(100).unwrap() {
+        for row in world.relation("Orders").unwrap().rows() {
+            if row[1] == Value::text("dan") {
+                assert_eq!(row[2], Value::int(31));
+            }
+        }
+    }
+}
+
+#[test]
+fn medical_scenario_round_trip() {
+    let scenario = MedicalScenario::demo();
+    let patients = vec![
+        PatientRecord::with_candidates(1, ["flu", "migraine"]),
+        PatientRecord::unknown(2).observed("amlodipine"),
+        PatientRecord::with_candidates(3, ["angina"]),
+    ];
+    let wsd = scenario.build_wsd(&patients).unwrap();
+
+    // Interdependence: medication is always compatible with the diagnosis.
+    for (world, _) in wsd.enumerate_worlds(1 << 16).unwrap() {
+        for row in world.relation(medical::PATIENT_RELATION).unwrap().rows() {
+            let diagnosis = row[1].as_text().unwrap();
+            let medication = row[2].as_text().unwrap().to_string();
+            assert!(scenario.compatible_medications(diagnosis).contains(&medication));
+        }
+    }
+
+    // Queries through the generic WSD machinery agree with the helpers.
+    let diag = medical::possible_diagnoses(&wsd, 2).unwrap();
+    let total: f64 = diag.iter().map(|(_, p)| p).sum();
+    assert!((total - 1.0).abs() < 1e-9);
+    let names: Vec<&str> = diag.iter().map(|(d, _)| d.as_str()).collect();
+    assert!(names.contains(&"hypertension") && names.contains(&"angina"));
+
+    // Patient 3 can only get angina medication.
+    let meds = medical::medications_for(&wsd, "angina").unwrap();
+    assert!(!meds.is_empty());
+    for (m, _) in &meds {
+        assert!(scenario.compatible_medications("angina").contains(m));
+    }
+}
+
+#[test]
+fn repairs_work_through_the_prelude_reexports() {
+    // The facade exposes the repair API directly.
+    let rel = dirty_orders();
+    let (wsd, report) = repair_key_violations(&rel, &["OID"]).unwrap();
+    let query = RaExpr::rel("Orders").project(vec!["OID"]);
+    let consistent = consistent_answers(&wsd, &query).unwrap();
+    let possible = possible_answers(&wsd, &query).unwrap();
+    assert_eq!(consistent.len(), 4);
+    assert_eq!(possible.len(), 4);
+    assert_eq!(report.clean_tuples, 2);
+}

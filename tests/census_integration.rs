@@ -1,0 +1,149 @@
+//! End-to-end census workload tests (§9): generation, noise, cleaning and the
+//! queries Q1–Q6, checked for semantic correctness on instances small enough
+//! to enumerate and for structural properties on larger instances.
+
+use maybms::prelude::*;
+use ws_census::{
+    all_queries, census_dependencies, census_egds, satisfies_dependencies, RELATION_NAME,
+};
+
+#[test]
+fn figure25_has_twelve_dependencies_over_the_census_schema() {
+    let deps = census_dependencies();
+    assert_eq!(deps.len(), 12);
+    let schema = ws_census::census_schema();
+    for egd in census_egds() {
+        for attr in egd.attrs() {
+            assert!(schema.contains(attr));
+        }
+    }
+}
+
+#[test]
+fn figure29_queries_have_the_documented_shapes() {
+    let queries = all_queries();
+    assert_eq!(queries.len(), 6);
+    let labels: Vec<&str> = queries.iter().map(|(l, _)| *l).collect();
+    assert_eq!(labels, vec!["Q1", "Q2", "Q3", "Q4", "Q5", "Q6"]);
+    // Q5 is the only query touching more than one occurrence of R.
+    let q5 = &queries[4].1;
+    assert!(q5.node_count() > queries[0].1.node_count());
+}
+
+#[test]
+fn cleaned_small_census_worlds_satisfy_every_dependency() {
+    let scenario = CensusScenario::new(60, 0.002, 17);
+    let chased = scenario.chased_uwsdt().unwrap();
+    chased.validate().unwrap();
+    let worlds = chased.enumerate_worlds(2_000_000).unwrap();
+    assert!(!worlds.is_empty());
+    let total: f64 = worlds.iter().map(|(_, p)| p).sum();
+    assert!((total - 1.0).abs() < 1e-6);
+    for (db, _) in &worlds {
+        assert!(satisfies_dependencies(db.relation(RELATION_NAME).unwrap()));
+    }
+    // The clean base world is always among the surviving worlds.
+    let base = scenario.base_relation();
+    assert!(worlds
+        .iter()
+        .any(|(db, _)| db.relation(RELATION_NAME).unwrap().set_eq(&base)));
+}
+
+#[test]
+fn chase_only_removes_inconsistent_worlds() {
+    let scenario = CensusScenario::new(50, 0.0015, 23);
+    let dirty = scenario.dirty_uwsdt().unwrap();
+    let chased = scenario.chased_uwsdt().unwrap();
+    let dirty_worlds = dirty.enumerate_worlds(2_000_000).unwrap();
+    let chased_worlds = chased.enumerate_worlds(2_000_000).unwrap();
+    // Chased worlds ⊆ dirty worlds, and every dropped world was inconsistent.
+    assert!(chased_worlds.len() <= dirty_worlds.len());
+    let chased_set = WorldSet::from_weighted_worlds(chased_worlds);
+    for (db, _) in &dirty_worlds {
+        let consistent = satisfies_dependencies(db.relation(RELATION_NAME).unwrap());
+        assert_eq!(consistent, chased_set.contains(db));
+    }
+}
+
+#[test]
+fn queries_on_the_chased_uwsdt_match_per_world_evaluation() {
+    // Small instance: evaluate Q1–Q6 both on the UWSDT and per world.
+    let scenario = CensusScenario::new(40, 0.003, 31);
+    let chased = scenario.chased_uwsdt().unwrap();
+    let worlds = chased.enumerate_worlds(2_000_000).unwrap();
+    for (label, query) in all_queries() {
+        let mut evaluated = chased.clone();
+        maybms::uwsdt::evaluate_query(&mut evaluated, &query, "OUT").unwrap();
+        let result_worlds = evaluated.enumerate_worlds(2_000_000).unwrap();
+        assert_eq!(result_worlds.len(), worlds.len(), "{label}");
+        for ((db_in, p_in), (db_out, p_out)) in worlds.iter().zip(&result_worlds) {
+            assert!((p_in - p_out).abs() < 1e-9, "{label}: probability drift");
+            let expected = ws_relational::evaluate_set(db_in, &query).unwrap();
+            let mut actual = db_out.relation("OUT").unwrap().clone();
+            actual.dedup();
+            assert!(
+                expected.row_set() == actual.row_set(),
+                "{label}: result mismatch in some world"
+            );
+        }
+    }
+}
+
+#[test]
+fn query_results_stay_close_to_one_world_in_size() {
+    // The paper's headline observation (Fig. 27): the representation of each
+    // query answer stays close to the size of one world.
+    let scenario = CensusScenario::new(2_000, 0.001, 3);
+    let mut uwsdt = scenario.chased_uwsdt().unwrap();
+    let base_stats = stats_for(&uwsdt, RELATION_NAME).unwrap();
+    assert_eq!(base_stats.template_rows, 2_000);
+    for (label, query) in all_queries() {
+        let out = format!("{label}_OUT");
+        maybms::uwsdt::evaluate_query(&mut uwsdt, &query, &out).unwrap();
+        let stats = stats_for(&uwsdt, &out).unwrap();
+        // The answer never has more placeholders than the input had, and the
+        // component table stays tiny relative to the template.
+        assert!(stats.placeholders <= base_stats.placeholders, "{label}");
+        assert!(
+            stats.c_size <= base_stats.c_size * 2,
+            "{label}: |C| exploded ({} vs {})",
+            stats.c_size,
+            base_stats.c_size
+        );
+        // And the answer is never larger than the full relation (all queries
+        // are selective or projective).
+        assert!(stats.template_rows <= base_stats.template_rows, "{label}");
+    }
+}
+
+#[test]
+fn one_world_baseline_matches_uwsdt_on_noise_free_data() {
+    // With density 0 the UWSDT degenerates to the template = one world, and
+    // query answers coincide exactly with ordinary evaluation.
+    let scenario = CensusScenario::new(500, 0.0, 11);
+    let mut uwsdt = scenario.chased_uwsdt().unwrap();
+    assert_eq!(stats_for(&uwsdt, RELATION_NAME).unwrap().placeholders, 0);
+    let one_world = scenario.one_world();
+    for (label, query) in all_queries() {
+        let out = format!("{label}_OUT");
+        maybms::uwsdt::evaluate_query(&mut uwsdt, &query, &out).unwrap();
+        let expected = ws_relational::evaluate_set(&one_world, &query).unwrap();
+        let mut actual = uwsdt.template(&out).unwrap().clone();
+        actual.dedup();
+        assert_eq!(expected.row_set(), actual.row_set(), "{label}");
+    }
+}
+
+#[test]
+fn noise_density_controls_the_number_of_placeholders() {
+    for (density, label) in ws_census::PAPER_DENSITIES
+        .iter()
+        .zip(ws_census::PAPER_DENSITY_LABELS)
+    {
+        let scenario = CensusScenario::new(4_000, *density, 7);
+        let dirty = scenario.dirty_uwsdt().unwrap();
+        let stats = stats_for(&dirty, RELATION_NAME).unwrap();
+        let expected = (4_000.0 * 50.0 * density).round() as usize;
+        assert_eq!(stats.placeholders, expected, "{label}");
+    }
+}

@@ -1,0 +1,122 @@
+//! The plan rewrites of the optimizer (§5-style selection pushdown and
+//! operator merging) must never change query answers — neither on ordinary
+//! one-world databases nor when the rewritten plan is evaluated over a
+//! world-set representation.
+
+use maybms::prelude::*;
+use proptest::prelude::*;
+use ws_relational::optimizer;
+
+/// Strategy: contents of two small relations R[A, B] and S[B2, C].
+fn database_rows() -> impl Strategy<Value = (Vec<(i64, i64)>, Vec<(i64, i64)>)> {
+    let r = proptest::collection::vec((0i64..5, 0i64..5), 0..6);
+    let s = proptest::collection::vec((0i64..5, 0i64..5), 0..6);
+    (r, s)
+}
+
+fn database_from(rows: &(Vec<(i64, i64)>, Vec<(i64, i64)>)) -> Database {
+    let mut db = Database::new();
+    let mut r = Relation::new(Schema::new("R", &["A", "B"]).unwrap());
+    for (a, b) in &rows.0 {
+        r.push(Tuple::from_iter([Value::int(*a), Value::int(*b)])).unwrap();
+    }
+    let mut s = Relation::new(Schema::new("S", &["B2", "C"]).unwrap());
+    for (b, c) in &rows.1 {
+        s.push(Tuple::from_iter([Value::int(*b), Value::int(*c)])).unwrap();
+    }
+    db.insert_relation(r);
+    db.insert_relation(s);
+    db
+}
+
+fn query_suite() -> Vec<RaExpr> {
+    vec![
+        // Join with pushable local conjuncts.
+        RaExpr::rel("R").product(RaExpr::rel("S")).select(Predicate::and(vec![
+            Predicate::cmp_attr("B", CmpOp::Eq, "B2"),
+            Predicate::cmp_const("A", CmpOp::Gt, 1i64),
+            Predicate::cmp_const("C", CmpOp::Lt, 4i64),
+        ])),
+        // Stacked selections + projections.
+        RaExpr::rel("R")
+            .select(Predicate::cmp_const("A", CmpOp::Ge, 1i64))
+            .select(Predicate::cmp_const("B", CmpOp::Le, 3i64))
+            .project(vec!["A", "B"])
+            .project(vec!["B"]),
+        // Selection over a union of renamed projections.
+        RaExpr::rel("R")
+            .project(vec!["B"])
+            .union(RaExpr::rel("S").rename("B2", "B").project(vec!["B"]))
+            .select(Predicate::cmp_const("B", CmpOp::Ne, 2i64)),
+        // Selection over a difference.
+        RaExpr::rel("R")
+            .project(vec!["B"])
+            .difference(RaExpr::rel("S").rename("B2", "B").project(vec!["B"]))
+            .select(Predicate::cmp_const("B", CmpOp::Gt, 0i64)),
+        // Disjunctive predicate (not decomposable into conjuncts).
+        RaExpr::rel("R").select(Predicate::or(vec![
+            Predicate::eq_const("A", 0i64),
+            Predicate::eq_const("B", 4i64),
+        ])),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn optimized_plans_return_the_same_answers(rows in database_rows()) {
+        let db = database_from(&rows);
+        for query in query_suite() {
+            let plain = ws_relational::evaluate_set(&db, &query).unwrap();
+            let plan = optimizer::optimize(&db, &query).unwrap();
+            let optimized = ws_relational::evaluate_set(&db, &plan).unwrap();
+            prop_assert!(
+                plain.set_eq(&optimized),
+                "answers differ for {}: {} vs {} (plan {})",
+                query, plain, optimized, plan
+            );
+            // The cost model stays finite and non-negative on every plan (it
+            // is a heuristic, so no ordering between the two is asserted on
+            // arbitrary — possibly empty — inputs).
+            let before = optimizer::estimated_cost(&db, &query).unwrap();
+            let after = optimizer::estimated_cost(&db, &plan).unwrap();
+            prop_assert!(before.is_finite() && before >= 0.0);
+            prop_assert!(after.is_finite() && after >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn optimized_plans_agree_on_world_set_representations() {
+    // Evaluate original and optimized census queries on a small UWSDT and
+    // compare the possible answers — the rewriting must commute with the
+    // possible-worlds semantics.
+    let scenario = CensusScenario::new(300, 0.002, 0xFEED);
+    let world = scenario.one_world();
+    let mut uwsdt = scenario.dirty_uwsdt().unwrap();
+    for (name, query) in maybms::census::all_queries() {
+        let plan = optimizer::optimize(&world, &query).unwrap();
+        let out_plain = ws_uwsdt::evaluate_query(&mut uwsdt, &query, &format!("{name}_plain"))
+            .unwrap();
+        let out_opt = ws_uwsdt::evaluate_query(&mut uwsdt, &plan, &format!("{name}_opt")).unwrap();
+        let plain = ws_uwsdt::ops::possible_tuples(&uwsdt, &out_plain).unwrap();
+        let optimized = ws_uwsdt::ops::possible_tuples(&uwsdt, &out_opt).unwrap();
+        let plain_set: std::collections::BTreeSet<_> = plain.into_iter().collect();
+        let optimized_set: std::collections::BTreeSet<_> = optimized.into_iter().collect();
+        assert_eq!(plain_set, optimized_set, "possible answers differ for {name}");
+    }
+}
+
+#[test]
+fn one_world_census_queries_are_unchanged_by_optimization() {
+    let scenario = CensusScenario::new(1_000, 0.0, 0xBEEF);
+    let world = scenario.one_world();
+    for (name, query) in maybms::census::all_queries() {
+        let plain = ws_relational::evaluate_set(&world, &query).unwrap();
+        let optimized = ws_relational::evaluate_optimized(&world, &query).unwrap();
+        let mut optimized = optimized;
+        optimized.dedup();
+        assert!(plain.set_eq(&optimized), "answers differ for {name}");
+    }
+}

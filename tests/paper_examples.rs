@@ -1,0 +1,227 @@
+//! The worked examples of the paper, reproduced number for number:
+//! the introduction's 32/24-world census forms, Example 3's world
+//! probability, Figures 4–8, Example 11's confidences and Figure 22's
+//! renormalized component.
+
+use maybms::prelude::*;
+
+/// The or-set relation of the introduction (Figure 1's two survey forms).
+fn intro_or_relation() -> OrSetRelation {
+    let schema = Schema::new("R", &["S", "N", "M"]).unwrap();
+    let mut rel = OrSetRelation::new(schema);
+    rel.push(vec![
+        OrSet::of(vec![185i64, 785]),
+        OrSet::certain("Smith"),
+        OrSet::of(vec![1i64, 2]),
+    ])
+    .unwrap();
+    rel.push(vec![
+        OrSet::of(vec![185i64, 186]),
+        OrSet::certain("Brown"),
+        OrSet::of(vec![1i64, 2, 3, 4]),
+    ])
+    .unwrap();
+    rel
+}
+
+#[test]
+fn introduction_32_worlds_and_24_after_cleaning() {
+    let rel = intro_or_relation();
+    assert_eq!(rel.world_count(), 2 * 2 * 2 * 4);
+    let mut wsd = rel.to_wsd().unwrap();
+    // "all social security numbers are unique" = the FD S → N, M.
+    chase(
+        &mut wsd,
+        &[Dependency::Fd(FunctionalDependency::new(
+            "R",
+            vec!["S"],
+            vec!["N", "M"],
+        ))],
+    )
+    .unwrap();
+    assert_eq!(wsd.rep().unwrap().len(), 24);
+    // Figure 3's component shape after normalization: {t1.S, t2.S} together,
+    // the other fields in singleton components (5 components total).
+    normalize(&mut wsd).unwrap();
+    assert_eq!(wsd.component_count(), 5);
+    let slot_s1 = wsd.slot_of(&FieldId::new("R", 0, "S")).unwrap();
+    let slot_s2 = wsd.slot_of(&FieldId::new("R", 1, "S")).unwrap();
+    assert_eq!(slot_s1, slot_s2);
+    assert_eq!(wsd.component(slot_s1).unwrap().len(), 3);
+}
+
+#[test]
+fn example3_world_probability_is_0_015() {
+    // Choosing (185,186) for the SSNs, Smith/Brown, M=2 for both tuples has
+    // probability 0.2 · 1 · 0.3 · 1 · 0.25 = 0.015 in the Figure 4 WSD.
+    let wsd = maybms::core::wsd::example_census_wsd();
+    let worlds = wsd.rep().unwrap();
+    let mut target = Database::new();
+    let mut r = Relation::new(Schema::new("R", &["S", "N", "M"]).unwrap());
+    r.push(Tuple::from_iter([
+        Value::int(185),
+        Value::text("Smith"),
+        Value::int(2),
+    ]))
+    .unwrap();
+    r.push(Tuple::from_iter([
+        Value::int(186),
+        Value::text("Brown"),
+        Value::int(2),
+    ]))
+    .unwrap();
+    target.insert_relation(r);
+    assert!((worlds.probability_of(&target) - 0.015).abs() < 1e-9);
+    assert!((worlds.total_probability() - 1.0).abs() < 1e-9);
+    assert_eq!(worlds.len(), 24);
+}
+
+#[test]
+fn figure5_wsdt_has_two_certain_names_and_four_placeholders() {
+    let wsd = maybms::core::wsd::example_census_wsd();
+    let wsdt = Wsdt::from_wsd(&wsd).unwrap();
+    assert_eq!(wsdt.placeholder_count(), 4);
+    assert_eq!(wsdt.component_count(), 3);
+    let template = &wsdt.templates["R"];
+    assert_eq!(template.rows()[0][1], Value::text("Smith"));
+    assert_eq!(template.rows()[1][1], Value::text("Brown"));
+}
+
+#[test]
+fn figure6_and_7_tuple_independent_database_as_a_wsd() {
+    let ti = maybms::baselines::figure6_database();
+    let wsd = ti.to_wsd().unwrap();
+    // Figure 7: three components, one per independent tuple.
+    assert_eq!(wsd.component_count(), 3);
+    let worlds = wsd.rep().unwrap();
+    assert_eq!(worlds.len(), 8);
+    // Probabilities of D1 and D3 from Figure 6 (b).
+    let mut d1 = Database::new();
+    let mut s = Relation::new(Schema::new("S", &["A", "B"]).unwrap());
+    s.push(Tuple::from_iter([Value::text("m"), Value::int(1)]))
+        .unwrap();
+    s.push(Tuple::from_iter([Value::text("n"), Value::int(1)]))
+        .unwrap();
+    let mut t = Relation::new(Schema::new("T", &["C", "D"]).unwrap());
+    t.push(Tuple::from_iter([Value::int(1), Value::text("p")]))
+        .unwrap();
+    d1.insert_relation(s);
+    d1.insert_relation(t.clone());
+    assert!((worlds.probability_of(&d1) - 0.24).abs() < 1e-9);
+
+    let mut d3 = Database::new();
+    let mut s3 = Relation::new(Schema::new("S", &["A", "B"]).unwrap());
+    s3.push(Tuple::from_iter([Value::text("n"), Value::int(1)]))
+        .unwrap();
+    d3.insert_relation(s3);
+    d3.insert_relation(t);
+    assert!((worlds.probability_of(&d3) - 0.06).abs() < 1e-9);
+}
+
+#[test]
+fn figure8_uwsdt_shape() {
+    // The UWSDT of Figure 8: t2.M is certain (3), SSNs share component C1,
+    // t1.M has its own component C2; C has 8 entries, W has 5.
+    let mut wsd = maybms::core::wsd::example_census_wsd();
+    // Restrict t2.M to the single value 3 as in Example 6.
+    let slot = wsd.slot_of(&FieldId::new("R", 1, "M")).unwrap();
+    let comp = wsd.component_mut(slot).unwrap();
+    comp.rows.retain(|r| r.values[0] == Value::int(3));
+    comp.renormalize().unwrap();
+    let uwsdt = from_wsd(&wsd).unwrap();
+    let stats = stats_for(&uwsdt, "R").unwrap();
+    assert_eq!(stats.placeholders, 3); // t1.S, t2.S, t1.M
+    assert_eq!(stats.components, 2); // C1 (SSN pair) and C2 (t1.M)
+    assert_eq!(stats.components_multi, 1);
+    assert_eq!(stats.c_size, 3 + 3 + 2);
+    let template = uwsdt.template("R").unwrap();
+    assert_eq!(template.rows()[1][2], Value::int(3));
+}
+
+#[test]
+fn example11_projection_confidences() {
+    let mut wsd = maybms::core::wsd::example_census_wsd();
+    maybms::core::ops::evaluate_query(&mut wsd, &RaExpr::rel("R").project(vec!["S"]), "Q")
+        .unwrap();
+    let answers = possible_with_confidence(&wsd, "Q").unwrap();
+    let lookup = |v: i64| -> f64 {
+        answers
+            .iter()
+            .find(|(t, _)| t[0] == Value::int(v))
+            .map(|(_, c)| *c)
+            .unwrap()
+    };
+    assert!((lookup(185) - 0.6).abs() < 1e-9);
+    assert!((lookup(186) - 0.6).abs() < 1e-9);
+    assert!((lookup(785) - 0.8).abs() < 1e-9);
+}
+
+#[test]
+fn figure22_chase_renormalizes_to_the_paper_values() {
+    let mut wsd = maybms::core::wsd::example_census_wsd();
+    chase(
+        &mut wsd,
+        &[Dependency::Egd(EqualityGeneratingDependency::implies(
+            "R",
+            "S",
+            785i64,
+            "M",
+            CmpOp::Eq,
+            1i64,
+        ))],
+    )
+    .unwrap();
+    let comp = wsd.component_of(&FieldId::new("R", 0, "S")).unwrap();
+    assert_eq!(comp.len(), 4);
+    let mut probs: Vec<f64> = comp.rows.iter().map(|r| r.prob).collect();
+    probs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let expected = [0.06 / 0.76, 0.14 / 0.76, 0.28 / 0.76, 0.28 / 0.76];
+    let mut expected = expected.to_vec();
+    expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for (p, e) in probs.iter().zip(expected) {
+        assert!((p - e).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn figure10_to_13_selection_examples() {
+    // Build Fig. 10's eight worlds via a WSD and check the σ_{A=B} result of
+    // Fig. 13: five distinct result worlds with sizes 3, 2, 2, 2, 1.
+    let mut wsd = Wsd::new();
+    wsd.register_relation("R", &["A", "B", "C"], 3).unwrap();
+    wsd.set_uniform(FieldId::new("R", 0, "A"), vec![Value::int(1), Value::int(2)])
+        .unwrap();
+    let mut c2 = Component::new(vec![
+        FieldId::new("R", 0, "B"),
+        FieldId::new("R", 0, "C"),
+        FieldId::new("R", 1, "B"),
+    ]);
+    c2.push_row(vec![Value::int(1), Value::int(0), Value::int(3)], 0.5)
+        .unwrap();
+    c2.push_row(vec![Value::int(2), Value::int(7), Value::int(4)], 0.5)
+        .unwrap();
+    wsd.add_component(c2).unwrap();
+    wsd.set_uniform(FieldId::new("R", 1, "A"), vec![Value::int(4), Value::int(5)])
+        .unwrap();
+    wsd.set_certain(FieldId::new("R", 1, "C"), Value::int(0))
+        .unwrap();
+    wsd.set_certain(FieldId::new("R", 2, "A"), Value::int(6))
+        .unwrap();
+    wsd.set_certain(FieldId::new("R", 2, "B"), Value::int(6))
+        .unwrap();
+    wsd.set_certain(FieldId::new("R", 2, "C"), Value::int(7))
+        .unwrap();
+    assert_eq!(wsd.rep().unwrap().len(), 8);
+
+    maybms::core::ops::evaluate_query(
+        &mut wsd,
+        &RaExpr::rel("R").select(Predicate::cmp_attr("A", CmpOp::Eq, "B")),
+        "P",
+    )
+    .unwrap();
+    let result_worlds = wsd.rep_relation("P", 100_000).unwrap();
+    assert_eq!(result_worlds.len(), 5);
+    let mut sizes: Vec<usize> = result_worlds.iter().map(|(r, _)| r.len()).collect();
+    sizes.sort_unstable();
+    assert_eq!(sizes, vec![1, 2, 2, 2, 3]);
+}

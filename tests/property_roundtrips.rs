@@ -1,0 +1,167 @@
+//! Property-based tests (proptest) of the representation-system invariants of
+//! DESIGN.md §5: inline/inline⁻¹ round trips, decomposition soundness, WSDT
+//! and UWSDT round trips, chase conditioning, and probability conservation.
+
+use maybms::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: an or-set description of a small relation R[A, B] —
+/// per field a non-empty list of 1–3 distinct values drawn from 0..4.
+fn orset_rows() -> impl Strategy<Value = Vec<Vec<Vec<i64>>>> {
+    let field = proptest::collection::btree_set(0i64..4, 1..=3)
+        .prop_map(|s| s.into_iter().collect::<Vec<i64>>());
+    let row = proptest::collection::vec(field, 2);
+    proptest::collection::vec(row, 1..=3)
+}
+
+/// Build a WSD from the strategy output.
+fn wsd_from(rows: &[Vec<Vec<i64>>]) -> Wsd {
+    let mut wsd = Wsd::new();
+    wsd.register_relation("R", &["A", "B"], rows.len()).unwrap();
+    for (t, row) in rows.iter().enumerate() {
+        for (i, attr) in ["A", "B"].iter().enumerate() {
+            let values: Vec<Value> = row[i].iter().map(|v| Value::int(*v)).collect();
+            wsd.set_uniform(FieldId::new("R", t, *attr), values).unwrap();
+        }
+    }
+    wsd
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn inline_round_trip(rows in orset_rows()) {
+        let wsd = wsd_from(&rows);
+        let worlds = wsd.rep().unwrap();
+        let wsr = WorldSetRelation::from_world_set(&worlds).unwrap();
+        let back = wsr.to_world_set().unwrap();
+        prop_assert!(worlds.same_worlds(&back));
+        prop_assert!(worlds.same_distribution(&back, 1e-9));
+    }
+
+    #[test]
+    fn one_wsd_and_normalization_preserve_worlds(rows in orset_rows()) {
+        let wsd = wsd_from(&rows);
+        let worlds = wsd.rep().unwrap();
+        let wsr = WorldSetRelation::from_world_set(&worlds).unwrap();
+        let mut one = wsr.to_1wsd().unwrap();
+        prop_assert_eq!(one.component_count(), 1);
+        prop_assert!(worlds.same_worlds(&one.rep().unwrap()));
+        // Maximal decomposition of the 1-WSD still represents the same set.
+        normalize(&mut one).unwrap();
+        one.validate().unwrap();
+        let after = one.rep().unwrap();
+        prop_assert!(worlds.same_worlds(&after));
+        prop_assert!(worlds.same_distribution(&after, 1e-6));
+    }
+
+    #[test]
+    fn wsdt_and_uwsdt_round_trips(rows in orset_rows()) {
+        let wsd = wsd_from(&rows);
+        let worlds = wsd.rep().unwrap();
+        let wsdt = Wsdt::from_wsd(&wsd).unwrap();
+        let back = wsdt.to_wsd().unwrap();
+        prop_assert!(worlds.same_worlds(&back.rep().unwrap()));
+        let uwsdt = from_wsdt(&wsdt).unwrap();
+        uwsdt.validate().unwrap();
+        let uw = WorldSet::from_weighted_worlds(uwsdt.enumerate_worlds(1_000_000).unwrap());
+        prop_assert!(worlds.same_worlds(&uw));
+        prop_assert!(worlds.same_distribution(&uw, 1e-9));
+    }
+
+    #[test]
+    fn component_probabilities_always_sum_to_one_after_operations(rows in orset_rows()) {
+        let mut wsd = wsd_from(&rows);
+        maybms::core::ops::evaluate_query(
+            &mut wsd,
+            &RaExpr::rel("R").select(Predicate::eq_const("A", 1i64)).project(vec!["B"]),
+            "OUT",
+        ).unwrap();
+        wsd.validate().unwrap();
+        for (_, comp) in wsd.components() {
+            prop_assert!((comp.total_probability() - 1.0).abs() < 1e-6);
+        }
+        // Total world probability stays 1.
+        let worlds = wsd.rep().unwrap();
+        prop_assert!((worlds.total_probability() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chase_is_a_conditioning_operation(rows in orset_rows()) {
+        let wsd = wsd_from(&rows);
+        let worlds = wsd.rep().unwrap();
+        let dep = Dependency::Egd(EqualityGeneratingDependency::implies(
+            "R", "A", 1i64, "B", CmpOp::Ne, 0i64,
+        ));
+        let oracle = ws_baselines::chase_worlds(&worlds, std::slice::from_ref(&dep));
+        let mut chased = wsd.clone();
+        let ours = chase(&mut chased, std::slice::from_ref(&dep));
+        match (oracle, ours) {
+            (Err(WsError::Inconsistent), Err(WsError::Inconsistent)) => {}
+            (Ok(expected), Ok(mass)) => {
+                let actual = chased.rep().unwrap();
+                prop_assert!(expected.same_worlds(&actual));
+                prop_assert!(expected.same_distribution(&actual, 1e-9));
+                // The reported surviving mass is P(ψ): the (un-renormalized)
+                // probability of the worlds that satisfy the dependency.
+                let oracle_mass: f64 = worlds
+                    .worlds()
+                    .iter()
+                    .filter(|(db, _)| ws_baselines::explicit::world_satisfies(db, &dep).unwrap())
+                    .map(|(_, p)| p)
+                    .sum();
+                prop_assert!((mass - oracle_mass).abs() < 1e-9,
+                    "chase mass {mass} vs oracle {oracle_mass}");
+            }
+            (a, b) => prop_assert!(false, "consistency mismatch: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn confidences_are_probabilities_and_sum_over_disjoint_tuples(rows in orset_rows()) {
+        let wsd = wsd_from(&rows);
+        let view = TupleLevelView::new(&wsd, "R").unwrap();
+        let possible = view.possible_with_confidence().unwrap();
+        let worlds = wsd.rep().unwrap();
+        for (tuple, confidence) in &possible {
+            prop_assert!(*confidence > 0.0 - 1e-12 && *confidence <= 1.0 + 1e-9);
+            let oracle = ws_baselines::confidence(&worlds, "R", tuple).unwrap();
+            prop_assert!((confidence - oracle).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn decompose_component_is_sound(values in proptest::collection::vec((0i64..3, 0i64..3, 0i64..3), 1..6)) {
+        // Build a component over three fields from arbitrary joint rows.
+        let fields = vec![
+            FieldId::new("R", 0, "A"),
+            FieldId::new("R", 0, "B"),
+            FieldId::new("R", 0, "C"),
+        ];
+        let mut comp = Component::new(fields);
+        let distinct: std::collections::BTreeSet<_> = values.iter().collect();
+        let p = 1.0 / distinct.len() as f64;
+        for (a, b, c) in &distinct {
+            comp.push_row(vec![Value::int(*a), Value::int(*b), Value::int(*c)], p).unwrap();
+        }
+        let parts = maybms::core::normalize::decompose_component(&comp);
+        // Recompose and compare with the compressed original.
+        let mut recomposed = parts[0].clone();
+        for part in &parts[1..] {
+            recomposed = recomposed.compose(part);
+        }
+        let mut original = comp.clone();
+        original.compress();
+        prop_assert_eq!(recomposed.len(), original.len());
+        for row in &original.rows {
+            let found = recomposed.rows.iter().find(|r| {
+                original.fields.iter().enumerate().all(|(i, f)| {
+                    r.values[recomposed.fields.iter().position(|g| g == f).unwrap()] == row.values[i]
+                })
+            });
+            prop_assert!(found.is_some());
+            prop_assert!((found.unwrap().prob - row.prob).abs() < 1e-9);
+        }
+    }
+}

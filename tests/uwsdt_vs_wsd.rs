@@ -1,0 +1,284 @@
+//! Integration tests: the UWSDT engine against the WSD engine and the
+//! per-world oracle.
+//!
+//! UWSDTs are "just" a uniform, RDBMS-friendly encoding of WSDTs (§3/§5), so
+//! loading the same incomplete database into both representations and running
+//! the same queries/cleaning steps must describe the same set of possible
+//! worlds with the same probabilities.
+
+use maybms::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ws_baselines::explicit;
+
+/// A random or-set database over R[A, B, C]: base values plus uncertain
+/// fields, loadable into both representations.
+fn random_or_database(rng: &mut StdRng, tuples: usize) -> (Relation, Vec<OrField>) {
+    let schema = Schema::new("R", &["A", "B", "C"]).unwrap();
+    let mut base = Relation::new(schema);
+    for _ in 0..tuples {
+        base.push_values([
+            rng.gen_range(0..3i64),
+            rng.gen_range(0..3i64),
+            rng.gen_range(0..3i64),
+        ])
+        .unwrap();
+    }
+    let mut noise = Vec::new();
+    for t in 0..tuples {
+        for attr in ["A", "B", "C"] {
+            if rng.gen_bool(0.3) {
+                let pos = base.schema().position(attr).unwrap();
+                let original = base.rows()[t][pos].as_int().unwrap();
+                let mut values = vec![Value::int(original)];
+                let extra = rng.gen_range(1..=2);
+                for _ in 0..extra {
+                    let v = Value::int(rng.gen_range(0..4i64));
+                    if !values.contains(&v) {
+                        values.push(v);
+                    }
+                }
+                if values.len() > 1 {
+                    noise.push(OrField::uniform(t, attr, values));
+                }
+            }
+        }
+    }
+    (base, noise)
+}
+
+/// Load the or-set database into a WSD.
+fn load_wsd(base: &Relation, noise: &[OrField]) -> Wsd {
+    let mut wsd = Wsd::new();
+    let attrs: Vec<&str> = base.schema().attrs().iter().map(|a| a.as_ref()).collect();
+    wsd.register_relation("R", &attrs, base.len()).unwrap();
+    for (t, row) in base.rows().iter().enumerate() {
+        for (i, attr) in attrs.iter().enumerate() {
+            let field = FieldId::new("R", t, *attr);
+            match noise
+                .iter()
+                .find(|f| f.tuple == t && f.attr == *attr)
+            {
+                Some(or_field) => wsd
+                    .set_alternatives(field, or_field.alternatives.clone())
+                    .unwrap(),
+                None => wsd.set_certain(field, row[i].clone()).unwrap(),
+            }
+        }
+    }
+    wsd
+}
+
+fn world_set_of_uwsdt(uwsdt: &Uwsdt) -> WorldSet {
+    WorldSet::from_weighted_worlds(uwsdt.enumerate_worlds(1_000_000).unwrap())
+}
+
+#[test]
+fn loading_the_same_data_yields_the_same_world_set() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..8 {
+        let (base, noise) = random_or_database(&mut rng, 3);
+        let wsd = load_wsd(&base, &noise);
+        let uwsdt = from_or_relation(&base, &noise).unwrap();
+        uwsdt.validate().unwrap();
+        let expected = wsd.rep().unwrap();
+        let actual = world_set_of_uwsdt(&uwsdt);
+        assert!(expected.same_worlds(&actual));
+        assert!(expected.same_distribution(&actual, 1e-9));
+    }
+}
+
+#[test]
+fn queries_agree_between_uwsdt_wsd_and_oracle() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let queries = vec![
+        RaExpr::rel("R").select(Predicate::eq_const("A", 1i64)),
+        RaExpr::rel("R").select(Predicate::and(vec![
+            Predicate::cmp_const("A", CmpOp::Ge, 1i64),
+            Predicate::cmp_const("B", CmpOp::Le, 1i64),
+        ])),
+        RaExpr::rel("R").select(Predicate::or(vec![
+            Predicate::eq_const("A", 0i64),
+            Predicate::eq_const("C", 2i64),
+        ])),
+        RaExpr::rel("R").select(Predicate::cmp_attr("A", CmpOp::Eq, "B")),
+        RaExpr::rel("R")
+            .select(Predicate::eq_const("B", 1i64))
+            .project(vec!["A", "C"]),
+        RaExpr::rel("R").project(vec!["C"]),
+        RaExpr::rel("R").rename("A", "A1"),
+        RaExpr::rel("R")
+            .select(Predicate::eq_const("A", 1i64))
+            .union(RaExpr::rel("R").select(Predicate::eq_const("B", 1i64))),
+        RaExpr::rel("R").difference(RaExpr::rel("R").select(Predicate::eq_const("C", 0i64))),
+    ];
+    for round in 0..6 {
+        let (base, noise) = random_or_database(&mut rng, 3);
+        let wsd = load_wsd(&base, &noise);
+        let worlds = wsd.rep().unwrap();
+        for query in &queries {
+            // Oracle distribution over result relations.
+            let oracle = explicit::query_distribution(&worlds, query).unwrap();
+            // UWSDT evaluation.
+            let mut uwsdt = from_or_relation(&base, &noise).unwrap();
+            maybms::uwsdt::evaluate_query(&mut uwsdt, query, "OUT").unwrap();
+            let uwsdt_worlds = uwsdt.enumerate_worlds(1_000_000).unwrap();
+            // Group the result relation by world.
+            let mut ours: Vec<(Relation, f64)> = Vec::new();
+            for (db, p) in uwsdt_worlds {
+                let mut rel = db.relation("OUT").unwrap().clone();
+                rel.dedup();
+                match ours.iter_mut().find(|(r, _)| r.set_eq(&rel)) {
+                    Some((_, q)) => *q += p,
+                    None => ours.push((rel, p)),
+                }
+            }
+            assert_eq!(oracle.len(), ours.len(), "round {round}: {query}");
+            for (rel, p) in &oracle {
+                let found = ours
+                    .iter()
+                    .find(|(r, _)| {
+                        r.row_set()
+                            == rel
+                                .row_set()
+                                .into_iter()
+                                .collect::<std::collections::BTreeSet<_>>()
+                    })
+                    .unwrap_or_else(|| panic!("round {round}: {query} missing a result world"));
+                assert!(
+                    (found.1 - p).abs() < 1e-9,
+                    "round {round}: {query} probability mismatch"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn join_on_uwsdt_agrees_with_the_oracle() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..5 {
+        let (base_r, noise_r) = random_or_database(&mut rng, 3);
+        // A second relation S[X, Y] sharing the value domain.
+        let schema = Schema::new("S", &["X", "Y"]).unwrap();
+        let mut base_s = Relation::new(schema);
+        for _ in 0..2 {
+            base_s
+                .push_values([rng.gen_range(0..3i64), rng.gen_range(0..3i64)])
+                .unwrap();
+        }
+        let noise_s = vec![OrField::uniform(
+            0,
+            "X",
+            vec![Value::int(0), Value::int(1), Value::int(2)],
+        )];
+
+        // WSD with both relations (for the oracle world-set).
+        let mut wsd = load_wsd(&base_r, &noise_r);
+        let attrs: Vec<&str> = base_s.schema().attrs().iter().map(|a| a.as_ref()).collect();
+        wsd.register_relation("S", &attrs, base_s.len()).unwrap();
+        for (t, row) in base_s.rows().iter().enumerate() {
+            for (i, attr) in attrs.iter().enumerate() {
+                let field = FieldId::new("S", t, *attr);
+                match noise_s.iter().find(|f| f.tuple == t && f.attr == *attr) {
+                    Some(or_field) => wsd
+                        .set_alternatives(field, or_field.alternatives.clone())
+                        .unwrap(),
+                    None => wsd.set_certain(field, row[i].clone()).unwrap(),
+                }
+            }
+        }
+        let worlds = wsd.rep().unwrap();
+        let query = RaExpr::rel("R").join(
+            RaExpr::rel("S"),
+            Predicate::cmp_attr("A", CmpOp::Eq, "X"),
+        );
+        let oracle = explicit::query_distribution(&worlds, &query).unwrap();
+
+        // UWSDT with both relations.
+        let mut uwsdt = from_or_relation(&base_r, &noise_r).unwrap();
+        let s_uwsdt = from_or_relation(&base_s, &noise_s).unwrap();
+        uwsdt
+            .add_template(s_uwsdt.template("S").unwrap().clone())
+            .unwrap();
+        for field in s_uwsdt.placeholders_of("S") {
+            let values: Vec<(Value, f64)> = {
+                let vals = s_uwsdt.placeholder_values(&field).unwrap();
+                let worlds = s_uwsdt
+                    .component_worlds(s_uwsdt.component_of(&field).unwrap())
+                    .unwrap();
+                worlds
+                    .iter()
+                    .filter_map(|w| vals.get(&w.lwid).map(|v| (v.clone(), w.prob)))
+                    .collect()
+            };
+            uwsdt.add_placeholder(field, values).unwrap();
+        }
+        maybms::uwsdt::evaluate_query(&mut uwsdt, &query, "J").unwrap();
+        let mut ours: Vec<(Relation, f64)> = Vec::new();
+        for (db, p) in uwsdt.enumerate_worlds(1_000_000).unwrap() {
+            let mut rel = db.relation("J").unwrap().clone();
+            rel.dedup();
+            match ours.iter_mut().find(|(r, _)| r.set_eq(&rel)) {
+                Some((_, q)) => *q += p,
+                None => ours.push((rel, p)),
+            }
+        }
+        assert_eq!(oracle.len(), ours.len());
+        for (rel, p) in &oracle {
+            let found = ours.iter().find(|(r, _)| r.set_eq(rel)).unwrap();
+            assert!((found.1 - p).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn chase_agrees_between_representations() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let dependencies = vec![
+        Dependency::Egd(EqualityGeneratingDependency::implies(
+            "R",
+            "A",
+            1i64,
+            "B",
+            CmpOp::Ne,
+            2i64,
+        )),
+        Dependency::Fd(FunctionalDependency::new("R", vec!["A"], vec!["C"])),
+    ];
+    let mut consistent_rounds = 0;
+    for _ in 0..10 {
+        let (base, noise) = random_or_database(&mut rng, 3);
+        let mut wsd = load_wsd(&base, &noise);
+        let mut uwsdt = from_or_relation(&base, &noise).unwrap();
+        let wsd_result = chase(&mut wsd, &dependencies);
+        let uwsdt_result = maybms::uwsdt::chase::chase(&mut uwsdt, &dependencies);
+        match (wsd_result, uwsdt_result) {
+            (Err(WsError::Inconsistent), Err(UwsdtError::Inconsistent)) => {}
+            (Ok(_mass), Ok(())) => {
+                let expected = wsd.rep().unwrap();
+                let actual = world_set_of_uwsdt(&uwsdt);
+                assert!(expected.same_worlds(&actual));
+                assert!(expected.same_distribution(&actual, 1e-9));
+                consistent_rounds += 1;
+            }
+            (a, b) => panic!("representations disagree on consistency: {a:?} vs {b:?}"),
+        }
+    }
+    assert!(consistent_rounds >= 3);
+}
+
+#[test]
+fn uwsdt_statistics_reflect_the_loaded_noise() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let (base, noise) = random_or_database(&mut rng, 4);
+    let uwsdt = from_or_relation(&base, &noise).unwrap();
+    let stats = stats_for(&uwsdt, "R").unwrap();
+    assert_eq!(stats.template_rows, 4);
+    assert_eq!(stats.placeholders, noise.len());
+    assert_eq!(stats.components, noise.len());
+    assert_eq!(
+        stats.c_size,
+        noise.iter().map(|f| f.alternatives.len()).sum::<usize>()
+    );
+}

@@ -1,0 +1,220 @@
+//! Integration tests: WSD query evaluation, chase and confidence computation
+//! against the explicit world-enumeration oracle, on randomly generated
+//! world-sets.
+//!
+//! These are the cross-crate counterparts of Theorem 1 (query correctness),
+//! Theorem 3 (chase correctness) and the §6 confidence semantics: whatever
+//! the decomposition-level algorithms compute must coincide with evaluating
+//! per world and recombining.
+
+use maybms::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ws_baselines::explicit;
+
+/// Build a random WSD over R[A, B, C] with `tuples` tuple slots: every field
+/// independently gets 1–3 possible small integer values, and a few fields may
+/// be `⊥` in some local worlds (tuples absent from some worlds).
+fn random_wsd(rng: &mut StdRng, tuples: usize) -> Wsd {
+    let mut wsd = Wsd::new();
+    wsd.register_relation("R", &["A", "B", "C"], tuples).unwrap();
+    for t in 0..tuples {
+        for attr in ["A", "B", "C"] {
+            let n = rng.gen_range(1..=3usize);
+            let mut values: Vec<Value> = Vec::new();
+            for _ in 0..n {
+                let v = rng.gen_range(0..4i64);
+                let candidate = if attr == "C" && rng.gen_bool(0.15) {
+                    Value::Bottom
+                } else {
+                    Value::int(v)
+                };
+                if !values.contains(&candidate) {
+                    values.push(candidate);
+                }
+            }
+            wsd.set_uniform(FieldId::new("R", t, attr), values).unwrap();
+        }
+    }
+    wsd
+}
+
+/// A pool of queries exercising every operator.
+fn query_pool() -> Vec<RaExpr> {
+    vec![
+        RaExpr::rel("R").select(Predicate::eq_const("A", 1i64)),
+        RaExpr::rel("R").select(Predicate::cmp_const("B", CmpOp::Gt, 1i64)),
+        RaExpr::rel("R").select(Predicate::cmp_attr("A", CmpOp::Eq, "B")),
+        RaExpr::rel("R").select(Predicate::cmp_attr("A", CmpOp::Lt, "C")),
+        RaExpr::rel("R").project(vec!["A"]),
+        RaExpr::rel("R")
+            .select(Predicate::eq_const("C", 2i64))
+            .project(vec!["B", "A"]),
+        RaExpr::rel("R").select(Predicate::and(vec![
+            Predicate::cmp_const("A", CmpOp::Ge, 1i64),
+            Predicate::cmp_const("B", CmpOp::Le, 2i64),
+        ])),
+        RaExpr::rel("R").select(Predicate::or(vec![
+            Predicate::eq_const("A", 0i64),
+            Predicate::eq_const("B", 3i64),
+        ])),
+        RaExpr::rel("R").select(Predicate::not(Predicate::eq_const("A", 2i64))),
+        RaExpr::rel("R")
+            .select(Predicate::eq_const("A", 1i64))
+            .union(RaExpr::rel("R").select(Predicate::eq_const("B", 2i64))),
+        RaExpr::rel("R").difference(RaExpr::rel("R").select(Predicate::eq_const("C", 1i64))),
+        RaExpr::rel("R").rename("A", "A2"),
+        RaExpr::rel("R")
+            .project(vec!["A"])
+            .rename("A", "X")
+            .product(RaExpr::rel("R").project(vec!["B"])),
+    ]
+}
+
+fn distributions_match(a: &[(Relation, f64)], b: &[(Relation, f64)]) -> bool {
+    a.len() == b.len()
+        && a.iter().all(|(ra, pa)| {
+            b.iter()
+                .find(|(rb, _)| ra.set_eq(rb))
+                .is_some_and(|(_, pb)| (pa - pb).abs() < 1e-9)
+        })
+}
+
+#[test]
+fn queries_on_random_wsds_match_the_per_world_oracle() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    for round in 0..12 {
+        let wsd = random_wsd(&mut rng, 2 + round % 3);
+        let worlds = wsd.rep().unwrap();
+        for query in query_pool() {
+            let oracle = explicit::query_distribution(&worlds, &query).unwrap();
+            let mut evaluated = wsd.clone();
+            maybms::core::ops::evaluate_query(&mut evaluated, &query, "OUT").unwrap();
+            evaluated.validate().unwrap();
+            let ours = evaluated.rep_relation("OUT", 1_000_000).unwrap();
+            assert!(
+                distributions_match(&oracle, &ours),
+                "round {round}: {query} disagrees with the oracle"
+            );
+        }
+    }
+}
+
+#[test]
+fn chase_on_random_wsds_matches_world_filtering() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let dependencies = vec![
+        Dependency::Fd(FunctionalDependency::new("R", vec!["A"], vec!["B"])),
+        Dependency::Egd(EqualityGeneratingDependency::implies(
+            "R",
+            "A",
+            1i64,
+            "C",
+            CmpOp::Ne,
+            2i64,
+        )),
+    ];
+    let mut checked = 0;
+    for _ in 0..15 {
+        let wsd = random_wsd(&mut rng, 2);
+        let worlds = wsd.rep().unwrap();
+        let oracle = explicit::chase_worlds(&worlds, &dependencies);
+        let mut chased = wsd.clone();
+        let result = chase(&mut chased, &dependencies);
+        match (oracle, result) {
+            (Err(WsError::Inconsistent), Err(WsError::Inconsistent)) => {}
+            (Ok(expected), Ok(_mass)) => {
+                let actual = chased.rep().unwrap();
+                assert!(expected.same_worlds(&actual));
+                assert!(expected.same_distribution(&actual, 1e-9));
+                checked += 1;
+            }
+            (oracle, ours) => panic!(
+                "oracle and chase disagree on consistency: oracle={oracle:?} ours={ours:?}"
+            ),
+        }
+    }
+    assert!(checked >= 5, "too few consistent scenarios were exercised");
+}
+
+#[test]
+fn confidence_and_possible_match_the_oracle_on_random_wsds() {
+    let mut rng = StdRng::seed_from_u64(5150);
+    for _ in 0..10 {
+        let wsd = random_wsd(&mut rng, 3);
+        let worlds = wsd.rep().unwrap();
+        let possible_oracle = explicit::possible_tuples(&worlds, "R").unwrap();
+        let view = TupleLevelView::new(&wsd, "R").unwrap();
+        let possible_ours = view.possible().unwrap();
+        assert_eq!(possible_ours.row_set().len(), possible_oracle.len());
+        for tuple in &possible_oracle {
+            assert!(possible_ours.contains(tuple));
+            let expected = explicit::confidence(&worlds, "R", tuple).unwrap();
+            let actual = view.conf(tuple).unwrap();
+            assert!(
+                (expected - actual).abs() < 1e-9,
+                "conf({tuple}) = {actual}, oracle = {expected}"
+            );
+        }
+    }
+}
+
+#[test]
+fn normalization_never_changes_the_represented_world_set() {
+    let mut rng = StdRng::seed_from_u64(909);
+    for _ in 0..10 {
+        let mut wsd = random_wsd(&mut rng, 3);
+        // Randomly compose a few components to de-normalize the WSD.
+        let fields: Vec<FieldId> = ["A", "B", "C"]
+            .iter()
+            .flat_map(|a| (0..3).map(move |t| FieldId::new("R", t, *a)))
+            .collect();
+        let i = rng.gen_range(0..fields.len());
+        let j = rng.gen_range(0..fields.len());
+        wsd.compose_fields(&[fields[i].clone(), fields[j].clone()])
+            .unwrap();
+        let before = wsd.rep().unwrap();
+        normalize(&mut wsd).unwrap();
+        wsd.validate().unwrap();
+        let after = wsd.rep().unwrap();
+        assert!(before.same_worlds(&after));
+        assert!(before.same_distribution(&after, 1e-9));
+    }
+}
+
+#[test]
+fn query_results_stay_correlated_with_their_inputs() {
+    // The §4 motivating example: σ_{A=1}(R) ∪ σ_{B=2}(R) must be computed
+    // against the same worlds as R itself, not an independent copy.
+    let mut rng = StdRng::seed_from_u64(31337);
+    let wsd = random_wsd(&mut rng, 2);
+    let mut evaluated = wsd.clone();
+    maybms::core::ops::evaluate_query(
+        &mut evaluated,
+        &RaExpr::rel("R").select(Predicate::eq_const("A", 1i64)),
+        "S1",
+    )
+    .unwrap();
+    maybms::core::ops::evaluate_query(
+        &mut evaluated,
+        &RaExpr::rel("R").select(Predicate::eq_const("B", 2i64)),
+        "S2",
+    )
+    .unwrap();
+    // In every world, S1 and S2 are exactly the per-world selections of R.
+    for (db, _) in evaluated.enumerate_worlds(1_000_000).unwrap() {
+        let r = db.relation("R").unwrap();
+        let s1 = db.relation("S1").unwrap();
+        let s2 = db.relation("S2").unwrap();
+        for t in r.rows() {
+            assert_eq!(t[0] == Value::int(1), s1.contains(t));
+            assert_eq!(t[1] == Value::int(2), s2.contains(t));
+        }
+        for t in s1.rows() {
+            assert!(r.contains(t));
+        }
+        for t in s2.rows() {
+            assert!(r.contains(t));
+        }
+    }
+}
