@@ -16,6 +16,4 @@ pub mod medical;
 pub mod repairs;
 
 pub use medical::{MedicalScenario, PatientRecord};
-pub use repairs::{
-    consistent_answers, possible_answers, repair_key_violations, RepairReport,
-};
+pub use repairs::{consistent_answers, possible_answers, repair_key_violations, RepairReport};

@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use ws_core::{confidence, ops, Component, FieldId, Result, Wsd, WsError};
+use ws_core::{confidence, ops, Component, FieldId, Result, WsError, Wsd};
 use ws_relational::{Predicate, RaExpr, Value};
 
 /// The relation name used for patient records.
@@ -192,7 +192,7 @@ pub fn medications_for(wsd: &Wsd, diagnosis: &str) -> Result<Vec<(String, f64)>>
 
 fn answer_column(wsd: &Wsd, query: &RaExpr) -> Result<Vec<(String, f64)>> {
     let mut scratch = wsd.clone();
-    let out = ops::evaluate_query(&mut scratch, query, "__medical_q")?;
+    let out = ops::evaluate_query_fresh(&mut scratch, query, "medical_q")?;
     let mut answers = Vec::new();
     for (tuple, conf) in confidence::possible_with_confidence(&scratch, &out)? {
         let label = tuple
@@ -261,7 +261,10 @@ mod tests {
         assert_eq!(labels.len(), 2);
         assert!(labels.contains(&"flu") && labels.contains(&"migraine"));
         let total: f64 = p1.iter().map(|(_, c)| c).sum();
-        assert!((total - 1.0).abs() < 1e-9, "diagnoses of one patient are exclusive");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "diagnoses of one patient are exclusive"
+        );
 
         let p2 = possible_diagnoses(&wsd, 2).unwrap();
         let labels: Vec<&str> = p2.iter().map(|(d, _)| d.as_str()).collect();
@@ -270,7 +273,9 @@ mod tests {
 
         // Medication query: flu patients can only get flu medication.
         let meds = medications_for(&wsd, "flu").unwrap();
-        assert!(meds.iter().all(|(m, _)| m == "oseltamivir" || m == "paracetamol"));
+        assert!(meds
+            .iter()
+            .all(|(m, _)| m == "oseltamivir" || m == "paracetamol"));
     }
 
     #[test]

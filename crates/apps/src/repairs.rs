@@ -18,7 +18,7 @@
 
 use std::collections::BTreeMap;
 
-use ws_core::{confidence, ops, Component, FieldId, Result, Wsd, WsError};
+use ws_core::{confidence, ops, Component, FieldId, Result, WsError, Wsd};
 use ws_relational::{RaExpr, Relation, Tuple, Value};
 
 /// Summary of a repair construction.
@@ -92,10 +92,7 @@ pub fn repair_fd_violations(
             for &t in subgroups.values().next().expect("non-empty group") {
                 report.clean_tuples += 1;
                 for (a, attr) in attrs.iter().enumerate() {
-                    wsd.set_certain(
-                        FieldId::new(&name, t, attr),
-                        relation.rows()[t][a].clone(),
-                    )?;
+                    wsd.set_certain(FieldId::new(&name, t, attr), relation.rows()[t][a].clone())?;
                 }
             }
             continue;
@@ -159,7 +156,7 @@ pub fn repair_key_violations(relation: &Relation, key: &[&str]) -> Result<(Wsd, 
 /// contained in the answer of every repair (certain tuples).
 pub fn consistent_answers(repairs: &Wsd, query: &RaExpr) -> Result<Relation> {
     let mut scratch = repairs.clone();
-    let out = ops::evaluate_query(&mut scratch, query, "__repair_q")?;
+    let out = ops::evaluate_query_fresh(&mut scratch, query, "repair_q")?;
     let mut result = confidence::possible(&scratch, &out)?;
     let certain: Vec<Tuple> = confidence::possible_with_confidence(&scratch, &out)?
         .into_iter()
@@ -174,7 +171,7 @@ pub fn consistent_answers(repairs: &Wsd, query: &RaExpr) -> Result<Relation> {
 /// contained in the answer of at least one repair.
 pub fn possible_answers(repairs: &Wsd, query: &RaExpr) -> Result<Relation> {
     let mut scratch = repairs.clone();
-    let out = ops::evaluate_query(&mut scratch, query, "__repair_q")?;
+    let out = ops::evaluate_query_fresh(&mut scratch, query, "repair_q")?;
     confidence::possible(&scratch, &out)
 }
 
@@ -182,7 +179,7 @@ pub fn possible_answers(repairs: &Wsd, query: &RaExpr) -> Result<Relation> {
 /// them (a useful ranking signal the certain-answer systems cannot provide).
 pub fn answers_with_support(repairs: &Wsd, query: &RaExpr) -> Result<Vec<(Tuple, f64)>> {
     let mut scratch = repairs.clone();
-    let out = ops::evaluate_query(&mut scratch, query, "__repair_q")?;
+    let out = ops::evaluate_query_fresh(&mut scratch, query, "repair_q")?;
     confidence::possible_with_confidence(&scratch, &out)
 }
 
@@ -227,11 +224,7 @@ mod tests {
         for (world, _) in wsd.enumerate_worlds(100).unwrap() {
             let emp = world.relation("Emp").unwrap();
             assert_eq!(emp.len(), 3, "one tuple per employee in every repair");
-            let mut keys: Vec<Value> = emp
-                .rows()
-                .iter()
-                .map(|r| r[0].clone())
-                .collect();
+            let mut keys: Vec<Value> = emp.rows().iter().map(|r| r[0].clone()).collect();
             keys.sort();
             keys.dedup();
             assert_eq!(keys.len(), 3, "keys are unique in every repair");
@@ -260,7 +253,10 @@ mod tests {
         let support = answers_with_support(&wsd, &dept_query).unwrap();
         assert_eq!(support.len(), 2);
         for (_, share) in support {
-            assert!((share - 0.5).abs() < 1e-9, "both repairs are equally likely");
+            assert!(
+                (share - 0.5).abs() < 1e-9,
+                "both repairs are equally likely"
+            );
         }
     }
 
@@ -297,10 +293,14 @@ mod tests {
         // DEPT → LOCATION with two conflicting locations for eng.
         let schema = Schema::new("Dept", &["DEPT", "LOCATION"]).unwrap();
         let mut rel = Relation::new(schema);
-        rel.push_values([Value::text("eng"), Value::text("vienna")]).unwrap();
-        rel.push_values([Value::text("eng"), Value::text("vienna")]).unwrap();
-        rel.push_values([Value::text("eng"), Value::text("oxford")]).unwrap();
-        rel.push_values([Value::text("hr"), Value::text("ithaca")]).unwrap();
+        rel.push_values([Value::text("eng"), Value::text("vienna")])
+            .unwrap();
+        rel.push_values([Value::text("eng"), Value::text("vienna")])
+            .unwrap();
+        rel.push_values([Value::text("eng"), Value::text("oxford")])
+            .unwrap();
+        rel.push_values([Value::text("hr"), Value::text("ithaca")])
+            .unwrap();
         let (wsd, report) = repair_fd_violations(&rel, &["DEPT"], &["LOCATION"]).unwrap();
         assert_eq!(report.repair_count, 2);
         assert_eq!(report.clean_tuples, 1);
@@ -320,12 +320,15 @@ mod tests {
         };
         let mut locations: Vec<Value> = worlds.iter().map(|(db, _)| eng_location(db)).collect();
         locations.sort();
-        assert_eq!(locations, vec![Value::text("oxford"), Value::text("vienna")]);
+        assert_eq!(
+            locations,
+            vec![Value::text("oxford"), Value::text("vienna")]
+        );
         for (db, _) in &worlds {
-            assert!(db
-                .relation("Dept")
-                .unwrap()
-                .contains(&Tuple::from_iter([Value::text("hr"), Value::text("ithaca")])));
+            assert!(db.relation("Dept").unwrap().contains(&Tuple::from_iter([
+                Value::text("hr"),
+                Value::text("ithaca")
+            ])));
         }
     }
 

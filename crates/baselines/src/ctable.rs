@@ -118,13 +118,16 @@ impl CTable {
             .iter()
             .map(|a| a.to_string())
             .collect();
-        let var_name = |field: &FieldId| format!("{}_{}_{}", field.relation, field.tuple, field.attr);
+        let var_name =
+            |field: &FieldId| format!("{}_{}_{}", field.relation, field.tuple, field.attr);
         let mut rows = Vec::with_capacity(template.len());
         for (row, &slot) in template.rows().iter().zip(slots) {
             let mut terms = Vec::with_capacity(attrs.len());
             for (i, attr) in attrs.iter().enumerate() {
                 if row[i].is_unknown() {
-                    terms.push(Term::Variable(var_name(&FieldId::new(relation, slot, attr))));
+                    terms.push(Term::Variable(var_name(&FieldId::new(
+                        relation, slot, attr,
+                    ))));
                 } else {
                     terms.push(Term::Constant(row[i].clone()));
                 }

@@ -9,14 +9,12 @@
 
 use ws_core::chase::{Dependency, EqualityGeneratingDependency, FunctionalDependency};
 use ws_core::{Result as WsResult, WorldSet, WsError};
+use ws_relational::engine::{self, EngineConfig};
 use ws_relational::{evaluate_set, Database, RaExpr, Relation, Tuple};
 
 /// Evaluate a relational-algebra query in every world, returning the
 /// distribution over result relations.
-pub fn query_distribution(
-    worlds: &WorldSet,
-    query: &RaExpr,
-) -> WsResult<Vec<(Relation, f64)>> {
+pub fn query_distribution(worlds: &WorldSet, query: &RaExpr) -> WsResult<Vec<(Relation, f64)>> {
     let mut out: Vec<(Relation, f64)> = Vec::new();
     for (db, p) in worlds.worlds() {
         let result = evaluate_set(db, query)?;
@@ -28,17 +26,29 @@ pub fn query_distribution(
     Ok(out)
 }
 
-/// Evaluate a query in every world and extend each world with the result
-/// relation (the compositional semantics of §4), returning the new world-set.
+/// Evaluate a query world-by-world and extend each world with the result
+/// relation (the compositional semantics of §4), returning the new
+/// world-set.
+///
+/// Even this naive engine runs through the shared `optimize → execute`
+/// pipeline: the [`ws_relational::QueryBackend`] implementation on
+/// [`WorldSet`] (in `ws_core::worldset`) applies each physical operator to
+/// every world separately, so the oracle exercises exactly the same plans as
+/// the decomposed representations it validates.
 pub fn query_worlds(worlds: &WorldSet, query: &RaExpr, out_name: &str) -> WsResult<WorldSet> {
-    worlds.map_worlds(|db| {
-        let mut result = evaluate_set(db, query)?;
-        let renamed = result.schema().renamed_relation(out_name);
-        *result.schema_mut() = renamed;
-        let mut db = db.clone();
-        db.insert_relation(result);
-        Ok(db)
-    })
+    // An empty (inconsistent) world-set has no catalog to resolve relations
+    // against; the query over it is vacuously the empty world-set.
+    if worlds.is_empty() {
+        return Ok(WorldSet::new());
+    }
+    let mut extended = worlds.clone();
+    engine::evaluate_query_with(
+        &mut extended,
+        query,
+        out_name,
+        EngineConfig::with_temp_cleanup(),
+    )?;
+    Ok(extended)
 }
 
 /// The confidence of a tuple in a relation: the total probability of the
@@ -123,13 +133,15 @@ fn world_satisfies_egd(db: &Database, egd: &EqualityGeneratingDependency) -> WsR
 pub fn chase_worlds(worlds: &WorldSet, dependencies: &[Dependency]) -> WsResult<WorldSet> {
     let mut error: Option<WsError> = None;
     let result = worlds.filter_worlds(|db| {
-        dependencies.iter().all(|dep| match world_satisfies(db, dep) {
-            Ok(ok) => ok,
-            Err(e) => {
-                error = Some(e);
-                false
-            }
-        })
+        dependencies
+            .iter()
+            .all(|dep| match world_satisfies(db, dep) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    error = Some(e);
+                    false
+                }
+            })
     });
     if let Some(e) = error {
         return Err(e);
@@ -196,7 +208,7 @@ mod tests {
             CmpOp::Eq,
             1i64,
         ));
-        let cleaned = chase_worlds(&ws, &[dep.clone()]).unwrap();
+        let cleaned = chase_worlds(&ws, std::slice::from_ref(&dep)).unwrap();
         assert!(cleaned.len() < ws.len());
         assert!((cleaned.total_probability() - 1.0).abs() < 1e-9);
         for (db, _) in cleaned.worlds() {

@@ -9,7 +9,7 @@
 //! format for dirty data and convert losslessly *into* WSDs and UWSDTs.
 
 use std::collections::BTreeSet;
-use ws_core::{FieldId, Result as WsResult, Wsd, WsError};
+use ws_core::{FieldId, Result as WsResult, WsError, Wsd};
 use ws_relational::{Relation, Schema, Tuple, Value};
 use ws_uwsdt::{from_or_relation, OrField, Result as UwsdtResult, Uwsdt};
 
@@ -216,12 +216,8 @@ impl OrSetRelation {
     pub fn represents_exactly(&self, worlds: &[Relation], limit: u128) -> WsResult<bool> {
         let mine = self.worlds(limit)?;
         let mine: Vec<&Relation> = mine.iter().collect();
-        let all_mine_present = mine
-            .iter()
-            .all(|w| worlds.iter().any(|o| o.set_eq(w)));
-        let all_theirs_present = worlds
-            .iter()
-            .all(|o| mine.iter().any(|w| w.set_eq(o)));
+        let all_mine_present = mine.iter().all(|w| worlds.iter().any(|o| o.set_eq(w)));
+        let all_theirs_present = worlds.iter().all(|o| mine.iter().any(|w| w.set_eq(o)));
         Ok(all_mine_present && all_theirs_present)
     }
 }

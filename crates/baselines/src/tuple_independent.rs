@@ -7,7 +7,7 @@
 //! model: each tuple becomes a two-local-world component — the tuple with
 //! probability `c`, or the empty (`⊥`) world with probability `1 − c`.
 
-use ws_core::{Component, FieldId, Result as WsResult, Wsd, WsError};
+use ws_core::{Component, FieldId, Result as WsResult, WsError, Wsd};
 use ws_relational::{Database, Schema, Tuple, Value};
 
 /// One relation of a tuple-independent probabilistic database.
@@ -85,12 +85,17 @@ impl TupleIndependentDb {
 
     /// Number of possible tuples across all relations.
     pub fn tuple_count(&self) -> usize {
-        self.relations.iter().map(TupleIndependentRelation::len).sum()
+        self.relations
+            .iter()
+            .map(TupleIndependentRelation::len)
+            .sum()
     }
 
     /// Number of possible worlds (`2^tuples`, saturating).
     pub fn world_count(&self) -> u128 {
-        1u128.checked_shl(self.tuple_count() as u32).unwrap_or(u128::MAX)
+        1u128
+            .checked_shl(self.tuple_count() as u32)
+            .unwrap_or(u128::MAX)
     }
 
     /// Convert to a probabilistic WSD, following Figure 7: one component per
@@ -109,10 +114,8 @@ impl TupleIndependentDb {
                 .collect();
             wsd.register_relation(&name, &attrs, relation.len())?;
             for (t, (tuple, confidence)) in relation.rows().iter().enumerate() {
-                let fields: Vec<FieldId> = attrs
-                    .iter()
-                    .map(|a| FieldId::new(&name, t, *a))
-                    .collect();
+                let fields: Vec<FieldId> =
+                    attrs.iter().map(|a| FieldId::new(&name, t, *a)).collect();
                 let mut component = Component::new(fields);
                 component.push_row(tuple.values().to_vec(), *confidence)?;
                 if *confidence < 1.0 {
@@ -154,7 +157,11 @@ impl TupleIndependentDb {
             }
             for (bit, (r, tuple, confidence)) in all.iter().enumerate() {
                 let included = mask & (1 << bit) != 0;
-                prob *= if included { *confidence } else { 1.0 - confidence };
+                prob *= if included {
+                    *confidence
+                } else {
+                    1.0 - confidence
+                };
                 if included {
                     let name = self.relations[*r].schema().relation().to_string();
                     let rel = db.relation_mut(&name)?;
@@ -217,7 +224,9 @@ mod tests {
         // D8 = ∅ has probability 0.2 · 0.5 · 0.4 = 0.04.
         let d8 = worlds
             .iter()
-            .find(|(w, _)| w.relation("S").unwrap().is_empty() && w.relation("T").unwrap().is_empty())
+            .find(|(w, _)| {
+                w.relation("S").unwrap().is_empty() && w.relation("T").unwrap().is_empty()
+            })
             .unwrap();
         assert!((d8.1 - 0.04).abs() < 1e-9);
     }

@@ -42,7 +42,9 @@ impl XTuple {
     /// Build an x-tuple from weighted alternatives.
     pub fn new(alternatives: Vec<(Tuple, f64)>) -> WsResult<Self> {
         if alternatives.is_empty() {
-            return Err(WsError::invalid("an x-tuple needs at least one alternative"));
+            return Err(WsError::invalid(
+                "an x-tuple needs at least one alternative",
+            ));
         }
         let total: f64 = alternatives.iter().map(|(_, p)| p).sum();
         if alternatives.iter().any(|(_, p)| *p < 0.0) || total > 1.0 + 1e-9 {
@@ -57,7 +59,9 @@ impl XTuple {
     pub fn uniform(alternatives: Vec<Tuple>) -> WsResult<Self> {
         let n = alternatives.len();
         if n == 0 {
-            return Err(WsError::invalid("an x-tuple needs at least one alternative"));
+            return Err(WsError::invalid(
+                "an x-tuple needs at least one alternative",
+            ));
         }
         XTuple::new(
             alternatives
@@ -349,12 +353,16 @@ mod tests {
         let schema = Schema::new("R", &["A"]).unwrap();
         let mut uldb = UldbRelation::new(schema);
         assert!(uldb.is_empty());
-        uldb.push(XTuple::uniform(vec![
-            Tuple::from_iter([Value::int(1)]),
-            Tuple::from_iter([Value::int(2)]),
-        ]).unwrap())
+        uldb.push(
+            XTuple::uniform(vec![
+                Tuple::from_iter([Value::int(1)]),
+                Tuple::from_iter([Value::int(2)]),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        uldb.push(XTuple::certain(Tuple::from_iter([Value::int(3)])))
             .unwrap();
-        uldb.push(XTuple::certain(Tuple::from_iter([Value::int(3)]))).unwrap();
         assert_eq!(uldb.possible_tuples().len(), 3);
         assert_eq!(uldb.world_count(), 2);
         let worlds = uldb.enumerate_worlds(10).unwrap();
@@ -368,7 +376,10 @@ mod tests {
         assert_eq!(uldb.conf(&Tuple::from_iter([Value::int(9)])), 0.0);
         // Arity mismatches and over-budget enumerations are rejected.
         assert!(uldb
-            .push(XTuple::certain(Tuple::from_iter([Value::int(1), Value::int(2)])))
+            .push(XTuple::certain(Tuple::from_iter([
+                Value::int(1),
+                Value::int(2)
+            ])))
             .is_err());
         assert!(uldb.enumerate_worlds(1).is_err());
     }

@@ -38,30 +38,7 @@ fn main() {
         let scenario = CensusScenario::new(tuples, density, 0xC0FFEE);
 
         // WSD view of the same scenario (built from the or-set noise).
-        let base = scenario.base_relation();
-        let noise = scenario.noise();
-        let mut wsd = ws_core::Wsd::new();
-        {
-            let attrs: Vec<&str> = base.schema().attrs().iter().map(|a| a.as_ref()).collect();
-            wsd.register_relation(ws_census::RELATION_NAME, &attrs, base.len()).unwrap();
-            use std::collections::BTreeMap;
-            let mut uncertain: BTreeMap<(usize, String), Vec<(ws_relational::Value, f64)>> =
-                BTreeMap::new();
-            for field in &noise {
-                uncertain.insert((field.tuple, field.attr.clone()), field.alternatives.clone());
-            }
-            for (t, row) in base.rows().iter().enumerate() {
-                for (a, attr) in base.schema().attrs().iter().enumerate() {
-                    let field = ws_core::FieldId::new(ws_census::RELATION_NAME, t, attr.as_ref());
-                    match uncertain.get(&(t, attr.to_string())) {
-                        Some(alternatives) => {
-                            wsd.set_alternatives(field, alternatives.clone()).unwrap()
-                        }
-                        None => wsd.set_certain(field, row[a].clone()).unwrap(),
-                    }
-                }
-            }
-        }
+        let wsd = scenario.dirty_wsd().unwrap();
 
         // Evaluate the query on each representation.
         let mut wsd_q = wsd.clone();

@@ -1,37 +1,33 @@
 //! Ablation: the plan rewrites of §5 (selection pushdown, operator merging)
-//! on the one-world baseline.
+//! across every backend of the unified query engine.
 //!
 //! The paper's query-evaluation optimizations merge products with their join
-//! selections and distribute selections/projections to the operands; this
-//! bench measures the effect of the equivalent rule-based plan rewriting on
-//! the single-world evaluator, using the evaluation queries Q1–Q6 of Figure
-//! 29 plus an explicitly join-shaped query, and reports the cost-model
-//! estimates next to the measured times.
+//! selections and distribute selections/projections to the operands.  Since
+//! every representation now evaluates queries through the shared
+//! `optimize → execute` pipeline, this bench measures the rewriting's effect
+//! per backend:
+//!
+//! * the one-world baseline (with the cost-model estimates of the plans),
+//! * world-set decompositions (WSDs),
+//! * UWSDTs (where the rewrite additionally enables the hash join), and
+//! * U-relations.
+//!
+//! using the evaluation queries Q1–Q6 of Figure 29 plus an explicitly
+//! join-shaped query.  Every timed pair also cross-checks that the optimized
+//! and naive plans return the same possible tuples.
 //!
 //! Run with: `cargo bench -p ws-bench --bench ablation_optimizer`
 
 use ws_bench::{print_header, print_row, secs, time_once};
 use ws_census::CensusScenario;
+use ws_relational::engine::{evaluate_query_with, EngineConfig};
 use ws_relational::{evaluate_set, optimizer, CmpOp, Predicate, RaExpr};
 
-fn main() {
-    println!("# Plan optimization on the one-world census baseline");
-    print_header(&[
-        "query",
-        "tuples",
-        "rows (plain = optimized)",
-        "plain time (s)",
-        "optimized time (s)",
-        "estimated cost plain",
-        "estimated cost optimized",
-    ]);
-
-    let scenario = CensusScenario::new(5_000, 0.0, 0xC0FFEE);
-    let world = scenario.one_world();
-
+/// The Fig. 29 queries plus an explicitly join-shaped query: married people
+/// working in the state of their birth, paired with PhD holders of the same
+/// state.
+fn queries() -> Vec<(&'static str, RaExpr)> {
     let mut queries = ws_census::all_queries();
-    // An explicitly join-shaped query: married people working in the state of
-    // their birth, paired with PhD holders of the same state.
     queries.push((
         "QJ",
         RaExpr::rel(ws_census::RELATION_NAME)
@@ -46,12 +42,32 @@ fn main() {
             )
             .select(Predicate::cmp_attr("P1", CmpOp::Eq, "P2")),
     ));
+    queries
+}
 
-    for (name, query) in queries {
+fn one_world_section() {
+    println!("# Plan optimization on the one-world census baseline");
+    print_header(&[
+        "query",
+        "tuples",
+        "rows (plain = optimized)",
+        "plain time (s)",
+        "optimized time (s)",
+        "estimated cost plain",
+        "estimated cost optimized",
+    ]);
+
+    let scenario = CensusScenario::new(5_000, 0.0, 0xC0FFEE);
+    let world = scenario.one_world();
+
+    for (name, query) in queries() {
         let (plain, plain_time) = time_once(|| evaluate_set(&world, &query).unwrap());
         let plan = optimizer::optimize(&world, &query).unwrap();
         let (optimized, optimized_time) = time_once(|| evaluate_set(&world, &plan).unwrap());
-        assert!(plain.set_eq(&optimized), "optimization changed the answer of {name}");
+        assert!(
+            plain.set_eq(&optimized),
+            "optimization changed the answer of {name}"
+        );
         print_row(&[
             name.to_string(),
             "5000".to_string(),
@@ -62,4 +78,117 @@ fn main() {
             format!("{:.0}", optimizer::estimated_cost(&world, &plan).unwrap()),
         ]);
     }
+}
+
+/// Time one backend under the naive and the optimizing pipeline, verifying
+/// that the possible tuples agree.
+fn bench_backend<B, P>(
+    label: &str,
+    name: &str,
+    tuples: usize,
+    make: impl Fn() -> B,
+    query: &RaExpr,
+    possible: P,
+) where
+    B: ws_relational::QueryBackend,
+    B::Error: std::fmt::Debug,
+    P: Fn(&B, &str) -> Vec<ws_relational::Tuple>,
+{
+    // Clone and answer extraction stay outside the timed section so the
+    // naive-vs-optimized columns compare evaluation alone.
+    let mut backend = make();
+    let (_, naive_time) = time_once(|| {
+        evaluate_query_with(&mut backend, query, "OUT", EngineConfig::naive()).unwrap()
+    });
+    let mut naive_result = possible(&backend, "OUT");
+    naive_result.sort();
+
+    let mut backend = make();
+    let (_, optimized_time) = time_once(|| {
+        evaluate_query_with(&mut backend, query, "OUT", EngineConfig::default()).unwrap()
+    });
+    let mut optimized_result = possible(&backend, "OUT");
+    optimized_result.sort();
+    assert_eq!(
+        naive_result, optimized_result,
+        "optimization changed the possible answers of {name} on {label}"
+    );
+    print_row(&[
+        label.to_string(),
+        name.to_string(),
+        tuples.to_string(),
+        naive_result.len().to_string(),
+        secs(naive_time),
+        secs(optimized_time),
+    ]);
+}
+
+fn representation_section() {
+    println!();
+    println!("# Optimized vs naive pipeline per representation backend");
+    print_header(&[
+        "backend",
+        "query",
+        "tuples",
+        "possible rows",
+        "naive time (s)",
+        "optimized time (s)",
+    ]);
+
+    let tuples = 300;
+    let scenario = CensusScenario::new(tuples, 0.004, 0xC0FFEE);
+    let wsd = scenario.dirty_wsd().unwrap();
+    let uwsdt = scenario.dirty_uwsdt().unwrap();
+    let udb = ws_urel::from_wsd(&wsd).unwrap();
+
+    for (name, query) in queries() {
+        // Join-shaped plans force pairwise component compositions on WSDs —
+        // the exponential blow-up §4 points out and U-relations avoid — so
+        // the WSD backend sits those out.
+        if matches!(name, "Q5" | "QJ") {
+            print_row(&[
+                "wsd".to_string(),
+                name.to_string(),
+                tuples.to_string(),
+                "—".to_string(),
+                "skipped".to_string(),
+                "(§4 composition blow-up)".to_string(),
+            ]);
+        } else {
+            bench_backend(
+                "wsd",
+                name,
+                tuples,
+                || wsd.clone(),
+                &query,
+                |backend, out| {
+                    ws_core::confidence::possible(backend, out)
+                        .unwrap()
+                        .rows()
+                        .to_vec()
+                },
+            );
+        }
+        bench_backend(
+            "uwsdt",
+            name,
+            tuples,
+            || uwsdt.clone(),
+            &query,
+            |backend, out| ws_uwsdt::ops::possible_tuples(backend, out).unwrap(),
+        );
+        bench_backend(
+            "urel",
+            name,
+            tuples,
+            || udb.clone(),
+            &query,
+            |backend, out| ws_urel::ops::possible_tuples(backend, out).unwrap(),
+        );
+    }
+}
+
+fn main() {
+    one_world_section();
+    representation_section();
 }

@@ -38,22 +38,8 @@ fn main() {
         let stats = stats_for(&uwsdt, ws_census::RELATION_NAME).unwrap();
 
         // Build the WSD view of the same data.
-        let base = scenario.base_relation();
         let noise = scenario.noise();
-        let mut wsd = ws_core::Wsd::new();
-        let attrs: Vec<&str> = base.schema().attrs().iter().map(|a| a.as_ref()).collect();
-        wsd.register_relation("R", &attrs, base.len()).unwrap();
-        for (t, row) in base.rows().iter().enumerate() {
-            for (i, attr) in attrs.iter().enumerate() {
-                let field = ws_core::FieldId::new("R", t, *attr);
-                match noise.iter().find(|f| f.tuple == t && f.attr == *attr) {
-                    Some(or_field) => wsd
-                        .set_alternatives(field, or_field.alternatives.clone())
-                        .unwrap(),
-                    None => wsd.set_certain(field, row[i].clone()).unwrap(),
-                }
-            }
-        }
+        let wsd = scenario.dirty_wsd().unwrap();
         // The explicit world-set relation has one row per world and one column
         // per field of the inlined schema (it is never materialized here — the
         // cell count follows from the definition in §3).  Materialize a small
@@ -99,22 +85,8 @@ fn main() {
     ]);
     for &tuples in &[50usize, 100, 200] {
         let scenario = CensusScenario::new(tuples, 0.02, 13);
-        let base = scenario.base_relation();
         let noise = scenario.noise();
-        let mut wsd = ws_core::Wsd::new();
-        let attrs: Vec<&str> = base.schema().attrs().iter().map(|a| a.as_ref()).collect();
-        wsd.register_relation("R", &attrs, base.len()).unwrap();
-        for (t, row) in base.rows().iter().enumerate() {
-            for (i, attr) in attrs.iter().enumerate() {
-                let field = ws_core::FieldId::new("R", t, *attr);
-                match noise.iter().find(|f| f.tuple == t && f.attr == *attr) {
-                    Some(or_field) => wsd
-                        .set_alternatives(field, or_field.alternatives.clone())
-                        .unwrap(),
-                    None => wsd.set_certain(field, row[i].clone()).unwrap(),
-                }
-            }
-        }
+        let mut wsd = scenario.dirty_wsd().unwrap();
         let before = wsd.component_count();
         // Artificially compose pairs of uncertain fields (as a join-heavy
         // query or an unlucky chase order would).
@@ -124,7 +96,8 @@ fn main() {
             .collect();
         for pair in uncertain.chunks(2) {
             if pair.len() == 2 {
-                wsd.compose_fields(&[pair[0].clone(), pair[1].clone()]).unwrap();
+                wsd.compose_fields(&[pair[0].clone(), pair[1].clone()])
+                    .unwrap();
             }
         }
         let composed = wsd.component_count();

@@ -23,10 +23,13 @@ fn two_relation_wsd(n: usize, d: i64) -> Wsd {
     wsd.register_relation("R", &["K", "Y"], n).unwrap();
     for t in 0..n {
         let domain: Vec<Value> = (0..d).map(|v| Value::int((t as i64 % 3) + v)).collect();
-        wsd.set_uniform(FieldId::new("L", t, "K"), domain.clone()).unwrap();
-        wsd.set_certain(FieldId::new("L", t, "X"), Value::int(t as i64)).unwrap();
+        wsd.set_uniform(FieldId::new("L", t, "K"), domain.clone())
+            .unwrap();
+        wsd.set_certain(FieldId::new("L", t, "X"), Value::int(t as i64))
+            .unwrap();
         wsd.set_uniform(FieldId::new("R", t, "K"), domain).unwrap();
-        wsd.set_certain(FieldId::new("R", t, "Y"), Value::int(10 + t as i64)).unwrap();
+        wsd.set_certain(FieldId::new("R", t, "Y"), Value::int(10 + t as i64))
+            .unwrap();
     }
     wsd
 }
@@ -68,7 +71,9 @@ fn main() {
         let (wsd_after, wsd_time) = {
             let mut scratch = wsd.clone();
             let ((), elapsed) = time_once(|| {
-                ws_core::ops::evaluate_query(&mut scratch, &query, "J").map(|_| ()).unwrap();
+                ws_core::ops::evaluate_query(&mut scratch, &query, "J")
+                    .map(|_| ())
+                    .unwrap();
             });
             (wsd_component_rows(&scratch), elapsed)
         };
@@ -78,7 +83,9 @@ fn main() {
         let (urel_after, urel_time) = {
             let mut scratch = udb.clone();
             let ((), elapsed) = time_once(|| {
-                ws_urel::evaluate_query(&mut scratch, &query, "J").map(|_| ()).unwrap();
+                ws_urel::evaluate_query(&mut scratch, &query, "J")
+                    .map(|_| ())
+                    .unwrap();
             });
             (scratch.total_rows(), elapsed)
         };
@@ -97,15 +104,22 @@ fn main() {
 
     println!();
     println!("# Or-set relations: WSD (linear) vs. ULDB x-relation (exponential) size");
-    print_header(&["or-set fields per tuple", "WSD component rows", "x-relation alternatives"]);
+    print_header(&[
+        "or-set fields per tuple",
+        "WSD component rows",
+        "x-relation alternatives",
+    ]);
     for fields in [2usize, 4, 6, 8, 10] {
         let attrs: Vec<String> = (0..fields).map(|i| format!("A{i}")).collect();
         let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
-        let mut orset = ws_baselines::OrSetRelation::new(
-            ws_relational::Schema::new("O", &attr_refs).unwrap(),
-        );
+        let mut orset =
+            ws_baselines::OrSetRelation::new(ws_relational::Schema::new("O", &attr_refs).unwrap());
         orset
-            .push((0..fields).map(|_| ws_baselines::OrSet::of(vec![0i64, 1i64])).collect())
+            .push(
+                (0..fields)
+                    .map(|_| ws_baselines::OrSet::of(vec![0i64, 1i64]))
+                    .collect(),
+            )
             .unwrap();
         let wsd = orset.to_wsd().unwrap();
         let uldb = ws_baselines::UldbRelation::from_or_relation(&orset).unwrap();

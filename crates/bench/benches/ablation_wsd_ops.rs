@@ -21,7 +21,8 @@ use ws_relational::{CmpOp, Predicate, RaExpr, Tuple, Value};
 /// every `spacing` tuples (or-set of three values).
 fn synthetic_wsd(tuples: usize, spacing: usize) -> Wsd {
     let mut wsd = Wsd::new();
-    wsd.register_relation("R", &["A", "B", "C"], tuples).unwrap();
+    wsd.register_relation("R", &["A", "B", "C"], tuples)
+        .unwrap();
     for t in 0..tuples {
         for (i, attr) in ["A", "B", "C"].iter().enumerate() {
             let field = FieldId::new("R", t, *attr);
@@ -48,17 +49,13 @@ fn bench_operators(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(1));
     for &tuples in &[50usize, 200, 500] {
         let wsd = synthetic_wsd(tuples, 5);
-        group.bench_with_input(
-            BenchmarkId::new("select_const", tuples),
-            &wsd,
-            |b, wsd| {
-                b.iter(|| {
-                    let mut w = wsd.clone();
-                    ws_core::ops::select_const(&mut w, "R", "P", "A", CmpOp::Gt, &Value::int(3))
-                        .unwrap();
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("select_const", tuples), &wsd, |b, wsd| {
+            b.iter(|| {
+                let mut w = wsd.clone();
+                ws_core::ops::select_const(&mut w, "R", "P", "A", CmpOp::Gt, &Value::int(3))
+                    .unwrap();
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("select_attr_attr", tuples),
             &wsd,

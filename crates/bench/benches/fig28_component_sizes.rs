@@ -15,9 +15,7 @@ use ws_uwsdt::stats::bucketed_histogram;
 
 fn main() {
     println!("# Figure 28: component-size distribution after the chase");
-    print_header(&[
-        "tuples", "density", "size 1", "size 2", "size 3", "size 4+",
-    ]);
+    print_header(&["tuples", "density", "size 1", "size 2", "size 3", "size 4+"]);
     for &tuples in &bench_sizes() {
         for (i, &density) in DENSITIES.iter().enumerate() {
             let scenario = CensusScenario::new(tuples, density, 0xC0FFEE);

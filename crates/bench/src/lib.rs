@@ -71,7 +71,10 @@ pub fn print_row(cells: &[String]) {
 /// Print a Markdown-ish table header with a separator line.
 pub fn print_header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
-    println!("|{}|", cells.iter().map(|_| " --- ").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| " --- ").collect::<Vec<_>>().join("|")
+    );
 }
 
 #[cfg(test)]

@@ -23,18 +23,18 @@ pub fn generate_census(tuples: usize, seed: u64) -> Relation {
     let schema = census_schema();
     let egds = census_egds();
     // Pre-resolve attribute positions for the repair step.
-    let resolved: Vec<(Vec<(usize, ws_core::chase::AttrComparison)>, usize, ws_core::chase::AttrComparison)> =
-        egds.iter()
-            .map(|egd| {
-                let body = egd
-                    .body
-                    .iter()
-                    .map(|atom| (schema.position(&atom.attr).unwrap(), atom.clone()))
-                    .collect();
-                let head_pos = schema.position(&egd.head.attr).unwrap();
-                (body, head_pos, egd.head.clone())
-            })
-            .collect();
+    let resolved: Vec<ResolvedEgd> = egds
+        .iter()
+        .map(|egd| {
+            let body = egd
+                .body
+                .iter()
+                .map(|atom| (schema.position(&atom.attr).unwrap(), atom.clone()))
+                .collect();
+            let head_pos = schema.position(&egd.head.attr).unwrap();
+            (body, head_pos, egd.head.clone())
+        })
+        .collect();
 
     let mut relation = Relation::new(schema);
     for _ in 0..tuples {
@@ -50,12 +50,15 @@ pub fn generate_census(tuples: usize, seed: u64) -> Relation {
     relation
 }
 
+/// An EGD with its body atoms and head resolved to attribute positions.
+type ResolvedEgd = (
+    Vec<(usize, ws_core::chase::AttrComparison)>,
+    usize,
+    ws_core::chase::AttrComparison,
+);
+
 /// Repair one row until it satisfies every dependency (bounded fix-point).
-fn repair_row(
-    values: &mut [i64],
-    egds: &[(Vec<(usize, ws_core::chase::AttrComparison)>, usize, ws_core::chase::AttrComparison)],
-    rng: &mut StdRng,
-) {
+fn repair_row(values: &mut [i64], egds: &[ResolvedEgd], rng: &mut StdRng) {
     for _ in 0..8 {
         let mut changed = false;
         for (body, head_pos, head) in egds {
@@ -145,7 +148,11 @@ mod tests {
         for row in relation.rows() {
             for (i, attr) in ATTRIBUTES.iter().enumerate() {
                 let v = row[i].as_int().unwrap();
-                assert!(attr.domain().contains(&v), "{} = {v} out of domain", attr.name);
+                assert!(
+                    attr.domain().contains(&v),
+                    "{} = {v} out of domain",
+                    attr.name
+                );
             }
         }
     }

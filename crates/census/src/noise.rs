@@ -124,7 +124,7 @@ mod tests {
             assert_eq!(distinct.len(), field.alternatives.len());
         }
         let avg = average_or_set_size(&noise);
-        assert!(avg >= 2.0 && avg <= 8.0);
+        assert!((2.0..=8.0).contains(&avg));
         assert_eq!(average_or_set_size(&[]), 0.0);
     }
 

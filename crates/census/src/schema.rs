@@ -33,56 +33,206 @@ pub const ATTRIBUTE_COUNT: usize = 50;
 /// The attributes referenced by the paper's dependencies and queries,
 /// followed by filler attributes up to [`ATTRIBUTE_COUNT`].
 pub const ATTRIBUTES: [CensusAttribute; ATTRIBUTE_COUNT] = [
-    CensusAttribute { name: "CITIZEN", domain_size: 5 },
-    CensusAttribute { name: "IMMIGR", domain_size: 11 },
-    CensusAttribute { name: "FEB55", domain_size: 2 },
-    CensusAttribute { name: "KOREAN", domain_size: 2 },
-    CensusAttribute { name: "VIETNAM", domain_size: 2 },
-    CensusAttribute { name: "WWII", domain_size: 2 },
-    CensusAttribute { name: "MILITARY", domain_size: 5 },
-    CensusAttribute { name: "MARITAL", domain_size: 5 },
-    CensusAttribute { name: "RSPOUSE", domain_size: 7 },
-    CensusAttribute { name: "LANG1", domain_size: 3 },
-    CensusAttribute { name: "ENGLISH", domain_size: 5 },
-    CensusAttribute { name: "RPOB", domain_size: 53 },
-    CensusAttribute { name: "SCHOOL", domain_size: 3 },
-    CensusAttribute { name: "YEARSCH", domain_size: 18 },
-    CensusAttribute { name: "POWSTATE", domain_size: 57 },
-    CensusAttribute { name: "POB", domain_size: 57 },
-    CensusAttribute { name: "FERTIL", domain_size: 14 },
-    CensusAttribute { name: "SEX", domain_size: 2 },
-    CensusAttribute { name: "AGE", domain_size: 91 },
-    CensusAttribute { name: "RACE", domain_size: 10 },
-    CensusAttribute { name: "HISPANIC", domain_size: 4 },
-    CensusAttribute { name: "DISABL1", domain_size: 3 },
-    CensusAttribute { name: "DISABL2", domain_size: 3 },
-    CensusAttribute { name: "MOBILITY", domain_size: 3 },
-    CensusAttribute { name: "PERSCARE", domain_size: 3 },
-    CensusAttribute { name: "CLASS", domain_size: 10 },
-    CensusAttribute { name: "HOURS", domain_size: 99 },
-    CensusAttribute { name: "LOOKING", domain_size: 3 },
-    CensusAttribute { name: "AVAIL", domain_size: 5 },
-    CensusAttribute { name: "TMPABSNT", domain_size: 4 },
-    CensusAttribute { name: "WORK89", domain_size: 3 },
-    CensusAttribute { name: "YEARWRK", domain_size: 8 },
-    CensusAttribute { name: "INDUSTRY", domain_size: 13 },
-    CensusAttribute { name: "OCCUP", domain_size: 26 },
-    CensusAttribute { name: "MEANS", domain_size: 13 },
-    CensusAttribute { name: "RIDERS", domain_size: 8 },
-    CensusAttribute { name: "DEPART", domain_size: 24 },
-    CensusAttribute { name: "TRAVTIME", domain_size: 99 },
-    CensusAttribute { name: "ROOMS", domain_size: 10 },
-    CensusAttribute { name: "TENURE", domain_size: 5 },
-    CensusAttribute { name: "VALUE", domain_size: 21 },
-    CensusAttribute { name: "RENT", domain_size: 17 },
-    CensusAttribute { name: "VEHICLES", domain_size: 8 },
-    CensusAttribute { name: "FUEL", domain_size: 9 },
-    CensusAttribute { name: "WATER", domain_size: 5 },
-    CensusAttribute { name: "SEWAGE", domain_size: 4 },
-    CensusAttribute { name: "YRBUILT", domain_size: 8 },
-    CensusAttribute { name: "BEDROOMS", domain_size: 6 },
-    CensusAttribute { name: "PLUMBING", domain_size: 3 },
-    CensusAttribute { name: "KITCHEN", domain_size: 3 },
+    CensusAttribute {
+        name: "CITIZEN",
+        domain_size: 5,
+    },
+    CensusAttribute {
+        name: "IMMIGR",
+        domain_size: 11,
+    },
+    CensusAttribute {
+        name: "FEB55",
+        domain_size: 2,
+    },
+    CensusAttribute {
+        name: "KOREAN",
+        domain_size: 2,
+    },
+    CensusAttribute {
+        name: "VIETNAM",
+        domain_size: 2,
+    },
+    CensusAttribute {
+        name: "WWII",
+        domain_size: 2,
+    },
+    CensusAttribute {
+        name: "MILITARY",
+        domain_size: 5,
+    },
+    CensusAttribute {
+        name: "MARITAL",
+        domain_size: 5,
+    },
+    CensusAttribute {
+        name: "RSPOUSE",
+        domain_size: 7,
+    },
+    CensusAttribute {
+        name: "LANG1",
+        domain_size: 3,
+    },
+    CensusAttribute {
+        name: "ENGLISH",
+        domain_size: 5,
+    },
+    CensusAttribute {
+        name: "RPOB",
+        domain_size: 53,
+    },
+    CensusAttribute {
+        name: "SCHOOL",
+        domain_size: 3,
+    },
+    CensusAttribute {
+        name: "YEARSCH",
+        domain_size: 18,
+    },
+    CensusAttribute {
+        name: "POWSTATE",
+        domain_size: 57,
+    },
+    CensusAttribute {
+        name: "POB",
+        domain_size: 57,
+    },
+    CensusAttribute {
+        name: "FERTIL",
+        domain_size: 14,
+    },
+    CensusAttribute {
+        name: "SEX",
+        domain_size: 2,
+    },
+    CensusAttribute {
+        name: "AGE",
+        domain_size: 91,
+    },
+    CensusAttribute {
+        name: "RACE",
+        domain_size: 10,
+    },
+    CensusAttribute {
+        name: "HISPANIC",
+        domain_size: 4,
+    },
+    CensusAttribute {
+        name: "DISABL1",
+        domain_size: 3,
+    },
+    CensusAttribute {
+        name: "DISABL2",
+        domain_size: 3,
+    },
+    CensusAttribute {
+        name: "MOBILITY",
+        domain_size: 3,
+    },
+    CensusAttribute {
+        name: "PERSCARE",
+        domain_size: 3,
+    },
+    CensusAttribute {
+        name: "CLASS",
+        domain_size: 10,
+    },
+    CensusAttribute {
+        name: "HOURS",
+        domain_size: 99,
+    },
+    CensusAttribute {
+        name: "LOOKING",
+        domain_size: 3,
+    },
+    CensusAttribute {
+        name: "AVAIL",
+        domain_size: 5,
+    },
+    CensusAttribute {
+        name: "TMPABSNT",
+        domain_size: 4,
+    },
+    CensusAttribute {
+        name: "WORK89",
+        domain_size: 3,
+    },
+    CensusAttribute {
+        name: "YEARWRK",
+        domain_size: 8,
+    },
+    CensusAttribute {
+        name: "INDUSTRY",
+        domain_size: 13,
+    },
+    CensusAttribute {
+        name: "OCCUP",
+        domain_size: 26,
+    },
+    CensusAttribute {
+        name: "MEANS",
+        domain_size: 13,
+    },
+    CensusAttribute {
+        name: "RIDERS",
+        domain_size: 8,
+    },
+    CensusAttribute {
+        name: "DEPART",
+        domain_size: 24,
+    },
+    CensusAttribute {
+        name: "TRAVTIME",
+        domain_size: 99,
+    },
+    CensusAttribute {
+        name: "ROOMS",
+        domain_size: 10,
+    },
+    CensusAttribute {
+        name: "TENURE",
+        domain_size: 5,
+    },
+    CensusAttribute {
+        name: "VALUE",
+        domain_size: 21,
+    },
+    CensusAttribute {
+        name: "RENT",
+        domain_size: 17,
+    },
+    CensusAttribute {
+        name: "VEHICLES",
+        domain_size: 8,
+    },
+    CensusAttribute {
+        name: "FUEL",
+        domain_size: 9,
+    },
+    CensusAttribute {
+        name: "WATER",
+        domain_size: 5,
+    },
+    CensusAttribute {
+        name: "SEWAGE",
+        domain_size: 4,
+    },
+    CensusAttribute {
+        name: "YRBUILT",
+        domain_size: 8,
+    },
+    CensusAttribute {
+        name: "BEDROOMS",
+        domain_size: 6,
+    },
+    CensusAttribute {
+        name: "PLUMBING",
+        domain_size: 3,
+    },
+    CensusAttribute {
+        name: "KITCHEN",
+        domain_size: 3,
+    },
 ];
 
 /// The name of the census relation.

@@ -45,7 +45,11 @@ impl CensusScenario {
 
     /// The or-set noise of the scenario.
     pub fn noise(&self) -> Vec<OrField> {
-        add_noise(&self.base_relation(), self.density, self.seed.wrapping_add(1))
+        add_noise(
+            &self.base_relation(),
+            self.density,
+            self.seed.wrapping_add(1),
+        )
     }
 
     /// The *uncleaned* UWSDT: base data plus independent or-set placeholders.
@@ -53,6 +57,30 @@ impl CensusScenario {
         let base = self.base_relation();
         let noise = add_noise(&base, self.density, self.seed.wrapping_add(1));
         from_or_relation(&base, &noise)
+    }
+
+    /// The *uncleaned* WSD view of the same data: every field certain except
+    /// the or-set noise, which becomes one single-field component each.
+    pub fn dirty_wsd(&self) -> ws_core::Result<ws_core::Wsd> {
+        let base = self.base_relation();
+        let noise = self.noise();
+        let uncertain: std::collections::BTreeMap<(usize, &str), &OrField> = noise
+            .iter()
+            .map(|f| ((f.tuple, f.attr.as_str()), f))
+            .collect();
+        let attrs: Vec<&str> = base.schema().attrs().iter().map(|a| a.as_ref()).collect();
+        let mut wsd = ws_core::Wsd::new();
+        wsd.register_relation(RELATION_NAME, &attrs, base.len())?;
+        for (t, row) in base.rows().iter().enumerate() {
+            for (i, attr) in attrs.iter().enumerate() {
+                let field = ws_core::FieldId::new(RELATION_NAME, t, *attr);
+                match uncertain.get(&(t, *attr)) {
+                    Some(or_field) => wsd.set_alternatives(field, or_field.alternatives.clone())?,
+                    None => wsd.set_certain(field, row[i].clone())?,
+                }
+            }
+        }
+        Ok(wsd)
     }
 
     /// The cleaned UWSDT: the dirty UWSDT after chasing the 12 dependencies

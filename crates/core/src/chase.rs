@@ -68,11 +68,7 @@ pub struct FunctionalDependency {
 
 impl FunctionalDependency {
     /// Build a functional dependency.
-    pub fn new<S: Into<String>>(
-        relation: impl Into<String>,
-        lhs: Vec<S>,
-        rhs: Vec<S>,
-    ) -> Self {
+    pub fn new<S: Into<String>>(relation: impl Into<String>, lhs: Vec<S>, rhs: Vec<S>) -> Self {
         FunctionalDependency {
             relation: relation.into(),
             lhs: lhs.into_iter().map(Into::into).collect(),
@@ -277,7 +273,7 @@ pub fn chase_egd(wsd: &mut Wsd, egd: &EqualityGeneratingDependency) -> Result<f6
                 .zip(&body_positions)
                 .all(|(atom, &p)| atom.eval(&row.values[p]));
             let head_holds = egd.head.eval(&row.values[head_position]);
-            !(body_holds && !head_holds)
+            !body_holds || head_holds
         });
         if comp.len() != before {
             if comp.is_empty() {
@@ -319,11 +315,9 @@ fn egd_possibly_violated(
     tuple: usize,
 ) -> Result<bool> {
     for atom in &egd.body {
-        let values = wsd.possible_values(&FieldId::new(&egd.relation, tuple, atom.attr.as_str()))?;
-        if values
-            .iter()
-            .all(|v| v.is_bottom() || !atom.eval(v))
-        {
+        let values =
+            wsd.possible_values(&FieldId::new(&egd.relation, tuple, atom.attr.as_str()))?;
+        if values.iter().all(|v| v.is_bottom() || !atom.eval(v)) {
             return Ok(false);
         }
     }
@@ -428,10 +422,7 @@ fn fd_possibly_violated(wsd: &Wsd, fd: &FunctionalDependency, s: usize, t: usize
     for a in &fd.lhs {
         let vs = wsd.possible_values(&FieldId::new(&fd.relation, s, a.as_str()))?;
         let vt = wsd.possible_values(&FieldId::new(&fd.relation, t, a.as_str()))?;
-        if !vs
-            .iter()
-            .any(|v| !v.is_bottom() && vt.contains(v))
-        {
+        if !vs.iter().any(|v| !v.is_bottom() && vt.contains(v)) {
             return Ok(false);
         }
     }
@@ -463,10 +454,7 @@ mod tests {
     }
 
     /// Oracle: condition the explicitly enumerated world-set on a predicate.
-    fn oracle_filter(
-        wsd: &Wsd,
-        keep: impl Fn(&Database) -> bool,
-    ) -> Vec<(Database, f64)> {
+    fn oracle_filter(wsd: &Wsd, keep: impl Fn(&Database) -> bool) -> Vec<(Database, f64)> {
         let worlds = wsd.enumerate_worlds(1_000_000).unwrap();
         let surviving: Vec<(Database, f64)> =
             worlds.into_iter().filter(|(db, _)| keep(db)).collect();
@@ -483,12 +471,14 @@ mod tests {
         wsd.register_relation("R", &["S", "N", "M"], 2).unwrap();
         wsd.set_uniform(f("R", 0, "S"), vec![Value::int(185), Value::int(785)])
             .unwrap();
-        wsd.set_certain(f("R", 0, "N"), Value::text("Smith")).unwrap();
+        wsd.set_certain(f("R", 0, "N"), Value::text("Smith"))
+            .unwrap();
         wsd.set_uniform(f("R", 0, "M"), vec![Value::int(1), Value::int(2)])
             .unwrap();
         wsd.set_uniform(f("R", 1, "S"), vec![Value::int(185), Value::int(186)])
             .unwrap();
-        wsd.set_certain(f("R", 1, "N"), Value::text("Brown")).unwrap();
+        wsd.set_certain(f("R", 1, "N"), Value::text("Brown"))
+            .unwrap();
         wsd.set_uniform(
             f("R", 1, "M"),
             vec![Value::int(1), Value::int(2), Value::int(3), Value::int(4)],
@@ -545,8 +535,7 @@ mod tests {
         // "The person with SSN 785 is married": S = 785 ⇒ M = 1, chased on
         // the cleaned Fig. 4 WSD, gives the 4-local-world component of Fig. 22.
         let mut wsd = example_census_wsd();
-        let egd =
-            EqualityGeneratingDependency::implies("R", "S", 785i64, "M", CmpOp::Eq, 1i64);
+        let egd = EqualityGeneratingDependency::implies("R", "S", 785i64, "M", CmpOp::Eq, 1i64);
         chase_egd(&mut wsd, &egd).unwrap();
         wsd.validate().unwrap();
         let comp = wsd.component_of(&f("R", 0, "S")).unwrap();
@@ -569,12 +558,13 @@ mod tests {
     fn egd_chase_matches_world_filtering_oracle() {
         let mut wsd = example_census_wsd();
         let oracle = oracle_filter(&wsd, |db| {
-            db.relation("R").unwrap().rows().iter().all(|t| {
-                t[0] != Value::int(785) || t[2] == Value::int(1)
-            })
+            db.relation("R")
+                .unwrap()
+                .rows()
+                .iter()
+                .all(|t| t[0] != Value::int(785) || t[2] == Value::int(1))
         });
-        let egd =
-            EqualityGeneratingDependency::implies("R", "S", 785i64, "M", CmpOp::Eq, 1i64);
+        let egd = EqualityGeneratingDependency::implies("R", "S", 785i64, "M", CmpOp::Eq, 1i64);
         chase_egd(&mut wsd, &egd).unwrap();
         let ours = wsd.rep().unwrap();
         assert_eq!(ours.len(), oracle.len());
@@ -654,8 +644,7 @@ mod tests {
         // An EGD whose body can never hold must not merge any components.
         let mut wsd = example_census_wsd();
         let before = wsd.component_count();
-        let egd =
-            EqualityGeneratingDependency::implies("R", "S", 999i64, "M", CmpOp::Eq, 1i64);
+        let egd = EqualityGeneratingDependency::implies("R", "S", 999i64, "M", CmpOp::Eq, 1i64);
         chase_egd(&mut wsd, &egd).unwrap();
         assert_eq!(wsd.component_count(), before);
         // Same for an FD whose determinants never overlap.
@@ -668,7 +657,11 @@ mod tests {
         wsd2.set_uniform(f("R", 1, "B"), vec![Value::int(3), Value::int(4)])
             .unwrap();
         let before = wsd2.component_count();
-        chase_fd(&mut wsd2, &FunctionalDependency::new("R", vec!["A"], vec!["B"])).unwrap();
+        chase_fd(
+            &mut wsd2,
+            &FunctionalDependency::new("R", vec!["A"], vec!["B"]),
+        )
+        .unwrap();
         assert_eq!(wsd2.component_count(), before);
     }
 

@@ -307,9 +307,12 @@ mod tests {
     fn ssn_component() -> Component {
         // The first component of Fig. 4: {t1.S, t2.S} with three local worlds.
         let mut c = Component::new(vec![f("R", 0, "S"), f("R", 1, "S")]);
-        c.push_row(vec![Value::int(185), Value::int(186)], 0.2).unwrap();
-        c.push_row(vec![Value::int(785), Value::int(185)], 0.4).unwrap();
-        c.push_row(vec![Value::int(785), Value::int(186)], 0.4).unwrap();
+        c.push_row(vec![Value::int(185), Value::int(186)], 0.2)
+            .unwrap();
+        c.push_row(vec![Value::int(785), Value::int(185)], 0.4)
+            .unwrap();
+        c.push_row(vec![Value::int(785), Value::int(186)], 0.4)
+            .unwrap();
         c
     }
 

@@ -84,7 +84,7 @@ pub fn conditional_query_conf(
 ) -> Result<f64> {
     let mut scratch = wsd.clone();
     chase(&mut scratch, constraints)?;
-    let out = ops::evaluate_query(&mut scratch, query, "__conditional_q")?;
+    let out = ops::evaluate_query_fresh(&mut scratch, query, "conditional_q")?;
     confidence::conf(&scratch, &out, tuple)
 }
 
@@ -145,9 +145,8 @@ mod tests {
                 Dependency::Egd(egd) => {
                     let rel = db.relation(&egd.relation).unwrap();
                     rel.rows().iter().all(|row| {
-                        let value_of = |attr: &str| {
-                            &row[rel.schema().position(attr).expect("attr exists")]
-                        };
+                        let value_of =
+                            |attr: &str| &row[rel.schema().position(attr).expect("attr exists")];
                         let body = egd.body.iter().all(|a| a.eval(value_of(&a.attr)));
                         !body || egd.head.eval(value_of(&egd.head.attr))
                     })

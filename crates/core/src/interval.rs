@@ -103,9 +103,7 @@ impl ProbInterval {
     /// `1 − (1 − a)(1 − b)`: the probability that at least one of two
     /// independent events happens, in interval arithmetic.
     pub fn independent_or(&self, other: &ProbInterval) -> ProbInterval {
-        self.complement()
-            .product(&other.complement())
-            .complement()
+        self.complement().product(&other.complement()).complement()
     }
 }
 
@@ -210,7 +208,9 @@ impl IntervalView {
 
     /// Build a view widening every point probability by `margin`.
     pub fn with_margin(wsd: &Wsd, relation: &str, margin: f64) -> Result<Self> {
-        IntervalView::new(wsd, relation, move |_, _, p| ProbInterval::around(p, margin))
+        IntervalView::new(wsd, relation, move |_, _, p| {
+            ProbInterval::around(p, margin)
+        })
     }
 
     /// Number of independent groups.
@@ -249,7 +249,11 @@ impl IntervalView {
             // Both directions of the simplex constraint Σ p = 1.
             let lo_c = lo_match.max(1.0 - hi_rest).clamp(0.0, 1.0);
             let hi_c = hi_match.min(1.0 - lo_rest).clamp(0.0, 1.0);
-            let (lo_c, hi_c) = if lo_c <= hi_c { (lo_c, hi_c) } else { (hi_c, hi_c) };
+            let (lo_c, hi_c) = if lo_c <= hi_c {
+                (lo_c, hi_c)
+            } else {
+                (hi_c, hi_c)
+            };
             not_lo *= 1.0 - lo_c;
             not_hi *= 1.0 - hi_c;
         }
@@ -391,9 +395,8 @@ mod tests {
         // matching row: the sum-to-one constraint still forces conf = 1
         // because there are no other rows to absorb the mass.
         let mut wsd = Wsd::new();
-        let mut rel = ws_relational::Relation::new(
-            ws_relational::Schema::new("S", &["X"]).unwrap(),
-        );
+        let mut rel =
+            ws_relational::Relation::new(ws_relational::Schema::new("S", &["X"]).unwrap());
         rel.push_values([7i64]).unwrap();
         wsd.add_certain_relation(&rel).unwrap();
         let view = IntervalView::new(&wsd, "S", |_, _, _| Ok(ProbInterval::full())).unwrap();

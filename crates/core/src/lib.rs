@@ -8,7 +8,10 @@
 //!
 //! * the explicit [`worldset`] semantics (world-set relations, `inline` /
 //!   `inline⁻¹`),
-//! * relational algebra evaluated directly on WSDs ([`ops`], §4),
+//! * relational algebra evaluated directly on WSDs ([`ops`], §4) — the
+//!   physical operators of Figure 9, driven by the unified
+//!   `optimize → execute` pipeline of `ws_relational::engine`; use
+//!   [`ops::evaluate_query`] as the query entry point,
 //! * confidence computation and the `possible` operator ([`confidence`], §6),
 //! * normalization: invalid-tuple removal, compression and relational
 //!   factorization ([`normalize`], §7),
@@ -50,9 +53,7 @@ pub mod worldset;
 pub mod wsd;
 pub mod wsdt;
 
-pub use chase::{
-    AttrComparison, Dependency, EqualityGeneratingDependency, FunctionalDependency,
-};
+pub use chase::{AttrComparison, Dependency, EqualityGeneratingDependency, FunctionalDependency};
 pub use component::{Component, LocalWorld};
 pub use conditional::{
     condition, conditional_conf, conditional_query_conf, joint_probability,

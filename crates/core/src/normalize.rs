@@ -298,14 +298,10 @@ mod tests {
                 .iter()
                 .find(|r| {
                     // fields may be ordered differently; match by field name.
-                    original
-                        .fields
-                        .iter()
-                        .enumerate()
-                        .all(|(i, field)| {
-                            let pos = recomposed.position(field).unwrap();
-                            r.values[pos] == row.values[i]
-                        })
+                    original.fields.iter().enumerate().all(|(i, field)| {
+                        let pos = recomposed.position(field).unwrap();
+                        r.values[pos] == row.values[i]
+                    })
                 })
                 .unwrap();
             assert!((found.prob - row.prob).abs() < 1e-9);
@@ -316,9 +312,12 @@ mod tests {
     fn decompose_keeps_correlated_fields_together() {
         // The SSN component of Fig. 4 is not a product: t1.S and t2.S correlate.
         let mut c = Component::new(vec![f("R", 0, "S"), f("R", 1, "S")]);
-        c.push_row(vec![Value::int(185), Value::int(186)], 0.2).unwrap();
-        c.push_row(vec![Value::int(785), Value::int(185)], 0.4).unwrap();
-        c.push_row(vec![Value::int(785), Value::int(186)], 0.4).unwrap();
+        c.push_row(vec![Value::int(185), Value::int(186)], 0.2)
+            .unwrap();
+        c.push_row(vec![Value::int(785), Value::int(185)], 0.4)
+            .unwrap();
+        c.push_row(vec![Value::int(785), Value::int(186)], 0.4)
+            .unwrap();
         let parts = decompose_component(&c);
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].width(), 2);
@@ -351,11 +350,8 @@ mod tests {
         // XOR-style: C = A ⊕ B; all pairs are independent but the triple is not.
         let mut c = Component::new(vec![f("R", 0, "A"), f("R", 0, "B"), f("R", 0, "C")]);
         for (a, b) in [(0i64, 0i64), (0, 1), (1, 0), (1, 1)] {
-            c.push_row(
-                vec![Value::int(a), Value::int(b), Value::int(a ^ b)],
-                0.25,
-            )
-            .unwrap();
+            c.push_row(vec![Value::int(a), Value::int(b), Value::int(a ^ b)], 0.25)
+                .unwrap();
         }
         let parts = decompose_component(&c);
         // No factorization exists, so the component must stay whole.
@@ -369,7 +365,8 @@ mod tests {
         let before_worlds = wsd.rep().unwrap();
         let before_components = wsd.component_count();
         // Artificially compose two independent components.
-        wsd.compose_fields(&[f("R", 0, "M"), f("R", 1, "M")]).unwrap();
+        wsd.compose_fields(&[f("R", 0, "M"), f("R", 1, "M")])
+            .unwrap();
         assert_eq!(wsd.component_count(), before_components - 1);
         let gained = decompose_all(&mut wsd).unwrap();
         assert_eq!(gained, 1);

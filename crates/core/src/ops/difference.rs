@@ -59,9 +59,7 @@ pub fn difference(wsd: &mut Wsd, left: &str, right: &str, dst: &str) -> Result<(
                 .collect();
             for row in &mut comp.rows {
                 // The S tuple only "matches" when it is actually present.
-                let s_present = right_positions
-                    .iter()
-                    .all(|&p| !row.values[p].is_bottom());
+                let s_present = right_positions.iter().all(|&p| !row.values[p].is_bottom());
                 let equal = s_present
                     && dst_positions
                         .iter()

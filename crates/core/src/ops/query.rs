@@ -1,11 +1,15 @@
-//! The query processor `Q̂` on WSDs: translate a relational-algebra query to
-//! the per-operator algorithms of Figure 9.
+//! The query processor `Q̂` on WSDs, as a backend of the unified engine.
 //!
-//! Given a query `Q`, the result of `evaluate_query` is a new relation inside
-//! the same WSD such that dropping all other relations yields a WSD
-//! representing `{ Q(A) | A ∈ rep(W) }` (Theorem 1).  Intermediate results
-//! get fresh relation names and remain represented, which is exactly what
-//! keeps correlated sub-queries correlated.
+//! Queries are no longer walked by a WSD-private translator: the shared
+//! `optimize → execute` pipeline of [`ws_relational::engine`] plans the
+//! [`RaExpr`] (selection pushdown, projection collapsing, θ-join
+//! recognition) against this catalog and drives the per-operator algorithms
+//! of Figure 9 through the [`QueryBackend`] implementation below.  Given a
+//! query `Q`, the result of [`evaluate_query`] is a new relation inside the
+//! same WSD such that dropping all other relations yields a WSD representing
+//! `{ Q(A) | A ∈ rep(W) }` (Theorem 1).  Intermediate results get fresh
+//! relation names and remain represented, which is exactly what keeps
+//! correlated sub-queries correlated.
 //!
 //! Composite selection conditions — which the paper's Fig. 9 leaves to the
 //! atomic cases — are handled by rewriting:
@@ -15,74 +19,87 @@
 use super::{copy, difference, product, project, rename, select_attr, select_const, union};
 use crate::error::{Result, WsError};
 use crate::wsd::Wsd;
-use ws_relational::{Predicate, RaExpr};
+use ws_relational::engine::{self, QueryBackend, SchemaCatalog, TempNames};
+use ws_relational::{Predicate, RaExpr, RelationalError, Schema};
+
+impl SchemaCatalog for Wsd {
+    fn schema_of(&self, relation: &str) -> ws_relational::Result<Schema> {
+        self.meta(relation)
+            .map(|meta| meta.schema(relation))
+            .map_err(|_| RelationalError::UnknownRelation(relation.to_string()))
+    }
+
+    fn contains_relation(&self, relation: &str) -> bool {
+        Wsd::contains_relation(self, relation)
+    }
+}
+
+impl QueryBackend for Wsd {
+    type Error = WsError;
+
+    fn materialize_base(&mut self, name: &str, out: &str) -> Result<()> {
+        copy(self, name, out)
+    }
+
+    fn apply_select(
+        &mut self,
+        input: &str,
+        pred: &Predicate,
+        out: &str,
+        temps: &mut TempNames,
+    ) -> Result<()> {
+        apply_selection(self, input, pred, out, temps)
+    }
+
+    fn apply_project(&mut self, input: &str, attrs: &[String], out: &str) -> Result<()> {
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        project(self, input, out, &attr_refs)
+    }
+
+    fn apply_product(&mut self, left: &str, right: &str, out: &str) -> Result<()> {
+        product(self, left, right, out)
+    }
+
+    fn apply_union(&mut self, left: &str, right: &str, out: &str) -> Result<()> {
+        union(self, left, right, out)
+    }
+
+    fn apply_difference(&mut self, left: &str, right: &str, out: &str) -> Result<()> {
+        difference(self, left, right, out)
+    }
+
+    fn apply_rename(&mut self, input: &str, from: &str, to: &str, out: &str) -> Result<()> {
+        rename(self, input, out, from, to)
+    }
+
+    fn drop_scratch(&mut self, name: &str) {
+        let _ = self.drop_relation(name);
+    }
+}
 
 /// Generate a fresh intermediate relation name that does not clash with any
 /// relation already registered in the WSD.
+///
+/// Thin wrapper over the engine-wide generator, kept for callers that
+/// allocate scratch names outside a plan execution.
 pub fn fresh_name(wsd: &Wsd, counter: &mut usize, hint: &str) -> String {
-    loop {
-        let name = format!("__{hint}{}", *counter);
-        *counter += 1;
-        if !wsd.contains_relation(&name) {
-            return name;
-        }
-    }
+    engine::fresh_scratch_name(|n| wsd.contains_relation(n), counter, hint)
 }
 
-/// Evaluate a relational-algebra query over the WSD, materializing the result
-/// as relation `out`.  Returns the name of the result relation (`out`).
+/// Evaluate a relational-algebra query over the WSD through the unified
+/// `optimize → execute` pipeline, materializing the result as relation
+/// `out`.  Returns the name of the result relation (`out`).
 pub fn evaluate_query(wsd: &mut Wsd, query: &RaExpr, out: &str) -> Result<String> {
-    let mut counter = 0usize;
-    eval_into(wsd, query, out, &mut counter)?;
-    Ok(out.to_string())
+    engine::evaluate_query(wsd, query, out)
 }
 
-fn eval_into(wsd: &mut Wsd, query: &RaExpr, out: &str, counter: &mut usize) -> Result<()> {
-    match query {
-        RaExpr::Rel(name) => {
-            if !wsd.contains_relation(name) {
-                return Err(WsError::unknown_relation(name.clone()));
-            }
-            copy(wsd, name, out)
-        }
-        RaExpr::Select { pred, input } => {
-            let in_name = fresh_name(wsd, counter, "sel_in");
-            eval_into(wsd, input, &in_name, counter)?;
-            apply_selection(wsd, &in_name, pred, out, counter)
-        }
-        RaExpr::Project { attrs, input } => {
-            let in_name = fresh_name(wsd, counter, "proj_in");
-            eval_into(wsd, input, &in_name, counter)?;
-            let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
-            project(wsd, &in_name, out, &attr_refs)
-        }
-        RaExpr::Product { left, right } => {
-            let l = fresh_name(wsd, counter, "prod_l");
-            let r = fresh_name(wsd, counter, "prod_r");
-            eval_into(wsd, left, &l, counter)?;
-            eval_into(wsd, right, &r, counter)?;
-            product(wsd, &l, &r, out)
-        }
-        RaExpr::Union { left, right } => {
-            let l = fresh_name(wsd, counter, "union_l");
-            let r = fresh_name(wsd, counter, "union_r");
-            eval_into(wsd, left, &l, counter)?;
-            eval_into(wsd, right, &r, counter)?;
-            union(wsd, &l, &r, out)
-        }
-        RaExpr::Difference { left, right } => {
-            let l = fresh_name(wsd, counter, "diff_l");
-            let r = fresh_name(wsd, counter, "diff_r");
-            eval_into(wsd, left, &l, counter)?;
-            eval_into(wsd, right, &r, counter)?;
-            difference(wsd, &l, &r, out)
-        }
-        RaExpr::Rename { from, to, input } => {
-            let in_name = fresh_name(wsd, counter, "ren_in");
-            eval_into(wsd, input, &in_name, counter)?;
-            rename(wsd, &in_name, out, from, to)
-        }
-    }
+/// Evaluate a query into a freshly named `__{hint}{n}` result relation and
+/// return that name.  The helper behind every "query a scratch copy, then
+/// read the answer off" caller (conditional confidence, repairs, medical).
+pub fn evaluate_query_fresh(wsd: &mut Wsd, query: &RaExpr, hint: &str) -> Result<String> {
+    let mut counter = 0usize;
+    let out = fresh_name(wsd, &mut counter, hint);
+    evaluate_query(wsd, query, &out)
 }
 
 /// Apply a possibly composite selection predicate to relation `src`,
@@ -92,12 +109,10 @@ fn apply_selection(
     src: &str,
     pred: &Predicate,
     out: &str,
-    counter: &mut usize,
+    temps: &mut TempNames,
 ) -> Result<()> {
     match pred {
-        Predicate::AttrConst { attr, op, value } => {
-            select_const(wsd, src, out, attr, *op, value)
-        }
+        Predicate::AttrConst { attr, op, value } => select_const(wsd, src, out, attr, *op, value),
         Predicate::AttrAttr { left, op, right } => select_attr(wsd, src, out, left, *op, right),
         Predicate::And(ps) => {
             if ps.is_empty() {
@@ -108,9 +123,9 @@ fn apply_selection(
                 let target = if i + 1 == ps.len() {
                     out.to_string()
                 } else {
-                    fresh_name(wsd, counter, "and")
+                    temps.fresh(|n| wsd.contains_relation(n), "and")
                 };
-                apply_selection(wsd, &current, p, &target, counter)?;
+                apply_selection(wsd, &current, p, &target, temps)?;
                 current = target;
             }
             Ok(())
@@ -122,13 +137,13 @@ fn apply_selection(
                 ));
             }
             if ps.len() == 1 {
-                return apply_selection(wsd, src, &ps[0], out, counter);
+                return apply_selection(wsd, src, &ps[0], out, temps);
             }
             // σ_{φ1∨…∨φk}(R) = σ_{φ1}(R) ∪ … ∪ σ_{φk}(R).
             let mut branches = Vec::with_capacity(ps.len());
             for p in ps {
-                let b = fresh_name(wsd, counter, "or");
-                apply_selection(wsd, src, p, &b, counter)?;
+                let b = temps.fresh(|n| wsd.contains_relation(n), "or");
+                apply_selection(wsd, src, p, &b, temps)?;
                 branches.push(b);
             }
             let mut acc = branches[0].clone();
@@ -136,7 +151,7 @@ fn apply_selection(
                 let target = if i + 1 == branches.len() {
                     out.to_string()
                 } else {
-                    fresh_name(wsd, counter, "or_u")
+                    temps.fresh(|n| wsd.contains_relation(n), "or_u")
                 };
                 union(wsd, &acc, b, &target)?;
                 acc = target;
@@ -145,7 +160,7 @@ fn apply_selection(
         }
         Predicate::Not(p) => {
             let pushed = negate(p)?;
-            apply_selection(wsd, src, &pushed, out, counter)
+            apply_selection(wsd, src, &pushed, out, temps)
         }
     }
 }

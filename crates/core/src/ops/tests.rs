@@ -14,8 +14,11 @@ use ws_relational::{evaluate_set, CmpOp, Predicate, RaExpr, Relation, Value};
 pub fn figure10_wsd() -> Wsd {
     let mut wsd = Wsd::new();
     wsd.register_relation("R", &["A", "B", "C"], 3).unwrap();
-    wsd.set_uniform(FieldId::new("R", 0, "A"), vec![Value::int(1), Value::int(2)])
-        .unwrap();
+    wsd.set_uniform(
+        FieldId::new("R", 0, "A"),
+        vec![Value::int(1), Value::int(2)],
+    )
+    .unwrap();
     let mut c2 = Component::new(vec![
         FieldId::new("R", 0, "B"),
         FieldId::new("R", 0, "C"),
@@ -26,8 +29,11 @@ pub fn figure10_wsd() -> Wsd {
     c2.push_row(vec![Value::int(2), Value::int(7), Value::int(4)], 0.5)
         .unwrap();
     wsd.add_component(c2).unwrap();
-    wsd.set_uniform(FieldId::new("R", 1, "A"), vec![Value::int(4), Value::int(5)])
-        .unwrap();
+    wsd.set_uniform(
+        FieldId::new("R", 1, "A"),
+        vec![Value::int(4), Value::int(5)],
+    )
+    .unwrap();
     wsd.set_certain(FieldId::new("R", 1, "C"), Value::int(0))
         .unwrap();
     wsd.set_certain(FieldId::new("R", 2, "A"), Value::int(6))
@@ -45,14 +51,20 @@ fn figure14_wsd() -> Wsd {
     let mut wsd = Wsd::new();
     wsd.register_relation("R", &["A", "B"], 2).unwrap();
     wsd.register_relation("S", &["C", "D"], 2).unwrap();
-    wsd.set_uniform(FieldId::new("R", 0, "A"), vec![Value::int(1), Value::int(2)])
-        .unwrap();
+    wsd.set_uniform(
+        FieldId::new("R", 0, "A"),
+        vec![Value::int(1), Value::int(2)],
+    )
+    .unwrap();
     let mut c = Component::new(vec![FieldId::new("R", 0, "B"), FieldId::new("R", 1, "A")]);
     c.push_row(vec![Value::int(3), Value::int(5)], 0.5).unwrap();
     c.push_row(vec![Value::int(4), Value::int(6)], 0.5).unwrap();
     wsd.add_component(c).unwrap();
-    wsd.set_uniform(FieldId::new("R", 1, "B"), vec![Value::int(7), Value::int(8)])
-        .unwrap();
+    wsd.set_uniform(
+        FieldId::new("R", 1, "B"),
+        vec![Value::int(7), Value::int(8)],
+    )
+    .unwrap();
     wsd.set_uniform(
         FieldId::new("S", 0, "C"),
         vec![Value::text("a"), Value::text("b")],

@@ -154,6 +154,116 @@ impl WorldSet {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The explicit world-enumeration backend of the unified query engine: every
+// physical operator is applied to each world separately — infeasible at
+// scale (which is the paper's point) but the semantic ground truth the
+// decomposed representations are validated against.
+// ---------------------------------------------------------------------------
+
+impl ws_relational::SchemaCatalog for WorldSet {
+    fn schema_of(&self, relation: &str) -> ws_relational::Result<Schema> {
+        let Some((db, _)) = self.worlds().first() else {
+            return Err(ws_relational::RelationalError::UnknownRelation(
+                relation.to_string(),
+            ));
+        };
+        db.relation(relation)
+            .map(|r| r.schema().clone())
+            .map_err(|_| ws_relational::RelationalError::UnknownRelation(relation.to_string()))
+    }
+
+    fn contains_relation(&self, relation: &str) -> bool {
+        self.worlds()
+            .first()
+            .map(|(db, _)| db.contains_relation(relation))
+            .unwrap_or(false)
+    }
+}
+
+/// Apply one already-planned operator expression to every world in place,
+/// storing the (set-semantics) result as `out` in each.  Worlds are mutated
+/// rather than rebuilt — a query plan applies many operators, and one
+/// world-set copy per operator (let alone per scratch drop) would dominate
+/// the oracle's cost.
+fn apply_per_world(worlds: &mut WorldSet, expr: &ws_relational::RaExpr, out: &str) -> Result<()> {
+    for (db, _) in &mut worlds.worlds {
+        let mut result = ws_relational::evaluate_set(db, expr)?;
+        let renamed = result.schema().renamed_relation(out);
+        *result.schema_mut() = renamed;
+        db.insert_relation(result);
+    }
+    Ok(())
+}
+
+impl ws_relational::QueryBackend for WorldSet {
+    type Error = WsError;
+
+    fn materialize_base(&mut self, name: &str, out: &str) -> Result<()> {
+        apply_per_world(self, &ws_relational::RaExpr::rel(name), out)
+    }
+
+    fn apply_select(
+        &mut self,
+        input: &str,
+        pred: &ws_relational::Predicate,
+        out: &str,
+        _temps: &mut ws_relational::TempNames,
+    ) -> Result<()> {
+        apply_per_world(
+            self,
+            &ws_relational::RaExpr::rel(input).select(pred.clone()),
+            out,
+        )
+    }
+
+    fn apply_project(&mut self, input: &str, attrs: &[String], out: &str) -> Result<()> {
+        apply_per_world(
+            self,
+            &ws_relational::RaExpr::rel(input).project(attrs.to_vec()),
+            out,
+        )
+    }
+
+    fn apply_product(&mut self, left: &str, right: &str, out: &str) -> Result<()> {
+        apply_per_world(
+            self,
+            &ws_relational::RaExpr::rel(left).product(ws_relational::RaExpr::rel(right)),
+            out,
+        )
+    }
+
+    fn apply_union(&mut self, left: &str, right: &str, out: &str) -> Result<()> {
+        apply_per_world(
+            self,
+            &ws_relational::RaExpr::rel(left).union(ws_relational::RaExpr::rel(right)),
+            out,
+        )
+    }
+
+    fn apply_difference(&mut self, left: &str, right: &str, out: &str) -> Result<()> {
+        apply_per_world(
+            self,
+            &ws_relational::RaExpr::rel(left).difference(ws_relational::RaExpr::rel(right)),
+            out,
+        )
+    }
+
+    fn apply_rename(&mut self, input: &str, from: &str, to: &str, out: &str) -> Result<()> {
+        apply_per_world(
+            self,
+            &ws_relational::RaExpr::rel(input).rename(from, to),
+            out,
+        )
+    }
+
+    fn drop_scratch(&mut self, name: &str) {
+        for (db, _) in &mut self.worlds {
+            db.remove_relation(name);
+        }
+    }
+}
+
 /// A world-set relation: the explicit inlined encoding of a world-set.
 #[derive(Clone, Debug)]
 pub struct WorldSetRelation {
@@ -290,7 +400,11 @@ impl WorldSetRelation {
             });
         for (name, attrs) in &self.relation_attrs {
             let attr_names: Vec<&str> = attrs.iter().map(|a| a.as_ref()).collect();
-            wsd.register_relation(name, &attr_names, *max_per_rel.get(name.as_str()).unwrap_or(&0))?;
+            wsd.register_relation(
+                name,
+                &attr_names,
+                *max_per_rel.get(name.as_str()).unwrap_or(&0),
+            )?;
         }
         let mut comp = Component::new(self.columns.clone());
         for (row, p) in &self.rows {
@@ -346,7 +460,11 @@ mod tests {
             (small_world(&[(3, 4)]), 0.7),
         ]);
         let filtered = ws
-            .filter_worlds(|db| db.relation("R").unwrap().contains(&Tuple::from_iter([3i64, 4])))
+            .filter_worlds(|db| {
+                db.relation("R")
+                    .unwrap()
+                    .contains(&Tuple::from_iter([3i64, 4]))
+            })
             .unwrap();
         assert_eq!(filtered.len(), 1);
         assert!((filtered.total_probability() - 1.0).abs() < 1e-9);

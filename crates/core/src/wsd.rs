@@ -441,7 +441,8 @@ impl Wsd {
         for (name, meta) in &self.relations {
             for t in meta.live_tuples() {
                 for a in &meta.attrs {
-                    let field = FieldId::from_parts(Arc::from(name.as_str()), TupleId(t), a.clone());
+                    let field =
+                        FieldId::from_parts(Arc::from(name.as_str()), TupleId(t), a.clone());
                     if !self.field_index.contains_key(&field) {
                         return Err(WsError::invalid(format!(
                             "field {field} of relation `{name}` is not covered"
@@ -715,8 +716,11 @@ mod tests {
             .is_err());
         // Validation notices the uncovered field R.t1.B.
         assert!(wsd.validate().is_err());
-        wsd.set_uniform(FieldId::new("R", 0, "B"), vec![Value::int(1), Value::int(2)])
-            .unwrap();
+        wsd.set_uniform(
+            FieldId::new("R", 0, "B"),
+            vec![Value::int(1), Value::int(2)],
+        )
+        .unwrap();
         wsd.validate().unwrap();
         assert_eq!(wsd.world_count(), 2);
     }
@@ -823,6 +827,9 @@ mod tests {
         let s = wsd.to_string();
         assert!(s.contains("component"));
         assert!(s.contains("R.t1.S"));
-        assert_eq!(wsd.local_worlds(&FieldId::new("R", 1, "M")).unwrap().len(), 4);
+        assert_eq!(
+            wsd.local_worlds(&FieldId::new("R", 1, "M")).unwrap().len(),
+            4
+        );
     }
 }

@@ -5,7 +5,9 @@
 //! (MayBMS) packaged WSD-based incomplete-information management:
 //!
 //! * [`relational`] — the in-memory relational substrate (stand-in for
-//!   PostgreSQL),
+//!   PostgreSQL) **and the unified query engine**: the rule-based optimizer
+//!   plus the shared executor behind every representation's
+//!   `evaluate_query` ([`relational::engine`]),
 //! * [`core`] — world-set decompositions: representation, relational algebra,
 //!   normalization, confidence computation and the chase,
 //! * [`uwsdt`] — the uniform, RDBMS-friendly representation used at scale,
@@ -17,6 +19,18 @@
 //! * [`baselines`] — or-sets, tuple-independent probabilistic databases,
 //!   c-tables, ULDB-style x-relations and the explicit world-enumeration
 //!   oracle.
+//!
+//! ## One pipeline, every backend
+//!
+//! Queries are written once as [`prelude::RaExpr`] plans and evaluated on any
+//! backend through the same `optimize → execute` pipeline (§5 of the paper):
+//! `ws_core::ops::evaluate_query` (WSDs), `ws_uwsdt::evaluate_query`
+//! (UWSDTs), `ws_urel::evaluate_query` (U-relations),
+//! `ws_baselines::query_worlds` (explicit worlds) and
+//! `ws_relational::evaluate_query` (one ordinary database) are all thin
+//! wrappers over [`relational::engine::evaluate_query`]; the
+//! `tests/engine_equivalence.rs` property test checks that the five agree
+//! with the optimizer both on and off.
 //!
 //! The repository-level `examples/` and `tests/` directories are compiled as
 //! part of this crate; see the README for a guided tour.
@@ -40,7 +54,9 @@ pub mod prelude {
     };
     pub use ws_census::CensusScenario;
     pub use ws_core::{
-        chase::{chase, AttrComparison, Dependency, EqualityGeneratingDependency, FunctionalDependency},
+        chase::{
+            chase, AttrComparison, Dependency, EqualityGeneratingDependency, FunctionalDependency,
+        },
         conditional::{conditional_conf, joint_probability, satisfaction_probability},
         confidence::{conf, possible, possible_with_confidence, TupleLevelView},
         interval::{IntervalView, ProbInterval},
@@ -48,7 +64,8 @@ pub mod prelude {
         Component, FieldId, LocalWorld, TupleId, WorldSet, WorldSetRelation, WsError, Wsd, Wsdt,
     };
     pub use ws_relational::{
-        CmpOp, Database, Predicate, RaExpr, Relation, Schema, Tuple, Value,
+        engine, evaluate_query, evaluate_query_with, CmpOp, Database, EngineConfig, Predicate,
+        QueryBackend, RaExpr, Relation, Schema, SchemaCatalog, Tuple, Value,
     };
     pub use ws_urel::{UDatabase, URelation, WsDescriptor};
     pub use ws_uwsdt::{

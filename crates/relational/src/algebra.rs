@@ -349,10 +349,8 @@ mod tests {
         assert_eq!(out.len(), 6);
         assert_eq!(out.schema().arity(), 3);
 
-        let join = RaExpr::rel("R").join(
-            RaExpr::rel("S"),
-            Predicate::cmp_attr("A", CmpOp::Lt, "C"),
-        );
+        let join =
+            RaExpr::rel("R").join(RaExpr::rel("S"), Predicate::cmp_attr("A", CmpOp::Lt, "C"));
         assert_eq!(evaluate(&d, &join).unwrap().len(), 6);
     }
 

@@ -1,0 +1,743 @@
+//! The unified query engine: one planner/optimizer pipeline over every
+//! possible-worlds backend.
+//!
+//! Section 5 of the paper stresses that the standard relational
+//! optimizations — selection pushdown, join recognition, plan sharing —
+//! remain applicable when queries are rewritten onto world-set
+//! representations.  Historically each representation layer of this
+//! repository (single-world, WSD, UWSDT, U-relations, and the explicit
+//! world-enumeration oracle) shipped its own naive plan walker over the
+//! unoptimized [`RaExpr`] tree.  This module replaces those four copies with
+//! one pipeline:
+//!
+//! ```text
+//!           RaExpr ──► optimizer::optimize (catalog-generic) ──► execute
+//!                                                                  │
+//!                 QueryBackend: physical σ π × ⋈ ∪ − δ  ◄──────────┘
+//! ```
+//!
+//! * [`SchemaCatalog`] is the structural interface the rule-based optimizer
+//!   needs: schemas of base relations, nothing else.  Every backend store
+//!   (`Database`, `Wsd`, `Uwsdt`, `UDatabase`, `WorldSet`) implements it.
+//! * [`QueryBackend`] adds the physical operators.  Each method materializes
+//!   one operator's result as a *named* relation inside the backend's own
+//!   catalog, which is what keeps correlated sub-queries correlated in the
+//!   world-set representations.
+//! * [`execute`] is the single shared executor: it walks the (optimized)
+//!   plan, allocates scratch names through [`TempNames`] (one generator for
+//!   the whole stack instead of per-crate copies), recognises equi-joins on
+//!   top of products, and guarantees that scratch relations are dropped when
+//!   evaluation fails part-way.
+//! * [`evaluate_query`] / [`evaluate_query_with`] are the entry points every
+//!   backend's `evaluate_query` now delegates to.
+//!
+//! The optimizer runs against the backend's catalog only — it never looks at
+//! rows — so a plan optimized once is valid for every backend holding the
+//! same schemas.
+
+use crate::algebra::RaExpr;
+use crate::database::Database;
+use crate::error::{RelationalError, Result};
+use crate::optimizer;
+use crate::predicate::{CmpOp, Predicate};
+use crate::relation::Relation;
+use crate::schema::Schema;
+
+/// The structural half of a backend: enough catalog information for the
+/// optimizer to reason about a plan without evaluating it.
+pub trait SchemaCatalog {
+    /// The (named-perspective) schema of a base relation.
+    fn schema_of(&self, relation: &str) -> Result<Schema>;
+
+    /// Whether the catalog currently contains a relation of this name.
+    fn contains_relation(&self, relation: &str) -> bool;
+}
+
+/// A physical query backend: a store that can materialize each
+/// relational-algebra operator as a new named relation in its catalog.
+///
+/// The shared [`execute`] drives these operators; backends only decide *how*
+/// each operator touches their representation (per-world copies, template
+/// manipulation, descriptor conjunction, …), never *in which order* the plan
+/// is evaluated.
+pub trait QueryBackend: SchemaCatalog {
+    /// The backend's error type.
+    type Error: From<RelationalError>;
+
+    /// Materialize base relation `name` under the result name `out`.
+    fn materialize_base(&mut self, name: &str, out: &str) -> std::result::Result<(), Self::Error>;
+
+    /// Selection `σ_pred(input) → out`.  Backends whose physical selection
+    /// only supports atomic comparisons can decompose composite predicates
+    /// here, drawing intermediate names from `temps`.
+    fn apply_select(
+        &mut self,
+        input: &str,
+        pred: &Predicate,
+        out: &str,
+        temps: &mut TempNames,
+    ) -> std::result::Result<(), Self::Error>;
+
+    /// Projection `π_attrs(input) → out`.
+    fn apply_project(
+        &mut self,
+        input: &str,
+        attrs: &[String],
+        out: &str,
+    ) -> std::result::Result<(), Self::Error>;
+
+    /// Product `left × right → out`.
+    fn apply_product(
+        &mut self,
+        left: &str,
+        right: &str,
+        out: &str,
+    ) -> std::result::Result<(), Self::Error>;
+
+    /// Equi-join `left ⋈_{left_attr = right_attr} right → out`.
+    ///
+    /// The default evaluates the join extensionally as a selection over the
+    /// product; backends with a real join algorithm (hash join on UWSDTs,
+    /// descriptor-conjoining join on U-relations) override this.
+    fn apply_equi_join(
+        &mut self,
+        left: &str,
+        right: &str,
+        left_attr: &str,
+        right_attr: &str,
+        out: &str,
+        temps: &mut TempNames,
+    ) -> std::result::Result<(), Self::Error> {
+        let product = temps.fresh(|n| self.contains_relation(n), "join_x");
+        self.apply_product(left, right, &product)?;
+        let pred = Predicate::cmp_attr(left_attr, CmpOp::Eq, right_attr);
+        self.apply_select(&product, &pred, out, temps)
+    }
+
+    /// Union `left ∪ right → out` (set semantics).
+    fn apply_union(
+        &mut self,
+        left: &str,
+        right: &str,
+        out: &str,
+    ) -> std::result::Result<(), Self::Error>;
+
+    /// Difference `left − right → out` (set semantics).  Backends restricted
+    /// to positive algebra (U-relations) report an unsupported-operation
+    /// error here.
+    fn apply_difference(
+        &mut self,
+        left: &str,
+        right: &str,
+        out: &str,
+    ) -> std::result::Result<(), Self::Error>;
+
+    /// Attribute renaming `δ_{from→to}(input) → out`.
+    fn apply_rename(
+        &mut self,
+        input: &str,
+        from: &str,
+        to: &str,
+        out: &str,
+    ) -> std::result::Result<(), Self::Error>;
+
+    /// Best-effort removal of a scratch relation.  Called by the executor
+    /// for every temporary it created on error paths (and, when
+    /// [`EngineConfig::drop_temps`] is set, after success as well); failures
+    /// are ignored.
+    fn drop_scratch(&mut self, name: &str);
+}
+
+/// Generate a fresh scratch-relation name `__{hint}{n}` that does not clash
+/// with any name for which `exists` returns true.
+///
+/// This is the one shared implementation of the scratch-name generators that
+/// used to be copy-pasted across `ws_core::ops`, `ws_uwsdt::query` and
+/// `ws_urel::ops`.
+pub fn fresh_scratch_name(
+    exists: impl Fn(&str) -> bool,
+    counter: &mut usize,
+    hint: &str,
+) -> String {
+    loop {
+        let name = format!("__{hint}{}", *counter);
+        *counter += 1;
+        if !exists(&name) {
+            return name;
+        }
+    }
+}
+
+/// The scratch-name allocator threaded through one plan execution.
+///
+/// Every name handed out is recorded so the executor can drop the scratch
+/// relations afterwards — in particular on error paths, where the previous
+/// per-crate translators leaked every intermediate created before the
+/// failure.
+#[derive(Debug, Default)]
+pub struct TempNames {
+    counter: usize,
+    created: Vec<String>,
+}
+
+impl TempNames {
+    /// An allocator starting at `__{hint}0`.
+    pub fn new() -> Self {
+        TempNames::default()
+    }
+
+    /// A fresh name that `exists` rejects; the name is recorded for cleanup.
+    pub fn fresh(&mut self, exists: impl Fn(&str) -> bool, hint: &str) -> String {
+        let name = fresh_scratch_name(exists, &mut self.counter, hint);
+        self.created.push(name.clone());
+        name
+    }
+
+    /// The scratch names handed out so far (in allocation order).
+    pub fn created(&self) -> &[String] {
+        &self.created
+    }
+
+    fn drain(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.created)
+    }
+}
+
+/// Knobs of the unified pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Run the rule-based optimizer before execution (default).
+    pub optimize: bool,
+    /// Recognise `σ_{A=B}(L × R)` as a physical equi-join during execution
+    /// (default).  [`EngineConfig::naive`] turns this off together with the
+    /// optimizer so the plan is evaluated exactly as written, operator by
+    /// operator — used by the cross-backend equivalence tests and by the
+    /// optimizer-ablation bench as the true unoptimized baseline.
+    pub recognize_joins: bool,
+    /// Drop scratch relations after *successful* evaluation too.
+    ///
+    /// Safe for backends whose relations are self-contained (single-world
+    /// databases, U-relations, explicit world-sets).  Component-sharing
+    /// representations (WSD, UWSDT) keep their intermediates by default:
+    /// projecting shared components away mid-stream may split local worlds
+    /// and change world counts observed by callers.  Error paths always
+    /// clean up regardless of this flag.
+    pub drop_temps: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            optimize: true,
+            recognize_joins: true,
+            drop_temps: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The default pipeline with success-path scratch cleanup enabled.
+    pub fn with_temp_cleanup() -> Self {
+        EngineConfig {
+            drop_temps: true,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// The fully naive pipeline: no plan rewriting, no join recognition —
+    /// every operator is executed exactly as written.
+    pub fn naive() -> Self {
+        EngineConfig {
+            optimize: false,
+            recognize_joins: false,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// Evaluate `query` on `backend` through the full `optimize → execute`
+/// pipeline, materializing the result as relation `out`.  Returns `out`.
+pub fn evaluate_query<B: QueryBackend>(
+    backend: &mut B,
+    query: &RaExpr,
+    out: &str,
+) -> std::result::Result<String, B::Error> {
+    evaluate_query_with(backend, query, out, EngineConfig::default())
+}
+
+/// [`evaluate_query`] with explicit [`EngineConfig`] knobs.
+pub fn evaluate_query_with<B: QueryBackend>(
+    backend: &mut B,
+    query: &RaExpr,
+    out: &str,
+    config: EngineConfig,
+) -> std::result::Result<String, B::Error> {
+    let plan = if config.optimize {
+        optimizer::optimize(backend, query).map_err(B::Error::from)?
+    } else {
+        query.clone()
+    };
+    execute_with(backend, &plan, out, config)?;
+    Ok(out.to_string())
+}
+
+/// Execute an already-planned expression on a backend (no optimization).
+pub fn execute<B: QueryBackend>(
+    backend: &mut B,
+    plan: &RaExpr,
+    out: &str,
+) -> std::result::Result<(), B::Error> {
+    execute_with(backend, plan, out, EngineConfig::default())
+}
+
+fn execute_with<B: QueryBackend>(
+    backend: &mut B,
+    plan: &RaExpr,
+    out: &str,
+    config: EngineConfig,
+) -> std::result::Result<(), B::Error> {
+    let mut temps = TempNames::new();
+    let result = eval_node(backend, plan, out, &mut temps, config);
+    if result.is_err() || config.drop_temps {
+        for name in temps.drain() {
+            backend.drop_scratch(&name);
+        }
+    }
+    result
+}
+
+fn eval_node<B: QueryBackend>(
+    backend: &mut B,
+    plan: &RaExpr,
+    out: &str,
+    temps: &mut TempNames,
+    config: EngineConfig,
+) -> std::result::Result<(), B::Error> {
+    match plan {
+        RaExpr::Rel(name) => {
+            if !backend.contains_relation(name) {
+                return Err(B::Error::from(RelationalError::UnknownRelation(
+                    name.clone(),
+                )));
+            }
+            backend.materialize_base(name, out)
+        }
+        RaExpr::Select { pred, input } => {
+            // θ-join recognition: σ_{… A=B …}(L × R) with A, B spanning the
+            // two operands becomes a physical equi-join.
+            if let (true, RaExpr::Product { left, right }) =
+                (config.recognize_joins, input.as_ref())
+            {
+                if let Some(join) =
+                    recognize_equi_join(backend, pred, left, right).map_err(B::Error::from)?
+                {
+                    let l = eval_operand(backend, left, temps, config)?;
+                    let r = eval_operand(backend, right, temps, config)?;
+                    return match join.residual {
+                        None => backend.apply_equi_join(
+                            &l,
+                            &r,
+                            &join.left_attr,
+                            &join.right_attr,
+                            out,
+                            temps,
+                        ),
+                        Some(residual) => {
+                            let joined = temps.fresh(|n| backend.contains_relation(n), "join");
+                            backend.apply_equi_join(
+                                &l,
+                                &r,
+                                &join.left_attr,
+                                &join.right_attr,
+                                &joined,
+                                temps,
+                            )?;
+                            backend.apply_select(&joined, &residual, out, temps)
+                        }
+                    };
+                }
+            }
+            let input_name = eval_operand(backend, input, temps, config)?;
+            backend.apply_select(&input_name, pred, out, temps)
+        }
+        RaExpr::Project { attrs, input } => {
+            let input_name = eval_operand(backend, input, temps, config)?;
+            backend.apply_project(&input_name, attrs, out)
+        }
+        RaExpr::Product { left, right } => {
+            let l = eval_operand(backend, left, temps, config)?;
+            let r = eval_operand(backend, right, temps, config)?;
+            backend.apply_product(&l, &r, out)
+        }
+        RaExpr::Union { left, right } => {
+            let l = eval_operand(backend, left, temps, config)?;
+            let r = eval_operand(backend, right, temps, config)?;
+            backend.apply_union(&l, &r, out)
+        }
+        RaExpr::Difference { left, right } => {
+            let l = eval_operand(backend, left, temps, config)?;
+            let r = eval_operand(backend, right, temps, config)?;
+            backend.apply_difference(&l, &r, out)
+        }
+        RaExpr::Rename { from, to, input } => {
+            let input_name = eval_operand(backend, input, temps, config)?;
+            backend.apply_rename(&input_name, from, to, out)
+        }
+    }
+}
+
+/// Evaluate an operand expression; base relations are used in place (no
+/// copy), composite expressions are materialized under a scratch name.
+fn eval_operand<B: QueryBackend>(
+    backend: &mut B,
+    expr: &RaExpr,
+    temps: &mut TempNames,
+    config: EngineConfig,
+) -> std::result::Result<String, B::Error> {
+    if let RaExpr::Rel(name) = expr {
+        if !backend.contains_relation(name) {
+            return Err(B::Error::from(RelationalError::UnknownRelation(
+                name.clone(),
+            )));
+        }
+        return Ok(name.clone());
+    }
+    let name = temps.fresh(|n| backend.contains_relation(n), hint_for(expr));
+    eval_node(backend, expr, &name, temps, config)?;
+    Ok(name)
+}
+
+fn hint_for(expr: &RaExpr) -> &'static str {
+    match expr {
+        RaExpr::Rel(_) => "rel",
+        RaExpr::Select { .. } => "sel",
+        RaExpr::Project { .. } => "proj",
+        RaExpr::Product { .. } => "prod",
+        RaExpr::Union { .. } => "union",
+        RaExpr::Difference { .. } => "diff",
+        RaExpr::Rename { .. } => "ren",
+    }
+}
+
+/// A recognized equi-join: the oriented attribute pair plus whatever part of
+/// the selection condition is not the join atom.
+struct EquiJoin {
+    left_attr: String,
+    right_attr: String,
+    residual: Option<Predicate>,
+}
+
+/// Detect `σ_{… A=B …}(L × R)` where `A` and `B` come from different
+/// operands.  Returns `None` (fall back to product + selection) when no
+/// top-level equality conjunct spans both sides.
+fn recognize_equi_join<C: SchemaCatalog + ?Sized>(
+    catalog: &C,
+    pred: &Predicate,
+    left: &RaExpr,
+    right: &RaExpr,
+) -> Result<Option<EquiJoin>> {
+    let left_attrs = optimizer::output_attrs(catalog, left)?;
+    let right_attrs = optimizer::output_attrs(catalog, right)?;
+    let conjuncts = optimizer::conjuncts(pred);
+    for (idx, conjunct) in conjuncts.iter().enumerate() {
+        let Predicate::AttrAttr {
+            left: a,
+            op: CmpOp::Eq,
+            right: b,
+        } = conjunct
+        else {
+            continue;
+        };
+        let oriented = if left_attrs.contains(a) && right_attrs.contains(b) {
+            Some((a.clone(), b.clone()))
+        } else if left_attrs.contains(b) && right_attrs.contains(a) {
+            Some((b.clone(), a.clone()))
+        } else {
+            None
+        };
+        let Some((left_attr, right_attr)) = oriented else {
+            continue;
+        };
+        let rest: Vec<Predicate> = conjuncts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != idx)
+            .map(|(_, p)| p.clone())
+            .collect();
+        let residual = if rest.is_empty() {
+            None
+        } else {
+            Some(optimizer::conjunction(rest))
+        };
+        return Ok(Some(EquiJoin {
+            left_attr,
+            right_attr,
+            residual,
+        }));
+    }
+    Ok(None)
+}
+
+// ---------------------------------------------------------------------------
+// The single-world backend: an ordinary `Database` of `Relation`s.
+// ---------------------------------------------------------------------------
+
+impl SchemaCatalog for Database {
+    fn schema_of(&self, relation: &str) -> Result<Schema> {
+        Ok(self.relation(relation)?.schema().clone())
+    }
+
+    fn contains_relation(&self, relation: &str) -> bool {
+        Database::contains_relation(self, relation)
+    }
+}
+
+impl Database {
+    fn store_as(&mut self, mut relation: Relation, out: &str) {
+        let renamed = relation.schema().renamed_relation(out);
+        *relation.schema_mut() = renamed;
+        self.insert_relation(relation);
+    }
+}
+
+impl QueryBackend for Database {
+    type Error = RelationalError;
+
+    fn materialize_base(&mut self, name: &str, out: &str) -> Result<()> {
+        let relation = self.relation(name)?.clone();
+        self.store_as(relation, out);
+        Ok(())
+    }
+
+    fn apply_select(
+        &mut self,
+        input: &str,
+        pred: &Predicate,
+        out: &str,
+        _temps: &mut TempNames,
+    ) -> Result<()> {
+        let rel = self.relation(input)?;
+        let mut result = Relation::new(rel.schema().clone());
+        for row in rel.rows() {
+            if pred.eval(rel.schema(), row)? {
+                result.push(row.clone())?;
+            }
+        }
+        self.store_as(result, out);
+        Ok(())
+    }
+
+    fn apply_project(&mut self, input: &str, attrs: &[String], out: &str) -> Result<()> {
+        let rel = self.relation(input)?;
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let positions: Vec<usize> = attr_refs
+            .iter()
+            .map(|a| rel.schema().position_of(a))
+            .collect::<Result<_>>()?;
+        let schema = rel.schema().projected(&attr_refs)?;
+        let mut result = Relation::new(schema);
+        for row in rel.rows() {
+            result.push(row.project_positions(&positions))?;
+        }
+        self.store_as(result, out);
+        Ok(())
+    }
+
+    fn apply_product(&mut self, left: &str, right: &str, out: &str) -> Result<()> {
+        let l = self.relation(left)?;
+        let r = self.relation(right)?;
+        let schema = l.schema().product(r.schema(), out)?;
+        let mut result = Relation::new(schema);
+        for lt in l.rows() {
+            for rt in r.rows() {
+                result.push(lt.concat(rt))?;
+            }
+        }
+        self.store_as(result, out);
+        Ok(())
+    }
+
+    fn apply_union(&mut self, left: &str, right: &str, out: &str) -> Result<()> {
+        let l = self.relation(left)?;
+        let r = self.relation(right)?;
+        l.schema().check_union_compatible(r.schema())?;
+        let mut result = Relation::new(l.schema().clone());
+        for row in l.rows().iter().chain(r.rows()) {
+            result.push(row.clone())?;
+        }
+        result.dedup();
+        self.store_as(result, out);
+        Ok(())
+    }
+
+    fn apply_difference(&mut self, left: &str, right: &str, out: &str) -> Result<()> {
+        let l = self.relation(left)?;
+        let r = self.relation(right)?;
+        l.schema().check_union_compatible(r.schema())?;
+        let right_rows: std::collections::HashSet<&crate::tuple::Tuple> = r.rows().iter().collect();
+        let mut result = Relation::new(l.schema().clone());
+        for row in l.rows() {
+            if !right_rows.contains(row) {
+                result.push(row.clone())?;
+            }
+        }
+        result.dedup();
+        self.store_as(result, out);
+        Ok(())
+    }
+
+    fn apply_rename(&mut self, input: &str, from: &str, to: &str, out: &str) -> Result<()> {
+        let rel = self.relation(input)?;
+        let schema = rel.schema().renamed_attr(from, to)?;
+        let result = Relation::with_rows(schema, rel.rows().to_vec())?;
+        self.store_as(result, out);
+        Ok(())
+    }
+
+    fn drop_scratch(&mut self, name: &str) {
+        let _ = self.remove_relation(name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::evaluate_set;
+    use crate::predicate::CmpOp;
+    use crate::schema::Schema;
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        let mut r = Relation::new(Schema::new("R", &["A", "B"]).unwrap());
+        for (a, b) in [(1i64, 10i64), (2, 20), (3, 10), (4, 30)] {
+            r.push_values([a, b]).unwrap();
+        }
+        d.insert_relation(r);
+        let mut s = Relation::new(Schema::new("S", &["C", "D"]).unwrap());
+        for (c, d_) in [(10i64, 7i64), (20, 8), (99, 9)] {
+            s.push_values([c, d_]).unwrap();
+        }
+        d.insert_relation(s);
+        d
+    }
+
+    fn query_suite() -> Vec<RaExpr> {
+        vec![
+            RaExpr::rel("R"),
+            RaExpr::rel("R").select(Predicate::eq_const("B", 10i64)),
+            RaExpr::rel("R")
+                .join(RaExpr::rel("S"), Predicate::cmp_attr("B", CmpOp::Eq, "C"))
+                .project(vec!["A", "D"]),
+            RaExpr::rel("R")
+                .product(RaExpr::rel("S"))
+                .select(Predicate::and(vec![
+                    Predicate::cmp_attr("C", CmpOp::Eq, "B"),
+                    Predicate::cmp_const("A", CmpOp::Gt, 1i64),
+                ])),
+            RaExpr::rel("R")
+                .project(vec!["B"])
+                .union(RaExpr::rel("S").rename("C", "B").project(vec!["B"])),
+            RaExpr::rel("R")
+                .project(vec!["B"])
+                .difference(RaExpr::rel("S").rename("C", "B").project(vec!["B"])),
+            RaExpr::rel("R")
+                .rename("A", "A2")
+                .select(Predicate::cmp_const("A2", CmpOp::Ge, 3i64)),
+        ]
+    }
+
+    #[test]
+    fn engine_matches_the_reference_evaluator_on_databases() {
+        for (i, query) in query_suite().into_iter().enumerate() {
+            let reference = evaluate_set(&db(), &query).unwrap();
+            for config in [
+                EngineConfig::default(),
+                EngineConfig::naive(),
+                EngineConfig::with_temp_cleanup(),
+            ] {
+                let mut backend = db();
+                let out = evaluate_query_with(&mut backend, &query, "OUT", config).unwrap();
+                let mut result = backend.relation(&out).unwrap().clone();
+                result.dedup();
+                assert!(
+                    reference.set_eq(&result),
+                    "query #{i} {query}: {reference} vs {result} (config {config:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn temp_cleanup_leaves_only_base_relations_and_the_result() {
+        let mut backend = db();
+        let query = query_suite().remove(3);
+        evaluate_query_with(
+            &mut backend,
+            &query,
+            "OUT",
+            EngineConfig::with_temp_cleanup(),
+        )
+        .unwrap();
+        let mut names = backend.relation_names();
+        names.sort_unstable();
+        assert_eq!(names, vec!["OUT", "R", "S"]);
+    }
+
+    #[test]
+    fn scratch_relations_are_dropped_on_error() {
+        let mut backend = db();
+        // The union is incompatible (arity 1 vs 2) and fails *after* both
+        // operands have been materialized as scratch relations.
+        let query = RaExpr::rel("R")
+            .project(vec!["A"])
+            .union(RaExpr::rel("S").select(Predicate::eq_const("C", 10i64)));
+        let before = backend.relation_names().len();
+        assert!(evaluate_query_with(&mut backend, &query, "OUT", EngineConfig::naive()).is_err());
+        assert_eq!(backend.relation_names().len(), before, "no leaked scratch");
+    }
+
+    #[test]
+    fn unknown_relations_are_reported() {
+        let mut backend = db();
+        let err = evaluate_query(&mut backend, &RaExpr::rel("NOPE"), "OUT");
+        assert!(matches!(err, Err(RelationalError::UnknownRelation(_))));
+    }
+
+    #[test]
+    fn equi_join_recognition_orients_and_splits_residuals() {
+        let backend = db();
+        let pred = Predicate::and(vec![
+            Predicate::cmp_const("A", CmpOp::Gt, 0i64),
+            Predicate::cmp_attr("C", CmpOp::Eq, "B"),
+        ]);
+        let join = recognize_equi_join(&backend, &pred, &RaExpr::rel("R"), &RaExpr::rel("S"))
+            .unwrap()
+            .expect("join recognized");
+        assert_eq!(
+            (join.left_attr.as_str(), join.right_attr.as_str()),
+            ("B", "C")
+        );
+        assert!(join.residual.is_some());
+
+        // A same-side equality is not a join condition.
+        let local = Predicate::cmp_attr("A", CmpOp::Eq, "B");
+        assert!(
+            recognize_equi_join(&backend, &local, &RaExpr::rel("R"), &RaExpr::rel("S"))
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn fresh_scratch_names_skip_existing_relations() {
+        let mut counter = 0;
+        let taken = ["__t0".to_string(), "__t1".to_string()];
+        let name = fresh_scratch_name(|n| taken.contains(&n.to_string()), &mut counter, "t");
+        assert_eq!(name, "__t2");
+        let mut temps = TempNames::new();
+        let a = temps.fresh(|_| false, "q");
+        let b = temps.fresh(|_| false, "q");
+        assert_ne!(a, b);
+        assert_eq!(temps.created(), &[a, b]);
+    }
+}

@@ -12,8 +12,13 @@
 //!   operators used in the paper (selection, projection, product, union,
 //!   difference, renaming) and a straightforward single-world evaluator,
 //! * hash [`Index`]es used by the higher layers for join and chase
-//!   acceleration, and
-//! * a [`Database`] catalog mapping relation names to relations.
+//!   acceleration,
+//! * a [`Database`] catalog mapping relation names to relations, and
+//! * the **unified query engine** ([`engine`]): the [`QueryBackend`] trait,
+//!   the shared plan executor and the catalog-generic rule-based
+//!   [`optimizer`] that every possible-worlds representation of this
+//!   repository (single-world, WSD, UWSDT, U-relations, explicit worlds)
+//!   evaluates queries through.
 //!
 //! Everything in the world-set stack (`ws-core`, `ws-uwsdt`, `ws-census`,
 //! `ws-baselines`) is built on top of these types; the single-world evaluator
@@ -22,6 +27,7 @@
 
 pub mod algebra;
 pub mod database;
+pub mod engine;
 pub mod error;
 pub mod index;
 pub mod optimizer;
@@ -32,10 +38,14 @@ pub mod tuple;
 pub mod value;
 
 pub use algebra::{evaluate, evaluate_checked, evaluate_set, RaExpr};
-pub use optimizer::{estimated_cost, estimated_rows, evaluate_optimized, optimize, output_attrs};
 pub use database::Database;
+pub use engine::{
+    evaluate_query, evaluate_query_with, execute, EngineConfig, QueryBackend, SchemaCatalog,
+    TempNames,
+};
 pub use error::{RelationalError, Result};
 pub use index::Index;
+pub use optimizer::{estimated_cost, estimated_rows, evaluate_optimized, optimize, output_attrs};
 pub use predicate::{CmpOp, Predicate};
 pub use relation::Relation;
 pub use schema::{AttrName, RelName, Schema};

@@ -26,31 +26,38 @@ use std::collections::BTreeSet;
 
 use crate::algebra::{evaluate, RaExpr};
 use crate::database::Database;
+use crate::engine::SchemaCatalog;
 use crate::error::Result;
 use crate::predicate::Predicate;
 use crate::relation::Relation;
 
 /// The attribute names an expression produces, computed structurally (without
-/// evaluating the plan).  Base relations are resolved against `db`.
-pub fn output_attrs(db: &Database, expr: &RaExpr) -> Result<BTreeSet<String>> {
+/// evaluating the plan).  Base relations are resolved against the catalog of
+/// any backend — a one-world [`Database`], a WSD, a UWSDT, a U-relation
+/// store or an explicit world-set.
+pub fn output_attrs<C: SchemaCatalog + ?Sized>(
+    catalog: &C,
+    expr: &RaExpr,
+) -> Result<BTreeSet<String>> {
     Ok(match expr {
-        RaExpr::Rel(name) => db
-            .relation(name)?
-            .schema()
+        RaExpr::Rel(name) => catalog
+            .schema_of(name)?
             .attrs()
             .iter()
             .map(|a| a.to_string())
             .collect(),
-        RaExpr::Select { input, .. } => output_attrs(db, input)?,
+        RaExpr::Select { input, .. } => output_attrs(catalog, input)?,
         RaExpr::Project { attrs, .. } => attrs.iter().cloned().collect(),
         RaExpr::Product { left, right } => {
-            let mut l = output_attrs(db, left)?;
-            l.extend(output_attrs(db, right)?);
+            let mut l = output_attrs(catalog, left)?;
+            l.extend(output_attrs(catalog, right)?);
             l
         }
-        RaExpr::Union { left, .. } | RaExpr::Difference { left, .. } => output_attrs(db, left)?,
+        RaExpr::Union { left, .. } | RaExpr::Difference { left, .. } => {
+            output_attrs(catalog, left)?
+        }
         RaExpr::Rename { from, to, input } => {
-            let mut attrs = output_attrs(db, input)?;
+            let mut attrs = output_attrs(catalog, input)?;
             if attrs.remove(from) {
                 attrs.insert(to.clone());
             }
@@ -65,14 +72,26 @@ pub fn output_attrs(db: &Database, expr: &RaExpr) -> Result<BTreeSet<String>> {
 pub fn rename_pred_attr(pred: &Predicate, from: &str, to: &str) -> Predicate {
     match pred {
         Predicate::AttrConst { attr, op, value } => Predicate::AttrConst {
-            attr: if attr == from { to.to_string() } else { attr.clone() },
+            attr: if attr == from {
+                to.to_string()
+            } else {
+                attr.clone()
+            },
             op: *op,
             value: value.clone(),
         },
         Predicate::AttrAttr { left, op, right } => Predicate::AttrAttr {
-            left: if left == from { to.to_string() } else { left.clone() },
+            left: if left == from {
+                to.to_string()
+            } else {
+                left.clone()
+            },
             op: *op,
-            right: if right == from { to.to_string() } else { right.clone() },
+            right: if right == from {
+                to.to_string()
+            } else {
+                right.clone()
+            },
         },
         Predicate::And(ps) => {
             Predicate::And(ps.iter().map(|p| rename_pred_attr(p, from, to)).collect())
@@ -111,11 +130,11 @@ fn is_subset(needed: &[&str], available: &BTreeSet<String>) -> bool {
 
 /// One bottom-up rewriting pass.  Returns the rewritten expression and a flag
 /// indicating whether anything changed.
-fn rewrite_once(db: &Database, expr: &RaExpr) -> Result<(RaExpr, bool)> {
+fn rewrite_once<C: SchemaCatalog + ?Sized>(catalog: &C, expr: &RaExpr) -> Result<(RaExpr, bool)> {
     match expr {
         RaExpr::Rel(_) => Ok((expr.clone(), false)),
         RaExpr::Select { pred, input } => {
-            let (input, mut changed) = rewrite_once(db, input)?;
+            let (input, mut changed) = rewrite_once(catalog, input)?;
             // Merge with an inner selection first: σ_p(σ_q(E)) = σ_{p∧q}(E).
             let (pred, input) = if let RaExpr::Select {
                 pred: inner_pred,
@@ -135,7 +154,7 @@ fn rewrite_once(db: &Database, expr: &RaExpr) -> Result<(RaExpr, bool)> {
             let mut pushed_any = false;
             let mut new_input = input;
             for conjunct in conjuncts(&pred) {
-                match push_conjunct(db, conjunct, new_input)? {
+                match push_conjunct(catalog, conjunct, new_input)? {
                     (next_input, None) => {
                         pushed_any = true;
                         new_input = next_input;
@@ -158,7 +177,7 @@ fn rewrite_once(db: &Database, expr: &RaExpr) -> Result<(RaExpr, bool)> {
             Ok((result, changed))
         }
         RaExpr::Project { attrs, input } => {
-            let (input, mut changed) = rewrite_once(db, input)?;
+            let (input, mut changed) = rewrite_once(catalog, input)?;
             // π_U(π_V(E)) = π_U(E) whenever the outer list is valid, which it
             // must be for the plan to type-check.
             let input = if let RaExpr::Project {
@@ -179,8 +198,8 @@ fn rewrite_once(db: &Database, expr: &RaExpr) -> Result<(RaExpr, bool)> {
             ))
         }
         RaExpr::Product { left, right } => {
-            let (l, cl) = rewrite_once(db, left)?;
-            let (r, cr) = rewrite_once(db, right)?;
+            let (l, cl) = rewrite_once(catalog, left)?;
+            let (r, cr) = rewrite_once(catalog, right)?;
             Ok((
                 RaExpr::Product {
                     left: Box::new(l),
@@ -190,8 +209,8 @@ fn rewrite_once(db: &Database, expr: &RaExpr) -> Result<(RaExpr, bool)> {
             ))
         }
         RaExpr::Union { left, right } => {
-            let (l, cl) = rewrite_once(db, left)?;
-            let (r, cr) = rewrite_once(db, right)?;
+            let (l, cl) = rewrite_once(catalog, left)?;
+            let (r, cr) = rewrite_once(catalog, right)?;
             Ok((
                 RaExpr::Union {
                     left: Box::new(l),
@@ -201,8 +220,8 @@ fn rewrite_once(db: &Database, expr: &RaExpr) -> Result<(RaExpr, bool)> {
             ))
         }
         RaExpr::Difference { left, right } => {
-            let (l, cl) = rewrite_once(db, left)?;
-            let (r, cr) = rewrite_once(db, right)?;
+            let (l, cl) = rewrite_once(catalog, left)?;
+            let (r, cr) = rewrite_once(catalog, right)?;
             Ok((
                 RaExpr::Difference {
                     left: Box::new(l),
@@ -212,7 +231,7 @@ fn rewrite_once(db: &Database, expr: &RaExpr) -> Result<(RaExpr, bool)> {
             ))
         }
         RaExpr::Rename { from, to, input } => {
-            let (input, changed) = rewrite_once(db, input)?;
+            let (input, changed) = rewrite_once(catalog, input)?;
             Ok((
                 RaExpr::Rename {
                     from: from.clone(),
@@ -229,8 +248,8 @@ fn rewrite_once(db: &Database, expr: &RaExpr) -> Result<(RaExpr, bool)> {
 ///
 /// Returns the (possibly rewritten) input together with `None` if the
 /// conjunct was absorbed below, or `Some(conjunct)` if it has to stay above.
-fn push_conjunct(
-    db: &Database,
+fn push_conjunct<C: SchemaCatalog + ?Sized>(
+    catalog: &C,
     conjunct: Predicate,
     input: RaExpr,
 ) -> Result<(RaExpr, Option<Predicate>)> {
@@ -242,8 +261,8 @@ fn push_conjunct(
     let needed_refs: Vec<&str> = needed.iter().map(String::as_str).collect();
     match input {
         RaExpr::Product { left, right } => {
-            let left_attrs = output_attrs(db, &left)?;
-            let right_attrs = output_attrs(db, &right)?;
+            let left_attrs = output_attrs(catalog, &left)?;
+            let right_attrs = output_attrs(catalog, &right)?;
             if is_subset(&needed_refs, &left_attrs) {
                 Ok((
                     RaExpr::Product {
@@ -310,11 +329,11 @@ fn push_conjunct(
 ///
 /// The rewriting is bounded by the plan size, so this always terminates; in
 /// practice two or three passes suffice.
-pub fn optimize(db: &Database, expr: &RaExpr) -> Result<RaExpr> {
+pub fn optimize<C: SchemaCatalog + ?Sized>(catalog: &C, expr: &RaExpr) -> Result<RaExpr> {
     let mut current = expr.clone();
     let bound = expr.node_count() + 4;
     for _ in 0..bound {
-        let (next, changed) = rewrite_once(db, &current)?;
+        let (next, changed) = rewrite_once(catalog, &current)?;
         current = next;
         if !changed {
             break;
@@ -395,11 +414,13 @@ mod tests {
         let mut db = Database::new();
         let mut r = Relation::new(Schema::new("R", &["A", "B"]).unwrap());
         for (a, b) in [(1, 10), (2, 20), (3, 30), (4, 20)] {
-            r.push(Tuple::from_iter([Value::int(a), Value::int(b)])).unwrap();
+            r.push(Tuple::from_iter([Value::int(a), Value::int(b)]))
+                .unwrap();
         }
         let mut s = Relation::new(Schema::new("S", &["C", "D"]).unwrap());
         for (c, d) in [(10, 7), (20, 8), (99, 9)] {
-            s.push(Tuple::from_iter([Value::int(c), Value::int(d)])).unwrap();
+            s.push(Tuple::from_iter([Value::int(c), Value::int(d)]))
+                .unwrap();
         }
         db.insert_relation(r);
         db.insert_relation(s);
@@ -409,11 +430,13 @@ mod tests {
     fn sample_queries() -> Vec<RaExpr> {
         vec![
             // σ over a product with a join conjunct and two pushable conjuncts.
-            RaExpr::rel("R").product(RaExpr::rel("S")).select(Predicate::and(vec![
-                Predicate::cmp_attr("B", CmpOp::Eq, "C"),
-                Predicate::cmp_const("A", CmpOp::Gt, 1i64),
-                Predicate::cmp_const("D", CmpOp::Lt, 9i64),
-            ])),
+            RaExpr::rel("R")
+                .product(RaExpr::rel("S"))
+                .select(Predicate::and(vec![
+                    Predicate::cmp_attr("B", CmpOp::Eq, "C"),
+                    Predicate::cmp_const("A", CmpOp::Gt, 1i64),
+                    Predicate::cmp_const("D", CmpOp::Lt, 9i64),
+                ])),
             // Stacked selections and projections.
             RaExpr::rel("R")
                 .select(Predicate::cmp_const("A", CmpOp::Ge, 2i64))

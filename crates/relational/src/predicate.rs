@@ -144,6 +144,7 @@ impl Predicate {
     }
 
     /// Negation helper.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(pred: Predicate) -> Predicate {
         Predicate::Not(Box::new(pred))
     }

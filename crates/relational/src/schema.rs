@@ -98,7 +98,12 @@ impl Schema {
     pub fn renamed_attr(&self, from: &str, to: impl AsRef<str>) -> Result<Schema> {
         let pos = self.position_of(from)?;
         let new_attr = name(to);
-        if self.attrs.iter().enumerate().any(|(i, a)| i != pos && *a == new_attr) {
+        if self
+            .attrs
+            .iter()
+            .enumerate()
+            .any(|(i, a)| i != pos && *a == new_attr)
+        {
             return Err(RelationalError::DuplicateAttribute(new_attr.to_string()));
         }
         let mut attrs = self.attrs.clone();

@@ -25,6 +25,7 @@ impl Tuple {
     }
 
     /// Create a tuple from anything convertible to values.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I, V>(values: I) -> Self
     where
         I: IntoIterator<Item = V>,

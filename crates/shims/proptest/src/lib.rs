@@ -1,0 +1,318 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset used by the repository's property tests: the
+//! [`Strategy`] trait with `prop_map`, integer-range and tuple strategies,
+//! [`collection::vec`] / [`collection::btree_set`], [`ProptestConfig`], and
+//! the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with the
+//! generated input's `Debug` representation.  Generation is deterministic
+//! (fixed seed per test function), so failures reproduce across runs.
+
+use rand::prelude::*;
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic generation source handed to strategies.
+pub struct TestRng(pub StdRng);
+
+impl TestRng {
+    /// A deterministic RNG; `salt` separates the streams of different tests.
+    pub fn deterministic(salt: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(0x5EED ^ salt))
+    }
+}
+
+/// A value generator (API subset of proptest's `Strategy`).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i64, i32, u64, u32, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// Sizes accepted by the collection strategies: an exact length, `a..b`, or
+/// `a..=b`.
+pub trait IntoSizeRange {
+    /// Lower and upper bound (inclusive) of the collection size.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Collection strategies (`proptest::collection` subset).
+pub mod collection {
+    use super::*;
+
+    /// Strategy producing `Vec`s of `element` values.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// A vector with a size drawn from `size` and elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.0.gen_range(self.min..=self.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeSet`s of `element` values.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// A set with a size drawn from `size`; generation retries duplicates a
+    /// bounded number of times, so the requested minimum must be reachable
+    /// within the element strategy's support.
+    pub fn btree_set<S>(element: S, size: impl IntoSizeRange) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        let (min, max) = size.bounds();
+        BTreeSetStrategy { element, min, max }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng.0.gen_range(self.min..=self.max);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < 64 * (target + 1) {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            assert!(
+                out.len() >= self.min,
+                "btree_set strategy could not reach the minimum size {} (support too small?)",
+                self.min
+            );
+            out
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy};
+}
+
+/// Run `cases` deterministic cases of one property.
+pub fn run_property<S: Strategy, F: FnMut(S::Value)>(
+    config: &ProptestConfig,
+    salt: u64,
+    strategy: &S,
+    mut body: F,
+) {
+    let mut rng = TestRng::deterministic(salt);
+    for _ in 0..config.cases {
+        body(strategy.generate(&mut rng));
+    }
+}
+
+/// A cheap deterministic hash used to give every test its own RNG stream.
+pub fn salt_of(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    })
+}
+
+/// The `proptest!` macro: an optional `#![proptest_config(...)]` attribute
+/// followed by `#[test] fn name(binding in strategy) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $( #[test] fn $name:ident($arg:ident in $strategy:expr) $body:block )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategy = $strategy;
+                $crate::run_property(
+                    &config,
+                    $crate::salt_of(stringify!($name)),
+                    &strategy,
+                    |$arg| $body,
+                );
+            }
+        )*
+    };
+}
+
+/// `prop_assert!`: assert within a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `prop_assert_eq!`: assert equality within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn pairs() -> impl Strategy<Value = Vec<(i64, i64)>> {
+        crate::collection::vec((0i64..5, 0i64..5), 0..6)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn generated_values_respect_bounds(rows in pairs()) {
+            prop_assert!(rows.len() < 6);
+            for (a, b) in rows {
+                prop_assert!((0..5).contains(&a), "a = {a}");
+                prop_assert!((0..5).contains(&b));
+            }
+        }
+
+        #[test]
+        fn sets_respect_sizes(s in crate::collection::btree_set(0i64..4, 1..=3)) {
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(x in (0i64..10).prop_map(|v| v * 2)) {
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

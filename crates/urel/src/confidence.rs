@@ -33,12 +33,7 @@ pub fn conf(udb: &UDatabase, relation: &str, tuple: &Tuple) -> Result<f64> {
 }
 
 /// Exact confidence with an explicit enumeration budget.
-pub fn conf_with_limit(
-    udb: &UDatabase,
-    relation: &str,
-    tuple: &Tuple,
-    limit: u128,
-) -> Result<f64> {
+pub fn conf_with_limit(udb: &UDatabase, relation: &str, tuple: &Tuple, limit: u128) -> Result<f64> {
     let descriptors = udb.relation(relation)?.descriptors_of(tuple);
     if descriptors.is_empty() {
         return Ok(0.0);
@@ -161,7 +156,10 @@ mod tests {
         for (value, expected) in [(185i64, 0.6), (186, 0.6), (785, 0.8)] {
             let t = Tuple::from_iter([Value::int(value)]);
             let c = conf(&udb, "Q", &t).unwrap();
-            assert!((c - expected).abs() < 1e-9, "conf({value}) = {c}, want {expected}");
+            assert!(
+                (c - expected).abs() < 1e-9,
+                "conf({value}) = {c}, want {expected}"
+            );
         }
     }
 
@@ -194,9 +192,8 @@ mod tests {
         assert!(conf(&udb, "NOPE", &absent).is_err());
 
         // A certain tuple (empty descriptor) has confidence one.
-        let mut rel = ws_relational::Relation::new(
-            ws_relational::Schema::new("S", &["X"]).unwrap(),
-        );
+        let mut rel =
+            ws_relational::Relation::new(ws_relational::Schema::new("S", &["X"]).unwrap());
         rel.push_values([5i64]).unwrap();
         let mut wsd = ws_core::Wsd::new();
         wsd.add_certain_relation(&rel).unwrap();

@@ -158,7 +158,8 @@ mod tests {
         // ternary variable.
         let mut wsd = Wsd::new();
         wsd.register_relation("T", &["A", "B"], 1).unwrap();
-        wsd.set_certain(FieldId::new("T", 0, "A"), Value::int(7)).unwrap();
+        wsd.set_certain(FieldId::new("T", 0, "A"), Value::int(7))
+            .unwrap();
         wsd.set_uniform(
             FieldId::new("T", 0, "B"),
             vec![Value::int(1), Value::int(2), Value::int(3)],

@@ -134,10 +134,16 @@ mod tests {
             .add_variable("x", vec![0.3, 0.7])
             .unwrap();
         let mut r = URelation::new(Schema::new("R", &["A"]).unwrap());
-        r.push(Tuple::from_iter([Value::int(1)]), WsDescriptor::bind("x", 0))
-            .unwrap();
-        r.push(Tuple::from_iter([Value::int(2)]), WsDescriptor::bind("x", 1))
-            .unwrap();
+        r.push(
+            Tuple::from_iter([Value::int(1)]),
+            WsDescriptor::bind("x", 0),
+        )
+        .unwrap();
+        r.push(
+            Tuple::from_iter([Value::int(2)]),
+            WsDescriptor::bind("x", 1),
+        )
+        .unwrap();
         r.push(Tuple::from_iter([Value::int(3)]), WsDescriptor::empty())
             .unwrap();
         db.insert_relation(r);
@@ -164,13 +170,19 @@ mod tests {
         let mut db = sample();
         assert!(db.validate().is_ok());
         let mut bad = URelation::new(Schema::new("S", &["B"]).unwrap());
-        bad.push(Tuple::from_iter([Value::int(9)]), WsDescriptor::bind("x", 5))
-            .unwrap();
+        bad.push(
+            Tuple::from_iter([Value::int(9)]),
+            WsDescriptor::bind("x", 5),
+        )
+        .unwrap();
         db.insert_relation(bad);
         assert!(db.validate().is_err());
         let mut unknown = URelation::new(Schema::new("T", &["C"]).unwrap());
         unknown
-            .push(Tuple::from_iter([Value::int(9)]), WsDescriptor::bind("z", 0))
+            .push(
+                Tuple::from_iter([Value::int(9)]),
+                WsDescriptor::bind("z", 0),
+            )
             .unwrap();
         db.remove_relation("S");
         db.insert_relation(unknown);

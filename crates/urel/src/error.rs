@@ -80,8 +80,12 @@ mod tests {
 
     #[test]
     fn display_messages_mention_the_offender() {
-        assert!(UrelError::UnknownRelation("R".into()).to_string().contains("R"));
-        assert!(UrelError::UnknownVariable("x".into()).to_string().contains("x"));
+        assert!(UrelError::UnknownRelation("R".into())
+            .to_string()
+            .contains("R"));
+        assert!(UrelError::UnknownVariable("x".into())
+            .to_string()
+            .contains("x"));
         assert!(UrelError::invalid("bad").to_string().contains("bad"));
         assert!(UrelError::Unsupported("difference".into())
             .to_string()

@@ -32,7 +32,9 @@ pub mod ops;
 pub mod urelation;
 pub mod world;
 
-pub use confidence::{approx_conf, conf, expected_cardinality, is_certain, possible_with_confidence};
+pub use confidence::{
+    approx_conf, conf, expected_cardinality, is_certain, possible_with_confidence,
+};
 pub use convert::from_wsd;
 pub use database::UDatabase;
 pub use descriptor::WsDescriptor;

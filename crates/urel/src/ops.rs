@@ -8,12 +8,16 @@
 //! descriptors are only *conjoined pairwise* (product/join) or copied
 //! (selection, projection, union, renaming), never expanded.
 //!
-//! The operators here mirror the named-perspective algebra of
-//! [`ws_relational::RaExpr`]; the non-positive difference operator is
-//! deliberately unsupported (the paper evaluates differences via conditional
-//! confidence instead — see `ws_core::conditional`).
+//! The physical operators here mirror the named-perspective algebra of
+//! [`ws_relational::RaExpr`]; plan walking, optimization and θ-join
+//! recognition live in the shared engine ([`ws_relational::engine`]), which
+//! drives the [`QueryBackend`] implementation on [`UDatabase`].  The
+//! non-positive difference operator is deliberately unsupported (the paper
+//! evaluates differences via conditional confidence instead — see
+//! `ws_core::conditional`).
 
-use ws_relational::{Predicate, RaExpr, Schema, Tuple};
+use ws_relational::engine::{self, EngineConfig, QueryBackend, SchemaCatalog, TempNames};
+use ws_relational::{CmpOp, Predicate, RaExpr, RelationalError, Schema, Tuple};
 
 use crate::database::UDatabase;
 use crate::error::{Result, UrelError};
@@ -115,115 +119,130 @@ pub fn rename(udb: &UDatabase, src: &str, from: &str, to: &str) -> Result<URelat
     Ok(out)
 }
 
-/// Evaluate a positive relational-algebra expression bottom-up, returning the
-/// resulting U-relation (not yet registered in the catalog).
-pub fn eval_expr(udb: &UDatabase, expr: &RaExpr) -> Result<URelation> {
-    match expr {
-        RaExpr::Rel(name) => Ok(udb.relation(name)?.clone()),
-        RaExpr::Select { pred, input } => {
-            let rel = eval_into(udb, input, "__urel_sel")?;
-            filtered(&rel, pred)
-        }
-        RaExpr::Project { attrs, input } => {
-            let rel = eval_into(udb, input, "__urel_proj")?;
-            let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
-            let positions: Vec<usize> = attr_refs
-                .iter()
-                .map(|a| rel.schema().position_of(a))
-                .collect::<std::result::Result<_, _>>()?;
-            let schema = rel.schema().projected(&attr_refs)?;
-            let mut out = URelation::new(schema);
-            for (tuple, descriptor) in rel.rows() {
-                out.push(tuple.project_positions(&positions), descriptor.clone())?;
-            }
-            out.absorb();
-            Ok(out)
-        }
-        RaExpr::Product { left, right } => {
-            let l = eval_into(udb, left, "__urel_l")?;
-            let r = eval_into(udb, right, "__urel_r")?;
-            let schema = l.schema().product(r.schema(), "__urel_prod")?;
-            let mut out = URelation::new(schema);
-            for (lt, ld) in l.rows() {
-                for (rt, rd) in r.rows() {
-                    if let Some(descriptor) = ld.conjoin(rd) {
-                        out.push(lt.concat(rt), descriptor)?;
-                    }
-                }
-            }
-            Ok(out)
-        }
-        RaExpr::Union { left, right } => {
-            let l = eval_into(udb, left, "__urel_l")?;
-            let r = eval_into(udb, right, "__urel_r")?;
-            l.schema().check_union_compatible(r.schema())?;
-            let mut out = URelation::new(l.schema().clone());
-            for (tuple, descriptor) in l.rows().iter().chain(r.rows()) {
-                out.push(tuple.clone(), descriptor.clone())?;
-            }
-            out.absorb();
-            Ok(out)
-        }
-        RaExpr::Difference { .. } => Err(UrelError::Unsupported(
+impl UDatabase {
+    /// Register a computed U-relation in the catalog under the name `out`.
+    fn store_as(&mut self, mut relation: URelation, out: &str) -> Result<()> {
+        let renamed = relation.schema().renamed_relation(out);
+        relation.set_schema(renamed)?;
+        self.insert_relation(relation);
+        Ok(())
+    }
+}
+
+impl SchemaCatalog for UDatabase {
+    fn schema_of(&self, relation: &str) -> ws_relational::Result<Schema> {
+        self.relation(relation)
+            .map(|r| r.schema().clone())
+            .map_err(|_| RelationalError::UnknownRelation(relation.to_string()))
+    }
+
+    fn contains_relation(&self, relation: &str) -> bool {
+        UDatabase::contains_relation(self, relation)
+    }
+}
+
+impl QueryBackend for UDatabase {
+    type Error = UrelError;
+
+    fn materialize_base(&mut self, name: &str, out: &str) -> Result<()> {
+        let relation = self.relation(name)?.clone();
+        self.store_as(relation, out)
+    }
+
+    fn apply_select(
+        &mut self,
+        input: &str,
+        pred: &Predicate,
+        out: &str,
+        _temps: &mut TempNames,
+    ) -> Result<()> {
+        let result = select(self, input, pred)?;
+        self.store_as(result, out)
+    }
+
+    fn apply_project(&mut self, input: &str, attrs: &[String], out: &str) -> Result<()> {
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let result = project(self, input, &attr_refs)?;
+        self.store_as(result, out)
+    }
+
+    fn apply_product(&mut self, left: &str, right: &str, out: &str) -> Result<()> {
+        let result = product(self, left, right, out)?;
+        self.store_as(result, out)
+    }
+
+    fn apply_equi_join(
+        &mut self,
+        left: &str,
+        right: &str,
+        left_attr: &str,
+        right_attr: &str,
+        out: &str,
+        _temps: &mut TempNames,
+    ) -> Result<()> {
+        let pred = Predicate::cmp_attr(left_attr, CmpOp::Eq, right_attr);
+        let result = join(self, left, right, out, &pred)?;
+        self.store_as(result, out)
+    }
+
+    fn apply_union(&mut self, left: &str, right: &str, out: &str) -> Result<()> {
+        let result = union(self, left, right)?;
+        self.store_as(result, out)
+    }
+
+    fn apply_difference(&mut self, _left: &str, _right: &str, _out: &str) -> Result<()> {
+        Err(UrelError::Unsupported(
             "relational difference is not a positive operator; \
              compute it via conditional confidence (ws_core::conditional) instead"
                 .to_string(),
-        )),
-        RaExpr::Rename { from, to, input } => {
-            let rel = eval_into(udb, input, "__urel_ren")?;
-            let schema = rel.schema().renamed_attr(from, to.as_str())?;
-            let mut out = URelation::new(schema);
-            for (tuple, descriptor) in rel.rows() {
-                out.push(tuple.clone(), descriptor.clone())?;
-            }
-            Ok(out)
-        }
+        ))
+    }
+
+    fn apply_rename(&mut self, input: &str, from: &str, to: &str, out: &str) -> Result<()> {
+        let result = rename(self, input, from, to)?;
+        self.store_as(result, out)
+    }
+
+    fn drop_scratch(&mut self, name: &str) {
+        let _ = self.remove_relation(name);
     }
 }
 
-/// Evaluate a query and register its result under `out` in the catalog,
-/// returning the (final) relation name.
+/// Evaluate a query through the unified `optimize → execute` pipeline and
+/// register its result under `out` in the catalog, returning the (final)
+/// relation name.  Scratch relations are dropped on success and on error —
+/// U-relations are self-contained, so cleanup cannot perturb the world
+/// table.
 pub fn evaluate_query(udb: &mut UDatabase, query: &RaExpr, out: &str) -> Result<String> {
-    let mut result = eval_expr(udb, query)?;
-    let attrs: Vec<String> = result
-        .schema()
-        .attrs()
-        .iter()
-        .map(|a| a.to_string())
-        .collect();
-    let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
-    result.set_schema(Schema::new(out, &attr_refs)?)?;
-    udb.insert_relation(result);
-    Ok(out.to_string())
+    engine::evaluate_query_with(udb, query, out, EngineConfig::with_temp_cleanup())
 }
 
-fn eval_into(udb: &UDatabase, expr: &RaExpr, _hint: &str) -> Result<URelation> {
-    eval_expr(udb, expr)
-}
-
-fn filtered(rel: &URelation, pred: &Predicate) -> Result<URelation> {
-    let mut out = URelation::new(rel.schema().clone());
-    for (tuple, descriptor) in rel.rows() {
-        if pred.eval(rel.schema(), tuple)? {
-            out.push(tuple.clone(), descriptor.clone())?;
-        }
-    }
-    Ok(out)
-}
-
-/// The possible tuples of a query answer, computed without registering the
-/// result: evaluate, then strip descriptors.
+/// The possible tuples of a query answer, computed without touching the
+/// input catalog: evaluate on a scratch store holding only the base
+/// relations the plan references (plus the world table), then strip
+/// descriptors.
 pub fn possible_answer(udb: &UDatabase, query: &RaExpr) -> Result<ws_relational::Relation> {
-    Ok(eval_expr(udb, query)?.possible_tuples())
+    let mut scratch = UDatabase::new();
+    *scratch.world_table_mut() = udb.world_table().clone();
+    for name in query.base_relations() {
+        if let Ok(relation) = udb.relation(name) {
+            scratch.insert_relation(relation.clone());
+        }
+        // Unknown names surface as UnknownRelation from the engine below.
+    }
+    let mut counter = 0usize;
+    let out = engine::fresh_scratch_name(
+        |n| scratch.contains_relation(n),
+        &mut counter,
+        "urel_answer",
+    );
+    evaluate_query(&mut scratch, query, &out)?;
+    Ok(scratch.relation(&out)?.possible_tuples())
 }
 
 /// Convenience: the distinct tuples of `relation` present in *some* world.
 pub fn possible_tuples(udb: &UDatabase, relation: &str) -> Result<Vec<Tuple>> {
-    Ok(udb
-        .relation(relation)?
-        .possible_tuples()
-        .rows()
-        .to_vec())
+    Ok(udb.relation(relation)?.possible_tuples().rows().to_vec())
 }
 
 #[cfg(test)]
@@ -296,7 +315,11 @@ mod tests {
         let query = RaExpr::rel("R")
             .select(Predicate::eq_const("M", 1i64))
             .project(vec!["S"])
-            .union(RaExpr::rel("R").select(Predicate::eq_const("M", 2i64)).project(vec!["S"]));
+            .union(
+                RaExpr::rel("R")
+                    .select(Predicate::eq_const("M", 2i64))
+                    .project(vec!["S"]),
+            );
         let ours: std::collections::BTreeSet<Tuple> = possible_answer(&udb, &query)
             .unwrap()
             .rows()
@@ -307,7 +330,7 @@ mod tests {
     }
 
     #[test]
-    fn named_operators_behave_like_the_expression_evaluator() {
+    fn named_operators_behave_like_the_unified_pipeline() {
         let mut udb = census_udb();
         let sel = select(&udb, "R", &Predicate::eq_const("M", 1i64)).unwrap();
         assert!(sel.len() <= udb.relation("R").unwrap().len());
@@ -321,7 +344,9 @@ mod tests {
             left.set_schema(Schema::new("L", &["S1"]).unwrap()).unwrap();
             scratch.insert_relation(left);
             let mut right = proj.clone();
-            right.set_schema(Schema::new("Rt", &["S2"]).unwrap()).unwrap();
+            right
+                .set_schema(Schema::new("Rt", &["S2"]).unwrap())
+                .unwrap();
             scratch.insert_relation(right);
             product(&scratch, "L", "Rt", "LR").unwrap()
         };
@@ -332,9 +357,18 @@ mod tests {
             left.set_schema(Schema::new("L", &["S1"]).unwrap()).unwrap();
             scratch.insert_relation(left);
             let mut right = proj.clone();
-            right.set_schema(Schema::new("Rt", &["S2"]).unwrap()).unwrap();
+            right
+                .set_schema(Schema::new("Rt", &["S2"]).unwrap())
+                .unwrap();
             scratch.insert_relation(right);
-            join(&scratch, "L", "Rt", "J", &Predicate::cmp_attr("S1", CmpOp::Eq, "S2")).unwrap()
+            join(
+                &scratch,
+                "L",
+                "Rt",
+                "J",
+                &Predicate::cmp_attr("S1", CmpOp::Eq, "S2"),
+            )
+            .unwrap()
         };
         assert!(joined.len() <= prod.len());
         let unioned = {
@@ -347,9 +381,14 @@ mod tests {
             scratch.insert_relation(b);
             union(&scratch, "A", "B").unwrap()
         };
-        assert_eq!(unioned.possible_tuples().len(), proj.possible_tuples().len());
+        assert_eq!(
+            unioned.possible_tuples().len(),
+            proj.possible_tuples().len()
+        );
 
-        // evaluate_query registers the result under the requested name.
+        // evaluate_query registers the result under the requested name and
+        // leaves no scratch relations behind.
+        let names_before = udb.relation_names().len();
         let out = evaluate_query(
             &mut udb,
             &RaExpr::rel("R").select(Predicate::eq_const("M", 1i64)),
@@ -358,7 +397,11 @@ mod tests {
         .unwrap();
         assert_eq!(out, "Q");
         assert!(udb.contains_relation("Q"));
-        assert_eq!(possible_tuples(&udb, "Q").unwrap().len(), sel.possible_tuples().len());
+        assert_eq!(udb.relation_names().len(), names_before + 1);
+        assert_eq!(
+            possible_tuples(&udb, "Q").unwrap().len(),
+            sel.possible_tuples().len()
+        );
     }
 
     #[test]
@@ -366,9 +409,14 @@ mod tests {
         let udb = census_udb();
         let query = RaExpr::rel("R").difference(RaExpr::rel("R"));
         assert!(matches!(
-            eval_expr(&udb, &query),
+            possible_answer(&udb, &query),
             Err(UrelError::Unsupported(_))
         ));
+        // A failed evaluation must not leak scratch relations either.
+        let mut scratch = census_udb();
+        let names_before = scratch.relation_names().len();
+        assert!(evaluate_query(&mut scratch, &query, "Q").is_err());
+        assert_eq!(scratch.relation_names().len(), names_before);
     }
 
     #[test]
@@ -381,13 +429,16 @@ mod tests {
         wsd.register_relation("A", &["X"], 1).unwrap();
         wsd.register_relation("B", &["Y"], 1).unwrap();
         let domain: Vec<Value> = (0..4).map(Value::int).collect();
-        wsd.set_uniform(ws_core::FieldId::new("A", 0, "X"), domain.clone()).unwrap();
-        wsd.set_uniform(ws_core::FieldId::new("B", 0, "Y"), domain).unwrap();
-        let udb = from_wsd(&wsd).unwrap();
+        wsd.set_uniform(ws_core::FieldId::new("A", 0, "X"), domain.clone())
+            .unwrap();
+        wsd.set_uniform(ws_core::FieldId::new("B", 0, "Y"), domain)
+            .unwrap();
+        let mut udb = from_wsd(&wsd).unwrap();
         let query = RaExpr::rel("A")
             .product(RaExpr::rel("B"))
             .select(Predicate::cmp_attr("X", CmpOp::Eq, "Y"));
-        let result = eval_expr(&udb, &query).unwrap();
+        evaluate_query(&mut udb, &query, "J").unwrap();
+        let result = udb.relation("J").unwrap();
         // Exactly the four matching pairs, each annotated with a two-variable
         // descriptor; the world table still has two variables.
         assert_eq!(result.len(), 4);

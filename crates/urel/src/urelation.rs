@@ -83,7 +83,8 @@ impl URelation {
         let mut seen: BTreeSet<&Tuple> = BTreeSet::new();
         for (tuple, _) in &self.rows {
             if seen.insert(tuple) {
-                out.push(tuple.clone()).expect("schema matches by construction");
+                out.push(tuple.clone())
+                    .expect("schema matches by construction");
             }
         }
         out
@@ -128,7 +129,8 @@ impl URelation {
         let mut seen: BTreeSet<&Tuple> = BTreeSet::new();
         for (tuple, descriptor) in &self.rows {
             if descriptor.satisfied_by(assignment) && seen.insert(tuple) {
-                out.push(tuple.clone()).expect("schema matches by construction");
+                out.push(tuple.clone())
+                    .expect("schema matches by construction");
             }
         }
         out

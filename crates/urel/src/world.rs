@@ -35,7 +35,9 @@ impl WorldTable {
     pub fn add_variable(&mut self, name: impl Into<String>, probs: Vec<f64>) -> Result<()> {
         let name = name.into();
         if probs.is_empty() {
-            return Err(UrelError::invalid(format!("variable `{name}` has an empty domain")));
+            return Err(UrelError::invalid(format!(
+                "variable `{name}` has an empty domain"
+            )));
         }
         if probs.iter().any(|p| !(0.0..=1.0 + 1e-9).contains(p)) {
             return Err(UrelError::invalid(format!(
@@ -49,7 +51,9 @@ impl WorldTable {
             )));
         }
         if self.vars.contains_key(&name) {
-            return Err(UrelError::invalid(format!("variable `{name}` declared twice")));
+            return Err(UrelError::invalid(format!(
+                "variable `{name}` declared twice"
+            )));
         }
         self.vars.insert(name, probs);
         Ok(())
@@ -63,7 +67,9 @@ impl WorldTable {
         domain_size: usize,
     ) -> Result<()> {
         if domain_size == 0 {
-            return Err(UrelError::invalid("uniform variable needs a non-empty domain"));
+            return Err(UrelError::invalid(
+                "uniform variable needs a non-empty domain",
+            ));
         }
         self.add_variable(name, vec![1.0 / domain_size as f64; domain_size])
     }
@@ -201,7 +207,10 @@ mod tests {
         assert!(w.add_variable("x", vec![1.5, -0.5]).is_err());
         assert!(w.add_uniform_variable("x", 0).is_err());
         w.add_variable("x", vec![1.0]).unwrap();
-        assert!(w.add_variable("x", vec![1.0]).is_err(), "duplicate declaration");
+        assert!(
+            w.add_variable("x", vec![1.0]).is_err(),
+            "duplicate declaration"
+        );
         assert!(w.prob("x", 3).is_err());
         assert!(w.prob("nope", 0).is_err());
         assert!(w.distribution("nope").is_err());
@@ -232,7 +241,9 @@ mod tests {
         let total: f64 = all.iter().map(|(_, p)| p).sum();
         assert!((total - 1.0).abs() < 1e-9);
         // Enumerating a subset marginalizes correctly.
-        let xs = w.enumerate_assignments(&["x".to_string()], 1 << 20).unwrap();
+        let xs = w
+            .enumerate_assignments(&["x".to_string()], 1 << 20)
+            .unwrap();
         assert_eq!(xs.len(), 2);
         assert!((xs.iter().map(|(_, p)| p).sum::<f64>() - 1.0).abs() < 1e-12);
         // The limit is enforced.

@@ -76,12 +76,13 @@ pub fn from_wsdt(wsdt: &Wsdt) -> Result<Uwsdt> {
     // positions, so remap the WSDT's tuple slots to consecutive positions.
     let mut slot_to_row: BTreeMap<(String, usize), usize> = BTreeMap::new();
     for (name, template) in &wsdt.templates {
-        let renumbered = Relation::with_rows(
-            template.schema().clone(),
-            template.rows().to_vec(),
-        )?;
+        let renumbered = Relation::with_rows(template.schema().clone(), template.rows().to_vec())?;
         uwsdt.add_template(renumbered)?;
-        for (row, slot) in wsdt.tuple_slots[name].iter().enumerate().map(|(r, s)| (r, *s)) {
+        for (row, slot) in wsdt.tuple_slots[name]
+            .iter()
+            .enumerate()
+            .map(|(r, s)| (r, *s))
+        {
             slot_to_row.insert((name.clone(), slot), row);
         }
     }
@@ -162,18 +163,26 @@ mod tests {
             .add_placeholder_in_component(
                 FieldId::new("R", 0, "S"),
                 c1,
-                [(0, Value::int(185)), (1, Value::int(785)), (2, Value::int(785))]
-                    .into_iter()
-                    .collect(),
+                [
+                    (0, Value::int(185)),
+                    (1, Value::int(785)),
+                    (2, Value::int(785)),
+                ]
+                .into_iter()
+                .collect(),
             )
             .unwrap();
         uwsdt
             .add_placeholder_in_component(
                 FieldId::new("R", 1, "S"),
                 c1,
-                [(0, Value::int(186)), (1, Value::int(185)), (2, Value::int(186))]
-                    .into_iter()
-                    .collect(),
+                [
+                    (0, Value::int(186)),
+                    (1, Value::int(185)),
+                    (2, Value::int(186)),
+                ]
+                .into_iter()
+                .collect(),
             )
             .unwrap();
         uwsdt
@@ -227,10 +236,7 @@ mod tests {
         assert_eq!(template.rows()[0][1], Value::int(10));
         assert!(template.rows()[1][1].is_unknown());
         // Possible values reflect the or-sets.
-        assert_eq!(
-            uwsdt.possible_field_values("R", 1, "B").unwrap().len(),
-            3
-        );
+        assert_eq!(uwsdt.possible_field_values("R", 1, "B").unwrap().len(), 3);
         assert_eq!(
             uwsdt.possible_field_values("R", 0, "B").unwrap(),
             vec![Value::int(10)]
@@ -241,11 +247,7 @@ mod tests {
     fn or_relation_rejects_bad_input() {
         let mut base = Relation::new(Schema::new("R", &["A"]).unwrap());
         base.push_values([1i64]).unwrap();
-        assert!(from_or_relation(
-            &base,
-            &[OrField::uniform(5, "A", vec![Value::int(1)])]
-        )
-        .is_err());
+        assert!(from_or_relation(&base, &[OrField::uniform(5, "A", vec![Value::int(1)])]).is_err());
         assert!(from_or_relation(
             &base,
             &[OrField {
@@ -255,11 +257,7 @@ mod tests {
             }]
         )
         .is_err());
-        assert!(from_or_relation(
-            &base,
-            &[OrField::uniform(0, "Z", vec![Value::int(1)])]
-        )
-        .is_err());
+        assert!(from_or_relation(&base, &[OrField::uniform(0, "Z", vec![Value::int(1)])]).is_err());
     }
 
     #[test]
@@ -291,9 +289,7 @@ mod tests {
         .unwrap();
         let expected = wsd.rep().unwrap();
         let uwsdt = from_wsd(&wsd).unwrap();
-        let actual = ws_core::WorldSet::from_weighted_worlds(
-            uwsdt.enumerate_worlds(100).unwrap(),
-        );
+        let actual = ws_core::WorldSet::from_weighted_worlds(uwsdt.enumerate_worlds(100).unwrap());
         assert!(expected.same_worlds(&actual));
         assert!(expected.same_distribution(&actual, 1e-9));
     }

@@ -187,7 +187,9 @@ pub fn chase_fd(uwsdt: &mut Uwsdt, fd: &FunctionalDependency) -> Result<()> {
         schema.position_of(a)?;
     }
     if fd.lhs.is_empty() || fd.rhs.is_empty() {
-        return Err(UwsdtError::invalid("functional dependency needs lhs and rhs"));
+        return Err(UwsdtError::invalid(
+            "functional dependency needs lhs and rhs",
+        ));
     }
     // Index tuples by the possible values of the first determinant attribute.
     let first = &fd.lhs[0];
@@ -391,7 +393,11 @@ mod tests {
         assert!((total - 1.0).abs() < 1e-9);
         for (db, _) in &worlds {
             assert_eq!(
-                db.relation("R").unwrap().distinct_column("S").unwrap().len(),
+                db.relation("R")
+                    .unwrap()
+                    .distinct_column("S")
+                    .unwrap()
+                    .len(),
                 2
             );
         }
@@ -466,11 +472,10 @@ mod tests {
         // Oracle: filter + renormalize the original worlds.
         let ok = |db: &ws_relational::Database| {
             let r = db.relation("R").unwrap();
-            let fd_ok = r.rows().iter().all(|a| {
-                r.rows()
-                    .iter()
-                    .all(|b| a[0] != b[0] || a[2] == b[2])
-            });
+            let fd_ok = r
+                .rows()
+                .iter()
+                .all(|a| r.rows().iter().all(|b| a[0] != b[0] || a[2] == b[2]));
             let egd_ok = r
                 .rows()
                 .iter()
@@ -481,7 +486,10 @@ mod tests {
             before.into_iter().filter(|(db, _)| ok(db)).collect();
         let mass: f64 = surviving.iter().map(|(_, p)| p).sum();
         let expected = ws_core::WorldSet::from_weighted_worlds(
-            surviving.into_iter().map(|(db, p)| (db, p / mass)).collect(),
+            surviving
+                .into_iter()
+                .map(|(db, p)| (db, p / mass))
+                .collect(),
         );
         let actual = ws_core::WorldSet::from_weighted_worlds(after);
         assert!(expected.same_worlds(&actual));

@@ -145,7 +145,15 @@ fn joint_probability(
         let cid = cids[depth];
         for w in uwsdt.component_worlds(cid)?.to_vec() {
             chosen.insert(cid, w.lwid);
-            recurse(uwsdt, cids, depth + 1, prob * w.prob, chosen, satisfied, total)?;
+            recurse(
+                uwsdt,
+                cids,
+                depth + 1,
+                prob * w.prob,
+                chosen,
+                satisfied,
+                total,
+            )?;
         }
         chosen.remove(&cid);
         Ok(())

@@ -89,15 +89,22 @@ mod tests {
 
     #[test]
     fn display_and_conversions() {
-        assert!(UwsdtError::UnknownRelation("R".into()).to_string().contains('R'));
+        assert!(UwsdtError::UnknownRelation("R".into())
+            .to_string()
+            .contains('R'));
         assert!(UwsdtError::UnknownComponent(3).to_string().contains("C3"));
-        assert!(UwsdtError::Inconsistent.to_string().contains("inconsistent"));
+        assert!(UwsdtError::Inconsistent
+            .to_string()
+            .contains("inconsistent"));
         assert!(UwsdtError::unsupported("difference")
             .to_string()
             .contains("difference"));
-        assert!(UwsdtError::TooManyWorlds { worlds: 8, limit: 2 }
-            .to_string()
-            .contains('8'));
+        assert!(UwsdtError::TooManyWorlds {
+            worlds: 8,
+            limit: 2
+        }
+        .to_string()
+        .contains('8'));
         let e: UwsdtError = RelationalError::UnknownRelation("S".into()).into();
         assert!(matches!(e, UwsdtError::Relational(_)));
         let e: UwsdtError = WsError::Inconsistent.into();

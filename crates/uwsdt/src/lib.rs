@@ -42,8 +42,8 @@ pub use stats::{component_size_histogram, stats_for, UwsdtStats};
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::build::{from_or_relation, from_wsd, from_wsdt, OrField};
-    pub use crate::confidence::{conf, expected_cardinality, is_certain, possible_with_confidence};
     pub use crate::chase::{chase, chase_egd, chase_fd};
+    pub use crate::confidence::{conf, expected_cardinality, is_certain, possible_with_confidence};
     pub use crate::error::{Result, UwsdtError};
     pub use crate::model::{Cid, Lwid, PresenceCondition, Uwsdt, WorldEntry};
     pub use crate::normalize::{normalize, NormalizationReport};

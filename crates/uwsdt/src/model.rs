@@ -273,10 +273,7 @@ impl Uwsdt {
 
     /// The placeholder fields defined by a component.
     pub fn component_fields(&self, cid: Cid) -> &[FieldId] {
-        self.comp_fields
-            .get(&cid)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.comp_fields.get(&cid).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// All component identifiers currently in use.
@@ -364,7 +361,11 @@ impl Uwsdt {
         distinct.sort_unstable();
         distinct.dedup();
         match distinct.len() {
-            0 => return Err(UwsdtError::invalid("compose requires at least one component")),
+            0 => {
+                return Err(UwsdtError::invalid(
+                    "compose requires at least one component",
+                ))
+            }
             1 => return Ok(distinct[0]),
             _ => {}
         }
@@ -496,7 +497,9 @@ impl Uwsdt {
     /// Mutable access to the local worlds of a component (normalization
     /// rewrites probabilities in place without renormalizing).
     pub(crate) fn worlds_mut(&mut self, cid: Cid) -> Result<&mut Vec<WorldEntry>> {
-        self.w.get_mut(&cid).ok_or(UwsdtError::UnknownComponent(cid))
+        self.w
+            .get_mut(&cid)
+            .ok_or(UwsdtError::UnknownComponent(cid))
     }
 
     /// Mutable access to the per-local-world values of a placeholder.
@@ -542,12 +545,7 @@ impl Uwsdt {
                 "component {cid} still defines placeholders"
             )));
         }
-        if self
-            .presence
-            .values()
-            .flatten()
-            .any(|c| c.cid == cid)
-        {
+        if self.presence.values().flatten().any(|c| c.cid == cid) {
             return Err(UwsdtError::invalid(format!(
                 "component {cid} is still referenced by a presence condition"
             )));
@@ -631,15 +629,12 @@ impl Uwsdt {
                             ws_core::TupleId(t),
                             attr.clone(),
                         );
-                        let cid = self
-                            .f
-                            .get(&field)
-                            .ok_or_else(|| UwsdtError::invalid(format!(
-                                "placeholder {field} has no component"
-                            )))?;
-                        let lwid = chosen
-                            .get(cid)
-                            .ok_or_else(|| UwsdtError::invalid("world misses a component choice"))?;
+                        let cid = self.f.get(&field).ok_or_else(|| {
+                            UwsdtError::invalid(format!("placeholder {field} has no component"))
+                        })?;
+                        let lwid = chosen.get(cid).ok_or_else(|| {
+                            UwsdtError::invalid("world misses a component choice")
+                        })?;
                         match self.c.get(&field).and_then(|vals| vals.get(lwid)) {
                             Some(v) => values.push(v.clone()),
                             // No value for this local world: the tuple is
@@ -662,7 +657,12 @@ impl Uwsdt {
 
     /// The possible values of one field of one tuple: the template value if
     /// certain, otherwise the distinct values recorded in `C`.
-    pub fn possible_field_values(&self, relation: &str, tuple: usize, attr: &str) -> Result<Vec<Value>> {
+    pub fn possible_field_values(
+        &self,
+        relation: &str,
+        tuple: usize,
+        attr: &str,
+    ) -> Result<Vec<Value>> {
         let template = self.template(relation)?;
         let pos = template.schema().position_of(attr)?;
         let row = template
@@ -705,10 +705,7 @@ impl Uwsdt {
             }
         }
         for (field, cid) in &self.f {
-            let worlds = self
-                .w
-                .get(cid)
-                .ok_or(UwsdtError::UnknownComponent(*cid))?;
+            let worlds = self.w.get(cid).ok_or(UwsdtError::UnknownComponent(*cid))?;
             let lwids: BTreeSet<Lwid> = worlds.iter().map(|w| w.lwid).collect();
             let total: f64 = worlds.iter().map(|w| w.prob).sum();
             if (total - 1.0).abs() > 1e-6 {
@@ -716,10 +713,9 @@ impl Uwsdt {
                     "component {cid} probabilities sum to {total}"
                 )));
             }
-            let values = self
-                .c
-                .get(field)
-                .ok_or_else(|| UwsdtError::invalid(format!("placeholder {field} has no C entries")))?;
+            let values = self.c.get(field).ok_or_else(|| {
+                UwsdtError::invalid(format!("placeholder {field} has no C entries"))
+            })?;
             if values.keys().any(|l| !lwids.contains(l)) {
                 return Err(UwsdtError::invalid(format!(
                     "placeholder {field} refers to unknown local worlds"

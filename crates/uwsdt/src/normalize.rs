@@ -193,7 +193,11 @@ pub fn remove_vacuous_presence(uwsdt: &mut Uwsdt) -> Result<usize> {
     for cid in uwsdt.component_ids() {
         full_sets.insert(
             cid,
-            uwsdt.component_worlds(cid)?.iter().map(|w| w.lwid).collect(),
+            uwsdt
+                .component_worlds(cid)?
+                .iter()
+                .map(|w| w.lwid)
+                .collect(),
         );
     }
     // Rewrite: a vacuous condition is marked by emptying nothing — we instead
@@ -269,7 +273,11 @@ mod tests {
         let mass = |worlds: &[(ws_relational::Database, f64)], rel: &Relation| -> f64 {
             worlds
                 .iter()
-                .filter(|(db, _)| db.relation(relation).map(|r| r.set_eq(rel)).unwrap_or(false))
+                .filter(|(db, _)| {
+                    db.relation(relation)
+                        .map(|r| r.set_eq(rel))
+                        .unwrap_or(false)
+                })
                 .map(|(_, p)| p)
                 .sum()
         };
@@ -291,20 +299,25 @@ mod tests {
         uwsdt.add_template(template).unwrap();
         let cid = uwsdt
             .create_component(vec![
-                WorldEntry { lwid: 0, prob: 0.25 },
-                WorldEntry { lwid: 1, prob: 0.25 },
+                WorldEntry {
+                    lwid: 0,
+                    prob: 0.25,
+                },
+                WorldEntry {
+                    lwid: 1,
+                    prob: 0.25,
+                },
                 WorldEntry { lwid: 2, prob: 0.5 },
             ])
             .unwrap();
         let field = FieldId::new("R", 0, "A");
-        let values: std::collections::BTreeMap<_, _> = [
-            (0, Value::int(1)),
-            (1, Value::int(1)),
-            (2, Value::int(2)),
-        ]
-        .into_iter()
-        .collect();
-        uwsdt.add_placeholder_in_component(field.clone(), cid, values).unwrap();
+        let values: std::collections::BTreeMap<_, _> =
+            [(0, Value::int(1)), (1, Value::int(1)), (2, Value::int(2))]
+                .into_iter()
+                .collect();
+        uwsdt
+            .add_placeholder_in_component(field.clone(), cid, values)
+            .unwrap();
 
         let before = uwsdt.clone();
         let merged = compress_components(&mut uwsdt).unwrap();
@@ -332,7 +345,10 @@ mod tests {
         uwsdt.add_template(template).unwrap();
         let field = FieldId::new("R", 0, "A");
         uwsdt
-            .add_placeholder(field.clone(), vec![(Value::int(7), 0.6), (Value::int(7), 0.4)])
+            .add_placeholder(
+                field.clone(),
+                vec![(Value::int(7), 0.6), (Value::int(7), 0.4)],
+            )
             .unwrap();
         let report = normalize(&mut uwsdt).unwrap();
         assert_eq!(report.merged_local_worlds, 1);

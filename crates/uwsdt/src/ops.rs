@@ -32,10 +32,7 @@ fn copy_placeholder(
     let cid = uwsdt
         .component_of(src)
         .ok_or_else(|| UwsdtError::invalid(format!("{src} is not a placeholder")))?;
-    let mut values = uwsdt
-        .placeholder_values(src)
-        .cloned()
-        .unwrap_or_default();
+    let mut values = uwsdt.placeholder_values(src).cloned().unwrap_or_default();
     if let Some((rcid, lwids)) = restrict {
         if *rcid == cid {
             values.retain(|l, _| lwids.contains(l));
@@ -61,12 +58,7 @@ fn copy_presence(
 }
 
 /// The distinct components of the uncertain fields among `attrs` of a tuple.
-fn components_of_attrs(
-    uwsdt: &Uwsdt,
-    relation: &str,
-    tuple: usize,
-    attrs: &[&str],
-) -> Vec<Cid> {
+fn components_of_attrs(uwsdt: &Uwsdt, relation: &str, tuple: usize, attrs: &[&str]) -> Vec<Cid> {
     let mut cids: Vec<Cid> = attrs
         .iter()
         .filter_map(|a| uwsdt.component_of(&FieldId::new(relation, tuple, *a)))
@@ -85,7 +77,9 @@ fn components_of_attrs(
 /// composing components only when the predicate spans several of them.
 pub fn select(uwsdt: &mut Uwsdt, src: &str, dst: &str, pred: &Predicate) -> Result<()> {
     if uwsdt.contains_relation(dst) {
-        return Err(UwsdtError::invalid(format!("relation `{dst}` already exists")));
+        return Err(UwsdtError::invalid(format!(
+            "relation `{dst}` already exists"
+        )));
     }
     let src_template = uwsdt.template(src)?.clone();
     let schema = src_template.schema().renamed_relation(dst);
@@ -181,14 +175,19 @@ pub fn select(uwsdt: &mut Uwsdt, src: &str, dst: &str, pred: &Predicate) -> Resu
 /// result tuple.
 pub fn project(uwsdt: &mut Uwsdt, src: &str, dst: &str, attrs: &[&str]) -> Result<()> {
     if uwsdt.contains_relation(dst) {
-        return Err(UwsdtError::invalid(format!("relation `{dst}` already exists")));
+        return Err(UwsdtError::invalid(format!(
+            "relation `{dst}` already exists"
+        )));
     }
     let src_template = uwsdt.template(src)?.clone();
     let positions: Vec<usize> = attrs
         .iter()
         .map(|a| src_template.schema().position_of(a))
         .collect::<std::result::Result<_, _>>()?;
-    let schema = src_template.schema().projected(attrs)?.renamed_relation(dst);
+    let schema = src_template
+        .schema()
+        .projected(attrs)?
+        .renamed_relation(dst);
     uwsdt.add_template(Relation::new(schema))?;
 
     let all_attrs: Vec<String> = src_template
@@ -237,7 +236,9 @@ pub fn project(uwsdt: &mut Uwsdt, src: &str, dst: &str, attrs: &[&str]) -> Resul
 /// `P := δ_{from→to}(R)` — attribute renaming.
 pub fn rename(uwsdt: &mut Uwsdt, src: &str, dst: &str, from: &str, to: &str) -> Result<()> {
     if uwsdt.contains_relation(dst) {
-        return Err(UwsdtError::invalid(format!("relation `{dst}` already exists")));
+        return Err(UwsdtError::invalid(format!(
+            "relation `{dst}` already exists"
+        )));
     }
     let src_template = uwsdt.template(src)?.clone();
     let schema = src_template
@@ -273,7 +274,9 @@ pub fn rename(uwsdt: &mut Uwsdt, src: &str, dst: &str, from: &str, to: &str) -> 
 /// `T := R ∪ S` — union of two relations with identical attribute lists.
 pub fn union(uwsdt: &mut Uwsdt, left: &str, right: &str, dst: &str) -> Result<()> {
     if uwsdt.contains_relation(dst) {
-        return Err(UwsdtError::invalid(format!("relation `{dst}` already exists")));
+        return Err(UwsdtError::invalid(format!(
+            "relation `{dst}` already exists"
+        )));
     }
     let left_template = uwsdt.template(left)?.clone();
     let right_template = uwsdt.template(right)?.clone();
@@ -340,7 +343,9 @@ fn join_impl(
     condition: Option<(&str, &str)>,
 ) -> Result<()> {
     if uwsdt.contains_relation(dst) {
-        return Err(UwsdtError::invalid(format!("relation `{dst}` already exists")));
+        return Err(UwsdtError::invalid(format!(
+            "relation `{dst}` already exists"
+        )));
     }
     let left_template = uwsdt.template(left)?.clone();
     let right_template = uwsdt.template(right)?.clone();
@@ -457,9 +462,7 @@ fn join_impl(
         };
 
         let dst_idx = uwsdt.template(dst)?.len();
-        uwsdt
-            .template_mut(dst)?
-            .push(left_row.concat(right_row))?;
+        uwsdt.template_mut(dst)?.push(left_row.concat(right_row))?;
         for (pos, attr) in left_attrs.iter().enumerate() {
             if left_row[pos].is_unknown() {
                 copy_placeholder(
@@ -497,7 +500,9 @@ fn join_impl(
 /// worlds in which the `S` tuple is either absent or different.
 pub fn difference(uwsdt: &mut Uwsdt, left: &str, right: &str, dst: &str) -> Result<()> {
     if uwsdt.contains_relation(dst) {
-        return Err(UwsdtError::invalid(format!("relation `{dst}` already exists")));
+        return Err(UwsdtError::invalid(format!(
+            "relation `{dst}` already exists"
+        )));
     }
     let left_template = uwsdt.template(left)?.clone();
     let right_template = uwsdt.template(right)?.clone();
@@ -516,20 +521,28 @@ pub fn difference(uwsdt: &mut Uwsdt, left: &str, right: &str, dst: &str) -> Resu
         .collect();
 
     for (i, left_row) in left_template.rows().iter().enumerate() {
-        // Exclusion conditions accumulated over the matching right tuples.
-        let mut exclusions: Vec<(Cid, BTreeSet<Lwid>)> = Vec::new();
+        // Pass 1: find the right tuples that could coincide with this left
+        // tuple and collect every component their equality and presence
+        // depend on.  All of them are composed *once* before any exclusion
+        // condition is recorded — composing pair-by-pair would invalidate
+        // the component ids recorded for earlier pairs (`compose` retires
+        // its source components).
+        let mut matching: Vec<usize> = Vec::new();
+        let mut all_cids: Vec<Cid> = Vec::new();
         let mut certainly_removed = false;
+        let left_values: Vec<Vec<Value>> = attrs
+            .iter()
+            .map(|attr| uwsdt.possible_field_values(left, i, attr))
+            .collect::<Result<_>>()?;
         for (j, right_row) in right_template.rows().iter().enumerate() {
             // Quick check: every attribute must share a possible value.
             let mut possible = true;
-            for (pos, attr) in attrs.iter().enumerate() {
-                let lv = uwsdt.possible_field_values(left, i, attr)?;
+            for (lv, attr) in left_values.iter().zip(&attrs) {
                 let rv = uwsdt.possible_field_values(right, j, attr)?;
                 if !lv.iter().any(|v| rv.contains(v)) {
                     possible = false;
                     break;
                 }
-                let _ = pos;
             }
             if !possible {
                 continue;
@@ -551,15 +564,32 @@ pub fn difference(uwsdt: &mut Uwsdt, left: &str, right: &str, dst: &str) -> Resu
             for cond in uwsdt.presence_of(right, j).to_vec() {
                 cids.push(cond.cid);
             }
-            cids.sort_unstable();
-            cids.dedup();
             if cids.is_empty() {
                 // Both tuples certain and equal on all attributes, and the
                 // right tuple is unconditionally present.
                 certainly_removed = true;
                 break;
             }
-            let cid = uwsdt.compose(&cids)?;
+            matching.push(j);
+            all_cids.extend(cids);
+        }
+        if certainly_removed {
+            continue;
+        }
+
+        // Pass 2: restrict the (single, composed) component to the local
+        // worlds in which each matching right tuple is absent or different.
+        let mut exclusions: Vec<(Cid, BTreeSet<Lwid>)> = Vec::new();
+        all_cids.sort_unstable();
+        all_cids.dedup();
+        let composed = if matching.is_empty() {
+            None
+        } else {
+            Some(uwsdt.compose(&all_cids)?)
+        };
+        for j in matching {
+            let right_row = &right_template.rows()[j];
+            let cid = composed.expect("composed component exists for matching pairs");
             let mut conflict = BTreeSet::new();
             for w in uwsdt.component_worlds(cid)?.to_vec() {
                 // Is the right tuple present and equal to the left tuple?
@@ -617,7 +647,7 @@ pub fn difference(uwsdt: &mut Uwsdt, left: &str, right: &str, dst: &str) -> Resu
                 exclusions.push((cid, keep));
             }
         }
-        if certainly_removed || exclusions.iter().any(|(_, keep)| keep.is_empty()) {
+        if exclusions.iter().any(|(_, keep)| keep.is_empty()) {
             continue;
         }
         let dst_idx = uwsdt.template(dst)?.len();
@@ -720,9 +750,9 @@ pub fn possible_tuples(uwsdt: &Uwsdt, relation: &str) -> Result<Vec<Tuple>> {
         }
         // Presence conditions on components without placeholders of this
         // tuple: the tuple exists only if the condition is satisfiable.
-        let satisfiable = allowed.iter().all(|(cid, lwids)| {
-            by_cid.contains_key(cid) || !lwids.is_empty()
-        });
+        let satisfiable = allowed
+            .iter()
+            .all(|(cid, lwids)| by_cid.contains_key(cid) || !lwids.is_empty());
         if satisfiable {
             for tuple in partials {
                 if !tuple.has_unknown() {

@@ -159,13 +159,7 @@ fn projection_preserves_absence_information() {
     // Select away some alternatives of t1.B, then project B out: tuple 1 must
     // not reappear in the worlds where the selection had removed it.
     let mut uwsdt = sample();
-    ops::select(
-        &mut uwsdt,
-        "R",
-        "S",
-        &Predicate::eq_const("B", 11i64),
-    )
-    .unwrap();
+    ops::select(&mut uwsdt, "R", "S", &Predicate::eq_const("B", 11i64)).unwrap();
     ops::project(&mut uwsdt, "S", "P", &["A"]).unwrap();
     uwsdt.validate().unwrap();
     for (db, _) in uwsdt.enumerate_worlds(10_000).unwrap() {
@@ -195,7 +189,10 @@ fn rename_and_union_carry_placeholders() {
     let mut uwsdt = sample();
     ops::rename(&mut uwsdt, "R", "R2", "A", "A2").unwrap();
     assert!(uwsdt.template("R2").unwrap().schema().contains("A2"));
-    assert_eq!(crate::stats::stats_for(&uwsdt, "R2").unwrap().placeholders, 2);
+    assert_eq!(
+        crate::stats::stats_for(&uwsdt, "R2").unwrap().placeholders,
+        2
+    );
 
     let mut uwsdt = sample();
     ops::select(&mut uwsdt, "R", "S1", &Predicate::eq_const("A", 1i64)).unwrap();
@@ -255,7 +252,9 @@ fn difference_respects_uncertain_matches() {
     other.push_values([0i64]).unwrap();
     let s_noise = vec![OrField::uniform(0, "A", vec![Value::int(1), Value::int(3)])];
     let s = from_or_relation(&other, &s_noise).unwrap();
-    uwsdt.add_template(s.template("S").unwrap().clone()).unwrap();
+    uwsdt
+        .add_template(s.template("S").unwrap().clone())
+        .unwrap();
     for field in s.placeholders_of("S") {
         let values: Vec<(Value, f64)> = s
             .component_worlds(s.component_of(&field).unwrap())
@@ -290,7 +289,13 @@ fn difference_respects_uncertain_matches() {
 #[test]
 fn certain_core_returns_only_unconditional_tuples() {
     let mut uwsdt = sample();
-    ops::select(&mut uwsdt, "R", "P", &Predicate::cmp_const("B", CmpOp::Gt, 10i64)).unwrap();
+    ops::select(
+        &mut uwsdt,
+        "R",
+        "P",
+        &Predicate::cmp_const("B", CmpOp::Gt, 10i64),
+    )
+    .unwrap();
     let core_r = ops::certain_core(&uwsdt, "R").unwrap();
     assert_eq!(core_r.len(), 1); // only tuple (3, 30) has no placeholders
     let core_p = ops::certain_core(&uwsdt, "P").unwrap();

@@ -1,180 +1,114 @@
-//! Relational-algebra query evaluation on UWSDTs.
+//! Relational-algebra query evaluation on UWSDTs, as a backend of the
+//! unified engine.
 //!
-//! A query is translated into a sequence of the operators of [`crate::ops`],
-//! mirroring the SQL-rewriting approach of §5: the size of the rewriting is
-//! linear in the query, and every operator touches the template relations
-//! with single-world cost plus component work proportional to the number of
-//! placeholders involved.
+//! Queries run through the shared `optimize → execute` pipeline of
+//! [`ws_relational::engine`], mirroring the SQL-rewriting approach of §5:
+//! the size of the rewriting is linear in the query, and every operator
+//! touches the template relations with single-world cost plus component work
+//! proportional to the number of placeholders involved.
 //!
-//! The translator applies the optimization the paper describes for its
-//! experiments: a selection with an attribute-equality condition directly on
-//! top of a product is merged into a hash [`crate::ops::join`], avoiding the
-//! materialization of the full cross product.
+//! The θ-join optimization the paper describes for its experiments — a
+//! selection with an attribute-equality condition directly on top of a
+//! product becomes a hash [`crate::ops::join`], avoiding the materialization
+//! of the full cross product — is recognised by the shared executor; this
+//! backend only supplies the physical hash-join operator.
 
 use crate::error::{Result, UwsdtError};
 use crate::model::Uwsdt;
 use crate::ops;
-use ws_relational::{CmpOp, Predicate, RaExpr};
+use ws_relational::engine::{self, QueryBackend, SchemaCatalog, TempNames};
+use ws_relational::{Predicate, RaExpr, RelationalError, Schema};
 
-/// Generate a fresh intermediate relation name.
-fn fresh_name(uwsdt: &Uwsdt, counter: &mut usize) -> String {
-    loop {
-        let name = format!("__q{}", *counter);
-        *counter += 1;
-        if !uwsdt.contains_relation(&name) {
-            return name;
-        }
+impl SchemaCatalog for Uwsdt {
+    fn schema_of(&self, relation: &str) -> ws_relational::Result<Schema> {
+        self.template(relation)
+            .map(|t| t.schema().clone())
+            .map_err(|_| RelationalError::UnknownRelation(relation.to_string()))
+    }
+
+    fn contains_relation(&self, relation: &str) -> bool {
+        Uwsdt::contains_relation(self, relation)
     }
 }
 
-/// Evaluate a relational-algebra query, materializing the result as relation
+impl QueryBackend for Uwsdt {
+    type Error = UwsdtError;
+
+    fn materialize_base(&mut self, name: &str, out: &str) -> Result<()> {
+        // A base relation at the root of a plan is materialized by the
+        // identity projection, which copies the template and re-links its
+        // placeholders.
+        let attrs: Vec<String> = self
+            .template(name)?
+            .schema()
+            .attrs()
+            .iter()
+            .map(|a| a.to_string())
+            .collect();
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        ops::project(self, name, out, &attr_refs)
+    }
+
+    fn apply_select(
+        &mut self,
+        input: &str,
+        pred: &Predicate,
+        out: &str,
+        _temps: &mut TempNames,
+    ) -> Result<()> {
+        ops::select(self, input, out, pred)
+    }
+
+    fn apply_project(&mut self, input: &str, attrs: &[String], out: &str) -> Result<()> {
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        ops::project(self, input, out, &attr_refs)
+    }
+
+    fn apply_product(&mut self, left: &str, right: &str, out: &str) -> Result<()> {
+        ops::product(self, left, right, out)
+    }
+
+    fn apply_equi_join(
+        &mut self,
+        left: &str,
+        right: &str,
+        left_attr: &str,
+        right_attr: &str,
+        out: &str,
+        _temps: &mut TempNames,
+    ) -> Result<()> {
+        ops::join(self, left, right, out, left_attr, right_attr)
+    }
+
+    fn apply_union(&mut self, left: &str, right: &str, out: &str) -> Result<()> {
+        ops::union(self, left, right, out)
+    }
+
+    fn apply_difference(&mut self, left: &str, right: &str, out: &str) -> Result<()> {
+        ops::difference(self, left, right, out)
+    }
+
+    fn apply_rename(&mut self, input: &str, from: &str, to: &str, out: &str) -> Result<()> {
+        ops::rename(self, input, out, from, to)
+    }
+
+    fn drop_scratch(&mut self, name: &str) {
+        let _ = self.drop_relation(name);
+    }
+}
+
+/// Evaluate a relational-algebra query through the unified
+/// `optimize → execute` pipeline, materializing the result as relation
 /// `out` inside the same UWSDT.  Returns the result relation's name.
 pub fn evaluate_query(uwsdt: &mut Uwsdt, query: &RaExpr, out: &str) -> Result<String> {
-    let mut counter = 0usize;
-    eval_into(uwsdt, query, out, &mut counter)?;
-    Ok(out.to_string())
-}
-
-fn eval_into(uwsdt: &mut Uwsdt, query: &RaExpr, out: &str, counter: &mut usize) -> Result<()> {
-    match query {
-        RaExpr::Rel(name) => {
-            let attrs: Vec<String> = uwsdt
-                .template(name)?
-                .schema()
-                .attrs()
-                .iter()
-                .map(|a| a.to_string())
-                .collect();
-            let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
-            ops::project(uwsdt, name, out, &attr_refs)
-        }
-        RaExpr::Select { pred, input } => {
-            // Join pattern: σ_{…A=B…}(L × R) → hash join.
-            if let RaExpr::Product { left, right } = input.as_ref() {
-                if let Some((join_atom, rest)) = split_join_condition(pred) {
-                    let l = eval_operand(uwsdt, left, counter)?;
-                    let r = eval_operand(uwsdt, right, counter)?;
-                    let (la, ra) = orient_join_attrs(uwsdt, &l, &r, &join_atom)?;
-                    return match rest {
-                        None => ops::join(uwsdt, &l, &r, out, &la, &ra),
-                        Some(rest_pred) => {
-                            let joined = fresh_name(uwsdt, counter);
-                            ops::join(uwsdt, &l, &r, &joined, &la, &ra)?;
-                            ops::select(uwsdt, &joined, out, &rest_pred)
-                        }
-                    };
-                }
-            }
-            let input_name = eval_operand(uwsdt, input, counter)?;
-            ops::select(uwsdt, &input_name, out, pred)
-        }
-        RaExpr::Project { attrs, input } => {
-            let input_name = eval_operand(uwsdt, input, counter)?;
-            let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
-            ops::project(uwsdt, &input_name, out, &attr_refs)
-        }
-        RaExpr::Product { left, right } => {
-            let l = eval_operand(uwsdt, left, counter)?;
-            let r = eval_operand(uwsdt, right, counter)?;
-            ops::product(uwsdt, &l, &r, out)
-        }
-        RaExpr::Union { left, right } => {
-            let l = eval_operand(uwsdt, left, counter)?;
-            let r = eval_operand(uwsdt, right, counter)?;
-            ops::union(uwsdt, &l, &r, out)
-        }
-        RaExpr::Difference { left, right } => {
-            let l = eval_operand(uwsdt, left, counter)?;
-            let r = eval_operand(uwsdt, right, counter)?;
-            ops::difference(uwsdt, &l, &r, out)
-        }
-        RaExpr::Rename { from, to, input } => {
-            let input_name = eval_operand(uwsdt, input, counter)?;
-            ops::rename(uwsdt, &input_name, out, from, to)
-        }
-    }
-}
-
-/// Evaluate an operand expression; base relations are used in place (no
-/// copy), composite expressions are materialized under a fresh name.
-fn eval_operand(uwsdt: &mut Uwsdt, expr: &RaExpr, counter: &mut usize) -> Result<String> {
-    if let RaExpr::Rel(name) = expr {
-        if !uwsdt.contains_relation(name) {
-            return Err(UwsdtError::UnknownRelation(name.clone()));
-        }
-        return Ok(name.clone());
-    }
-    let name = fresh_name(uwsdt, counter);
-    eval_into(uwsdt, expr, &name, counter)?;
-    Ok(name)
-}
-
-/// If the predicate contains a top-level conjunct of the form `A = B`, split
-/// it off and return it together with the remaining predicate (if any).
-fn split_join_condition(pred: &Predicate) -> Option<((String, String), Option<Predicate>)> {
-    match pred {
-        Predicate::AttrAttr {
-            left,
-            op: CmpOp::Eq,
-            right,
-        } => Some(((left.clone(), right.clone()), None)),
-        Predicate::And(ps) => {
-            let idx = ps.iter().position(|p| {
-                matches!(
-                    p,
-                    Predicate::AttrAttr {
-                        op: CmpOp::Eq,
-                        ..
-                    }
-                )
-            })?;
-            let (l, r) = match &ps[idx] {
-                Predicate::AttrAttr { left, right, .. } => (left.clone(), right.clone()),
-                _ => unreachable!(),
-            };
-            let rest: Vec<Predicate> = ps
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| *i != idx)
-                .map(|(_, p)| p.clone())
-                .collect();
-            let rest = if rest.is_empty() {
-                None
-            } else {
-                Some(Predicate::And(rest))
-            };
-            Some(((l, r), rest))
-        }
-        _ => None,
-    }
-}
-
-/// Decide which side of the join each attribute of an `A = B` condition
-/// belongs to.
-fn orient_join_attrs(
-    uwsdt: &Uwsdt,
-    left_rel: &str,
-    right_rel: &str,
-    (a, b): &(String, String),
-) -> Result<(String, String)> {
-    let left_schema = uwsdt.template(left_rel)?.schema().clone();
-    let right_schema = uwsdt.template(right_rel)?.schema().clone();
-    if left_schema.contains(a) && right_schema.contains(b) {
-        Ok((a.clone(), b.clone()))
-    } else if left_schema.contains(b) && right_schema.contains(a) {
-        Ok((b.clone(), a.clone()))
-    } else {
-        Err(UwsdtError::unsupported(format!(
-            "join condition {a}={b} does not span both operands"
-        )))
-    }
+    engine::evaluate_query(uwsdt, query, out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::build::{from_or_relation, OrField};
-    use ws_relational::{Relation, Schema, Value};
+    use ws_relational::{CmpOp, Relation, Schema, Value};
 
     fn small_uwsdt() -> Uwsdt {
         let mut base = Relation::new(Schema::new("R", &["A", "B"]).unwrap());
@@ -183,7 +117,11 @@ mod tests {
         base.push_values([3i64, 30]).unwrap();
         from_or_relation(
             &base,
-            &[OrField::uniform(1, "B", vec![Value::int(20), Value::int(21)])],
+            &[OrField::uniform(
+                1,
+                "B",
+                vec![Value::int(20), Value::int(21)],
+            )],
         )
         .unwrap()
     }
@@ -220,14 +158,37 @@ mod tests {
     }
 
     #[test]
-    fn split_join_condition_handles_conjunctions() {
-        let pred = Predicate::and(vec![
-            Predicate::eq_const("A", 1i64),
-            Predicate::cmp_attr("B", CmpOp::Eq, "C"),
-        ]);
-        let ((l, r), rest) = split_join_condition(&pred).unwrap();
-        assert_eq!((l.as_str(), r.as_str()), ("B", "C"));
-        assert!(rest.is_some());
-        assert!(split_join_condition(&Predicate::eq_const("A", 1i64)).is_none());
+    fn optimizer_and_naive_pipeline_agree_on_uwsdts() {
+        let queries = [
+            RaExpr::rel("R")
+                .select(Predicate::cmp_const("A", CmpOp::Ge, 2i64))
+                .project(vec!["B"]),
+            RaExpr::rel("R")
+                .product(RaExpr::rel("R").project(vec!["A"]).rename("A", "A2"))
+                .select(Predicate::and(vec![
+                    Predicate::cmp_attr("A", CmpOp::Eq, "A2"),
+                    Predicate::cmp_const("B", CmpOp::Gt, 15i64),
+                ])),
+        ];
+        for query in queries {
+            let mut optimized = small_uwsdt();
+            engine::evaluate_query_with(
+                &mut optimized,
+                &query,
+                "OUT",
+                engine::EngineConfig::default(),
+            )
+            .unwrap();
+            let mut naive = small_uwsdt();
+            engine::evaluate_query_with(&mut naive, &query, "OUT", engine::EngineConfig::naive())
+                .unwrap();
+            let a = crate::ops::possible_tuples(&optimized, "OUT").unwrap();
+            let b = crate::ops::possible_tuples(&naive, "OUT").unwrap();
+            let a: std::collections::BTreeSet<_> = a.into_iter().collect();
+            let b: std::collections::BTreeSet<_> = b.into_iter().collect();
+            assert_eq!(a, b, "pipelines disagree for {query}");
+            optimized.validate().unwrap();
+            naive.validate().unwrap();
+        }
     }
 }

@@ -7,7 +7,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// The UWSDT characteristics the paper reports per relation (Fig. 27):
 /// number of components, number of components with more than one
 /// placeholder, `|C|` (component-table entries) and `|R|` (template rows).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct UwsdtStats {
     /// `#comp`: components referenced by the relation's placeholders.
     pub components: usize,

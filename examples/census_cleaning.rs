@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tuples: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(20_000);
     let density: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.001);
 
-    println!("generating {tuples} census tuples, or-set density {:.3}%", density * 100.0);
+    println!(
+        "generating {tuples} census tuples, or-set density {:.3}%",
+        density * 100.0
+    );
     let scenario = CensusScenario::new(tuples, density, 0xC0FFEE);
     let noise = scenario.noise();
     println!(
@@ -30,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Load the dirty relation and clean it with the chase.
     let start = Instant::now();
     let mut uwsdt = scenario.dirty_uwsdt()?;
-    println!("loaded dirty UWSDT in {:.3}s", start.elapsed().as_secs_f64());
+    println!(
+        "loaded dirty UWSDT in {:.3}s",
+        start.elapsed().as_secs_f64()
+    );
     let before = stats_for(&uwsdt, maybms::census::RELATION_NAME)?;
 
     let start = Instant::now();
@@ -53,8 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Evaluate Q1–Q6 on the cleaned UWSDT and on the single clean world.
     let one_world = scenario.one_world();
-    println!("\n{:<4} {:>10} {:>8} {:>9} {:>9} {:>10} {:>12}",
-        "query", "rows |R|", "#comp", "#comp>1", "|C|", "uwsdt[s]", "one-world[s]");
+    println!(
+        "\n{:<4} {:>10} {:>8} {:>9} {:>9} {:>10} {:>12}",
+        "query", "rows |R|", "#comp", "#comp>1", "|C|", "uwsdt[s]", "one-world[s]"
+    );
     for (label, query) in maybms::census::all_queries() {
         let start = Instant::now();
         let out = format!("{label}_RESULT");

@@ -66,7 +66,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Chase it on the repair world-set to discard repairs, then re-ask.
     // ------------------------------------------------------------------
     let constraint = Dependency::Egd(EqualityGeneratingDependency::implies(
-        "Emp", "DEPT", "eng", "SALARY", CmpOp::Ge, 2500i64,
+        "Emp",
+        "DEPT",
+        "eng",
+        "SALARY",
+        CmpOp::Ge,
+        2500i64,
     ));
     let mut cleaned = repairs.clone();
     let surviving = chase(&mut cleaned, std::slice::from_ref(&constraint))?;

@@ -31,9 +31,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         FieldId::new("PATIENT", 0, "DIAGNOSIS"),
         FieldId::new("PATIENT", 0, "DRUG"),
     ]);
-    episode.push_row(vec![Value::text("hypertension"), Value::text("lisinopril")], 0.5)?;
-    episode.push_row(vec![Value::text("hypertension"), Value::text("amlodipine")], 0.2)?;
-    episode.push_row(vec![Value::text("migraine"), Value::text("propranolol")], 0.3)?;
+    episode.push_row(
+        vec![Value::text("hypertension"), Value::text("lisinopril")],
+        0.5,
+    )?;
+    episode.push_row(
+        vec![Value::text("hypertension"), Value::text("amlodipine")],
+        0.2,
+    )?;
+    episode.push_row(
+        vec![Value::text("migraine"), Value::text("propranolol")],
+        0.3,
+    )?;
     wsd.add_component(episode)?;
     wsd.set_alternatives(
         FieldId::new("PATIENT", 0, "DOSE"),
@@ -42,12 +51,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Tuple t2: an older episode, fully certain.
     wsd.set_certain(FieldId::new("PATIENT", 1, "CASE"), Value::int(2))?;
-    wsd.set_certain(FieldId::new("PATIENT", 1, "DIAGNOSIS"), Value::text("asthma"))?;
-    wsd.set_certain(FieldId::new("PATIENT", 1, "DRUG"), Value::text("salbutamol"))?;
+    wsd.set_certain(
+        FieldId::new("PATIENT", 1, "DIAGNOSIS"),
+        Value::text("asthma"),
+    )?;
+    wsd.set_certain(
+        FieldId::new("PATIENT", 1, "DRUG"),
+        Value::text("salbutamol"),
+    )?;
     wsd.set_certain(FieldId::new("PATIENT", 1, "DOSE"), Value::int(100))?;
     wsd.validate()?;
 
-    println!("patient record describes {} possible worlds", wsd.rep()?.len());
+    println!(
+        "patient record describes {} possible worlds",
+        wsd.rep()?.len()
+    );
 
     // --------------------------------------------------------------
     // 2. Clinical knowledge arrives: because of the documented asthma,
@@ -76,7 +94,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     maybms::core::ops::evaluate_query(&mut wsd, &treatments, "TREATMENTS")?;
     println!("\npossible treatments of the current episode:");
     for (tuple, confidence) in possible_with_confidence(&wsd, "TREATMENTS")? {
-        println!("  {:<14} {:<12} conf = {confidence:.3}", tuple[0].to_string(), tuple[1].to_string());
+        println!(
+            "  {:<14} {:<12} conf = {confidence:.3}",
+            tuple[0].to_string(),
+            tuple[1].to_string()
+        );
     }
 
     // --------------------------------------------------------------

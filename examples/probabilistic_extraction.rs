@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         FieldId::new("Person", 1, "M"),
         (1..=4).map(|m| (Value::int(m), 0.25)).collect(),
     )?;
-    println!("loaded {} worlds of extracted census data", wsd.world_count());
+    println!(
+        "loaded {} worlds of extracted census data",
+        wsd.world_count()
+    );
 
     // ------------------------------------------------------------------
     // 2. A tuple-independent feed (Figure 6) imported as a WSD.
@@ -72,13 +75,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    person.  How does that change the answer?
     // ------------------------------------------------------------------
     let married = Dependency::Egd(EqualityGeneratingDependency::implies(
-        "Person", "S", 785i64, "M", CmpOp::Eq, 1i64,
+        "Person",
+        "S",
+        785i64,
+        "M",
+        CmpOp::Eq,
+        1i64,
     ));
     let p_constraint = satisfaction_probability(&wsd, std::slice::from_ref(&married))?;
     let smith_married = Tuple::from_iter([Value::int(785), Value::text("Smith"), Value::int(1)]);
     let before = conf(&wsd, "Person", &smith_married)?;
-    let after = conditional_conf(&wsd, "Person", &smith_married, std::slice::from_ref(&married))?;
-    let joint = joint_probability(&wsd, "Person", &smith_married, std::slice::from_ref(&married))?;
+    let after = conditional_conf(
+        &wsd,
+        "Person",
+        &smith_married,
+        std::slice::from_ref(&married),
+    )?;
+    let joint = joint_probability(
+        &wsd,
+        "Person",
+        &smith_married,
+        std::slice::from_ref(&married),
+    )?;
     println!("\nconditioning on \"785 ⇒ married\":");
     println!("  P(constraint)            = {p_constraint:.3}");
     println!("  conf(Smith married)      = {before:.3}  (unconditional)");

@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .find(|(t, _)| t == tuple)
             .map(|(_, c)| *c)
             .unwrap_or(0.0);
-        assert!((wsd_conf - urel_conf).abs() < 1e-9, "the two systems disagree");
+        assert!(
+            (wsd_conf - urel_conf).abs() < 1e-9,
+            "the two systems disagree"
+        );
         println!("  {tuple}  conf = {wsd_conf:.3}");
     }
 
@@ -66,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let wsd_cells: usize = as_wsd.components().map(|(_, c)| c.len()).sum();
     println!("\none or-set tuple with fields of sizes 2·3·2·2:");
     println!("  WSD component rows       = {wsd_cells}");
-    println!("  ULDB x-tuple alternatives = {}", as_uldb.alternative_count());
+    println!(
+        "  ULDB x-tuple alternatives = {}",
+        as_uldb.alternative_count()
+    );
 
     Ok(())
 }

@@ -67,7 +67,11 @@ fn consistent_possible_and_support_answers_are_coherent() {
     for (tuple, share) in &support {
         assert!(*share > 0.0 && *share <= 1.0 + 1e-9);
         let is_consistent = consistent.contains(tuple);
-        assert_eq!(is_consistent, *share >= 1.0 - 1e-9, "support/consistency mismatch for {tuple}");
+        assert_eq!(
+            is_consistent,
+            *share >= 1.0 - 1e-9,
+            "support/consistency mismatch for {tuple}"
+        );
     }
 
     // cid is kept in exactly 1 of the 3 resolutions of OID 3.
@@ -86,7 +90,12 @@ fn further_cleaning_composes_with_repairs() {
     let rel = dirty_orders();
     let (wsd, _) = repairs::repair_key_violations(&rel, &["OID"]).unwrap();
     let constraint = Dependency::Egd(EqualityGeneratingDependency::implies(
-        "Orders", "CUSTOMER", "dan", "TOTAL", CmpOp::Eq, 31i64,
+        "Orders",
+        "CUSTOMER",
+        "dan",
+        "TOTAL",
+        CmpOp::Eq,
+        31i64,
     ));
     let mut cleaned = wsd.clone();
     let survived = chase(&mut cleaned, std::slice::from_ref(&constraint)).unwrap();
@@ -116,7 +125,9 @@ fn medical_scenario_round_trip() {
         for row in world.relation(medical::PATIENT_RELATION).unwrap().rows() {
             let diagnosis = row[1].as_text().unwrap();
             let medication = row[2].as_text().unwrap().to_string();
-            assert!(scenario.compatible_medications(diagnosis).contains(&medication));
+            assert!(scenario
+                .compatible_medications(diagnosis)
+                .contains(&medication));
         }
     }
 

@@ -1,0 +1,328 @@
+//! Cross-backend equivalence of the unified query engine.
+//!
+//! Randomly generated (well-typed) relational-algebra plans are evaluated
+//! through the shared `optimize → execute` pipeline on every backend — WSD,
+//! UWSDT, U-relation, explicit world-set, and the single-world database —
+//! and the sets of possible answer tuples are compared against the explicit
+//! world-enumeration oracle, with the optimizer both on and off.
+
+use std::collections::BTreeSet;
+
+use maybms::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated expression together with its (ordered) output attributes.
+#[derive(Clone, Debug)]
+struct GenExpr {
+    expr: RaExpr,
+    attrs: Vec<String>,
+}
+
+struct Generator {
+    rng: StdRng,
+    rename_counter: usize,
+}
+
+impl Generator {
+    fn new(seed: u64) -> Self {
+        Generator {
+            rng: StdRng::seed_from_u64(seed),
+            rename_counter: 0,
+        }
+    }
+
+    /// A random comparison operator.
+    fn op(&mut self) -> CmpOp {
+        match self.rng.gen_range(0..6) {
+            0 => CmpOp::Eq,
+            1 => CmpOp::Ne,
+            2 => CmpOp::Lt,
+            3 => CmpOp::Le,
+            4 => CmpOp::Gt,
+            _ => CmpOp::Ge,
+        }
+    }
+
+    /// A random (possibly composite) predicate over the given attributes.
+    fn predicate(&mut self, attrs: &[String], depth: usize) -> Predicate {
+        if depth > 0 && self.rng.gen_bool(0.3) {
+            let parts = (0..self.rng.gen_range(1..=2usize))
+                .map(|_| self.predicate(attrs, depth - 1))
+                .collect::<Vec<_>>();
+            return match self.rng.gen_range(0..3) {
+                0 => Predicate::and(parts),
+                1 => Predicate::or(parts),
+                _ => Predicate::not(self.predicate(attrs, depth - 1)),
+            };
+        }
+        let attr = attrs[self.rng.gen_range(0..attrs.len())].clone();
+        if attrs.len() > 1 && self.rng.gen_bool(0.3) {
+            let other = attrs[self.rng.gen_range(0..attrs.len())].clone();
+            Predicate::cmp_attr(attr, self.op(), other)
+        } else {
+            Predicate::cmp_const(attr, self.op(), self.rng.gen_range(0..4i64))
+        }
+    }
+
+    /// A random well-typed plan over base relations `R[A, B]` and `S[C]`.
+    fn expr(&mut self, depth: usize, allow_difference: bool) -> GenExpr {
+        if depth == 0 {
+            return if self.rng.gen_bool(0.7) {
+                GenExpr {
+                    expr: RaExpr::rel("R"),
+                    attrs: vec!["A".to_string(), "B".to_string()],
+                }
+            } else {
+                GenExpr {
+                    expr: RaExpr::rel("S"),
+                    attrs: vec!["C".to_string()],
+                }
+            };
+        }
+        match self.rng.gen_range(0..10) {
+            // Selection.
+            0 | 1 => {
+                let input = self.expr(depth - 1, allow_difference);
+                let pred = self.predicate(&input.attrs, 1);
+                GenExpr {
+                    expr: input.expr.select(pred),
+                    attrs: input.attrs,
+                }
+            }
+            // Projection onto a random non-empty prefix-shuffled subset.
+            2 | 3 => {
+                let input = self.expr(depth - 1, allow_difference);
+                let keep = self.rng.gen_range(1..=input.attrs.len());
+                let mut attrs = input.attrs.clone();
+                for i in (1..attrs.len()).rev() {
+                    let j = self.rng.gen_range(0..=i);
+                    attrs.swap(i, j);
+                }
+                attrs.truncate(keep);
+                GenExpr {
+                    expr: input.expr.project(attrs.clone()),
+                    attrs,
+                }
+            }
+            // Renaming.
+            4 => {
+                let input = self.expr(depth - 1, allow_difference);
+                let idx = self.rng.gen_range(0..input.attrs.len());
+                let from = input.attrs[idx].clone();
+                self.rename_counter += 1;
+                let to = format!("{from}_r{}", self.rename_counter);
+                let mut attrs = input.attrs.clone();
+                attrs[idx] = to.clone();
+                GenExpr {
+                    expr: input.expr.rename(from, to),
+                    attrs,
+                }
+            }
+            // Product (with clash-avoiding renames), sometimes as a θ-join.
+            5 | 6 => {
+                let left = self.expr(depth - 1, allow_difference);
+                let mut right = self.expr(depth - 1, allow_difference);
+                for (idx, attr) in right.attrs.clone().into_iter().enumerate() {
+                    if left.attrs.contains(&attr) {
+                        self.rename_counter += 1;
+                        let to = format!("{attr}_p{}", self.rename_counter);
+                        right.expr = right.expr.rename(attr, to.clone());
+                        right.attrs[idx] = to;
+                    }
+                }
+                let mut attrs = left.attrs.clone();
+                attrs.extend(right.attrs.iter().cloned());
+                let mut expr = left.expr.product(right.expr);
+                if self.rng.gen_bool(0.5) {
+                    let la = left.attrs[self.rng.gen_range(0..left.attrs.len())].clone();
+                    let ra = right.attrs[self.rng.gen_range(0..right.attrs.len())].clone();
+                    expr = expr.select(Predicate::cmp_attr(la, CmpOp::Eq, ra));
+                }
+                GenExpr { expr, attrs }
+            }
+            // Union of two selections of a common input (union-compatible by
+            // construction).
+            7 | 8 => {
+                let input = self.expr(depth - 1, allow_difference);
+                let p1 = self.predicate(&input.attrs, 0);
+                let p2 = self.predicate(&input.attrs, 0);
+                GenExpr {
+                    expr: input.expr.clone().select(p1).union(input.expr.select(p2)),
+                    attrs: input.attrs,
+                }
+            }
+            // Difference of two selections of a common input.
+            _ => {
+                let input = self.expr(depth - 1, allow_difference);
+                if !allow_difference {
+                    return input;
+                }
+                let p1 = self.predicate(&input.attrs, 0);
+                let p2 = self.predicate(&input.attrs, 0);
+                GenExpr {
+                    expr: input
+                        .expr
+                        .clone()
+                        .select(p1)
+                        .difference(input.expr.select(p2)),
+                    attrs: input.attrs,
+                }
+            }
+        }
+    }
+}
+
+/// A small random WSD over `R[A, B]` and `S[C]` with or-set noise.
+fn random_wsd(rng: &mut StdRng) -> Wsd {
+    let mut wsd = Wsd::new();
+    let r_tuples = rng.gen_range(2..=3usize);
+    let s_tuples = rng.gen_range(1..=2usize);
+    wsd.register_relation("R", &["A", "B"], r_tuples).unwrap();
+    wsd.register_relation("S", &["C"], s_tuples).unwrap();
+    let mut fields: Vec<FieldId> = Vec::new();
+    for t in 0..r_tuples {
+        fields.push(FieldId::new("R", t, "A"));
+        fields.push(FieldId::new("R", t, "B"));
+    }
+    for t in 0..s_tuples {
+        fields.push(FieldId::new("S", t, "C"));
+    }
+    for field in fields {
+        if rng.gen_bool(0.35) {
+            let n = rng.gen_range(2..=3usize);
+            let mut alternatives: BTreeSet<i64> = BTreeSet::new();
+            while alternatives.len() < n {
+                alternatives.insert(rng.gen_range(0..4i64));
+            }
+            wsd.set_uniform(field, alternatives.into_iter().map(Value::int).collect())
+                .unwrap();
+        } else {
+            wsd.set_certain(field, Value::int(rng.gen_range(0..4i64)))
+                .unwrap();
+        }
+    }
+    wsd.validate().unwrap();
+    wsd
+}
+
+/// Oracle: the possible answer tuples by explicit world enumeration, outside
+/// the engine entirely.
+fn oracle_possible(wsd: &Wsd, query: &RaExpr) -> BTreeSet<Tuple> {
+    let mut out = BTreeSet::new();
+    for (db, _) in wsd.enumerate_worlds(1 << 20).unwrap() {
+        let answer = maybms::relational::evaluate_set(&db, query).unwrap();
+        out.extend(answer.rows().iter().cloned());
+    }
+    out
+}
+
+fn tuple_set(rows: &[Tuple]) -> BTreeSet<Tuple> {
+    rows.iter().cloned().collect()
+}
+
+fn configs() -> [(&'static str, EngineConfig); 2] {
+    [
+        ("optimized", EngineConfig::default()),
+        ("naive", EngineConfig::naive()),
+    ]
+}
+
+#[test]
+fn all_backends_agree_with_the_world_enumeration_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xE9517A1E);
+    let mut generator = Generator::new(0x5EED5);
+    let mut difference_plans = 0usize;
+    for round in 0..25 {
+        let wsd = random_wsd(&mut rng);
+        let allow_difference = round % 3 == 0;
+        let plan = generator.expr(rng.gen_range(1..=3usize), allow_difference);
+        let query = &plan.expr;
+        let has_difference = plan_has_difference(query);
+        difference_plans += has_difference as usize;
+        let oracle = oracle_possible(&wsd, query);
+
+        for (label, config) in configs() {
+            // WSD backend.
+            let mut wsd_backend = wsd.clone();
+            let out = evaluate_query_with(&mut wsd_backend, query, "OUT", config).unwrap();
+            let wsd_rows = maybms::core::prelude::possible(&wsd_backend, &out)
+                .unwrap_or_else(|e| panic!("[{label}] WSD possible() failed for {query}: {e:?}"));
+            assert_eq!(
+                tuple_set(wsd_rows.rows()),
+                oracle,
+                "[{label}] WSD disagrees with the oracle for {query}"
+            );
+
+            // UWSDT backend.
+            let mut uwsdt = maybms::uwsdt::from_wsd(&wsd).unwrap();
+            let out = evaluate_query_with(&mut uwsdt, query, "OUT", config)
+                .unwrap_or_else(|e| panic!("[{label}] UWSDT evaluation failed for {query}: {e:?}"));
+            let uwsdt_rows = maybms::uwsdt::ops::possible_tuples(&uwsdt, &out).unwrap();
+            assert_eq!(
+                tuple_set(&uwsdt_rows),
+                oracle,
+                "[{label}] UWSDT disagrees with the oracle for {query}"
+            );
+
+            // U-relation backend (positive algebra only).
+            let mut udb = maybms::urel::from_wsd(&wsd).unwrap();
+            let urel_result = evaluate_query_with(&mut udb, query, "OUT", config);
+            if has_difference {
+                assert!(
+                    urel_result.is_err(),
+                    "[{label}] U-relations must reject the non-positive {query}"
+                );
+            } else {
+                let out = urel_result.unwrap();
+                let urel_rows = maybms::urel::ops::possible_tuples(&udb, &out).unwrap();
+                assert_eq!(
+                    tuple_set(&urel_rows),
+                    oracle,
+                    "[{label}] U-relations disagree with the oracle for {query}"
+                );
+            }
+
+            // Explicit world-set backend — driven directly so this config's
+            // optimizer setting applies (query_worlds always optimizes).
+            let mut ws_backend = wsd.rep().unwrap();
+            evaluate_query_with(&mut ws_backend, query, "OUT", config).unwrap();
+            let ws_rows = maybms::baselines::possible_tuples(&ws_backend, "OUT").unwrap();
+            assert_eq!(
+                tuple_set(&ws_rows),
+                oracle,
+                "[{label}] explicit worlds disagree with the oracle for {query}"
+            );
+
+            // Single-world backend: engine result equals the reference
+            // evaluator in each individual world.
+            let (first_world, _) = &wsd.enumerate_worlds(1 << 20).unwrap()[0];
+            let mut db = first_world.clone();
+            let out = evaluate_query_with(&mut db, query, "OUT", config).unwrap();
+            let mut engine_result = db.relation(&out).unwrap().clone();
+            engine_result.dedup();
+            let reference = maybms::relational::evaluate_set(first_world, query).unwrap();
+            assert!(
+                reference.set_eq(&engine_result),
+                "[{label}] single-world engine disagrees with the evaluator for {query}"
+            );
+        }
+    }
+    assert!(
+        difference_plans > 0,
+        "the generator never produced a difference"
+    );
+}
+
+fn plan_has_difference(expr: &RaExpr) -> bool {
+    match expr {
+        RaExpr::Rel(_) => false,
+        RaExpr::Select { input, .. }
+        | RaExpr::Project { input, .. }
+        | RaExpr::Rename { input, .. } => plan_has_difference(input),
+        RaExpr::Product { left, right } | RaExpr::Union { left, right } => {
+            plan_has_difference(left) || plan_has_difference(right)
+        }
+        RaExpr::Difference { .. } => true,
+    }
+}

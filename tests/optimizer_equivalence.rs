@@ -7,22 +7,27 @@ use maybms::prelude::*;
 use proptest::prelude::*;
 use ws_relational::optimizer;
 
+/// Row contents of two small relations R[A, B] and S[B2, C].
+type TwoRelationRows = (Vec<(i64, i64)>, Vec<(i64, i64)>);
+
 /// Strategy: contents of two small relations R[A, B] and S[B2, C].
-fn database_rows() -> impl Strategy<Value = (Vec<(i64, i64)>, Vec<(i64, i64)>)> {
+fn database_rows() -> impl Strategy<Value = TwoRelationRows> {
     let r = proptest::collection::vec((0i64..5, 0i64..5), 0..6);
     let s = proptest::collection::vec((0i64..5, 0i64..5), 0..6);
     (r, s)
 }
 
-fn database_from(rows: &(Vec<(i64, i64)>, Vec<(i64, i64)>)) -> Database {
+fn database_from(rows: &TwoRelationRows) -> Database {
     let mut db = Database::new();
     let mut r = Relation::new(Schema::new("R", &["A", "B"]).unwrap());
     for (a, b) in &rows.0 {
-        r.push(Tuple::from_iter([Value::int(*a), Value::int(*b)])).unwrap();
+        r.push(Tuple::from_iter([Value::int(*a), Value::int(*b)]))
+            .unwrap();
     }
     let mut s = Relation::new(Schema::new("S", &["B2", "C"]).unwrap());
     for (b, c) in &rows.1 {
-        s.push(Tuple::from_iter([Value::int(*b), Value::int(*c)])).unwrap();
+        s.push(Tuple::from_iter([Value::int(*b), Value::int(*c)]))
+            .unwrap();
     }
     db.insert_relation(r);
     db.insert_relation(s);
@@ -32,11 +37,13 @@ fn database_from(rows: &(Vec<(i64, i64)>, Vec<(i64, i64)>)) -> Database {
 fn query_suite() -> Vec<RaExpr> {
     vec![
         // Join with pushable local conjuncts.
-        RaExpr::rel("R").product(RaExpr::rel("S")).select(Predicate::and(vec![
-            Predicate::cmp_attr("B", CmpOp::Eq, "B2"),
-            Predicate::cmp_const("A", CmpOp::Gt, 1i64),
-            Predicate::cmp_const("C", CmpOp::Lt, 4i64),
-        ])),
+        RaExpr::rel("R")
+            .product(RaExpr::rel("S"))
+            .select(Predicate::and(vec![
+                Predicate::cmp_attr("B", CmpOp::Eq, "B2"),
+                Predicate::cmp_const("A", CmpOp::Gt, 1i64),
+                Predicate::cmp_const("C", CmpOp::Lt, 4i64),
+            ])),
         // Stacked selections + projections.
         RaExpr::rel("R")
             .select(Predicate::cmp_const("A", CmpOp::Ge, 1i64))
@@ -97,14 +104,24 @@ fn optimized_plans_agree_on_world_set_representations() {
     let mut uwsdt = scenario.dirty_uwsdt().unwrap();
     for (name, query) in maybms::census::all_queries() {
         let plan = optimizer::optimize(&world, &query).unwrap();
-        let out_plain = ws_uwsdt::evaluate_query(&mut uwsdt, &query, &format!("{name}_plain"))
-            .unwrap();
+        // The plain arm must bypass the engine's default optimizing pipeline,
+        // or both arms would execute the same rewritten plan.
+        let out_plain = ws_relational::evaluate_query_with(
+            &mut uwsdt,
+            &query,
+            &format!("{name}_plain"),
+            ws_relational::EngineConfig::naive(),
+        )
+        .unwrap();
         let out_opt = ws_uwsdt::evaluate_query(&mut uwsdt, &plan, &format!("{name}_opt")).unwrap();
         let plain = ws_uwsdt::ops::possible_tuples(&uwsdt, &out_plain).unwrap();
         let optimized = ws_uwsdt::ops::possible_tuples(&uwsdt, &out_opt).unwrap();
         let plain_set: std::collections::BTreeSet<_> = plain.into_iter().collect();
         let optimized_set: std::collections::BTreeSet<_> = optimized.into_iter().collect();
-        assert_eq!(plain_set, optimized_set, "possible answers differ for {name}");
+        assert_eq!(
+            plain_set, optimized_set,
+            "possible answers differ for {name}"
+        );
     }
 }
 

@@ -141,8 +141,7 @@ fn figure8_uwsdt_shape() {
 #[test]
 fn example11_projection_confidences() {
     let mut wsd = maybms::core::wsd::example_census_wsd();
-    maybms::core::ops::evaluate_query(&mut wsd, &RaExpr::rel("R").project(vec!["S"]), "Q")
-        .unwrap();
+    maybms::core::ops::evaluate_query(&mut wsd, &RaExpr::rel("R").project(vec!["S"]), "Q").unwrap();
     let answers = possible_with_confidence(&wsd, "Q").unwrap();
     let lookup = |v: i64| -> f64 {
         answers
@@ -189,8 +188,11 @@ fn figure10_to_13_selection_examples() {
     // Fig. 13: five distinct result worlds with sizes 3, 2, 2, 2, 1.
     let mut wsd = Wsd::new();
     wsd.register_relation("R", &["A", "B", "C"], 3).unwrap();
-    wsd.set_uniform(FieldId::new("R", 0, "A"), vec![Value::int(1), Value::int(2)])
-        .unwrap();
+    wsd.set_uniform(
+        FieldId::new("R", 0, "A"),
+        vec![Value::int(1), Value::int(2)],
+    )
+    .unwrap();
     let mut c2 = Component::new(vec![
         FieldId::new("R", 0, "B"),
         FieldId::new("R", 0, "C"),
@@ -201,8 +203,11 @@ fn figure10_to_13_selection_examples() {
     c2.push_row(vec![Value::int(2), Value::int(7), Value::int(4)], 0.5)
         .unwrap();
     wsd.add_component(c2).unwrap();
-    wsd.set_uniform(FieldId::new("R", 1, "A"), vec![Value::int(4), Value::int(5)])
-        .unwrap();
+    wsd.set_uniform(
+        FieldId::new("R", 1, "A"),
+        vec![Value::int(4), Value::int(5)],
+    )
+    .unwrap();
     wsd.set_certain(FieldId::new("R", 1, "C"), Value::int(0))
         .unwrap();
     wsd.set_certain(FieldId::new("R", 2, "A"), Value::int(6))

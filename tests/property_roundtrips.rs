@@ -21,7 +21,8 @@ fn wsd_from(rows: &[Vec<Vec<i64>>]) -> Wsd {
     for (t, row) in rows.iter().enumerate() {
         for (i, attr) in ["A", "B"].iter().enumerate() {
             let values: Vec<Value> = row[i].iter().map(|v| Value::int(*v)).collect();
-            wsd.set_uniform(FieldId::new("R", t, *attr), values).unwrap();
+            wsd.set_uniform(FieldId::new("R", t, *attr), values)
+                .unwrap();
         }
     }
     wsd

@@ -55,10 +55,7 @@ fn load_wsd(base: &Relation, noise: &[OrField]) -> Wsd {
     for (t, row) in base.rows().iter().enumerate() {
         for (i, attr) in attrs.iter().enumerate() {
             let field = FieldId::new("R", t, *attr);
-            match noise
-                .iter()
-                .find(|f| f.tuple == t && f.attr == *attr)
-            {
+            match noise.iter().find(|f| f.tuple == t && f.attr == *attr) {
                 Some(or_field) => wsd
                     .set_alternatives(field, or_field.alternatives.clone())
                     .unwrap(),
@@ -189,10 +186,8 @@ fn join_on_uwsdt_agrees_with_the_oracle() {
             }
         }
         let worlds = wsd.rep().unwrap();
-        let query = RaExpr::rel("R").join(
-            RaExpr::rel("S"),
-            Predicate::cmp_attr("A", CmpOp::Eq, "X"),
-        );
+        let query =
+            RaExpr::rel("R").join(RaExpr::rel("S"), Predicate::cmp_attr("A", CmpOp::Eq, "X"));
         let oracle = explicit::query_distribution(&worlds, &query).unwrap();
 
         // UWSDT with both relations.

@@ -17,7 +17,8 @@ use ws_baselines::explicit;
 /// be `⊥` in some local worlds (tuples absent from some worlds).
 fn random_wsd(rng: &mut StdRng, tuples: usize) -> Wsd {
     let mut wsd = Wsd::new();
-    wsd.register_relation("R", &["A", "B", "C"], tuples).unwrap();
+    wsd.register_relation("R", &["A", "B", "C"], tuples)
+        .unwrap();
     for t in 0..tuples {
         for attr in ["A", "B", "C"] {
             let n = rng.gen_range(1..=3usize);
@@ -129,9 +130,9 @@ fn chase_on_random_wsds_matches_world_filtering() {
                 assert!(expected.same_distribution(&actual, 1e-9));
                 checked += 1;
             }
-            (oracle, ours) => panic!(
-                "oracle and chase disagree on consistency: oracle={oracle:?} ours={ours:?}"
-            ),
+            (oracle, ours) => {
+                panic!("oracle and chase disagree on consistency: oracle={oracle:?} ours={ours:?}")
+            }
         }
     }
     assert!(checked >= 5, "too few consistent scenarios were exercised");
