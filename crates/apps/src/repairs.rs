@@ -12,7 +12,7 @@
 //! * every conflict cluster becomes one component whose local worlds are the
 //!   possible resolutions (keep one agreeing subgroup, mark the rest `⊥`).
 //!
-//! Consistent query answering (the certain answers of [10]) then reduces to
+//! Consistent query answering (the certain answers of \[10\]) then reduces to
 //! certain-tuple computation, while — unlike certain-answer-only systems —
 //! the full repair set remains available for further querying and cleaning.
 

@@ -1,4 +1,4 @@
-//! Conditional tables (c-tables) of Imieliński & Lipski [20], as far as they
+//! Conditional tables (c-tables) of Imieliński & Lipski \[20\], as far as they
 //! are needed to mirror the paper's comparison (§1): a WSDT can be read as a
 //! c-table whose body is the template relation and whose global condition is
 //! a conjunction — one conjunct per component — of disjunctions over the

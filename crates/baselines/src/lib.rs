@@ -1,13 +1,13 @@
 //! # ws-baselines — the representation systems the paper compares against
 //!
-//! * [`orset`] — or-set relations [21]: the incomplete-information format the
+//! * [`orset`] — or-set relations \[21\]: the incomplete-information format the
 //!   introduction starts from; expressive enough for dirty input data but not
 //!   closed under queries or cleaning.
 //! * [`tuple_independent`] — tuple-independent probabilistic databases
-//!   (Dalvi & Suciu [15]), which probabilistic WSDs strictly generalize
+//!   (Dalvi & Suciu \[15\]), which probabilistic WSDs strictly generalize
 //!   (Example 5 / Figure 7).
-//! * [`ctable`] — the c-table view [20] of a WSDT (the §1 equivalence).
-//! * [`uldb`] — ULDB-style x-relations (tuples with alternatives, [11]/[28]),
+//! * [`ctable`] — the c-table view \[20\] of a WSDT (the §1 equivalence).
+//! * [`uldb`] — ULDB-style x-relations (tuples with alternatives, \[11\]/\[28\]),
 //!   used to reproduce the representation-size comparison of the related-work
 //!   discussion (or-set relations are linear as WSDs, exponential as
 //!   x-relations).

@@ -1,4 +1,4 @@
-//! Or-set relations [21]: the weakest representation system the paper starts
+//! Or-set relations \[21\]: the weakest representation system the paper starts
 //! from.
 //!
 //! An or-set relation is a relation whose fields hold finite sets of possible

@@ -1,4 +1,4 @@
-//! Tuple-independent probabilistic databases (Dalvi & Suciu [15]).
+//! Tuple-independent probabilistic databases (Dalvi & Suciu \[15\]).
 //!
 //! Every tuple carries a confidence and the tuples are mutually independent;
 //! a possible world is any subset of the tuples, with probability equal to

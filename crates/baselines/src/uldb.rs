@@ -1,7 +1,7 @@
 //! ULDB-style x-relations: tuples with alternatives.
 //!
 //! The related-work discussion of the paper compares WSDs against ULDBs
-//! (Benjelloun et al. [11]) and the "working models" of [28]: relations whose
+//! (Benjelloun et al. \[11\]) and the "working models" of \[28\]: relations whose
 //! rows are **x-tuples**, each a set of mutually exclusive alternatives,
 //! optionally allowed to be absent altogether (a *maybe* x-tuple).  Cross-
 //! x-tuple correlations require lineage in full ULDBs; the comparison the
@@ -13,7 +13,7 @@
 //! baseline in the ablation benches:
 //!
 //! * [`XTuple`] / [`UldbRelation`] — alternatives, maybe-tuples, world
-//!   counting and world enumeration (x-tuples are independent, as in [28]),
+//!   counting and world enumeration (x-tuples are independent, as in \[28\]),
 //! * [`UldbRelation::from_or_relation`] — the blow-up conversion from or-set
 //!   relations,
 //! * [`UldbRelation::from_tuple_independent`] — the (linear) conversion from

@@ -1,83 +1,134 @@
-//! Ablation: confidence computation across representations.
+//! Ablation: confidence computation — threads × {exact, approximate}.
 //!
-//! Section 6 defines confidence computation on (tuple-level) WSDs; the UWSDT
-//! layer and the U-relation extension provide the same operator.  This bench
+//! Section 6 defines (NP-hard) exact confidence computation on tuple-level
+//! WSDs; the U-relation extension evaluates the same operator over DNF
+//! descriptors, and PR 2 adds (ε, δ)-approximate Monte-Carlo evaluators for
+//! both plus a worker pool the per-tuple work fans out on.  This bench
 //! measures the time to compute the confidences of all possible tuples of a
-//! projection query as the amount of uncertainty grows, and compares the
-//! exact U-relation evaluator against its Monte-Carlo estimator.
+//! projection query along two axes:
 //!
-//! Run with: `cargo bench -p ws-bench --bench ablation_confidence`
+//! * **threads ∈ {1, N}** — the serial baseline against the machine-sized
+//!   pool (`WS_BENCH_THREADS` overrides N); exact results are asserted
+//!   bit-identical across thread counts,
+//! * **exact vs. (ε, δ)-approximate** — the §6 / DNF algorithms against the
+//!   Monte-Carlo estimators at ε = 0.02, δ = 0.01.
+//!
+//! The UWSDT evaluator (serial only) is kept as the cross-representation
+//! reference point.  Run with:
+//! `cargo bench -p ws-bench --bench ablation_confidence`
+//! (`WS_BENCH_QUICK=1` for the CI smoke grid).
 
-use ws_bench::{print_header, print_row, secs, time_once};
+use ws_bench::{bench_threads, is_quick, print_header, print_row, secs, time_once};
 use ws_census::CensusScenario;
-use ws_core::interval::IntervalView;
-use ws_relational::RaExpr;
+use ws_core::confidence::approx::ApproxConfig;
+use ws_relational::{EngineConfig, RaExpr, WorkerPool};
 
 fn main() {
-    println!("# Confidence computation: WSD vs. UWSDT vs. U-relations (exact and Monte-Carlo)");
-    println!("(census scenarios; query π_CITIZEN,IMMIGR(R); times include all possible tuples)");
+    let par_threads = bench_threads();
+    let approx = ApproxConfig::new(0.02, 0.01);
+    println!("# Confidence computation: threads x {{exact, approximate}}");
+    println!(
+        "(census scenarios; query π_CITIZEN,IMMIGR(R); times cover all possible tuples; \
+         approximate = Monte-Carlo with ε = {}, δ = {})",
+        approx.epsilon, approx.delta
+    );
+    println!(
+        "serial config: {} | parallel config: {}",
+        EngineConfig::default().summary(),
+        EngineConfig::with_threads(par_threads).summary()
+    );
     print_header(&[
         "tuples",
         "density",
         "possible tuples",
-        "WSD conf (s)",
-        "UWSDT conf (s)",
+        "threads",
+        "WSD exact (s)",
+        "UWSDT exact, serial (s)",
         "U-rel exact (s)",
-        "U-rel MC 2k samples (s)",
-        "interval bounds (s)",
+        "WSD approx (s)",
+        "U-rel approx (s)",
     ]);
 
     let query = RaExpr::rel(ws_census::RELATION_NAME).project(vec!["CITIZEN", "IMMIGR"]);
 
-    for &(tuples, density, label) in &[
-        (200usize, 0.0005f64, "0.05%"),
-        (200, 0.001, "0.1%"),
-        (500, 0.001, "0.1%"),
-        (1000, 0.001, "0.1%"),
-    ] {
-        let scenario = CensusScenario::new(tuples, density, 0xC0FFEE);
+    let grid: &[(usize, f64, &str)] = if is_quick() {
+        &[(150, 0.001, "0.1%"), (300, 0.001, "0.1%")]
+    } else {
+        &[
+            (200, 0.0005, "0.05%"),
+            (200, 0.001, "0.1%"),
+            (500, 0.001, "0.1%"),
+            (1000, 0.001, "0.1%"),
+        ]
+    };
 
-        // WSD view of the same scenario (built from the or-set noise).
+    for &(tuples, density, label) in grid {
+        let scenario = CensusScenario::new(tuples, density, 0xC0FFEE);
         let wsd = scenario.dirty_wsd().unwrap();
 
-        // Evaluate the query on each representation.
+        // Evaluate the query once per representation.
         let mut wsd_q = wsd.clone();
         let out_wsd = ws_core::ops::evaluate_query(&mut wsd_q, &query, "Q").unwrap();
-        let (wsd_conf, wsd_time) =
-            time_once(|| ws_core::confidence::possible_with_confidence(&wsd_q, &out_wsd).unwrap());
-
         let mut uwsdt = scenario.dirty_uwsdt().unwrap();
         let out_uw = ws_uwsdt::evaluate_query(&mut uwsdt, &query, "Q").unwrap();
+        let mut udb = ws_urel::from_wsd(&wsd).unwrap();
+        let out_u = ws_urel::evaluate_query(&mut udb, &query, "Q").unwrap();
+
+        // The serial UWSDT reference point (no parallel API), once per grid
+        // cell.
         let (uw_conf, uw_time) =
             time_once(|| ws_uwsdt::possible_with_confidence(&uwsdt, &out_uw).unwrap());
 
-        let mut udb = ws_urel::from_wsd(&wsd).unwrap();
-        let out_u = ws_urel::evaluate_query(&mut udb, &query, "Q").unwrap();
-        let (u_conf, u_time) =
-            time_once(|| ws_urel::possible_with_confidence(&udb, &out_u).unwrap());
-        let (_, mc_time) = time_once(|| {
-            for (tuple, _) in &u_conf {
-                ws_urel::approx_conf(&udb, &out_u, tuple, 2000, 7).unwrap();
+        let mut serial_exact = None;
+        for threads in [1usize, par_threads] {
+            let pool = WorkerPool::new(threads);
+            let (wsd_conf, wsd_time) = time_once(|| {
+                ws_core::confidence::possible_with_confidence_with(&wsd_q, &out_wsd, &pool).unwrap()
+            });
+            let (u_conf, u_time) =
+                time_once(|| ws_urel::possible_with_confidence_with(&udb, &out_u, &pool).unwrap());
+            let (_, wsd_mc_time) = time_once(|| {
+                ws_core::confidence::approx::possible_with_confidence_with(
+                    &wsd_q, &out_wsd, &approx, &pool,
+                )
+                .unwrap()
+            });
+            let (_, u_mc_time) = time_once(|| {
+                ws_urel::confidence::approx::possible_with_confidence_with(
+                    &udb, &out_u, &approx, &pool,
+                )
+                .unwrap()
+            });
+
+            assert_eq!(wsd_conf.len(), uw_conf.len());
+            assert_eq!(wsd_conf.len(), u_conf.len());
+            // Acceptance gate: exact results are bit-identical across thread
+            // counts.
+            match &serial_exact {
+                None => serial_exact = Some((wsd_conf.clone(), u_conf.clone())),
+                Some((wsd_serial, u_serial)) => {
+                    assert_eq!(
+                        &wsd_conf, wsd_serial,
+                        "WSD exact drifted at {threads} threads"
+                    );
+                    assert_eq!(
+                        &u_conf, u_serial,
+                        "U-rel exact drifted at {threads} threads"
+                    );
+                }
             }
-        });
 
-        let (_, interval_time) = time_once(|| {
-            let view = IntervalView::with_margin(&wsd_q, &out_wsd, 0.05).unwrap();
-            view.possible_with_bounds().unwrap()
-        });
-
-        assert_eq!(wsd_conf.len(), uw_conf.len());
-        assert_eq!(wsd_conf.len(), u_conf.len());
-
-        print_row(&[
-            tuples.to_string(),
-            label.to_string(),
-            wsd_conf.len().to_string(),
-            secs(wsd_time),
-            secs(uw_time),
-            secs(u_time),
-            secs(mc_time),
-            secs(interval_time),
-        ]);
+            print_row(&[
+                tuples.to_string(),
+                label.to_string(),
+                wsd_conf.len().to_string(),
+                threads.to_string(),
+                secs(wsd_time),
+                secs(uw_time),
+                secs(u_time),
+                secs(wsd_mc_time),
+                secs(u_mc_time),
+            ]);
+        }
     }
 }

@@ -47,6 +47,11 @@ fn queries() -> Vec<(&'static str, RaExpr)> {
 
 fn one_world_section() {
     println!("# Plan optimization on the one-world census baseline");
+    println!(
+        "optimized config: {} | naive config: {}",
+        EngineConfig::default().summary(),
+        EngineConfig::naive().summary()
+    );
     print_header(&[
         "query",
         "tuples",

@@ -11,7 +11,7 @@
 //!
 //! Run with: `cargo bench -p ws-bench --bench ablation_urel`
 
-use ws_bench::{print_header, print_row, secs, time_once};
+use ws_bench::{is_quick, print_header, print_row, secs, time_once};
 use ws_core::{FieldId, Wsd};
 use ws_relational::{CmpOp, Predicate, RaExpr, Value};
 
@@ -63,7 +63,12 @@ fn main() {
     // (4, 4) already composes 65 536 local worlds on the WSD side; larger
     // settings exhaust memory, which is precisely the blow-up the table
     // demonstrates.
-    for &(n, d) in &[(2usize, 2i64), (2, 4), (3, 2), (3, 4), (4, 4)] {
+    let grid: &[(usize, i64)] = if is_quick() {
+        &[(2, 2), (3, 2)]
+    } else {
+        &[(2, 2), (2, 4), (3, 2), (3, 4), (4, 4)]
+    };
+    for &(n, d) in grid {
         let wsd = two_relation_wsd(n, d);
         let query = join_query();
 
@@ -109,7 +114,12 @@ fn main() {
         "WSD component rows",
         "x-relation alternatives",
     ]);
-    for fields in [2usize, 4, 6, 8, 10] {
+    let field_counts: &[usize] = if is_quick() {
+        &[2, 4]
+    } else {
+        &[2, 4, 6, 8, 10]
+    };
+    for &fields in field_counts {
         let attrs: Vec<String> = (0..fields).map(|i| format!("A{i}")).collect();
         let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
         let mut orset =

@@ -18,9 +18,45 @@ pub const DENSITIES: [f64; 4] = ws_census::PAPER_DENSITIES;
 /// Labels matching [`DENSITIES`].
 pub const DENSITY_LABELS: [&str; 4] = ws_census::PAPER_DENSITY_LABELS;
 
+/// The tuple counts used when `WS_BENCH_QUICK` is set: small enough for a
+/// CI smoke run, large enough to exercise every code path.
+pub const QUICK_SIZES: [usize; 2] = [500, 2_000];
+
+/// Whether quick (CI smoke) mode is enabled via the `WS_BENCH_QUICK`
+/// environment variable (any non-empty value other than `0`).
+pub fn is_quick() -> bool {
+    std::env::var("WS_BENCH_QUICK")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// The worker-thread count of the parallel benchmark axis: `WS_BENCH_THREADS`
+/// if set, otherwise the machine's available parallelism (at least 2, so the
+/// parallel axis differs from the serial baseline even on one-core runners).
+pub fn bench_threads() -> usize {
+    std::env::var("WS_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(2)
+                .max(2)
+        })
+}
+
 /// Read the benchmark tuple counts from the `WS_BENCH_SIZES` environment
-/// variable (comma-separated), falling back to [`DEFAULT_SIZES`].
+/// variable (comma-separated), falling back to [`QUICK_SIZES`] in quick mode
+/// and [`DEFAULT_SIZES`] otherwise.
 pub fn bench_sizes() -> Vec<usize> {
+    let fallback = || {
+        if is_quick() {
+            QUICK_SIZES.to_vec()
+        } else {
+            DEFAULT_SIZES.to_vec()
+        }
+    };
     match std::env::var("WS_BENCH_SIZES") {
         Ok(raw) => {
             let parsed: Vec<usize> = raw
@@ -28,12 +64,12 @@ pub fn bench_sizes() -> Vec<usize> {
                 .filter_map(|s| s.trim().parse().ok())
                 .collect();
             if parsed.is_empty() {
-                DEFAULT_SIZES.to_vec()
+                fallback()
             } else {
                 parsed
             }
         }
-        Err(_) => DEFAULT_SIZES.to_vec(),
+        Err(_) => fallback(),
     }
 }
 

@@ -13,14 +13,21 @@
 //! where `conf_C(t)` sums the probabilities of `C`'s local worlds that define
 //! some tuple equal to `t`.  The tuple-level composition may be exponential
 //! in the worst case — unavoidable, since deciding tuple certainty is already
-//! NP-hard on WSDs [9] — but stays small when components span few tuples.
+//! NP-hard on WSDs \[9\] — but stays small when components span few tuples.
+//!
+//! Two escape hatches for the hot path: per-tuple confidences fan out on a
+//! [`WorkerPool`] ([`TupleLevelView::possible_with_confidence_with`]), and
+//! the [`approx`] submodule estimates confidences by Monte-Carlo over
+//! component local worlds with an (ε, δ) guarantee, never composing at all.
 
 use crate::component::Component;
 use crate::error::Result;
 use crate::field::FieldId;
 use crate::wsd::Wsd;
 use std::collections::{BTreeMap, BTreeSet};
-use ws_relational::{Relation, Schema, Tuple, Value};
+use ws_relational::{Relation, Schema, Tuple, Value, WorkerPool};
+
+pub mod approx;
 
 /// A tuple-level view of one relation of a WSD: every tuple slot's fields are
 /// gathered into a single (composed) component.
@@ -182,12 +189,22 @@ impl TupleLevelView {
 
     /// The `possibleᵖ` operator (Fig. 19): possible tuples with confidences.
     pub fn possible_with_confidence(&self) -> Result<Vec<(Tuple, f64)>> {
+        self.possible_with_confidence_with(&WorkerPool::serial())
+    }
+
+    /// [`TupleLevelView::possible_with_confidence`] with the per-tuple
+    /// confidence computations fanned out on `pool`.  Tuples are independent
+    /// given the composed view, and results are collected in the serial
+    /// order, so the output is identical for every thread count.
+    pub fn possible_with_confidence_with(&self, pool: &WorkerPool) -> Result<Vec<(Tuple, f64)>> {
         let possible = self.possible()?;
-        let mut out = Vec::with_capacity(possible.len());
-        for tuple in possible.rows() {
-            out.push((tuple.clone(), self.conf(tuple)?));
-        }
-        Ok(out)
+        let confidences = pool.map_coarse(possible.rows(), |tuple| self.conf(tuple));
+        possible
+            .rows()
+            .iter()
+            .zip(confidences)
+            .map(|(tuple, conf)| Ok((tuple.clone(), conf?)))
+            .collect()
     }
 }
 
@@ -204,6 +221,15 @@ pub fn possible(wsd: &Wsd, relation: &str) -> Result<Relation> {
 /// Convenience wrapper: the possible tuples of a relation with confidences.
 pub fn possible_with_confidence(wsd: &Wsd, relation: &str) -> Result<Vec<(Tuple, f64)>> {
     TupleLevelView::new(wsd, relation)?.possible_with_confidence()
+}
+
+/// [`possible_with_confidence`] with per-tuple work fanned out on `pool`.
+pub fn possible_with_confidence_with(
+    wsd: &Wsd,
+    relation: &str,
+    pool: &WorkerPool,
+) -> Result<Vec<(Tuple, f64)>> {
+    TupleLevelView::new(wsd, relation)?.possible_with_confidence_with(pool)
 }
 
 /// A tuple is *certain* iff it appears in every world, i.e. its confidence is

@@ -1,0 +1,424 @@
+//! (ε, δ)-approximate confidence on WSDs: Monte-Carlo over component local
+//! worlds.
+//!
+//! The exact §6 algorithm ([`super::TupleLevelView`]) must first *compose*
+//! every component that touches a tuple, which is exponential in the worst
+//! case — unavoidable for exact answers, since tuple certainty on WSDs is
+//! NP-hard.  This module trades exactness for a Karp–Luby-style Monte-Carlo
+//! estimator that never composes anything: each trial samples one local
+//! world per relevant component (components are independent, local worlds
+//! within a component are mutually exclusive — sampling a world is therefore
+//! a single independent draw per component) and checks tuple membership
+//! directly.  Per trial that is linear in the number of relevant fields.
+//!
+//! **Guarantee.**  For confidence `p` and estimate `p̂` over `n` i.i.d.
+//! trials, Hoeffding's inequality gives `Pr[|p̂ − p| > ε] ≤ 2·exp(−2nε²)`,
+//! so running the [`hoeffding_samples`] `n = ⌈ln(2/δ) / (2ε²)⌉` trials makes
+//! `p̂` an (ε, δ)-approximation: `|p̂ − p| ≤ ε` with probability at least
+//! `1 − δ`.  The guarantee is *additive* and *per estimated tuple*; clients
+//! that need it simultaneously for `m` tuples should pass `δ/m`.
+//!
+//! **Determinism.**  Trials are drawn in fixed-size blocks
+//! ([`SAMPLE_BLOCK`]), each block seeded from `(seed, block index)` alone,
+//! and per-block counts are summed in block order — the estimate is
+//! bit-identical for every [`WorkerPool`] thread count, including serial.
+
+use crate::error::{Result, WsError};
+use crate::field::FieldId;
+use crate::wsd::Wsd;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+use ws_relational::{Tuple, Value, WorkerPool};
+
+/// Trials per Monte-Carlo block: the unit of parallel fan-out and of seed
+/// derivation (see the module docs on determinism).
+pub const SAMPLE_BLOCK: usize = 1024;
+
+/// Hard ceiling on the trial count an [`ApproxConfig`] may request
+/// (`≈ 4.2M`), so accidentally tiny `ε`/`δ` fail fast instead of hanging.
+pub const MAX_SAMPLES: usize = 1 << 22;
+
+/// The (ε, δ) knobs of the estimator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ApproxConfig {
+    /// Additive error bound `ε` (half-width of the guarantee interval).
+    pub epsilon: f64,
+    /// Failure probability `δ`: the estimate may miss `[p − ε, p + ε]` with
+    /// probability at most `δ`.
+    pub delta: f64,
+    /// Base RNG seed; block `b` derives its own seed from `(seed, b)`.
+    pub seed: u64,
+}
+
+impl Default for ApproxConfig {
+    fn default() -> Self {
+        ApproxConfig {
+            epsilon: 0.05,
+            delta: 0.01,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+impl ApproxConfig {
+    /// An (ε, δ) configuration with the default seed.
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        ApproxConfig {
+            epsilon,
+            delta,
+            ..ApproxConfig::default()
+        }
+    }
+
+    /// The same configuration with a different base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The trial count this configuration requires (validated).
+    pub fn samples(&self) -> Result<usize> {
+        hoeffding_samples(self.epsilon, self.delta)
+    }
+}
+
+/// The Hoeffding sample bound `⌈ln(2/δ) / (2ε²)⌉` for an additive
+/// (ε, δ)-approximation of a Bernoulli mean.  Errors when the parameters are
+/// outside `(0, 1)` or the bound exceeds [`MAX_SAMPLES`].
+pub fn hoeffding_samples(epsilon: f64, delta: f64) -> Result<usize> {
+    if !(epsilon > 0.0 && epsilon < 1.0 && delta > 0.0 && delta < 1.0) {
+        return Err(WsError::invalid(format!(
+            "(ε, δ) must lie in (0, 1): got ε = {epsilon}, δ = {delta}"
+        )));
+    }
+    let n = ((2.0 / delta).ln() / (2.0 * epsilon * epsilon)).ceil();
+    if n > MAX_SAMPLES as f64 {
+        return Err(WsError::invalid(format!(
+            "(ε = {epsilon}, δ = {delta}) needs {n:.0} Monte-Carlo trials, \
+             more than the {MAX_SAMPLES} ceiling"
+        )));
+    }
+    Ok((n as usize).max(1))
+}
+
+/// The per-block RNG seed: mixes the block index through SplitMix64's
+/// increment so nearby blocks diverge immediately.  Shared with the
+/// U-relational estimator (`ws_urel::confidence::approx`) so both samplers
+/// have the same determinism story.
+pub fn block_seed(seed: u64, block: u64) -> u64 {
+    seed ^ (block.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Run `samples` Monte-Carlo trials as [`SAMPLE_BLOCK`]-sized blocks fanned
+/// out on `pool`, collecting one result per block in block order.
+///
+/// This is the one block driver behind every (ε, δ) estimator of the stack
+/// (WSD and U-relational): each block gets an RNG seeded from
+/// `(seed, block index)` alone and its trial count (the last block may be
+/// partial), so the aggregate over the returned blocks is bit-identical for
+/// any thread count and the seeding scheme cannot diverge between the
+/// representations.
+pub fn run_trial_blocks<R, F>(pool: &WorkerPool, samples: usize, seed: u64, per_block: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut StdRng, usize) -> R + Sync,
+{
+    let blocks = samples.div_ceil(SAMPLE_BLOCK);
+    pool.run_blocks(blocks, |b| {
+        let mut rng = StdRng::seed_from_u64(block_seed(seed, b as u64));
+        let block_len = SAMPLE_BLOCK.min(samples - b * SAMPLE_BLOCK);
+        per_block(&mut rng, block_len)
+    })
+}
+
+/// A prepared sampler for one relation of a WSD: for every relevant
+/// component slot, the cumulative local-world distribution; for every live
+/// tuple slot, where each of its fields lives.
+struct RelationSampler<'a> {
+    wsd: &'a Wsd,
+    attrs: Vec<std::sync::Arc<str>>,
+    /// The component slots any field of this relation lives in (sorted).
+    slots: Vec<usize>,
+    /// Per slot (aligned with `slots`): cumulative probabilities of the
+    /// component's local worlds, for inverse-CDF sampling.
+    cumulative: Vec<Vec<f64>>,
+    /// Per live tuple: for every attribute, `(slot position in `slots`,
+    /// column position inside that component)`.
+    tuples: Vec<Vec<(usize, usize)>>,
+}
+
+impl<'a> RelationSampler<'a> {
+    fn new(wsd: &'a Wsd, relation: &str) -> Result<Self> {
+        let meta = wsd.meta(relation)?.clone();
+        let mut slot_set: BTreeSet<usize> = BTreeSet::new();
+        let mut tuples = Vec::new();
+        for t in meta.live_tuples() {
+            let mut fields = Vec::with_capacity(meta.attrs.len());
+            for a in &meta.attrs {
+                let field = FieldId::new(relation, t, a.as_ref());
+                let slot = wsd.slot_of(&field)?;
+                slot_set.insert(slot);
+                let pos = wsd
+                    .component(slot)?
+                    .position(&field)
+                    .ok_or_else(|| WsError::unknown_field(&field))?;
+                fields.push((slot, pos));
+            }
+            tuples.push(fields);
+        }
+        let slots: Vec<usize> = slot_set.into_iter().collect();
+        let slot_index: BTreeMap<usize, usize> =
+            slots.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let tuples = tuples
+            .into_iter()
+            .map(|fields| {
+                fields
+                    .into_iter()
+                    .map(|(slot, pos)| (slot_index[&slot], pos))
+                    .collect()
+            })
+            .collect();
+        let cumulative = slots
+            .iter()
+            .map(|&slot| {
+                let mut acc = 0.0;
+                wsd.component(slot)
+                    .expect("slot exists")
+                    .rows
+                    .iter()
+                    .map(|row| {
+                        acc += row.prob;
+                        acc
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(RelationSampler {
+            wsd,
+            attrs: meta.attrs.clone(),
+            slots,
+            cumulative,
+            tuples,
+        })
+    }
+
+    /// Sample one local world per relevant component (one trial's world),
+    /// writing the chosen row index of each slot into `choice`.
+    fn sample_world(&self, rng: &mut StdRng, choice: &mut [usize]) {
+        for (i, cumulative) in self.cumulative.iter().enumerate() {
+            let draw: f64 = rng.gen();
+            choice[i] = cumulative
+                .partition_point(|&acc| acc <= draw)
+                .min(cumulative.len() - 1);
+        }
+    }
+
+    /// Whether the sampled world contains `target` in this relation.
+    fn defines(&self, choice: &[usize], target: &Tuple) -> bool {
+        self.tuples.iter().any(|fields| {
+            fields.iter().enumerate().all(|(i, &(slot_idx, pos))| {
+                let comp = self
+                    .wsd
+                    .component(self.slots[slot_idx])
+                    .expect("slot exists");
+                comp.rows[choice[slot_idx]].values[pos] == target[i]
+            })
+        })
+    }
+
+    /// The distinct (non-`⊥`) tuples the sampled world contains.
+    fn realized(&self, choice: &[usize]) -> BTreeSet<Tuple> {
+        let mut out = BTreeSet::new();
+        'tuples: for fields in &self.tuples {
+            let mut values = Vec::with_capacity(self.attrs.len());
+            for &(slot_idx, pos) in fields {
+                let comp = self
+                    .wsd
+                    .component(self.slots[slot_idx])
+                    .expect("slot exists");
+                let v = comp.rows[choice[slot_idx]].values[pos].clone();
+                if matches!(v, Value::Bottom) {
+                    continue 'tuples;
+                }
+                values.push(v);
+            }
+            out.insert(Tuple::new(values));
+        }
+        out
+    }
+}
+
+/// (ε, δ)-approximate confidence of `tuple` in `relation`, serial.
+pub fn conf(wsd: &Wsd, relation: &str, tuple: &Tuple, config: &ApproxConfig) -> Result<f64> {
+    conf_with(wsd, relation, tuple, config, &WorkerPool::serial())
+}
+
+/// (ε, δ)-approximate confidence of `tuple` in `relation`, with Monte-Carlo
+/// blocks fanned out on `pool`.  The estimate is identical for every thread
+/// count.
+pub fn conf_with(
+    wsd: &Wsd,
+    relation: &str,
+    tuple: &Tuple,
+    config: &ApproxConfig,
+    pool: &WorkerPool,
+) -> Result<f64> {
+    let sampler = RelationSampler::new(wsd, relation)?;
+    if tuple.arity() != sampler.attrs.len() {
+        return Err(WsError::invalid(format!(
+            "tuple arity {} does not match relation `{relation}` arity {}",
+            tuple.arity(),
+            sampler.attrs.len()
+        )));
+    }
+    let samples = config.samples()?;
+    let hits: usize = run_trial_blocks(pool, samples, config.seed, |rng, block_len| {
+        let mut choice = vec![0usize; sampler.slots.len()];
+        let mut hits = 0usize;
+        for _ in 0..block_len {
+            sampler.sample_world(rng, &mut choice);
+            if sampler.defines(&choice, tuple) {
+                hits += 1;
+            }
+        }
+        hits
+    })
+    .into_iter()
+    .sum();
+    Ok(hits as f64 / samples as f64)
+}
+
+/// Sampling-based `possibleᵖ` (Fig. 19 without composition): every tuple
+/// realized in at least one trial, with its estimated confidence.  Tuples of
+/// confidence `≪ 1/n` may be missed entirely; each reported estimate carries
+/// the per-tuple (ε, δ) guarantee.
+pub fn possible_with_confidence(
+    wsd: &Wsd,
+    relation: &str,
+    config: &ApproxConfig,
+) -> Result<Vec<(Tuple, f64)>> {
+    possible_with_confidence_with(wsd, relation, config, &WorkerPool::serial())
+}
+
+/// [`possible_with_confidence`] with Monte-Carlo blocks fanned out on
+/// `pool`; per-block tuple counters are merged in block order, so the result
+/// is identical for every thread count.
+pub fn possible_with_confidence_with(
+    wsd: &Wsd,
+    relation: &str,
+    config: &ApproxConfig,
+    pool: &WorkerPool,
+) -> Result<Vec<(Tuple, f64)>> {
+    let sampler = RelationSampler::new(wsd, relation)?;
+    let samples = config.samples()?;
+    let counters = run_trial_blocks(pool, samples, config.seed, |rng, block_len| {
+        let mut choice = vec![0usize; sampler.slots.len()];
+        let mut counts: BTreeMap<Tuple, usize> = BTreeMap::new();
+        for _ in 0..block_len {
+            sampler.sample_world(rng, &mut choice);
+            for tuple in sampler.realized(&choice) {
+                *counts.entry(tuple).or_default() += 1;
+            }
+        }
+        counts
+    });
+    let mut totals: BTreeMap<Tuple, usize> = BTreeMap::new();
+    for counts in counters {
+        for (tuple, n) in counts {
+            *totals.entry(tuple).or_default() += n;
+        }
+    }
+    Ok(totals
+        .into_iter()
+        .map(|(tuple, hits)| (tuple, hits as f64 / samples as f64))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confidence::{self, TupleLevelView};
+    use crate::ops;
+    use crate::wsd::example_census_wsd;
+    use ws_relational::Value;
+
+    #[test]
+    fn hoeffding_bound_shapes() {
+        // ε = 0.05, δ = 0.01 → ln(200)/0.005 ≈ 1060 trials.
+        let n = hoeffding_samples(0.05, 0.01).unwrap();
+        assert!((1000..1100).contains(&n), "n = {n}");
+        // Tighter ε needs quadratically more trials.
+        assert!(hoeffding_samples(0.025, 0.01).unwrap() > 4 * n - 8);
+        // Out-of-range or absurd parameters are rejected.
+        assert!(hoeffding_samples(0.0, 0.5).is_err());
+        assert!(hoeffding_samples(0.5, 1.0).is_err());
+        assert!(hoeffding_samples(1e-6, 0.01).is_err());
+        assert!(ApproxConfig::new(2.0, 0.5).samples().is_err());
+    }
+
+    #[test]
+    fn approximate_confidence_is_within_epsilon_of_exact() {
+        let mut wsd = example_census_wsd();
+        ops::project(&mut wsd, "R", "Q", &["S"]).unwrap();
+        let view = TupleLevelView::new(&wsd, "Q").unwrap();
+        let config = ApproxConfig::new(0.02, 0.01);
+        for (tuple, exact) in view.possible_with_confidence().unwrap() {
+            let estimate = conf(&wsd, "Q", &tuple, &config).unwrap();
+            assert!(
+                (estimate - exact).abs() <= config.epsilon,
+                "conf({tuple}) ≈ {estimate}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_are_identical_for_every_thread_count() {
+        let wsd = example_census_wsd();
+        let config = ApproxConfig::default();
+        let tuple = confidence::possible(&wsd, "R").unwrap().rows()[0].clone();
+        let serial = conf(&wsd, "R", &tuple, &config).unwrap();
+        let serial_possible = possible_with_confidence(&wsd, "R", &config).unwrap();
+        for threads in [2usize, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(
+                conf_with(&wsd, "R", &tuple, &config, &pool).unwrap(),
+                serial,
+                "thread count changed the estimate"
+            );
+            assert_eq!(
+                possible_with_confidence_with(&wsd, "R", &config, &pool).unwrap(),
+                serial_possible
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_possible_matches_exact_possible_on_the_running_example() {
+        let mut wsd = example_census_wsd();
+        ops::project(&mut wsd, "R", "Q", &["S"]).unwrap();
+        let exact: BTreeMap<Tuple, f64> = confidence::possible_with_confidence(&wsd, "Q")
+            .unwrap()
+            .into_iter()
+            .collect();
+        let config = ApproxConfig::new(0.02, 0.01);
+        let sampled = possible_with_confidence(&wsd, "Q", &config).unwrap();
+        // All three answer tuples have confidence ≥ 0.6, so sampling finds
+        // every one of them.
+        assert_eq!(sampled.len(), exact.len());
+        for (tuple, estimate) in &sampled {
+            let exact = exact[tuple];
+            assert!((estimate - exact).abs() <= config.epsilon);
+        }
+    }
+
+    #[test]
+    fn impossible_and_mismatched_tuples() {
+        let wsd = example_census_wsd();
+        let config = ApproxConfig::default();
+        let absent = Tuple::from_iter([Value::int(999), Value::text("Nobody"), Value::int(1)]);
+        assert_eq!(conf(&wsd, "R", &absent, &config).unwrap(), 0.0);
+        assert!(conf(&wsd, "R", &Tuple::from_iter([1i64]), &config).is_err());
+        assert!(conf(&wsd, "NOPE", &absent, &config).is_err());
+    }
+}

@@ -1,6 +1,6 @@
 //! Interval probabilities over world-set decompositions.
 //!
-//! The related-work discussion of the paper points to follow-up work ([17],
+//! The related-work discussion of the paper points to follow-up work (\[17\],
 //! Götz & Koch) on managing *interval* probabilities: either because the
 //! exact probabilities of the local worlds are not known (an expert or an
 //! extraction tool only provides bounds), or because approximation introduced

@@ -19,7 +19,7 @@
 use super::{copy, difference, product, project, rename, select_attr, select_const, union};
 use crate::error::{Result, WsError};
 use crate::wsd::Wsd;
-use ws_relational::engine::{self, QueryBackend, SchemaCatalog, TempNames};
+use ws_relational::engine::{self, ExecContext, QueryBackend, SchemaCatalog};
 use ws_relational::{Predicate, RaExpr, RelationalError, Schema};
 
 impl SchemaCatalog for Wsd {
@@ -46,17 +46,29 @@ impl QueryBackend for Wsd {
         input: &str,
         pred: &Predicate,
         out: &str,
-        temps: &mut TempNames,
+        ctx: &mut ExecContext,
     ) -> Result<()> {
-        apply_selection(self, input, pred, out, temps)
+        apply_selection(self, input, pred, out, ctx)
     }
 
-    fn apply_project(&mut self, input: &str, attrs: &[String], out: &str) -> Result<()> {
+    fn apply_project(
+        &mut self,
+        input: &str,
+        attrs: &[String],
+        out: &str,
+        _ctx: &mut ExecContext,
+    ) -> Result<()> {
         let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
         project(self, input, out, &attr_refs)
     }
 
-    fn apply_product(&mut self, left: &str, right: &str, out: &str) -> Result<()> {
+    fn apply_product(
+        &mut self,
+        left: &str,
+        right: &str,
+        out: &str,
+        _ctx: &mut ExecContext,
+    ) -> Result<()> {
         product(self, left, right, out)
     }
 
@@ -109,7 +121,7 @@ fn apply_selection(
     src: &str,
     pred: &Predicate,
     out: &str,
-    temps: &mut TempNames,
+    ctx: &mut ExecContext,
 ) -> Result<()> {
     match pred {
         Predicate::AttrConst { attr, op, value } => select_const(wsd, src, out, attr, *op, value),
@@ -123,9 +135,9 @@ fn apply_selection(
                 let target = if i + 1 == ps.len() {
                     out.to_string()
                 } else {
-                    temps.fresh(|n| wsd.contains_relation(n), "and")
+                    ctx.fresh(|n| wsd.contains_relation(n), "and")
                 };
-                apply_selection(wsd, &current, p, &target, temps)?;
+                apply_selection(wsd, &current, p, &target, ctx)?;
                 current = target;
             }
             Ok(())
@@ -137,13 +149,13 @@ fn apply_selection(
                 ));
             }
             if ps.len() == 1 {
-                return apply_selection(wsd, src, &ps[0], out, temps);
+                return apply_selection(wsd, src, &ps[0], out, ctx);
             }
             // σ_{φ1∨…∨φk}(R) = σ_{φ1}(R) ∪ … ∪ σ_{φk}(R).
             let mut branches = Vec::with_capacity(ps.len());
             for p in ps {
-                let b = temps.fresh(|n| wsd.contains_relation(n), "or");
-                apply_selection(wsd, src, p, &b, temps)?;
+                let b = ctx.fresh(|n| wsd.contains_relation(n), "or");
+                apply_selection(wsd, src, p, &b, ctx)?;
                 branches.push(b);
             }
             let mut acc = branches[0].clone();
@@ -151,7 +163,7 @@ fn apply_selection(
                 let target = if i + 1 == branches.len() {
                     out.to_string()
                 } else {
-                    temps.fresh(|n| wsd.contains_relation(n), "or_u")
+                    ctx.fresh(|n| wsd.contains_relation(n), "or_u")
                 };
                 union(wsd, &acc, b, &target)?;
                 acc = target;
@@ -160,7 +172,7 @@ fn apply_selection(
         }
         Predicate::Not(p) => {
             let pushed = negate(p)?;
-            apply_selection(wsd, src, &pushed, out, temps)
+            apply_selection(wsd, src, &pushed, out, ctx)
         }
     }
 }

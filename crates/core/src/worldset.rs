@@ -208,7 +208,7 @@ impl ws_relational::QueryBackend for WorldSet {
         input: &str,
         pred: &ws_relational::Predicate,
         out: &str,
-        _temps: &mut ws_relational::TempNames,
+        _ctx: &mut ws_relational::ExecContext,
     ) -> Result<()> {
         apply_per_world(
             self,
@@ -217,7 +217,13 @@ impl ws_relational::QueryBackend for WorldSet {
         )
     }
 
-    fn apply_project(&mut self, input: &str, attrs: &[String], out: &str) -> Result<()> {
+    fn apply_project(
+        &mut self,
+        input: &str,
+        attrs: &[String],
+        out: &str,
+        _ctx: &mut ws_relational::ExecContext,
+    ) -> Result<()> {
         apply_per_world(
             self,
             &ws_relational::RaExpr::rel(input).project(attrs.to_vec()),
@@ -225,7 +231,13 @@ impl ws_relational::QueryBackend for WorldSet {
         )
     }
 
-    fn apply_product(&mut self, left: &str, right: &str, out: &str) -> Result<()> {
+    fn apply_product(
+        &mut self,
+        left: &str,
+        right: &str,
+        out: &str,
+        _ctx: &mut ws_relational::ExecContext,
+    ) -> Result<()> {
         apply_per_world(
             self,
             &ws_relational::RaExpr::rel(left).product(ws_relational::RaExpr::rel(right)),
@@ -321,7 +333,7 @@ impl WorldSetRelation {
                 for t in 0..count {
                     match rel.rows().get(t) {
                         Some(tuple) => values.extend(tuple.values().iter().cloned()),
-                        None => values.extend(std::iter::repeat_n(Value::Bottom, attrs.len())),
+                        None => values.extend(std::iter::repeat(Value::Bottom).take(attrs.len())),
                     }
                 }
             }

@@ -32,6 +32,19 @@
 //! `tests/engine_equivalence.rs` property test checks that the five agree
 //! with the optimizer both on and off.
 //!
+//! ## Parallelism and approximation
+//!
+//! The shared executor fans scans, selections, projections and equi-join
+//! build/probe phases out over a fixed-size [`prelude::WorkerPool`]
+//! (`std::thread` only), controlled by [`prelude::EngineConfig::threads`];
+//! `threads = 1` reproduces the serial engine exactly, and parallel output
+//! is canonicalized to the serial order for any thread count.  The NP-hard
+//! §6 confidence computation additionally has (ε, δ)-approximate
+//! Monte-Carlo evaluators — `ws_core::confidence::approx` over WSD
+//! component local worlds and `ws_urel::confidence::approx` over
+//! U-relational DNF descriptors — both driven by
+//! [`prelude::ApproxConfig`] and parallelized on the same pool.
+//!
 //! The repository-level `examples/` and `tests/` directories are compiled as
 //! part of this crate; see the README for a guided tour.
 
@@ -58,14 +71,18 @@ pub mod prelude {
             chase, AttrComparison, Dependency, EqualityGeneratingDependency, FunctionalDependency,
         },
         conditional::{conditional_conf, joint_probability, satisfaction_probability},
-        confidence::{conf, possible, possible_with_confidence, TupleLevelView},
+        confidence::{
+            approx::{hoeffding_samples, ApproxConfig},
+            conf, possible, possible_with_confidence, possible_with_confidence_with,
+            TupleLevelView,
+        },
         interval::{IntervalView, ProbInterval},
         normalize::normalize,
         Component, FieldId, LocalWorld, TupleId, WorldSet, WorldSetRelation, WsError, Wsd, Wsdt,
     };
     pub use ws_relational::{
-        engine, evaluate_query, evaluate_query_with, CmpOp, Database, EngineConfig, Predicate,
-        QueryBackend, RaExpr, Relation, Schema, SchemaCatalog, Tuple, Value,
+        engine, evaluate_query, evaluate_query_with, CmpOp, Database, EngineConfig, ExecContext,
+        Predicate, QueryBackend, RaExpr, Relation, Schema, SchemaCatalog, Tuple, Value, WorkerPool,
     };
     pub use ws_urel::{UDatabase, URelation, WsDescriptor};
     pub use ws_uwsdt::{

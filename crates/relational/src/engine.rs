@@ -39,9 +39,13 @@ use crate::algebra::RaExpr;
 use crate::database::Database;
 use crate::error::{RelationalError, Result};
 use crate::optimizer;
+use crate::par::WorkerPool;
 use crate::predicate::{CmpOp, Predicate};
 use crate::relation::Relation;
 use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
 
 /// The structural half of a backend: enough catalog information for the
 /// optimizer to reason about a plan without evaluating it.
@@ -69,13 +73,13 @@ pub trait QueryBackend: SchemaCatalog {
 
     /// Selection `σ_pred(input) → out`.  Backends whose physical selection
     /// only supports atomic comparisons can decompose composite predicates
-    /// here, drawing intermediate names from `temps`.
+    /// here, drawing intermediate names from the context's scratch allocator.
     fn apply_select(
         &mut self,
         input: &str,
         pred: &Predicate,
         out: &str,
-        temps: &mut TempNames,
+        ctx: &mut ExecContext,
     ) -> std::result::Result<(), Self::Error>;
 
     /// Projection `π_attrs(input) → out`.
@@ -84,6 +88,7 @@ pub trait QueryBackend: SchemaCatalog {
         input: &str,
         attrs: &[String],
         out: &str,
+        ctx: &mut ExecContext,
     ) -> std::result::Result<(), Self::Error>;
 
     /// Product `left × right → out`.
@@ -92,13 +97,15 @@ pub trait QueryBackend: SchemaCatalog {
         left: &str,
         right: &str,
         out: &str,
+        ctx: &mut ExecContext,
     ) -> std::result::Result<(), Self::Error>;
 
     /// Equi-join `left ⋈_{left_attr = right_attr} right → out`.
     ///
     /// The default evaluates the join extensionally as a selection over the
-    /// product; backends with a real join algorithm (hash join on UWSDTs,
-    /// descriptor-conjoining join on U-relations) override this.
+    /// product; backends with a real join algorithm (hash join on ordinary
+    /// databases and UWSDTs, descriptor-conjoining join on U-relations)
+    /// override this.
     fn apply_equi_join(
         &mut self,
         left: &str,
@@ -106,12 +113,12 @@ pub trait QueryBackend: SchemaCatalog {
         left_attr: &str,
         right_attr: &str,
         out: &str,
-        temps: &mut TempNames,
+        ctx: &mut ExecContext,
     ) -> std::result::Result<(), Self::Error> {
-        let product = temps.fresh(|n| self.contains_relation(n), "join_x");
-        self.apply_product(left, right, &product)?;
+        let product = ctx.fresh(|n| self.contains_relation(n), "join_x");
+        self.apply_product(left, right, &product, ctx)?;
         let pred = Predicate::cmp_attr(left_attr, CmpOp::Eq, right_attr);
-        self.apply_select(&product, &pred, out, temps)
+        self.apply_select(&product, &pred, out, ctx)
     }
 
     /// Union `left ∪ right → out` (set semantics).
@@ -203,8 +210,50 @@ impl TempNames {
     }
 }
 
+/// The per-execution state threaded through every physical operator: the
+/// scratch-name allocator plus the worker pool sized by
+/// [`EngineConfig::threads`].
+///
+/// Backends without parallel operators simply ignore [`ExecContext::pool`];
+/// backends that fan rows out (the single-world [`Database`] below) draw the
+/// pool from here so one `EngineConfig` knob controls the whole pipeline.
+#[derive(Debug, Default)]
+pub struct ExecContext {
+    temps: TempNames,
+    pool: WorkerPool,
+}
+
+impl ExecContext {
+    /// A context for one plan execution under `config`.
+    pub fn new(config: &EngineConfig) -> Self {
+        ExecContext {
+            temps: TempNames::new(),
+            pool: WorkerPool::new(config.threads),
+        }
+    }
+
+    /// A fresh scratch name that `exists` rejects; recorded for cleanup.
+    pub fn fresh(&mut self, exists: impl Fn(&str) -> bool, hint: &str) -> String {
+        self.temps.fresh(exists, hint)
+    }
+
+    /// The worker pool operators fan row batches out on.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// The scratch names handed out so far (in allocation order).
+    pub fn created(&self) -> &[String] {
+        self.temps.created()
+    }
+
+    fn drain(&mut self) -> Vec<String> {
+        self.temps.drain()
+    }
+}
+
 /// Knobs of the unified pipeline.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Run the rule-based optimizer before execution (default).
     pub optimize: bool,
@@ -223,6 +272,15 @@ pub struct EngineConfig {
     /// and change world counts observed by callers.  Error paths always
     /// clean up regardless of this flag.
     pub drop_temps: bool,
+    /// Worker threads for the parallel physical operators (default 1).
+    ///
+    /// `1` runs every operator serially on the calling thread, reproducing
+    /// the exact behavior and tuple order of the pre-parallel engine; larger
+    /// values fan contiguous row chunks out via [`crate::par::WorkerPool`]
+    /// and re-concatenate the per-chunk results in chunk order, so results
+    /// are identical (including order) for every thread count.  `0` is
+    /// treated as 1.
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -231,6 +289,7 @@ impl Default for EngineConfig {
             optimize: true,
             recognize_joins: true,
             drop_temps: false,
+            threads: 1,
         }
     }
 }
@@ -252,6 +311,33 @@ impl EngineConfig {
             recognize_joins: false,
             ..EngineConfig::default()
         }
+    }
+
+    /// The default pipeline with `threads` parallel workers.
+    pub fn with_threads(threads: usize) -> Self {
+        EngineConfig {
+            threads: threads.max(1),
+            ..EngineConfig::default()
+        }
+    }
+
+    /// A one-line, self-describing summary of the effective settings, used
+    /// by the benches so ablation output records its own configuration.
+    pub fn summary(&self) -> String {
+        fn on_off(b: bool) -> &'static str {
+            if b {
+                "on"
+            } else {
+                "off"
+            }
+        }
+        format!(
+            "optimize={} join-recognition={} drop-temps={} threads={}",
+            on_off(self.optimize),
+            on_off(self.recognize_joins),
+            on_off(self.drop_temps),
+            self.threads.max(1),
+        )
     }
 }
 
@@ -296,10 +382,10 @@ fn execute_with<B: QueryBackend>(
     out: &str,
     config: EngineConfig,
 ) -> std::result::Result<(), B::Error> {
-    let mut temps = TempNames::new();
-    let result = eval_node(backend, plan, out, &mut temps, config);
+    let mut ctx = ExecContext::new(&config);
+    let result = eval_node(backend, plan, out, &mut ctx, config);
     if result.is_err() || config.drop_temps {
-        for name in temps.drain() {
+        for name in ctx.drain() {
             backend.drop_scratch(&name);
         }
     }
@@ -310,7 +396,7 @@ fn eval_node<B: QueryBackend>(
     backend: &mut B,
     plan: &RaExpr,
     out: &str,
-    temps: &mut TempNames,
+    ctx: &mut ExecContext,
     config: EngineConfig,
 ) -> std::result::Result<(), B::Error> {
     match plan {
@@ -331,8 +417,8 @@ fn eval_node<B: QueryBackend>(
                 if let Some(join) =
                     recognize_equi_join(backend, pred, left, right).map_err(B::Error::from)?
                 {
-                    let l = eval_operand(backend, left, temps, config)?;
-                    let r = eval_operand(backend, right, temps, config)?;
+                    let l = eval_operand(backend, left, ctx, config)?;
+                    let r = eval_operand(backend, right, ctx, config)?;
                     return match join.residual {
                         None => backend.apply_equi_join(
                             &l,
@@ -340,47 +426,47 @@ fn eval_node<B: QueryBackend>(
                             &join.left_attr,
                             &join.right_attr,
                             out,
-                            temps,
+                            ctx,
                         ),
                         Some(residual) => {
-                            let joined = temps.fresh(|n| backend.contains_relation(n), "join");
+                            let joined = ctx.fresh(|n| backend.contains_relation(n), "join");
                             backend.apply_equi_join(
                                 &l,
                                 &r,
                                 &join.left_attr,
                                 &join.right_attr,
                                 &joined,
-                                temps,
+                                ctx,
                             )?;
-                            backend.apply_select(&joined, &residual, out, temps)
+                            backend.apply_select(&joined, &residual, out, ctx)
                         }
                     };
                 }
             }
-            let input_name = eval_operand(backend, input, temps, config)?;
-            backend.apply_select(&input_name, pred, out, temps)
+            let input_name = eval_operand(backend, input, ctx, config)?;
+            backend.apply_select(&input_name, pred, out, ctx)
         }
         RaExpr::Project { attrs, input } => {
-            let input_name = eval_operand(backend, input, temps, config)?;
-            backend.apply_project(&input_name, attrs, out)
+            let input_name = eval_operand(backend, input, ctx, config)?;
+            backend.apply_project(&input_name, attrs, out, ctx)
         }
         RaExpr::Product { left, right } => {
-            let l = eval_operand(backend, left, temps, config)?;
-            let r = eval_operand(backend, right, temps, config)?;
-            backend.apply_product(&l, &r, out)
+            let l = eval_operand(backend, left, ctx, config)?;
+            let r = eval_operand(backend, right, ctx, config)?;
+            backend.apply_product(&l, &r, out, ctx)
         }
         RaExpr::Union { left, right } => {
-            let l = eval_operand(backend, left, temps, config)?;
-            let r = eval_operand(backend, right, temps, config)?;
+            let l = eval_operand(backend, left, ctx, config)?;
+            let r = eval_operand(backend, right, ctx, config)?;
             backend.apply_union(&l, &r, out)
         }
         RaExpr::Difference { left, right } => {
-            let l = eval_operand(backend, left, temps, config)?;
-            let r = eval_operand(backend, right, temps, config)?;
+            let l = eval_operand(backend, left, ctx, config)?;
+            let r = eval_operand(backend, right, ctx, config)?;
             backend.apply_difference(&l, &r, out)
         }
         RaExpr::Rename { from, to, input } => {
-            let input_name = eval_operand(backend, input, temps, config)?;
+            let input_name = eval_operand(backend, input, ctx, config)?;
             backend.apply_rename(&input_name, from, to, out)
         }
     }
@@ -391,7 +477,7 @@ fn eval_node<B: QueryBackend>(
 fn eval_operand<B: QueryBackend>(
     backend: &mut B,
     expr: &RaExpr,
-    temps: &mut TempNames,
+    ctx: &mut ExecContext,
     config: EngineConfig,
 ) -> std::result::Result<String, B::Error> {
     if let RaExpr::Rel(name) = expr {
@@ -402,8 +488,8 @@ fn eval_operand<B: QueryBackend>(
         }
         return Ok(name.clone());
     }
-    let name = temps.fresh(|n| backend.contains_relation(n), hint_for(expr));
-    eval_node(backend, expr, &name, temps, config)?;
+    let name = ctx.fresh(|n| backend.contains_relation(n), hint_for(expr));
+    eval_node(backend, expr, &name, ctx, config)?;
     Ok(name)
 }
 
@@ -514,20 +600,36 @@ impl QueryBackend for Database {
         input: &str,
         pred: &Predicate,
         out: &str,
-        _temps: &mut TempNames,
+        ctx: &mut ExecContext,
     ) -> Result<()> {
         let rel = self.relation(input)?;
-        let mut result = Relation::new(rel.schema().clone());
-        for row in rel.rows() {
-            if pred.eval(rel.schema(), row)? {
-                result.push(row.clone())?;
-            }
+        let schema = rel.schema();
+        let chunks = ctx.pool().map_chunks(rel.rows(), |_, chunk| {
+            chunk
+                .iter()
+                .filter_map(|row| match pred.eval(schema, row) {
+                    Ok(true) => Some(Ok(row.clone())),
+                    Ok(false) => None,
+                    Err(e) => Some(Err(e)),
+                })
+                .collect::<Result<Vec<Tuple>>>()
+        });
+        let mut rows = Vec::new();
+        for chunk in chunks {
+            rows.extend(chunk?);
         }
+        let result = Relation::with_rows(schema.clone(), rows)?;
         self.store_as(result, out);
         Ok(())
     }
 
-    fn apply_project(&mut self, input: &str, attrs: &[String], out: &str) -> Result<()> {
+    fn apply_project(
+        &mut self,
+        input: &str,
+        attrs: &[String],
+        out: &str,
+        ctx: &mut ExecContext,
+    ) -> Result<()> {
         let rel = self.relation(input)?;
         let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
         let positions: Vec<usize> = attr_refs
@@ -535,24 +637,88 @@ impl QueryBackend for Database {
             .map(|a| rel.schema().position_of(a))
             .collect::<Result<_>>()?;
         let schema = rel.schema().projected(&attr_refs)?;
-        let mut result = Relation::new(schema);
-        for row in rel.rows() {
-            result.push(row.project_positions(&positions))?;
-        }
+        let rows = ctx
+            .pool()
+            .map(rel.rows(), |row| row.project_positions(&positions));
+        let result = Relation::with_rows(schema, rows)?;
         self.store_as(result, out);
         Ok(())
     }
 
-    fn apply_product(&mut self, left: &str, right: &str, out: &str) -> Result<()> {
+    fn apply_product(
+        &mut self,
+        left: &str,
+        right: &str,
+        out: &str,
+        ctx: &mut ExecContext,
+    ) -> Result<()> {
         let l = self.relation(left)?;
         let r = self.relation(right)?;
         let schema = l.schema().product(r.schema(), out)?;
-        let mut result = Relation::new(schema);
-        for lt in l.rows() {
-            for rt in r.rows() {
-                result.push(lt.concat(rt))?;
+        let right_rows = r.rows();
+        let rows = ctx.pool().flat_map(l.rows(), |lt| {
+            right_rows.iter().map(|rt| lt.concat(rt)).collect()
+        });
+        let result = Relation::with_rows(schema, rows)?;
+        self.store_as(result, out);
+        Ok(())
+    }
+
+    /// Hash equi-join with a partitioned build and a parallel probe.
+    ///
+    /// The build phase hashes the right operand's join column chunk by chunk
+    /// (each worker builds a partial table, merged in chunk order so the
+    /// per-key row lists stay sorted by row index); the probe phase fans the
+    /// left rows out and emits, per left row, the matching right rows in
+    /// index order.  The output is therefore exactly the row order the
+    /// product-then-select default produces — `⊥`/`?` join keys never match,
+    /// mirroring [`CmpOp::eval`]'s undefined comparisons.
+    fn apply_equi_join(
+        &mut self,
+        left: &str,
+        right: &str,
+        left_attr: &str,
+        right_attr: &str,
+        out: &str,
+        ctx: &mut ExecContext,
+    ) -> Result<()> {
+        let l = self.relation(left)?;
+        let r = self.relation(right)?;
+        let schema = l.schema().product(r.schema(), out)?;
+        let lpos = l.schema().position_of(left_attr)?;
+        let rpos = r.schema().position_of(right_attr)?;
+
+        // Build: partition the right rows, hash each chunk, merge in chunk
+        // order (chunks are contiguous, so per-key row lists stay ascending).
+        let joinable = |v: &Value| !matches!(v, Value::Bottom | Value::Unknown);
+        let partials = ctx.pool().map_chunks(r.rows(), |offset, chunk| {
+            let mut table: HashMap<Value, Vec<usize>> = HashMap::new();
+            for (i, rt) in chunk.iter().enumerate() {
+                if joinable(&rt[rpos]) {
+                    table.entry(rt[rpos].clone()).or_default().push(offset + i);
+                }
+            }
+            table
+        });
+        let mut table: HashMap<Value, Vec<usize>> = HashMap::new();
+        for partial in partials {
+            for (key, indices) in partial {
+                table.entry(key).or_default().extend(indices);
             }
         }
+
+        // Probe: left rows in order; matches inherit the right rows' order.
+        let right_rows = r.rows();
+        let rows = ctx.pool().flat_map(l.rows(), |lt| {
+            if !joinable(&lt[lpos]) {
+                return Vec::new();
+            }
+            match table.get(&lt[lpos]) {
+                Some(matches) => matches.iter().map(|&i| lt.concat(&right_rows[i])).collect(),
+                None => Vec::new(),
+            }
+        });
+        let result = Relation::with_rows(schema, rows)?;
         self.store_as(result, out);
         Ok(())
     }
@@ -726,6 +892,115 @@ mod tests {
                 .unwrap()
                 .is_none()
         );
+    }
+
+    /// A database large enough that the fine-grained chunking floor is
+    /// actually crossed and real worker threads are spawned.
+    fn big_db() -> Database {
+        let mut d = Database::new();
+        let mut r = Relation::new(Schema::new("R", &["A", "B"]).unwrap());
+        for i in 0..500i64 {
+            r.push_values([i, i % 17]).unwrap();
+        }
+        d.insert_relation(r);
+        let mut s = Relation::new(Schema::new("S", &["C", "D"]).unwrap());
+        for i in 0..300i64 {
+            s.push_values([i % 17, i]).unwrap();
+        }
+        d.insert_relation(s);
+        d
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical_to_serial() {
+        let queries = {
+            let mut qs = query_suite();
+            // A join large enough to exercise the parallel build/probe.
+            qs.push(
+                RaExpr::rel("R")
+                    .join(RaExpr::rel("S"), Predicate::cmp_attr("B", CmpOp::Eq, "C"))
+                    .select(Predicate::cmp_const("A", CmpOp::Lt, 400i64))
+                    .project(vec!["A", "D"]),
+            );
+            qs
+        };
+        for (i, query) in queries.into_iter().enumerate() {
+            let mut serial = big_db();
+            let out =
+                evaluate_query_with(&mut serial, &query, "OUT", EngineConfig::default()).unwrap();
+            let serial_rows = serial.relation(&out).unwrap().rows().to_vec();
+            for threads in [2usize, 4, 8] {
+                let mut parallel = big_db();
+                let config = EngineConfig::with_threads(threads);
+                let out = evaluate_query_with(&mut parallel, &query, "OUT", config).unwrap();
+                assert_eq!(
+                    parallel.relation(&out).unwrap().rows(),
+                    &serial_rows[..],
+                    "query #{i} {query}: rows (or their order) differ at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hash_join_matches_product_plus_selection_order() {
+        // The recognized-join path (hash join) must produce exactly the rows
+        // and row order of the naive product-then-select path.
+        let query = RaExpr::rel("R")
+            .product(RaExpr::rel("S"))
+            .select(Predicate::cmp_attr("B", CmpOp::Eq, "C"));
+        let mut naive = big_db();
+        let out = evaluate_query_with(&mut naive, &query, "OUT", EngineConfig::naive()).unwrap();
+        let naive_rows = naive.relation(&out).unwrap().rows().to_vec();
+        assert!(!naive_rows.is_empty());
+
+        let mut joined = big_db();
+        let out = evaluate_query_with(&mut joined, &query, "OUT", EngineConfig::default()).unwrap();
+        assert_eq!(joined.relation(&out).unwrap().rows(), &naive_rows[..]);
+    }
+
+    #[test]
+    fn hash_join_never_matches_undefined_keys() {
+        // ⊥ and ? compare as undefined (CmpOp::eval → false), so they must
+        // not join — not even with themselves.
+        let mut d = Database::new();
+        let mut r = Relation::new(Schema::new("R", &["A"]).unwrap());
+        r.push(Tuple::new(vec![Value::Bottom])).unwrap();
+        r.push(Tuple::new(vec![Value::Unknown])).unwrap();
+        r.push(Tuple::new(vec![Value::int(1)])).unwrap();
+        d.insert_relation(r);
+        let mut s = Relation::new(Schema::new("S", &["B"]).unwrap());
+        s.push(Tuple::new(vec![Value::Bottom])).unwrap();
+        s.push(Tuple::new(vec![Value::Unknown])).unwrap();
+        s.push(Tuple::new(vec![Value::int(1)])).unwrap();
+        d.insert_relation(s);
+        let query =
+            RaExpr::rel("R").join(RaExpr::rel("S"), Predicate::cmp_attr("A", CmpOp::Eq, "B"));
+        for config in [EngineConfig::default(), EngineConfig::naive()] {
+            let mut backend = d.clone();
+            let out = evaluate_query_with(&mut backend, &query, "OUT", config).unwrap();
+            let rows = backend.relation(&out).unwrap().rows().to_vec();
+            assert_eq!(
+                rows,
+                vec![Tuple::new(vec![Value::int(1), Value::int(1)])],
+                "config {config:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_config_summary_is_self_describing() {
+        assert_eq!(
+            EngineConfig::default().summary(),
+            "optimize=on join-recognition=on drop-temps=off threads=1"
+        );
+        assert_eq!(
+            EngineConfig::naive().summary(),
+            "optimize=off join-recognition=off drop-temps=off threads=1"
+        );
+        let parallel = EngineConfig::with_threads(8);
+        assert!(parallel.summary().ends_with("threads=8"));
+        assert_eq!(EngineConfig::with_threads(0).threads, 1);
     }
 
     #[test]

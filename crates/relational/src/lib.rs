@@ -18,7 +18,11 @@
 //!   the shared plan executor and the catalog-generic rule-based
 //!   [`optimizer`] that every possible-worlds representation of this
 //!   repository (single-world, WSD, UWSDT, U-relations, explicit worlds)
-//!   evaluates queries through.
+//!   evaluates queries through, and
+//! * the deterministic fan-out/fan-in [`par::WorkerPool`] behind
+//!   [`engine::EngineConfig::threads`]: scans, selections, projections and
+//!   the equi-join build/probe phases partition across cores with output
+//!   canonicalized to the serial order for any thread count.
 //!
 //! Everything in the world-set stack (`ws-core`, `ws-uwsdt`, `ws-census`,
 //! `ws-baselines`) is built on top of these types; the single-world evaluator
@@ -31,6 +35,7 @@ pub mod engine;
 pub mod error;
 pub mod index;
 pub mod optimizer;
+pub mod par;
 pub mod predicate;
 pub mod relation;
 pub mod schema;
@@ -40,12 +45,13 @@ pub mod value;
 pub use algebra::{evaluate, evaluate_checked, evaluate_set, RaExpr};
 pub use database::Database;
 pub use engine::{
-    evaluate_query, evaluate_query_with, execute, EngineConfig, QueryBackend, SchemaCatalog,
-    TempNames,
+    evaluate_query, evaluate_query_with, execute, EngineConfig, ExecContext, QueryBackend,
+    SchemaCatalog, TempNames,
 };
 pub use error::{RelationalError, Result};
 pub use index::Index;
 pub use optimizer::{estimated_cost, estimated_rows, evaluate_optimized, optimize, output_attrs};
+pub use par::WorkerPool;
 pub use predicate::{CmpOp, Predicate};
 pub use relation::Relation;
 pub use schema::{AttrName, RelName, Schema};

@@ -1,0 +1,320 @@
+//! Deterministic intra-operator parallelism: a small fixed-size worker pool
+//! built on `std::thread`.
+//!
+//! The paper's setting — querying world-sets far too large to enumerate —
+//! makes the physical operators and the §6 confidence computation the hot
+//! paths of the whole stack, and both are embarrassingly parallel over rows,
+//! tuples or Monte-Carlo sample blocks.  This module provides the one shared
+//! fan-out/fan-in primitive those call sites use:
+//!
+//! * work is split into **contiguous chunks** (never work-stealing), so the
+//!   per-chunk results can be concatenated in chunk order and the final
+//!   output is **bit-identical for every thread count**, including the
+//!   serial `threads = 1` case;
+//! * workers are **scoped threads** ([`std::thread::scope`]), so closures may
+//!   borrow the operator's input relations without cloning and without any
+//!   `'static` bound;
+//! * the pool is **fixed-size**: at most `threads − 1` workers are spawned
+//!   per batch (the calling thread always processes the first chunk), and a
+//!   worker panic is re-raised on the caller via
+//!   [`std::panic::resume_unwind`].
+//!
+//! No external dependencies (the build is offline): everything here is
+//! `std`-only.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Below this many items per prospective chunk, fine-grained batches are not
+/// split further: spawning a thread costs more than scanning a few dozen
+/// rows.  Coarse work units ([`WorkerPool::map_coarse`],
+/// [`WorkerPool::run_blocks`]) ignore this floor.
+pub const MIN_CHUNK_ITEMS: usize = 64;
+
+/// A fixed-size fan-out/fan-in worker pool.
+///
+/// `WorkerPool::new(1)` (the default) executes every batch serially on the
+/// calling thread, reproducing the exact behavior and output order of the
+/// pre-parallel code; larger pools fan contiguous chunks out to scoped
+/// worker threads and concatenate the per-chunk results in chunk order, so
+/// results are deterministic for **any** thread count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        WorkerPool::serial()
+    }
+}
+
+impl WorkerPool {
+    /// A pool of (at most) `threads` concurrent workers; `0` is clamped to 1.
+    pub fn new(threads: usize) -> Self {
+        WorkerPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The serial pool: every batch runs on the calling thread.
+    pub fn serial() -> Self {
+        WorkerPool::new(1)
+    }
+
+    /// A pool sized to the machine (`std::thread::available_parallelism`),
+    /// falling back to 1 when the parallelism cannot be determined.
+    pub fn available() -> Self {
+        WorkerPool::new(
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this pool runs everything on the calling thread.
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// How many chunks to split a fine-grained batch of `len` items into;
+    /// floor division keeps every chunk at or above [`MIN_CHUNK_ITEMS`].
+    fn fine_parts(&self, len: usize) -> usize {
+        if self.threads == 1 || len < 2 * MIN_CHUNK_ITEMS {
+            1
+        } else {
+            self.threads.min(len / MIN_CHUNK_ITEMS)
+        }
+    }
+
+    /// How many chunks to split a coarse batch of `len` work units into.
+    fn coarse_parts(&self, len: usize) -> usize {
+        if self.threads == 1 {
+            1
+        } else {
+            self.threads.min(len.max(1))
+        }
+    }
+
+    /// Fan `items` out as at most `threads` contiguous chunks and collect one
+    /// result per chunk, in chunk order.  The closure receives the chunk's
+    /// starting offset within `items` and the chunk slice, so chunk-local
+    /// indices can be translated to global ones.
+    pub fn map_chunks<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        let ranges = chunk_ranges(items.len(), self.fine_parts(items.len()));
+        run_ranges(&ranges, |_, range| f(range.start, &items[range]))
+    }
+
+    /// Map every item, preserving input order.  Equivalent to (and with one
+    /// thread, exactly) `items.iter().map(f).collect()`.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        concat(self.map_chunks(items, |_, chunk| chunk.iter().map(&f).collect::<Vec<R>>()))
+    }
+
+    /// Map every item to zero or more outputs, concatenated in input order —
+    /// the shape of a parallel selection (filter) or a parallel join probe.
+    pub fn flat_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> Vec<R> + Sync,
+    {
+        concat(self.map_chunks(items, |_, chunk| {
+            chunk.iter().flat_map(&f).collect::<Vec<R>>()
+        }))
+    }
+
+    /// [`WorkerPool::map`] for *coarse* work units (per-tuple confidence
+    /// computations, per-group compositions): splits down to one item per
+    /// chunk instead of applying the [`MIN_CHUNK_ITEMS`] floor.
+    pub fn map_coarse<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let ranges = chunk_ranges(items.len(), self.coarse_parts(items.len()));
+        concat(run_ranges(&ranges, |_, range| {
+            items[range].iter().map(&f).collect::<Vec<R>>()
+        }))
+    }
+
+    /// Run `blocks` independent work units identified by index, returning the
+    /// results in index order.  This is the Monte-Carlo shape: each block
+    /// seeds its own RNG from its index, so the aggregate is independent of
+    /// how blocks are distributed over threads.
+    pub fn run_blocks<R, F>(&self, blocks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let ranges = chunk_ranges(blocks, self.coarse_parts(blocks));
+        concat(run_ranges(&ranges, |_, range| {
+            range.map(&f).collect::<Vec<R>>()
+        }))
+    }
+}
+
+/// Split `0..len` into `parts` contiguous ranges whose lengths differ by at
+/// most one (earlier ranges are longer).  `parts` is clamped to `1..=len`
+/// (except that `len == 0` yields a single empty range).
+pub fn chunk_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        // One empty chunk, so callers still receive a single (empty) result.
+        return vec![0..0; 1];
+    }
+    let parts = parts.clamp(1, len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Fan the ranges out to scoped threads (first range on the caller) and
+/// collect the per-range results in range order, re-raising worker panics.
+fn run_ranges<R, F>(ranges: &[Range<usize>], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, Range<usize>) -> R + Sync,
+{
+    if ranges.len() <= 1 {
+        return ranges
+            .iter()
+            .enumerate()
+            .map(|(i, r)| f(i, r.clone()))
+            .collect();
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = ranges
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, r)| {
+                let range = r.clone();
+                scope.spawn(move || f(i, range))
+            })
+            .collect();
+        let mut out = Vec::with_capacity(ranges.len());
+        out.push(f(0, ranges[0].clone()));
+        for handle in handles {
+            match handle.join() {
+                Ok(value) => out.push(value),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+fn concat<R>(parts: Vec<Vec<R>>) -> Vec<R> {
+    let total = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_without_overlap() {
+        for len in [0usize, 1, 2, 63, 64, 100, 1000] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(len, parts);
+                let mut expected_start = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expected_start);
+                    expected_start = r.end;
+                }
+                assert_eq!(expected_start, len);
+                // Balanced: sizes differ by at most one.
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "unbalanced chunks {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_matches_serial_for_every_thread_count() {
+        let items: Vec<i64> = (0..1000).collect();
+        let serial: Vec<i64> = items.iter().map(|x| x * 3).collect();
+        for threads in [1usize, 2, 3, 8, 64] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(pool.map(&items, |x| x * 3), serial);
+            assert_eq!(pool.map_coarse(&items, |x| x * 3), serial);
+        }
+    }
+
+    #[test]
+    fn flat_map_preserves_order_and_filters() {
+        let items: Vec<i64> = (0..500).collect();
+        let serial: Vec<i64> = items.iter().filter(|x| *x % 3 == 0).cloned().collect();
+        for threads in [1usize, 4, 7] {
+            let pool = WorkerPool::new(threads);
+            let par = pool.flat_map(&items, |x| if x % 3 == 0 { vec![*x] } else { vec![] });
+            assert_eq!(par, serial);
+        }
+    }
+
+    #[test]
+    fn run_blocks_is_deterministic_in_index_order() {
+        for threads in [1usize, 2, 5] {
+            let pool = WorkerPool::new(threads);
+            let blocks = pool.run_blocks(17, |b| b * b);
+            assert_eq!(blocks, (0..17).map(|b| b * b).collect::<Vec<_>>());
+        }
+        // Zero blocks: nothing to do.
+        assert!(WorkerPool::new(4).run_blocks(0, |b| b).is_empty());
+    }
+
+    #[test]
+    fn pool_constructors_and_introspection() {
+        assert!(WorkerPool::default().is_serial());
+        assert!(WorkerPool::new(0).is_serial());
+        assert_eq!(WorkerPool::new(6).threads(), 6);
+        assert!(WorkerPool::available().threads() >= 1);
+        let small = WorkerPool::new(8);
+        // Fine-grained batches below the chunking floor stay on one thread.
+        assert_eq!(small.fine_parts(10), 1);
+        assert!(small.fine_parts(10_000) > 1);
+        assert_eq!(small.coarse_parts(3), 3);
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_caller() {
+        let pool = WorkerPool::new(4);
+        let result = std::panic::catch_unwind(|| {
+            pool.map_coarse(&[1, 2, 3, 4], |x| {
+                assert!(*x != 3, "boom");
+                *x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

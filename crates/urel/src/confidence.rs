@@ -11,13 +11,21 @@
 //!   marginalize out).  Fails with [`UrelError::ExactTooLarge`] beyond a
 //!   configurable assignment budget.
 //! * [`approx_conf`] — a seeded Monte-Carlo estimator that samples total
-//!   assignments of the relevant variables from the world table.
+//!   assignments of the relevant variables from the world table, with a
+//!   fixed sample budget;
+//! * [`approx`] — the (ε, δ) refinement of the same estimator: the sample
+//!   count is derived from an additive error bound and failure probability
+//!   via the shared Hoeffding planner, blocks fan out on a
+//!   [`WorkerPool`], and [`approx::possible_with_confidence`] parallelizes
+//!   per tuple-group.
+
+pub mod approx;
 
 use std::collections::BTreeSet;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use ws_relational::Tuple;
+use ws_relational::{Tuple, WorkerPool};
 
 use crate::database::UDatabase;
 use crate::descriptor::WsDescriptor;
@@ -112,11 +120,23 @@ pub fn approx_conf(
 
 /// The possible tuples of a relation together with their exact confidences.
 pub fn possible_with_confidence(udb: &UDatabase, relation: &str) -> Result<Vec<(Tuple, f64)>> {
+    possible_with_confidence_with(udb, relation, &WorkerPool::serial())
+}
+
+/// [`possible_with_confidence`] with the per-tuple exact DNF evaluations
+/// fanned out on `pool`; output order is the serial order for any thread
+/// count.
+pub fn possible_with_confidence_with(
+    udb: &UDatabase,
+    relation: &str,
+    pool: &WorkerPool,
+) -> Result<Vec<(Tuple, f64)>> {
     let possible = udb.relation(relation)?.possible_tuples();
-    possible
-        .rows()
-        .iter()
-        .map(|t| Ok((t.clone(), conf(udb, relation, t)?)))
+    let rows = possible.rows();
+    let confidences = pool.map_coarse(rows, |t| conf(udb, relation, t));
+    rows.iter()
+        .zip(confidences)
+        .map(|(t, c)| Ok((t.clone(), c?)))
         .collect()
 }
 

@@ -1,0 +1,213 @@
+//! (ε, δ)-approximate confidence on U-relations: Monte-Carlo over the world
+//! table.
+//!
+//! The confidence of a tuple is the probability of the DNF formed by its
+//! descriptors over the independent world-table variables — the #P-hard
+//! problem the Karp–Luby estimator was designed for.  Like the WSD estimator
+//! ([`ws_core::confidence::approx`]), this module samples total assignments
+//! of the *relevant* variables only (everything else marginalizes out) and
+//! checks the DNF directly, giving the same additive (ε, δ) guarantee from
+//! the shared Hoeffding bound
+//! [`hoeffding_samples`](ws_core::confidence::approx::hoeffding_samples):
+//! after `n = ⌈ln(2/δ) / (2ε²)⌉` trials, `|p̂ − p| ≤ ε` with probability at
+//! least `1 − δ`.
+//!
+//! Trials are drawn in fixed blocks seeded from `(seed, block index)` and
+//! summed in block order, so every estimate is bit-identical for any
+//! [`WorkerPool`] thread count; [`possible_with_confidence`] additionally
+//! fans out per tuple-group (each possible tuple's DNF is independent),
+//! deriving each group's seed from the tuple's index so estimates stay
+//! uncorrelated.
+
+use std::collections::BTreeSet;
+
+use rand::Rng;
+use ws_core::confidence::approx::{block_seed, run_trial_blocks, ApproxConfig};
+use ws_relational::{Tuple, WorkerPool};
+
+use crate::database::UDatabase;
+use crate::descriptor::WsDescriptor;
+use crate::error::{Result, UrelError};
+use crate::world::Assignment;
+
+/// (ε, δ)-approximate confidence of `tuple` in `relation`, serial.
+pub fn conf(udb: &UDatabase, relation: &str, tuple: &Tuple, config: &ApproxConfig) -> Result<f64> {
+    conf_with(udb, relation, tuple, config, &WorkerPool::serial())
+}
+
+/// (ε, δ)-approximate confidence with Monte-Carlo blocks fanned out on
+/// `pool`.  The estimate is identical for every thread count.
+pub fn conf_with(
+    udb: &UDatabase,
+    relation: &str,
+    tuple: &Tuple,
+    config: &ApproxConfig,
+    pool: &WorkerPool,
+) -> Result<f64> {
+    let descriptors = udb.relation(relation)?.descriptors_of(tuple);
+    estimate_dnf(udb, &descriptors, config, pool)
+}
+
+/// Estimate the probability of the disjunction of `descriptors`.
+fn estimate_dnf(
+    udb: &UDatabase,
+    descriptors: &[&WsDescriptor],
+    config: &ApproxConfig,
+    pool: &WorkerPool,
+) -> Result<f64> {
+    if descriptors.is_empty() {
+        return Ok(0.0);
+    }
+    // A tuple with an empty descriptor is present in every world.
+    if descriptors.iter().any(|d| d.is_empty()) {
+        return Ok(1.0);
+    }
+    let variables: Vec<String> = descriptors
+        .iter()
+        .flat_map(|d| d.variables().map(str::to_string))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    // Cumulative distributions of the relevant variables, for inverse-CDF
+    // sampling.
+    let cumulative: Vec<(String, Vec<f64>)> = variables
+        .iter()
+        .map(|v| {
+            let mut acc = 0.0;
+            let cdf = udb
+                .world_table()
+                .distribution(v)?
+                .iter()
+                .map(|p| {
+                    acc += p;
+                    acc
+                })
+                .collect();
+            Ok::<_, UrelError>((v.clone(), cdf))
+        })
+        .collect::<Result<_>>()?;
+    let samples = config
+        .samples()
+        .map_err(|e| UrelError::invalid(e.to_string()))?;
+    let hits: usize = run_trial_blocks(pool, samples, config.seed, |rng, block_len| {
+        // One assignment per block, variable names cloned once; its
+        // `values_mut()` iterates in key order, which is exactly the order
+        // of `cumulative` (both sorted by variable name).
+        let mut assignment: Assignment = cumulative
+            .iter()
+            .map(|(var, _)| (var.clone(), 0usize))
+            .collect();
+        let mut hits = 0usize;
+        for _ in 0..block_len {
+            for ((_, cdf), slot) in cumulative.iter().zip(assignment.values_mut()) {
+                let draw: f64 = rng.gen();
+                *slot = cdf.partition_point(|&acc| acc <= draw).min(cdf.len() - 1);
+            }
+            if descriptors.iter().any(|d| d.satisfied_by(&assignment)) {
+                hits += 1;
+            }
+        }
+        hits
+    })
+    .into_iter()
+    .sum();
+    Ok(hits as f64 / samples as f64)
+}
+
+/// The possible tuples of `relation` with (ε, δ)-approximate confidences,
+/// serial.
+pub fn possible_with_confidence(
+    udb: &UDatabase,
+    relation: &str,
+    config: &ApproxConfig,
+) -> Result<Vec<(Tuple, f64)>> {
+    possible_with_confidence_with(udb, relation, config, &WorkerPool::serial())
+}
+
+/// [`possible_with_confidence`] parallelized per tuple-group on `pool`:
+/// each possible tuple's descriptor DNF is estimated independently, with a
+/// per-tuple seed derived from the tuple's index.  Output order (and every
+/// estimate) is identical for any thread count.
+pub fn possible_with_confidence_with(
+    udb: &UDatabase,
+    relation: &str,
+    config: &ApproxConfig,
+    pool: &WorkerPool,
+) -> Result<Vec<(Tuple, f64)>> {
+    let possible = udb.relation(relation)?.possible_tuples();
+    let rows = possible.rows();
+    let indexed: Vec<(usize, &Tuple)> = rows.iter().enumerate().collect();
+    let estimates = pool.map_coarse(&indexed, |(idx, tuple)| {
+        // Per-tuple seed: keeps tuple estimates uncorrelated while the inner
+        // sampler stays serial (the fan-out here is already per tuple).
+        let tuple_config = config.with_seed(block_seed(config.seed, u64::MAX - *idx as u64));
+        conf(udb, relation, tuple, &tuple_config)
+    });
+    rows.iter()
+        .zip(estimates)
+        .map(|(tuple, estimate)| Ok((tuple.clone(), estimate?)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confidence as exact;
+    use crate::convert::from_wsd;
+    use crate::ops;
+    use ws_core::wsd::example_census_wsd;
+    use ws_relational::{RaExpr, Value};
+
+    #[test]
+    fn estimates_land_within_epsilon_of_exact() {
+        let mut udb = from_wsd(&example_census_wsd()).unwrap();
+        ops::evaluate_query(&mut udb, &RaExpr::rel("R").project(vec!["S"]), "Q").unwrap();
+        let config = ApproxConfig::new(0.02, 0.01);
+        for (tuple, exact) in exact::possible_with_confidence(&udb, "Q").unwrap() {
+            let estimate = conf(&udb, "Q", &tuple, &config).unwrap();
+            assert!(
+                (estimate - exact).abs() <= config.epsilon,
+                "conf({tuple}) ≈ {estimate}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_are_identical_for_every_thread_count() {
+        let udb = from_wsd(&example_census_wsd()).unwrap();
+        let config = ApproxConfig::default();
+        let serial = possible_with_confidence(&udb, "R", &config).unwrap();
+        assert!(!serial.is_empty());
+        for threads in [2usize, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(
+                possible_with_confidence_with(&udb, "R", &config, &pool).unwrap(),
+                serial
+            );
+        }
+    }
+
+    #[test]
+    fn certain_impossible_and_unknown_cases() {
+        let udb = from_wsd(&example_census_wsd()).unwrap();
+        let config = ApproxConfig::default();
+        let absent = Tuple::from_iter([Value::int(999), Value::text("Nobody"), Value::int(1)]);
+        assert_eq!(conf(&udb, "R", &absent, &config).unwrap(), 0.0);
+        assert!(conf(&udb, "NOPE", &absent, &config).is_err());
+        // Invalid (ε, δ) is rejected as soon as sampling is actually needed.
+        let present = udb.relation("R").unwrap().possible_tuples().rows()[0].clone();
+        assert!(conf(&udb, "R", &present, &ApproxConfig::new(0.5, 2.0)).is_err());
+
+        // A certain tuple (empty descriptor) needs no sampling at all.
+        let mut rel =
+            ws_relational::Relation::new(ws_relational::Schema::new("S", &["X"]).unwrap());
+        rel.push_values([5i64]).unwrap();
+        let mut wsd = ws_core::Wsd::new();
+        wsd.add_certain_relation(&rel).unwrap();
+        let udb2 = from_wsd(&wsd).unwrap();
+        assert_eq!(
+            conf(&udb2, "S", &Tuple::from_iter([5i64]), &config).unwrap(),
+            1.0
+        );
+    }
+}

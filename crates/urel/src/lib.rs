@@ -34,6 +34,7 @@ pub mod world;
 
 pub use confidence::{
     approx_conf, conf, expected_cardinality, is_certain, possible_with_confidence,
+    possible_with_confidence_with,
 };
 pub use convert::from_wsd;
 pub use database::UDatabase;

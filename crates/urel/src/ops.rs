@@ -16,7 +16,7 @@
 //! evaluates differences via conditional confidence instead — see
 //! `ws_core::conditional`).
 
-use ws_relational::engine::{self, EngineConfig, QueryBackend, SchemaCatalog, TempNames};
+use ws_relational::engine::{self, EngineConfig, ExecContext, QueryBackend, SchemaCatalog};
 use ws_relational::{CmpOp, Predicate, RaExpr, RelationalError, Schema, Tuple};
 
 use crate::database::UDatabase;
@@ -154,19 +154,31 @@ impl QueryBackend for UDatabase {
         input: &str,
         pred: &Predicate,
         out: &str,
-        _temps: &mut TempNames,
+        _ctx: &mut ExecContext,
     ) -> Result<()> {
         let result = select(self, input, pred)?;
         self.store_as(result, out)
     }
 
-    fn apply_project(&mut self, input: &str, attrs: &[String], out: &str) -> Result<()> {
+    fn apply_project(
+        &mut self,
+        input: &str,
+        attrs: &[String],
+        out: &str,
+        _ctx: &mut ExecContext,
+    ) -> Result<()> {
         let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
         let result = project(self, input, &attr_refs)?;
         self.store_as(result, out)
     }
 
-    fn apply_product(&mut self, left: &str, right: &str, out: &str) -> Result<()> {
+    fn apply_product(
+        &mut self,
+        left: &str,
+        right: &str,
+        out: &str,
+        _ctx: &mut ExecContext,
+    ) -> Result<()> {
         let result = product(self, left, right, out)?;
         self.store_as(result, out)
     }
@@ -178,7 +190,7 @@ impl QueryBackend for UDatabase {
         left_attr: &str,
         right_attr: &str,
         out: &str,
-        _temps: &mut TempNames,
+        _ctx: &mut ExecContext,
     ) -> Result<()> {
         let pred = Predicate::cmp_attr(left_attr, CmpOp::Eq, right_attr);
         let result = join(self, left, right, out, &pred)?;

@@ -16,7 +16,7 @@
 use crate::error::{Result, UwsdtError};
 use crate::model::Uwsdt;
 use crate::ops;
-use ws_relational::engine::{self, QueryBackend, SchemaCatalog, TempNames};
+use ws_relational::engine::{self, ExecContext, QueryBackend, SchemaCatalog};
 use ws_relational::{Predicate, RaExpr, RelationalError, Schema};
 
 impl SchemaCatalog for Uwsdt {
@@ -54,17 +54,29 @@ impl QueryBackend for Uwsdt {
         input: &str,
         pred: &Predicate,
         out: &str,
-        _temps: &mut TempNames,
+        _ctx: &mut ExecContext,
     ) -> Result<()> {
         ops::select(self, input, out, pred)
     }
 
-    fn apply_project(&mut self, input: &str, attrs: &[String], out: &str) -> Result<()> {
+    fn apply_project(
+        &mut self,
+        input: &str,
+        attrs: &[String],
+        out: &str,
+        _ctx: &mut ExecContext,
+    ) -> Result<()> {
         let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
         ops::project(self, input, out, &attr_refs)
     }
 
-    fn apply_product(&mut self, left: &str, right: &str, out: &str) -> Result<()> {
+    fn apply_product(
+        &mut self,
+        left: &str,
+        right: &str,
+        out: &str,
+        _ctx: &mut ExecContext,
+    ) -> Result<()> {
         ops::product(self, left, right, out)
     }
 
@@ -75,7 +87,7 @@ impl QueryBackend for Uwsdt {
         left_attr: &str,
         right_attr: &str,
         out: &str,
-        _temps: &mut TempNames,
+        _ctx: &mut ExecContext,
     ) -> Result<()> {
         ops::join(self, left, right, out, left_attr, right_attr)
     }

@@ -1,0 +1,220 @@
+//! Shared fixtures of the engine property tests: the random well-typed plan
+//! generator and the random-WSD builder used by both the cross-backend
+//! equivalence suite and the parallel-executor identity suite.
+//!
+//! Each integration-test binary compiles its own copy of this module, so
+//! helpers one binary does not use are expected dead code there.
+#![allow(dead_code)]
+
+use std::collections::BTreeSet;
+
+use maybms::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated expression together with its (ordered) output attributes.
+#[derive(Clone, Debug)]
+pub struct GenExpr {
+    pub expr: RaExpr,
+    pub attrs: Vec<String>,
+}
+
+pub struct Generator {
+    rng: StdRng,
+    rename_counter: usize,
+}
+
+impl Generator {
+    pub fn new(seed: u64) -> Self {
+        Generator {
+            rng: StdRng::seed_from_u64(seed),
+            rename_counter: 0,
+        }
+    }
+
+    /// A random comparison operator.
+    fn op(&mut self) -> CmpOp {
+        match self.rng.gen_range(0..6) {
+            0 => CmpOp::Eq,
+            1 => CmpOp::Ne,
+            2 => CmpOp::Lt,
+            3 => CmpOp::Le,
+            4 => CmpOp::Gt,
+            _ => CmpOp::Ge,
+        }
+    }
+
+    /// A random (possibly composite) predicate over the given attributes.
+    fn predicate(&mut self, attrs: &[String], depth: usize) -> Predicate {
+        if depth > 0 && self.rng.gen_bool(0.3) {
+            let parts = (0..self.rng.gen_range(1..=2usize))
+                .map(|_| self.predicate(attrs, depth - 1))
+                .collect::<Vec<_>>();
+            return match self.rng.gen_range(0..3) {
+                0 => Predicate::and(parts),
+                1 => Predicate::or(parts),
+                _ => Predicate::not(self.predicate(attrs, depth - 1)),
+            };
+        }
+        let attr = attrs[self.rng.gen_range(0..attrs.len())].clone();
+        if attrs.len() > 1 && self.rng.gen_bool(0.3) {
+            let other = attrs[self.rng.gen_range(0..attrs.len())].clone();
+            Predicate::cmp_attr(attr, self.op(), other)
+        } else {
+            Predicate::cmp_const(attr, self.op(), self.rng.gen_range(0..4i64))
+        }
+    }
+
+    /// A random well-typed plan over base relations `R[A, B]` and `S[C]`.
+    pub fn expr(&mut self, depth: usize, allow_difference: bool) -> GenExpr {
+        if depth == 0 {
+            return if self.rng.gen_bool(0.7) {
+                GenExpr {
+                    expr: RaExpr::rel("R"),
+                    attrs: vec!["A".to_string(), "B".to_string()],
+                }
+            } else {
+                GenExpr {
+                    expr: RaExpr::rel("S"),
+                    attrs: vec!["C".to_string()],
+                }
+            };
+        }
+        match self.rng.gen_range(0..10) {
+            // Selection.
+            0 | 1 => {
+                let input = self.expr(depth - 1, allow_difference);
+                let pred = self.predicate(&input.attrs, 1);
+                GenExpr {
+                    expr: input.expr.select(pred),
+                    attrs: input.attrs,
+                }
+            }
+            // Projection onto a random non-empty prefix-shuffled subset.
+            2 | 3 => {
+                let input = self.expr(depth - 1, allow_difference);
+                let keep = self.rng.gen_range(1..=input.attrs.len());
+                let mut attrs = input.attrs.clone();
+                for i in (1..attrs.len()).rev() {
+                    let j = self.rng.gen_range(0..=i);
+                    attrs.swap(i, j);
+                }
+                attrs.truncate(keep);
+                GenExpr {
+                    expr: input.expr.project(attrs.clone()),
+                    attrs,
+                }
+            }
+            // Renaming.
+            4 => {
+                let input = self.expr(depth - 1, allow_difference);
+                let idx = self.rng.gen_range(0..input.attrs.len());
+                let from = input.attrs[idx].clone();
+                self.rename_counter += 1;
+                let to = format!("{from}_r{}", self.rename_counter);
+                let mut attrs = input.attrs.clone();
+                attrs[idx] = to.clone();
+                GenExpr {
+                    expr: input.expr.rename(from, to),
+                    attrs,
+                }
+            }
+            // Product (with clash-avoiding renames), sometimes as a θ-join.
+            5 | 6 => {
+                let left = self.expr(depth - 1, allow_difference);
+                let mut right = self.expr(depth - 1, allow_difference);
+                for (idx, attr) in right.attrs.clone().into_iter().enumerate() {
+                    if left.attrs.contains(&attr) {
+                        self.rename_counter += 1;
+                        let to = format!("{attr}_p{}", self.rename_counter);
+                        right.expr = right.expr.rename(attr, to.clone());
+                        right.attrs[idx] = to;
+                    }
+                }
+                let mut attrs = left.attrs.clone();
+                attrs.extend(right.attrs.iter().cloned());
+                let mut expr = left.expr.product(right.expr);
+                if self.rng.gen_bool(0.5) {
+                    let la = left.attrs[self.rng.gen_range(0..left.attrs.len())].clone();
+                    let ra = right.attrs[self.rng.gen_range(0..right.attrs.len())].clone();
+                    expr = expr.select(Predicate::cmp_attr(la, CmpOp::Eq, ra));
+                }
+                GenExpr { expr, attrs }
+            }
+            // Union of two selections of a common input (union-compatible by
+            // construction).
+            7 | 8 => {
+                let input = self.expr(depth - 1, allow_difference);
+                let p1 = self.predicate(&input.attrs, 0);
+                let p2 = self.predicate(&input.attrs, 0);
+                GenExpr {
+                    expr: input.expr.clone().select(p1).union(input.expr.select(p2)),
+                    attrs: input.attrs,
+                }
+            }
+            // Difference of two selections of a common input.
+            _ => {
+                let input = self.expr(depth - 1, allow_difference);
+                if !allow_difference {
+                    return input;
+                }
+                let p1 = self.predicate(&input.attrs, 0);
+                let p2 = self.predicate(&input.attrs, 0);
+                GenExpr {
+                    expr: input
+                        .expr
+                        .clone()
+                        .select(p1)
+                        .difference(input.expr.select(p2)),
+                    attrs: input.attrs,
+                }
+            }
+        }
+    }
+}
+
+/// A small random WSD over `R[A, B]` and `S[C]` with or-set noise.
+pub fn random_wsd(rng: &mut StdRng) -> Wsd {
+    let mut wsd = Wsd::new();
+    let r_tuples = rng.gen_range(2..=3usize);
+    let s_tuples = rng.gen_range(1..=2usize);
+    wsd.register_relation("R", &["A", "B"], r_tuples).unwrap();
+    wsd.register_relation("S", &["C"], s_tuples).unwrap();
+    let mut fields: Vec<FieldId> = Vec::new();
+    for t in 0..r_tuples {
+        fields.push(FieldId::new("R", t, "A"));
+        fields.push(FieldId::new("R", t, "B"));
+    }
+    for t in 0..s_tuples {
+        fields.push(FieldId::new("S", t, "C"));
+    }
+    for field in fields {
+        if rng.gen_bool(0.35) {
+            let n = rng.gen_range(2..=3usize);
+            let mut alternatives: BTreeSet<i64> = BTreeSet::new();
+            while alternatives.len() < n {
+                alternatives.insert(rng.gen_range(0..4i64));
+            }
+            wsd.set_uniform(field, alternatives.into_iter().map(Value::int).collect())
+                .unwrap();
+        } else {
+            wsd.set_certain(field, Value::int(rng.gen_range(0..4i64)))
+                .unwrap();
+        }
+    }
+    wsd.validate().unwrap();
+    wsd
+}
+
+pub fn plan_has_difference(expr: &RaExpr) -> bool {
+    match expr {
+        RaExpr::Rel(_) => false,
+        RaExpr::Select { input, .. }
+        | RaExpr::Project { input, .. }
+        | RaExpr::Rename { input, .. } => plan_has_difference(input),
+        RaExpr::Product { left, right } | RaExpr::Union { left, right } => {
+            plan_has_difference(left) || plan_has_difference(right)
+        }
+        RaExpr::Difference { .. } => true,
+    }
+}
