@@ -68,11 +68,11 @@ fn main() {
 
         // Evaluate the query once per representation.
         let mut wsd_q = wsd.clone();
-        let out_wsd = ws_core::ops::evaluate_query(&mut wsd_q, &query, "Q").unwrap();
+        let out_wsd = ws_relational::evaluate_query(&mut wsd_q, &query, "Q").unwrap();
         let mut uwsdt = scenario.dirty_uwsdt().unwrap();
-        let out_uw = ws_uwsdt::evaluate_query(&mut uwsdt, &query, "Q").unwrap();
+        let out_uw = ws_relational::evaluate_query(&mut uwsdt, &query, "Q").unwrap();
         let mut udb = ws_urel::from_wsd(&wsd).unwrap();
-        let out_u = ws_urel::evaluate_query(&mut udb, &query, "Q").unwrap();
+        let out_u = ws_relational::evaluate_query(&mut udb, &query, "Q").unwrap();
 
         // The serial UWSDT reference point (no parallel API), once per grid
         // cell.

@@ -76,7 +76,7 @@ fn main() {
         let (wsd_after, wsd_time) = {
             let mut scratch = wsd.clone();
             let ((), elapsed) = time_once(|| {
-                ws_core::ops::evaluate_query(&mut scratch, &query, "J")
+                ws_relational::evaluate_query(&mut scratch, &query, "J")
                     .map(|_| ())
                     .unwrap();
             });
@@ -88,7 +88,7 @@ fn main() {
         let (urel_after, urel_time) = {
             let mut scratch = udb.clone();
             let ((), elapsed) = time_once(|| {
-                ws_urel::evaluate_query(&mut scratch, &query, "J")
+                ws_relational::evaluate_query(&mut scratch, &query, "J")
                     .map(|_| ())
                     .unwrap();
             });

@@ -81,7 +81,7 @@ fn bench_operators(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("union_self", tuples), &wsd, |b, wsd| {
             b.iter(|| {
                 let mut w = wsd.clone();
-                ws_core::ops::evaluate_query(
+                ws_relational::evaluate_query(
                     &mut w,
                     &RaExpr::rel("R")
                         .select(Predicate::eq_const("B", 1i64))

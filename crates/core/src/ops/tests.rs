@@ -115,7 +115,7 @@ fn same_distribution(a: &[(Relation, f64)], b: &[(Relation, f64)]) -> bool {
 fn assert_matches_oracle(wsd: &Wsd, query: &RaExpr) {
     let oracle = oracle_distribution(wsd, query);
     let mut evaluated = wsd.clone();
-    evaluate_query(&mut evaluated, query, "OUT").unwrap();
+    ws_relational::engine::evaluate_query(&mut evaluated, query, "OUT").unwrap();
     evaluated.validate().unwrap();
     let ours = evaluated.rep_relation("OUT", 1_000_000).unwrap();
     assert!(
@@ -262,7 +262,7 @@ fn projection_of_plain_relation_matches_oracle() {
     assert_matches_oracle(&wsd, &q);
     // Result schema keeps the projection order.
     let mut evaluated = wsd.clone();
-    evaluate_query(&mut evaluated, &q, "OUT").unwrap();
+    ws_relational::engine::evaluate_query(&mut evaluated, &q, "OUT").unwrap();
     let attrs: Vec<String> = evaluated
         .meta("OUT")
         .unwrap()
@@ -295,7 +295,7 @@ fn projection_does_not_reintroduce_deleted_tuples() {
     let q = RaExpr::rel("R").project(vec!["A"]);
     assert_matches_oracle(&wsd, &q);
     let mut evaluated = wsd.clone();
-    evaluate_query(&mut evaluated, &q, "P").unwrap();
+    ws_relational::engine::evaluate_query(&mut evaluated, &q, "P").unwrap();
     for (db, _) in evaluated.enumerate_worlds(100).unwrap() {
         assert_eq!(db.relation("P").unwrap().len(), 1);
     }
@@ -326,7 +326,7 @@ fn rename_matches_oracle_and_changes_schema() {
     let q = RaExpr::rel("R").rename("A", "A2");
     assert_matches_oracle(&wsd, &q);
     let mut evaluated = wsd.clone();
-    evaluate_query(&mut evaluated, &q, "OUT").unwrap();
+    ws_relational::engine::evaluate_query(&mut evaluated, &q, "OUT").unwrap();
     assert!(evaluated
         .meta("OUT")
         .unwrap()
@@ -395,7 +395,7 @@ fn query_over_the_census_example_matches_oracle() {
 fn evaluate_query_reports_unknown_relations() {
     let mut wsd = figure10_wsd();
     let q = RaExpr::rel("NOPE");
-    assert!(evaluate_query(&mut wsd, &q, "OUT").is_err());
+    assert!(ws_relational::engine::evaluate_query(&mut wsd, &q, "OUT").is_err());
 }
 
 #[test]

@@ -1,0 +1,339 @@
+//! The fluent, typed query builder behind [`crate::session::Session`].
+//!
+//! Queries used to be hand-assembled [`RaExpr`] trees; the builder keeps the
+//! same named-perspective algebra but reads like a query and is checked as
+//! one: [`q`] starts from a base relation, combinators wrap operators around
+//! it, and [`typecheck`] resolves the whole tree against a
+//! [`SchemaCatalog`] *before* anything is evaluated — unknown relations,
+//! unknown attributes inside predicates, clashing product attributes and
+//! union-incompatible operands all surface as one
+//! [`crate::Error`] carrying the offending plan.
+//!
+//! ```
+//! use maybms::q;
+//! use maybms::prelude::{CmpOp, Predicate};
+//!
+//! let pairs = q("R")
+//!     .project(["S"])
+//!     .rename("S", "S1")
+//!     .product(q("R").project(["S"]).rename("S", "S2"))
+//!     .select(Predicate::cmp_attr("S1", CmpOp::Ne, "S2"));
+//! assert_eq!(
+//!     pairs.lower().to_string(),
+//!     "σ[S1!=S2]((δ[S→S1](π[S](R)) × δ[S→S2](π[S](R))))"
+//! );
+//! ```
+
+use crate::error::{Error, Result};
+use std::collections::BTreeSet;
+use ws_relational::{Predicate, RaExpr, SchemaCatalog};
+
+/// Start a query from base relation `name` — the front door of the fluent
+/// builder.
+pub fn q(name: impl Into<String>) -> Query {
+    Query {
+        expr: RaExpr::rel(name),
+    }
+}
+
+/// A relational-algebra query under construction.
+///
+/// A thin, typed wrapper around [`RaExpr`]: combinators consume `self` and
+/// return the extended query, and [`Query::lower`] hands the finished tree to
+/// the engine.  Anything accepted where a query is expected ([`IntoQuery`])
+/// can be mixed in as an operand, so existing `RaExpr` trees compose with
+/// built queries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    expr: RaExpr,
+}
+
+impl Query {
+    /// Wrap an already-built expression tree.
+    pub fn from_expr(expr: RaExpr) -> Query {
+        Query { expr }
+    }
+
+    /// Selection `σ_pred`.
+    pub fn select(self, pred: Predicate) -> Query {
+        Query {
+            expr: self.expr.select(pred),
+        }
+    }
+
+    /// Projection `π_attrs` (attributes keep the given order).
+    pub fn project<S: Into<String>>(self, attrs: impl IntoIterator<Item = S>) -> Query {
+        Query {
+            expr: self.expr.project(attrs.into_iter().collect::<Vec<S>>()),
+        }
+    }
+
+    /// θ-join `⋈_on` with another query, lowered to `σ_on(self × other)`;
+    /// the executor recognizes equality conjuncts and runs a physical
+    /// equi-join.
+    pub fn join(self, other: impl IntoQuery, on: Predicate) -> Query {
+        Query {
+            expr: self.expr.join(other.into_query().expr, on),
+        }
+    }
+
+    /// Product `×` with another query (attribute sets must be disjoint).
+    pub fn product(self, other: impl IntoQuery) -> Query {
+        Query {
+            expr: self.expr.product(other.into_query().expr),
+        }
+    }
+
+    /// Union `∪` (set semantics; operands must be union-compatible).
+    pub fn union(self, other: impl IntoQuery) -> Query {
+        Query {
+            expr: self.expr.union(other.into_query().expr),
+        }
+    }
+
+    /// Difference `−` (set semantics; operands must be union-compatible).
+    pub fn difference(self, other: impl IntoQuery) -> Query {
+        Query {
+            expr: self.expr.difference(other.into_query().expr),
+        }
+    }
+
+    /// Attribute renaming `δ_{from→to}`.
+    pub fn rename(self, from: impl Into<String>, to: impl Into<String>) -> Query {
+        Query {
+            expr: self.expr.rename(from, to),
+        }
+    }
+
+    /// Lower the builder to the engine's plan representation.
+    pub fn lower(self) -> RaExpr {
+        self.expr
+    }
+
+    /// The plan without consuming the builder.
+    pub fn as_expr(&self) -> &RaExpr {
+        &self.expr
+    }
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.expr.fmt(f)
+    }
+}
+
+/// Anything a query combinator accepts as an operand.
+pub trait IntoQuery {
+    /// Convert into a [`Query`].
+    fn into_query(self) -> Query;
+}
+
+impl IntoQuery for Query {
+    fn into_query(self) -> Query {
+        self
+    }
+}
+
+impl IntoQuery for RaExpr {
+    fn into_query(self) -> Query {
+        Query::from_expr(self)
+    }
+}
+
+impl IntoQuery for &RaExpr {
+    fn into_query(self) -> Query {
+        Query::from_expr(self.clone())
+    }
+}
+
+impl From<Query> for RaExpr {
+    fn from(query: Query) -> RaExpr {
+        query.lower()
+    }
+}
+
+impl From<RaExpr> for Query {
+    fn from(expr: RaExpr) -> Query {
+        Query::from_expr(expr)
+    }
+}
+
+/// Resolve a plan against a catalog, returning its (ordered) output
+/// attributes or a [`crate::Error`] with plan context.
+///
+/// This is the static half of query evaluation: it follows exactly the
+/// attribute rules the physical operators enforce at run time (projection
+/// subsets, disjoint products, union compatibility, rename freshness) plus
+/// predicate scoping — every attribute a predicate mentions must be visible
+/// in its input.  Plans that pass typecheck can still fail on a backend that
+/// does not support an operator (U-relations reject `−`), but they cannot
+/// fail on name resolution.
+pub fn typecheck<C: SchemaCatalog + ?Sized>(catalog: &C, expr: &RaExpr) -> Result<Vec<String>> {
+    check(catalog, expr).map_err(|e| e.with_plan(expr))
+}
+
+fn check<C: SchemaCatalog + ?Sized>(catalog: &C, expr: &RaExpr) -> Result<Vec<String>> {
+    match expr {
+        RaExpr::Rel(name) => {
+            let schema = catalog
+                .schema_of(name)
+                .map_err(|_| Error::typecheck(format!("unknown base relation `{name}`")))?;
+            Ok(schema.attrs().iter().map(|a| a.to_string()).collect())
+        }
+        RaExpr::Select { pred, input } => {
+            let attrs = check(catalog, input)?;
+            let visible: BTreeSet<&str> = attrs.iter().map(String::as_str).collect();
+            for used in pred.referenced_attrs() {
+                if !visible.contains(used) {
+                    return Err(Error::typecheck(format!(
+                        "selection references `{used}`, which is not among the input attributes {attrs:?}"
+                    )));
+                }
+            }
+            Ok(attrs)
+        }
+        RaExpr::Project { attrs, input } => {
+            let input_attrs = check(catalog, input)?;
+            if attrs.is_empty() {
+                return Err(Error::typecheck("projection list is empty"));
+            }
+            let visible: BTreeSet<&str> = input_attrs.iter().map(String::as_str).collect();
+            let mut seen = BTreeSet::new();
+            for attr in attrs {
+                if !visible.contains(attr.as_str()) {
+                    return Err(Error::typecheck(format!(
+                        "projection keeps `{attr}`, which is not among the input attributes {input_attrs:?}"
+                    )));
+                }
+                if !seen.insert(attr.as_str()) {
+                    return Err(Error::typecheck(format!("projection lists `{attr}` twice")));
+                }
+            }
+            Ok(attrs.clone())
+        }
+        RaExpr::Product { left, right } => {
+            let l = check(catalog, left)?;
+            let r = check(catalog, right)?;
+            if let Some(clash) = l.iter().find(|a| r.contains(a)) {
+                return Err(Error::typecheck(format!(
+                    "product operands share attribute `{clash}`; rename one side first"
+                )));
+            }
+            Ok(l.into_iter().chain(r).collect())
+        }
+        RaExpr::Union { left, right } | RaExpr::Difference { left, right } => {
+            let l = check(catalog, left)?;
+            let r = check(catalog, right)?;
+            if l != r {
+                let op = if matches!(expr, RaExpr::Union { .. }) {
+                    "union"
+                } else {
+                    "difference"
+                };
+                return Err(Error::typecheck(format!(
+                    "{op} operands are not union-compatible: {l:?} vs {r:?}"
+                )));
+            }
+            Ok(l)
+        }
+        RaExpr::Rename { from, to, input } => {
+            let attrs = check(catalog, input)?;
+            if !attrs.iter().any(|a| a == from) {
+                return Err(Error::typecheck(format!(
+                    "rename source `{from}` is not among the input attributes {attrs:?}"
+                )));
+            }
+            if attrs.iter().any(|a| a == to) {
+                return Err(Error::typecheck(format!(
+                    "rename target `{to}` already exists among the input attributes"
+                )));
+            }
+            Ok(attrs
+                .into_iter()
+                .map(|a| if a == *from { to.clone() } else { a })
+                .collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ws_relational::{CmpOp, Database, Relation, Schema};
+
+    fn catalog() -> Database {
+        let mut db = Database::new();
+        db.insert_relation(Relation::new(Schema::new("R", &["A", "B"]).unwrap()));
+        db.insert_relation(Relation::new(Schema::new("S", &["C"]).unwrap()));
+        db
+    }
+
+    #[test]
+    fn builder_lowers_to_the_expected_tree() {
+        let built = q("R")
+            .select(Predicate::eq_const("A", 1i64))
+            .project(["B"])
+            .union(q("S").rename("C", "B"))
+            .lower();
+        let manual = RaExpr::rel("R")
+            .select(Predicate::eq_const("A", 1i64))
+            .project(vec!["B"])
+            .union(RaExpr::rel("S").rename("C", "B"));
+        assert_eq!(built, manual);
+    }
+
+    #[test]
+    fn raw_exprs_compose_with_built_queries() {
+        let raw = RaExpr::rel("S");
+        let built = q("R").join(&raw, Predicate::cmp_attr("B", CmpOp::Eq, "C"));
+        assert_eq!(
+            built.as_expr().base_relations(),
+            vec!["R", "S"],
+            "operand conversion lost a relation"
+        );
+        let _query: Query = RaExpr::rel("R").into();
+        let _expr: RaExpr = q("R").into();
+    }
+
+    #[test]
+    fn typecheck_resolves_output_attributes() {
+        let db = catalog();
+        let plan = q("R")
+            .product(q("S"))
+            .select(Predicate::cmp_attr("B", CmpOp::Eq, "C"))
+            .project(["A", "C"])
+            .lower();
+        assert_eq!(typecheck(&db, &plan).unwrap(), vec!["A", "C"]);
+        let renamed = q("R").rename("A", "A2").lower();
+        assert_eq!(typecheck(&db, &renamed).unwrap(), vec!["A2", "B"]);
+    }
+
+    #[test]
+    fn typecheck_rejects_bad_plans_with_plan_context() {
+        let db = catalog();
+        let cases: Vec<(RaExpr, &str)> = vec![
+            (q("NOPE").lower(), "unknown base relation"),
+            (
+                q("R").select(Predicate::eq_const("Z", 1i64)).lower(),
+                "selection references",
+            ),
+            (q("R").project(["Z"]).lower(), "projection keeps"),
+            (q("R").project(["A", "A"]).lower(), "twice"),
+            (q("R").project(Vec::<String>::new()).lower(), "empty"),
+            (q("R").product(q("R")).lower(), "share attribute"),
+            (q("R").union(q("S")).lower(), "not union-compatible"),
+            (q("R").difference(q("S")).lower(), "not union-compatible"),
+            (q("R").rename("Z", "Y").lower(), "rename source"),
+            (q("R").rename("A", "B").lower(), "rename target"),
+        ];
+        for (plan, needle) in cases {
+            let err = typecheck(&db, &plan).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains(needle),
+                "expected `{needle}` in `{msg}` for {plan}"
+            );
+            assert!(err.plan().is_some(), "typecheck error lost plan context");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! The unified error type of the `maybms` front door.
+//!
+//! Every backend crate has its own error enum (`RelationalError`, `WsError`,
+//! `UwsdtError`, `UrelError`); sessions run the same plan on any of them, so
+//! the session API reports all of those through one [`Error`] that carries
+//! the *plan context* — which query was being prepared or executed when the
+//! failure happened — alongside the backend's diagnosis.
+
+use std::fmt;
+use ws_core::WsError;
+use ws_relational::RelationalError;
+use ws_urel::UrelError;
+use ws_uwsdt::UwsdtError;
+
+/// Result alias of the session layer.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// What went wrong, independent of where in a plan it went wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ErrorKind {
+    /// A query failed to typecheck against the session's catalog before any
+    /// evaluation started (unknown relation/attribute, incompatible union,
+    /// clashing product attributes, …).
+    Typecheck(String),
+    /// An error surfaced from the relational substrate.
+    Relational(RelationalError),
+    /// An error surfaced from the WSD layer (also covers the explicit
+    /// world-set oracle, which shares `WsError`).
+    Ws(WsError),
+    /// An error surfaced from the UWSDT layer.
+    Uwsdt(UwsdtError),
+    /// An error surfaced from the U-relation layer.
+    Urel(UrelError),
+    /// Anything else worth reporting with a message.
+    Other(String),
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorKind::Typecheck(msg) => write!(f, "typecheck failed: {msg}"),
+            ErrorKind::Relational(e) => write!(f, "{e}"),
+            ErrorKind::Ws(e) => write!(f, "{e}"),
+            ErrorKind::Uwsdt(e) => write!(f, "{e}"),
+            ErrorKind::Urel(e) => write!(f, "{e}"),
+            ErrorKind::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// The session layer's error: a backend/typecheck diagnosis plus the plan it
+/// belongs to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    kind: ErrorKind,
+    plan: Option<String>,
+}
+
+impl Error {
+    /// Wrap a diagnosis without plan context.
+    pub fn new(kind: ErrorKind) -> Self {
+        Error { kind, plan: None }
+    }
+
+    /// A typecheck failure.
+    pub fn typecheck(msg: impl Into<String>) -> Self {
+        Error::new(ErrorKind::Typecheck(msg.into()))
+    }
+
+    /// A free-form session error.
+    pub fn other(msg: impl Into<String>) -> Self {
+        Error::new(ErrorKind::Other(msg.into()))
+    }
+
+    /// Attach (or replace) the plan this error belongs to; shown by
+    /// [`fmt::Display`] so failures in deep pipelines name their query.
+    pub fn with_plan(mut self, plan: impl fmt::Display) -> Self {
+        self.plan = Some(plan.to_string());
+        self
+    }
+
+    /// The diagnosis, independent of plan context.
+    pub fn kind(&self) -> &ErrorKind {
+        &self.kind
+    }
+
+    /// The rendered plan the error is about, if any.
+    pub fn plan(&self) -> Option<&str> {
+        self.plan.as_deref()
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.plan {
+            Some(plan) => write!(f, "{} (while evaluating plan {plan})", self.kind),
+            None => write!(f, "{}", self.kind),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ErrorKind> for Error {
+    fn from(kind: ErrorKind) -> Self {
+        Error::new(kind)
+    }
+}
+
+impl From<RelationalError> for Error {
+    fn from(e: RelationalError) -> Self {
+        Error::new(ErrorKind::Relational(e))
+    }
+}
+
+impl From<WsError> for Error {
+    fn from(e: WsError) -> Self {
+        Error::new(ErrorKind::Ws(e))
+    }
+}
+
+impl From<UwsdtError> for Error {
+    fn from(e: UwsdtError) -> Self {
+        Error::new(ErrorKind::Uwsdt(e))
+    }
+}
+
+impl From<UrelError> for Error {
+    fn from(e: UrelError) -> Self {
+        Error::new(ErrorKind::Urel(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_context_is_displayed() {
+        let e = Error::from(RelationalError::UnknownRelation("R".into())).with_plan("σ[A=1](R)");
+        assert!(e.to_string().contains("unknown relation"));
+        assert!(e.to_string().contains("σ[A=1](R)"));
+        assert_eq!(e.plan(), Some("σ[A=1](R)"));
+        let bare = Error::typecheck("boom");
+        assert!(bare.plan().is_none());
+        assert!(bare.to_string().starts_with("typecheck failed"));
+    }
+
+    #[test]
+    fn every_backend_error_converts() {
+        assert!(matches!(
+            Error::from(WsError::Inconsistent).kind(),
+            ErrorKind::Ws(_)
+        ));
+        assert!(matches!(
+            Error::from(UwsdtError::invalid("x")).kind(),
+            ErrorKind::Uwsdt(_)
+        ));
+        assert!(matches!(
+            Error::from(UrelError::invalid("x")).kind(),
+            ErrorKind::Urel(_)
+        ));
+        assert!(matches!(
+            Error::from(RelationalError::Invalid("x".into())).kind(),
+            ErrorKind::Relational(_)
+        ));
+    }
+}

@@ -1,13 +1,58 @@
-//! # maybms — facade crate for the world-set decomposition stack
+//! # maybms — one fluent, prepared, streaming API over every possible-worlds
+//! backend
 //!
-//! This crate re-exports the whole reproduction of *"10^(10^6) Worlds and
-//! Beyond"* under one roof, mirroring how the paper's prototype system
-//! (MayBMS) packaged WSD-based incomplete-information management:
+//! This crate is the front door of the *"10^(10^6) Worlds and Beyond"*
+//! reproduction, mirroring how the paper's prototype system (MayBMS) packaged
+//! WSD-based incomplete-information management: the representation systems
+//! are interchangeable backends behind **one query surface**.
+//!
+//! ## The session API
+//!
+//! Open a [`Session`] on any backend, build queries with [`q`], prepare once,
+//! execute many, stream results:
+//!
+//! ```
+//! use maybms::{q, Session};
+//! use maybms::prelude::Predicate;
+//!
+//! // Any of the five representations works here: an ordinary Database, a
+//! // Wsd, a Uwsdt, a UDatabase (U-relations) or an explicit WorldSet.
+//! let wsd = maybms::core::wsd::example_census_wsd();
+//! let mut session = Session::new(wsd);
+//!
+//! // Fluent, typed query building; `prepare` typechecks against the
+//! // session's catalog and runs the optimizer once per distinct plan.
+//! let married = session
+//!     .prepare(q("R").select(Predicate::eq_const("M", 1i64)).project(["S"]))?;
+//!
+//! // Streaming execution: `Rows` is an Iterator pulling row batches.
+//! let answers: Vec<_> = session.execute(&married)?.collect();
+//! assert!(!answers.is_empty());
+//!
+//! // Tuple confidences (§6) on the same prepared plan.
+//! let with_conf = session.confidence(&married)?;
+//! assert_eq!(answers.len(), with_conf.len());
+//!
+//! // Re-preparing the same query is a plan-cache hit — no second
+//! // optimizer run.
+//! let again = session.prepare(q("R").select(Predicate::eq_const("M", 1i64)).project(["S"]))?;
+//! assert_eq!(again.plan(), married.plan());
+//! assert_eq!(session.stats().cache_hits, 1);
+//! # Ok::<(), maybms::Error>(())
+//! ```
+//!
+//! [`Session::over`] wraps a run-time-chosen backend in [`AnyBackend`];
+//! [`Session::confidence_approx`] switches to the (ε, δ)-approximate §6
+//! evaluators where the backend has one.  Errors from every layer surface as
+//! one [`Error`] carrying the plan they belong to.
+//!
+//! ## The representation crates
 //!
 //! * [`relational`] — the in-memory relational substrate (stand-in for
-//!   PostgreSQL) **and the unified query engine**: the rule-based optimizer
-//!   plus the shared executor behind every representation's
-//!   `evaluate_query` ([`relational::engine`]),
+//!   PostgreSQL) **and the unified query engine**: the rule-based optimizer,
+//!   the shared executor behind every representation, plan
+//!   normalization/fingerprinting ([`mod@relational::fingerprint`]) and the
+//!   volcano-style streaming [`relational::cursor`],
 //! * [`core`] — world-set decompositions: representation, relational algebra,
 //!   normalization, confidence computation and the chase,
 //! * [`uwsdt`] — the uniform, RDBMS-friendly representation used at scale,
@@ -20,33 +65,34 @@
 //!   c-tables, ULDB-style x-relations and the explicit world-enumeration
 //!   oracle.
 //!
-//! ## One pipeline, every backend
+//! ## Under the hood
 //!
-//! Queries are written once as [`prelude::RaExpr`] plans and evaluated on any
-//! backend through the same `optimize → execute` pipeline (§5 of the paper):
-//! `ws_core::ops::evaluate_query` (WSDs), `ws_uwsdt::evaluate_query`
-//! (UWSDTs), `ws_urel::evaluate_query` (U-relations),
-//! `ws_baselines::query_worlds` (explicit worlds) and
-//! `ws_relational::evaluate_query` (one ordinary database) are all thin
-//! wrappers over [`relational::engine::evaluate_query`]; the
-//! `tests/engine_equivalence.rs` property test checks that the five agree
-//! with the optimizer both on and off.
-//!
-//! ## Parallelism and approximation
-//!
-//! The shared executor fans scans, selections, projections and equi-join
-//! build/probe phases out over a fixed-size [`prelude::WorkerPool`]
-//! (`std::thread` only), controlled by [`prelude::EngineConfig::threads`];
-//! `threads = 1` reproduces the serial engine exactly, and parallel output
-//! is canonicalized to the serial order for any thread count.  The NP-hard
-//! §6 confidence computation additionally has (ε, δ)-approximate
-//! Monte-Carlo evaluators — `ws_core::confidence::approx` over WSD
-//! component local worlds and `ws_urel::confidence::approx` over
-//! U-relational DNF descriptors — both driven by
-//! [`prelude::ApproxConfig`] and parallelized on the same pool.
+//! Sessions drive the same `optimize → execute` pipeline (§5 of the paper)
+//! the old per-crate `evaluate_query` free functions used — those functions
+//! are still exported as deprecated shims for migration.  The shared
+//! executor fans scans, selections, projections and equi-join build/probe
+//! phases out over a fixed-size [`prelude::WorkerPool`] controlled by
+//! [`prelude::EngineConfig::threads`]; `threads = 1` reproduces the serial
+//! engine exactly, and parallel output is canonicalized to the serial order
+//! for any thread count, so prepared re-execution is bit-identical at any
+//! parallelism.  The NP-hard §6 confidence computation additionally has
+//! (ε, δ)-approximate Monte-Carlo evaluators driven by
+//! [`prelude::ApproxConfig`].
 //!
 //! The repository-level `examples/` and `tests/` directories are compiled as
-//! part of this crate; see the README for a guided tour.
+//! part of this crate; see the README for a guided tour and the old-API →
+//! new-API migration table.
+
+pub mod builder;
+pub mod error;
+pub mod session;
+
+pub use builder::{q, typecheck, IntoQuery, Query};
+pub use error::{Error, ErrorKind, Result};
+pub use session::{
+    AnyBackend, Prepared, RowSource, Rows, Session, SessionBackend, SessionStats,
+    DEFAULT_BATCH_SIZE,
+};
 
 pub use ws_apps as apps;
 pub use ws_baselines as baselines;
@@ -58,6 +104,11 @@ pub use ws_uwsdt as uwsdt;
 
 /// One-stop prelude for examples and downstream users.
 pub mod prelude {
+    pub use crate::builder::{q, typecheck, IntoQuery, Query};
+    pub use crate::error::{Error, ErrorKind};
+    pub use crate::session::{
+        AnyBackend, Prepared, RowSource, Rows, Session, SessionBackend, SessionStats,
+    };
     pub use ws_apps::{
         consistent_answers, possible_answers, repair_key_violations, MedicalScenario,
         PatientRecord, RepairReport,
@@ -81,8 +132,9 @@ pub mod prelude {
         Component, FieldId, LocalWorld, TupleId, WorldSet, WorldSetRelation, WsError, Wsd, Wsdt,
     };
     pub use ws_relational::{
-        engine, evaluate_query, evaluate_query_with, CmpOp, Database, EngineConfig, ExecContext,
-        Predicate, QueryBackend, RaExpr, Relation, Schema, SchemaCatalog, Tuple, Value, WorkerPool,
+        engine, evaluate_query, evaluate_query_with, CmpOp, Cursor, Database, EngineConfig,
+        ExecContext, Predicate, QueryBackend, RaExpr, Relation, Schema, SchemaCatalog, Tuple,
+        Value, WorkerPool,
     };
     pub use ws_urel::{UDatabase, URelation, WsDescriptor};
     pub use ws_uwsdt::{
@@ -101,5 +153,36 @@ mod tests {
         assert_eq!(db.world_count(), 8);
         let uwsdt = crate::uwsdt::from_wsd(&wsd).unwrap();
         assert_eq!(uwsdt.world_count(), 24);
+    }
+
+    #[test]
+    fn every_backend_opens_a_session() {
+        use crate::{q, Session};
+        let wsd = crate::core::wsd::example_census_wsd();
+        let query = q("R").project(["S"]);
+        let mut expected: Option<Vec<crate::prelude::Tuple>> = None;
+        let backends: Vec<crate::AnyBackend> = vec![
+            wsd.enumerate_worlds(1 << 20).unwrap()[0].0.clone().into(),
+            wsd.clone().into(),
+            crate::uwsdt::from_wsd(&wsd).unwrap().into(),
+            crate::urel::from_wsd(&wsd).unwrap().into(),
+            wsd.rep().unwrap().into(),
+        ];
+        for backend in backends {
+            let single_world = matches!(backend, crate::AnyBackend::Db(_));
+            let mut session = Session::over(backend);
+            let prepared = session.prepare(query.clone()).unwrap();
+            let mut rows: Vec<_> = session.execute(&prepared).unwrap().collect();
+            rows.sort();
+            if single_world {
+                // One world sees a subset of the possible answers.
+                assert!(!rows.is_empty());
+            } else {
+                match &expected {
+                    None => expected = Some(rows),
+                    Some(e) => assert_eq!(e, &rows, "backends disagree on π_S(R)"),
+                }
+            }
+        }
     }
 }

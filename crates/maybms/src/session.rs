@@ -1,0 +1,992 @@
+//! The MayBMS-style front door: open a [`Session`] on any possible-worlds
+//! backend, build queries fluently, prepare once / execute many, stream
+//! results.
+//!
+//! Every representation of this repository evaluates queries through the one
+//! `optimize → execute` pipeline of [`ws_relational::engine`]; what used to
+//! differ per backend was the *calling convention* — five `evaluate_query`
+//! free functions, separate exact/approximate confidence entry points, and
+//! hand-managed result-relation names.  A session hides all of that behind
+//! four verbs:
+//!
+//! ```
+//! use maybms::{q, Session};
+//! use maybms::prelude::Predicate;
+//!
+//! let wsd = maybms::core::wsd::example_census_wsd();
+//! let mut session = Session::new(wsd);
+//! let married = session
+//!     .prepare(q("R").select(Predicate::eq_const("M", 1i64)).project(["S"]))
+//!     .unwrap();
+//! let answers: Vec<_> = session.execute(&married).unwrap().collect();
+//! let confidences = session.confidence(&married).unwrap();
+//! assert_eq!(answers.len(), confidences.len());
+//! ```
+//!
+//! * [`Session::prepare`] typechecks the plan against the backend's catalog
+//!   ([`crate::builder::typecheck`]), normalizes and fingerprints it
+//!   ([`mod@ws_relational::fingerprint`]), and runs the rule-based optimizer
+//!   **once** per distinct plan: re-preparing the same query — even written
+//!   with its conjuncts in a different order — is a cache hit.
+//! * [`Session::execute`] replays the cached physical plan and returns a
+//!   streaming [`Rows`] cursor that pulls row batches from the materialized
+//!   result instead of copying it out wholesale.
+//! * [`Session::confidence`] / [`Session::confidence_approx`] compute the
+//!   paper's §6 tuple confidences (exact, or (ε, δ)-approximate where the
+//!   backend has a Monte-Carlo evaluator) on the same prepared plan.
+//!
+//! [`Session::over`] wraps the five concrete representations in one dynamic
+//! [`AnyBackend`], so code that picks a backend at run time still goes
+//! through the same typed session.
+
+use crate::builder::{typecheck, IntoQuery};
+use crate::error::{Error, Result};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use ws_core::confidence::approx::ApproxConfig;
+use ws_core::{WorldSet, Wsd};
+use ws_relational::engine::{self, EngineConfig, ExecContext, QueryBackend, SchemaCatalog};
+use ws_relational::{
+    fingerprint, optimizer, Database, Predicate, RaExpr, Schema, Tuple, WorkerPool,
+};
+use ws_urel::UDatabase;
+use ws_uwsdt::Uwsdt;
+
+// ---------------------------------------------------------------------------
+// Backend capabilities beyond QueryBackend.
+// ---------------------------------------------------------------------------
+
+/// How a session pulls rows out of a materialized query result.
+pub enum RowSource {
+    /// Rows stay inside the backend; the cursor fetches batches by range
+    /// (the single-world database, whose result relation is already the
+    /// answer).
+    InPlace {
+        /// Total number of streamable rows.
+        len: usize,
+    },
+    /// The backend extracted the possible tuples of the represented result
+    /// once (world-set representations, where the stored result is a
+    /// *representation*, not the answer).
+    Owned(Vec<Tuple>),
+}
+
+/// What a [`Session`] needs from a backend on top of the shared
+/// [`QueryBackend`] operators: result streaming and confidence extraction.
+///
+/// Implemented for the five representations ([`Database`], [`Wsd`],
+/// [`Uwsdt`], [`UDatabase`], [`WorldSet`]) and for the dynamic
+/// [`AnyBackend`].
+pub trait SessionBackend: QueryBackend {
+    /// Short name used in stats and diagnostics.
+    fn backend_name(&self) -> &'static str;
+
+    /// Whether result relations are self-contained, i.e. dropping them after
+    /// streaming cannot perturb the rest of the store.  Component-sharing
+    /// representations (WSD, UWSDT) return `false` and keep their results
+    /// registered, mirroring [`EngineConfig::drop_temps`]'s guidance.
+    fn self_contained(&self) -> bool;
+
+    /// Prepare the materialized result `out` for streaming and describe how
+    /// rows are pulled from it.
+    fn open_rows(&mut self, out: &str) -> Result<RowSource>;
+
+    /// Fetch rows `offset .. offset + limit` of an [`RowSource::InPlace`]
+    /// result.  Backends that always hand out [`RowSource::Owned`] never see
+    /// this call.
+    fn fetch_batch(&self, out: &str, offset: usize, limit: usize) -> Result<Vec<Tuple>> {
+        let _ = (out, offset, limit);
+        Ok(Vec::new())
+    }
+
+    /// The possible tuples of result `out` with their exact confidences.
+    fn confidence_rows(&self, out: &str, pool: &WorkerPool) -> Result<Vec<(Tuple, f64)>>;
+
+    /// The possible tuples of result `out` with (ε, δ)-approximate
+    /// confidences.  Backends without a Monte-Carlo evaluator (UWSDT, the
+    /// explicit world-set oracle, the single-world database) fall back to
+    /// the exact computation — the approximation guarantee then holds
+    /// trivially.
+    fn confidence_rows_approx(
+        &self,
+        out: &str,
+        config: &ApproxConfig,
+        pool: &WorkerPool,
+    ) -> Result<Vec<(Tuple, f64)>> {
+        let _ = config;
+        self.confidence_rows(out, pool)
+    }
+}
+
+impl SessionBackend for Database {
+    fn backend_name(&self) -> &'static str {
+        "database"
+    }
+
+    fn self_contained(&self) -> bool {
+        true
+    }
+
+    fn open_rows(&mut self, out: &str) -> Result<RowSource> {
+        // The single world's answer uses set semantics, matching the
+        // possible-tuple extraction of the world-set backends.
+        let mut rel = self
+            .remove_relation(out)
+            .ok_or_else(|| Error::other(format!("result relation `{out}` vanished")))?;
+        rel.dedup();
+        let len = rel.len();
+        self.insert_relation(rel);
+        Ok(RowSource::InPlace { len })
+    }
+
+    fn fetch_batch(&self, out: &str, offset: usize, limit: usize) -> Result<Vec<Tuple>> {
+        let rows = self.relation(out).map_err(Error::from)?.rows();
+        let end = offset.saturating_add(limit).min(rows.len());
+        Ok(rows.get(offset..end).unwrap_or_default().to_vec())
+    }
+
+    fn confidence_rows(&self, out: &str, _pool: &WorkerPool) -> Result<Vec<(Tuple, f64)>> {
+        // One world: every distinct answer tuple is certain.
+        let mut rel = self.relation(out).map_err(Error::from)?.clone();
+        rel.dedup();
+        Ok(rel.rows().iter().map(|t| (t.clone(), 1.0)).collect())
+    }
+}
+
+impl SessionBackend for Wsd {
+    fn backend_name(&self) -> &'static str {
+        "wsd"
+    }
+
+    fn self_contained(&self) -> bool {
+        false
+    }
+
+    fn open_rows(&mut self, out: &str) -> Result<RowSource> {
+        let possible = ws_core::confidence::possible(self, out)?;
+        Ok(RowSource::Owned(possible.rows().to_vec()))
+    }
+
+    fn confidence_rows(&self, out: &str, pool: &WorkerPool) -> Result<Vec<(Tuple, f64)>> {
+        Ok(ws_core::confidence::possible_with_confidence_with(
+            self, out, pool,
+        )?)
+    }
+
+    fn confidence_rows_approx(
+        &self,
+        out: &str,
+        config: &ApproxConfig,
+        pool: &WorkerPool,
+    ) -> Result<Vec<(Tuple, f64)>> {
+        Ok(ws_core::confidence::approx::possible_with_confidence_with(
+            self, out, config, pool,
+        )?)
+    }
+}
+
+impl SessionBackend for Uwsdt {
+    fn backend_name(&self) -> &'static str {
+        "uwsdt"
+    }
+
+    fn self_contained(&self) -> bool {
+        false
+    }
+
+    fn open_rows(&mut self, out: &str) -> Result<RowSource> {
+        Ok(RowSource::Owned(ws_uwsdt::ops::possible_tuples(self, out)?))
+    }
+
+    fn confidence_rows(&self, out: &str, _pool: &WorkerPool) -> Result<Vec<(Tuple, f64)>> {
+        Ok(ws_uwsdt::confidence::possible_with_confidence(self, out)?)
+    }
+}
+
+impl SessionBackend for UDatabase {
+    fn backend_name(&self) -> &'static str {
+        "urel"
+    }
+
+    fn self_contained(&self) -> bool {
+        true
+    }
+
+    fn open_rows(&mut self, out: &str) -> Result<RowSource> {
+        let possible = self.relation(out).map_err(Error::from)?.possible_tuples();
+        Ok(RowSource::Owned(possible.rows().to_vec()))
+    }
+
+    fn confidence_rows(&self, out: &str, pool: &WorkerPool) -> Result<Vec<(Tuple, f64)>> {
+        Ok(ws_urel::confidence::possible_with_confidence_with(
+            self, out, pool,
+        )?)
+    }
+
+    fn confidence_rows_approx(
+        &self,
+        out: &str,
+        config: &ApproxConfig,
+        pool: &WorkerPool,
+    ) -> Result<Vec<(Tuple, f64)>> {
+        Ok(ws_urel::confidence::approx::possible_with_confidence_with(
+            self, out, config, pool,
+        )?)
+    }
+}
+
+impl SessionBackend for WorldSet {
+    fn backend_name(&self) -> &'static str {
+        "worlds"
+    }
+
+    fn self_contained(&self) -> bool {
+        true
+    }
+
+    fn open_rows(&mut self, out: &str) -> Result<RowSource> {
+        Ok(RowSource::Owned(ws_baselines::possible_tuples(self, out)?))
+    }
+
+    fn confidence_rows(&self, out: &str, _pool: &WorkerPool) -> Result<Vec<(Tuple, f64)>> {
+        let possible = ws_baselines::possible_tuples(self, out)?;
+        possible
+            .into_iter()
+            .map(|t| {
+                let c = ws_baselines::confidence(self, out, &t)?;
+                Ok((t, c))
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The dynamic backend.
+// ---------------------------------------------------------------------------
+
+/// Any of the five possible-worlds representations behind one type, for code
+/// that picks its backend at run time ([`Session::over`]).
+///
+/// `AnyBackend` implements the full backend stack ([`SchemaCatalog`],
+/// [`QueryBackend`], [`SessionBackend`]) by dispatch, with every error
+/// converted into the unified [`Error`].
+#[derive(Clone, Debug)]
+pub enum AnyBackend {
+    /// One ordinary single-world database.
+    Db(Database),
+    /// A world-set decomposition (§3–§5).
+    Wsd(Wsd),
+    /// The uniform WSDT representation (§7).
+    Uwsdt(Uwsdt),
+    /// U-relations (the intensional follow-up representation).
+    Urel(UDatabase),
+    /// The explicit world-enumeration oracle.
+    Worlds(WorldSet),
+}
+
+impl From<Database> for AnyBackend {
+    fn from(b: Database) -> Self {
+        AnyBackend::Db(b)
+    }
+}
+
+impl From<Wsd> for AnyBackend {
+    fn from(b: Wsd) -> Self {
+        AnyBackend::Wsd(b)
+    }
+}
+
+impl From<Uwsdt> for AnyBackend {
+    fn from(b: Uwsdt) -> Self {
+        AnyBackend::Uwsdt(b)
+    }
+}
+
+impl From<UDatabase> for AnyBackend {
+    fn from(b: UDatabase) -> Self {
+        AnyBackend::Urel(b)
+    }
+}
+
+impl From<WorldSet> for AnyBackend {
+    fn from(b: WorldSet) -> Self {
+        AnyBackend::Worlds(b)
+    }
+}
+
+/// Dispatch a method call to whichever representation is inside.
+macro_rules! dispatch {
+    ($self:expr, $b:ident => $body:expr) => {
+        match $self {
+            AnyBackend::Db($b) => $body,
+            AnyBackend::Wsd($b) => $body,
+            AnyBackend::Uwsdt($b) => $body,
+            AnyBackend::Urel($b) => $body,
+            AnyBackend::Worlds($b) => $body,
+        }
+    };
+}
+
+impl SchemaCatalog for AnyBackend {
+    fn schema_of(&self, relation: &str) -> ws_relational::Result<Schema> {
+        dispatch!(self, b => b.schema_of(relation))
+    }
+
+    fn contains_relation(&self, relation: &str) -> bool {
+        dispatch!(self, b => b.contains_relation(relation))
+    }
+}
+
+impl QueryBackend for AnyBackend {
+    type Error = Error;
+
+    fn materialize_base(&mut self, name: &str, out: &str) -> Result<()> {
+        dispatch!(self, b => b.materialize_base(name, out).map_err(Error::from))
+    }
+
+    fn apply_select(
+        &mut self,
+        input: &str,
+        pred: &Predicate,
+        out: &str,
+        ctx: &mut ExecContext,
+    ) -> Result<()> {
+        dispatch!(self, b => b.apply_select(input, pred, out, ctx).map_err(Error::from))
+    }
+
+    fn apply_project(
+        &mut self,
+        input: &str,
+        attrs: &[String],
+        out: &str,
+        ctx: &mut ExecContext,
+    ) -> Result<()> {
+        dispatch!(self, b => b.apply_project(input, attrs, out, ctx).map_err(Error::from))
+    }
+
+    fn apply_product(
+        &mut self,
+        left: &str,
+        right: &str,
+        out: &str,
+        ctx: &mut ExecContext,
+    ) -> Result<()> {
+        dispatch!(self, b => b.apply_product(left, right, out, ctx).map_err(Error::from))
+    }
+
+    fn apply_equi_join(
+        &mut self,
+        left: &str,
+        right: &str,
+        left_attr: &str,
+        right_attr: &str,
+        out: &str,
+        ctx: &mut ExecContext,
+    ) -> Result<()> {
+        dispatch!(self, b => {
+            b.apply_equi_join(left, right, left_attr, right_attr, out, ctx)
+                .map_err(Error::from)
+        })
+    }
+
+    fn apply_union(&mut self, left: &str, right: &str, out: &str) -> Result<()> {
+        dispatch!(self, b => b.apply_union(left, right, out).map_err(Error::from))
+    }
+
+    fn apply_difference(&mut self, left: &str, right: &str, out: &str) -> Result<()> {
+        dispatch!(self, b => b.apply_difference(left, right, out).map_err(Error::from))
+    }
+
+    fn apply_rename(&mut self, input: &str, from: &str, to: &str, out: &str) -> Result<()> {
+        dispatch!(self, b => b.apply_rename(input, from, to, out).map_err(Error::from))
+    }
+
+    fn drop_scratch(&mut self, name: &str) {
+        dispatch!(self, b => b.drop_scratch(name))
+    }
+}
+
+impl SessionBackend for AnyBackend {
+    fn backend_name(&self) -> &'static str {
+        dispatch!(self, b => b.backend_name())
+    }
+
+    fn self_contained(&self) -> bool {
+        dispatch!(self, b => b.self_contained())
+    }
+
+    fn open_rows(&mut self, out: &str) -> Result<RowSource> {
+        dispatch!(self, b => b.open_rows(out))
+    }
+
+    fn fetch_batch(&self, out: &str, offset: usize, limit: usize) -> Result<Vec<Tuple>> {
+        dispatch!(self, b => b.fetch_batch(out, offset, limit))
+    }
+
+    fn confidence_rows(&self, out: &str, pool: &WorkerPool) -> Result<Vec<(Tuple, f64)>> {
+        dispatch!(self, b => b.confidence_rows(out, pool))
+    }
+
+    fn confidence_rows_approx(
+        &self,
+        out: &str,
+        config: &ApproxConfig,
+        pool: &WorkerPool,
+    ) -> Result<Vec<(Tuple, f64)>> {
+        dispatch!(self, b => b.confidence_rows_approx(out, config, pool))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prepared plans and stats.
+// ---------------------------------------------------------------------------
+
+/// A typechecked, optimized, fingerprinted plan — prepare once, execute many.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Prepared {
+    display: String,
+    plan: RaExpr,
+    key: String,
+    fingerprint: u64,
+    attrs: Vec<String>,
+}
+
+impl Prepared {
+    /// The physical (already optimized) plan the executor replays.
+    pub fn plan(&self) -> &RaExpr {
+        &self.plan
+    }
+
+    /// The (ordered) output attributes, as resolved by the typechecker.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// The compact 64-bit digest of the normalized plan.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The collision-proof cache key (the normalized plan, rendered).
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+}
+
+impl fmt::Display for Prepared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [#{:016x}]", self.display, self.fingerprint)
+    }
+}
+
+/// Counters of one session's lifetime, for benches and capacity planning.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Optimizer runs — [`Session::prepare`] calls that missed the cache.
+    pub plans_prepared: u64,
+    /// [`Session::prepare`] calls answered from the prepared-plan cache.
+    pub cache_hits: u64,
+    /// Plan executions ([`Session::execute`], [`Session::confidence`],
+    /// [`Session::confidence_approx`]).
+    pub executions: u64,
+    /// Rows pulled through [`Rows`] cursors and confidence calls.
+    pub rows_streamed: u64,
+}
+
+impl fmt::Display for SessionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "plans-prepared={} cache-hits={} executions={} rows-streamed={}",
+            self.plans_prepared, self.cache_hits, self.executions, self.rows_streamed
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The session.
+// ---------------------------------------------------------------------------
+
+/// Default number of rows a [`Rows`] cursor pulls per batch.
+pub const DEFAULT_BATCH_SIZE: usize = 256;
+
+/// A stateful connection to one possible-worlds backend: catalog, engine
+/// configuration, prepared-plan cache and usage stats in one place.
+#[derive(Debug)]
+pub struct Session<B: SessionBackend> {
+    backend: B,
+    config: EngineConfig,
+    plans: HashMap<String, RaExpr>,
+    stats: SessionStats,
+    batch_size: usize,
+    scratch: usize,
+}
+
+impl Session<AnyBackend> {
+    /// Open a session over a run-time-chosen backend.
+    pub fn over(backend: impl Into<AnyBackend>) -> Session<AnyBackend> {
+        Session::new(backend.into())
+    }
+}
+
+impl<B: SessionBackend> Session<B>
+where
+    B::Error: Into<Error>,
+{
+    /// Open a session with the default [`EngineConfig`].
+    pub fn new(backend: B) -> Session<B> {
+        Session::with_config(backend, EngineConfig::default())
+    }
+
+    /// Open a session with explicit engine knobs (threads, optimizer,
+    /// plan-cache, …).
+    pub fn with_config(backend: B, config: EngineConfig) -> Session<B> {
+        Session {
+            backend,
+            config,
+            plans: HashMap::new(),
+            stats: SessionStats::default(),
+            batch_size: DEFAULT_BATCH_SIZE,
+            scratch: 0,
+        }
+    }
+
+    /// The engine configuration the session plans and executes under.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Shared access to the underlying backend (for representation-specific
+    /// inspection: stats, world counts, …).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable access to the underlying backend (loading data, chasing
+    /// dependencies).  Structural changes to *schemas* invalidate prepared
+    /// plans; call [`Session::clear_plan_cache`] afterwards.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Tear the session down and hand the backend back.
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+
+    /// Lifetime counters: plans prepared, cache hits, executions, rows
+    /// streamed.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// A one-line description of the session for bench output: backend,
+    /// engine configuration and usage counters.
+    pub fn summary(&self) -> String {
+        format!(
+            "backend={} {} | {} cached-plans={}",
+            self.backend.backend_name(),
+            self.config.summary(),
+            self.stats,
+            self.plans.len(),
+        )
+    }
+
+    /// Rows per [`Rows`] batch pull (default [`DEFAULT_BATCH_SIZE`]).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Change the cursor batch size (`0` is treated as 1).
+    pub fn set_batch_size(&mut self, batch_size: usize) {
+        self.batch_size = batch_size.max(1);
+    }
+
+    /// Number of distinct plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Drop every cached plan (required after schema-changing backend
+    /// mutations).
+    pub fn clear_plan_cache(&mut self) {
+        self.plans.clear();
+    }
+
+    /// Typecheck, normalize, fingerprint and (on a cache miss) optimize a
+    /// query into a [`Prepared`] plan.
+    ///
+    /// Accepts anything [`IntoQuery`]: a fluent [`crate::builder::Query`] or
+    /// a raw [`RaExpr`].
+    pub fn prepare(&mut self, query: impl IntoQuery) -> Result<Prepared> {
+        let expr = query.into_query().lower();
+        let attrs = typecheck(&self.backend, &expr)?;
+        let key = fingerprint::plan_key(&expr);
+        let digest = fingerprint::fingerprint(&expr);
+        let plan = if self.config.plan_cache {
+            if let Some(cached) = self.plans.get(&key) {
+                self.stats.cache_hits += 1;
+                cached.clone()
+            } else {
+                let planned = self.optimize(&expr)?;
+                self.plans.insert(key.clone(), planned.clone());
+                self.stats.plans_prepared += 1;
+                planned
+            }
+        } else {
+            self.stats.plans_prepared += 1;
+            self.optimize(&expr)?
+        };
+        Ok(Prepared {
+            display: expr.to_string(),
+            plan,
+            key,
+            fingerprint: digest,
+            attrs,
+        })
+    }
+
+    fn optimize(&self, expr: &RaExpr) -> Result<RaExpr> {
+        if self.config.optimize {
+            optimizer::optimize(&self.backend, expr).map_err(|e| Error::from(e).with_plan(expr))
+        } else {
+            Ok(expr.clone())
+        }
+    }
+
+    /// Replay a prepared plan and stream its possible answer tuples.
+    ///
+    /// The result is materialized inside the backend under a fresh scratch
+    /// name and pulled out in batches of [`Session::batch_size`] rows; on
+    /// self-contained backends the scratch result is dropped when the cursor
+    /// is done with it.
+    pub fn execute(&mut self, prepared: &Prepared) -> Result<Rows<'_, B>> {
+        let out = self.run(prepared)?;
+        let source = self
+            .backend
+            .open_rows(&out)
+            .map_err(|e| e.with_plan(&prepared.display))?;
+        let (inner, cleanup) = match source {
+            RowSource::InPlace { len } => (RowsInner::InPlace { len, offset: 0 }, true),
+            RowSource::Owned(rows) => {
+                // The extraction already detached the answer from the store.
+                if self.backend.self_contained() {
+                    self.backend.drop_scratch(&out);
+                }
+                (RowsInner::Owned(rows.into_iter()), false)
+            }
+        };
+        Ok(Rows {
+            backend: &mut self.backend,
+            stats: &mut self.stats,
+            out,
+            batch: self.batch_size,
+            inner,
+            buf: VecDeque::new(),
+            cleanup,
+        })
+    }
+
+    /// Prepare and execute in one step (still cached: repeated one-shot
+    /// queries hit the plan cache).
+    pub fn query(&mut self, query: impl IntoQuery) -> Result<Rows<'_, B>> {
+        let prepared = self.prepare(query)?;
+        self.execute(&prepared)
+    }
+
+    /// Execute a prepared plan and leave its result *materialized in the
+    /// backend* under the returned scratch name, without streaming anything
+    /// out — for callers that want to inspect the result representation
+    /// (UWSDT stats, component counts) or chain further queries over it.
+    ///
+    /// The result stays registered on every backend; drop it through
+    /// [`Session::backend_mut`] when done.
+    pub fn materialize(&mut self, prepared: &Prepared) -> Result<String> {
+        self.run(prepared)
+    }
+
+    /// The possible answer tuples of a prepared plan with their **exact**
+    /// confidences (§6), computed on the session's worker pool.
+    pub fn confidence(&mut self, prepared: &Prepared) -> Result<Vec<(Tuple, f64)>> {
+        let out = self.run(prepared)?;
+        let pool = WorkerPool::new(self.config.threads);
+        let rows = self
+            .backend
+            .confidence_rows(&out, &pool)
+            .map_err(|e| e.with_plan(&prepared.display));
+        self.finish_result(&out);
+        let rows = rows?;
+        self.stats.rows_streamed += rows.len() as u64;
+        Ok(rows)
+    }
+
+    /// The possible answer tuples of a prepared plan with (ε, δ)-approximate
+    /// confidences, where the backend has a Monte-Carlo evaluator (WSDs,
+    /// U-relations); other backends answer exactly.
+    pub fn confidence_approx(
+        &mut self,
+        prepared: &Prepared,
+        config: &ApproxConfig,
+    ) -> Result<Vec<(Tuple, f64)>> {
+        let out = self.run(prepared)?;
+        let pool = WorkerPool::new(self.config.threads);
+        let rows = self
+            .backend
+            .confidence_rows_approx(&out, config, &pool)
+            .map_err(|e| e.with_plan(&prepared.display));
+        self.finish_result(&out);
+        let rows = rows?;
+        self.stats.rows_streamed += rows.len() as u64;
+        Ok(rows)
+    }
+
+    /// Execute the physical plan into a fresh scratch result, returning its
+    /// name.
+    fn run(&mut self, prepared: &Prepared) -> Result<String> {
+        let out = loop {
+            let candidate = format!("__session_q{}", self.scratch);
+            self.scratch += 1;
+            if !self.backend.contains_relation(&candidate) {
+                break candidate;
+            }
+        };
+        // The plan is already optimized; replay it as-is.
+        let exec = EngineConfig {
+            optimize: false,
+            drop_temps: self.backend.self_contained(),
+            ..self.config
+        };
+        engine::evaluate_query_with(&mut self.backend, &prepared.plan, &out, exec)
+            .map_err(|e| Into::<Error>::into(e).with_plan(&prepared.display))?;
+        self.stats.executions += 1;
+        Ok(out)
+    }
+
+    fn finish_result(&mut self, out: &str) {
+        if self.backend.self_contained() {
+            self.backend.drop_scratch(out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The streaming cursor.
+// ---------------------------------------------------------------------------
+
+enum RowsInner {
+    InPlace { len: usize, offset: usize },
+    Owned(std::vec::IntoIter<Tuple>),
+}
+
+/// A streaming cursor over one execution's possible answer tuples.
+///
+/// Pulls batches of [`Session::batch_size`] rows from the backend-resident
+/// result instead of copying the whole answer out at once; consume it with
+/// the [`Iterator`] combinators (`collect()`, `count()`, `take(n)`, …).
+/// Dropping the cursor — fully consumed or not — releases the scratch result
+/// on self-contained backends.
+pub struct Rows<'s, B: SessionBackend> {
+    backend: &'s mut B,
+    stats: &'s mut SessionStats,
+    out: String,
+    batch: usize,
+    inner: RowsInner,
+    buf: VecDeque<Tuple>,
+    cleanup: bool,
+}
+
+impl<B: SessionBackend> fmt::Debug for Rows<'_, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Rows")
+            .field("result", &self.out)
+            .field("batch", &self.batch)
+            .field("remaining", &self.len_hint())
+            .finish()
+    }
+}
+
+impl<B: SessionBackend> Rows<'_, B> {
+    /// Total number of answer rows this cursor will stream.
+    pub fn len_hint(&self) -> usize {
+        match &self.inner {
+            RowsInner::InPlace { len, offset } => len - offset + self.buf.len(),
+            RowsInner::Owned(rows) => rows.len() + self.buf.len(),
+        }
+    }
+
+    /// The scratch relation the result was materialized under (still
+    /// registered on non-self-contained backends after the cursor is gone).
+    pub fn result_name(&self) -> &str {
+        &self.out
+    }
+
+    fn refill(&mut self) {
+        match &mut self.inner {
+            RowsInner::InPlace { len, offset } => {
+                if offset < len {
+                    let limit = self.batch.min(*len - *offset);
+                    let batch = self
+                        .backend
+                        .fetch_batch(&self.out, *offset, limit)
+                        .unwrap_or_default();
+                    *offset += batch.len();
+                    if batch.is_empty() {
+                        // Defensive: a vanished result ends the stream.
+                        *offset = *len;
+                    }
+                    self.buf.extend(batch);
+                }
+            }
+            RowsInner::Owned(rows) => {
+                self.buf.extend(rows.by_ref().take(self.batch));
+            }
+        }
+    }
+}
+
+impl<B: SessionBackend> Iterator for Rows<'_, B> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.buf.is_empty() {
+            self.refill();
+        }
+        let row = self.buf.pop_front();
+        if row.is_some() {
+            self.stats.rows_streamed += 1;
+        }
+        row
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.len_hint();
+        (n, Some(n))
+    }
+}
+
+impl<B: SessionBackend> Drop for Rows<'_, B> {
+    fn drop(&mut self) {
+        if self.cleanup {
+            self.backend.drop_scratch(&self.out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::q;
+    use ws_relational::{CmpOp, Relation};
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        let mut r = Relation::new(Schema::new("R", &["A", "B"]).unwrap());
+        for (a, b) in [(1i64, 10i64), (2, 20), (3, 10), (4, 30), (2, 20)] {
+            r.push_values([a, b]).unwrap();
+        }
+        d.insert_relation(r);
+        d
+    }
+
+    #[test]
+    fn prepare_execute_streams_deduplicated_rows_and_cleans_up() {
+        let mut session = Session::new(db());
+        session.set_batch_size(2);
+        let plan = session
+            .prepare(q("R").select(Predicate::cmp_const("A", CmpOp::Ge, 2i64)))
+            .unwrap();
+        assert_eq!(plan.attrs(), ["A", "B"]);
+        let rows: Vec<Tuple> = session.execute(&plan).unwrap().collect();
+        assert_eq!(rows.len(), 3, "duplicate (2, 20) must collapse");
+        // The scratch result is gone afterwards.
+        assert_eq!(session.backend().relation_names(), vec!["R"]);
+        let stats = session.stats();
+        assert_eq!(stats.plans_prepared, 1);
+        assert_eq!(stats.executions, 1);
+        assert_eq!(stats.rows_streamed, 3);
+    }
+
+    #[test]
+    fn preparing_twice_hits_the_cache_even_with_reordered_conjuncts() {
+        let mut session = Session::new(db());
+        let a = Predicate::cmp_const("A", CmpOp::Ge, 2i64);
+        let b = Predicate::cmp_const("B", CmpOp::Le, 20i64);
+        let p1 = session
+            .prepare(q("R").select(Predicate::and(vec![a.clone(), b.clone()])))
+            .unwrap();
+        let p2 = session
+            .prepare(q("R").select(Predicate::and(vec![b, a])))
+            .unwrap();
+        assert_eq!(p1.key(), p2.key());
+        assert_eq!(p1.fingerprint(), p2.fingerprint());
+        assert_eq!(p1.plan(), p2.plan());
+        let stats = session.stats();
+        assert_eq!((stats.plans_prepared, stats.cache_hits), (1, 1));
+        assert_eq!(session.cached_plans(), 1);
+        session.clear_plan_cache();
+        assert_eq!(session.cached_plans(), 0);
+    }
+
+    #[test]
+    fn plan_cache_can_be_disabled() {
+        let config = EngineConfig {
+            plan_cache: false,
+            ..EngineConfig::default()
+        };
+        let mut session = Session::with_config(db(), config);
+        let query = q("R").project(["A"]);
+        session.prepare(query.clone()).unwrap();
+        session.prepare(query).unwrap();
+        let stats = session.stats();
+        assert_eq!((stats.plans_prepared, stats.cache_hits), (2, 0));
+        assert_eq!(session.cached_plans(), 0);
+    }
+
+    #[test]
+    fn typecheck_failures_carry_plan_context() {
+        let mut session = Session::new(db());
+        let err = session.prepare(q("R").project(["Z"])).unwrap_err();
+        assert!(err.plan().is_some());
+        let err = session.prepare(q("NOPE")).unwrap_err();
+        assert!(err.to_string().contains("NOPE"));
+    }
+
+    #[test]
+    fn single_world_confidence_is_always_one() {
+        let mut session = Session::new(db());
+        let plan = session.prepare(q("R").project(["B"])).unwrap();
+        let conf = session.confidence(&plan).unwrap();
+        assert_eq!(conf.len(), 3);
+        assert!(conf.iter().all(|(_, c)| *c == 1.0));
+        let approx = session
+            .confidence_approx(&plan, &ApproxConfig::new(0.05, 0.05))
+            .unwrap();
+        assert_eq!(conf, approx, "database backend answers exactly");
+    }
+
+    #[test]
+    fn dynamic_sessions_agree_with_typed_sessions() {
+        let wsd = ws_core::wsd::example_census_wsd();
+        let query = q("R").select(Predicate::eq_const("M", 1i64)).project(["S"]);
+
+        let mut typed = Session::new(wsd.clone());
+        let p = typed.prepare(query.clone()).unwrap();
+        let typed_rows: Vec<Tuple> = typed.execute(&p).unwrap().collect();
+
+        let mut dynamic = Session::over(wsd);
+        assert_eq!(dynamic.backend().backend_name(), "wsd");
+        let p = dynamic.prepare(query).unwrap();
+        let dynamic_rows: Vec<Tuple> = dynamic.execute(&p).unwrap().collect();
+        assert_eq!(typed_rows, dynamic_rows);
+    }
+
+    #[test]
+    fn summary_names_backend_config_and_counters() {
+        let session = Session::new(db());
+        let summary = session.summary();
+        assert!(summary.contains("backend=database"));
+        assert!(summary.contains("plan-cache=on"));
+        assert!(summary.contains("plans-prepared=0"));
+        assert!(summary.contains("cached-plans=0"));
+    }
+}

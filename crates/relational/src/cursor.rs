@@ -1,0 +1,422 @@
+//! Pull-based (volcano-style) streaming execution over a single-world
+//! [`Database`].
+//!
+//! The shared engine of [`crate::engine`] materializes every operator's
+//! result inside the backend — the right call for the world-set
+//! representations, whose results *are* representations.  For the
+//! single-world backend, though, a selection/projection pipeline over a large
+//! relation does not need any intermediate at all: this module walks a plan
+//! as a tree of row iterators, so `σ`/`π`/`δ` chains stream tuple by tuple
+//! and only the operators that fundamentally need a buffered operand
+//! (the right side of `×`, both sides of `∪`/`−`) materialize rows.
+//!
+//! [`Cursor`] complements the `maybms::Session` result API: sessions
+//! materialize inside the backend and batch rows out (the representation
+//! backends need the materialized result), while the cursor is the cheapest
+//! way to scan a one-world query answer once without touching the catalog —
+//! the single-world baselines of the examples and benches drive it:
+//!
+//! ```
+//! use ws_relational::cursor::Cursor;
+//! use ws_relational::{Database, Predicate, RaExpr, Relation, Schema};
+//!
+//! let mut db = Database::new();
+//! let mut r = Relation::new(Schema::new("R", &["A", "B"]).unwrap());
+//! r.push_values([1i64, 10]).unwrap();
+//! r.push_values([2i64, 20]).unwrap();
+//! db.insert_relation(r);
+//!
+//! let plan = RaExpr::rel("R").select(Predicate::eq_const("A", 1i64));
+//! let mut cursor = Cursor::open(&db, &plan).unwrap();
+//! assert_eq!(cursor.schema().attrs().len(), 2);
+//! assert_eq!(cursor.try_count().unwrap(), 1);
+//! ```
+//!
+//! Rows are produced in exactly the order the materializing executor with
+//! `EngineConfig::naive()` produces them (products nest left-major; unions
+//! and differences are deduplicated into sorted order, mirroring
+//! [`Relation::dedup`]), so streamed and materialized evaluation agree row
+//! for row, not just as sets.
+
+use crate::algebra::RaExpr;
+use crate::database::Database;
+use crate::error::Result;
+use crate::optimizer;
+use crate::predicate::Predicate;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use std::collections::BTreeSet;
+
+/// A pull-based row stream over one query plan against one [`Database`].
+///
+/// Iterates `Result<Tuple>`: predicate-evaluation errors (unknown attribute,
+/// incomparable values) surface at the row that triggers them, exactly as
+/// the materializing executor would fail the whole operator.
+pub struct Cursor<'a> {
+    schema: Schema,
+    node: Node<'a>,
+}
+
+impl<'a> Cursor<'a> {
+    /// Open a cursor over `plan` exactly as written (no optimizer pass).
+    pub fn open(db: &'a Database, plan: &RaExpr) -> Result<Cursor<'a>> {
+        let (schema, node) = build(db, plan)?;
+        Ok(Cursor { schema, node })
+    }
+
+    /// Open a cursor over the rule-based optimizer's rewrite of `plan`
+    /// (selection pushdown before streaming pays off on product-heavy plans).
+    pub fn open_optimized(db: &'a Database, plan: &RaExpr) -> Result<Cursor<'a>> {
+        let optimized = optimizer::optimize(db, plan)?;
+        Cursor::open(db, &optimized)
+    }
+
+    /// The schema of the streamed rows.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Pull up to `limit` rows into a batch (empty when exhausted).
+    pub fn next_batch(&mut self, limit: usize) -> Result<Vec<Tuple>> {
+        let mut out = Vec::with_capacity(limit.min(64));
+        while out.len() < limit {
+            match self.node.next_row()? {
+                Some(tuple) => out.push(tuple),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Count the remaining rows without retaining any of them.
+    pub fn try_count(&mut self) -> Result<usize> {
+        let mut n = 0usize;
+        while self.node.next_row()?.is_some() {
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Drain the stream into a materialized [`Relation`].
+    pub fn try_collect(mut self) -> Result<Relation> {
+        let mut rows = Vec::new();
+        while let Some(tuple) = self.node.next_row()? {
+            rows.push(tuple);
+        }
+        Relation::with_rows(self.schema, rows)
+    }
+}
+
+impl Iterator for Cursor<'_> {
+    type Item = Result<Tuple>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.node.next_row().transpose()
+    }
+}
+
+/// One operator of the streaming tree.
+enum Node<'a> {
+    /// Base-relation scan (borrows the rows, clones lazily per pull).
+    Scan { rows: &'a [Tuple], pos: usize },
+    /// Streaming selection; needs its input's schema for predicate evaluation.
+    Select {
+        pred: Predicate,
+        schema: Schema,
+        input: Box<Node<'a>>,
+    },
+    /// Streaming projection by precomputed positions.
+    Project {
+        positions: Vec<usize>,
+        input: Box<Node<'a>>,
+    },
+    /// Nested-loop product: left streams, right is buffered once.
+    Product {
+        left: Box<Node<'a>>,
+        right: Vec<Tuple>,
+        current: Option<Tuple>,
+        rpos: usize,
+    },
+    /// Fully buffered rows (union/difference results).
+    Buffered(std::vec::IntoIter<Tuple>),
+}
+
+impl Node<'_> {
+    fn next_row(&mut self) -> Result<Option<Tuple>> {
+        match self {
+            Node::Scan { rows, pos } => {
+                let row = rows.get(*pos).cloned();
+                *pos += 1;
+                Ok(row)
+            }
+            Node::Select {
+                pred,
+                schema,
+                input,
+            } => loop {
+                let Some(row) = input.next_row()? else {
+                    return Ok(None);
+                };
+                if pred.eval(schema, &row)? {
+                    return Ok(Some(row));
+                }
+            },
+            Node::Project { positions, input } => Ok(input
+                .next_row()?
+                .map(|row| row.project_positions(positions))),
+            Node::Product {
+                left,
+                right,
+                current,
+                rpos,
+            } => loop {
+                if right.is_empty() {
+                    return Ok(None);
+                }
+                if current.is_none() {
+                    *current = left.next_row()?;
+                    *rpos = 0;
+                }
+                let Some(lt) = current.as_ref() else {
+                    return Ok(None);
+                };
+                if *rpos < right.len() {
+                    let row = lt.concat(&right[*rpos]);
+                    *rpos += 1;
+                    return Ok(Some(row));
+                }
+                *current = None;
+            },
+            Node::Buffered(rows) => Ok(rows.next()),
+        }
+    }
+
+    fn drain(&mut self) -> Result<Vec<Tuple>> {
+        let mut out = Vec::new();
+        while let Some(row) = self.next_row()? {
+            out.push(row);
+        }
+        Ok(out)
+    }
+}
+
+/// Recursively translate a plan into its schema and streaming node.
+fn build<'a>(db: &'a Database, expr: &RaExpr) -> Result<(Schema, Node<'a>)> {
+    match expr {
+        RaExpr::Rel(name) => {
+            let rel = db.relation(name)?;
+            Ok((
+                rel.schema().clone(),
+                Node::Scan {
+                    rows: rel.rows(),
+                    pos: 0,
+                },
+            ))
+        }
+        RaExpr::Select { pred, input } => {
+            let (schema, node) = build(db, input)?;
+            Ok((
+                schema.clone(),
+                Node::Select {
+                    pred: pred.clone(),
+                    schema,
+                    input: Box::new(node),
+                },
+            ))
+        }
+        RaExpr::Project { attrs, input } => {
+            let (schema, node) = build(db, input)?;
+            let positions: Vec<usize> = attrs
+                .iter()
+                .map(|a| schema.position_of(a))
+                .collect::<Result<_>>()?;
+            let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            Ok((
+                schema.projected(&attr_refs)?,
+                Node::Project {
+                    positions,
+                    input: Box::new(node),
+                },
+            ))
+        }
+        RaExpr::Product { left, right } => {
+            let (ls, ln) = build(db, left)?;
+            let (rs, mut rn) = build(db, right)?;
+            let schema = ls.product(&rs, "cursor")?;
+            Ok((
+                schema,
+                Node::Product {
+                    left: Box::new(ln),
+                    right: rn.drain()?,
+                    current: None,
+                    rpos: 0,
+                },
+            ))
+        }
+        RaExpr::Union { left, right } => {
+            let (ls, mut ln) = build(db, left)?;
+            let (rs, mut rn) = build(db, right)?;
+            ls.check_union_compatible(&rs)?;
+            let mut set: BTreeSet<Tuple> = ln.drain()?.into_iter().collect();
+            set.extend(rn.drain()?);
+            Ok((
+                ls,
+                Node::Buffered(set.into_iter().collect::<Vec<_>>().into_iter()),
+            ))
+        }
+        RaExpr::Difference { left, right } => {
+            let (ls, mut ln) = build(db, left)?;
+            let (rs, mut rn) = build(db, right)?;
+            ls.check_union_compatible(&rs)?;
+            let remove: BTreeSet<Tuple> = rn.drain()?.into_iter().collect();
+            let keep: BTreeSet<Tuple> = ln
+                .drain()?
+                .into_iter()
+                .filter(|t| !remove.contains(t))
+                .collect();
+            Ok((
+                ls,
+                Node::Buffered(keep.into_iter().collect::<Vec<_>>().into_iter()),
+            ))
+        }
+        RaExpr::Rename { from, to, input } => {
+            let (schema, node) = build(db, input)?;
+            Ok((schema.renamed_attr(from, to)?, node))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{evaluate_query_with, EngineConfig};
+    use crate::predicate::CmpOp;
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        let mut r = Relation::new(Schema::new("R", &["A", "B"]).unwrap());
+        for (a, b) in [(1i64, 10i64), (2, 20), (3, 10), (4, 30), (5, 20)] {
+            r.push_values([a, b]).unwrap();
+        }
+        d.insert_relation(r);
+        let mut s = Relation::new(Schema::new("S", &["C", "D"]).unwrap());
+        for (c, d_) in [(10i64, 7i64), (20, 8), (99, 9)] {
+            s.push_values([c, d_]).unwrap();
+        }
+        d.insert_relation(s);
+        d
+    }
+
+    fn suite() -> Vec<RaExpr> {
+        vec![
+            RaExpr::rel("R"),
+            RaExpr::rel("R").select(Predicate::eq_const("B", 10i64)),
+            RaExpr::rel("R")
+                .select(Predicate::cmp_const("A", CmpOp::Gt, 1i64))
+                .project(vec!["B"]),
+            RaExpr::rel("R")
+                .product(RaExpr::rel("S"))
+                .select(Predicate::cmp_attr("B", CmpOp::Eq, "C"))
+                .project(vec!["A", "D"]),
+            RaExpr::rel("R")
+                .project(vec!["B"])
+                .union(RaExpr::rel("S").rename("C", "B").project(vec!["B"])),
+            RaExpr::rel("R")
+                .project(vec!["B"])
+                .difference(RaExpr::rel("S").rename("C", "B").project(vec!["B"])),
+            RaExpr::rel("R")
+                .rename("A", "A2")
+                .select(Predicate::cmp_const("A2", CmpOp::Ge, 3i64)),
+        ]
+    }
+
+    #[test]
+    fn streaming_matches_the_materializing_naive_executor_row_for_row() {
+        for (i, plan) in suite().into_iter().enumerate() {
+            let mut backend = db();
+            let out =
+                evaluate_query_with(&mut backend, &plan, "OUT", EngineConfig::naive()).unwrap();
+            let materialized = backend.relation(&out).unwrap();
+
+            let source = db();
+            let cursor = Cursor::open(&source, &plan).unwrap();
+            let streamed = cursor.try_collect().unwrap();
+            assert_eq!(
+                streamed.rows(),
+                materialized.rows(),
+                "plan #{i} {plan}: streamed rows differ from the executor"
+            );
+            assert_eq!(
+                streamed.schema().attrs(),
+                materialized.schema().attrs(),
+                "plan #{i} {plan}: schemas differ"
+            );
+        }
+    }
+
+    #[test]
+    fn optimized_cursor_agrees_as_a_set() {
+        for plan in suite() {
+            let source = db();
+            let plain: BTreeSet<Tuple> = Cursor::open(&source, &plan)
+                .unwrap()
+                .collect::<Result<_>>()
+                .unwrap();
+            let optimized: BTreeSet<Tuple> = Cursor::open_optimized(&source, &plan)
+                .unwrap()
+                .collect::<Result<_>>()
+                .unwrap();
+            assert_eq!(plain, optimized, "optimizer changed the answer for {plan}");
+        }
+    }
+
+    #[test]
+    fn batches_partition_the_stream() {
+        let source = db();
+        let plan = RaExpr::rel("R").product(RaExpr::rel("S"));
+        let mut cursor = Cursor::open(&source, &plan).unwrap();
+        let mut rows = Vec::new();
+        loop {
+            let batch = cursor.next_batch(4).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            assert!(batch.len() <= 4);
+            rows.extend(batch);
+        }
+        assert_eq!(rows.len(), 15);
+        // Exhausted cursors keep returning empty batches.
+        assert!(cursor.next_batch(4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn count_does_not_retain_rows_and_errors_surface() {
+        let source = db();
+        let mut cursor = Cursor::open(
+            &source,
+            &RaExpr::rel("R").select(Predicate::eq_const("B", 10i64)),
+        )
+        .unwrap();
+        assert_eq!(cursor.try_count().unwrap(), 2);
+
+        // Unknown relation fails at open; unknown attribute fails at open for
+        // projections (positions are resolved eagerly).
+        assert!(Cursor::open(&source, &RaExpr::rel("NOPE")).is_err());
+        assert!(Cursor::open(&source, &RaExpr::rel("R").project(vec!["Z"])).is_err());
+    }
+
+    #[test]
+    fn empty_product_side_short_circuits() {
+        let mut d = Database::new();
+        let r = Relation::new(Schema::new("R", &["A"]).unwrap());
+        d.insert_relation(r);
+        let mut s = Relation::new(Schema::new("S", &["B"]).unwrap());
+        s.push_values([1i64]).unwrap();
+        d.insert_relation(s);
+        let plan = RaExpr::rel("S").product(RaExpr::rel("R"));
+        assert_eq!(Cursor::open(&d, &plan).unwrap().try_count().unwrap(), 0);
+        let plan = RaExpr::rel("R").product(RaExpr::rel("S"));
+        assert_eq!(Cursor::open(&d, &plan).unwrap().try_count().unwrap(), 0);
+    }
+}

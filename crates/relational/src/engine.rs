@@ -281,6 +281,12 @@ pub struct EngineConfig {
     /// are identical (including order) for every thread count.  `0` is
     /// treated as 1.
     pub threads: usize,
+    /// Cache prepared plans keyed by their normalized fingerprint
+    /// ([`crate::fingerprint::plan_key`]), so preparing the same query twice
+    /// runs the optimizer once (default).  Honored by plan-caching layers
+    /// (`maybms::Session`); the one-shot [`evaluate_query`] entry points
+    /// below plan every call regardless.
+    pub plan_cache: bool,
 }
 
 impl Default for EngineConfig {
@@ -290,6 +296,7 @@ impl Default for EngineConfig {
             recognize_joins: true,
             drop_temps: false,
             threads: 1,
+            plan_cache: true,
         }
     }
 }
@@ -332,11 +339,12 @@ impl EngineConfig {
             }
         }
         format!(
-            "optimize={} join-recognition={} drop-temps={} threads={}",
+            "optimize={} join-recognition={} drop-temps={} threads={} plan-cache={}",
             on_off(self.optimize),
             on_off(self.recognize_joins),
             on_off(self.drop_temps),
             self.threads.max(1),
+            on_off(self.plan_cache),
         )
     }
 }
@@ -992,15 +1000,20 @@ mod tests {
     fn engine_config_summary_is_self_describing() {
         assert_eq!(
             EngineConfig::default().summary(),
-            "optimize=on join-recognition=on drop-temps=off threads=1"
+            "optimize=on join-recognition=on drop-temps=off threads=1 plan-cache=on"
         );
         assert_eq!(
             EngineConfig::naive().summary(),
-            "optimize=off join-recognition=off drop-temps=off threads=1"
+            "optimize=off join-recognition=off drop-temps=off threads=1 plan-cache=on"
         );
         let parallel = EngineConfig::with_threads(8);
-        assert!(parallel.summary().ends_with("threads=8"));
+        assert!(parallel.summary().contains("threads=8"));
         assert_eq!(EngineConfig::with_threads(0).threads, 1);
+        let uncached = EngineConfig {
+            plan_cache: false,
+            ..EngineConfig::default()
+        };
+        assert!(uncached.summary().ends_with("plan-cache=off"));
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Plan normalization and fingerprinting for prepared-plan caching.
+//!
+//! A prepared-statement cache needs a *key*: two queries that are the same
+//! plan up to irrelevant syntactic detail (conjunct order inside an `AND`,
+//! double negation, nested conjunctions) should hit the same cache slot so
+//! the optimizer runs once.  This module provides
+//!
+//! * [`normalize_plan`] — a semantics-preserving canonicalization of an
+//!   [`RaExpr`]: predicates are flattened (`AND(AND(a, b), c)` →
+//!   `AND(a, b, c)`), double negations are collapsed, single-element
+//!   conjunctions/disjunctions are unwrapped, and the children of `AND`/`OR`
+//!   are put into a canonical order, and
+//! * [`fingerprint`] / [`plan_key`] — a 64-bit FNV-1a digest and the
+//!   collision-proof canonical string it is computed from.  Caches key on
+//!   [`plan_key`] (exact) and display [`fingerprint`] (compact) in
+//!   diagnostics.
+//!
+//! Normalization never changes what a plan computes: conjunct reordering is
+//! sound because predicate evaluation is total on tuples (comparisons on
+//! `⊥`/`?` evaluate to `false` rather than erroring), and the executor
+//! evaluates composite predicates through the same rewrite rules on every
+//! backend.
+
+use crate::algebra::RaExpr;
+use crate::predicate::Predicate;
+
+/// Canonicalize a plan for cache keying: normalize every embedded predicate
+/// (flatten, de-double-negate, sort) while leaving the operator tree itself
+/// untouched.
+pub fn normalize_plan(expr: &RaExpr) -> RaExpr {
+    match expr {
+        RaExpr::Rel(name) => RaExpr::Rel(name.clone()),
+        RaExpr::Select { pred, input } => RaExpr::Select {
+            pred: normalize_predicate(pred),
+            input: Box::new(normalize_plan(input)),
+        },
+        RaExpr::Project { attrs, input } => RaExpr::Project {
+            attrs: attrs.clone(),
+            input: Box::new(normalize_plan(input)),
+        },
+        RaExpr::Product { left, right } => RaExpr::Product {
+            left: Box::new(normalize_plan(left)),
+            right: Box::new(normalize_plan(right)),
+        },
+        RaExpr::Union { left, right } => RaExpr::Union {
+            left: Box::new(normalize_plan(left)),
+            right: Box::new(normalize_plan(right)),
+        },
+        RaExpr::Difference { left, right } => RaExpr::Difference {
+            left: Box::new(normalize_plan(left)),
+            right: Box::new(normalize_plan(right)),
+        },
+        RaExpr::Rename { from, to, input } => RaExpr::Rename {
+            from: from.clone(),
+            to: to.clone(),
+            input: Box::new(normalize_plan(input)),
+        },
+    }
+}
+
+/// Canonicalize a predicate: flatten nested `AND`/`OR`, collapse `NOT NOT`,
+/// unwrap single-element conjunctions/disjunctions, and sort the children of
+/// each `AND`/`OR` into a deterministic order.
+pub fn normalize_predicate(pred: &Predicate) -> Predicate {
+    match pred {
+        Predicate::AttrConst { .. } | Predicate::AttrAttr { .. } => pred.clone(),
+        Predicate::And(parts) => {
+            let mut flat = Vec::new();
+            flatten_into(parts, true, &mut flat);
+            canonical_sort(&mut flat);
+            if flat.len() == 1 {
+                flat.pop().expect("single element")
+            } else {
+                Predicate::And(flat)
+            }
+        }
+        Predicate::Or(parts) => {
+            let mut flat = Vec::new();
+            flatten_into(parts, false, &mut flat);
+            canonical_sort(&mut flat);
+            if flat.len() == 1 {
+                flat.pop().expect("single element")
+            } else {
+                Predicate::Or(flat)
+            }
+        }
+        // Normalize the child first, then collapse: the inner predicate may
+        // only *become* a negation through normalization (¬AND[¬φ] → ¬¬φ).
+        Predicate::Not(inner) => match normalize_predicate(inner) {
+            Predicate::Not(doubly) => *doubly,
+            other => Predicate::Not(Box::new(other)),
+        },
+    }
+}
+
+/// Flatten same-connective children into `out` (`conjunction` selects whether
+/// the surrounding connective is `AND`).
+fn flatten_into(parts: &[Predicate], conjunction: bool, out: &mut Vec<Predicate>) {
+    for part in parts {
+        let normalized = normalize_predicate(part);
+        match (&normalized, conjunction) {
+            (Predicate::And(inner), true) | (Predicate::Or(inner), false) => {
+                out.extend(inner.iter().cloned())
+            }
+            _ => out.push(normalized),
+        }
+    }
+}
+
+/// Deterministic ordering of predicate children, by their structural
+/// (`Debug`) rendering — injective, so distinct predicates never tie.
+fn canonical_sort(parts: &mut [Predicate]) {
+    parts.sort_by_key(|p| format!("{p:?}"));
+}
+
+/// The canonical string of a plan: the derived `Debug` rendering of the
+/// normalized tree.  Unlike `Display` — which drops type information
+/// (`Text("1")` and `Int(1)` both render as `1`, and attribute/constant
+/// comparisons are indistinguishable) — the structural `Debug` form is
+/// injective on plans, so two plans share a key iff their normalized forms
+/// are identical and keying a cache on this string is collision-proof.
+pub fn plan_key(expr: &RaExpr) -> String {
+    format!("{:?}", normalize_plan(expr))
+}
+
+/// A compact 64-bit FNV-1a digest of [`plan_key`], for logs and stats output
+/// (caches should compare the full key, not the digest).
+pub fn fingerprint(expr: &RaExpr) -> u64 {
+    fnv1a(plan_key(expr).as_bytes())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+
+    fn a_eq_1() -> Predicate {
+        Predicate::eq_const("A", 1i64)
+    }
+
+    fn b_gt_2() -> Predicate {
+        Predicate::cmp_const("B", CmpOp::Gt, 2i64)
+    }
+
+    #[test]
+    fn conjunct_order_does_not_change_the_key() {
+        let p = RaExpr::rel("R").select(Predicate::and(vec![a_eq_1(), b_gt_2()]));
+        let q = RaExpr::rel("R").select(Predicate::and(vec![b_gt_2(), a_eq_1()]));
+        assert_eq!(plan_key(&p), plan_key(&q));
+        assert_eq!(fingerprint(&p), fingerprint(&q));
+    }
+
+    #[test]
+    fn nested_connectives_are_flattened() {
+        let nested = Predicate::and(vec![Predicate::and(vec![a_eq_1()]), b_gt_2()]);
+        let flat = Predicate::and(vec![a_eq_1(), b_gt_2()]);
+        assert_eq!(normalize_predicate(&nested), normalize_predicate(&flat));
+    }
+
+    #[test]
+    fn double_negation_and_singletons_collapse() {
+        let p = Predicate::not(Predicate::not(a_eq_1()));
+        assert_eq!(normalize_predicate(&p), a_eq_1());
+        let one = Predicate::and(vec![a_eq_1()]);
+        assert_eq!(normalize_predicate(&one), a_eq_1());
+        let one = Predicate::or(vec![b_gt_2()]);
+        assert_eq!(normalize_predicate(&one), b_gt_2());
+    }
+
+    #[test]
+    fn different_plans_have_different_keys() {
+        let p = RaExpr::rel("R").select(a_eq_1());
+        let q = RaExpr::rel("R").select(b_gt_2());
+        assert_ne!(plan_key(&p), plan_key(&q));
+        let r = RaExpr::rel("R").project(vec!["A"]);
+        assert_ne!(plan_key(&p), plan_key(&r));
+    }
+
+    #[test]
+    fn display_ambiguous_plans_do_not_collide() {
+        // `A = 1` (int) vs `A = "1"` (text): Display renders both as A=1.
+        let int_const = RaExpr::rel("R").select(Predicate::eq_const("A", 1i64));
+        let text_const = RaExpr::rel("R").select(Predicate::eq_const("A", "1"));
+        assert_ne!(plan_key(&int_const), plan_key(&text_const));
+        // `A = "B"` (constant) vs `A = B` (attribute comparison).
+        let as_const = RaExpr::rel("R").select(Predicate::eq_const("A", "B"));
+        let as_attr = RaExpr::rel("R").select(Predicate::cmp_attr("A", CmpOp::Eq, "B"));
+        assert_ne!(plan_key(&as_const), plan_key(&as_attr));
+    }
+
+    #[test]
+    fn negation_surfacing_through_normalization_still_collapses() {
+        // ¬(AND[¬φ]) only becomes ¬¬φ after the inner AND unwraps; the Not
+        // arm must collapse the surfaced double negation in one pass.
+        let p = Predicate::not(Predicate::and(vec![Predicate::not(a_eq_1())]));
+        assert_eq!(normalize_predicate(&p), a_eq_1());
+        assert_eq!(
+            normalize_predicate(&normalize_predicate(&p)),
+            normalize_predicate(&p)
+        );
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        let plan = RaExpr::rel("R")
+            .select(Predicate::and(vec![
+                b_gt_2(),
+                Predicate::or(vec![a_eq_1(), Predicate::not(Predicate::not(b_gt_2()))]),
+            ]))
+            .project(vec!["A"]);
+        let once = normalize_plan(&plan);
+        let twice = normalize_plan(&once);
+        assert_eq!(once, twice);
+    }
+}

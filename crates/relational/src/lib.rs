@@ -30,9 +30,11 @@
 //! paper's Figure 30.
 
 pub mod algebra;
+pub mod cursor;
 pub mod database;
 pub mod engine;
 pub mod error;
+pub mod fingerprint;
 pub mod index;
 pub mod optimizer;
 pub mod par;
@@ -43,12 +45,14 @@ pub mod tuple;
 pub mod value;
 
 pub use algebra::{evaluate, evaluate_checked, evaluate_set, RaExpr};
+pub use cursor::Cursor;
 pub use database::Database;
 pub use engine::{
     evaluate_query, evaluate_query_with, execute, EngineConfig, ExecContext, QueryBackend,
     SchemaCatalog, TempNames,
 };
 pub use error::{RelationalError, Result};
+pub use fingerprint::{fingerprint, normalize_plan, normalize_predicate, plan_key};
 pub use index::Index;
 pub use optimizer::{estimated_cost, estimated_rows, evaluate_optimized, optimize, output_attrs};
 pub use par::WorkerPool;

@@ -163,7 +163,6 @@ pub fn descriptor_probability(udb: &UDatabase, descriptor: &WsDescriptor) -> Res
 mod tests {
     use super::*;
     use crate::convert::from_wsd;
-    use crate::ops;
     use ws_core::wsd::example_census_wsd;
     use ws_relational::{Predicate, RaExpr, Value};
 
@@ -172,7 +171,8 @@ mod tests {
         // Q = π_S(R) over the Fig. 4 WSD: conf(185)=0.6, conf(186)=0.6,
         // conf(785)=0.8 (Example 11).
         let mut udb = from_wsd(&example_census_wsd()).unwrap();
-        ops::evaluate_query(&mut udb, &RaExpr::rel("R").project(vec!["S"]), "Q").unwrap();
+        ws_relational::engine::evaluate_query(&mut udb, &RaExpr::rel("R").project(vec!["S"]), "Q")
+            .unwrap();
         for (value, expected) in [(185i64, 0.6), (186, 0.6), (785, 0.8)] {
             let t = Tuple::from_iter([Value::int(value)]);
             let c = conf(&udb, "Q", &t).unwrap();
@@ -190,10 +190,10 @@ mod tests {
         let query = RaExpr::rel("R")
             .select(Predicate::eq_const("M", 1i64))
             .project(vec!["S", "M"]);
-        ops::evaluate_query(&mut udb, &query, "Q").unwrap();
+        ws_relational::engine::evaluate_query(&mut udb, &query, "Q").unwrap();
 
         let mut wsd_q = wsd.clone();
-        ws_core::ops::evaluate_query(&mut wsd_q, &query, "Q").unwrap();
+        ws_relational::engine::evaluate_query(&mut wsd_q, &query, "Q").unwrap();
         let expected = ws_core::confidence::possible_with_confidence(&wsd_q, "Q").unwrap();
         assert!(!expected.is_empty());
         for (tuple, c) in expected {
@@ -237,7 +237,8 @@ mod tests {
     #[test]
     fn monte_carlo_estimates_converge_to_the_exact_value() {
         let mut udb = from_wsd(&example_census_wsd()).unwrap();
-        ops::evaluate_query(&mut udb, &RaExpr::rel("R").project(vec!["S"]), "Q").unwrap();
+        ws_relational::engine::evaluate_query(&mut udb, &RaExpr::rel("R").project(vec!["S"]), "Q")
+            .unwrap();
         let tuple = Tuple::from_iter([Value::int(785)]);
         let exact = conf(&udb, "Q", &tuple).unwrap();
         let estimate = approx_conf(&udb, "Q", &tuple, 20_000, 42).unwrap();

@@ -154,14 +154,14 @@ mod tests {
     use super::*;
     use crate::confidence as exact;
     use crate::convert::from_wsd;
-    use crate::ops;
     use ws_core::wsd::example_census_wsd;
     use ws_relational::{RaExpr, Value};
 
     #[test]
     fn estimates_land_within_epsilon_of_exact() {
         let mut udb = from_wsd(&example_census_wsd()).unwrap();
-        ops::evaluate_query(&mut udb, &RaExpr::rel("R").project(vec!["S"]), "Q").unwrap();
+        ws_relational::engine::evaluate_query(&mut udb, &RaExpr::rel("R").project(vec!["S"]), "Q")
+            .unwrap();
         let config = ApproxConfig::new(0.02, 0.01);
         for (tuple, exact) in exact::possible_with_confidence(&udb, "Q").unwrap() {
             let estimate = conf(&udb, "Q", &tuple, &config).unwrap();

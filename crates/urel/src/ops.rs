@@ -225,6 +225,11 @@ impl QueryBackend for UDatabase {
 /// relation name.  Scratch relations are dropped on success and on error —
 /// U-relations are self-contained, so cleanup cannot perturb the world
 /// table.
+#[deprecated(
+    since = "0.1.0",
+    note = "open a `maybms::Session` on the UDatabase (prepare/execute/stream), or call \
+            `ws_relational::engine::evaluate_query_with` directly"
+)]
 pub fn evaluate_query(udb: &mut UDatabase, query: &RaExpr, out: &str) -> Result<String> {
     engine::evaluate_query_with(udb, query, out, EngineConfig::with_temp_cleanup())
 }
@@ -248,7 +253,7 @@ pub fn possible_answer(udb: &UDatabase, query: &RaExpr) -> Result<ws_relational:
         &mut counter,
         "urel_answer",
     );
-    evaluate_query(&mut scratch, query, &out)?;
+    engine::evaluate_query_with(&mut scratch, query, &out, EngineConfig::with_temp_cleanup())?;
     Ok(scratch.relation(&out)?.possible_tuples())
 }
 
@@ -401,10 +406,11 @@ mod tests {
         // evaluate_query registers the result under the requested name and
         // leaves no scratch relations behind.
         let names_before = udb.relation_names().len();
-        let out = evaluate_query(
+        let out = engine::evaluate_query_with(
             &mut udb,
             &RaExpr::rel("R").select(Predicate::eq_const("M", 1i64)),
             "Q",
+            EngineConfig::with_temp_cleanup(),
         )
         .unwrap();
         assert_eq!(out, "Q");
@@ -427,7 +433,13 @@ mod tests {
         // A failed evaluation must not leak scratch relations either.
         let mut scratch = census_udb();
         let names_before = scratch.relation_names().len();
-        assert!(evaluate_query(&mut scratch, &query, "Q").is_err());
+        assert!(engine::evaluate_query_with(
+            &mut scratch,
+            &query,
+            "Q",
+            EngineConfig::with_temp_cleanup()
+        )
+        .is_err());
         assert_eq!(scratch.relation_names().len(), names_before);
     }
 
@@ -449,7 +461,8 @@ mod tests {
         let query = RaExpr::rel("A")
             .product(RaExpr::rel("B"))
             .select(Predicate::cmp_attr("X", CmpOp::Eq, "Y"));
-        evaluate_query(&mut udb, &query, "J").unwrap();
+        engine::evaluate_query_with(&mut udb, &query, "J", EngineConfig::with_temp_cleanup())
+            .unwrap();
         let result = udb.relation("J").unwrap();
         // Exactly the four matching pairs, each annotated with a two-variable
         // descriptor; the world table still has two variables.

@@ -258,8 +258,12 @@ mod tests {
         // conf(785)=0.8, matching Example 11.
         let wsd = ws_core::wsd::example_census_wsd();
         let mut uwsdt = from_wsd(&wsd).unwrap();
-        crate::query::evaluate_query(&mut uwsdt, &RaExpr::rel("R").project(vec!["S"]), "Q")
-            .unwrap();
+        ws_relational::engine::evaluate_query(
+            &mut uwsdt,
+            &RaExpr::rel("R").project(vec!["S"]),
+            "Q",
+        )
+        .unwrap();
         let answers = possible_with_confidence(&uwsdt, "Q").unwrap();
         let lookup = |v: i64| {
             answers
@@ -284,7 +288,7 @@ mod tests {
             OrField::uniform(2, "A", vec![Value::int(1), Value::int(2)]),
         ];
         let mut uwsdt = from_or_relation(&base, &noise).unwrap();
-        crate::query::evaluate_query(
+        ws_relational::engine::evaluate_query(
             &mut uwsdt,
             &RaExpr::rel("R").select(Predicate::cmp_const("B", CmpOp::Ge, 20i64)),
             "Q",
@@ -318,7 +322,7 @@ mod tests {
         assert!((expected_cardinality(&uwsdt, "R").unwrap() - 2.0).abs() < 1e-9);
         // A selection that keeps tuple 2 only half the time reduces the
         // expected cardinality of the answer accordingly.
-        crate::query::evaluate_query(
+        ws_relational::engine::evaluate_query(
             &mut uwsdt,
             &RaExpr::rel("R").select(Predicate::cmp_const("A", CmpOp::Le, 2i64)),
             "Q",

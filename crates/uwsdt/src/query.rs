@@ -112,6 +112,11 @@ impl QueryBackend for Uwsdt {
 /// Evaluate a relational-algebra query through the unified
 /// `optimize → execute` pipeline, materializing the result as relation
 /// `out` inside the same UWSDT.  Returns the result relation's name.
+#[deprecated(
+    since = "0.1.0",
+    note = "open a `maybms::Session` on the Uwsdt (prepare/execute/stream), or call \
+            `ws_relational::engine::evaluate_query` directly"
+)]
 pub fn evaluate_query(uwsdt: &mut Uwsdt, query: &RaExpr, out: &str) -> Result<String> {
     engine::evaluate_query(uwsdt, query, out)
 }
@@ -141,10 +146,10 @@ mod tests {
     #[test]
     fn base_relation_query_copies_the_relation() {
         let mut uwsdt = small_uwsdt();
-        evaluate_query(&mut uwsdt, &RaExpr::rel("R"), "OUT").unwrap();
+        engine::evaluate_query(&mut uwsdt, &RaExpr::rel("R"), "OUT").unwrap();
         assert_eq!(uwsdt.template("OUT").unwrap().len(), 3);
         uwsdt.validate().unwrap();
-        assert!(evaluate_query(&mut uwsdt, &RaExpr::rel("NOPE"), "X").is_err());
+        assert!(engine::evaluate_query(&mut uwsdt, &RaExpr::rel("NOPE"), "X").is_err());
     }
 
     #[test]
@@ -162,7 +167,7 @@ mod tests {
         let join_query = RaExpr::rel("R")
             .product(RaExpr::rel("S"))
             .select(Predicate::cmp_attr("B", CmpOp::Eq, "C"));
-        evaluate_query(&mut uwsdt, &join_query, "J").unwrap();
+        engine::evaluate_query(&mut uwsdt, &join_query, "J").unwrap();
         let result = crate::ops::possible_tuples(&uwsdt, "J").unwrap();
         // (1,10,10) always; (2,21,21) only in the worlds where t2.B = 21.
         assert_eq!(result.len(), 2);

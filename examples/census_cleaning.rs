@@ -1,16 +1,19 @@
 //! Census data cleaning and querying at (scaled-down) scale — the workflow of
-//! the paper's evaluation section (§9).
+//! the paper's evaluation section (§9), driven through `maybms::Session`.
 //!
 //! Generates a synthetic IPUMS-like census relation, injects or-set noise at
 //! a configurable density, loads it into a UWSDT, chases the twelve
 //! dependencies of Figure 25, and evaluates the queries Q1–Q6 of Figure 29 on
-//! the cleaned representation, printing the Figure-27-style characteristics
-//! of every result.
+//! the cleaned representation — one session, six prepared plans — printing
+//! the Figure-27-style characteristics of every result.  The single-world
+//! baseline streams through the volcano cursor of `ws-relational` without
+//! materializing anything.
 //!
 //! Run with: `cargo run --release --example census_cleaning -p maybms -- [tuples] [density]`
 //! (defaults: 20000 tuples, 0.1% density).
 
 use maybms::prelude::*;
+use maybms::Session;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -57,21 +60,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         after.c_size
     );
 
-    // Evaluate Q1–Q6 on the cleaned UWSDT and on the single clean world.
+    // Evaluate Q1–Q6 on the cleaned UWSDT (one session, prepared plans) and
+    // on the single clean world (streamed through the cursor).
     let one_world = scenario.one_world();
+    let mut session = Session::new(uwsdt);
     println!(
         "\n{:<4} {:>10} {:>8} {:>9} {:>9} {:>10} {:>12}",
         "query", "rows |R|", "#comp", "#comp>1", "|C|", "uwsdt[s]", "one-world[s]"
     );
     for (label, query) in maybms::census::all_queries() {
+        let prepared = session.prepare(query)?;
         let start = Instant::now();
-        let out = format!("{label}_RESULT");
-        maybms::uwsdt::evaluate_query(&mut uwsdt, &query, &out)?;
+        let out = session.materialize(&prepared)?;
         let uwsdt_time = start.elapsed();
-        let stats = stats_for(&uwsdt, &out)?;
+        let stats = stats_for(session.backend(), &out)?;
 
         let start = Instant::now();
-        let baseline = ws_relational::evaluate(&one_world, &query)?;
+        let baseline_rows = Cursor::open(&one_world, prepared.plan())?.try_count()?;
         let baseline_time = start.elapsed();
 
         println!(
@@ -84,8 +89,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             uwsdt_time.as_secs_f64(),
             baseline_time.as_secs_f64()
         );
-        let _ = baseline;
+        let _ = baseline_rows;
     }
+    println!("\nsession: {}", session.summary());
 
     println!("\nkey observation (as in the paper): the representation of every query answer");
     println!("stays close to the size of a single world, and UWSDT query time tracks the");

@@ -4,7 +4,8 @@
 //! repair arbitrarily, the minimal repairs are materialized as a world-set
 //! decomposition: certain data stays in one-row components, each conflict
 //! cluster becomes one component whose local worlds are the possible
-//! resolutions.  Queries can then report
+//! resolutions.  Queries — built with the fluent `maybms::q` builder — can
+//! then report
 //!
 //! * the *consistent* answers (true in every repair),
 //! * the *possible* answers (true in some repair), and
@@ -12,11 +13,12 @@
 //!
 //! and the repair world-set remains available for further cleaning: a
 //! late-arriving constraint is chased to discard repairs instead of starting
-//! over.
+//! over, and a `maybms::Session` keeps answering from the cleaned set.
 //!
 //! Run with: `cargo run -p maybms --example consistent_query_answering`
 
 use maybms::prelude::*;
+use maybms::{q, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ------------------------------------------------------------------
@@ -43,9 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ------------------------------------------------------------------
     // Who works in engineering?
     // ------------------------------------------------------------------
-    let eng = RaExpr::rel("Emp")
+    let eng = q("Emp")
         .select(Predicate::eq_const("DEPT", "eng"))
-        .project(vec!["EMP"]);
+        .project(["EMP"])
+        .lower();
     let certain = consistent_answers(&repairs, &eng)?;
     let possible = possible_answers(&repairs, &eng)?;
     println!("\nengineers in every repair (consistent answers):");
@@ -63,7 +66,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ------------------------------------------------------------------
     // A late constraint: salaries in engineering are at least 2500.
-    // Chase it on the repair world-set to discard repairs, then re-ask.
+    // Chase it on the repair world-set to discard repairs, then re-ask
+    // through a session on the cleaned set.
     // ------------------------------------------------------------------
     let constraint = Dependency::Egd(EqualityGeneratingDependency::implies(
         "Emp",
@@ -79,11 +83,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nafter chasing \"eng salaries ≥ 2500\": {:.0}% of the repairs survive",
         surviving * 100.0
     );
-    let salaries = RaExpr::rel("Emp")
-        .select(Predicate::eq_const("EMP", "bob"))
-        .project(vec!["SALARY"]);
+    let mut session = Session::new(cleaned);
+    let salaries = session.prepare(
+        q("Emp")
+            .select(Predicate::eq_const("EMP", "bob"))
+            .project(["SALARY"]),
+    )?;
     println!("bob's possible salaries afterwards:");
-    for (t, support) in maybms::apps::repairs::answers_with_support(&cleaned, &salaries)? {
+    for (t, support) in session.confidence(&salaries)? {
         println!("  {t}  {:.0}%", support * 100.0);
     }
 

@@ -9,14 +9,15 @@
 //! the template, the differences between repairs live in small components.
 //!
 //! This example builds an employee relation that violates the key constraint
-//! `EMP → DEPT, SALARY`, represents all minimal value-repairs as a WSD,
-//! queries across the repairs, and reports both *certain* answers (true in
-//! every repair — the consistent query answers of Arenas et al.) and
-//! *possible* answers with their confidences.
+//! `EMP → DEPT, SALARY`, represents all minimal value-repairs as a WSD, and
+//! queries across the repairs through one `maybms::Session` — reporting both
+//! *certain* answers (true in every repair — the consistent query answers of
+//! Arenas et al.) and *possible* answers with their confidences.
 //!
 //! Run with: `cargo run --example inconsistent_repairs -p maybms`
 
 use maybms::prelude::*;
+use maybms::{q, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --------------------------------------------------------------
@@ -70,15 +71,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --------------------------------------------------------------
-    // 3. Query across all repairs: who earns at least 55?
+    // 3. Query across all repairs through a session: who earns at least 55?
+    //    `confidence` separates the certain answers (conf = 1) from the
+    //    merely possible ones.
     // --------------------------------------------------------------
-    let query = RaExpr::rel("PAYROLL")
-        .select(Predicate::cmp_const("SALARY", CmpOp::Ge, 55i64))
-        .project(vec!["EMP"]);
-    maybms::core::ops::evaluate_query(&mut wsd, &query, "WELL_PAID")?;
+    let mut session = Session::new(wsd);
+    let well_paid = session.prepare(
+        q("PAYROLL")
+            .select(Predicate::cmp_const("SALARY", CmpOp::Ge, 55i64))
+            .project(["EMP"]),
+    )?;
 
     println!("\nemployees earning ≥ 55, across all repairs:");
-    for (tuple, confidence) in possible_with_confidence(&wsd, "WELL_PAID")? {
+    for (tuple, confidence) in session.confidence(&well_paid)? {
         let certainty = if confidence >= 1.0 - 1e-9 {
             "certain answer"
         } else {
@@ -89,16 +94,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --------------------------------------------------------------
     // 4. Unlike consistent-query-answering systems, the result is itself a
-    //    world-set: we can keep querying it.  Which departments could the
-    //    well-paid employees work in?
+    //    world-set: we can keep querying the same session.  Which departments
+    //    could the well-paid employees work in?
     // --------------------------------------------------------------
-    let follow_up = RaExpr::rel("PAYROLL")
-        .select(Predicate::cmp_const("SALARY", CmpOp::Ge, 55i64))
-        .project(vec!["DEPT"]);
-    maybms::core::ops::evaluate_query(&mut wsd, &follow_up, "WELL_PAID_DEPTS")?;
+    let follow_up = session.prepare(
+        q("PAYROLL")
+            .select(Predicate::cmp_const("SALARY", CmpOp::Ge, 55i64))
+            .project(["DEPT"]),
+    )?;
     println!("\npossible departments of well-paid employees:");
-    for (tuple, confidence) in possible_with_confidence(&wsd, "WELL_PAID_DEPTS")? {
+    for (tuple, confidence) in session.confidence(&follow_up)? {
         println!("  {}  conf = {confidence:.2}", tuple[0]);
     }
+    println!("\nsession: {}", session.summary());
     Ok(())
 }

@@ -9,12 +9,13 @@
 //!
 //! This example models a patient whose diagnosis and medication are uncertain
 //! but correlated (the joint distribution lives in one component), chases a
-//! drug-interaction constraint when a second prescription arrives, and asks
-//! for the possible treatments with their confidences.
+//! drug-interaction constraint when a second prescription arrives, and asks a
+//! `maybms::Session` for the possible treatments with their confidences.
 //!
 //! Run with: `cargo run --example medical_interactions -p maybms`
 
 use maybms::prelude::*;
+use maybms::{q, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --------------------------------------------------------------
@@ -86,14 +87,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --------------------------------------------------------------
     // 3. What are the possible (diagnosis, drug) treatments now, and how
-    //    likely is each?  (Confidence = probability across the worlds.)
+    //    likely is each?  One session over the cleaned record answers both
+    //    this and the follow-up question from prepared plans.
     // --------------------------------------------------------------
-    let treatments = RaExpr::rel("PATIENT")
-        .select(Predicate::eq_const("CASE", 1i64))
-        .project(vec!["DIAGNOSIS", "DRUG"]);
-    maybms::core::ops::evaluate_query(&mut wsd, &treatments, "TREATMENTS")?;
+    let mut session = Session::new(wsd);
+    let treatments = session.prepare(
+        q("PATIENT")
+            .select(Predicate::eq_const("CASE", 1i64))
+            .project(["DIAGNOSIS", "DRUG"]),
+    )?;
     println!("\npossible treatments of the current episode:");
-    for (tuple, confidence) in possible_with_confidence(&wsd, "TREATMENTS")? {
+    for (tuple, confidence) in session.confidence(&treatments)? {
         println!(
             "  {:<14} {:<12} conf = {confidence:.3}",
             tuple[0].to_string(),
@@ -105,21 +109,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Commonly asked cross-world question: is the hypertension diagnosis
     //    certain?  (It is, once propranolol/migraine is excluded.)
     // --------------------------------------------------------------
-    let diagnosis = RaExpr::rel("PATIENT")
-        .select(Predicate::eq_const("CASE", 1i64))
-        .project(vec!["DIAGNOSIS"]);
-    maybms::core::ops::evaluate_query(&mut wsd, &diagnosis, "DIAGNOSIS_ONLY")?;
+    let diagnosis = session.prepare(
+        q("PATIENT")
+            .select(Predicate::eq_const("CASE", 1i64))
+            .project(["DIAGNOSIS"]),
+    )?;
     let hypertension = Tuple::from_iter([Value::text("hypertension")]);
-    println!(
-        "\nconf(diagnosis = hypertension) = {:.3}",
-        conf(&wsd, "DIAGNOSIS_ONLY", &hypertension)?
-    );
+    let conf_hypertension = session
+        .confidence(&diagnosis)?
+        .into_iter()
+        .find(|(t, _)| *t == hypertension)
+        .map(|(_, c)| c)
+        .unwrap_or(0.0);
+    println!("\nconf(diagnosis = hypertension) = {conf_hypertension:.3}");
+    println!("session: {}", session.summary());
 
     // --------------------------------------------------------------
     // 5. The record in the uniform representation (what a hospital DBMS
     //    would store): template + tiny component tables.
     // --------------------------------------------------------------
-    let uwsdt = from_wsd(&wsd)?;
+    let uwsdt = from_wsd(session.backend())?;
     let stats = stats_for(&uwsdt, "PATIENT")?;
     println!(
         "\nUWSDT storage: {} template rows, {} placeholders, {} components, |C| = {}",

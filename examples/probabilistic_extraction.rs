@@ -7,7 +7,8 @@
 //!
 //! 1. load weighted or-set readings into a probabilistic WSD,
 //! 2. import a tuple-independent relation (Example 5 / Figure 7),
-//! 3. query both and compute tuple confidences (§6),
+//! 3. query through a `maybms::Session` — exact and (ε, δ)-approximate
+//!    confidences on the same prepared plan (§6),
 //! 4. condition on late-arriving knowledge (conditional confidence), and
 //! 5. report confidence *bounds* when the extraction weights are only known
 //!    up to a margin (interval probabilities).
@@ -15,6 +16,7 @@
 //! Run with: `cargo run -p maybms --example probabilistic_extraction`
 
 use maybms::prelude::*;
+use maybms::{q, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ------------------------------------------------------------------
@@ -58,17 +60,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ------------------------------------------------------------------
-    // 3. Query + confidence: SSNs of single persons.
+    // 3. Query + confidence through a session: SSNs of single persons.
+    //    The same prepared plan answers exactly and (ε, δ)-approximately —
+    //    the Monte-Carlo evaluator of §6 never composes components.
     // ------------------------------------------------------------------
-    let query = RaExpr::rel("Person")
-        .select(Predicate::eq_const("M", 1i64))
-        .project(vec!["S"]);
-    let mut queried = wsd.clone();
-    maybms::core::ops::evaluate_query(&mut queried, &query, "Singles")?;
+    let mut session = Session::new(wsd.clone());
+    let singles = session.prepare(
+        q("Person")
+            .select(Predicate::eq_const("M", 1i64))
+            .project(["S"]),
+    )?;
     println!("\nπ_S(σ_M=1(Person)) — possible answers and confidences:");
-    for (tuple, confidence) in possible_with_confidence(&queried, "Singles")? {
+    for (tuple, confidence) in session.confidence(&singles)? {
         println!("  {tuple}  conf = {confidence:.3}");
     }
+    let approx = ApproxConfig::new(0.02, 0.01).with_seed(0xC0FFEE);
+    println!("the same, (ε=0.02, δ=0.01)-approximated from the plan cache:");
+    for (tuple, confidence) in session.confidence_approx(&singles, &approx)? {
+        println!("  {tuple}  conf ≈ {confidence:.3}");
+    }
+    println!("session: {}", session.summary());
 
     // ------------------------------------------------------------------
     // 4. Conditioning: a reliable source says SSN 785 belongs to a married
@@ -104,9 +115,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  P(tuple ∧ ψ)             = {joint:.3}");
 
     // ------------------------------------------------------------------
-    // 5. Interval probabilities: the extractor's weights are ±0.05.
+    // 5. Interval probabilities: the extractor's weights are ±0.05.  The
+    //    session keeps the materialized answer inside the WSD, so the
+    //    interval view can be opened right on the session's backend.
     // ------------------------------------------------------------------
-    let view = IntervalView::with_margin(&queried, "Singles", 0.05)?;
+    let out = session.materialize(&singles)?;
+    let view = IntervalView::with_margin(session.backend(), &out, 0.05)?;
     println!("\nconfidence bounds with ±0.05 weight uncertainty:");
     for (tuple, bounds) in view.possible_with_bounds()? {
         println!("  {tuple}  conf ∈ [{:.3}, {:.3}]", bounds.lo, bounds.hi);

@@ -1,13 +1,17 @@
-//! Quickstart: the paper's running census-form example, end to end.
+//! Quickstart: the paper's running census-form example, end to end — through
+//! the `maybms::Session` front door.
 //!
 //! Builds the or-set relation of the introduction (two survey forms with
 //! ambiguous entries), cleans it with the SSN-uniqueness constraint, attaches
-//! probabilities, runs a query on all worlds at once, and computes tuple
-//! confidences — reproducing Figures 1–5, 22 and Example 11 of the paper.
+//! probabilities, opens a session on the probabilistic WSD, and runs one
+//! prepared query on all worlds at once — streaming the possible answers and
+//! computing tuple confidences — reproducing Figures 1–5, 22 and Example 11
+//! of the paper.
 //!
 //! Run with: `cargo run --example quickstart -p maybms`
 
 use maybms::prelude::*;
+use maybms::{q, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --------------------------------------------------------------
@@ -62,25 +66,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("after chasing S=785 ⇒ M=1 (Figure 22):\n{prob}");
 
     // --------------------------------------------------------------
-    // 4. Query all worlds at once: Q = π_S(σ_{M=1}(R)).
+    // 4. Open a session and prepare Q = π_S(σ_{M=1}(R)) once.  The builder
+    //    typechecks against the WSD's catalog; `prepare` runs the optimizer
+    //    a single time and fingerprints the plan.
     // --------------------------------------------------------------
-    let query = RaExpr::rel("R")
-        .select(Predicate::eq_const("M", 1i64))
-        .project(vec!["S"]);
-    maybms::core::ops::evaluate_query(&mut prob, &query, "Q")?;
+    let mut session = Session::new(prob);
+    let query = session.prepare(q("R").select(Predicate::eq_const("M", 1i64)).project(["S"]))?;
+    println!("prepared {query}");
+
+    // Stream the possible answers (all worlds at once).
+    let answers: Vec<Tuple> = session.execute(&query)?.collect();
+    println!(
+        "possible answers to π_S(σ_M=1(R)): {} tuples",
+        answers.len()
+    );
 
     // --------------------------------------------------------------
-    // 5. Possible answer tuples and their confidences (Example 11 style).
+    // 5. Confidences on the same prepared plan (Example 11 style).  This
+    //    re-executes from the plan cache — no second optimizer run.
     // --------------------------------------------------------------
-    println!("possible answers to π_S(σ_M=1(R)) with confidences:");
-    for (tuple, confidence) in possible_with_confidence(&prob, "Q")? {
+    println!("possible answers with confidences:");
+    for (tuple, confidence) in session.confidence(&query)? {
         println!("  S = {}   conf = {confidence:.4}", tuple[0]);
     }
+    println!("session: {}", session.summary());
 
     // --------------------------------------------------------------
     // 6. The same world-set in the uniform (UWSDT) representation.
     // --------------------------------------------------------------
-    let uwsdt = from_wsd(&prob)?;
+    let uwsdt = from_wsd(session.backend())?;
     let stats = stats_for(&uwsdt, "R")?;
     println!(
         "\nUWSDT: {} template rows, {} placeholders, {} components, |C| = {}",

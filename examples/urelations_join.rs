@@ -5,38 +5,52 @@
 //! follow-up representation implemented in `ws-urel`) keep positive queries
 //! purely relational by annotating tuples with world-set descriptors.  This
 //! example runs the §1 "pairs of persons with different social security
-//! numbers" query on both representations, compares the representation sizes
-//! and verifies that the answers (and their confidences) agree.
+//! numbers" query on both representations — the *same* fluent query through
+//! two `maybms::Session`s — compares the representation sizes and verifies
+//! that the answers (and their confidences) agree.
 //!
 //! Run with: `cargo run -p maybms --example urelations_join`
 
 use maybms::prelude::*;
+use maybms::{q, Session};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The running census example of the paper (Figure 4): 24 worlds.
     let wsd = maybms::core::wsd::example_census_wsd();
     println!("world-set: {} worlds", wsd.world_count());
 
-    // The §1 query: pairs of distinct social security numbers.
-    let query = RaExpr::rel("R")
-        .project(vec!["S"])
+    // The §1 query: pairs of distinct social security numbers.  Written once,
+    // prepared per session — each backend's catalog typechecks it.
+    let pairs = q("R")
+        .project(["S"])
         .rename("S", "S1")
-        .product(RaExpr::rel("R").project(vec!["S"]).rename("S", "S2"))
+        .product(q("R").project(["S"]).rename("S", "S2"))
         .select(Predicate::cmp_attr("S1", CmpOp::Ne, "S2"));
 
     // --- WSD evaluation (components may need to be composed) -------------
-    let mut wsd_q = wsd.clone();
-    let wsd_rows_before: usize = wsd_q.components().map(|(_, c)| c.len()).sum();
-    maybms::core::ops::evaluate_query(&mut wsd_q, &query, "Pairs")?;
-    let wsd_rows_after: usize = wsd_q.components().map(|(_, c)| c.len()).sum();
-    let wsd_answers = possible_with_confidence(&wsd_q, "Pairs")?;
+    let mut wsd_session = Session::new(wsd.clone());
+    let wsd_rows_before: usize = wsd_session
+        .backend()
+        .components()
+        .map(|(_, c)| c.len())
+        .sum();
+    let prepared = wsd_session.prepare(pairs.clone())?;
+    wsd_session.materialize(&prepared)?;
+    let wsd_rows_after: usize = wsd_session
+        .backend()
+        .components()
+        .map(|(_, c)| c.len())
+        .sum();
+    let wsd_answers = wsd_session.confidence(&prepared)?;
 
     // --- U-relation evaluation (descriptors conjoined pairwise) ----------
-    let mut udb = maybms::urel::from_wsd(&wsd)?;
-    let urel_rows_before = udb.total_rows();
-    maybms::urel::evaluate_query(&mut udb, &query, "Pairs")?;
-    let urel_rows_after = udb.total_rows();
-    let urel_answers = maybms::urel::possible_with_confidence(&udb, "Pairs")?;
+    let mut urel_session = Session::new(maybms::urel::from_wsd(&wsd)?);
+    let urel_rows_before = urel_session.backend().total_rows();
+    let prepared = urel_session.prepare(pairs)?;
+    let out = urel_session.materialize(&prepared)?;
+    let urel_rows_after = urel_session.backend().total_rows();
+    let urel_answers = urel_session.confidence(&prepared)?;
+    let _ = out;
 
     println!("\nrepresentation size (rows):");
     println!("  WSD        {wsd_rows_before} → {wsd_rows_after}");

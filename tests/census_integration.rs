@@ -73,7 +73,7 @@ fn queries_on_the_chased_uwsdt_match_per_world_evaluation() {
     let worlds = chased.enumerate_worlds(2_000_000).unwrap();
     for (label, query) in all_queries() {
         let mut evaluated = chased.clone();
-        maybms::uwsdt::evaluate_query(&mut evaluated, &query, "OUT").unwrap();
+        maybms::relational::evaluate_query(&mut evaluated, &query, "OUT").unwrap();
         let result_worlds = evaluated.enumerate_worlds(2_000_000).unwrap();
         assert_eq!(result_worlds.len(), worlds.len(), "{label}");
         for ((db_in, p_in), (db_out, p_out)) in worlds.iter().zip(&result_worlds) {
@@ -99,7 +99,7 @@ fn query_results_stay_close_to_one_world_in_size() {
     assert_eq!(base_stats.template_rows, 2_000);
     for (label, query) in all_queries() {
         let out = format!("{label}_OUT");
-        maybms::uwsdt::evaluate_query(&mut uwsdt, &query, &out).unwrap();
+        maybms::relational::evaluate_query(&mut uwsdt, &query, &out).unwrap();
         let stats = stats_for(&uwsdt, &out).unwrap();
         // The answer never has more placeholders than the input had, and the
         // component table stays tiny relative to the template.
@@ -126,7 +126,7 @@ fn one_world_baseline_matches_uwsdt_on_noise_free_data() {
     let one_world = scenario.one_world();
     for (label, query) in all_queries() {
         let out = format!("{label}_OUT");
-        maybms::uwsdt::evaluate_query(&mut uwsdt, &query, &out).unwrap();
+        maybms::relational::evaluate_query(&mut uwsdt, &query, &out).unwrap();
         let expected = ws_relational::evaluate_set(&one_world, &query).unwrap();
         let mut actual = uwsdt.template(&out).unwrap().clone();
         actual.dedup();

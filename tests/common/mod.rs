@@ -1,6 +1,7 @@
 //! Shared fixtures of the engine property tests: the random well-typed plan
-//! generator and the random-WSD builder used by both the cross-backend
-//! equivalence suite and the parallel-executor identity suite.
+//! generator, the random-WSD builder, and the `Session`-era harness — the
+//! five-backend constructor and the fluent-builder rebuild used by the
+//! cross-backend equivalence, parallel-identity and session-API suites.
 //!
 //! Each integration-test binary compiles its own copy of this module, so
 //! helpers one binary does not use are expected dead code there.
@@ -9,6 +10,7 @@
 use std::collections::BTreeSet;
 
 use maybms::prelude::*;
+use maybms::{AnyBackend, Query, Session};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -204,6 +206,62 @@ pub fn random_wsd(rng: &mut StdRng) -> Wsd {
     }
     wsd.validate().unwrap();
     wsd
+}
+
+/// The same world-set in all five representations, tagged with the backend
+/// name: the first enumerated world as a plain database, the WSD itself,
+/// its UWSDT and U-relational conversions, and the explicit world-set.
+/// Everything a session can be opened over.
+pub fn all_backends(wsd: &Wsd) -> Vec<(&'static str, AnyBackend)> {
+    let first_world = wsd.enumerate_worlds(1 << 20).unwrap()[0].0.clone();
+    vec![
+        ("database", AnyBackend::from(first_world)),
+        ("wsd", AnyBackend::from(wsd.clone())),
+        (
+            "uwsdt",
+            AnyBackend::from(maybms::uwsdt::from_wsd(wsd).unwrap()),
+        ),
+        (
+            "urel",
+            AnyBackend::from(maybms::urel::from_wsd(wsd).unwrap()),
+        ),
+        ("worlds", AnyBackend::from(wsd.rep().unwrap())),
+    ]
+}
+
+/// Rebuild an arbitrary plan through the fluent builder, combinator by
+/// combinator — the round-trip half of the builder property test.
+pub fn rebuild_with_builder(expr: &RaExpr) -> Query {
+    match expr {
+        RaExpr::Rel(name) => maybms::q(name.clone()),
+        RaExpr::Select { pred, input } => rebuild_with_builder(input).select(pred.clone()),
+        RaExpr::Project { attrs, input } => rebuild_with_builder(input).project(attrs.clone()),
+        RaExpr::Product { left, right } => {
+            rebuild_with_builder(left).product(rebuild_with_builder(right))
+        }
+        RaExpr::Union { left, right } => {
+            rebuild_with_builder(left).union(rebuild_with_builder(right))
+        }
+        RaExpr::Difference { left, right } => {
+            rebuild_with_builder(left).difference(rebuild_with_builder(right))
+        }
+        RaExpr::Rename { from, to, input } => {
+            rebuild_with_builder(input).rename(from.clone(), to.clone())
+        }
+    }
+}
+
+/// Open a session with `threads` workers over a backend and stream one
+/// query's possible answer tuples, in the session's canonical order.
+pub fn session_possible(
+    backend: AnyBackend,
+    query: impl maybms::IntoQuery,
+    threads: usize,
+) -> Result<Vec<Tuple>, maybms::Error> {
+    let mut session = Session::with_config(backend, EngineConfig::with_threads(threads));
+    let prepared = session.prepare(query)?;
+    let rows: Vec<Tuple> = session.execute(&prepared)?.collect();
+    Ok(rows)
 }
 
 pub fn plan_has_difference(expr: &RaExpr) -> bool {

@@ -1,0 +1,56 @@
+//! The old per-crate `evaluate_query` free functions survive as deprecated
+//! shims over the unified engine; this suite — the only place allowed to
+//! call them — pins the shims to the new `Session` path so migration stays
+//! safe until they are removed.
+#![allow(deprecated)]
+
+use maybms::prelude::*;
+use maybms::{q, Session};
+
+fn census_query() -> RaExpr {
+    RaExpr::rel("R")
+        .select(Predicate::eq_const("M", 1i64))
+        .project(vec!["S"])
+}
+
+fn session_rows(backend: impl Into<AnyBackend>) -> Vec<Tuple> {
+    let mut session = Session::over(backend);
+    let prepared = session
+        .prepare(q("R").select(Predicate::eq_const("M", 1i64)).project(["S"]))
+        .unwrap();
+    let mut rows: Vec<Tuple> = session.execute(&prepared).unwrap().collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn wsd_shim_matches_the_session_path() {
+    let wsd = maybms::core::wsd::example_census_wsd();
+    let mut shimmed = wsd.clone();
+    let out = maybms::core::ops::evaluate_query(&mut shimmed, &census_query(), "Q").unwrap();
+    let mut shim_rows = possible(&shimmed, &out).unwrap().rows().to_vec();
+    shim_rows.sort();
+    assert_eq!(shim_rows, session_rows(wsd));
+}
+
+#[test]
+fn uwsdt_shim_matches_the_session_path() {
+    let wsd = maybms::core::wsd::example_census_wsd();
+    let uwsdt = maybms::uwsdt::from_wsd(&wsd).unwrap();
+    let mut shimmed = uwsdt.clone();
+    let out = maybms::uwsdt::evaluate_query(&mut shimmed, &census_query(), "Q").unwrap();
+    let mut shim_rows = maybms::uwsdt::ops::possible_tuples(&shimmed, &out).unwrap();
+    shim_rows.sort();
+    assert_eq!(shim_rows, session_rows(uwsdt));
+}
+
+#[test]
+fn urel_shim_matches_the_session_path() {
+    let wsd = maybms::core::wsd::example_census_wsd();
+    let udb = maybms::urel::from_wsd(&wsd).unwrap();
+    let mut shimmed = udb.clone();
+    let out = maybms::urel::evaluate_query(&mut shimmed, &census_query(), "Q").unwrap();
+    let mut shim_rows = maybms::urel::ops::possible_tuples(&shimmed, &out).unwrap();
+    shim_rows.sort();
+    assert_eq!(shim_rows, session_rows(udb));
+}

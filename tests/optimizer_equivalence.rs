@@ -113,7 +113,8 @@ fn optimized_plans_agree_on_world_set_representations() {
             ws_relational::EngineConfig::naive(),
         )
         .unwrap();
-        let out_opt = ws_uwsdt::evaluate_query(&mut uwsdt, &plan, &format!("{name}_opt")).unwrap();
+        let out_opt =
+            ws_relational::evaluate_query(&mut uwsdt, &plan, &format!("{name}_opt")).unwrap();
         let plain = ws_uwsdt::ops::possible_tuples(&uwsdt, &out_plain).unwrap();
         let optimized = ws_uwsdt::ops::possible_tuples(&uwsdt, &out_opt).unwrap();
         let plain_set: std::collections::BTreeSet<_> = plain.into_iter().collect();

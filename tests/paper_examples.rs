@@ -141,7 +141,8 @@ fn figure8_uwsdt_shape() {
 #[test]
 fn example11_projection_confidences() {
     let mut wsd = maybms::core::wsd::example_census_wsd();
-    maybms::core::ops::evaluate_query(&mut wsd, &RaExpr::rel("R").project(vec!["S"]), "Q").unwrap();
+    maybms::relational::evaluate_query(&mut wsd, &RaExpr::rel("R").project(vec!["S"]), "Q")
+        .unwrap();
     let answers = possible_with_confidence(&wsd, "Q").unwrap();
     let lookup = |v: i64| -> f64 {
         answers
@@ -218,7 +219,7 @@ fn figure10_to_13_selection_examples() {
         .unwrap();
     assert_eq!(wsd.rep().unwrap().len(), 8);
 
-    maybms::core::ops::evaluate_query(
+    maybms::relational::evaluate_query(
         &mut wsd,
         &RaExpr::rel("R").select(Predicate::cmp_attr("A", CmpOp::Eq, "B")),
         "P",

@@ -157,7 +157,8 @@ fn approximate_confidence_is_thread_count_invariant_end_to_end() {
     // One correlated query answer, estimated at every thread count: the
     // (ε, δ) sampler must return the identical estimate.
     let mut wsd = maybms::core::wsd::example_census_wsd();
-    maybms::core::ops::evaluate_query(&mut wsd, &RaExpr::rel("R").project(vec!["S"]), "Q").unwrap();
+    maybms::relational::evaluate_query(&mut wsd, &RaExpr::rel("R").project(vec!["S"]), "Q")
+        .unwrap();
     let config = ApproxConfig::default();
     let serial =
         maybms::core::confidence::approx::possible_with_confidence(&wsd, "Q", &config).unwrap();

@@ -74,7 +74,7 @@ proptest! {
     #[test]
     fn component_probabilities_always_sum_to_one_after_operations(rows in orset_rows()) {
         let mut wsd = wsd_from(&rows);
-        maybms::core::ops::evaluate_query(
+        maybms::relational::evaluate_query(
             &mut wsd,
             &RaExpr::rel("R").select(Predicate::eq_const("A", 1i64)).project(vec!["B"]),
             "OUT",

@@ -1,0 +1,178 @@
+//! Properties of the `maybms::Session` front door.
+//!
+//! * Every random well-typed plan round-trips through the fluent builder:
+//!   rebuilding it combinator by combinator and lowering gives the same plan
+//!   modulo normalization.
+//! * Prepared re-execution is **bit-identical** to fresh evaluation: on all
+//!   five backends, at 1 and 4 worker threads, `prepare` + `execute` twice
+//!   (the second prepare a guaranteed plan-cache hit) streams exactly the
+//!   rows two independent engine evaluations produce — same tuples, same
+//!   order.
+//! * Errors keep their plan context across the dynamic backend.
+
+use maybms::prelude::*;
+use maybms::{q, AnyBackend, Session};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+mod common;
+use common::{all_backends, random_wsd, rebuild_with_builder, session_possible, Generator};
+
+#[test]
+fn every_generated_plan_round_trips_through_the_builder() {
+    let mut rng = StdRng::seed_from_u64(0xB01D);
+    let mut generator = Generator::new(0x0B01);
+    for round in 0..200 {
+        let plan = generator.expr(rng.gen_range(0..=3usize), true).expr;
+        let rebuilt = rebuild_with_builder(&plan).lower();
+        // The builder adds no structure of its own…
+        assert_eq!(rebuilt, plan, "round {round}: builder changed the tree");
+        // …and the normalized (cache-key) forms agree as well.
+        assert_eq!(
+            maybms::relational::normalize_plan(&rebuilt),
+            maybms::relational::normalize_plan(&plan),
+            "round {round}: normalization disagrees"
+        );
+    }
+}
+
+/// Fresh evaluation through the engine, with the backend-appropriate
+/// possible-tuple extraction — the pre-session calling convention.
+fn fresh_possible(backend: &mut AnyBackend, query: &RaExpr, threads: usize) -> Vec<Tuple> {
+    let out = evaluate_query_with(
+        backend,
+        query,
+        "FRESH_OUT",
+        EngineConfig::with_threads(threads),
+    )
+    .unwrap();
+    match backend {
+        AnyBackend::Db(db) => {
+            let mut rel = db.relation(&out).unwrap().clone();
+            rel.dedup();
+            rel.rows().to_vec()
+        }
+        AnyBackend::Wsd(wsd) => possible(wsd, &out).unwrap().rows().to_vec(),
+        AnyBackend::Uwsdt(uwsdt) => maybms::uwsdt::ops::possible_tuples(uwsdt, &out).unwrap(),
+        AnyBackend::Urel(udb) => maybms::urel::ops::possible_tuples(udb, &out).unwrap(),
+        AnyBackend::Worlds(ws) => maybms::baselines::possible_tuples(ws, &out).unwrap(),
+    }
+}
+
+#[test]
+fn prepared_reexecution_is_bit_identical_to_fresh_evaluation() {
+    let mut rng = StdRng::seed_from_u64(0x5E5510);
+    let mut generator = Generator::new(0xCAC4E);
+    for round in 0..8 {
+        let wsd = random_wsd(&mut rng);
+        // U-relations reject difference; keep the plans positive so all five
+        // backends run them.
+        let plan = generator.expr(rng.gen_range(1..=3usize), false).expr;
+        for threads in [1usize, 4] {
+            for (name, backend) in all_backends(&wsd) {
+                // Two *fresh* evaluations on two copies of the backend.
+                let fresh_a = fresh_possible(&mut backend.clone(), &plan, threads);
+                let fresh_b = fresh_possible(&mut backend.clone(), &plan, threads);
+                assert_eq!(
+                    fresh_a, fresh_b,
+                    "[{name} t={threads}] round {round}: fresh evaluation is not deterministic \
+                     for {plan}"
+                );
+
+                // One session: prepare, execute, re-prepare (cache hit),
+                // re-execute.
+                let mut session =
+                    Session::with_config(backend, EngineConfig::with_threads(threads));
+                let p1 = session.prepare(rebuild_with_builder(&plan)).unwrap();
+                let first: Vec<Tuple> = session.execute(&p1).unwrap().collect();
+                let p2 = session.prepare(plan.clone()).unwrap();
+                let second: Vec<Tuple> = session.execute(&p2).unwrap().collect();
+
+                let stats = session.stats();
+                assert_eq!(
+                    stats.cache_hits, 1,
+                    "[{name} t={threads}] round {round}: re-preparing {plan} missed the cache"
+                );
+                assert_eq!(p1.plan(), p2.plan());
+                assert_eq!(
+                    first, second,
+                    "[{name} t={threads}] round {round}: cached re-execution differs for {plan}"
+                );
+                assert_eq!(
+                    first, fresh_a,
+                    "[{name} t={threads}] round {round}: session differs from fresh evaluation \
+                     for {plan}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn session_rows_agree_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(0x7EAD);
+    let mut generator = Generator::new(0x7EAD5);
+    for _ in 0..6 {
+        let wsd = random_wsd(&mut rng);
+        let plan = generator.expr(rng.gen_range(1..=2usize), false).expr;
+        for (name, backend) in all_backends(&wsd) {
+            let serial = session_possible(backend.clone(), &plan, 1).unwrap();
+            let parallel = session_possible(backend, &plan, 4).unwrap();
+            assert_eq!(
+                serial, parallel,
+                "[{name}] threads change the stream of {plan}"
+            );
+        }
+    }
+}
+
+#[test]
+fn difference_fails_on_urel_with_plan_context() {
+    let wsd = maybms::core::wsd::example_census_wsd();
+    let plan = q("R").difference(q("R"));
+    let mut session = Session::over(maybms::urel::from_wsd(&wsd).unwrap());
+    let prepared = session.prepare(plan).unwrap();
+    let err = session.execute(&prepared).unwrap_err();
+    assert!(
+        err.plan().is_some(),
+        "execution errors must carry the plan: {err}"
+    );
+    assert!(matches!(err.kind(), maybms::ErrorKind::Urel(_)));
+}
+
+#[test]
+fn confidence_and_streaming_agree_on_the_census_example() {
+    let wsd = maybms::core::wsd::example_census_wsd();
+    let query = q("R").select(Predicate::eq_const("M", 1i64)).project(["S"]);
+    let mut reference: Option<Vec<(Tuple, f64)>> = None;
+    for (name, backend) in all_backends(&wsd) {
+        if matches!(backend, AnyBackend::Db(_)) {
+            continue; // one world carries no distribution
+        }
+        let mut session = Session::over(backend);
+        let prepared = session.prepare(query.clone()).unwrap();
+        let streamed: Vec<Tuple> = session.execute(&prepared).unwrap().collect();
+        let mut with_conf = session.confidence(&prepared).unwrap();
+        with_conf.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut streamed_sorted = streamed;
+        streamed_sorted.sort();
+        assert_eq!(
+            streamed_sorted,
+            with_conf.iter().map(|(t, _)| t.clone()).collect::<Vec<_>>(),
+            "[{name}] confidence() and execute() disagree on the possible tuples"
+        );
+        match &reference {
+            None => reference = Some(with_conf),
+            Some(expected) => {
+                assert_eq!(expected.len(), with_conf.len(), "[{name}] arity mismatch");
+                for ((t1, c1), (t2, c2)) in expected.iter().zip(&with_conf) {
+                    assert_eq!(t1, t2, "[{name}] tuples differ");
+                    assert!(
+                        (c1 - c2).abs() < 1e-9,
+                        "[{name}] confidence differs on {t1}: {c1} vs {c2}"
+                    );
+                }
+            }
+        }
+    }
+}

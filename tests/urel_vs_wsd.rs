@@ -79,12 +79,12 @@ proptest! {
         for query in positive_queries() {
             // WSD evaluation.
             let mut wsd_q = wsd.clone();
-            maybms::core::ops::evaluate_query(&mut wsd_q, &query, "Q").unwrap();
+            maybms::relational::evaluate_query(&mut wsd_q, &query, "Q").unwrap();
             let wsd_answers = possible_with_confidence(&wsd_q, "Q").unwrap();
 
             // U-relation evaluation.
             let mut udb_q = udb.clone();
-            urel::evaluate_query(&mut udb_q, &query, "Q").unwrap();
+            maybms::relational::evaluate_query(&mut udb_q, &query, "Q").unwrap();
             let urel_answers = urel::possible_with_confidence(&udb_q, "Q").unwrap();
 
             prop_assert_eq!(
@@ -140,11 +140,11 @@ fn census_example_q5_style_join_agrees() {
         .select(Predicate::cmp_attr("S1", CmpOp::Ne, "S2"));
 
     let mut wsd_q = wsd.clone();
-    maybms::core::ops::evaluate_query(&mut wsd_q, &query, "Q").unwrap();
+    maybms::relational::evaluate_query(&mut wsd_q, &query, "Q").unwrap();
     let wsd_answers = possible_with_confidence(&wsd_q, "Q").unwrap();
 
     let mut udb_q = udb.clone();
-    urel::evaluate_query(&mut udb_q, &query, "Q").unwrap();
+    maybms::relational::evaluate_query(&mut udb_q, &query, "Q").unwrap();
     let urel_answers = urel::possible_with_confidence(&udb_q, "Q").unwrap();
 
     assert_eq!(wsd_answers.len(), urel_answers.len());
@@ -163,5 +163,5 @@ fn difference_queries_are_rejected_on_u_relations() {
     let wsd = maybms::core::wsd::example_census_wsd();
     let mut udb = urel::from_wsd(&wsd).unwrap();
     let query = RaExpr::rel("R").difference(RaExpr::rel("R"));
-    assert!(urel::evaluate_query(&mut udb, &query, "Q").is_err());
+    assert!(maybms::relational::evaluate_query(&mut udb, &query, "Q").is_err());
 }

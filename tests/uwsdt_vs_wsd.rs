@@ -118,7 +118,7 @@ fn queries_agree_between_uwsdt_wsd_and_oracle() {
             let oracle = explicit::query_distribution(&worlds, query).unwrap();
             // UWSDT evaluation.
             let mut uwsdt = from_or_relation(&base, &noise).unwrap();
-            maybms::uwsdt::evaluate_query(&mut uwsdt, query, "OUT").unwrap();
+            maybms::relational::evaluate_query(&mut uwsdt, query, "OUT").unwrap();
             let uwsdt_worlds = uwsdt.enumerate_worlds(1_000_000).unwrap();
             // Group the result relation by world.
             let mut ours: Vec<(Relation, f64)> = Vec::new();
@@ -209,7 +209,7 @@ fn join_on_uwsdt_agrees_with_the_oracle() {
             };
             uwsdt.add_placeholder(field, values).unwrap();
         }
-        maybms::uwsdt::evaluate_query(&mut uwsdt, &query, "J").unwrap();
+        maybms::relational::evaluate_query(&mut uwsdt, &query, "J").unwrap();
         let mut ours: Vec<(Relation, f64)> = Vec::new();
         for (db, p) in uwsdt.enumerate_worlds(1_000_000).unwrap() {
             let mut rel = db.relation("J").unwrap().clone();

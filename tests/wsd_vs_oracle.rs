@@ -90,7 +90,7 @@ fn queries_on_random_wsds_match_the_per_world_oracle() {
         for query in query_pool() {
             let oracle = explicit::query_distribution(&worlds, &query).unwrap();
             let mut evaluated = wsd.clone();
-            maybms::core::ops::evaluate_query(&mut evaluated, &query, "OUT").unwrap();
+            maybms::relational::evaluate_query(&mut evaluated, &query, "OUT").unwrap();
             evaluated.validate().unwrap();
             let ours = evaluated.rep_relation("OUT", 1_000_000).unwrap();
             assert!(
@@ -190,13 +190,13 @@ fn query_results_stay_correlated_with_their_inputs() {
     let mut rng = StdRng::seed_from_u64(31337);
     let wsd = random_wsd(&mut rng, 2);
     let mut evaluated = wsd.clone();
-    maybms::core::ops::evaluate_query(
+    maybms::relational::evaluate_query(
         &mut evaluated,
         &RaExpr::rel("R").select(Predicate::eq_const("A", 1i64)),
         "S1",
     )
     .unwrap();
-    maybms::core::ops::evaluate_query(
+    maybms::relational::evaluate_query(
         &mut evaluated,
         &RaExpr::rel("R").select(Predicate::eq_const("B", 2i64)),
         "S2",
