@@ -7,7 +7,7 @@
 //! paper's point) but invaluable as an oracle for testing and as the "what if
 //! we didn't decompose" baseline in the ablation benchmarks.
 
-use ws_core::chase::{Dependency, EqualityGeneratingDependency, FunctionalDependency};
+use ws_core::chase::Dependency;
 use ws_core::{Result as WsResult, WorldSet, WsError};
 use ws_relational::engine::{self, EngineConfig};
 use ws_relational::{evaluate_set, Database, RaExpr, Relation, Tuple};
@@ -78,54 +78,12 @@ pub fn possible_tuples(worlds: &WorldSet, relation: &str) -> WsResult<Vec<Tuple>
 }
 
 /// Whether one world (database) satisfies a dependency.
+///
+/// Thin wrapper over [`ws_relational::world_satisfies`] — the check moved
+/// into the substrate so the update subsystem's conditioning verb can share
+/// it — kept here for the oracle-flavored `WsResult` signature.
 pub fn world_satisfies(db: &Database, dependency: &Dependency) -> WsResult<bool> {
-    match dependency {
-        Dependency::Fd(fd) => world_satisfies_fd(db, fd),
-        Dependency::Egd(egd) => world_satisfies_egd(db, egd),
-    }
-}
-
-fn world_satisfies_fd(db: &Database, fd: &FunctionalDependency) -> WsResult<bool> {
-    let rel = db.relation(&fd.relation)?;
-    let lhs: Vec<usize> = fd
-        .lhs
-        .iter()
-        .map(|a| rel.schema().position_of(a))
-        .collect::<Result<_, _>>()?;
-    let rhs: Vec<usize> = fd
-        .rhs
-        .iter()
-        .map(|a| rel.schema().position_of(a))
-        .collect::<Result<_, _>>()?;
-    for a in rel.rows() {
-        for b in rel.rows() {
-            let agree_lhs = lhs.iter().all(|&i| a[i] == b[i]);
-            let agree_rhs = rhs.iter().all(|&i| a[i] == b[i]);
-            if agree_lhs && !agree_rhs {
-                return Ok(false);
-            }
-        }
-    }
-    Ok(true)
-}
-
-fn world_satisfies_egd(db: &Database, egd: &EqualityGeneratingDependency) -> WsResult<bool> {
-    let rel = db.relation(&egd.relation)?;
-    for row in rel.rows() {
-        let body = egd.body.iter().all(|atom| {
-            rel.schema()
-                .position(&atom.attr)
-                .map(|pos| atom.eval(&row[pos]))
-                .unwrap_or(false)
-        });
-        if body {
-            let head_pos = rel.schema().position_of(&egd.head.attr)?;
-            if !egd.head.eval(&row[head_pos]) {
-                return Ok(false);
-            }
-        }
-    }
-    Ok(true)
+    Ok(ws_relational::world_satisfies(db, dependency)?)
 }
 
 /// The naive chase: keep only the worlds satisfying all dependencies and
@@ -152,7 +110,7 @@ pub fn chase_worlds(worlds: &WorldSet, dependencies: &[Dependency]) -> WsResult<
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ws_core::chase::AttrComparison;
+    use ws_core::chase::{AttrComparison, EqualityGeneratingDependency, FunctionalDependency};
     use ws_core::wsd::example_census_wsd;
     use ws_relational::{CmpOp, Predicate, Value};
 

@@ -1,0 +1,156 @@
+//! Ablation: per-backend throughput of the update language — certain and
+//! possible inserts, predicated deletes/modifications and conditioning —
+//! applied through `maybms::Session::apply` on every decomposed
+//! representation (the explicit world-enumeration oracle is left out: its
+//! cost is the paper's point, not a useful axis here).
+//!
+//! This quantifies the representational trade-off the update subsystem
+//! exposes: WSDs/UWSDTs pay component composition + re-decomposition on
+//! predicated writes, U-relations pay world-table DNF rewriting only when
+//! conditioning, and the single-world database is the "0% uncertainty"
+//! floor.
+//!
+//! Run with: `cargo bench -p ws-bench --bench ablation_updates`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maybms::{AnyBackend, Session, UpdateExpr};
+use std::time::Duration;
+use ws_bench::is_quick;
+use ws_core::{FieldId, Wsd};
+use ws_relational::{CmpOp, Dependency, EqualityGeneratingDependency, Predicate, Tuple, Value};
+
+/// A WSD over R[A, B, C] with `tuples` slots and an uncertain `A` every
+/// `spacing` tuples (an or-set of three values) — the sparse-uncertainty
+/// shape of the census workload.
+fn synthetic_wsd(tuples: usize, spacing: usize) -> Wsd {
+    let mut wsd = Wsd::new();
+    wsd.register_relation("R", &["A", "B", "C"], tuples)
+        .unwrap();
+    for t in 0..tuples {
+        for (i, attr) in ["A", "B", "C"].iter().enumerate() {
+            let field = FieldId::new("R", t, *attr);
+            let base = (t * 3 + i) as i64 % 10;
+            if i == 0 && t % spacing == 0 {
+                wsd.set_uniform(
+                    field,
+                    vec![Value::int(base), Value::int(base + 1), Value::int(base + 2)],
+                )
+                .unwrap();
+            } else {
+                wsd.set_certain(field, Value::int(base)).unwrap();
+            }
+        }
+    }
+    wsd
+}
+
+/// One world of the WSD without enumerating the (astronomically many)
+/// others: every field certainized to its smallest possible value.
+fn one_world(wsd: &Wsd) -> ws_relational::Database {
+    let mut db = ws_relational::Database::new();
+    for name in wsd.relation_names() {
+        let meta = wsd.meta(name).unwrap();
+        let mut rel = ws_relational::Relation::new(meta.schema(name));
+        for t in meta.live_tuples() {
+            let values: Vec<Value> = meta
+                .attrs
+                .iter()
+                .map(|a| {
+                    wsd.possible_values(&FieldId::new(name, t, a.as_ref()))
+                        .unwrap()
+                        .into_iter()
+                        .next()
+                        .unwrap()
+                })
+                .collect();
+            if !values.iter().any(Value::is_bottom) {
+                rel.push(Tuple::new(values)).unwrap();
+            }
+        }
+        db.insert_relation(rel);
+    }
+    db
+}
+
+/// The same world-set behind every updatable backend (the explicit
+/// world-enumeration oracle is excluded — the synthetic sizes describe far
+/// too many worlds to enumerate).
+fn backends(wsd: &Wsd) -> Vec<(&'static str, AnyBackend)> {
+    vec![
+        ("database", AnyBackend::from(one_world(wsd))),
+        ("wsd", AnyBackend::from(wsd.clone())),
+        ("uwsdt", AnyBackend::from(ws_uwsdt::from_wsd(wsd).unwrap())),
+        ("urel", AnyBackend::from(ws_urel::from_wsd(wsd).unwrap())),
+    ]
+}
+
+fn updates_suite(tuples: usize) -> Vec<(&'static str, UpdateExpr)> {
+    vec![
+        (
+            "insert_certain",
+            UpdateExpr::insert("R", Tuple::from_iter([9_000i64, 9_001, 9_002])),
+        ),
+        (
+            "insert_possible",
+            UpdateExpr::insert_possible("R", Tuple::from_iter([9_100i64, 9_101, 9_102]), 0.5),
+        ),
+        (
+            "delete_certain_pred",
+            UpdateExpr::delete("R", Predicate::eq_const("B", 4i64)),
+        ),
+        (
+            "delete_uncertain_pred",
+            UpdateExpr::delete("R", Predicate::eq_const("A", 3i64)),
+        ),
+        (
+            "modify_uncertain_pred",
+            UpdateExpr::modify(
+                "R",
+                Predicate::cmp_const("A", CmpOp::Ge, (tuples as i64) % 7),
+                vec![("C".to_string(), Value::int(-1))],
+            ),
+        ),
+        (
+            "condition_egd",
+            UpdateExpr::condition(vec![Dependency::Egd(
+                EqualityGeneratingDependency::implies("R", "A", 3i64, "B", CmpOp::Ge, 0i64),
+            )]),
+        ),
+    ]
+}
+
+fn bench_update_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let sizes: &[usize] = if is_quick() { &[50] } else { &[50, 200, 500] };
+    for &tuples in sizes {
+        let wsd = synthetic_wsd(tuples, 10);
+        for (backend_name, backend) in backends(&wsd) {
+            for (update_name, update) in updates_suite(tuples) {
+                if backend_name == "database"
+                    && matches!(&update, UpdateExpr::InsertPossible { prob, .. } if *prob < 1.0)
+                {
+                    continue; // a single world cannot split
+                }
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{backend_name}/{update_name}"), tuples),
+                    &(&backend, &update),
+                    |b, (backend, update)| {
+                        b.iter(|| {
+                            let mut session = Session::over((*backend).clone());
+                            session.apply(update).unwrap();
+                            session.stats().updates_applied
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_throughput);
+criterion_main!(benches);

@@ -19,168 +19,16 @@
 use crate::error::{Result, WsError};
 use crate::field::FieldId;
 use crate::wsd::Wsd;
-use std::fmt;
-use ws_relational::{CmpOp, Value};
+use ws_relational::Value;
 
-/// One comparison atom `A θ c` of an equality-generating dependency.
-#[derive(Clone, Debug, PartialEq)]
-pub struct AttrComparison {
-    /// The attribute `A`.
-    pub attr: String,
-    /// The comparison operator `θ`.
-    pub op: CmpOp,
-    /// The constant `c`.
-    pub value: Value,
-}
-
-impl AttrComparison {
-    /// Build an atom.
-    pub fn new(attr: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Self {
-        AttrComparison {
-            attr: attr.into(),
-            op,
-            value: value.into(),
-        }
-    }
-
-    /// Evaluate the atom on a field value (undefined comparisons are `false`).
-    pub fn eval(&self, value: &Value) -> bool {
-        self.op.eval(value, &self.value)
-    }
-}
-
-impl fmt::Display for AttrComparison {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}{}", self.attr, self.op, self.value)
-    }
-}
-
-/// A functional dependency `A1,…,Am → B1,…,Bk` over one relation.
-#[derive(Clone, Debug, PartialEq)]
-pub struct FunctionalDependency {
-    /// The relation the dependency ranges over.
-    pub relation: String,
-    /// The determinant attributes `A1,…,Am`.
-    pub lhs: Vec<String>,
-    /// The dependent attributes `B1,…,Bk`.
-    pub rhs: Vec<String>,
-}
-
-impl FunctionalDependency {
-    /// Build a functional dependency.
-    pub fn new<S: Into<String>>(relation: impl Into<String>, lhs: Vec<S>, rhs: Vec<S>) -> Self {
-        FunctionalDependency {
-            relation: relation.into(),
-            lhs: lhs.into_iter().map(Into::into).collect(),
-            rhs: rhs.into_iter().map(Into::into).collect(),
-        }
-    }
-}
-
-impl fmt::Display for FunctionalDependency {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}: {} → {}",
-            self.relation,
-            self.lhs.join(","),
-            self.rhs.join(",")
-        )
-    }
-}
-
-/// A single-tuple equality-generating dependency
-/// `A1θ1c1 ∧ … ∧ Amθmcm ⇒ A0θ0c0` over one relation.
-#[derive(Clone, Debug, PartialEq)]
-pub struct EqualityGeneratingDependency {
-    /// The relation the dependency ranges over.
-    pub relation: String,
-    /// The body atoms (conjunction).
-    pub body: Vec<AttrComparison>,
-    /// The head atom.
-    pub head: AttrComparison,
-}
-
-impl EqualityGeneratingDependency {
-    /// Build an EGD.
-    pub fn new(
-        relation: impl Into<String>,
-        body: Vec<AttrComparison>,
-        head: AttrComparison,
-    ) -> Self {
-        EqualityGeneratingDependency {
-            relation: relation.into(),
-            body,
-            head,
-        }
-    }
-
-    /// The implication `A=a ⇒ B θ b` used throughout the census workload.
-    pub fn implies(
-        relation: impl Into<String>,
-        body_attr: impl Into<String>,
-        body_value: impl Into<Value>,
-        head_attr: impl Into<String>,
-        head_op: CmpOp,
-        head_value: impl Into<Value>,
-    ) -> Self {
-        EqualityGeneratingDependency::new(
-            relation,
-            vec![AttrComparison::new(body_attr, CmpOp::Eq, body_value)],
-            AttrComparison::new(head_attr, head_op, head_value),
-        )
-    }
-
-    /// All attributes involved in the dependency (body then head, deduped).
-    pub fn attrs(&self) -> Vec<&str> {
-        let mut out: Vec<&str> = self.body.iter().map(|a| a.attr.as_str()).collect();
-        out.push(self.head.attr.as_str());
-        out.sort_unstable();
-        out.dedup();
-        out
-    }
-}
-
-impl fmt::Display for EqualityGeneratingDependency {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: ", self.relation)?;
-        for (i, a) in self.body.iter().enumerate() {
-            if i > 0 {
-                write!(f, " ∧ ")?;
-            }
-            write!(f, "{a}")?;
-        }
-        write!(f, " ⇒ {}", self.head)
-    }
-}
-
-/// A dependency chased by the data-cleaning procedure.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Dependency {
-    /// A functional dependency.
-    Fd(FunctionalDependency),
-    /// A single-tuple equality-generating dependency.
-    Egd(EqualityGeneratingDependency),
-}
-
-impl Dependency {
-    /// The relation the dependency ranges over.
-    pub fn relation(&self) -> &str {
-        match self {
-            Dependency::Fd(fd) => &fd.relation,
-            Dependency::Egd(egd) => &egd.relation,
-        }
-    }
-}
-
-impl fmt::Display for Dependency {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Dependency::Fd(fd) => write!(f, "{fd}"),
-            Dependency::Egd(egd) => write!(f, "{egd}"),
-        }
-    }
-}
+/// The dependency types themselves are purely relational and live in the
+/// substrate (`ws_relational::constraint`), where the single-world
+/// satisfaction check and the update subsystem's conditioning verb share
+/// them; they are re-exported here so `ws_core::chase::Dependency` remains
+/// the canonical path for WSD code.
+pub use ws_relational::constraint::{
+    AttrComparison, Dependency, EqualityGeneratingDependency, FunctionalDependency,
+};
 
 /// Chase a set of dependencies on the WSD (Fig. 24).
 ///
@@ -447,6 +295,7 @@ mod tests {
     use crate::component::Component;
     use crate::normalize;
     use crate::wsd::example_census_wsd;
+    use ws_relational::CmpOp;
     use ws_relational::Database;
 
     fn f(rel: &str, t: usize, a: &str) -> FieldId {

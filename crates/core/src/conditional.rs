@@ -51,8 +51,14 @@ pub fn satisfaction_probability(wsd: &Wsd, constraints: &[Dependency]) -> Result
 /// [`WsError::Inconsistent`] when no world survives, because an in-place
 /// conditioning on an unsatisfiable constraint would leave the caller with a
 /// WSD representing the empty world-set.
+#[deprecated(
+    since = "0.1.0",
+    note = "conditioning is an update-language verb now: call \
+            `maybms::Session::condition`, or `WriteBackend::apply_condition` \
+            (`ws_relational::WriteBackend`) on the Wsd directly"
+)]
 pub fn condition(wsd: &mut Wsd, constraints: &[Dependency]) -> Result<f64> {
-    chase(wsd, constraints)
+    ws_relational::WriteBackend::apply_condition(wsd, constraints)
 }
 
 /// The conditional confidence `P(t ∈ relation | ψ)`.
@@ -188,7 +194,7 @@ mod tests {
         let mut wsd = example_census_wsd();
         let deps = vec![married_constraint()];
         let expected = satisfaction_probability(&wsd, &deps).unwrap();
-        let mass = condition(&mut wsd, &deps).unwrap();
+        let mass = ws_relational::WriteBackend::apply_condition(&mut wsd, &deps).unwrap();
         assert!((mass - expected).abs() < 1e-12);
         // After conditioning the constraint is satisfied in every world.
         assert!((satisfaction_probability(&wsd, &deps).unwrap() - 1.0).abs() < 1e-9);
@@ -273,7 +279,11 @@ mod tests {
         )
         .is_err());
         let mut in_place = example_census_wsd();
-        assert!(condition(&mut in_place, std::slice::from_ref(&impossible)).is_err());
+        assert!(ws_relational::WriteBackend::apply_condition(
+            &mut in_place,
+            std::slice::from_ref(&impossible)
+        )
+        .is_err());
     }
 
     #[test]

@@ -69,7 +69,12 @@ impl std::error::Error for WsError {}
 
 impl From<RelationalError> for WsError {
     fn from(e: RelationalError) -> Self {
-        WsError::Relational(e)
+        match e {
+            // Inconsistency means the same thing at every layer; mapping it
+            // here lets callers match one variant regardless of the backend.
+            RelationalError::Inconsistent => WsError::Inconsistent,
+            other => WsError::Relational(other),
+        }
     }
 }
 

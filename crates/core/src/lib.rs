@@ -55,14 +55,16 @@ pub mod wsdt;
 
 pub use chase::{AttrComparison, Dependency, EqualityGeneratingDependency, FunctionalDependency};
 pub use component::{Component, LocalWorld};
+#[allow(deprecated)] // the deprecated shim stays importable during migration
+pub use conditional::condition;
 pub use conditional::{
-    condition, conditional_conf, conditional_query_conf, joint_probability,
-    satisfaction_probability,
+    conditional_conf, conditional_query_conf, joint_probability, satisfaction_probability,
 };
 pub use confidence::TupleLevelView;
 pub use error::{Result, WsError};
 pub use field::{FieldId, TupleId};
 pub use interval::{IntervalView, ProbInterval};
+pub use ops::update::{apply_update, UpdateExpr};
 pub use worldset::{WorldSet, WorldSetRelation};
 pub use wsd::{RelationMeta, Wsd};
 pub use wsdt::Wsdt;
@@ -73,9 +75,10 @@ pub mod prelude {
         chase, AttrComparison, Dependency, EqualityGeneratingDependency, FunctionalDependency,
     };
     pub use crate::component::{Component, LocalWorld};
+    #[allow(deprecated)] // the deprecated shim stays importable during migration
+    pub use crate::conditional::condition;
     pub use crate::conditional::{
-        condition, conditional_conf, conditional_query_conf, joint_probability,
-        satisfaction_probability,
+        conditional_conf, conditional_query_conf, joint_probability, satisfaction_probability,
     };
     pub use crate::confidence::{conf, possible, possible_with_confidence, TupleLevelView};
     pub use crate::error::{Result, WsError};
@@ -83,6 +86,7 @@ pub mod prelude {
     pub use crate::interval::{conf_bounds, IntervalView, ProbInterval};
     pub use crate::normalize::normalize;
     pub use crate::ops;
+    pub use crate::ops::update::{apply_update, UpdateExpr};
     pub use crate::worldset::{WorldSet, WorldSetRelation};
     pub use crate::wsd::Wsd;
     pub use crate::wsdt::Wsdt;

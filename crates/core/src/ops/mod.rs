@@ -16,6 +16,7 @@ mod query;
 mod rename;
 mod select;
 mod union;
+pub mod update;
 
 pub use copy::copy;
 pub use difference::difference;
@@ -26,6 +27,7 @@ pub use query::{evaluate_query, evaluate_query_fresh, fresh_name};
 pub use rename::rename;
 pub use select::{select_attr, select_const};
 pub use union::union;
+pub use update::{apply_update, UpdateExpr};
 
 #[cfg(test)]
 mod tests;

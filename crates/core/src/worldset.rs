@@ -276,6 +276,105 @@ impl ws_relational::QueryBackend for WorldSet {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The explicit world-enumeration backend of the update language: every verb
+// is applied to each world separately — the literal reading of the "apply
+// the update in every possible world" contract, and therefore the semantic
+// ground truth the decomposed WriteBackend implementations are tested
+// against.
+// ---------------------------------------------------------------------------
+
+impl ws_relational::WriteBackend for WorldSet {
+    fn insert_certain(&mut self, relation: &str, tuple: &Tuple) -> Result<()> {
+        let updated = self.map_worlds(|db| {
+            let mut db = db.clone();
+            db.insert_certain(relation, tuple)?;
+            Ok(db)
+        })?;
+        *self = updated;
+        Ok(())
+    }
+
+    fn insert_possible(&mut self, relation: &str, tuple: &Tuple, prob: f64) -> Result<()> {
+        ws_relational::engine::check_probability(prob).map_err(WsError::from)?;
+        let mut split: Vec<(Database, f64)> = Vec::with_capacity(self.worlds.len() * 2);
+        for (db, p) in &self.worlds {
+            ws_relational::engine::check_insertable(db.relation(relation)?.schema(), tuple)
+                .map_err(WsError::from)?;
+            if prob < 1.0 {
+                split.push((db.clone(), p * (1.0 - prob)));
+            }
+            if prob > 0.0 {
+                let mut with = db.clone();
+                with.relation_mut(relation)?.insert(tuple.clone())?;
+                split.push((with, p * prob));
+            }
+        }
+        *self = WorldSet::from_weighted_worlds(split);
+        Ok(())
+    }
+
+    fn delete_where(&mut self, relation: &str, pred: &ws_relational::Predicate) -> Result<()> {
+        let updated = self.map_worlds(|db| {
+            let mut db = db.clone();
+            db.delete_where(relation, pred)?;
+            Ok(db)
+        })?;
+        *self = updated;
+        Ok(())
+    }
+
+    fn modify_where(
+        &mut self,
+        relation: &str,
+        pred: &ws_relational::Predicate,
+        assignments: &[(String, Value)],
+    ) -> Result<()> {
+        let updated = self.map_worlds(|db| {
+            let mut db = db.clone();
+            db.modify_where(relation, pred, assignments)?;
+            Ok(db)
+        })?;
+        *self = updated;
+        Ok(())
+    }
+
+    fn apply_condition(&mut self, constraints: &[ws_relational::Dependency]) -> Result<f64> {
+        // One pass: decide each world's fate and accumulate the surviving
+        // mass together (FD satisfaction is quadratic in a world's rows, so
+        // re-checking inside a second filtering pass would double the
+        // dominant cost of conditioning the explicit representation).
+        let total = self.total_probability();
+        let mut surviving: Vec<(Database, f64)> = Vec::with_capacity(self.worlds.len());
+        let mut mass = 0.0;
+        for (db, p) in &self.worlds {
+            let mut satisfied = true;
+            for dep in constraints {
+                match ws_relational::world_satisfies(db, dep) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        satisfied = false;
+                        break;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            if satisfied {
+                surviving.push((db.clone(), *p));
+                mass += p;
+            }
+        }
+        if surviving.is_empty() || mass <= 0.0 {
+            return Err(WsError::Inconsistent);
+        }
+        for (_, p) in surviving.iter_mut() {
+            *p /= mass;
+        }
+        *self = WorldSet::from_weighted_worlds(surviving);
+        Ok(if total > 0.0 { mass / total } else { 0.0 })
+    }
+}
+
 /// A world-set relation: the explicit inlined encoding of a world-set.
 #[derive(Clone, Debug)]
 pub struct WorldSetRelation {

@@ -109,6 +109,18 @@ impl Wsd {
         Ok(())
     }
 
+    /// Append a fresh tuple slot to a registered relation, returning its
+    /// index.  The new slot's fields are uncovered; callers must cover them
+    /// (certainly, or with a presence-splitting component) before the WSD
+    /// validates again.  This is the structural half of the update language's
+    /// inserts.
+    pub fn append_tuple_slot(&mut self, relation: &str) -> Result<usize> {
+        let meta = self.meta_mut(relation)?;
+        let slot = meta.tuple_count;
+        meta.tuple_count += 1;
+        Ok(slot)
+    }
+
     /// Cover a field with a certain value.
     pub fn set_certain(&mut self, field: FieldId, value: Value) -> Result<()> {
         self.add_component(Component::certain(field, value))

@@ -26,7 +26,8 @@
 
 use crate::error::{Error, Result};
 use std::collections::BTreeSet;
-use ws_relational::{Predicate, RaExpr, SchemaCatalog};
+use ws_core::ops::update::UpdateExpr;
+use ws_relational::{Dependency, Predicate, RaExpr, SchemaCatalog};
 
 /// Start a query from base relation `name` — the front door of the fluent
 /// builder.
@@ -170,6 +171,92 @@ impl From<RaExpr> for Query {
 /// fail on name resolution.
 pub fn typecheck<C: SchemaCatalog + ?Sized>(catalog: &C, expr: &RaExpr) -> Result<Vec<String>> {
     check(catalog, expr).map_err(|e| e.with_plan(expr))
+}
+
+/// Resolve an update against a catalog before any mutation happens: the
+/// target relation must exist, inserted tuples must match its arity (and
+/// carry no `⊥`/`?` markers), probabilities must lie in `[0, 1]`, and every
+/// attribute a predicate, assignment or constraint mentions must be part of
+/// the relation's schema.
+///
+/// Like [`typecheck`], failures carry the rendered update as plan context.
+pub fn typecheck_update<C: SchemaCatalog + ?Sized>(catalog: &C, update: &UpdateExpr) -> Result<()> {
+    check_update(catalog, update).map_err(|e| e.with_plan(update))
+}
+
+fn check_update<C: SchemaCatalog + ?Sized>(catalog: &C, update: &UpdateExpr) -> Result<()> {
+    let schema_of = |relation: &str| {
+        catalog
+            .schema_of(relation)
+            .map_err(|_| Error::typecheck(format!("unknown base relation `{relation}`")))
+    };
+    let check_attr = |schema: &ws_relational::Schema, attr: &str, role: &str| {
+        if schema.position(attr).is_none() {
+            return Err(Error::typecheck(format!(
+                "{role} references `{attr}`, which is not in the schema of `{}`",
+                schema.relation()
+            )));
+        }
+        Ok(())
+    };
+    match update {
+        UpdateExpr::InsertCertain { relation, tuple } => {
+            let schema = schema_of(relation)?;
+            ws_relational::engine::check_insertable(&schema, tuple)
+                .map_err(|e| Error::typecheck(e.to_string()))
+        }
+        UpdateExpr::InsertPossible {
+            relation,
+            tuple,
+            prob,
+        } => {
+            let schema = schema_of(relation)?;
+            ws_relational::engine::check_insertable(&schema, tuple)
+                .map_err(|e| Error::typecheck(e.to_string()))?;
+            ws_relational::engine::check_probability(*prob)
+                .map_err(|e| Error::typecheck(e.to_string()))
+        }
+        UpdateExpr::Delete { relation, pred } => {
+            let schema = schema_of(relation)?;
+            for attr in pred.referenced_attrs() {
+                check_attr(&schema, attr, "delete predicate")?;
+            }
+            Ok(())
+        }
+        UpdateExpr::Modify {
+            relation,
+            pred,
+            assignments,
+        } => {
+            let schema = schema_of(relation)?;
+            for attr in pred.referenced_attrs() {
+                check_attr(&schema, attr, "modify predicate")?;
+            }
+            for (attr, _) in assignments {
+                check_attr(&schema, attr, "assignment")?;
+            }
+            ws_relational::engine::check_assignments(assignments)
+                .map_err(|e| Error::typecheck(e.to_string()))
+        }
+        UpdateExpr::Condition { constraints } => {
+            for dep in constraints {
+                let schema = schema_of(dep.relation())?;
+                match dep {
+                    Dependency::Fd(fd) => {
+                        for attr in fd.lhs.iter().chain(&fd.rhs) {
+                            check_attr(&schema, attr, "functional dependency")?;
+                        }
+                    }
+                    Dependency::Egd(egd) => {
+                        for attr in egd.attrs() {
+                            check_attr(&schema, attr, "dependency")?;
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
 }
 
 fn check<C: SchemaCatalog + ?Sized>(catalog: &C, expr: &RaExpr) -> Result<Vec<String>> {

@@ -88,6 +88,19 @@ impl Error {
     pub fn plan(&self) -> Option<&str> {
         self.plan.as_deref()
     }
+
+    /// Whether this error reports an inconsistent (empty) world-set —
+    /// conditioning removed every world — regardless of which backend
+    /// noticed it.
+    pub fn is_inconsistent(&self) -> bool {
+        matches!(
+            &self.kind,
+            ErrorKind::Ws(WsError::Inconsistent)
+                | ErrorKind::Uwsdt(UwsdtError::Inconsistent)
+                | ErrorKind::Urel(UrelError::Inconsistent)
+                | ErrorKind::Relational(RelationalError::Inconsistent)
+        )
+    }
 }
 
 impl fmt::Display for Error {

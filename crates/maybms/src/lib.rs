@@ -87,12 +87,13 @@ pub mod builder;
 pub mod error;
 pub mod session;
 
-pub use builder::{q, typecheck, IntoQuery, Query};
+pub use builder::{q, typecheck, typecheck_update, IntoQuery, Query};
 pub use error::{Error, ErrorKind, Result};
 pub use session::{
     AnyBackend, Prepared, RowSource, Rows, Session, SessionBackend, SessionStats,
     DEFAULT_BATCH_SIZE,
 };
+pub use ws_core::ops::update::{apply_update, UpdateExpr};
 
 pub use ws_apps as apps;
 pub use ws_baselines as baselines;
@@ -104,7 +105,7 @@ pub use ws_uwsdt as uwsdt;
 
 /// One-stop prelude for examples and downstream users.
 pub mod prelude {
-    pub use crate::builder::{q, typecheck, IntoQuery, Query};
+    pub use crate::builder::{q, typecheck, typecheck_update, IntoQuery, Query};
     pub use crate::error::{Error, ErrorKind};
     pub use crate::session::{
         AnyBackend, Prepared, RowSource, Rows, Session, SessionBackend, SessionStats,
@@ -129,12 +130,13 @@ pub mod prelude {
         },
         interval::{IntervalView, ProbInterval},
         normalize::normalize,
+        ops::update::{apply_update, UpdateExpr},
         Component, FieldId, LocalWorld, TupleId, WorldSet, WorldSetRelation, WsError, Wsd, Wsdt,
     };
     pub use ws_relational::{
-        engine, evaluate_query, evaluate_query_with, CmpOp, Cursor, Database, EngineConfig,
-        ExecContext, Predicate, QueryBackend, RaExpr, Relation, Schema, SchemaCatalog, Tuple,
-        Value, WorkerPool,
+        engine, evaluate_query, evaluate_query_with, world_satisfies, CmpOp, Cursor, Database,
+        EngineConfig, ExecContext, Predicate, QueryBackend, RaExpr, Relation, Schema,
+        SchemaCatalog, Tuple, Value, WorkerPool, WriteBackend,
     };
     pub use ws_urel::{UDatabase, URelation, WsDescriptor};
     pub use ws_uwsdt::{

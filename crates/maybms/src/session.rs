@@ -39,15 +39,17 @@
 //! [`AnyBackend`], so code that picks a backend at run time still goes
 //! through the same typed session.
 
-use crate::builder::{typecheck, IntoQuery};
+use crate::builder::{typecheck, typecheck_update, IntoQuery};
 use crate::error::{Error, Result};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use ws_core::confidence::approx::ApproxConfig;
+use ws_core::ops::update::{apply_update, UpdateExpr};
 use ws_core::{WorldSet, Wsd};
 use ws_relational::engine::{self, EngineConfig, ExecContext, QueryBackend, SchemaCatalog};
 use ws_relational::{
-    fingerprint, optimizer, Database, Predicate, RaExpr, Schema, Tuple, WorkerPool,
+    fingerprint, optimizer, Database, Dependency, Predicate, RaExpr, Schema, Tuple, Value,
+    WorkerPool, WriteBackend,
 };
 use ws_urel::UDatabase;
 use ws_uwsdt::Uwsdt;
@@ -406,6 +408,33 @@ impl QueryBackend for AnyBackend {
     }
 }
 
+impl WriteBackend for AnyBackend {
+    fn insert_certain(&mut self, relation: &str, tuple: &Tuple) -> Result<()> {
+        dispatch!(self, b => b.insert_certain(relation, tuple).map_err(Error::from))
+    }
+
+    fn insert_possible(&mut self, relation: &str, tuple: &Tuple, prob: f64) -> Result<()> {
+        dispatch!(self, b => b.insert_possible(relation, tuple, prob).map_err(Error::from))
+    }
+
+    fn delete_where(&mut self, relation: &str, pred: &Predicate) -> Result<()> {
+        dispatch!(self, b => b.delete_where(relation, pred).map_err(Error::from))
+    }
+
+    fn modify_where(
+        &mut self,
+        relation: &str,
+        pred: &Predicate,
+        assignments: &[(String, Value)],
+    ) -> Result<()> {
+        dispatch!(self, b => b.modify_where(relation, pred, assignments).map_err(Error::from))
+    }
+
+    fn apply_condition(&mut self, constraints: &[Dependency]) -> Result<f64> {
+        dispatch!(self, b => b.apply_condition(constraints).map_err(Error::from))
+    }
+}
+
 impl SessionBackend for AnyBackend {
     fn backend_name(&self) -> &'static str {
         dispatch!(self, b => b.backend_name())
@@ -491,16 +520,38 @@ pub struct SessionStats {
     pub executions: u64,
     /// Rows pulled through [`Rows`] cursors and confidence calls.
     pub rows_streamed: u64,
+    /// Updates applied through [`Session::apply`] / [`Session::apply_all`] /
+    /// [`Session::condition`].
+    pub updates_applied: u64,
+    /// Prepared-plan cache entries evicted because an update touched one of
+    /// their base relations.
+    pub plans_invalidated: u64,
 }
 
 impl fmt::Display for SessionStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "plans-prepared={} cache-hits={} executions={} rows-streamed={}",
-            self.plans_prepared, self.cache_hits, self.executions, self.rows_streamed
+            "plans-prepared={} cache-hits={} executions={} rows-streamed={} \
+             updates-applied={} plans-invalidated={}",
+            self.plans_prepared,
+            self.cache_hits,
+            self.executions,
+            self.rows_streamed,
+            self.updates_applied,
+            self.plans_invalidated,
         )
     }
+}
+
+/// One prepared-plan cache entry: the optimized plan plus the metadata the
+/// update verbs need to invalidate it (its fingerprint and the base
+/// relations it reads).
+#[derive(Clone, Debug)]
+struct CachedPlan {
+    plan: RaExpr,
+    fingerprint: u64,
+    relations: BTreeSet<String>,
 }
 
 // ---------------------------------------------------------------------------
@@ -516,10 +567,14 @@ pub const DEFAULT_BATCH_SIZE: usize = 256;
 pub struct Session<B: SessionBackend> {
     backend: B,
     config: EngineConfig,
-    plans: HashMap<String, RaExpr>,
+    plans: HashMap<String, CachedPlan>,
     stats: SessionStats,
     batch_size: usize,
     scratch: usize,
+    /// Scratch result relations still registered in the backend (results on
+    /// component-sharing backends outlive their cursor; see
+    /// [`Session::apply`] for the staleness rule).
+    live_results: Vec<String>,
 }
 
 impl Session<AnyBackend> {
@@ -548,6 +603,7 @@ where
             stats: SessionStats::default(),
             batch_size: DEFAULT_BATCH_SIZE,
             scratch: 0,
+            live_results: Vec::new(),
         }
     }
 
@@ -626,10 +682,21 @@ where
         let plan = if self.config.plan_cache {
             if let Some(cached) = self.plans.get(&key) {
                 self.stats.cache_hits += 1;
-                cached.clone()
+                cached.plan.clone()
             } else {
                 let planned = self.optimize(&expr)?;
-                self.plans.insert(key.clone(), planned.clone());
+                self.plans.insert(
+                    key.clone(),
+                    CachedPlan {
+                        plan: planned.clone(),
+                        fingerprint: digest,
+                        relations: expr
+                            .base_relations()
+                            .into_iter()
+                            .map(str::to_string)
+                            .collect(),
+                    },
+                );
                 self.stats.plans_prepared += 1;
                 planned
             }
@@ -672,6 +739,7 @@ where
                 // The extraction already detached the answer from the store.
                 if self.backend.self_contained() {
                     self.backend.drop_scratch(&out);
+                    self.live_results.retain(|r| r != &out);
                 }
                 (RowsInner::Owned(rows.into_iter()), false)
             }
@@ -679,6 +747,7 @@ where
         Ok(Rows {
             backend: &mut self.backend,
             stats: &mut self.stats,
+            live_results: &mut self.live_results,
             out,
             batch: self.batch_size,
             inner,
@@ -759,13 +828,114 @@ where
         engine::evaluate_query_with(&mut self.backend, &prepared.plan, &out, exec)
             .map_err(|e| Into::<Error>::into(e).with_plan(&prepared.display))?;
         self.stats.executions += 1;
+        self.live_results.push(out.clone());
         Ok(out)
     }
 
     fn finish_result(&mut self, out: &str) {
         if self.backend.self_contained() {
             self.backend.drop_scratch(out);
+            self.live_results.retain(|r| r != out);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The update verbs.
+// ---------------------------------------------------------------------------
+
+impl<B: SessionBackend + WriteBackend> Session<B>
+where
+    B::Error: Into<Error>,
+{
+    /// Apply one update (insert / delete / modify / condition) to the
+    /// backend, in every possible world at once.
+    ///
+    /// The update is typechecked against the catalog first
+    /// ([`crate::builder::typecheck_update`]), so a malformed update never
+    /// mutates the store.  On success the returned value is the surviving
+    /// probability mass: `P(ψ)` for [`UpdateExpr::Condition`], `1.0` for
+    /// every other verb.
+    ///
+    /// **Staleness rule.** Applying an update invalidates everything derived
+    /// from the pre-update state:
+    ///
+    /// * prepared-plan cache entries whose base relations the update touches
+    ///   are evicted by fingerprint (conditioning evicts *all* entries —
+    ///   removing worlds reweights every correlated relation), so the next
+    ///   [`Session::prepare`] of such a plan re-optimizes (a cache miss in
+    ///   [`SessionStats`]);
+    /// * scratch results still registered in the backend — results of
+    ///   [`Session::materialize`], and streamed results on component-sharing
+    ///   backends (WSD, UWSDT), which outlive their [`Rows`] cursor — are
+    ///   dropped before the update runs.  Names returned by `materialize`
+    ///   must therefore not be read after an `apply`; re-execute the plan
+    ///   instead.  (A live [`Rows`] cursor borrows the session mutably, so
+    ///   no cursor can ever observe a mid-stream update.)
+    pub fn apply(&mut self, update: &UpdateExpr) -> Result<f64> {
+        typecheck_update(&self.backend, update)?;
+        // Drop stale scratch results *before* mutating: on component-sharing
+        // backends a registered result relation would otherwise be updated
+        // (and, under conditioning, chased) along with the base relations.
+        for out in std::mem::take(&mut self.live_results) {
+            self.backend.drop_scratch(&out);
+        }
+        let mass = apply_update(&mut self.backend, update)
+            .map_err(|e| Into::<Error>::into(e).with_plan(update))?;
+        self.stats.updates_applied += 1;
+        self.invalidate_plans(update);
+        Ok(mass)
+    }
+
+    /// Apply a sequence of updates in order, returning the product of the
+    /// surviving masses (the joint `P(ψ1 ∧ ψ2 ∧ …)` of all conditioning
+    /// steps, each taken on the state its predecessors left behind).
+    ///
+    /// Stops at the first failing update; updates already applied stay
+    /// applied (clone the backend first for transactional behavior).
+    pub fn apply_all(&mut self, updates: &[UpdateExpr]) -> Result<f64> {
+        let mut mass = 1.0;
+        for update in updates {
+            mass *= self.apply(update)?;
+        }
+        Ok(mass)
+    }
+
+    /// Condition the backend on integrity constraints: keep exactly the
+    /// worlds satisfying every dependency, renormalized, and return `P(ψ)`.
+    ///
+    /// Sugar for [`Session::apply`] with [`UpdateExpr::Condition`]; an empty
+    /// constraint list is the tautology `⊤` (mass 1, no change).
+    pub fn condition(&mut self, constraints: &[Dependency]) -> Result<f64> {
+        self.apply(&UpdateExpr::condition(constraints.to_vec()))
+    }
+
+    /// Evict the cache entries the update invalidates, counting them.
+    fn invalidate_plans(&mut self, update: &UpdateExpr) {
+        let before = self.plans.len();
+        match update {
+            // Conditioning reweights (and can empty) every correlated
+            // relation, so no cached plan survives it.
+            UpdateExpr::Condition { .. } => self.plans.clear(),
+            _ => {
+                let touched: BTreeSet<&str> = update.relations().into_iter().collect();
+                self.plans.retain(|_, cached| {
+                    cached
+                        .relations
+                        .iter()
+                        .all(|r| !touched.contains(r.as_str()))
+                });
+            }
+        }
+        self.stats.plans_invalidated += (before - self.plans.len()) as u64;
+    }
+
+    /// The fingerprints of the currently cached plans (diagnostics; the
+    /// invalidation unit tests assert eviction through this).
+    pub fn cached_fingerprints(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self.plans.values().map(|c| c.fingerprint).collect();
+        out.sort_unstable();
+        out
     }
 }
 
@@ -788,6 +958,7 @@ enum RowsInner {
 pub struct Rows<'s, B: SessionBackend> {
     backend: &'s mut B,
     stats: &'s mut SessionStats,
+    live_results: &'s mut Vec<String>,
     out: String,
     batch: usize,
     inner: RowsInner,
@@ -868,6 +1039,7 @@ impl<B: SessionBackend> Drop for Rows<'_, B> {
     fn drop(&mut self) {
         if self.cleanup {
             self.backend.drop_scratch(&self.out);
+            self.live_results.retain(|r| r != &self.out);
         }
     }
 }

@@ -1,0 +1,285 @@
+//! Integrity constraints over single-world relations.
+//!
+//! The chase of the paper's §8 conditions a world-set on *dependencies*:
+//! functional dependencies `A1,…,Am → B1,…,Bk` and single-tuple
+//! equality-generating dependencies `A1θ1c1 ∧ … ∧ Amθmcm ⇒ A0θ0c0`.  The
+//! dependency *types* are purely relational — they mention nothing but
+//! attribute names, comparison operators and constants — so they live here in
+//! the substrate, where both the per-world satisfaction check
+//! ([`world_satisfies`]) and the update subsystem's
+//! [`crate::engine::WriteBackend::apply_condition`] can reach them.  The
+//! world-set layers (`ws_core::chase`, `ws_uwsdt::chase`) re-export them and
+//! add the decomposition-aware chase algorithms on top.
+
+use crate::database::Database;
+use crate::error::Result;
+use crate::predicate::CmpOp;
+use crate::value::Value;
+use std::fmt;
+
+/// One comparison atom `A θ c` of an equality-generating dependency.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttrComparison {
+    /// The attribute `A`.
+    pub attr: String,
+    /// The comparison operator `θ`.
+    pub op: CmpOp,
+    /// The constant `c`.
+    pub value: Value,
+}
+
+impl AttrComparison {
+    /// Build an atom.
+    pub fn new(attr: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Self {
+        AttrComparison {
+            attr: attr.into(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Evaluate the atom on a field value (undefined comparisons are `false`).
+    pub fn eval(&self, value: &Value) -> bool {
+        self.op.eval(value, &self.value)
+    }
+}
+
+impl fmt::Display for AttrComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}{}", self.attr, self.op, self.value)
+    }
+}
+
+/// A functional dependency `A1,…,Am → B1,…,Bk` over one relation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FunctionalDependency {
+    /// The relation the dependency ranges over.
+    pub relation: String,
+    /// The determinant attributes `A1,…,Am`.
+    pub lhs: Vec<String>,
+    /// The dependent attributes `B1,…,Bk`.
+    pub rhs: Vec<String>,
+}
+
+impl FunctionalDependency {
+    /// Build a functional dependency.
+    pub fn new<S: Into<String>>(relation: impl Into<String>, lhs: Vec<S>, rhs: Vec<S>) -> Self {
+        FunctionalDependency {
+            relation: relation.into(),
+            lhs: lhs.into_iter().map(Into::into).collect(),
+            rhs: rhs.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+impl fmt::Display for FunctionalDependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} → {}",
+            self.relation,
+            self.lhs.join(","),
+            self.rhs.join(",")
+        )
+    }
+}
+
+/// A single-tuple equality-generating dependency
+/// `A1θ1c1 ∧ … ∧ Amθmcm ⇒ A0θ0c0` over one relation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EqualityGeneratingDependency {
+    /// The relation the dependency ranges over.
+    pub relation: String,
+    /// The body atoms (conjunction).
+    pub body: Vec<AttrComparison>,
+    /// The head atom.
+    pub head: AttrComparison,
+}
+
+impl EqualityGeneratingDependency {
+    /// Build an EGD.
+    pub fn new(
+        relation: impl Into<String>,
+        body: Vec<AttrComparison>,
+        head: AttrComparison,
+    ) -> Self {
+        EqualityGeneratingDependency {
+            relation: relation.into(),
+            body,
+            head,
+        }
+    }
+
+    /// The implication `A=a ⇒ B θ b` used throughout the census workload.
+    pub fn implies(
+        relation: impl Into<String>,
+        body_attr: impl Into<String>,
+        body_value: impl Into<Value>,
+        head_attr: impl Into<String>,
+        head_op: CmpOp,
+        head_value: impl Into<Value>,
+    ) -> Self {
+        EqualityGeneratingDependency::new(
+            relation,
+            vec![AttrComparison::new(body_attr, CmpOp::Eq, body_value)],
+            AttrComparison::new(head_attr, head_op, head_value),
+        )
+    }
+
+    /// All attributes involved in the dependency (body then head, deduped).
+    pub fn attrs(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.body.iter().map(|a| a.attr.as_str()).collect();
+        out.push(self.head.attr.as_str());
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl fmt::Display for EqualityGeneratingDependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.relation)?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, " ⇒ {}", self.head)
+    }
+}
+
+/// A dependency chased by the data-cleaning procedure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Dependency {
+    /// A functional dependency.
+    Fd(FunctionalDependency),
+    /// A single-tuple equality-generating dependency.
+    Egd(EqualityGeneratingDependency),
+}
+
+impl Dependency {
+    /// The relation the dependency ranges over.
+    pub fn relation(&self) -> &str {
+        match self {
+            Dependency::Fd(fd) => &fd.relation,
+            Dependency::Egd(egd) => &egd.relation,
+        }
+    }
+}
+
+impl fmt::Display for Dependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dependency::Fd(fd) => write!(f, "{fd}"),
+            Dependency::Egd(egd) => write!(f, "{egd}"),
+        }
+    }
+}
+
+/// Whether one world (an ordinary single-world database) satisfies a
+/// dependency.
+///
+/// This is the semantic ground truth every decomposition-aware chase is
+/// defined against: a world-set satisfies `ψ` iff every world does.
+pub fn world_satisfies(db: &Database, dependency: &Dependency) -> Result<bool> {
+    match dependency {
+        Dependency::Fd(fd) => world_satisfies_fd(db, fd),
+        Dependency::Egd(egd) => world_satisfies_egd(db, egd),
+    }
+}
+
+fn world_satisfies_fd(db: &Database, fd: &FunctionalDependency) -> Result<bool> {
+    let rel = db.relation(&fd.relation)?;
+    let lhs: Vec<usize> = fd
+        .lhs
+        .iter()
+        .map(|a| rel.schema().position_of(a))
+        .collect::<Result<_>>()?;
+    let rhs: Vec<usize> = fd
+        .rhs
+        .iter()
+        .map(|a| rel.schema().position_of(a))
+        .collect::<Result<_>>()?;
+    for a in rel.rows() {
+        for b in rel.rows() {
+            let agree_lhs = lhs.iter().all(|&i| a[i] == b[i]);
+            let agree_rhs = rhs.iter().all(|&i| a[i] == b[i]);
+            if agree_lhs && !agree_rhs {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+fn world_satisfies_egd(db: &Database, egd: &EqualityGeneratingDependency) -> Result<bool> {
+    let rel = db.relation(&egd.relation)?;
+    for row in rel.rows() {
+        let body = egd.body.iter().all(|atom| {
+            rel.schema()
+                .position(&atom.attr)
+                .map(|pos| atom.eval(&row[pos]))
+                .unwrap_or(false)
+        });
+        if body {
+            let head_pos = rel.schema().position_of(&egd.head.attr)?;
+            if !egd.head.eval(&row[head_pos]) {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+    use crate::schema::Schema;
+
+    fn db(rows: &[(i64, i64)]) -> Database {
+        let mut rel = Relation::new(Schema::new("R", &["A", "B"]).unwrap());
+        for (a, b) in rows {
+            rel.push_values([*a, *b]).unwrap();
+        }
+        let mut d = Database::new();
+        d.insert_relation(rel);
+        d
+    }
+
+    #[test]
+    fn displays_read_like_the_paper() {
+        let fd = FunctionalDependency::new("R", vec!["A"], vec!["B"]);
+        assert_eq!(fd.to_string(), "R: A → B");
+        let egd = EqualityGeneratingDependency::implies("R", "A", 1i64, "B", CmpOp::Eq, 2i64);
+        assert!(egd.to_string().contains("⇒"));
+        assert_eq!(Dependency::Fd(fd.clone()).relation(), "R");
+        assert_eq!(Dependency::Egd(egd.clone()).relation(), "R");
+        assert_eq!(egd.attrs(), vec!["A", "B"]);
+        assert_eq!(Dependency::Fd(fd).to_string(), "R: A → B");
+    }
+
+    #[test]
+    fn world_satisfaction_checks_fds_and_egds() {
+        let good = db(&[(1, 2), (2, 3)]);
+        let bad = db(&[(1, 2), (1, 3)]);
+        let fd = Dependency::Fd(FunctionalDependency::new("R", vec!["A"], vec!["B"]));
+        assert!(world_satisfies(&good, &fd).unwrap());
+        assert!(!world_satisfies(&bad, &fd).unwrap());
+
+        let egd = Dependency::Egd(EqualityGeneratingDependency::implies(
+            "R",
+            "A",
+            1i64,
+            "B",
+            CmpOp::Eq,
+            2i64,
+        ));
+        assert!(world_satisfies(&good, &egd).unwrap());
+        assert!(!world_satisfies(&bad, &egd).unwrap());
+        // Unknown relations surface as errors, not silent satisfaction.
+        let missing = Dependency::Fd(FunctionalDependency::new("NOPE", vec!["A"], vec!["B"]));
+        assert!(world_satisfies(&good, &missing).is_err());
+    }
+}

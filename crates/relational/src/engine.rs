@@ -155,6 +155,116 @@ pub trait QueryBackend: SchemaCatalog {
     fn drop_scratch(&mut self, name: &str);
 }
 
+/// The write half of a backend: the paper's update language (possible and
+/// certain inserts, deletes, modifications) plus conditioning on integrity
+/// constraints, with the semantics contract *"apply the update in every
+/// possible world, then re-decompose"*.
+///
+/// Each verb mutates one base relation (or, for
+/// [`WriteBackend::apply_condition`], the whole store) in place.  Backends
+/// decide *how* their representation absorbs the change — per-world edits,
+/// component splitting and renormalization on WSDs/UWSDTs, world-table DNF
+/// rewriting on U-relations — but all of them must agree with applying the
+/// verb to every enumerated world separately.  The `UpdateExpr` AST in
+/// `ws_core::ops::update` dispatches onto these verbs; `maybms::Session`
+/// adds typechecking, plan-cache invalidation and stats on top.
+pub trait WriteBackend: QueryBackend {
+    /// Insert `tuple` into `relation` in **every** world (set semantics: a
+    /// world already containing the tuple is unchanged).
+    fn insert_certain(
+        &mut self,
+        relation: &str,
+        tuple: &Tuple,
+    ) -> std::result::Result<(), Self::Error>;
+
+    /// Insert `tuple` into `relation` with probability `prob`,
+    /// independently of everything else: every world `w` splits into
+    /// `w ∪ {t}` (mass `prob`) and `w` (mass `1 − prob`).
+    ///
+    /// `prob = 1` degenerates to [`WriteBackend::insert_certain`]; `prob = 0`
+    /// is a no-op.  Backends that cannot represent the split (the
+    /// single-world [`Database`]) reject fractional probabilities.
+    fn insert_possible(
+        &mut self,
+        relation: &str,
+        tuple: &Tuple,
+        prob: f64,
+    ) -> std::result::Result<(), Self::Error>;
+
+    /// Delete, in every world, the tuples of `relation` satisfying `pred`.
+    /// Deletion never removes worlds, so probabilities are untouched.
+    fn delete_where(
+        &mut self,
+        relation: &str,
+        pred: &Predicate,
+    ) -> std::result::Result<(), Self::Error>;
+
+    /// In every world, overwrite the assigned attributes of every tuple of
+    /// `relation` satisfying `pred`.
+    fn modify_where(
+        &mut self,
+        relation: &str,
+        pred: &Predicate,
+        assignments: &[(String, Value)],
+    ) -> std::result::Result<(), Self::Error>;
+
+    /// Condition the store on integrity constraints: keep exactly the worlds
+    /// satisfying every dependency, renormalize their probabilities, and
+    /// return the satisfying mass `P(ψ)` of the *original* distribution.
+    ///
+    /// Fails with the backend's inconsistency error when no world survives
+    /// (the store is left unchanged in that case on the single-world and
+    /// explicit-worlds backends; decomposed backends may have partially
+    /// chased — callers wanting transactional behavior should clone first).
+    fn apply_condition(
+        &mut self,
+        constraints: &[crate::constraint::Dependency],
+    ) -> std::result::Result<f64, Self::Error>;
+}
+
+/// Shared validation of an insert probability (used by every
+/// [`WriteBackend`] implementation across the stack).
+pub fn check_probability(prob: f64) -> Result<()> {
+    if !(0.0..=1.0).contains(&prob) || prob.is_nan() {
+        return Err(RelationalError::Invalid(format!(
+            "insert probability {prob} outside [0, 1]"
+        )));
+    }
+    Ok(())
+}
+
+/// Shared validation of a modification's assignment values: the `⊥`/`?`
+/// markers are reserved for the representations themselves and can never be
+/// assigned (used by every [`WriteBackend`] implementation).
+pub fn check_assignments(assignments: &[(String, Value)]) -> Result<()> {
+    for (attr, value) in assignments {
+        if matches!(value, Value::Bottom | Value::Unknown) {
+            return Err(RelationalError::Invalid(format!(
+                "assignment {attr} = {value}: the ⊥/? markers cannot be assigned"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Shared validation of an inserted tuple: arity must match the schema and
+/// the `⊥`/`?` markers are reserved for the representations themselves.
+pub fn check_insertable(schema: &Schema, tuple: &Tuple) -> Result<()> {
+    if tuple.arity() != schema.arity() {
+        return Err(RelationalError::ArityMismatch {
+            relation: schema.relation().to_string(),
+            expected: schema.arity(),
+            actual: tuple.arity(),
+        });
+    }
+    if tuple.has_bottom() || tuple.has_unknown() {
+        return Err(RelationalError::Invalid(
+            "inserted tuples must not contain the ⊥/? markers".to_string(),
+        ));
+    }
+    Ok(())
+}
+
 /// Generate a fresh scratch-relation name `__{hint}{n}` that does not clash
 /// with any name for which `exists` returns true.
 ///
@@ -773,6 +883,84 @@ impl QueryBackend for Database {
     }
 }
 
+impl WriteBackend for Database {
+    fn insert_certain(&mut self, relation: &str, tuple: &Tuple) -> Result<()> {
+        let rel = self.relation_mut(relation)?;
+        check_insertable(rel.schema(), tuple)?;
+        rel.insert(tuple.clone())?;
+        Ok(())
+    }
+
+    fn insert_possible(&mut self, relation: &str, tuple: &Tuple, prob: f64) -> Result<()> {
+        check_probability(prob)?;
+        if prob <= 0.0 {
+            // Validate the target anyway so a bad insert never succeeds
+            // silently just because its probability is zero.
+            check_insertable(self.relation(relation)?.schema(), tuple)?;
+            return Ok(());
+        }
+        if prob >= 1.0 {
+            return self.insert_certain(relation, tuple);
+        }
+        Err(RelationalError::Invalid(format!(
+            "a single-world database cannot represent a possible insert with probability {prob}; \
+             use a world-set backend or insert with probability 0 or 1"
+        )))
+    }
+
+    fn delete_where(&mut self, relation: &str, pred: &Predicate) -> Result<()> {
+        let rel = self.relation_mut(relation)?;
+        let schema = rel.schema().clone();
+        let keep: Vec<bool> = rel
+            .rows()
+            .iter()
+            .map(|row| pred.eval(&schema, row).map(|m| !m))
+            .collect::<Result<_>>()?;
+        let mut it = keep.into_iter();
+        rel.retain(|_| it.next().unwrap_or(true));
+        Ok(())
+    }
+
+    fn modify_where(
+        &mut self,
+        relation: &str,
+        pred: &Predicate,
+        assignments: &[(String, Value)],
+    ) -> Result<()> {
+        check_assignments(assignments)?;
+        let rel = self.relation_mut(relation)?;
+        let schema = rel.schema().clone();
+        let positions: Vec<(usize, &Value)> = assignments
+            .iter()
+            .map(|(attr, value)| Ok((schema.position_of(attr)?, value)))
+            .collect::<Result<_>>()?;
+        let matches: Vec<bool> = rel
+            .rows()
+            .iter()
+            .map(|row| pred.eval(&schema, row))
+            .collect::<Result<_>>()?;
+        for (row, matched) in rel.rows_mut().iter_mut().zip(matches) {
+            if matched {
+                for &(pos, value) in &positions {
+                    row.set(pos, value.clone());
+                }
+            }
+        }
+        rel.dedup();
+        Ok(())
+    }
+
+    fn apply_condition(&mut self, constraints: &[crate::constraint::Dependency]) -> Result<f64> {
+        for dep in constraints {
+            if !crate::constraint::world_satisfies(self, dep)? {
+                return Err(RelationalError::Inconsistent);
+            }
+        }
+        // The one world satisfies ψ, so P(ψ) = 1 and nothing changes.
+        Ok(1.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1014,6 +1202,87 @@ mod tests {
             ..EngineConfig::default()
         };
         assert!(uncached.summary().ends_with("plan-cache=off"));
+    }
+
+    #[test]
+    fn database_write_backend_applies_per_world_semantics() {
+        use crate::constraint::{Dependency, FunctionalDependency};
+        let mut d = db();
+        d.insert_certain("R", &Tuple::from_iter([9i64, 90]))
+            .unwrap();
+        assert!(d
+            .relation("R")
+            .unwrap()
+            .contains(&Tuple::from_iter([9i64, 90])));
+        // Set semantics: inserting again changes nothing.
+        let before = d.relation("R").unwrap().len();
+        d.insert_certain("R", &Tuple::from_iter([9i64, 90]))
+            .unwrap();
+        assert_eq!(d.relation("R").unwrap().len(), before);
+        // Degenerate possible inserts work; fractional ones cannot be
+        // represented by a single world.
+        d.insert_possible("R", &Tuple::from_iter([8i64, 80]), 1.0)
+            .unwrap();
+        d.insert_possible("R", &Tuple::from_iter([7i64, 70]), 0.0)
+            .unwrap();
+        assert!(!d
+            .relation("R")
+            .unwrap()
+            .contains(&Tuple::from_iter([7i64, 70])));
+        assert!(d
+            .insert_possible("R", &Tuple::from_iter([7i64, 70]), 0.5)
+            .is_err());
+        assert!(d
+            .insert_possible("R", &Tuple::from_iter([7i64, 70]), 1.5)
+            .is_err());
+        assert!(
+            d.insert_certain("R", &Tuple::from_iter([7i64])).is_err(),
+            "arity mismatch"
+        );
+        assert!(
+            d.insert_certain("R", &Tuple::new(vec![Value::Bottom, Value::int(0)]))
+                .is_err(),
+            "⊥ is reserved"
+        );
+        // Modify then delete.
+        d.modify_where(
+            "R",
+            &Predicate::eq_const("A", 9i64),
+            &[("B".to_string(), Value::int(33))],
+        )
+        .unwrap();
+        assert!(d
+            .relation("R")
+            .unwrap()
+            .contains(&Tuple::from_iter([9i64, 33])));
+        d.delete_where("R", &Predicate::cmp_const("A", CmpOp::Ge, 8i64))
+            .unwrap();
+        assert!(!d
+            .relation("R")
+            .unwrap()
+            .contains(&Tuple::from_iter([9i64, 33])));
+        assert!(d
+            .modify_where("R", &Predicate::eq_const("Z", 1i64), &[])
+            .is_err());
+        assert!(
+            d.modify_where(
+                "R",
+                &Predicate::eq_const("A", 1i64),
+                &[("B".to_string(), Value::Bottom)],
+            )
+            .is_err(),
+            "⊥ can never be assigned"
+        );
+        // Conditioning on a satisfied constraint is a mass-1 no-op; on a
+        // violated one it reports inconsistency.
+        let key = Dependency::Fd(FunctionalDependency::new("R", vec!["A"], vec!["B"]));
+        assert_eq!(d.apply_condition(std::slice::from_ref(&key)).unwrap(), 1.0);
+        d.insert_certain("R", &Tuple::from_iter([1i64, 99]))
+            .unwrap();
+        assert!(matches!(
+            d.apply_condition(&[key]),
+            Err(RelationalError::Inconsistent)
+        ));
     }
 
     #[test]

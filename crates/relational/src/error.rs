@@ -35,6 +35,9 @@ pub enum RelationalError {
     },
     /// An attribute would be duplicated (e.g. by a product or rename).
     DuplicateAttribute(String),
+    /// Conditioning removed every possible world (no world satisfies the
+    /// constraints).
+    Inconsistent,
     /// Anything else worth reporting with a message.
     Invalid(String),
 }
@@ -59,6 +62,9 @@ impl fmt::Display for RelationalError {
             }
             RelationalError::DuplicateAttribute(a) => {
                 write!(f, "duplicate attribute `{a}`")
+            }
+            RelationalError::Inconsistent => {
+                write!(f, "world-set is inconsistent (no world remains)")
             }
             RelationalError::Invalid(msg) => write!(f, "{msg}"),
         }

@@ -30,6 +30,7 @@
 //! paper's Figure 30.
 
 pub mod algebra;
+pub mod constraint;
 pub mod cursor;
 pub mod database;
 pub mod engine;
@@ -45,11 +46,14 @@ pub mod tuple;
 pub mod value;
 
 pub use algebra::{evaluate, evaluate_checked, evaluate_set, RaExpr};
+pub use constraint::{
+    world_satisfies, AttrComparison, Dependency, EqualityGeneratingDependency, FunctionalDependency,
+};
 pub use cursor::Cursor;
 pub use database::Database;
 pub use engine::{
     evaluate_query, evaluate_query_with, execute, EngineConfig, ExecContext, QueryBackend,
-    SchemaCatalog, TempNames,
+    SchemaCatalog, TempNames, WriteBackend,
 };
 pub use error::{RelationalError, Result};
 pub use fingerprint::{fingerprint, normalize_plan, normalize_predicate, plan_key};

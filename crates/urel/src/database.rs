@@ -45,6 +45,19 @@ impl UDatabase {
             .ok_or_else(|| UrelError::UnknownRelation(name.to_string()))
     }
 
+    /// Mutable access to a relation (used by the update verbs).
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut URelation> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| UrelError::UnknownRelation(name.to_string()))
+    }
+
+    /// Iterate mutably over every relation (used by conditioning, which
+    /// rewrites the descriptors of the whole catalog).
+    pub(crate) fn relations_mut(&mut self) -> impl Iterator<Item = &mut URelation> {
+        self.relations.values_mut()
+    }
+
     /// Whether a relation is present.
     pub fn contains_relation(&self, name: &str) -> bool {
         self.relations.contains_key(name)

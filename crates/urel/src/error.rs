@@ -18,6 +18,9 @@ pub enum UrelError {
     /// The requested operation is not supported on U-relations
     /// (e.g. relational difference, which is not a positive operator).
     Unsupported(String),
+    /// Conditioning removed every possible world (no assignment satisfies
+    /// the constraints).
+    Inconsistent,
     /// Exact confidence computation would have to enumerate more assignments
     /// than the configured limit; use the Monte-Carlo estimator instead.
     ExactTooLarge {
@@ -46,6 +49,7 @@ impl fmt::Display for UrelError {
             UrelError::UnknownVariable(name) => write!(f, "unknown world-table variable `{name}`"),
             UrelError::Invalid(msg) => write!(f, "invalid input: {msg}"),
             UrelError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            UrelError::Inconsistent => write!(f, "world-set is inconsistent (no world remains)"),
             UrelError::ExactTooLarge {
                 variables,
                 assignments,
@@ -64,7 +68,10 @@ impl std::error::Error for UrelError {}
 
 impl From<ws_relational::RelationalError> for UrelError {
     fn from(e: ws_relational::RelationalError) -> Self {
-        UrelError::Relational(e)
+        match e {
+            ws_relational::RelationalError::Inconsistent => UrelError::Inconsistent,
+            other => UrelError::Relational(other),
+        }
     }
 }
 

@@ -17,7 +17,10 @@
 //!   and their catalog,
 //! * [`convert::from_wsd`] — the WSD → U-relation translation,
 //! * [`ops`] — positive relational algebra (selection, projection, product /
-//!   θ-join, union, renaming) with pairwise descriptor conjunction, and
+//!   θ-join, union, renaming) with pairwise descriptor conjunction,
+//! * [`update`] — the update language (inserts, deletes, modifications,
+//!   conditioning by world-table DNF rewriting) as the
+//!   [`ws_relational::WriteBackend`] implementation, and
 //! * [`confidence`] — exact and Monte-Carlo confidence computation.
 //!
 //! The `ablation_urel_join` bench compares the representation growth of a
@@ -29,6 +32,7 @@ pub mod database;
 pub mod descriptor;
 pub mod error;
 pub mod ops;
+pub mod update;
 pub mod urelation;
 pub mod world;
 

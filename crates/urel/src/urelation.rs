@@ -53,6 +53,12 @@ impl URelation {
         &self.rows
     }
 
+    /// Mutable access to the annotated rows (update verbs only; callers must
+    /// keep tuple arities consistent with the schema).
+    pub(crate) fn rows_mut(&mut self) -> &mut Vec<(Tuple, WsDescriptor)> {
+        &mut self.rows
+    }
+
     /// Number of annotated rows (not the number of distinct tuples).
     pub fn len(&self) -> usize {
         self.rows.len()

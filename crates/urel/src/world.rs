@@ -79,6 +79,16 @@ impl WorldTable {
         self.vars.contains_key(name)
     }
 
+    /// Remove a variable from the table (used by conditioning, which merges
+    /// correlated variables into one composite variable).  Descriptors still
+    /// referencing the variable become invalid; callers must rewrite them.
+    pub(crate) fn remove_variable(&mut self, name: &str) -> Result<()> {
+        self.vars
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| UrelError::UnknownVariable(name.to_string()))
+    }
+
     /// The declared variable names.
     pub fn variables(&self) -> impl Iterator<Item = &str> {
         self.vars.keys().map(String::as_str)

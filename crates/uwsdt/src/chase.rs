@@ -15,14 +15,31 @@ use ws_core::FieldId;
 use ws_relational::Value;
 
 /// Chase a set of dependencies on the UWSDT.
-pub fn chase(uwsdt: &mut Uwsdt, dependencies: &[Dependency]) -> Result<()> {
+///
+/// Returns the probability mass of the *original* world-set that satisfies
+/// every dependency (`P(ψ)`), mirroring `ws_core::chase::chase`; the
+/// surviving worlds are renormalized in place.
+pub fn chase(uwsdt: &mut Uwsdt, dependencies: &[Dependency]) -> Result<f64> {
+    let mut mass = 1.0;
     for dep in dependencies {
-        match dep {
+        mass *= match dep {
             Dependency::Egd(egd) => chase_egd(uwsdt, egd)?,
             Dependency::Fd(fd) => chase_fd(uwsdt, fd)?,
-        }
+        };
     }
-    Ok(())
+    Ok(mass)
+}
+
+/// The probability mass of a component's local worlds that is about to be
+/// removed (the component is normalized, so the survival fraction is
+/// `1 − removed`).
+fn removed_mass(uwsdt: &Uwsdt, cid: Cid, removed: &BTreeSet<Lwid>) -> Result<f64> {
+    Ok(uwsdt
+        .component_worlds(cid)?
+        .iter()
+        .filter(|w| removed.contains(&w.lwid))
+        .map(|w| w.prob)
+        .sum())
 }
 
 /// The placeholders of a tuple that encode a possible *absence* of the tuple
@@ -49,14 +66,16 @@ fn absence_placeholders(uwsdt: &Uwsdt, relation: &str, tuple: usize) -> Vec<ws_c
         .collect()
 }
 
-/// Chase one single-tuple equality-generating dependency.
-pub fn chase_egd(uwsdt: &mut Uwsdt, egd: &EqualityGeneratingDependency) -> Result<()> {
+/// Chase one single-tuple equality-generating dependency, returning the
+/// fraction of the probability mass whose worlds satisfy it.
+pub fn chase_egd(uwsdt: &mut Uwsdt, egd: &EqualityGeneratingDependency) -> Result<f64> {
     let template = uwsdt.template(&egd.relation)?.clone();
     let schema = template.schema().clone();
     for atom in egd.body.iter().chain(std::iter::once(&egd.head)) {
         schema.position_of(&atom.attr)?;
     }
     let tuple_count = template.len();
+    let mut survival = 1.0;
     for t in 0..tuple_count {
         let row = &template.rows()[t];
         // Refinement (§8): skip when the body is certainly false or the head
@@ -169,18 +188,20 @@ pub fn chase_egd(uwsdt: &mut Uwsdt, egd: &EqualityGeneratingDependency) -> Resul
             }
         }
         if !violating.is_empty() {
+            survival *= 1.0 - removed_mass(uwsdt, cid, &violating)?;
             uwsdt.remove_local_worlds(cid, &violating)?;
         }
     }
-    Ok(())
+    Ok(survival)
 }
 
 /// Chase one functional dependency `lhs → rhs`.
 ///
 /// Candidate pairs are found through a hash index over the possible values of
 /// the first determinant attribute, so that only tuples that could agree on
-/// the determinant are compared.
-pub fn chase_fd(uwsdt: &mut Uwsdt, fd: &FunctionalDependency) -> Result<()> {
+/// the determinant are compared.  Returns the fraction of the probability
+/// mass whose worlds satisfy the dependency.
+pub fn chase_fd(uwsdt: &mut Uwsdt, fd: &FunctionalDependency) -> Result<f64> {
     let template = uwsdt.template(&fd.relation)?.clone();
     let schema = template.schema().clone();
     for a in fd.lhs.iter().chain(&fd.rhs) {
@@ -199,6 +220,7 @@ pub fn chase_fd(uwsdt: &mut Uwsdt, fd: &FunctionalDependency) -> Result<()> {
             by_value.entry(v).or_default().push(t);
         }
     }
+    let mut survival = 1.0;
     let mut candidate_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
     for tuples in by_value.values() {
         for (i, &s) in tuples.iter().enumerate() {
@@ -344,10 +366,11 @@ pub fn chase_fd(uwsdt: &mut Uwsdt, fd: &FunctionalDependency) -> Result<()> {
             }
         }
         if !violating.is_empty() {
+            survival *= 1.0 - removed_mass(uwsdt, cid, &violating)?;
             uwsdt.remove_local_worlds(cid, &violating)?;
         }
     }
-    Ok(())
+    Ok(survival)
 }
 
 #[cfg(test)]
@@ -467,7 +490,7 @@ mod tests {
                 AttrComparison::new("M", CmpOp::Ne, 4i64),
             )),
         ];
-        chase(&mut uwsdt, &deps).unwrap();
+        let reported_mass = chase(&mut uwsdt, &deps).unwrap();
         let after = uwsdt.enumerate_worlds(100_000).unwrap();
         // Oracle: filter + renormalize the original worlds.
         let ok = |db: &ws_relational::Database| {
@@ -485,6 +508,10 @@ mod tests {
         let surviving: Vec<(ws_relational::Database, f64)> =
             before.into_iter().filter(|(db, _)| ok(db)).collect();
         let mass: f64 = surviving.iter().map(|(_, p)| p).sum();
+        assert!(
+            (reported_mass - mass).abs() < 1e-9,
+            "chase reported mass {reported_mass}, oracle says {mass}"
+        );
         let expected = ws_core::WorldSet::from_weighted_worlds(
             surviving
                 .into_iter()

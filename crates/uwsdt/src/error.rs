@@ -70,7 +70,10 @@ impl std::error::Error for UwsdtError {}
 
 impl From<RelationalError> for UwsdtError {
     fn from(e: RelationalError) -> Self {
-        UwsdtError::Relational(e)
+        match e {
+            RelationalError::Inconsistent => UwsdtError::Inconsistent,
+            other => UwsdtError::Relational(other),
+        }
     }
 }
 

@@ -17,6 +17,8 @@
 //! * loaders from "dirty" or-relations and from WSD/WSDTs ([`build`]),
 //! * relational algebra with single-world-like cost on the templates
 //!   ([`ops`], [`query`]),
+//! * the update language (inserts, deletes, modifications, conditioning) as
+//!   the [`ws_relational::WriteBackend`] implementation ([`update`]),
 //! * the chase for data cleaning ([`chase`]), and
 //! * the representation statistics reported in the paper's evaluation
 //!   ([`stats`]).
@@ -30,6 +32,7 @@ pub mod normalize;
 pub mod ops;
 pub mod query;
 pub mod stats;
+pub mod update;
 
 pub use build::{from_or_relation, from_wsd, from_wsdt, OrField};
 pub use confidence::{conf, expected_cardinality, is_certain, possible_with_confidence};

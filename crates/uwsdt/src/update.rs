@@ -1,0 +1,430 @@
+//! The update language on UWSDTs: the [`WriteBackend`] implementation.
+//!
+//! Updates follow the same sparseness philosophy as the query operators in
+//! [`crate::ops`]: the template rows carry the bulk of the data, so an update
+//! whose predicate only touches certain fields is processed at single-world
+//! cost (template edits and presence-condition changes), and components are
+//! composed only when a predicate or assignment genuinely spans several of
+//! them.  Concretely:
+//!
+//! * certain inserts append a template row;
+//! * possible inserts append a template row guarded by a presence condition
+//!   over a fresh two-local-world component (`present` with mass `p`,
+//!   `absent` with mass `1 − p`);
+//! * deletes *restrict presence conditions* — the tuple is removed from
+//!   exactly the local worlds whose placeholder values match the predicate —
+//!   and never remove template rows (slots keep their identity, mirroring
+//!   the WSD convention of blanking fields to `⊥`);
+//! * modifications rewrite `C` values in the matching local worlds,
+//!   placeholder-izing template fields that become world-dependent; and
+//! * conditioning is the §8 chase, which composes, removes violating local
+//!   worlds and renormalizes.
+//!
+//! A final [`mod@crate::normalize`] pass re-decomposes: it folds placeholders
+//! that became certain back into the template, drops vacuous presence
+//! conditions and prunes unreferenced components.
+
+use crate::error::{Result, UwsdtError};
+use crate::model::{Cid, Lwid, Uwsdt, WorldEntry};
+use crate::normalize;
+use std::collections::BTreeSet;
+use ws_core::FieldId;
+use ws_relational::engine::{check_assignments, check_insertable, check_probability};
+use ws_relational::{Dependency, Predicate, Tuple, Value, WriteBackend};
+
+/// The distinct components of the placeholder fields among `attrs` of a
+/// tuple.
+fn components_of_attrs(uwsdt: &Uwsdt, relation: &str, tuple: usize, attrs: &[&str]) -> Vec<Cid> {
+    let mut cids: Vec<Cid> = attrs
+        .iter()
+        .filter_map(|a| uwsdt.component_of(&FieldId::new(relation, tuple, *a)))
+        .collect();
+    cids.sort_unstable();
+    cids.dedup();
+    cids
+}
+
+/// Mark a template tuple as absent from every world: a presence condition
+/// with an empty local-world set (conjoined with whatever conditions the
+/// tuple already has) can never be satisfied.
+fn mark_absent(uwsdt: &mut Uwsdt, relation: &str, tuple: usize) -> Result<()> {
+    let cid = match uwsdt.presence_of(relation, tuple).first() {
+        Some(cond) => cond.cid,
+        None => uwsdt.create_component(vec![WorldEntry { lwid: 0, prob: 1.0 }])?,
+    };
+    uwsdt.add_presence(relation, tuple, cid, BTreeSet::new())
+}
+
+impl WriteBackend for Uwsdt {
+    fn insert_certain(&mut self, relation: &str, tuple: &Tuple) -> Result<()> {
+        let schema = self.template(relation)?.schema().clone();
+        check_insertable(&schema, tuple)?;
+        self.template_mut(relation)?.push(tuple.clone())?;
+        Ok(())
+    }
+
+    fn insert_possible(&mut self, relation: &str, tuple: &Tuple, prob: f64) -> Result<()> {
+        check_probability(prob)?;
+        let schema = self.template(relation)?.schema().clone();
+        check_insertable(&schema, tuple)?;
+        if prob <= 0.0 {
+            return Ok(());
+        }
+        if prob >= 1.0 {
+            return self.insert_certain(relation, tuple);
+        }
+        self.template_mut(relation)?.push(tuple.clone())?;
+        let t = self.template(relation)?.len() - 1;
+        let cid = self.create_component(vec![
+            WorldEntry { lwid: 0, prob },
+            WorldEntry {
+                lwid: 1,
+                prob: 1.0 - prob,
+            },
+        ])?;
+        self.add_presence(relation, t, cid, BTreeSet::from([0]))
+    }
+
+    fn delete_where(&mut self, relation: &str, pred: &Predicate) -> Result<()> {
+        let template = self.template(relation)?.clone();
+        let referenced: Vec<&str> = pred.referenced_attrs();
+        for a in &referenced {
+            template.schema().position_of(a)?;
+        }
+        for (t, row) in template.rows().iter().enumerate() {
+            let uncertain_refs: Vec<&str> = referenced
+                .iter()
+                .copied()
+                .filter(|a| {
+                    let pos = template.schema().position(a).unwrap();
+                    row[pos].is_unknown()
+                })
+                .collect();
+            if uncertain_refs.is_empty() {
+                // Single-world cost: the predicate matches in every world the
+                // tuple inhabits, or in none.
+                if pred.eval(template.schema(), row)? {
+                    mark_absent(self, relation, t)?;
+                }
+                continue;
+            }
+            let cids = components_of_attrs(self, relation, t, &uncertain_refs);
+            let cid = self.compose(&cids)?;
+            let mut keep: BTreeSet<Lwid> = BTreeSet::new();
+            'lwids: for w in self.component_worlds(cid)?.to_vec() {
+                let mut values = row.clone();
+                for a in &uncertain_refs {
+                    let field = FieldId::new(relation, t, *a);
+                    let pos = template.schema().position(a).unwrap();
+                    match self
+                        .placeholder_values(&field)
+                        .and_then(|vals| vals.get(&w.lwid))
+                    {
+                        Some(v) if !v.is_bottom() => values.set(pos, v.clone()),
+                        // Absent in this local world: nothing to delete, the
+                        // tuple stays (absent) there.
+                        _ => {
+                            keep.insert(w.lwid);
+                            continue 'lwids;
+                        }
+                    }
+                }
+                if !pred.eval(template.schema(), &values)? {
+                    keep.insert(w.lwid);
+                }
+            }
+            self.add_presence(relation, t, cid, keep)?;
+        }
+        normalize::normalize(self)?;
+        Ok(())
+    }
+
+    fn modify_where(
+        &mut self,
+        relation: &str,
+        pred: &Predicate,
+        assignments: &[(String, Value)],
+    ) -> Result<()> {
+        let template = self.template(relation)?.clone();
+        let schema = template.schema().clone();
+        let referenced: Vec<&str> = pred.referenced_attrs();
+        for a in referenced
+            .iter()
+            .copied()
+            .chain(assignments.iter().map(|(a, _)| a.as_str()))
+        {
+            schema.position_of(a)?;
+        }
+        check_assignments(assignments)?;
+        for (t, row) in template.rows().iter().enumerate() {
+            // Every involved attribute that is a placeholder ties this tuple
+            // to a component.
+            let involved: Vec<&str> = {
+                let mut v: Vec<&str> = referenced.clone();
+                v.extend(assignments.iter().map(|(a, _)| a.as_str()));
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            let uncertain: Vec<&str> = involved
+                .iter()
+                .copied()
+                .filter(|a| row[schema.position_of(a).unwrap()].is_unknown())
+                .collect();
+            if uncertain.is_empty() {
+                // The predicate and the assigned fields are certain: the
+                // tuple changes in every world it inhabits, directly in the
+                // template.
+                if pred.eval(&schema, row)? {
+                    for (attr, value) in assignments {
+                        self.set_template_value(
+                            &FieldId::new(relation, t, attr.as_str()),
+                            value.clone(),
+                        )?;
+                    }
+                }
+                continue;
+            }
+            let cids = components_of_attrs(self, relation, t, &uncertain);
+            let cid = self.compose(&cids)?;
+            let all_lwids: Vec<Lwid> = self.component_worlds(cid)?.iter().map(|w| w.lwid).collect();
+            let mut matching: BTreeSet<Lwid> = BTreeSet::new();
+            'lwids: for &lwid in &all_lwids {
+                // The tuple is absent wherever a placeholder of the composed
+                // component has no value, or a presence condition on it
+                // excludes the local world; absent tuples are not modified.
+                if self
+                    .presence_of(relation, t)
+                    .iter()
+                    .any(|c| c.cid == cid && !c.lwids.contains(&lwid))
+                {
+                    continue;
+                }
+                let mut values = row.clone();
+                for a in &uncertain {
+                    let field = FieldId::new(relation, t, *a);
+                    let pos = schema.position_of(a).unwrap();
+                    match self
+                        .placeholder_values(&field)
+                        .and_then(|vals| vals.get(&lwid))
+                    {
+                        Some(v) if !v.is_bottom() => values.set(pos, v.clone()),
+                        _ => continue 'lwids,
+                    }
+                }
+                if pred.eval(&schema, &values)? {
+                    matching.insert(lwid);
+                }
+            }
+            if matching.is_empty() {
+                continue;
+            }
+            for (attr, value) in assignments {
+                let field = FieldId::new(relation, t, attr.as_str());
+                let pos = schema.position_of(attr)?;
+                if row[pos].is_unknown() {
+                    // The placeholder lives in the composed component (its
+                    // component was part of the composition); rewrite its
+                    // values in the matching local worlds.
+                    let values = self.values_map_mut(&field).ok_or_else(|| {
+                        UwsdtError::invalid(format!("placeholder {field} has no C entries"))
+                    })?;
+                    for lwid in &matching {
+                        if let Some(v) = values.get_mut(lwid) {
+                            *v = value.clone();
+                        }
+                    }
+                } else if matching.len() == all_lwids.len() {
+                    // Modified in every local world: stays certain.
+                    self.set_template_value(&field, value.clone())?;
+                } else {
+                    // The field becomes world-dependent: placeholder-ize it
+                    // inside the composed component.
+                    let old = row[pos].clone();
+                    let values: std::collections::BTreeMap<Lwid, Value> = all_lwids
+                        .iter()
+                        .map(|lwid| {
+                            let v = if matching.contains(lwid) {
+                                value.clone()
+                            } else {
+                                old.clone()
+                            };
+                            (*lwid, v)
+                        })
+                        .collect();
+                    self.set_template_value(&field, Value::Unknown)?;
+                    self.add_placeholder_in_component(field, cid, values)?;
+                }
+            }
+        }
+        normalize::normalize(self)?;
+        Ok(())
+    }
+
+    fn apply_condition(&mut self, constraints: &[Dependency]) -> Result<f64> {
+        crate::chase::chase(self, constraints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::from_wsd;
+    use ws_core::ops::update::{apply_update, UpdateExpr};
+    use ws_core::wsd::example_census_wsd;
+    use ws_core::WorldSet;
+    use ws_relational::CmpOp;
+
+    /// Oracle: the same update applied to every enumerated world.
+    fn oracle(updates: &[UpdateExpr]) -> WorldSet {
+        let wsd = example_census_wsd();
+        let mut worlds = WorldSet::from_weighted_worlds(wsd.enumerate_worlds(1 << 20).unwrap());
+        for u in updates {
+            apply_update(&mut worlds, u).unwrap();
+        }
+        worlds
+    }
+
+    fn updated(updates: &[UpdateExpr]) -> WorldSet {
+        let mut uwsdt = from_wsd(&example_census_wsd()).unwrap();
+        for u in updates {
+            apply_update(&mut uwsdt, u).unwrap();
+        }
+        uwsdt.validate().unwrap();
+        WorldSet::from_weighted_worlds(uwsdt.enumerate_worlds(1 << 20).unwrap())
+    }
+
+    fn check(updates: &[UpdateExpr]) {
+        let expected = oracle(updates);
+        let actual = updated(updates);
+        assert!(
+            expected.same_worlds(&actual) && expected.same_distribution(&actual, 1e-9),
+            "UWSDT disagrees with the per-world oracle for {updates:?}"
+        );
+    }
+
+    #[test]
+    fn inserts_match_the_per_world_oracle() {
+        check(&[UpdateExpr::insert(
+            "R",
+            Tuple::from_iter([Value::int(999), Value::text("New"), Value::int(1)]),
+        )]);
+        check(&[UpdateExpr::insert_possible(
+            "R",
+            Tuple::from_iter([Value::int(999), Value::text("New"), Value::int(1)]),
+            0.25,
+        )]);
+    }
+
+    #[test]
+    fn deletes_match_the_per_world_oracle() {
+        // Certain predicate (template fast path).
+        check(&[UpdateExpr::delete("R", Predicate::eq_const("N", "Smith"))]);
+        // Placeholder predicate (presence-restriction path).
+        check(&[UpdateExpr::delete("R", Predicate::eq_const("M", 1i64))]);
+        // Predicate spanning a correlated component.
+        check(&[UpdateExpr::delete("R", Predicate::eq_const("S", 785i64))]);
+    }
+
+    #[test]
+    fn modifies_match_the_per_world_oracle() {
+        // Certain predicate + certain assignment: pure template edit.
+        check(&[UpdateExpr::modify(
+            "R",
+            Predicate::eq_const("N", "Brown"),
+            vec![("N".to_string(), Value::text("Braun"))],
+        )]);
+        // Placeholder predicate forcing a certain field to become uncertain.
+        check(&[UpdateExpr::modify(
+            "R",
+            Predicate::eq_const("S", 785i64),
+            vec![("N".to_string(), Value::text("ex-785"))],
+        )]);
+        // Placeholder assignment target.
+        check(&[UpdateExpr::modify(
+            "R",
+            Predicate::eq_const("S", 785i64),
+            vec![("M".to_string(), Value::int(1))],
+        )]);
+    }
+
+    #[test]
+    fn interleaved_update_sequences_match_the_oracle() {
+        check(&[
+            UpdateExpr::insert_possible(
+                "R",
+                Tuple::from_iter([Value::int(500), Value::text("Maybe"), Value::int(3)]),
+                0.5,
+            ),
+            UpdateExpr::modify(
+                "R",
+                Predicate::cmp_const("M", CmpOp::Ge, 3i64),
+                vec![("M".to_string(), Value::int(0))],
+            ),
+            UpdateExpr::delete("R", Predicate::eq_const("M", 0i64)),
+        ]);
+    }
+
+    #[test]
+    fn conditioning_reports_mass_and_renormalizes() {
+        let mut uwsdt = from_wsd(&example_census_wsd()).unwrap();
+        let dep = Dependency::Egd(ws_relational::EqualityGeneratingDependency::implies(
+            "R",
+            "S",
+            785i64,
+            "M",
+            CmpOp::Eq,
+            1i64,
+        ));
+        let mass = apply_update(&mut uwsdt, &UpdateExpr::condition(vec![dep.clone()])).unwrap();
+        // Oracle mass by world filtering.
+        let worlds = example_census_wsd().enumerate_worlds(1 << 20).unwrap();
+        let expected: f64 = worlds
+            .iter()
+            .filter(|(db, _)| ws_relational::world_satisfies(db, &dep).unwrap())
+            .map(|(_, p)| p)
+            .sum();
+        assert!((mass - expected).abs() < 1e-9, "{mass} vs {expected}");
+        let total: f64 = uwsdt
+            .enumerate_worlds(1 << 20)
+            .unwrap()
+            .iter()
+            .map(|(_, p)| p)
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_updates_are_rejected() {
+        let mut uwsdt = from_wsd(&example_census_wsd()).unwrap();
+        assert!(apply_update(
+            &mut uwsdt,
+            &UpdateExpr::insert("NOPE", Tuple::from_iter([1i64]))
+        )
+        .is_err());
+        assert!(apply_update(
+            &mut uwsdt,
+            &UpdateExpr::insert("R", Tuple::from_iter([1i64]))
+        )
+        .is_err());
+        assert!(apply_update(
+            &mut uwsdt,
+            &UpdateExpr::insert_possible("R", Tuple::from_iter([1i64, 2, 3]), -0.5)
+        )
+        .is_err());
+        assert!(apply_update(
+            &mut uwsdt,
+            &UpdateExpr::delete("R", Predicate::eq_const("Z", 1i64))
+        )
+        .is_err());
+        assert!(apply_update(
+            &mut uwsdt,
+            &UpdateExpr::modify(
+                "R",
+                Predicate::eq_const("M", 1i64),
+                vec![("M".to_string(), Value::Unknown)]
+            )
+        )
+        .is_err());
+    }
+}

@@ -50,32 +50,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --------------------------------------------------------------
-    // 2. Represent the repairs as a WSD and enforce the key constraint.
-    //    (With value-repairs the key is already satisfied here, but chasing
-    //    it demonstrates that cleaning composes with repair enumeration.)
+    // 2. Open a session over the candidate repairs and *condition* on the
+    //    integrity constraints — the update-language verb that keeps
+    //    exactly the worlds satisfying the key and renormalizes, replacing
+    //    the old "chase the WSD by hand, then open a session" dance.  The
+    //    returned mass is the fraction of candidates that were consistent.
     // --------------------------------------------------------------
-    let mut wsd = dirty.to_wsd()?;
-    chase(
-        &mut wsd,
-        &[Dependency::Fd(FunctionalDependency::new(
-            "PAYROLL",
-            vec!["EMP"],
-            vec!["DEPT", "SALARY"],
-        ))],
-    )?;
-    normalize(&mut wsd)?;
+    let mut session = Session::new(dirty.to_wsd()?);
+    let consistent_mass = session.condition(&[Dependency::Fd(FunctionalDependency::new(
+        "PAYROLL",
+        vec!["EMP"],
+        vec!["DEPT", "SALARY"],
+    ))])?;
     println!(
-        "{} repairs represented by {} components",
-        wsd.rep()?.len(),
-        wsd.component_count()
+        "{} repairs survive conditioning (P(consistent) = {consistent_mass:.2}), \
+represented by {} components",
+        session.backend().rep()?.len(),
+        session.backend().component_count()
     );
 
     // --------------------------------------------------------------
-    // 3. Query across all repairs through a session: who earns at least 55?
-    //    `confidence` separates the certain answers (conf = 1) from the
-    //    merely possible ones.
+    // 3. Query across all repairs through the same session: who earns at
+    //    least 55?  `confidence` separates the certain answers (conf = 1)
+    //    from the merely possible ones.
     // --------------------------------------------------------------
-    let mut session = Session::new(wsd);
     let well_paid = session.prepare(
         q("PAYROLL")
             .select(Predicate::cmp_const("SALARY", CmpOp::Ge, 55i64))
@@ -104,6 +102,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("\npossible departments of well-paid employees:");
     for (tuple, confidence) in session.confidence(&follow_up)? {
+        println!("  {}  conf = {confidence:.2}", tuple[0]);
+    }
+
+    // --------------------------------------------------------------
+    // 5. Updates compose with repairs: a raise lands in *every* repair, and
+    //    further constraints keep conditioning the same session.
+    // --------------------------------------------------------------
+    session.apply(&UpdateExpr::modify(
+        "PAYROLL",
+        Predicate::eq_const("EMP", 103i64),
+        vec![("SALARY".to_string(), Value::int(58))],
+    ))?;
+    let raised = session.prepare(
+        q("PAYROLL")
+            .select(Predicate::eq_const("EMP", 103i64))
+            .project(["SALARY"]),
+    )?;
+    println!("\nEMP 103's salary after the raise, across repairs:");
+    for (tuple, confidence) in session.confidence(&raised)? {
         println!("  {}  conf = {confidence:.2}", tuple[0]);
     }
     println!("\nsession: {}", session.summary());

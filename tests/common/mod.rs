@@ -47,7 +47,7 @@ impl Generator {
     }
 
     /// A random (possibly composite) predicate over the given attributes.
-    fn predicate(&mut self, attrs: &[String], depth: usize) -> Predicate {
+    pub fn predicate(&mut self, attrs: &[String], depth: usize) -> Predicate {
         if depth > 0 && self.rng.gen_bool(0.3) {
             let parts = (0..self.rng.gen_range(1..=2usize))
                 .map(|_| self.predicate(attrs, depth - 1))
@@ -262,6 +262,197 @@ pub fn session_possible(
     let prepared = session.prepare(query)?;
     let rows: Vec<Tuple> = session.execute(&prepared)?.collect();
     Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// The update half of the oracle harness.
+// ---------------------------------------------------------------------------
+
+/// A random update over the generator's fixed schema (`R[A, B]`, `S[C]`).
+///
+/// `allow_fractional` gates possible inserts with `0 < p < 1` (the
+/// single-world database backend cannot represent them);
+/// `allow_condition` gates conditioning steps (which may legitimately make
+/// the world-set inconsistent — the caller compares that outcome too).
+pub fn random_update(
+    generator: &mut Generator,
+    rng: &mut StdRng,
+    allow_fractional: bool,
+    allow_condition: bool,
+) -> UpdateExpr {
+    let (relation, attrs): (&str, &[&str]) = if rng.gen_bool(0.6) {
+        ("R", &["A", "B"])
+    } else {
+        ("S", &["C"])
+    };
+    let fresh_tuple = |rng: &mut StdRng| {
+        Tuple::new(
+            (0..attrs.len())
+                .map(|_| Value::int(rng.gen_range(0..5i64)))
+                .collect(),
+        )
+    };
+    let attr_names: Vec<String> = attrs.iter().map(|a| a.to_string()).collect();
+    match rng.gen_range(0..10) {
+        0 | 1 => UpdateExpr::insert(relation, fresh_tuple(rng)),
+        2 | 3 => {
+            let prob = if allow_fractional {
+                [0.25, 0.5, 0.75, 1.0][rng.gen_range(0..4usize)]
+            } else {
+                1.0
+            };
+            UpdateExpr::insert_possible(relation, fresh_tuple(rng), prob)
+        }
+        4 | 5 => UpdateExpr::delete(relation, generator.predicate(&attr_names, 1)),
+        6..=8 => {
+            let n = rng.gen_range(1..=attrs.len());
+            let mut assigned: Vec<&str> = attrs.to_vec();
+            for i in (1..assigned.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                assigned.swap(i, j);
+            }
+            assigned.truncate(n);
+            let assignments: Vec<(String, Value)> = assigned
+                .into_iter()
+                .map(|a| (a.to_string(), Value::int(rng.gen_range(0..5i64))))
+                .collect();
+            UpdateExpr::modify(relation, generator.predicate(&attr_names, 1), assignments)
+        }
+        _ if allow_condition => {
+            let dep = if rng.gen_bool(0.5) {
+                Dependency::Fd(FunctionalDependency::new("R", vec!["A"], vec!["B"]))
+            } else {
+                Dependency::Egd(EqualityGeneratingDependency::implies(
+                    "R",
+                    "A",
+                    rng.gen_range(0..4i64),
+                    "B",
+                    if rng.gen_bool(0.5) {
+                        CmpOp::Ne
+                    } else {
+                        CmpOp::Le
+                    },
+                    rng.gen_range(0..4i64),
+                ))
+            };
+            UpdateExpr::condition(vec![dep])
+        }
+        _ => UpdateExpr::delete(relation, generator.predicate(&attr_names, 0)),
+    }
+}
+
+/// Apply one update to an explicitly enumerated world list — the
+/// hand-rolled per-world semantics the decomposed `WriteBackend`
+/// implementations are tested against.  Returns the surviving mass, or
+/// `None` when conditioning eliminates every world (the inconsistent
+/// outcome the backends must report as an error).
+pub fn oracle_apply_update(worlds: &mut Vec<(Database, f64)>, update: &UpdateExpr) -> Option<f64> {
+    match update {
+        UpdateExpr::InsertCertain { relation, tuple } => {
+            for (db, _) in worlds.iter_mut() {
+                let rel = db.relation_mut(relation).unwrap();
+                if !rel.contains(tuple) {
+                    rel.push(tuple.clone()).unwrap();
+                }
+            }
+            Some(1.0)
+        }
+        UpdateExpr::InsertPossible {
+            relation,
+            tuple,
+            prob,
+        } => {
+            let mut split = Vec::with_capacity(worlds.len() * 2);
+            for (db, p) in worlds.drain(..) {
+                if *prob < 1.0 {
+                    split.push((db.clone(), p * (1.0 - prob)));
+                }
+                if *prob > 0.0 {
+                    let mut with = db;
+                    let rel = with.relation_mut(relation).unwrap();
+                    if !rel.contains(tuple) {
+                        rel.push(tuple.clone()).unwrap();
+                    }
+                    split.push((with, p * prob));
+                }
+            }
+            *worlds = split;
+            Some(1.0)
+        }
+        UpdateExpr::Delete { relation, pred } => {
+            for (db, _) in worlds.iter_mut() {
+                let rel = db.relation_mut(relation).unwrap();
+                let schema = rel.schema().clone();
+                rel.retain(|t| !pred.eval(&schema, t).unwrap());
+            }
+            Some(1.0)
+        }
+        UpdateExpr::Modify {
+            relation,
+            pred,
+            assignments,
+        } => {
+            for (db, _) in worlds.iter_mut() {
+                let rel = db.relation_mut(relation).unwrap();
+                let schema = rel.schema().clone();
+                let positions: Vec<usize> = assignments
+                    .iter()
+                    .map(|(a, _)| schema.position(a).unwrap())
+                    .collect();
+                let matches: Vec<bool> = rel
+                    .rows()
+                    .iter()
+                    .map(|t| pred.eval(&schema, t).unwrap())
+                    .collect();
+                for (row, matched) in rel.rows_mut().iter_mut().zip(matches) {
+                    if matched {
+                        for (pos, (_, value)) in positions.iter().zip(assignments) {
+                            row.set(*pos, value.clone());
+                        }
+                    }
+                }
+                rel.dedup();
+            }
+            Some(1.0)
+        }
+        UpdateExpr::Condition { constraints } => {
+            let satisfied = |db: &Database| {
+                constraints
+                    .iter()
+                    .all(|dep| maybms::baselines::explicit::world_satisfies(db, dep).unwrap())
+            };
+            let total: f64 = worlds.iter().map(|(_, p)| p).sum();
+            worlds.retain(|(db, _)| satisfied(db));
+            let mass: f64 = worlds.iter().map(|(_, p)| p).sum();
+            if worlds.is_empty() || mass <= 0.0 {
+                return None;
+            }
+            for (_, p) in worlds.iter_mut() {
+                *p /= mass;
+            }
+            Some(mass / total)
+        }
+    }
+}
+
+/// The possible tuples of a relation across an explicit world list, sorted.
+pub fn oracle_possible_in(worlds: &[(Database, f64)], relation: &str) -> BTreeSet<Tuple> {
+    worlds
+        .iter()
+        .flat_map(|(db, _)| db.relation(relation).unwrap().rows().iter().cloned())
+        .collect()
+}
+
+/// The possible answer tuples of a query across an explicit world list.
+pub fn oracle_possible_query(worlds: &[(Database, f64)], query: &RaExpr) -> BTreeSet<Tuple> {
+    worlds
+        .iter()
+        .flat_map(|(db, _)| {
+            maybms::relational::evaluate_set(db, query)
+                .unwrap()
+                .into_rows()
+        })
+        .collect()
 }
 
 pub fn plan_has_difference(expr: &RaExpr) -> bool {

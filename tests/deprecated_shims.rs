@@ -54,3 +54,35 @@ fn urel_shim_matches_the_session_path() {
     shim_rows.sort();
     assert_eq!(shim_rows, session_rows(udb));
 }
+
+#[test]
+fn conditional_condition_shim_matches_the_session_path() {
+    let constraint = Dependency::Egd(EqualityGeneratingDependency::implies(
+        "R",
+        "S",
+        785i64,
+        "M",
+        CmpOp::Eq,
+        1i64,
+    ));
+    // Old calling convention: the free function mutating the WSD in place.
+    let mut shimmed = maybms::core::wsd::example_census_wsd();
+    let shim_mass =
+        maybms::core::conditional::condition(&mut shimmed, std::slice::from_ref(&constraint))
+            .unwrap();
+    // New calling convention: the session's conditioning verb.
+    let mut session = Session::new(maybms::core::wsd::example_census_wsd());
+    let session_mass = session
+        .condition(std::slice::from_ref(&constraint))
+        .unwrap();
+    assert!((shim_mass - session_mass).abs() < 1e-12);
+    let conditioned = session.into_backend();
+    assert!(shimmed
+        .rep()
+        .unwrap()
+        .same_worlds(&conditioned.rep().unwrap()));
+    assert!(shimmed
+        .rep()
+        .unwrap()
+        .same_distribution(&conditioned.rep().unwrap(), 1e-9));
+}

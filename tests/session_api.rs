@@ -176,3 +176,136 @@ fn confidence_and_streaming_agree_on_the_census_example() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Update-driven plan-cache invalidation.
+// ---------------------------------------------------------------------------
+
+/// An update touching a cached plan's base relation evicts exactly that
+/// entry: re-preparing the plan is a cache *miss* (the optimizer runs
+/// again), while plans over untouched relations stay cached.
+#[test]
+fn updates_invalidate_cached_plans_by_touched_relation() {
+    let mut rng = StdRng::seed_from_u64(0xCAC4E);
+    let wsd = random_wsd(&mut rng);
+    let mut session = Session::over(AnyBackend::from(wsd));
+
+    let over_r = session
+        .prepare(q("R").select(Predicate::eq_const("A", 1i64)))
+        .unwrap();
+    let over_s = session.prepare(q("S")).unwrap();
+    assert_eq!(session.stats().plans_prepared, 2);
+    assert_eq!(session.cached_plans(), 2);
+    assert_eq!(session.cached_fingerprints().len(), 2);
+
+    // An update on S leaves the R plan cached…
+    session
+        .apply(&maybms::UpdateExpr::insert("S", Tuple::from_iter([7i64])))
+        .unwrap();
+    assert_eq!(session.stats().plans_invalidated, 1);
+    assert!(session
+        .cached_fingerprints()
+        .contains(&over_r.fingerprint()));
+    assert!(!session
+        .cached_fingerprints()
+        .contains(&over_s.fingerprint()));
+    session
+        .prepare(q("R").select(Predicate::eq_const("A", 1i64)))
+        .unwrap();
+    assert_eq!(
+        session.stats().cache_hits,
+        1,
+        "the R plan must still be a cache hit after an S update"
+    );
+
+    // …while an update on R forces a re-prepare of the R plan.
+    session
+        .apply(&maybms::UpdateExpr::delete(
+            "R",
+            Predicate::eq_const("A", 0i64),
+        ))
+        .unwrap();
+    assert!(!session
+        .cached_fingerprints()
+        .contains(&over_r.fingerprint()));
+    let before = session.stats();
+    session
+        .prepare(q("R").select(Predicate::eq_const("A", 1i64)))
+        .unwrap();
+    let after = session.stats();
+    assert_eq!(
+        (after.plans_prepared, after.cache_hits),
+        (before.plans_prepared + 1, before.cache_hits),
+        "re-preparing the R plan after an R update must miss the cache"
+    );
+    assert_eq!(after.updates_applied, 2);
+}
+
+/// Conditioning reweights every correlated relation, so it clears the whole
+/// plan cache; plans over joins are evicted when either operand is touched.
+#[test]
+fn conditioning_and_joins_invalidate_conservatively() {
+    let mut rng = StdRng::seed_from_u64(0xCAC4F);
+    let wsd = random_wsd(&mut rng);
+    let mut session = Session::over(AnyBackend::from(wsd));
+
+    let join = session
+        .prepare(
+            q("R").product(q("S").rename("C", "C2")), // touches R and S
+        )
+        .unwrap();
+    session.prepare(q("S")).unwrap();
+    assert_eq!(session.cached_plans(), 2);
+
+    // Updating R evicts the join (it reads R) but not the S-only plan.
+    session
+        .apply(&maybms::UpdateExpr::insert(
+            "R",
+            Tuple::from_iter([1i64, 1]),
+        ))
+        .unwrap();
+    assert!(!session.cached_fingerprints().contains(&join.fingerprint()));
+    assert_eq!(session.cached_plans(), 1);
+
+    // Conditioning clears everything.
+    session.prepare(q("R")).unwrap();
+    assert_eq!(session.cached_plans(), 2);
+    session.condition(&[]).unwrap();
+    assert_eq!(session.cached_plans(), 0);
+    assert_eq!(session.stats().plans_invalidated, 3);
+    let summary = session.summary();
+    assert!(summary.contains("updates-applied=2"));
+}
+
+/// The staleness rule of `Session::apply`: scratch results that outlive
+/// their cursor on component-sharing backends are dropped by the next
+/// update, so update-heavy sessions do not accumulate scratch relations.
+#[test]
+fn apply_drops_stale_scratch_results() {
+    let mut rng = StdRng::seed_from_u64(0xCAC50);
+    let wsd = random_wsd(&mut rng);
+    let baseline = wsd.relation_names().len();
+    let mut session = Session::new(wsd);
+
+    // Streamed results stay registered on the WSD backend (it is not
+    // self-contained)…
+    let plan = session.prepare(q("R").project(["A"])).unwrap();
+    let _rows: Vec<Tuple> = session.execute(&plan).unwrap().collect();
+    let materialized = session.materialize(&plan).unwrap();
+    assert!(session.backend().contains_relation(&materialized));
+    assert!(session.backend().relation_names().len() > baseline);
+
+    // …until an update invalidates them.
+    session
+        .apply(&maybms::UpdateExpr::insert("S", Tuple::from_iter([3i64])))
+        .unwrap();
+    assert!(
+        !session.backend().contains_relation(&materialized),
+        "apply must drop stale materialized results"
+    );
+    assert_eq!(
+        session.backend().relation_names().len(),
+        baseline,
+        "apply must drop every stale scratch result"
+    );
+}

@@ -250,7 +250,11 @@ fn chase_agrees_between_representations() {
         let uwsdt_result = maybms::uwsdt::chase::chase(&mut uwsdt, &dependencies);
         match (wsd_result, uwsdt_result) {
             (Err(WsError::Inconsistent), Err(UwsdtError::Inconsistent)) => {}
-            (Ok(_mass), Ok(())) => {
+            (Ok(wsd_mass), Ok(uwsdt_mass)) => {
+                assert!(
+                    (wsd_mass - uwsdt_mass).abs() < 1e-9,
+                    "chases report different surviving masses: {wsd_mass} vs {uwsdt_mass}"
+                );
                 let expected = wsd.rep().unwrap();
                 let actual = world_set_of_uwsdt(&uwsdt);
                 assert!(expected.same_worlds(&actual));
