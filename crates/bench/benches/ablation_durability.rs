@@ -1,0 +1,181 @@
+//! Ablation: the cost of durability per backend — snapshot save (encode) and
+//! load (decode + validate), WAL record append, and full recovery (newest
+//! snapshot + WAL-tail replay) throughput.
+//!
+//! All groups run over the in-memory medium so the numbers isolate the
+//! codec/replay work of `ws-storage` from disk hardware; the WAL group uses
+//! `Wal::append` directly (framing + CRC + medium append), and the recovery
+//! group opens a pre-built store image per iteration.
+//!
+//! Run with: `cargo bench -p ws-bench --bench ablation_durability`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maybms::{AnyBackend, Durable, Persist, UpdateExpr};
+use std::time::Duration;
+use ws_bench::is_quick;
+use ws_core::{FieldId, Wsd};
+use ws_relational::{Predicate, Tuple, Value};
+use ws_storage::snapshot::write_snapshot;
+use ws_storage::vfs::MemVfs;
+use ws_storage::wal::Wal;
+
+/// A WSD over R[A, B, C] with `tuples` slots and an uncertain `A` every
+/// tenth tuple — the sparse-uncertainty shape of the census workload (same
+/// generator as `ablation_updates`).
+fn synthetic_wsd(tuples: usize) -> Wsd {
+    let mut wsd = Wsd::new();
+    wsd.register_relation("R", &["A", "B", "C"], tuples)
+        .unwrap();
+    for t in 0..tuples {
+        for (i, attr) in ["A", "B", "C"].iter().enumerate() {
+            let field = FieldId::new("R", t, *attr);
+            let base = (t * 3 + i) as i64 % 10;
+            if i == 0 && t % 10 == 0 {
+                wsd.set_uniform(
+                    field,
+                    vec![Value::int(base), Value::int(base + 1), Value::int(base + 2)],
+                )
+                .unwrap();
+            } else {
+                wsd.set_certain(field, Value::int(base)).unwrap();
+            }
+        }
+    }
+    wsd
+}
+
+/// One world of the WSD without enumerating the others.
+fn one_world(wsd: &Wsd) -> ws_relational::Database {
+    let mut db = ws_relational::Database::new();
+    for name in wsd.relation_names() {
+        let meta = wsd.meta(name).unwrap();
+        let mut rel = ws_relational::Relation::new(meta.schema(name));
+        for t in meta.live_tuples() {
+            let values: Vec<Value> = meta
+                .attrs
+                .iter()
+                .map(|a| {
+                    wsd.possible_values(&FieldId::new(name, t, a.as_ref()))
+                        .unwrap()
+                        .into_iter()
+                        .next()
+                        .unwrap()
+                })
+                .collect();
+            rel.push(Tuple::new(values)).unwrap();
+        }
+        db.insert_relation(rel);
+    }
+    db
+}
+
+/// The decomposed backends plus the single-world floor (the explicit
+/// world-enumeration oracle is excluded — the synthetic sizes describe far
+/// too many worlds to materialize).
+fn backends(wsd: &Wsd) -> Vec<(&'static str, AnyBackend)> {
+    vec![
+        ("database", AnyBackend::from(one_world(wsd))),
+        ("wsd", AnyBackend::from(wsd.clone())),
+        ("uwsdt", AnyBackend::from(ws_uwsdt::from_wsd(wsd).unwrap())),
+        ("urel", AnyBackend::from(ws_urel::from_wsd(wsd).unwrap())),
+    ]
+}
+
+/// The update batch every WAL/recovery iteration logs and replays.
+fn update_batch(tuples: usize) -> Vec<UpdateExpr> {
+    vec![
+        UpdateExpr::insert("R", Tuple::from_iter([9_000i64, 9_001, 9_002])),
+        UpdateExpr::insert_possible("R", Tuple::from_iter([9_100i64, 9_101, 9_102]), 0.5),
+        UpdateExpr::delete("R", Predicate::eq_const("B", 4i64)),
+        UpdateExpr::modify(
+            "R",
+            Predicate::eq_const("A", (tuples as i64) % 7),
+            vec![("C".to_string(), Value::int(-1))],
+        ),
+    ]
+}
+
+/// A pre-built store image: snapshot generation 0 plus a logged batch
+/// (applied through the durable write path so the log is authentic).
+fn store_image(backend: &AnyBackend, updates: &[UpdateExpr]) -> MemVfs {
+    let vfs = MemVfs::new();
+    let mut durable = Durable::create(Box::new(vfs.clone()), backend.clone()).unwrap();
+    for update in updates {
+        if matches!(backend, AnyBackend::Db(_))
+            && matches!(update, UpdateExpr::InsertPossible { prob, .. } if *prob < 1.0)
+        {
+            continue; // a single world cannot split
+        }
+        maybms::apply_update(&mut durable, update).unwrap();
+    }
+    vfs
+}
+
+fn bench_durability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("durability");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let sizes: &[usize] = if is_quick() { &[50] } else { &[50, 200, 500] };
+    for &tuples in sizes {
+        let wsd = synthetic_wsd(tuples);
+        let updates = update_batch(tuples);
+        for (name, backend) in backends(&wsd) {
+            // Snapshot save: full state encode + framing + atomic write.
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/snapshot_save"), tuples),
+                &backend,
+                |b, backend| {
+                    b.iter(|| {
+                        let mut vfs = MemVfs::new();
+                        write_snapshot(&mut vfs, 0, backend).unwrap();
+                        vfs.bytes("snapshot-0000000000000000.ws").unwrap().len()
+                    })
+                },
+            );
+            // Snapshot load: decode + structural validation.
+            let image = backend.encode_to_vec();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/snapshot_load"), tuples),
+                &image,
+                |b, image| {
+                    b.iter(|| AnyBackend::decode_from_slice(image).unwrap());
+                },
+            );
+            // WAL append: frame + checksum + medium append per record.
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/wal_append"), tuples),
+                &updates,
+                |b, updates| {
+                    b.iter(|| {
+                        let mut vfs = MemVfs::new();
+                        let mut wal = Wal::reset(&mut vfs, 0).unwrap();
+                        let mut bytes = 0usize;
+                        for update in updates.iter() {
+                            bytes += wal.append(&mut vfs, update).unwrap();
+                        }
+                        bytes
+                    })
+                },
+            );
+            // Recovery: newest snapshot + replay of the logged batch.
+            let store = store_image(&backend, &updates);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/recovery"), tuples),
+                &store,
+                |b, store| {
+                    b.iter(|| {
+                        let recovered =
+                            Durable::<AnyBackend>::open(Box::new(store.fork())).unwrap();
+                        recovered.stats().recovered_records
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_durability);
+criterion_main!(benches);

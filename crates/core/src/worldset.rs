@@ -49,6 +49,17 @@ impl WorldSet {
         WorldSet { worlds: merged }
     }
 
+    /// Rebuild a world-set from an already-merged world list *without* the
+    /// quadratic duplicate merge of [`WorldSet::from_weighted_worlds`].
+    ///
+    /// Used by the persistence codec, whose input is the verbatim
+    /// [`WorldSet::worlds`] slice of a live world-set: re-merging would be
+    /// wasted work and could reorder worlds, and the decoded state must be
+    /// structurally identical to the encoded one.
+    pub fn from_raw_worlds(worlds: Vec<(Database, f64)>) -> Self {
+        WorldSet { worlds }
+    }
+
     /// The worlds with their probabilities.
     pub fn worlds(&self) -> &[(Database, f64)] {
         &self.worlds

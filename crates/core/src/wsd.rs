@@ -421,6 +421,58 @@ impl Wsd {
     }
 
     // ------------------------------------------------------------------
+    // Raw structural access (the persistence layer's codec surface)
+    // ------------------------------------------------------------------
+
+    /// The raw component slot array, including the `None` holes left behind
+    /// by composition and removal.  The slot *indices* are part of the
+    /// structural identity of the decomposition (field coverage is recorded
+    /// per slot), so the persistence codec serializes this array verbatim
+    /// rather than the compacted [`Wsd::components`] view.
+    pub fn raw_components(&self) -> &[Option<Component>] {
+        &self.components
+    }
+
+    /// Iterate over `(name, metadata)` of every registered relation, in
+    /// sorted name order.
+    pub fn relation_metas(&self) -> impl Iterator<Item = (&str, &RelationMeta)> {
+        self.relations.iter().map(|(n, m)| (n.as_str(), m))
+    }
+
+    /// Rebuild a WSD from its raw parts: the relation metadata and the
+    /// component slot array exactly as [`Wsd::relation_metas`] and
+    /// [`Wsd::raw_components`] exposed them.  The field index is
+    /// reconstructed from the component schemas; the result is validated, so
+    /// a corrupted snapshot (double-covered or uncovered fields, bad
+    /// probabilities) is rejected instead of silently accepted.
+    pub fn from_raw_parts(
+        relations: Vec<(String, RelationMeta)>,
+        components: Vec<Option<Component>>,
+    ) -> Result<Wsd> {
+        let mut wsd = Wsd::new();
+        for (name, meta) in relations {
+            if wsd.relations.insert(name.clone(), meta).is_some() {
+                return Err(WsError::invalid(format!(
+                    "relation `{name}` appears twice in the raw parts"
+                )));
+            }
+        }
+        for (slot, component) in components.iter().enumerate() {
+            let Some(component) = component else { continue };
+            for f in &component.fields {
+                if wsd.field_index.insert(f.clone(), slot).is_some() {
+                    return Err(WsError::invalid(format!(
+                        "field {f} is covered by two components in the raw parts"
+                    )));
+                }
+            }
+        }
+        wsd.components = components;
+        wsd.validate()?;
+        Ok(wsd)
+    }
+
+    // ------------------------------------------------------------------
     // Validation
     // ------------------------------------------------------------------
 

@@ -9,6 +9,7 @@
 use std::fmt;
 use ws_core::WsError;
 use ws_relational::RelationalError;
+use ws_storage::{DurableError, StorageError};
 use ws_urel::UrelError;
 use ws_uwsdt::UwsdtError;
 
@@ -31,6 +32,9 @@ pub enum ErrorKind {
     Uwsdt(UwsdtError),
     /// An error surfaced from the U-relation layer.
     Urel(UrelError),
+    /// An error surfaced from the persistence layer (snapshot/WAL I/O,
+    /// corruption, format drift) of a durable session.
+    Storage(StorageError),
     /// Anything else worth reporting with a message.
     Other(String),
 }
@@ -43,6 +47,7 @@ impl fmt::Display for ErrorKind {
             ErrorKind::Ws(e) => write!(f, "{e}"),
             ErrorKind::Uwsdt(e) => write!(f, "{e}"),
             ErrorKind::Urel(e) => write!(f, "{e}"),
+            ErrorKind::Storage(e) => write!(f, "{e}"),
             ErrorKind::Other(msg) => write!(f, "{msg}"),
         }
     }
@@ -141,6 +146,23 @@ impl From<UwsdtError> for Error {
 impl From<UrelError> for Error {
     fn from(e: UrelError) -> Self {
         Error::new(ErrorKind::Urel(e))
+    }
+}
+
+impl From<StorageError> for Error {
+    fn from(e: StorageError) -> Self {
+        Error::new(ErrorKind::Storage(e))
+    }
+}
+
+/// A durable backend's error is either the wrapped backend's own diagnosis
+/// (converted as usual) or a persistence failure.
+impl<E: Into<Error>> From<DurableError<E>> for Error {
+    fn from(e: DurableError<E>) -> Self {
+        match e {
+            DurableError::Backend(e) => e.into(),
+            DurableError::Storage(e) => e.into(),
+        }
     }
 }
 

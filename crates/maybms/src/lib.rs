@@ -58,6 +58,10 @@
 //! * [`uwsdt`] — the uniform, RDBMS-friendly representation used at scale,
 //! * [`urel`] — U-relations, the intensional (blow-up-free) refinement the
 //!   paper points to for join-heavy workloads,
+//! * [`storage`] — durability: a hand-rolled binary codec for every
+//!   representation, atomic snapshots and the update-language write-ahead
+//!   log behind [`Session::open_durable`] / [`Session::checkpoint`] (see
+//!   the [`durable`] module),
 //! * [`census`] — the synthetic IPUMS-like evaluation workload,
 //! * [`apps`] — the §10 application scenarios (minimal repairs / consistent
 //!   query answering, linked medical data), and
@@ -84,6 +88,7 @@
 //! new-API migration table.
 
 pub mod builder;
+pub mod durable;
 pub mod error;
 pub mod session;
 
@@ -94,12 +99,14 @@ pub use session::{
     DEFAULT_BATCH_SIZE,
 };
 pub use ws_core::ops::update::{apply_update, UpdateExpr};
+pub use ws_storage::{DurabilityStats, Durable, Persist, StorageError};
 
 pub use ws_apps as apps;
 pub use ws_baselines as baselines;
 pub use ws_census as census;
 pub use ws_core as core;
 pub use ws_relational as relational;
+pub use ws_storage as storage;
 pub use ws_urel as urel;
 pub use ws_uwsdt as uwsdt;
 
@@ -137,6 +144,9 @@ pub mod prelude {
         engine, evaluate_query, evaluate_query_with, world_satisfies, CmpOp, Cursor, Database,
         EngineConfig, ExecContext, Predicate, QueryBackend, RaExpr, Relation, Schema,
         SchemaCatalog, Tuple, Value, WorkerPool, WriteBackend,
+    };
+    pub use ws_storage::{
+        DirVfs, DurabilityStats, Durable, DurableError, MemVfs, Persist, StorageError, Vfs,
     };
     pub use ws_urel::{UDatabase, URelation, WsDescriptor};
     pub use ws_uwsdt::{

@@ -51,6 +51,7 @@ use ws_relational::{
     fingerprint, optimizer, Database, Dependency, Predicate, RaExpr, Schema, Tuple, Value,
     WorkerPool, WriteBackend,
 };
+use ws_storage::DurabilityStats;
 use ws_urel::UDatabase;
 use ws_uwsdt::Uwsdt;
 
@@ -117,6 +118,14 @@ pub trait SessionBackend: QueryBackend {
     ) -> Result<Vec<(Tuple, f64)>> {
         let _ = config;
         self.confidence_rows(out, pool)
+    }
+
+    /// The durability counters of a persistent backend; `None` for the
+    /// in-memory representations.  [`Session::stats`] folds these into
+    /// [`SessionStats`] so WAL and checkpoint activity shows up next to the
+    /// query counters.
+    fn durability(&self) -> Option<DurabilityStats> {
+        None
     }
 }
 
@@ -526,6 +535,15 @@ pub struct SessionStats {
     /// Prepared-plan cache entries evicted because an update touched one of
     /// their base relations.
     pub plans_invalidated: u64,
+    /// Write-ahead-log records appended since the last checkpoint (durable
+    /// sessions only; 0 on in-memory backends).
+    pub wal_records: u64,
+    /// Write-ahead-log bytes appended since the last checkpoint (durable
+    /// sessions only).
+    pub wal_bytes: u64,
+    /// Checkpoints taken through [`Session::checkpoint`] (durable sessions
+    /// only).
+    pub checkpoints: u64,
 }
 
 impl fmt::Display for SessionStats {
@@ -533,13 +551,17 @@ impl fmt::Display for SessionStats {
         write!(
             f,
             "plans-prepared={} cache-hits={} executions={} rows-streamed={} \
-             updates-applied={} plans-invalidated={}",
+             updates-applied={} plans-invalidated={} wal-records={} wal-bytes={} \
+             checkpoints={}",
             self.plans_prepared,
             self.cache_hits,
             self.executions,
             self.rows_streamed,
             self.updates_applied,
             self.plans_invalidated,
+            self.wal_records,
+            self.wal_bytes,
+            self.checkpoints,
         )
     }
 }
@@ -631,9 +653,16 @@ where
     }
 
     /// Lifetime counters: plans prepared, cache hits, executions, rows
-    /// streamed.
+    /// streamed — plus, on durable sessions, the WAL/checkpoint counters of
+    /// the persistence layer.
     pub fn stats(&self) -> SessionStats {
-        self.stats
+        let mut stats = self.stats;
+        if let Some(durability) = self.backend.durability() {
+            stats.wal_records = durability.wal_records;
+            stats.wal_bytes = durability.wal_bytes;
+            stats.checkpoints = durability.checkpoints;
+        }
+        stats
     }
 
     /// A one-line description of the session for bench output: backend,
@@ -643,7 +672,7 @@ where
             "backend={} {} | {} cached-plans={}",
             self.backend.backend_name(),
             self.config.summary(),
-            self.stats,
+            self.stats(),
             self.plans.len(),
         )
     }
@@ -838,6 +867,16 @@ where
             self.live_results.retain(|r| r != out);
         }
     }
+
+    /// Drop every scratch result still registered in the backend — the
+    /// staleness rule's cleanup before updates, and the pre-checkpoint sweep
+    /// of durable sessions (a snapshot must never embalm a session scratch
+    /// relation).
+    pub(crate) fn drop_live_results(&mut self) {
+        for out in std::mem::take(&mut self.live_results) {
+            self.backend.drop_scratch(&out);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -877,9 +916,7 @@ where
         // Drop stale scratch results *before* mutating: on component-sharing
         // backends a registered result relation would otherwise be updated
         // (and, under conditioning, chased) along with the base relations.
-        for out in std::mem::take(&mut self.live_results) {
-            self.backend.drop_scratch(&out);
-        }
+        self.drop_live_results();
         let mass = apply_update(&mut self.backend, update)
             .map_err(|e| Into::<Error>::into(e).with_plan(update))?;
         self.stats.updates_applied += 1;

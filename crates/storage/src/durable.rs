@@ -1,0 +1,618 @@
+//! [`Durable<B>`]: the log-then-apply wrapper that makes any
+//! [`WriteBackend`] survive a process crash.
+//!
+//! Write path — every update verb:
+//!
+//! 1. encodes itself as one CRC-framed [`crate::wal`] record and appends it
+//!    to the log (**log first**),
+//! 2. then applies through the wrapped backend's existing [`WriteBackend`]
+//!    verb (**apply second**).
+//!
+//! If the log write fails, the backend is untouched.  If the process dies
+//! after the log write, recovery replays the record — applying it then has
+//! the same (deterministic) outcome it would have had live, *including* a
+//! deterministic failure: a conditioning step that emptied the world-set
+//! errored live, and it errors identically on replay, leaving the state
+//! bit-identical to the crashed process's.
+//!
+//! Read path ([`ws_relational::QueryBackend`]) is pass-through: queries only
+//! materialize scratch relations, which are never logged and never
+//! snapshotted (see [`Persist::scrub_scratch`]).
+//!
+//! [`Durable::checkpoint`] writes snapshot generation `g+1` atomically, then
+//! resets the log to `g+1`; [`Durable::open`] loads the newest valid
+//! snapshot and replays whatever log tail extends it.  The crash-safety
+//! argument for every interleaving is in the [`crate::wal`] docs.
+
+use crate::error::{DurableError, Result, StorageError};
+use crate::persist::Persist;
+use crate::snapshot;
+use crate::vfs::{DirVfs, Vfs};
+use crate::wal::{Wal, WAL_HEADER_LEN};
+use std::fmt;
+use std::path::Path;
+use ws_core::ops::update::{apply_update, UpdateExpr};
+use ws_relational::engine::{ExecContext, QueryBackend, SchemaCatalog, WriteBackend};
+use ws_relational::{Dependency, Predicate, Schema, Tuple, Value};
+
+/// Durability counters, surfaced through `maybms::SessionStats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Records appended to the WAL since the last checkpoint (after
+    /// recovery: the replayed tail it opened with).
+    pub wal_records: u64,
+    /// Bytes appended to the WAL since the last checkpoint.
+    pub wal_bytes: u64,
+    /// Checkpoints taken through this handle.
+    pub checkpoints: u64,
+    /// The snapshot generation the log currently extends.
+    pub snapshot_generation: u64,
+    /// WAL records replayed by the last [`Durable::open`].
+    pub recovered_records: u64,
+    /// Replayed records whose application failed live too (deterministic
+    /// failures such as an inconsistency-reporting conditioning step).
+    pub replayed_failures: u64,
+    /// Torn trailing bytes truncated off the WAL on open.
+    pub torn_bytes_truncated: u64,
+}
+
+/// A write-ahead-logged, snapshot-checkpointed backend.
+/// When WAL appends reach stable storage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// fsync after every appended record (default): an update acknowledged
+    /// with `Ok` survives a power cut, not just a process crash.
+    #[default]
+    EveryRecord,
+    /// Only flush to the OS per record; fsync happens at
+    /// [`Durable::checkpoint`], [`Durable::sync`] and [`Durable::close`].
+    /// Faster, but acknowledged updates between syncs can be lost to a
+    /// power cut (never torn — the per-record CRC still truncates cleanly).
+    OnCheckpoint,
+}
+
+pub struct Durable<B> {
+    inner: B,
+    vfs: Box<dyn Vfs>,
+    wal: Wal,
+    stats: DurabilityStats,
+    sync_policy: SyncPolicy,
+    /// Set when the log and the snapshot line diverged (a checkpoint wrote
+    /// its snapshot but could not reset the log): further appends would be
+    /// silently discarded by recovery, so the write path refuses them.
+    poisoned: Option<String>,
+}
+
+impl<B> fmt::Debug for Durable<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Durable")
+            .field("generation", &self.wal.generation())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<B: Persist + WriteBackend + Clone> Durable<B> {
+    /// Initialize a fresh store on `vfs`: snapshot generation 0 of the given
+    /// backend (scrubbed of scratch relations) plus an empty log.
+    ///
+    /// Refuses a medium that already holds a store (any snapshot file):
+    /// writing generation 0 next to existing higher generations would make
+    /// the *old* state win the next recovery and silently discard
+    /// everything logged through this handle.  Recover an existing store
+    /// with [`Durable::open`], or remove its files explicitly first.
+    pub fn create(mut vfs: Box<dyn Vfs>, backend: B) -> Result<Self> {
+        let existing: Vec<String> = vfs
+            .list()?
+            .into_iter()
+            .filter(|name| snapshot::parse_snapshot_name(name).is_some())
+            .collect();
+        if !existing.is_empty() {
+            return Err(StorageError::corrupt(format!(
+                "refusing to initialize over an existing store (found {}); \
+                 open it with Durable::open or delete it first",
+                existing.join(", ")
+            )));
+        }
+        let mut scrubbed = backend.clone();
+        scrubbed.scrub_scratch();
+        snapshot::write_snapshot(vfs.as_mut(), 0, &scrubbed)?;
+        let wal = Wal::reset(vfs.as_mut(), 0)?;
+        Ok(Durable {
+            inner: backend,
+            vfs,
+            wal,
+            stats: DurabilityStats::default(),
+            sync_policy: SyncPolicy::default(),
+            poisoned: None,
+        })
+    }
+
+    /// [`Durable::create`] on a filesystem directory.
+    pub fn create_dir(dir: impl AsRef<Path>, backend: B) -> Result<Self> {
+        Self::create(Box::new(DirVfs::open(dir.as_ref())?), backend)
+    }
+
+    /// Snapshot the current state (scrubbed of scratch relations) as the
+    /// next generation and reset the log.  Returns the new generation.
+    ///
+    /// If the snapshot lands but the log reset fails, the handle is
+    /// **poisoned**: recovery would load the new snapshot and discard the
+    /// stale-generation log, so accepting further appends would silently
+    /// lose them — the write path refuses instead (reads keep working, and
+    /// everything logged so far is safely inside the new snapshot).
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        let mut scrubbed = self.inner.clone();
+        scrubbed.scrub_scratch();
+        let generation = self.wal.generation() + 1;
+        snapshot::write_snapshot(self.vfs.as_mut(), generation, &scrubbed)?;
+        match Wal::reset(self.vfs.as_mut(), generation) {
+            Ok(wal) => self.wal = wal,
+            Err(e) => {
+                self.poisoned = Some(format!(
+                    "snapshot generation {generation} is durable but the log \
+                     could not be reset to it: {e}"
+                ));
+                return Err(e);
+            }
+        }
+        snapshot::prune_old(self.vfs.as_mut(), generation);
+        self.stats.checkpoints += 1;
+        self.stats.snapshot_generation = generation;
+        self.stats.wal_records = 0;
+        self.stats.wal_bytes = 0;
+        Ok(generation)
+    }
+}
+
+impl<B: Persist + WriteBackend> Durable<B> {
+    /// Recover a store from `vfs`: load the newest valid snapshot, truncate
+    /// the WAL's torn tail, and replay the remaining records through the
+    /// wrapped backend's own [`WriteBackend`] verbs.
+    pub fn open(mut vfs: Box<dyn Vfs>) -> Result<Self> {
+        let (generation, mut inner) = snapshot::load_newest::<B>(vfs.as_mut())?;
+        let (wal, scanned) = Wal::open(vfs.as_mut(), generation)?;
+        let mut stats = DurabilityStats {
+            snapshot_generation: generation,
+            recovered_records: scanned.records.len() as u64,
+            torn_bytes_truncated: scanned.torn_bytes as u64,
+            wal_records: scanned.records.len() as u64,
+            wal_bytes: scanned.valid_len.saturating_sub(WAL_HEADER_LEN) as u64,
+            ..DurabilityStats::default()
+        };
+        for record in &scanned.records {
+            // A record that failed live fails identically on replay (the
+            // verbs are deterministic); reproducing the failure reproduces
+            // the crashed process's state, so replay continues past it.
+            if apply_update(&mut inner, &record.update).is_err() {
+                stats.replayed_failures += 1;
+            }
+        }
+        Ok(Durable {
+            inner,
+            vfs,
+            wal,
+            stats,
+            sync_policy: SyncPolicy::default(),
+            poisoned: None,
+        })
+    }
+
+    /// [`Durable::open`] on a filesystem directory.
+    pub fn open_dir(dir: impl AsRef<Path>) -> Result<Self> {
+        Self::open(Box::new(DirVfs::open(dir.as_ref())?))
+    }
+}
+
+impl<B> Durable<B> {
+    /// Shared access to the wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped backend.
+    ///
+    /// Mutations made through this handle **bypass the log** and will not
+    /// survive recovery until the next [`Durable::checkpoint`]; it exists
+    /// for read-side engine plumbing and representation inspection.
+    pub fn inner_mut(&mut self) -> &mut B {
+        &mut self.inner
+    }
+
+    /// Tear the wrapper down without syncing, handing the backend back.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+
+    /// The snapshot generation the log currently extends.
+    pub fn generation(&self) -> u64 {
+        self.wal.generation()
+    }
+
+    /// The durability counters.
+    pub fn stats(&self) -> DurabilityStats {
+        self.stats
+    }
+
+    /// Force the log to stable storage (fsync).
+    pub fn sync(&mut self) -> Result<()> {
+        self.wal.sync(self.vfs.as_mut())
+    }
+
+    /// Flush and fsync the log, surfacing I/O errors, then hand the backend
+    /// back — the drop-with-result teardown `Session::close` builds on.
+    pub fn close(mut self) -> Result<B> {
+        self.wal.sync(self.vfs.as_mut())?;
+        Ok(self.inner)
+    }
+
+    /// How WAL appends reach stable storage (default:
+    /// [`SyncPolicy::EveryRecord`]).
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.sync_policy
+    }
+
+    /// Trade per-update fsyncs for throughput (see [`SyncPolicy`]).
+    pub fn set_sync_policy(&mut self, policy: SyncPolicy) {
+        self.sync_policy = policy;
+    }
+
+    /// Append one record to the log (the *log* half of log-then-apply).
+    fn log(&mut self, update: &UpdateExpr) -> std::result::Result<(), StorageError> {
+        if let Some(why) = &self.poisoned {
+            return Err(StorageError::io(format!(
+                "store refuses writes: {why}; reopen it to resume"
+            )));
+        }
+        let bytes = self.wal.append(self.vfs.as_mut(), update)?;
+        if self.sync_policy == SyncPolicy::EveryRecord {
+            self.wal.sync(self.vfs.as_mut())?;
+        }
+        self.stats.wal_records += 1;
+        self.stats.wal_bytes += bytes as u64;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine plumbing: reads pass through, writes log first.
+// ---------------------------------------------------------------------------
+
+impl<B: SchemaCatalog> SchemaCatalog for Durable<B> {
+    fn schema_of(&self, relation: &str) -> ws_relational::Result<Schema> {
+        self.inner.schema_of(relation)
+    }
+
+    fn contains_relation(&self, relation: &str) -> bool {
+        self.inner.contains_relation(relation)
+    }
+}
+
+impl<B: QueryBackend> QueryBackend for Durable<B> {
+    type Error = DurableError<B::Error>;
+
+    fn materialize_base(&mut self, name: &str, out: &str) -> std::result::Result<(), Self::Error> {
+        self.inner
+            .materialize_base(name, out)
+            .map_err(DurableError::Backend)
+    }
+
+    fn apply_select(
+        &mut self,
+        input: &str,
+        pred: &Predicate,
+        out: &str,
+        ctx: &mut ExecContext,
+    ) -> std::result::Result<(), Self::Error> {
+        self.inner
+            .apply_select(input, pred, out, ctx)
+            .map_err(DurableError::Backend)
+    }
+
+    fn apply_project(
+        &mut self,
+        input: &str,
+        attrs: &[String],
+        out: &str,
+        ctx: &mut ExecContext,
+    ) -> std::result::Result<(), Self::Error> {
+        self.inner
+            .apply_project(input, attrs, out, ctx)
+            .map_err(DurableError::Backend)
+    }
+
+    fn apply_product(
+        &mut self,
+        left: &str,
+        right: &str,
+        out: &str,
+        ctx: &mut ExecContext,
+    ) -> std::result::Result<(), Self::Error> {
+        self.inner
+            .apply_product(left, right, out, ctx)
+            .map_err(DurableError::Backend)
+    }
+
+    fn apply_equi_join(
+        &mut self,
+        left: &str,
+        right: &str,
+        left_attr: &str,
+        right_attr: &str,
+        out: &str,
+        ctx: &mut ExecContext,
+    ) -> std::result::Result<(), Self::Error> {
+        self.inner
+            .apply_equi_join(left, right, left_attr, right_attr, out, ctx)
+            .map_err(DurableError::Backend)
+    }
+
+    fn apply_union(
+        &mut self,
+        left: &str,
+        right: &str,
+        out: &str,
+    ) -> std::result::Result<(), Self::Error> {
+        self.inner
+            .apply_union(left, right, out)
+            .map_err(DurableError::Backend)
+    }
+
+    fn apply_difference(
+        &mut self,
+        left: &str,
+        right: &str,
+        out: &str,
+    ) -> std::result::Result<(), Self::Error> {
+        self.inner
+            .apply_difference(left, right, out)
+            .map_err(DurableError::Backend)
+    }
+
+    fn apply_rename(
+        &mut self,
+        input: &str,
+        from: &str,
+        to: &str,
+        out: &str,
+    ) -> std::result::Result<(), Self::Error> {
+        self.inner
+            .apply_rename(input, from, to, out)
+            .map_err(DurableError::Backend)
+    }
+
+    fn drop_scratch(&mut self, name: &str) {
+        self.inner.drop_scratch(name);
+    }
+}
+
+impl<B: WriteBackend> WriteBackend for Durable<B> {
+    fn insert_certain(
+        &mut self,
+        relation: &str,
+        tuple: &Tuple,
+    ) -> std::result::Result<(), Self::Error> {
+        self.log(&UpdateExpr::insert(relation, tuple.clone()))?;
+        self.inner
+            .insert_certain(relation, tuple)
+            .map_err(DurableError::Backend)
+    }
+
+    fn insert_possible(
+        &mut self,
+        relation: &str,
+        tuple: &Tuple,
+        prob: f64,
+    ) -> std::result::Result<(), Self::Error> {
+        self.log(&UpdateExpr::insert_possible(relation, tuple.clone(), prob))?;
+        self.inner
+            .insert_possible(relation, tuple, prob)
+            .map_err(DurableError::Backend)
+    }
+
+    fn delete_where(
+        &mut self,
+        relation: &str,
+        pred: &Predicate,
+    ) -> std::result::Result<(), Self::Error> {
+        self.log(&UpdateExpr::delete(relation, pred.clone()))?;
+        self.inner
+            .delete_where(relation, pred)
+            .map_err(DurableError::Backend)
+    }
+
+    fn modify_where(
+        &mut self,
+        relation: &str,
+        pred: &Predicate,
+        assignments: &[(String, Value)],
+    ) -> std::result::Result<(), Self::Error> {
+        self.log(&UpdateExpr::modify(
+            relation,
+            pred.clone(),
+            assignments.to_vec(),
+        ))?;
+        self.inner
+            .modify_where(relation, pred, assignments)
+            .map_err(DurableError::Backend)
+    }
+
+    fn apply_condition(
+        &mut self,
+        constraints: &[Dependency],
+    ) -> std::result::Result<f64, Self::Error> {
+        self.log(&UpdateExpr::condition(constraints.to_vec()))?;
+        self.inner
+            .apply_condition(constraints)
+            .map_err(DurableError::Backend)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemVfs;
+    use ws_core::Wsd;
+    use ws_relational::{CmpOp, EqualityGeneratingDependency};
+
+    fn boxed(vfs: &MemVfs) -> Box<dyn Vfs> {
+        Box::new(vfs.clone())
+    }
+
+    #[test]
+    fn updates_survive_a_reopen() {
+        let vfs = MemVfs::new();
+        let wsd = ws_core::wsd::example_census_wsd();
+        let mut durable = Durable::create(boxed(&vfs), wsd.clone()).unwrap();
+        durable
+            .insert_certain(
+                "R",
+                &Tuple::from_iter([Value::int(999), Value::text("New"), Value::int(1)]),
+            )
+            .unwrap();
+        durable
+            .delete_where("R", &Predicate::eq_const("N", "Smith"))
+            .unwrap();
+        let live = durable.inner().rep().unwrap();
+        assert_eq!(durable.stats().wal_records, 2);
+
+        let recovered = Durable::<Wsd>::open(boxed(&vfs)).unwrap();
+        assert_eq!(recovered.stats().recovered_records, 2);
+        assert_eq!(recovered.stats().replayed_failures, 0);
+        let rec = recovered.inner().rep().unwrap();
+        assert!(live.same_worlds(&rec) && live.same_distribution(&rec, 0.0));
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_log_and_bumps_the_generation() {
+        let vfs = MemVfs::new();
+        let wsd = ws_core::wsd::example_census_wsd();
+        let mut durable = Durable::create(boxed(&vfs), wsd).unwrap();
+        durable
+            .modify_where(
+                "R",
+                &Predicate::eq_const("S", 785i64),
+                &[("M".to_string(), Value::int(1))],
+            )
+            .unwrap();
+        assert_eq!(durable.checkpoint().unwrap(), 1);
+        let stats = durable.stats();
+        assert_eq!((stats.wal_records, stats.checkpoints), (0, 1));
+        let live = durable.inner().rep().unwrap();
+
+        let recovered = Durable::<Wsd>::open(boxed(&vfs)).unwrap();
+        assert_eq!(recovered.generation(), 1);
+        assert_eq!(recovered.stats().recovered_records, 0);
+        assert!(live.same_distribution(&recovered.inner().rep().unwrap(), 0.0));
+    }
+
+    #[test]
+    fn an_inconsistent_condition_replays_as_the_same_failure() {
+        let vfs = MemVfs::new();
+        let wsd = ws_core::wsd::example_census_wsd();
+        let mut durable = Durable::create(boxed(&vfs), wsd).unwrap();
+        // No world satisfies S=185 ⇒ M > 100.
+        let impossible = Dependency::Egd(EqualityGeneratingDependency::implies(
+            "R",
+            "N",
+            "Smith",
+            "M",
+            CmpOp::Gt,
+            100i64,
+        ));
+        assert!(durable
+            .apply_condition(std::slice::from_ref(&impossible))
+            .is_err());
+        let live = durable.inner().clone();
+
+        let recovered = Durable::<Wsd>::open(boxed(&vfs)).unwrap();
+        assert_eq!(recovered.stats().replayed_failures, 1);
+        // The failure left the same (partially chased) state behind.
+        assert_eq!(recovered.inner().encode_to_vec(), live.encode_to_vec());
+    }
+
+    #[test]
+    fn failed_log_writes_never_touch_the_backend() {
+        let vfs = MemVfs::new();
+        let wsd = ws_core::wsd::example_census_wsd();
+        let mut durable = Durable::create(boxed(&vfs), wsd.clone()).unwrap();
+        vfs.set_write_budget(Some(3));
+        let err = durable
+            .insert_certain(
+                "R",
+                &Tuple::from_iter([Value::int(1), Value::text("x"), Value::int(1)]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DurableError::Storage(_)));
+        assert_eq!(durable.inner().world_count(), wsd.world_count());
+        vfs.set_write_budget(None);
+
+        // The torn record is truncated away on the next open, leaving the
+        // snapshot state.
+        let recovered = Durable::<Wsd>::open(boxed(&vfs)).unwrap();
+        assert_eq!(recovered.stats().recovered_records, 0);
+        assert!(recovered.stats().torn_bytes_truncated > 0);
+    }
+
+    #[test]
+    fn create_refuses_an_existing_store() {
+        let vfs = MemVfs::new();
+        let wsd = ws_core::wsd::example_census_wsd();
+        let mut durable = Durable::create(boxed(&vfs), wsd.clone()).unwrap();
+        durable.checkpoint().unwrap();
+        // Re-initializing over generations {0, 1} would make the old state
+        // win the next recovery; it must be refused, store intact.
+        let err = Durable::create(boxed(&vfs), wsd).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)), "got {err}");
+        let reopened = Durable::<Wsd>::open(boxed(&vfs)).unwrap();
+        assert_eq!(reopened.generation(), 1);
+    }
+
+    #[test]
+    fn a_failed_log_reset_poisons_the_write_path() {
+        let vfs = MemVfs::new();
+        let wsd = ws_core::wsd::example_census_wsd();
+        let mut durable = Durable::create(boxed(&vfs), wsd.clone()).unwrap();
+        // Budget exactly the next snapshot image: the checkpoint's snapshot
+        // lands, the 20-byte log reset tears.
+        let image = crate::snapshot::encode_snapshot(1, &wsd);
+        vfs.set_write_budget(Some(image.len()));
+        assert!(durable.checkpoint().is_err());
+        vfs.set_write_budget(None);
+        // Appends are refused — recovery would discard them silently.
+        let err = durable
+            .insert_certain(
+                "R",
+                &Tuple::from_iter([Value::int(1), Value::text("x"), Value::int(1)]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DurableError::Storage(_)), "got {err}");
+        assert_eq!(durable.inner().world_count(), wsd.world_count());
+        // Reopening resumes from the durable snapshot.
+        let reopened = Durable::<Wsd>::open(boxed(&vfs)).unwrap();
+        assert_eq!(reopened.generation(), 1);
+        assert_eq!(reopened.stats().recovered_records, 0);
+    }
+
+    #[test]
+    fn sync_policy_defaults_to_every_record() {
+        let vfs = MemVfs::new();
+        let wsd = ws_core::wsd::example_census_wsd();
+        let mut durable = Durable::create(boxed(&vfs), wsd).unwrap();
+        assert_eq!(durable.sync_policy(), SyncPolicy::EveryRecord);
+        durable.set_sync_policy(SyncPolicy::OnCheckpoint);
+        durable
+            .delete_where("R", &Predicate::eq_const("N", "Smith"))
+            .unwrap();
+        assert_eq!(durable.stats().wal_records, 1);
+    }
+
+    #[test]
+    fn close_surfaces_sync_and_hands_the_backend_back() {
+        let vfs = MemVfs::new();
+        let wsd = ws_core::wsd::example_census_wsd();
+        let durable = Durable::create(boxed(&vfs), wsd.clone()).unwrap();
+        let back = durable.close().unwrap();
+        assert_eq!(back.world_count(), wsd.world_count());
+    }
+}

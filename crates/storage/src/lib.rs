@@ -1,0 +1,57 @@
+//! # ws-storage — durable snapshots + a write-ahead log of the update
+//! language
+//!
+//! Every representation in this stack lived and died in RAM: the paper's
+//! pitch is managing 10^(10^6) worlds *as a database system*, and a database
+//! system survives a restart.  MayBMS inherited durability from the host
+//! RDBMS it compiled into; the five native backends here (single-world
+//! [`ws_relational::Database`], [`ws_core::Wsd`], [`ws_uwsdt::Uwsdt`],
+//! [`ws_urel::UDatabase`], explicit [`ws_core::WorldSet`]) need their own
+//! persistence subsystem.  This crate is that subsystem, in three layers:
+//!
+//! * [`codec`] + [`persist`] — a versioned, hand-rolled binary codec (the
+//!   build is offline, so no serde) with exact round-trip
+//!   `decode(encode(x)) == x` for all five representations *and* for the
+//!   PR 4 update language ([`ws_core::ops::update::UpdateExpr`],
+//!   dependencies, predicates), which is exactly the logical-operation
+//!   vocabulary a WAL should record.
+//! * [`snapshot`] + [`wal`] — atomic, checksummed snapshot files
+//!   (write-temp → fsync → rename) and a CRC-per-record write-ahead log
+//!   with torn-tail truncation on open, over a tiny [`vfs::Vfs`] medium
+//!   abstraction (a real directory, or a fault-injecting in-memory medium
+//!   the crash-recovery differential suite uses to cut the power after
+//!   every WAL-record prefix).
+//! * [`durable`] — [`Durable<B>`]: log-then-apply on every
+//!   [`ws_relational::WriteBackend`] verb, `checkpoint()` = snapshot + log
+//!   truncation, `open()` = newest valid snapshot + WAL-tail replay through
+//!   the backend's own verbs.
+//!
+//! `maybms::Session::open_durable` mounts the whole thing behind the session
+//! API, so `session.apply(...)` is write-ahead logged without the caller
+//! doing anything.
+//!
+//! ## Recovery contract
+//!
+//! After a crash at *any* byte boundary, `open()` reconstructs exactly the
+//! state whose updates were fully logged: the newest intact snapshot plus
+//! every intact WAL record, in order, including deterministic failures
+//! (a conditioning step that reported inconsistency live fails identically
+//! on replay).  This is proven per backend by the repository-level
+//! `tests/durability_equivalence.rs` differential suite against the
+//! in-memory oracle.
+
+pub mod codec;
+pub mod crc32;
+pub mod durable;
+pub mod error;
+pub mod persist;
+pub mod snapshot;
+pub mod vfs;
+pub mod wal;
+
+pub use crc32::crc32;
+pub use durable::{DurabilityStats, Durable, SyncPolicy};
+pub use error::{DurableError, StorageError};
+pub use persist::Persist;
+pub use vfs::{DirVfs, MemVfs, Vfs};
+pub use wal::{Wal, WalRecord, WalScan};

@@ -1,0 +1,244 @@
+//! The [`Persist`] trait: what a backend must provide to be snapshotted.
+//!
+//! Each of the five possible-worlds representations encodes its *entire*
+//! state (catalog + uncertainty structure) behind a one-byte representation
+//! tag, so a snapshot file is self-describing: the reader learns which
+//! backend it holds from the payload itself.  `maybms::AnyBackend` uses the
+//! tag to dispatch its decode.
+
+use crate::codec::{self, Reader, Writer};
+use crate::error::{Result, StorageError};
+use ws_core::{WorldSet, Wsd};
+use ws_relational::Database;
+use ws_urel::UDatabase;
+use ws_uwsdt::Uwsdt;
+
+/// Representation tag of a single-world [`Database`].
+pub const TAG_DATABASE: u8 = 1;
+/// Representation tag of a [`Wsd`].
+pub const TAG_WSD: u8 = 2;
+/// Representation tag of a [`Uwsdt`].
+pub const TAG_UWSDT: u8 = 3;
+/// Representation tag of a [`UDatabase`] (U-relations).
+pub const TAG_UREL: u8 = 4;
+/// Representation tag of an explicit [`WorldSet`].
+pub const TAG_WORLDS: u8 = 5;
+
+/// A backend state the durability layer can snapshot and recover.
+pub trait Persist: Sized {
+    /// Append the representation tag plus the full state to `w`.
+    fn encode_state(&self, w: &mut Writer);
+
+    /// Decode a state previously written by [`Persist::encode_state`].
+    /// Concrete representations reject a foreign tag; dynamic wrappers
+    /// (`maybms::AnyBackend`) dispatch on it.
+    fn decode_state(r: &mut Reader) -> Result<Self>;
+
+    /// Drop `__`-prefixed scratch relations (executor temporaries, session
+    /// result relations) before the state is persisted, so a checkpoint
+    /// taken mid-stream never embalms a scratch relation.  Called on a
+    /// *clone* of the live state by [`crate::Durable::checkpoint`].
+    fn scrub_scratch(&mut self);
+
+    /// Encode to a standalone byte vector.
+    fn encode_to_vec(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decode from a standalone byte slice, rejecting trailing garbage.
+    fn decode_from_slice(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let state = Self::decode_state(&mut r)?;
+        r.finish("backend state")?;
+        Ok(state)
+    }
+}
+
+fn expect_tag(r: &mut Reader, expected: u8, what: &str) -> Result<()> {
+    let tag = r.u8("representation tag")?;
+    if tag != expected {
+        return Err(StorageError::corrupt(format!(
+            "snapshot holds representation tag {tag}, expected {expected} ({what})"
+        )));
+    }
+    Ok(())
+}
+
+/// The names a scrub must drop: every relation whose name carries the shared
+/// `__` scratch prefix of the engine's temporary allocator.
+fn scratch_names<'a>(names: impl IntoIterator<Item = &'a str>) -> Vec<String> {
+    names
+        .into_iter()
+        .filter(|n| n.starts_with("__"))
+        .map(str::to_string)
+        .collect()
+}
+
+impl Persist for Database {
+    fn encode_state(&self, w: &mut Writer) {
+        w.u8(TAG_DATABASE);
+        codec::enc_database(w, self);
+    }
+
+    fn decode_state(r: &mut Reader) -> Result<Self> {
+        expect_tag(r, TAG_DATABASE, "database")?;
+        codec::dec_database(r)
+    }
+
+    fn scrub_scratch(&mut self) {
+        for name in scratch_names(self.relation_names()) {
+            self.remove_relation(&name);
+        }
+    }
+}
+
+impl Persist for Wsd {
+    fn encode_state(&self, w: &mut Writer) {
+        w.u8(TAG_WSD);
+        codec::enc_wsd(w, self);
+    }
+
+    fn decode_state(r: &mut Reader) -> Result<Self> {
+        expect_tag(r, TAG_WSD, "wsd")?;
+        codec::dec_wsd(r)
+    }
+
+    fn scrub_scratch(&mut self) {
+        // `drop_relation` removes the relation's columns from shared
+        // components, preserving the correlations of everything else.
+        for name in scratch_names(self.relation_names()) {
+            let _ = self.drop_relation(&name);
+        }
+    }
+}
+
+impl Persist for Uwsdt {
+    fn encode_state(&self, w: &mut Writer) {
+        w.u8(TAG_UWSDT);
+        codec::enc_uwsdt(w, self);
+    }
+
+    fn decode_state(r: &mut Reader) -> Result<Self> {
+        expect_tag(r, TAG_UWSDT, "uwsdt")?;
+        codec::dec_uwsdt(r)
+    }
+
+    fn scrub_scratch(&mut self) {
+        for name in scratch_names(self.relation_names()) {
+            let _ = self.drop_relation(&name);
+        }
+    }
+}
+
+impl Persist for UDatabase {
+    fn encode_state(&self, w: &mut Writer) {
+        w.u8(TAG_UREL);
+        codec::enc_udatabase(w, self);
+    }
+
+    fn decode_state(r: &mut Reader) -> Result<Self> {
+        expect_tag(r, TAG_UREL, "urel")?;
+        codec::dec_udatabase(r)
+    }
+
+    fn scrub_scratch(&mut self) {
+        for name in scratch_names(self.relation_names()) {
+            self.remove_relation(&name);
+        }
+    }
+}
+
+impl Persist for WorldSet {
+    fn encode_state(&self, w: &mut Writer) {
+        w.u8(TAG_WORLDS);
+        codec::enc_worldset(w, self);
+    }
+
+    fn decode_state(r: &mut Reader) -> Result<Self> {
+        expect_tag(r, TAG_WORLDS, "worlds")?;
+        codec::dec_worldset(r)
+    }
+
+    fn scrub_scratch(&mut self) {
+        let names: Vec<String> = match self.worlds().first() {
+            Some((db, _)) => scratch_names(db.relation_names()),
+            None => Vec::new(),
+        };
+        for name in names {
+            ws_relational::QueryBackend::drop_scratch(self, &name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ws_relational::{Relation, Schema};
+
+    #[test]
+    fn all_five_representations_roundtrip_with_their_own_tag() {
+        let wsd = ws_core::wsd::example_census_wsd();
+        let db = wsd.enumerate_worlds(1 << 20).unwrap()[0].0.clone();
+        let uwsdt = ws_uwsdt::from_wsd(&wsd).unwrap();
+        let urel = ws_urel::from_wsd(&wsd).unwrap();
+        let worlds = wsd.rep().unwrap();
+
+        let bytes = db.encode_to_vec();
+        assert_eq!(bytes[0], TAG_DATABASE);
+        assert_eq!(Database::decode_from_slice(&bytes).unwrap(), db);
+
+        let bytes = wsd.encode_to_vec();
+        assert_eq!(bytes[0], TAG_WSD);
+        let decoded = Wsd::decode_from_slice(&bytes).unwrap();
+        assert_eq!(decoded.encode_to_vec(), bytes);
+
+        let bytes = uwsdt.encode_to_vec();
+        assert_eq!(bytes[0], TAG_UWSDT);
+        let decoded = Uwsdt::decode_from_slice(&bytes).unwrap();
+        assert_eq!(decoded.encode_to_vec(), bytes);
+
+        let bytes = urel.encode_to_vec();
+        assert_eq!(bytes[0], TAG_UREL);
+        assert_eq!(UDatabase::decode_from_slice(&bytes).unwrap(), urel);
+
+        let bytes = worlds.encode_to_vec();
+        assert_eq!(bytes[0], TAG_WORLDS);
+        let decoded = WorldSet::decode_from_slice(&bytes).unwrap();
+        assert_eq!(decoded.encode_to_vec(), bytes);
+
+        // Foreign tags are rejected.
+        assert!(Wsd::decode_from_slice(&db.encode_to_vec()).is_err());
+        assert!(Database::decode_from_slice(&worlds.encode_to_vec()).is_err());
+    }
+
+    #[test]
+    fn scrubbing_drops_only_scratch_relations() {
+        let mut db = Database::new();
+        let mut base = Relation::new(Schema::new("R", &["A"]).unwrap());
+        base.push_values([1i64]).unwrap();
+        db.insert_relation(base);
+        let mut scratch = Relation::new(Schema::new("__session_q0", &["A"]).unwrap());
+        scratch.push_values([2i64]).unwrap();
+        db.insert_relation(scratch);
+        db.scrub_scratch();
+        assert_eq!(db.relation_names(), vec!["R"]);
+
+        // On a WSD the scratch result shares components with the base
+        // relation; scrubbing must leave the base world-set intact.
+        let mut wsd = ws_core::wsd::example_census_wsd();
+        let before = wsd.rep().unwrap();
+        ws_relational::engine::evaluate_query(
+            &mut wsd,
+            &ws_relational::RaExpr::rel("R").project(vec!["S"]),
+            "__scratch_out",
+        )
+        .unwrap();
+        assert!(wsd.contains_relation("__scratch_out"));
+        wsd.scrub_scratch();
+        assert!(!wsd.contains_relation("__scratch_out"));
+        wsd.validate().unwrap();
+        assert!(before.same_worlds(&wsd.rep().unwrap()));
+    }
+}

@@ -1,0 +1,230 @@
+//! Snapshot files: one whole backend state, atomically replaced, checksummed.
+//!
+//! ```text
+//! snapshot-<generation, 16 hex digits>.ws
+//! ┌────────────┬─────────┬────────────┬─────────────┬─────────┬───────┐
+//! │ magic (8B) │ version │ generation │ payload len │ payload │ crc32 │
+//! │ "WSSNAP01" │ u32     │ u64        │ u64         │ …       │ u32   │
+//! └────────────┴─────────┴────────────┴─────────────┴─────────┴───────┘
+//! ```
+//!
+//! The payload is a [`Persist::encode_state`] rendering (tag byte + backend
+//! state); the CRC-32 covers exactly the payload.  Writing goes through
+//! [`Vfs::write_atomic`] (write temp → fsync → rename → fsync dir), so a
+//! crash mid-checkpoint leaves the previous generation untouched.  Recovery
+//! walks the generations newest-first and takes the first snapshot that
+//! passes magic, version, checksum and decode — a half-written or corrupted
+//! newest snapshot falls back to its predecessor.
+
+use crate::codec::{Reader, Writer};
+use crate::crc32::crc32;
+use crate::error::{Result, StorageError};
+use crate::persist::Persist;
+use crate::vfs::Vfs;
+
+/// File-format magic of snapshot files.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"WSSNAP01";
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+/// How many generations to keep on disk (the newest plus one fallback).
+pub const SNAPSHOTS_KEPT: usize = 2;
+
+/// The file name of a generation's snapshot.
+pub fn snapshot_name(generation: u64) -> String {
+    format!("snapshot-{generation:016x}.ws")
+}
+
+/// Parse a snapshot file name back into its generation.
+pub fn parse_snapshot_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("snapshot-")?.strip_suffix(".ws")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Serialize one backend state into a self-contained snapshot image.
+pub fn encode_snapshot<B: Persist>(generation: u64, backend: &B) -> Vec<u8> {
+    let payload = backend.encode_to_vec();
+    let mut w = Writer::new();
+    w.raw(SNAPSHOT_MAGIC);
+    w.u32(SNAPSHOT_VERSION);
+    w.u64(generation);
+    w.len_of(payload.len());
+    let crc = crc32(&payload);
+    w.raw(&payload);
+    w.u32(crc);
+    w.into_bytes()
+}
+
+/// Verify and decode a snapshot image, returning its generation and state.
+pub fn decode_snapshot<B: Persist>(bytes: &[u8]) -> Result<(u64, B)> {
+    let mut r = Reader::new(bytes);
+    let magic = r.take(8, "snapshot magic")?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(StorageError::corrupt("bad snapshot magic"));
+    }
+    let version = r.u32("snapshot version")?;
+    if version != SNAPSHOT_VERSION {
+        return Err(StorageError::unsupported(format!(
+            "snapshot format version {version}, this build speaks {SNAPSHOT_VERSION}"
+        )));
+    }
+    let generation = r.u64("snapshot generation")?;
+    let len = r.len_of("snapshot payload length")?;
+    let payload = r.take(len, "snapshot payload")?;
+    let crc = r.u32("snapshot checksum")?;
+    r.finish("snapshot")?;
+    if crc32(payload) != crc {
+        return Err(StorageError::corrupt(format!(
+            "snapshot generation {generation} fails its checksum"
+        )));
+    }
+    let backend = B::decode_from_slice(payload)?;
+    Ok((generation, backend))
+}
+
+/// Write generation `generation`'s snapshot atomically.
+pub fn write_snapshot<B: Persist>(vfs: &mut dyn Vfs, generation: u64, backend: &B) -> Result<()> {
+    let image = encode_snapshot(generation, backend);
+    vfs.write_atomic(&snapshot_name(generation), &image)
+}
+
+/// Load the newest valid snapshot: generations are tried newest-first, and
+/// invalid images (torn, corrupt, wrong version) are skipped with their
+/// diagnosis collected — recovery fails only if *no* generation is readable.
+pub fn load_newest<B: Persist>(vfs: &mut dyn Vfs) -> Result<(u64, B)> {
+    let mut generations: Vec<u64> = vfs
+        .list()?
+        .iter()
+        .filter_map(|name| parse_snapshot_name(name))
+        .collect();
+    generations.sort_unstable_by(|a, b| b.cmp(a));
+    if generations.is_empty() {
+        return Err(StorageError::not_found(
+            "no snapshot file; initialize the store with Durable::create first",
+        ));
+    }
+    let mut diagnoses = Vec::new();
+    for generation in generations {
+        let Some(bytes) = vfs.read(&snapshot_name(generation))? else {
+            continue;
+        };
+        match decode_snapshot::<B>(&bytes) {
+            Ok((encoded_generation, backend)) => {
+                if encoded_generation != generation {
+                    diagnoses.push(format!(
+                        "generation {generation}: header says {encoded_generation}"
+                    ));
+                    continue;
+                }
+                return Ok((generation, backend));
+            }
+            Err(e) => diagnoses.push(format!("generation {generation}: {e}")),
+        }
+    }
+    Err(StorageError::corrupt(format!(
+        "every snapshot failed validation: {}",
+        diagnoses.join("; ")
+    )))
+}
+
+/// Best-effort removal of snapshots older than the newest [`SNAPSHOTS_KEPT`].
+pub fn prune_old(vfs: &mut dyn Vfs, newest: u64) {
+    let Ok(names) = vfs.list() else { return };
+    for name in names {
+        if let Some(generation) = parse_snapshot_name(&name) {
+            if generation + SNAPSHOTS_KEPT as u64 <= newest {
+                let _ = vfs.remove(&name);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemVfs;
+    use ws_relational::Database;
+
+    fn db() -> Database {
+        let wsd = ws_core::wsd::example_census_wsd();
+        wsd.enumerate_worlds(1 << 20).unwrap()[0].0.clone()
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        assert_eq!(parse_snapshot_name(&snapshot_name(0)), Some(0));
+        assert_eq!(
+            parse_snapshot_name(&snapshot_name(u64::MAX)),
+            Some(u64::MAX)
+        );
+        assert_eq!(parse_snapshot_name("wal.log"), None);
+        assert_eq!(parse_snapshot_name("snapshot-zz.ws"), None);
+    }
+
+    #[test]
+    fn newest_valid_snapshot_wins_and_corruption_falls_back() {
+        let mut vfs = MemVfs::new();
+        let old = db();
+        let mut new = old.clone();
+        new.remove_relation("R");
+        write_snapshot(&mut vfs, 1, &old).unwrap();
+        write_snapshot(&mut vfs, 2, &new).unwrap();
+
+        let (generation, loaded): (u64, Database) = load_newest(&mut vfs).unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(loaded, new);
+
+        // Flip one payload byte of generation 2: the checksum rejects it and
+        // recovery falls back to generation 1.
+        let mut bytes = vfs.bytes(&snapshot_name(2)).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        vfs.put(&snapshot_name(2), bytes);
+        let (generation, loaded): (u64, Database) = load_newest(&mut vfs).unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(loaded, old);
+    }
+
+    #[test]
+    fn empty_store_and_total_corruption_are_distinct_errors() {
+        let mut vfs = MemVfs::new();
+        assert!(matches!(
+            load_newest::<Database>(&mut vfs),
+            Err(StorageError::NotFound(_))
+        ));
+        vfs.put(&snapshot_name(3), b"garbage".to_vec());
+        assert!(matches!(
+            load_newest::<Database>(&mut vfs),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn pruning_keeps_the_newest_two() {
+        let mut vfs = MemVfs::new();
+        for generation in 0..5 {
+            write_snapshot(&mut vfs, generation, &db()).unwrap();
+        }
+        prune_old(&mut vfs, 4);
+        let mut left: Vec<u64> = vfs
+            .list()
+            .unwrap()
+            .iter()
+            .filter_map(|n| parse_snapshot_name(n))
+            .collect();
+        left.sort_unstable();
+        assert_eq!(left, vec![3, 4]);
+    }
+
+    #[test]
+    fn version_drift_is_reported_as_unsupported() {
+        let mut image = encode_snapshot(0, &db());
+        image[8] = 99; // version byte
+        assert!(matches!(
+            decode_snapshot::<Database>(&image),
+            Err(StorageError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,373 @@
+//! The storage medium abstraction.
+//!
+//! Durability code never touches `std::fs` directly — it goes through the
+//! tiny [`Vfs`] trait, with two implementations:
+//!
+//! * [`DirVfs`] — one real directory.  `write_atomic` is the classic
+//!   crash-safe sequence *write temp file → fsync → rename over the target →
+//!   fsync the directory*, and WAL appends keep one open handle per file.
+//! * [`MemVfs`] — an in-memory directory with **fault injection**: a byte
+//!   budget after which writes are torn mid-way, exactly like a crash that
+//!   interrupts an append.  The differential crash-recovery suite uses it to
+//!   simulate a power cut after every WAL-record prefix without ever
+//!   touching a disk.
+//!
+//! File *names* are flat (no subdirectories); the durability layer only ever
+//! uses its own fixed names (`wal.log`, `snapshot-*.ws`).
+
+use crate::error::{Result, StorageError};
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// A flat, crash-aware file namespace.
+pub trait Vfs {
+    /// Read a whole file; `None` if it does not exist.
+    fn read(&mut self, name: &str) -> Result<Option<Vec<u8>>>;
+
+    /// Atomically replace a file's contents: after this returns, a crash at
+    /// any point leaves either the old bytes or the new bytes, never a mix.
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<()>;
+
+    /// Append bytes to a file (created if absent).  *Not* atomic — a crash
+    /// can tear the tail, which is exactly what the WAL's per-record CRC and
+    /// open-time truncation recover from.
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<()>;
+
+    /// Truncate a file to `len` bytes (used to drop a torn WAL tail).
+    fn truncate(&mut self, name: &str, len: u64) -> Result<()>;
+
+    /// Flush a file's bytes to stable storage (fsync).
+    fn sync(&mut self, name: &str) -> Result<()>;
+
+    /// Remove a file if it exists.
+    fn remove(&mut self, name: &str) -> Result<()>;
+
+    /// The names currently present, in sorted order.
+    fn list(&mut self) -> Result<Vec<String>>;
+}
+
+// ---------------------------------------------------------------------------
+// The real directory.
+// ---------------------------------------------------------------------------
+
+/// A [`Vfs`] over one filesystem directory (created on construction).
+#[derive(Debug)]
+pub struct DirVfs {
+    dir: PathBuf,
+    /// Cached append handles (the WAL appends record by record; reopening
+    /// the file per record would double the syscall cost of every update).
+    handles: HashMap<String, File>,
+}
+
+impl DirVfs {
+    /// Open (creating if needed) a directory as a storage namespace.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StorageError::io(format!("create {}: {e}", dir.display())))?;
+        Ok(DirVfs {
+            dir,
+            handles: HashMap::new(),
+        })
+    }
+
+    /// The directory this namespace lives in.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    /// Fsync the directory itself so a rename survives a crash.
+    fn sync_dir(&self) -> Result<()> {
+        let dir = File::open(&self.dir)
+            .map_err(|e| StorageError::io(format!("open dir {}: {e}", self.dir.display())))?;
+        dir.sync_all()
+            .map_err(|e| StorageError::io(format!("fsync dir {}: {e}", self.dir.display())))
+    }
+}
+
+impl Vfs for DirVfs {
+    fn read(&mut self, name: &str) -> Result<Option<Vec<u8>>> {
+        match std::fs::read(self.path(name)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(StorageError::io(format!("read {name}: {e}"))),
+        }
+    }
+
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<()> {
+        self.handles.remove(name);
+        let tmp = self.path(&format!("{name}.tmp"));
+        let target = self.path(name);
+        let mut f = File::create(&tmp)
+            .map_err(|e| StorageError::io(format!("create {}: {e}", tmp.display())))?;
+        f.write_all(bytes)
+            .map_err(|e| StorageError::io(format!("write {}: {e}", tmp.display())))?;
+        f.sync_all()
+            .map_err(|e| StorageError::io(format!("fsync {}: {e}", tmp.display())))?;
+        drop(f);
+        std::fs::rename(&tmp, &target).map_err(|e| {
+            StorageError::io(format!(
+                "rename {} -> {}: {e}",
+                tmp.display(),
+                target.display()
+            ))
+        })?;
+        self.sync_dir()
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<()> {
+        if !self.handles.contains_key(name) {
+            let f = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.path(name))
+                .map_err(|e| StorageError::io(format!("open {name} for append: {e}")))?;
+            self.handles.insert(name.to_string(), f);
+        }
+        let f = self.handles.get_mut(name).expect("just inserted");
+        f.write_all(bytes)
+            .map_err(|e| StorageError::io(format!("append {name}: {e}")))?;
+        f.flush()
+            .map_err(|e| StorageError::io(format!("flush {name}: {e}")))
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> Result<()> {
+        self.handles.remove(name);
+        let f = OpenOptions::new()
+            .write(true)
+            .open(self.path(name))
+            .map_err(|e| StorageError::io(format!("open {name} for truncate: {e}")))?;
+        f.set_len(len)
+            .map_err(|e| StorageError::io(format!("truncate {name}: {e}")))?;
+        f.sync_all()
+            .map_err(|e| StorageError::io(format!("fsync {name}: {e}")))
+    }
+
+    fn sync(&mut self, name: &str) -> Result<()> {
+        if let Some(f) = self.handles.get_mut(name) {
+            return f
+                .sync_all()
+                .map_err(|e| StorageError::io(format!("fsync {name}: {e}")));
+        }
+        match File::open(self.path(name)) {
+            Ok(f) => f
+                .sync_all()
+                .map_err(|e| StorageError::io(format!("fsync {name}: {e}"))),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StorageError::io(format!("open {name} for fsync: {e}"))),
+        }
+    }
+
+    fn remove(&mut self, name: &str) -> Result<()> {
+        self.handles.remove(name);
+        match std::fs::remove_file(self.path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StorageError::io(format!("remove {name}: {e}"))),
+        }
+    }
+
+    fn list(&mut self) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| StorageError::io(format!("list {}: {e}", self.dir.display())))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| StorageError::io(format!("list entry: {e}")))?;
+            if entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+                if let Ok(name) = entry.file_name().into_string() {
+                    out.push(name);
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The in-memory, fault-injecting directory.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct MemState {
+    files: BTreeMap<String, Vec<u8>>,
+    /// Remaining write budget in bytes; `None` = unlimited.  When a write
+    /// exceeds it, the budget's worth of bytes land (a *torn* write) and the
+    /// operation errors — the moral equivalent of the power going out.
+    budget: Option<usize>,
+}
+
+/// An in-memory [`Vfs`].  Clones share the same underlying state, so a test
+/// can keep a handle for inspection (or byte surgery) while a
+/// [`crate::Durable`] owns another.
+#[derive(Clone, Debug, Default)]
+pub struct MemVfs {
+    state: Arc<Mutex<MemState>>,
+}
+
+impl MemVfs {
+    /// An empty in-memory namespace with no fault injection.
+    pub fn new() -> Self {
+        MemVfs::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemState> {
+        self.state.lock().expect("MemVfs poisoned")
+    }
+
+    /// Arm the fault injector: after `bytes` more written bytes, writes tear.
+    pub fn set_write_budget(&self, bytes: Option<usize>) {
+        self.lock().budget = bytes;
+    }
+
+    /// A copy of a file's bytes, if present.
+    pub fn bytes(&self, name: &str) -> Option<Vec<u8>> {
+        self.lock().files.get(name).cloned()
+    }
+
+    /// Overwrite a file directly (test byte surgery; bypasses the budget).
+    pub fn put(&self, name: &str, bytes: Vec<u8>) {
+        self.lock().files.insert(name.to_string(), bytes);
+    }
+
+    /// A deep, *independent* copy of the current state (the "disk image" a
+    /// simulated crash freezes): further writes through `self` do not affect
+    /// the copy.
+    pub fn fork(&self) -> MemVfs {
+        let state = self.lock();
+        MemVfs {
+            state: Arc::new(Mutex::new(MemState {
+                files: state.files.clone(),
+                budget: None,
+            })),
+        }
+    }
+
+    /// Charge `want` bytes against the budget; returns how many may land.
+    fn charge(state: &mut MemState, want: usize) -> (usize, bool) {
+        match state.budget {
+            None => (want, true),
+            Some(left) if left >= want => {
+                state.budget = Some(left - want);
+                (want, true)
+            }
+            Some(left) => {
+                state.budget = Some(0);
+                (left, false)
+            }
+        }
+    }
+}
+
+impl Vfs for MemVfs {
+    fn read(&mut self, name: &str) -> Result<Option<Vec<u8>>> {
+        Ok(self.lock().files.get(name).cloned())
+    }
+
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<()> {
+        let mut state = self.lock();
+        let (_, ok) = MemVfs::charge(&mut state, bytes.len());
+        if !ok {
+            // Atomic contract: a torn atomic write leaves the old contents.
+            return Err(StorageError::io(format!(
+                "injected fault during atomic write of {name}"
+            )));
+        }
+        state.files.insert(name.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<()> {
+        let mut state = self.lock();
+        let (landed, ok) = MemVfs::charge(&mut state, bytes.len());
+        let file = state.files.entry(name.to_string()).or_default();
+        file.extend_from_slice(&bytes[..landed]);
+        if ok {
+            Ok(())
+        } else {
+            Err(StorageError::io(format!(
+                "injected fault tore an append to {name} after {landed} byte(s)"
+            )))
+        }
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> Result<()> {
+        let mut state = self.lock();
+        match state.files.get_mut(name) {
+            Some(file) => {
+                file.truncate(len as usize);
+                Ok(())
+            }
+            None => Err(StorageError::io(format!("truncate missing file {name}"))),
+        }
+    }
+
+    fn sync(&mut self, _name: &str) -> Result<()> {
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> Result<()> {
+        self.lock().files.remove(name);
+        Ok(())
+    }
+
+    fn list(&mut self) -> Result<Vec<String>> {
+        Ok(self.lock().files.keys().cloned().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_vfs_basic_operations() {
+        let mut vfs = MemVfs::new();
+        assert_eq!(vfs.read("a").unwrap(), None);
+        vfs.write_atomic("a", b"hello").unwrap();
+        vfs.append("a", b" world").unwrap();
+        assert_eq!(vfs.read("a").unwrap().unwrap(), b"hello world");
+        vfs.truncate("a", 5).unwrap();
+        assert_eq!(vfs.read("a").unwrap().unwrap(), b"hello");
+        assert!(vfs.truncate("missing", 0).is_err());
+        vfs.append("b", b"x").unwrap();
+        assert_eq!(vfs.list().unwrap(), vec!["a".to_string(), "b".to_string()]);
+        vfs.remove("a").unwrap();
+        assert_eq!(vfs.list().unwrap(), vec!["b".to_string()]);
+        vfs.sync("b").unwrap();
+    }
+
+    #[test]
+    fn mem_vfs_tears_appends_at_the_budget() {
+        let mut vfs = MemVfs::new();
+        vfs.append("wal", b"1234").unwrap();
+        vfs.set_write_budget(Some(3));
+        let err = vfs.append("wal", b"abcdef").unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
+        // Exactly 3 of the 6 bytes landed: a torn tail.
+        assert_eq!(vfs.bytes("wal").unwrap(), b"1234abc");
+        // Atomic writes refuse to tear: old contents survive.
+        assert!(vfs.write_atomic("wal", b"replacement").is_err());
+        assert_eq!(vfs.bytes("wal").unwrap(), b"1234abc");
+    }
+
+    #[test]
+    fn mem_vfs_fork_is_independent() {
+        let mut vfs = MemVfs::new();
+        vfs.append("wal", b"abc").unwrap();
+        let frozen = vfs.fork();
+        vfs.append("wal", b"def").unwrap();
+        assert_eq!(frozen.bytes("wal").unwrap(), b"abc");
+        assert_eq!(vfs.bytes("wal").unwrap(), b"abcdef");
+    }
+
+    // `DirVfs` is exercised against a real directory in
+    // `tests/dir_backed.rs` (integration tests get `CARGO_TARGET_TMPDIR`).
+}

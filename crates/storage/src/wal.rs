@@ -1,0 +1,330 @@
+//! The write-ahead log of the update language.
+//!
+//! ```text
+//! wal.log
+//! ┌────────────┬─────────┬────────────┐ ┌─────┬───────┬──────────────────┐
+//! │ magic (8B) │ version │ generation │ │ len │ crc32 │ payload (len B)  │ …
+//! │ "WSWAL001" │ u32     │ u64        │ │ u32 │ u32   │ kind + UpdateExpr│
+//! └────────────┴─────────┴────────────┘ └─────┴───────┴──────────────────┘
+//! ```
+//!
+//! One record per applied update, appended *before* the update touches the
+//! backend (log-then-apply).  Every record carries its own CRC-32, so a
+//! crash that tears the tail of an append is detected on open and the torn
+//! bytes are truncated away — everything before the tear replays, and a
+//! record torn by a failed append never reached the backend either, because
+//! the log write failed first.  Whether a *fully appended* record survives a
+//! power cut (as opposed to a process crash) is governed by
+//! [`crate::durable::SyncPolicy`]: the default fsyncs every record before
+//! the update is acknowledged.
+//!
+//! The header pins the snapshot *generation* the log extends.  A checkpoint
+//! writes snapshot `g+1` first (atomically) and then resets the log to
+//! generation `g+1`; if the crash lands between the two, recovery loads
+//! snapshot `g+1` and finds a log for generation `g` — stale, so it is
+//! discarded instead of replayed twice.
+
+use crate::codec::{self, Reader, Writer};
+use crate::crc32::crc32;
+use crate::error::{Result, StorageError};
+use crate::vfs::Vfs;
+use ws_core::ops::update::UpdateExpr;
+
+/// File-format magic of the WAL.
+pub const WAL_MAGIC: &[u8; 8] = b"WSWAL001";
+/// Current WAL format version.
+pub const WAL_VERSION: u32 = 1;
+/// The WAL's file name inside a store directory.
+pub const WAL_FILE: &str = "wal.log";
+/// Header size in bytes: magic + version + generation.
+pub const WAL_HEADER_LEN: usize = 8 + 4 + 8;
+/// Upper bound on one record's payload (defensive decode limit).
+const MAX_RECORD_LEN: u32 = 1 << 28;
+
+/// Record kind: a plain update verb (insert/delete/modify).
+pub const RECORD_UPDATE: u8 = 1;
+/// Record kind: a conditioning step (worlds removed, mass renormalized).
+pub const RECORD_CONDITION: u8 = 2;
+
+/// One decoded WAL record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalRecord {
+    /// [`RECORD_UPDATE`] or [`RECORD_CONDITION`].
+    pub kind: u8,
+    /// The logged update.
+    pub update: UpdateExpr,
+}
+
+/// The result of scanning a WAL image.
+#[derive(Clone, Debug, Default)]
+pub struct WalScan {
+    /// The snapshot generation the log extends.
+    pub generation: u64,
+    /// The valid records, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte offset at which each record starts (record boundaries; the
+    /// crash-simulation suite truncates at exactly these points).
+    pub offsets: Vec<usize>,
+    /// The prefix length that survived validation; bytes past it are torn.
+    pub valid_len: usize,
+    /// How many trailing bytes failed validation (0 on a clean log).
+    pub torn_bytes: usize,
+}
+
+/// Render the WAL header for a generation.
+pub fn header_bytes(generation: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.raw(WAL_MAGIC);
+    w.u32(WAL_VERSION);
+    w.u64(generation);
+    w.into_bytes()
+}
+
+/// Render one record (length + checksum + payload) for appending.
+pub fn record_bytes(update: &UpdateExpr) -> Vec<u8> {
+    let mut payload = Writer::new();
+    let kind = match update {
+        UpdateExpr::Condition { .. } => RECORD_CONDITION,
+        _ => RECORD_UPDATE,
+    };
+    payload.u8(kind);
+    codec::enc_update(&mut payload, update);
+    let payload = payload.into_bytes();
+    let mut w = Writer::new();
+    w.u32(payload.len() as u32);
+    w.u32(crc32(&payload));
+    w.raw(&payload);
+    w.into_bytes()
+}
+
+/// Scan a WAL image: validate the header, then walk records until the bytes
+/// run out or stop validating.  Never fails on a torn *tail* — that is the
+/// expected crash shape — but rejects a log whose header itself is foreign.
+pub fn scan(bytes: &[u8]) -> Result<WalScan> {
+    if bytes.len() < WAL_HEADER_LEN {
+        return Err(StorageError::corrupt(format!(
+            "WAL shorter than its {WAL_HEADER_LEN}-byte header"
+        )));
+    }
+    let mut r = Reader::new(bytes);
+    let magic = r.take(8, "WAL magic")?;
+    if magic != WAL_MAGIC {
+        return Err(StorageError::corrupt("bad WAL magic"));
+    }
+    let version = r.u32("WAL version")?;
+    if version != WAL_VERSION {
+        return Err(StorageError::unsupported(format!(
+            "WAL format version {version}, this build speaks {WAL_VERSION}"
+        )));
+    }
+    let generation = r.u64("WAL generation")?;
+
+    let mut scan = WalScan {
+        generation,
+        valid_len: WAL_HEADER_LEN,
+        ..WalScan::default()
+    };
+    let mut pos = WAL_HEADER_LEN;
+    loop {
+        let remaining = &bytes[pos..];
+        if remaining.len() < 8 {
+            break; // no room for a frame header: clean end or torn tail
+        }
+        let len = u32::from_le_bytes([remaining[0], remaining[1], remaining[2], remaining[3]]);
+        let crc = u32::from_le_bytes([remaining[4], remaining[5], remaining[6], remaining[7]]);
+        if len > MAX_RECORD_LEN || remaining.len() < 8 + len as usize {
+            break; // torn mid-record
+        }
+        let payload = &remaining[8..8 + len as usize];
+        if crc32(payload) != crc {
+            break; // torn or bit-rotted: stop here, trust nothing past it
+        }
+        let mut pr = Reader::new(payload);
+        let kind = match pr.u8("record kind") {
+            Ok(k @ (RECORD_UPDATE | RECORD_CONDITION)) => k,
+            _ => break,
+        };
+        let Ok(update) = codec::dec_update(&mut pr) else {
+            break;
+        };
+        if pr.finish("WAL record").is_err() {
+            break;
+        }
+        scan.offsets.push(pos);
+        scan.records.push(WalRecord { kind, update });
+        pos += 8 + len as usize;
+        scan.valid_len = pos;
+    }
+    scan.torn_bytes = bytes.len() - scan.valid_len;
+    Ok(scan)
+}
+
+/// The append-side handle of the log: knows the generation it extends and
+/// appends framed records through the [`Vfs`].
+#[derive(Debug)]
+pub struct Wal {
+    generation: u64,
+}
+
+impl Wal {
+    /// Reset the log to an empty file for `generation` (atomic: the old log
+    /// is replaced whole).
+    pub fn reset(vfs: &mut dyn Vfs, generation: u64) -> Result<Wal> {
+        vfs.write_atomic(WAL_FILE, &header_bytes(generation))?;
+        Ok(Wal { generation })
+    }
+
+    /// Open the existing log against the recovered snapshot generation.
+    ///
+    /// * Missing log, or a log for an *older* generation (a crash between
+    ///   checkpoint's snapshot write and log reset): reset to `generation`,
+    ///   no records to replay.
+    /// * A log for a *newer* generation than any readable snapshot: fatal —
+    ///   replaying it against an older state would double-apply history.
+    /// * Torn tail: truncated away; the valid prefix is returned for replay.
+    pub fn open(vfs: &mut dyn Vfs, generation: u64) -> Result<(Wal, WalScan)> {
+        let Some(bytes) = vfs.read(WAL_FILE)? else {
+            return Ok((Wal::reset(vfs, generation)?, WalScan::default()));
+        };
+        if bytes.len() < WAL_HEADER_LEN {
+            // A log torn inside its own header carries no records at all.
+            return Ok((Wal::reset(vfs, generation)?, WalScan::default()));
+        }
+        let scan = scan(&bytes)?;
+        if scan.generation < generation {
+            return Ok((Wal::reset(vfs, generation)?, WalScan::default()));
+        }
+        if scan.generation > generation {
+            return Err(StorageError::corrupt(format!(
+                "WAL extends snapshot generation {} but the newest readable snapshot is {}",
+                scan.generation, generation
+            )));
+        }
+        if scan.torn_bytes > 0 {
+            vfs.truncate(WAL_FILE, scan.valid_len as u64)?;
+        }
+        Ok((Wal { generation }, scan))
+    }
+
+    /// The snapshot generation this log extends.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Append one update record; returns the bytes written.
+    pub fn append(&mut self, vfs: &mut dyn Vfs, update: &UpdateExpr) -> Result<usize> {
+        let bytes = record_bytes(update);
+        vfs.append(WAL_FILE, &bytes)?;
+        Ok(bytes.len())
+    }
+
+    /// Force the log to stable storage.
+    pub fn sync(&mut self, vfs: &mut dyn Vfs) -> Result<()> {
+        vfs.sync(WAL_FILE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemVfs;
+    use ws_relational::{Predicate, Tuple};
+
+    fn updates() -> Vec<UpdateExpr> {
+        vec![
+            UpdateExpr::insert("R", Tuple::from_iter([1i64, 2])),
+            UpdateExpr::delete("R", Predicate::eq_const("A", 1i64)),
+            UpdateExpr::condition(vec![]),
+        ]
+    }
+
+    #[test]
+    fn append_scan_roundtrip_with_kinds() {
+        let mut vfs = MemVfs::new();
+        let mut wal = Wal::reset(&mut vfs, 7).unwrap();
+        for u in updates() {
+            wal.append(&mut vfs, &u).unwrap();
+        }
+        wal.sync(&mut vfs).unwrap();
+        let scan = scan(&vfs.bytes(WAL_FILE).unwrap()).unwrap();
+        assert_eq!(scan.generation, 7);
+        assert_eq!(scan.torn_bytes, 0);
+        assert_eq!(
+            scan.records
+                .iter()
+                .map(|r| r.update.clone())
+                .collect::<Vec<_>>(),
+            updates()
+        );
+        assert_eq!(
+            scan.records.iter().map(|r| r.kind).collect::<Vec<_>>(),
+            vec![RECORD_UPDATE, RECORD_UPDATE, RECORD_CONDITION]
+        );
+        assert_eq!(scan.offsets.len(), 3);
+        assert_eq!(scan.offsets[0], WAL_HEADER_LEN);
+    }
+
+    #[test]
+    fn torn_tails_are_truncated_on_open() {
+        let mut vfs = MemVfs::new();
+        let mut wal = Wal::reset(&mut vfs, 0).unwrap();
+        for u in updates() {
+            wal.append(&mut vfs, &u).unwrap();
+        }
+        let full = vfs.bytes(WAL_FILE).unwrap();
+        let scan_full = scan(&full).unwrap();
+
+        // Tear the log anywhere strictly inside the last record.
+        for cut in [scan_full.offsets[2] + 1, full.len() - 1] {
+            let mut torn = MemVfs::new();
+            torn.put(WAL_FILE, full[..cut].to_vec());
+            let (_, scanned) = Wal::open(&mut torn, 0).unwrap();
+            assert_eq!(scanned.records.len(), 2, "cut at {cut}");
+            // The torn bytes are physically gone afterwards.
+            assert_eq!(torn.bytes(WAL_FILE).unwrap().len(), scanned.valid_len);
+        }
+
+        // A bit flip in the middle record cuts replay off before it.
+        let mut flipped = full.clone();
+        flipped[scan_full.offsets[1] + 9] ^= 0x01;
+        let mut vfs2 = MemVfs::new();
+        vfs2.put(WAL_FILE, flipped);
+        let (_, scanned) = Wal::open(&mut vfs2, 0).unwrap();
+        assert_eq!(scanned.records.len(), 1);
+    }
+
+    #[test]
+    fn generation_mismatches_reset_or_fail() {
+        let mut vfs = MemVfs::new();
+        let mut wal = Wal::reset(&mut vfs, 3).unwrap();
+        wal.append(&mut vfs, &updates()[0]).unwrap();
+
+        // Stale log (checkpoint crashed before the reset): discarded.
+        let (wal, scanned) = Wal::open(&mut vfs, 4).unwrap();
+        assert_eq!(wal.generation(), 4);
+        assert!(scanned.records.is_empty());
+
+        // Log newer than every snapshot: refusing beats double-applying.
+        let mut vfs2 = MemVfs::new();
+        Wal::reset(&mut vfs2, 9).unwrap();
+        assert!(Wal::open(&mut vfs2, 8).is_err());
+    }
+
+    #[test]
+    fn missing_or_header_torn_logs_start_fresh() {
+        let mut vfs = MemVfs::new();
+        let (wal, scanned) = Wal::open(&mut vfs, 5).unwrap();
+        assert_eq!(wal.generation(), 5);
+        assert!(scanned.records.is_empty());
+        assert!(vfs.bytes(WAL_FILE).is_some());
+
+        let mut vfs2 = MemVfs::new();
+        vfs2.put(WAL_FILE, WAL_MAGIC[..6].to_vec());
+        let (_, scanned) = Wal::open(&mut vfs2, 5).unwrap();
+        assert!(scanned.records.is_empty());
+
+        let mut vfs3 = MemVfs::new();
+        vfs3.put(WAL_FILE, b"NOTAWAL!0000000000000000".to_vec());
+        assert!(Wal::open(&mut vfs3, 5).is_err());
+    }
+}

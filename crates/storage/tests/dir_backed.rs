@@ -1,0 +1,127 @@
+//! The filesystem half of the durability story: the same create → update →
+//! crash → recover cycle the in-memory crash suite proves, but against a
+//! real directory (`CARGO_TARGET_TMPDIR`), including on-disk torn tails,
+//! snapshot corruption fallback, and the atomic-rename checkpoint.
+
+use std::path::PathBuf;
+use ws_core::Wsd;
+use ws_relational::{Predicate, Tuple, Value, WriteBackend};
+use ws_storage::vfs::{DirVfs, Vfs};
+use ws_storage::wal::WAL_FILE;
+use ws_storage::{Durable, Persist, StorageError};
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn dir_vfs_implements_the_medium_contract() {
+    let dir = scratch_dir("dir_vfs_contract");
+    let mut vfs = DirVfs::open(&dir).unwrap();
+    assert_eq!(vfs.read("a").unwrap(), None);
+    vfs.write_atomic("a", b"hello").unwrap();
+    vfs.append("a", b" world").unwrap();
+    vfs.sync("a").unwrap();
+    assert_eq!(vfs.read("a").unwrap().unwrap(), b"hello world");
+    vfs.truncate("a", 5).unwrap();
+    assert_eq!(vfs.read("a").unwrap().unwrap(), b"hello");
+    // An atomic overwrite invalidates the cached append handle.
+    vfs.write_atomic("a", b"fresh").unwrap();
+    vfs.append("a", b"!").unwrap();
+    assert_eq!(vfs.read("a").unwrap().unwrap(), b"fresh!");
+    assert!(vfs.list().unwrap().contains(&"a".to_string()));
+    vfs.remove("a").unwrap();
+    vfs.remove("a").unwrap(); // idempotent
+    assert_eq!(vfs.read("a").unwrap(), None);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_store_directory_survives_reopen_checkpoint_and_torn_tail() {
+    let dir = scratch_dir("durable_cycle");
+    let wsd = ws_core::wsd::example_census_wsd();
+
+    // Create, update, checkpoint, update again, drop without closing.
+    let expected = {
+        let mut durable = Durable::create_dir(&dir, wsd.clone()).unwrap();
+        durable
+            .insert_certain(
+                "R",
+                &Tuple::from_iter([Value::int(500), Value::text("Davis"), Value::int(3)]),
+            )
+            .unwrap();
+        durable.checkpoint().unwrap();
+        durable
+            .delete_where("R", &Predicate::eq_const("N", "Brown"))
+            .unwrap();
+        durable.sync().unwrap();
+        durable.into_inner().rep().unwrap()
+    };
+
+    // Reopen: snapshot generation 1 plus a one-record WAL tail.
+    let recovered = Durable::<Wsd>::open_dir(&dir).unwrap();
+    assert_eq!(recovered.generation(), 1);
+    assert_eq!(recovered.stats().recovered_records, 1);
+    let got = recovered.inner().rep().unwrap();
+    assert!(expected.same_worlds(&got) && expected.same_distribution(&got, 0.0));
+    let baseline_bytes = recovered.inner().encode_to_vec();
+    drop(recovered);
+
+    // Tear the WAL's last record on disk: recovery truncates it away and
+    // lands on the checkpointed state.
+    let wal_path = dir.join(WAL_FILE);
+    let bytes = std::fs::read(&wal_path).unwrap();
+    std::fs::write(&wal_path, &bytes[..bytes.len() - 2]).unwrap();
+    let recovered = Durable::<Wsd>::open_dir(&dir).unwrap();
+    assert_eq!(recovered.stats().recovered_records, 0);
+    assert!(recovered.stats().torn_bytes_truncated > 0);
+    assert_ne!(
+        recovered.inner().encode_to_vec(),
+        baseline_bytes,
+        "the torn delete must not have replayed"
+    );
+    drop(recovered);
+
+    // Corrupt the newest snapshot: recovery falls back to generation 0 and
+    // the (now intact-again-after-truncation) WAL for generation 1 is
+    // rejected rather than replayed against the wrong base.
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok()?.file_name().into_string().ok())
+        .filter(|n| n.starts_with("snapshot-"))
+        .collect();
+    assert_eq!(names.len(), 2, "generations 0 and 1 on disk: {names:?}");
+    let newest = names.iter().max().unwrap();
+    let mut snap = std::fs::read(dir.join(newest)).unwrap();
+    let mid = snap.len() / 2;
+    snap[mid] ^= 0x10;
+    std::fs::write(dir.join(newest), &snap).unwrap();
+    let err = Durable::<Wsd>::open_dir(&dir).unwrap_err();
+    assert!(
+        matches!(err, StorageError::Corrupt(_)),
+        "replaying a generation-1 WAL onto the generation-0 snapshot would \
+         double-apply history; got {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn close_is_the_drop_with_result_teardown() {
+    let dir = scratch_dir("durable_close");
+    let wsd = ws_core::wsd::example_census_wsd();
+    let mut durable = Durable::create_dir(&dir, wsd).unwrap();
+    durable
+        .insert_certain(
+            "R",
+            &Tuple::from_iter([Value::int(7), Value::text("Eve"), Value::int(1)]),
+        )
+        .unwrap();
+    let backend = durable.close().unwrap();
+    assert_eq!(backend.meta("R").unwrap().tuple_count, 3);
+    // The synced store reopens to the same state.
+    let recovered = Durable::<Wsd>::open_dir(&dir).unwrap();
+    assert_eq!(recovered.inner().meta("R").unwrap().tuple_count, 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}

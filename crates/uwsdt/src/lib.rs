@@ -37,7 +37,7 @@ pub mod update;
 pub use build::{from_or_relation, from_wsd, from_wsdt, OrField};
 pub use confidence::{conf, expected_cardinality, is_certain, possible_with_confidence};
 pub use error::{Result, UwsdtError};
-pub use model::{Cid, Lwid, PresenceCondition, Uwsdt, WorldEntry};
+pub use model::{Cid, Lwid, PresenceCondition, Uwsdt, UwsdtSnapshot, WorldEntry};
 pub use normalize::{normalize, NormalizationReport};
 #[allow(deprecated)] // the deprecated shim stays importable during migration
 pub use query::evaluate_query;

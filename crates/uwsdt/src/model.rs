@@ -55,6 +55,29 @@ pub struct PresenceCondition {
     pub lwids: BTreeSet<Lwid>,
 }
 
+/// The flattened, deterministically ordered raw state of a [`Uwsdt`] — the
+/// boundary the persistence codec works against, so that the hash-map-backed
+/// internals never leak their (instance-dependent) iteration order into
+/// snapshot bytes.
+///
+/// Produced by [`Uwsdt::to_snapshot`]; consumed (and re-validated) by
+/// [`Uwsdt::from_snapshot`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct UwsdtSnapshot {
+    /// The template relations, sorted by relation name.
+    pub templates: Vec<Relation>,
+    /// Per component (sorted by id): its local worlds and the placeholder
+    /// fields it defines, in their original registration order.
+    pub components: Vec<(Cid, Vec<WorldEntry>, Vec<FieldId>)>,
+    /// The `C` entries per placeholder field, sorted by field.
+    pub values: Vec<(FieldId, Vec<(Lwid, Value)>)>,
+    /// The presence conditions per tuple, sorted by `(relation, tuple)`;
+    /// each tuple's condition list keeps its original (conjunctive) order.
+    pub presence: Vec<(String, usize, Vec<PresenceCondition>)>,
+    /// The next fresh component identifier.
+    pub next_cid: Cid,
+}
+
 /// A uniform world-set decomposition with template relations.
 #[derive(Clone, Debug, Default)]
 pub struct Uwsdt {
@@ -725,6 +748,118 @@ impl Uwsdt {
         Ok(())
     }
 
+    // ------------------------------------------------------------------
+    // Snapshot surface (the persistence layer's codec boundary)
+    // ------------------------------------------------------------------
+
+    /// Flatten the whole UWSDT into a [`UwsdtSnapshot`]: every hash-map is
+    /// rendered in a canonical sorted order so that encoding the same state
+    /// twice produces identical bytes, while order-significant vectors
+    /// (per-component field registration order, per-tuple presence-condition
+    /// order) are preserved verbatim.
+    pub fn to_snapshot(&self) -> UwsdtSnapshot {
+        let templates: Vec<Relation> = self.templates.values().cloned().collect();
+        let components: Vec<(Cid, Vec<WorldEntry>, Vec<FieldId>)> = self
+            .component_ids()
+            .into_iter()
+            .map(|cid| {
+                (
+                    cid,
+                    self.w[&cid].clone(),
+                    self.component_fields(cid).to_vec(),
+                )
+            })
+            .collect();
+        let mut values: Vec<(FieldId, Vec<(Lwid, Value)>)> = self
+            .c
+            .iter()
+            .map(|(f, vals)| {
+                (
+                    f.clone(),
+                    vals.iter().map(|(l, v)| (*l, v.clone())).collect(),
+                )
+            })
+            .collect();
+        values.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut presence: Vec<(String, usize, Vec<PresenceCondition>)> = self
+            .presence
+            .iter()
+            .map(|((rel, tuple), conds)| (rel.clone(), *tuple, conds.clone()))
+            .collect();
+        presence.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+        UwsdtSnapshot {
+            templates,
+            components,
+            values,
+            presence,
+            next_cid: self.next_cid,
+        }
+    }
+
+    /// Rebuild a UWSDT from a snapshot, re-deriving the `F` index from the
+    /// per-component field lists and validating the result, so a corrupted
+    /// snapshot is rejected instead of silently accepted.
+    pub fn from_snapshot(snapshot: UwsdtSnapshot) -> Result<Uwsdt> {
+        let mut u = Uwsdt::new();
+        for template in snapshot.templates {
+            u.add_template(template)?;
+        }
+        let mut max_cid = 0;
+        for (cid, worlds, fields) in snapshot.components {
+            if u.w.insert(cid, worlds).is_some() {
+                return Err(UwsdtError::invalid(format!(
+                    "component {cid} appears twice in the snapshot"
+                )));
+            }
+            for field in &fields {
+                if u.f.insert(field.clone(), cid).is_some() {
+                    return Err(UwsdtError::invalid(format!(
+                        "placeholder {field} belongs to two components in the snapshot"
+                    )));
+                }
+            }
+            u.comp_fields.insert(cid, fields);
+            max_cid = max_cid.max(cid + 1);
+        }
+        for (field, values) in snapshot.values {
+            if !u.f.contains_key(&field) {
+                return Err(UwsdtError::invalid(format!(
+                    "snapshot carries C entries for unregistered placeholder {field}"
+                )));
+            }
+            let count = values.len();
+            let values: BTreeMap<Lwid, Value> = values.into_iter().collect();
+            if values.len() != count {
+                return Err(UwsdtError::invalid(format!(
+                    "snapshot lists a local world twice among the C entries of {field}"
+                )));
+            }
+            if u.c.insert(field.clone(), values).is_some() {
+                return Err(UwsdtError::invalid(format!(
+                    "placeholder {field} has two C-entry lists in the snapshot"
+                )));
+            }
+        }
+        for (relation, tuple, conditions) in snapshot.presence {
+            for cond in &conditions {
+                if !u.w.contains_key(&cond.cid) {
+                    return Err(UwsdtError::UnknownComponent(cond.cid));
+                }
+            }
+            if u.presence
+                .insert((relation.clone(), tuple), conditions)
+                .is_some()
+            {
+                return Err(UwsdtError::invalid(format!(
+                    "tuple {relation}.{tuple} has two presence-condition lists in the snapshot"
+                )));
+            }
+        }
+        u.next_cid = snapshot.next_cid.max(max_cid);
+        u.validate()?;
+        Ok(u)
+    }
+
     /// Total number of `C` entries (the `|C|` column of Figure 27).
     pub fn c_size(&self) -> usize {
         self.c.values().map(BTreeMap::len).sum()
@@ -737,5 +872,57 @@ impl Uwsdt {
             .filter(|(fid, _)| fid.in_relation(relation))
             .map(|(_, v)| v.len())
             .sum()
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+
+    fn sample() -> Uwsdt {
+        crate::build::from_wsd(&ws_core::wsd::example_census_wsd()).unwrap()
+    }
+
+    #[test]
+    fn snapshot_roundtrips_and_validates() {
+        let uwsdt = sample();
+        let snapshot = uwsdt.to_snapshot();
+        let rebuilt = Uwsdt::from_snapshot(snapshot.clone()).unwrap();
+        assert_eq!(rebuilt.to_snapshot(), snapshot);
+        rebuilt.validate().unwrap();
+        assert_eq!(rebuilt.world_count(), uwsdt.world_count());
+    }
+
+    #[test]
+    fn duplicate_snapshot_entries_are_rejected() {
+        let uwsdt = sample();
+        let base = uwsdt.to_snapshot();
+
+        // A component listed twice.
+        let mut s = base.clone();
+        let dup = s.components[0].clone();
+        s.components.push(dup);
+        assert!(Uwsdt::from_snapshot(s).is_err());
+
+        // A C-entry list listed twice for the same placeholder.
+        let mut s = base.clone();
+        let dup = s.values[0].clone();
+        s.values.push(dup);
+        assert!(Uwsdt::from_snapshot(s).is_err());
+
+        // The same local world listed twice inside one C-entry list.
+        let mut s = base.clone();
+        let dup_entry = s.values[0].1[0].clone();
+        s.values[0].1.push(dup_entry);
+        assert!(Uwsdt::from_snapshot(s).is_err());
+
+        // A presence-condition list listed twice for the same tuple.
+        let mut s = base.clone();
+        s.presence.push(("R".to_string(), 0, Vec::new()));
+        s.presence.push(("R".to_string(), 0, Vec::new()));
+        assert!(Uwsdt::from_snapshot(s).is_err());
+
+        // The untouched snapshot still reconstructs.
+        assert!(Uwsdt::from_snapshot(base).is_ok());
     }
 }
