@@ -18,12 +18,13 @@
 //! `cargo bench -p ws-bench --bench ablation_confidence`
 //! (`WS_BENCH_QUICK=1` for the CI smoke grid).
 
-use ws_bench::{bench_threads, is_quick, print_header, print_row, secs, time_once};
+use ws_bench::{bench_threads, is_quick, print_header, print_row, secs, time_once, Recorder};
 use ws_census::CensusScenario;
 use ws_core::confidence::approx::ApproxConfig;
 use ws_relational::{EngineConfig, RaExpr, WorkerPool};
 
 fn main() {
+    let mut rec = Recorder::new("ablation_confidence");
     let par_threads = bench_threads();
     let approx = ApproxConfig::new(0.02, 0.01);
     println!("# Confidence computation: threads x {{exact, approximate}}");
@@ -66,13 +67,21 @@ fn main() {
         let scenario = CensusScenario::new(tuples, density, 0xC0FFEE);
         let wsd = scenario.dirty_wsd().unwrap();
 
-        // Evaluate the query once per representation.
+        // Evaluate the query once per representation (timed and recorded, so
+        // the JSON snapshot also tracks the engine's evaluation hot path).
+        let cell = format!("n{tuples}_d{label}");
         let mut wsd_q = wsd.clone();
-        let out_wsd = ws_relational::evaluate_query(&mut wsd_q, &query, "Q").unwrap();
+        let (out_wsd, t) =
+            time_once(|| ws_relational::evaluate_query(&mut wsd_q, &query, "Q").unwrap());
+        rec.record("eval", &cell, "wsd_s", t);
         let mut uwsdt = scenario.dirty_uwsdt().unwrap();
-        let out_uw = ws_relational::evaluate_query(&mut uwsdt, &query, "Q").unwrap();
+        let (out_uw, t) =
+            time_once(|| ws_relational::evaluate_query(&mut uwsdt, &query, "Q").unwrap());
+        rec.record("eval", &cell, "uwsdt_s", t);
         let mut udb = ws_urel::from_wsd(&wsd).unwrap();
-        let out_u = ws_relational::evaluate_query(&mut udb, &query, "Q").unwrap();
+        let (out_u, t) =
+            time_once(|| ws_relational::evaluate_query(&mut udb, &query, "Q").unwrap());
+        rec.record("eval", &cell, "urel_s", t);
 
         // The serial UWSDT reference point (no parallel API), once per grid
         // cell.
@@ -118,6 +127,12 @@ fn main() {
                 }
             }
 
+            let row = format!("{cell}_t{threads}");
+            rec.record("confidence", &row, "wsd_exact_s", wsd_time);
+            rec.record("confidence", &row, "uwsdt_exact_s", uw_time);
+            rec.record("confidence", &row, "urel_exact_s", u_time);
+            rec.record("confidence", &row, "wsd_approx_s", wsd_mc_time);
+            rec.record("confidence", &row, "urel_approx_s", u_mc_time);
             print_row(&[
                 tuples.to_string(),
                 label.to_string(),
@@ -131,4 +146,5 @@ fn main() {
             ]);
         }
     }
+    rec.flush();
 }

@@ -94,6 +94,64 @@ pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     (value, start.elapsed())
 }
 
+/// A machine-readable timing recorder for the ablation benches.
+///
+/// When the `WS_BENCH_JSON` environment variable names a file, every recorded
+/// measurement is appended to it as one JSON object per line
+/// (`{"bench": …, "section": …, "name": …, "metric": …, "seconds": …}`); the
+/// CI bench step wraps those lines into `BENCH_ci.json`, and the committed
+/// `BENCH_seed.json` snapshot was produced the same way.  Without the
+/// variable the recorder is a no-op, so interactive runs just print tables.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    bench: String,
+    lines: Vec<String>,
+}
+
+impl Recorder {
+    /// A recorder for one bench binary.
+    pub fn new(bench: &str) -> Self {
+        Recorder {
+            bench: bench.to_string(),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Record one timing: a section (table) name, a row name, a metric label
+    /// and the measured duration.  Labels must not contain `"` or `\`.
+    pub fn record(&mut self, section: &str, name: &str, metric: &str, elapsed: Duration) {
+        self.lines.push(format!(
+            "{{\"bench\":\"{}\",\"section\":\"{section}\",\"name\":\"{name}\",\
+             \"metric\":\"{metric}\",\"seconds\":{:.6}}}",
+            self.bench,
+            elapsed.as_secs_f64(),
+        ));
+    }
+
+    /// Append the recorded lines to the `WS_BENCH_JSON` file, if configured.
+    pub fn flush(&self) {
+        let Ok(path) = std::env::var("WS_BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        use std::io::Write;
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            Ok(mut file) => {
+                for line in &self.lines {
+                    let _ = writeln!(file, "{line}");
+                }
+            }
+            Err(e) => eprintln!("WS_BENCH_JSON: cannot open {path}: {e}"),
+        }
+    }
+}
+
 /// Format a duration in seconds with three decimal places.
 pub fn secs(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64())
@@ -125,6 +183,17 @@ mod tests {
         assert!(!sizes.is_empty());
         let grid = scenario_grid();
         assert_eq!(grid.len(), sizes.len() * DENSITIES.len());
+    }
+
+    #[test]
+    fn recorder_formats_json_lines() {
+        let mut rec = Recorder::new("unit");
+        rec.record("sec", "row", "metric", Duration::from_millis(250));
+        assert_eq!(rec.lines.len(), 1);
+        assert!(rec.lines[0].contains("\"bench\":\"unit\""));
+        assert!(rec.lines[0].contains("\"seconds\":0.250000"));
+        // Without WS_BENCH_JSON flushing is a no-op.
+        rec.flush();
     }
 
     #[test]

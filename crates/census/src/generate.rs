@@ -36,18 +36,17 @@ pub fn generate_census(tuples: usize, seed: u64) -> Relation {
         })
         .collect();
 
-    let mut relation = Relation::new(schema);
-    for _ in 0..tuples {
-        let mut values: Vec<i64> = ATTRIBUTES
-            .iter()
-            .map(|a| rng.gen_range(a.domain()))
-            .collect();
-        repair_row(&mut values, &resolved, &mut rng);
-        relation
-            .push(Tuple::from_iter(values))
-            .expect("generated row matches the schema arity");
-    }
-    relation
+    let rows: Vec<Tuple> = (0..tuples)
+        .map(|_| {
+            let mut values: Vec<i64> = ATTRIBUTES
+                .iter()
+                .map(|a| rng.gen_range(a.domain()))
+                .collect();
+            repair_row(&mut values, &resolved, &mut rng);
+            Tuple::from_iter(values)
+        })
+        .collect();
+    Relation::with_rows(schema, rows).expect("generated rows match the schema arity")
 }
 
 /// An EGD with its body atoms and head resolved to attribute positions.

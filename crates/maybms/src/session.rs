@@ -41,7 +41,7 @@
 
 use crate::builder::{typecheck, typecheck_update, IntoQuery};
 use crate::error::{Error, Result};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use ws_core::confidence::approx::ApproxConfig;
 use ws_core::ops::update::{apply_update, UpdateExpr};
@@ -580,8 +580,10 @@ struct CachedPlan {
 // The session.
 // ---------------------------------------------------------------------------
 
-/// Default number of rows a [`Rows`] cursor pulls per batch.
-pub const DEFAULT_BATCH_SIZE: usize = 256;
+/// Default number of rows a [`Rows`] cursor pulls per batch: the executor's
+/// native batch granularity ([`ws_relational::cursor::NATIVE_BATCH_ROWS`],
+/// one columnar morsel), so a refill moves exactly one kernel-sized unit.
+pub const DEFAULT_BATCH_SIZE: usize = ws_relational::cursor::NATIVE_BATCH_ROWS;
 
 /// A stateful connection to one possible-worlds backend: catalog, engine
 /// configuration, prepared-plan cache and usage stats in one place.
@@ -780,7 +782,7 @@ where
             out,
             batch: self.batch_size,
             inner,
-            buf: VecDeque::new(),
+            buf: Vec::new().into_iter(),
             cleanup,
         })
     }
@@ -999,7 +1001,7 @@ pub struct Rows<'s, B: SessionBackend> {
     out: String,
     batch: usize,
     inner: RowsInner,
-    buf: VecDeque<Tuple>,
+    buf: std::vec::IntoIter<Tuple>,
     cleanup: bool,
 }
 
@@ -1018,7 +1020,7 @@ impl<B: SessionBackend> Rows<'_, B> {
     pub fn len_hint(&self) -> usize {
         match &self.inner {
             RowsInner::InPlace { len, offset } => len - offset + self.buf.len(),
-            RowsInner::Owned(rows) => rows.len() + self.buf.len(),
+            RowsInner::Owned(rows) => rows.len(),
         }
     }
 
@@ -1029,25 +1031,24 @@ impl<B: SessionBackend> Rows<'_, B> {
     }
 
     fn refill(&mut self) {
-        match &mut self.inner {
-            RowsInner::InPlace { len, offset } => {
-                if offset < len {
-                    let limit = self.batch.min(*len - *offset);
-                    let batch = self
-                        .backend
-                        .fetch_batch(&self.out, *offset, limit)
-                        .unwrap_or_default();
-                    *offset += batch.len();
-                    if batch.is_empty() {
-                        // Defensive: a vanished result ends the stream.
-                        *offset = *len;
-                    }
-                    self.buf.extend(batch);
-                }
+        let RowsInner::InPlace { len, offset } = &mut self.inner else {
+            return;
+        };
+        if offset < len {
+            let limit = self.batch.min(*len - *offset);
+            let batch = self
+                .backend
+                .fetch_batch(&self.out, *offset, limit)
+                .unwrap_or_default();
+            *offset += batch.len();
+            if batch.is_empty() {
+                // Defensive: a vanished result ends the stream.
+                *offset = *len;
             }
-            RowsInner::Owned(rows) => {
-                self.buf.extend(rows.by_ref().take(self.batch));
-            }
+            // One copy total: `fetch_batch` clones the batch out of the
+            // backend, and the cursor hands that same allocation out row by
+            // row — no per-row requeue into a second buffer.
+            self.buf = batch.into_iter();
         }
     }
 }
@@ -1056,10 +1057,16 @@ impl<B: SessionBackend> Iterator for Rows<'_, B> {
     type Item = Tuple;
 
     fn next(&mut self) -> Option<Tuple> {
-        if self.buf.is_empty() {
-            self.refill();
-        }
-        let row = self.buf.pop_front();
+        let row = match &mut self.inner {
+            // Extracted results are already owned; stream them directly.
+            RowsInner::Owned(rows) => rows.next(),
+            RowsInner::InPlace { .. } => {
+                if self.buf.as_slice().is_empty() {
+                    self.refill();
+                }
+                self.buf.next()
+            }
+        };
         if row.is_some() {
             self.stats.rows_streamed += 1;
         }

@@ -48,6 +48,12 @@ use crate::schema::Schema;
 use crate::tuple::Tuple;
 use std::collections::BTreeSet;
 
+/// The executor's native batch granularity, in rows: one morsel
+/// ([`crate::par::MORSEL_ROWS`]) of the columnar kernels.  Batched row pulls
+/// (`Cursor::next_batch`, the session `Rows` stream) default to this size so
+/// a refill moves exactly one kernel-sized unit per copy.
+pub const NATIVE_BATCH_ROWS: usize = crate::par::MORSEL_ROWS;
+
 /// A pull-based row stream over one query plan against one [`Database`].
 ///
 /// Iterates `Result<Tuple>`: predicate-evaluation errors (unknown attribute,
@@ -78,8 +84,9 @@ impl<'a> Cursor<'a> {
     }
 
     /// Pull up to `limit` rows into a batch (empty when exhausted).
+    /// [`NATIVE_BATCH_ROWS`] is the natural `limit` — one executor morsel.
     pub fn next_batch(&mut self, limit: usize) -> Result<Vec<Tuple>> {
-        let mut out = Vec::with_capacity(limit.min(64));
+        let mut out = Vec::with_capacity(limit.min(NATIVE_BATCH_ROWS));
         while out.len() < limit {
             match self.node.next_row()? {
                 Some(tuple) => out.push(tuple),

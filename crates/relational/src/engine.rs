@@ -68,6 +68,22 @@ pub trait QueryBackend: SchemaCatalog {
     /// The backend's error type.
     type Error: From<RelationalError>;
 
+    /// Whole-plan fast path: backends with their own vectorized executor can
+    /// evaluate `plan` in one go (materializing the result as `out`) and
+    /// return `Some(result)`.  Returning `None` (the default) falls back to
+    /// the shared operator-by-operator executor below.  Only consulted when
+    /// [`EngineConfig::columnar`] is set; implementations must honor
+    /// `config.recognize_joins` and produce bit-identical rows to the
+    /// operator path.
+    fn execute_plan(
+        &mut self,
+        _plan: &RaExpr,
+        _out: &str,
+        _config: &EngineConfig,
+    ) -> Option<std::result::Result<(), Self::Error>> {
+        None
+    }
+
     /// Materialize base relation `name` under the result name `out`.
     fn materialize_base(&mut self, name: &str, out: &str) -> std::result::Result<(), Self::Error>;
 
@@ -386,11 +402,22 @@ pub struct EngineConfig {
     ///
     /// `1` runs every operator serially on the calling thread, reproducing
     /// the exact behavior and tuple order of the pre-parallel engine; larger
-    /// values fan contiguous row chunks out via [`crate::par::WorkerPool`]
-    /// and re-concatenate the per-chunk results in chunk order, so results
-    /// are identical (including order) for every thread count.  `0` is
-    /// treated as 1.
+    /// values hand contiguous row **morsels** out via
+    /// [`crate::par::WorkerPool`] (dynamically scheduled, so stragglers
+    /// don't serialize the batch) and re-concatenate the per-morsel results
+    /// in morsel order, so results are identical (including order) for every
+    /// thread count.  `0` is treated as 1.
     pub threads: usize,
+    /// Dispatch to a backend's whole-plan vectorized executor
+    /// ([`QueryBackend::execute_plan`]) when it has one (default).
+    ///
+    /// On the single-world [`Database`] backend this evaluates the plan over
+    /// dictionary-encoded column batches with selection vectors
+    /// ([`crate::batch`], [`crate::kernels`]) instead of row-at-a-time
+    /// operators; results are bit-identical either way, which the
+    /// equivalence suites check by running both settings.  Backends without
+    /// a columnar executor ignore the flag.
+    pub columnar: bool,
     /// Cache prepared plans keyed by their normalized fingerprint
     /// ([`crate::fingerprint::plan_key`]), so preparing the same query twice
     /// runs the optimizer once (default).  Honored by plan-caching layers
@@ -406,6 +433,7 @@ impl Default for EngineConfig {
             recognize_joins: true,
             drop_temps: false,
             threads: 1,
+            columnar: true,
             plan_cache: true,
         }
     }
@@ -449,11 +477,12 @@ impl EngineConfig {
             }
         }
         format!(
-            "optimize={} join-recognition={} drop-temps={} threads={} plan-cache={}",
+            "optimize={} join-recognition={} drop-temps={} threads={} columnar={} plan-cache={}",
             on_off(self.optimize),
             on_off(self.recognize_joins),
             on_off(self.drop_temps),
             self.threads.max(1),
+            on_off(self.columnar),
             on_off(self.plan_cache),
         )
     }
@@ -500,6 +529,13 @@ fn execute_with<B: QueryBackend>(
     out: &str,
     config: EngineConfig,
 ) -> std::result::Result<(), B::Error> {
+    if config.columnar {
+        // Whole-plan vectorized fast path: no scratch relations are created,
+        // so there is nothing to clean up on either outcome.
+        if let Some(result) = backend.execute_plan(plan, out, &config) {
+            return result;
+        }
+    }
     let mut ctx = ExecContext::new(&config);
     let result = eval_node(backend, plan, out, &mut ctx, config);
     if result.is_err() || config.drop_temps {
@@ -625,16 +661,16 @@ fn hint_for(expr: &RaExpr) -> &'static str {
 
 /// A recognized equi-join: the oriented attribute pair plus whatever part of
 /// the selection condition is not the join atom.
-struct EquiJoin {
-    left_attr: String,
-    right_attr: String,
-    residual: Option<Predicate>,
+pub(crate) struct EquiJoin {
+    pub(crate) left_attr: String,
+    pub(crate) right_attr: String,
+    pub(crate) residual: Option<Predicate>,
 }
 
 /// Detect `σ_{… A=B …}(L × R)` where `A` and `B` come from different
 /// operands.  Returns `None` (fall back to product + selection) when no
 /// top-level equality conjunct spans both sides.
-fn recognize_equi_join<C: SchemaCatalog + ?Sized>(
+pub(crate) fn recognize_equi_join<C: SchemaCatalog + ?Sized>(
     catalog: &C,
     pred: &Predicate,
     left: &RaExpr,
@@ -697,7 +733,7 @@ impl SchemaCatalog for Database {
 }
 
 impl Database {
-    fn store_as(&mut self, mut relation: Relation, out: &str) {
+    pub(crate) fn store_as(&mut self, mut relation: Relation, out: &str) {
         let renamed = relation.schema().renamed_relation(out);
         *relation.schema_mut() = renamed;
         self.insert_relation(relation);
@@ -706,6 +742,23 @@ impl Database {
 
 impl QueryBackend for Database {
     type Error = RelationalError;
+
+    /// The vectorized columnar executor ([`crate::kernels`]): the whole plan
+    /// evaluated over [`crate::batch::ColumnBatch`]es with selection vectors,
+    /// bit-identical to the operator path below.  Bare `Rel` plans fall back
+    /// to [`QueryBackend::materialize_base`] — a plain clone beats an
+    /// encode/decode roundtrip.
+    fn execute_plan(
+        &mut self,
+        plan: &RaExpr,
+        out: &str,
+        config: &EngineConfig,
+    ) -> Option<Result<()>> {
+        if matches!(plan, RaExpr::Rel(_)) {
+            return None;
+        }
+        Some(crate::kernels::execute_columnar(self, plan, out, config))
+    }
 
     fn materialize_base(&mut self, name: &str, out: &str) -> Result<()> {
         let relation = self.relation(name)?.clone();
@@ -1188,11 +1241,11 @@ mod tests {
     fn engine_config_summary_is_self_describing() {
         assert_eq!(
             EngineConfig::default().summary(),
-            "optimize=on join-recognition=on drop-temps=off threads=1 plan-cache=on"
+            "optimize=on join-recognition=on drop-temps=off threads=1 columnar=on plan-cache=on"
         );
         assert_eq!(
             EngineConfig::naive().summary(),
-            "optimize=off join-recognition=off drop-temps=off threads=1 plan-cache=on"
+            "optimize=off join-recognition=off drop-temps=off threads=1 columnar=on plan-cache=on"
         );
         let parallel = EngineConfig::with_threads(8);
         assert!(parallel.summary().contains("threads=8"));

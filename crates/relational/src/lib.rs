@@ -19,10 +19,15 @@
 //!   [`optimizer`] that every possible-worlds representation of this
 //!   repository (single-world, WSD, UWSDT, U-relations, explicit worlds)
 //!   evaluates queries through, and
+//! * the **vectorized columnar executor** ([`batch`], [`kernels`]): plans on
+//!   the single-world backend evaluate batch-at-a-time over flat `i64` /
+//!   dictionary-encoded columns with selection vectors, bit-identical to the
+//!   operator path (toggle with [`engine::EngineConfig::columnar`]), and
 //! * the deterministic fan-out/fan-in [`par::WorkerPool`] behind
-//!   [`engine::EngineConfig::threads`]: scans, selections, projections and
-//!   the equi-join build/probe phases partition across cores with output
-//!   canonicalized to the serial order for any thread count.
+//!   [`engine::EngineConfig::threads`]: scans, selections, projections, the
+//!   equi-join build/probe phases and the columnar kernels hand out row
+//!   morsels across cores with output canonicalized to the serial order for
+//!   any thread count.
 //!
 //! Everything in the world-set stack (`ws-core`, `ws-uwsdt`, `ws-census`,
 //! `ws-baselines`) is built on top of these types; the single-world evaluator
@@ -30,6 +35,7 @@
 //! paper's Figure 30.
 
 pub mod algebra;
+pub mod batch;
 pub mod constraint;
 pub mod cursor;
 pub mod database;
@@ -37,6 +43,7 @@ pub mod engine;
 pub mod error;
 pub mod fingerprint;
 pub mod index;
+pub mod kernels;
 pub mod optimizer;
 pub mod par;
 pub mod predicate;
@@ -46,6 +53,7 @@ pub mod tuple;
 pub mod value;
 
 pub use algebra::{evaluate, evaluate_checked, evaluate_set, RaExpr};
+pub use batch::{Column, ColumnBatch};
 pub use constraint::{
     world_satisfies, AttrComparison, Dependency, EqualityGeneratingDependency, FunctionalDependency,
 };
@@ -60,7 +68,7 @@ pub use fingerprint::{fingerprint, normalize_plan, normalize_predicate, plan_key
 pub use index::Index;
 pub use optimizer::{estimated_cost, estimated_rows, evaluate_optimized, optimize, output_attrs};
 pub use par::WorkerPool;
-pub use predicate::{CmpOp, Predicate};
+pub use predicate::{CmpOp, CompiledPredicate, Predicate};
 pub use relation::Relation;
 pub use schema::{AttrName, RelName, Schema};
 pub use tuple::Tuple;

@@ -7,10 +7,12 @@
 //! tuples or Monte-Carlo sample blocks.  This module provides the one shared
 //! fan-out/fan-in primitive those call sites use:
 //!
-//! * work is split into **contiguous chunks** (never work-stealing), so the
-//!   per-chunk results can be concatenated in chunk order and the final
-//!   output is **bit-identical for every thread count**, including the
-//!   serial `threads = 1` case;
+//! * fine-grained row work is split into contiguous fixed-size **morsels**
+//!   ([`MORSEL_ROWS`] rows each) that idle workers claim dynamically from a
+//!   shared atomic counter — a straggler morsel never serializes the batch —
+//!   while the fan-in step reorders the per-morsel results back into morsel
+//!   order, so the final output is **bit-identical for every thread count**,
+//!   including the serial `threads = 1` case;
 //! * workers are **scoped threads** ([`std::thread::scope`]), so closures may
 //!   borrow the operator's input relations without cloning and without any
 //!   `'static` bound;
@@ -24,20 +26,23 @@
 
 use std::num::NonZeroUsize;
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Below this many items per prospective chunk, fine-grained batches are not
-/// split further: spawning a thread costs more than scanning a few dozen
-/// rows.  Coarse work units ([`WorkerPool::map_coarse`],
-/// [`WorkerPool::run_blocks`]) ignore this floor.
-pub const MIN_CHUNK_ITEMS: usize = 64;
+/// Rows per morsel: the unit of work idle threads claim during fine-grained
+/// fan-out.  Big enough that a morsel amortizes the claim (one atomic
+/// `fetch_add`) and fits kernels' cache-friendly tight loops; small enough
+/// that skewed per-row costs still balance across workers.  This is also the
+/// batch size the streaming cursors pull in
+/// ([`crate::cursor::NATIVE_BATCH_ROWS`] re-exports it for that purpose).
+pub const MORSEL_ROWS: usize = 1024;
 
 /// A fixed-size fan-out/fan-in worker pool.
 ///
 /// `WorkerPool::new(1)` (the default) executes every batch serially on the
 /// calling thread, reproducing the exact behavior and output order of the
-/// pre-parallel code; larger pools fan contiguous chunks out to scoped
-/// worker threads and concatenate the per-chunk results in chunk order, so
-/// results are deterministic for **any** thread count.
+/// pre-parallel code; larger pools hand contiguous morsels out to scoped
+/// worker threads and merge the per-morsel results back into morsel order,
+/// so results are deterministic for **any** thread count.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WorkerPool {
     threads: usize,
@@ -82,16 +87,6 @@ impl WorkerPool {
         self.threads == 1
     }
 
-    /// How many chunks to split a fine-grained batch of `len` items into;
-    /// floor division keeps every chunk at or above [`MIN_CHUNK_ITEMS`].
-    fn fine_parts(&self, len: usize) -> usize {
-        if self.threads == 1 || len < 2 * MIN_CHUNK_ITEMS {
-            1
-        } else {
-            self.threads.min(len / MIN_CHUNK_ITEMS)
-        }
-    }
-
     /// How many chunks to split a coarse batch of `len` work units into.
     fn coarse_parts(&self, len: usize) -> usize {
         if self.threads == 1 {
@@ -101,18 +96,60 @@ impl WorkerPool {
         }
     }
 
-    /// Fan `items` out as at most `threads` contiguous chunks and collect one
-    /// result per chunk, in chunk order.  The closure receives the chunk's
-    /// starting offset within `items` and the chunk slice, so chunk-local
-    /// indices can be translated to global ones.
+    /// Fan `items` out as contiguous [`MORSEL_ROWS`]-sized morsels that idle
+    /// workers claim dynamically, and collect one result per morsel, in
+    /// morsel order.  The closure receives the morsel's starting offset
+    /// within `items` and the morsel slice, so morsel-local indices can be
+    /// translated to global ones.
     pub fn map_chunks<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
         F: Fn(usize, &[T]) -> R + Sync,
     {
-        let ranges = chunk_ranges(items.len(), self.fine_parts(items.len()));
-        run_ranges(&ranges, |_, range| f(range.start, &items[range]))
+        let ranges = morsel_ranges(items.len());
+        self.run_morsels(&ranges, |range| f(range.start, &items[range]))
+    }
+
+    /// Dynamic fan-out over pre-cut ranges: workers repeatedly claim the next
+    /// unclaimed range index from a shared counter, and the per-range results
+    /// are merged back into range order (so output is independent of which
+    /// worker ran which range).  Worker panics are re-raised on the caller.
+    fn run_morsels<R, F>(&self, ranges: &[Range<usize>], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        if self.threads == 1 || ranges.len() <= 1 {
+            return ranges.iter().map(|r| f(r.clone())).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let drain = |local: &mut Vec<(usize, R)>| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(range) = ranges.get(i) else { break };
+            local.push((i, f(range.clone())));
+        };
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..self.threads.min(ranges.len()))
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        drain(&mut local);
+                        local
+                    })
+                })
+                .collect();
+            let mut all = Vec::with_capacity(ranges.len());
+            drain(&mut all);
+            for handle in handles {
+                match handle.join() {
+                    Ok(local) => all.extend(local),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            all.sort_unstable_by_key(|&(i, _)| i);
+            all.into_iter().map(|(_, r)| r).collect()
+        })
     }
 
     /// Map every item, preserving input order.  Equivalent to (and with one
@@ -140,8 +177,8 @@ impl WorkerPool {
     }
 
     /// [`WorkerPool::map`] for *coarse* work units (per-tuple confidence
-    /// computations, per-group compositions): splits down to one item per
-    /// chunk instead of applying the [`MIN_CHUNK_ITEMS`] floor.
+    /// computations, per-group compositions): statically splits down to as
+    /// few as one item per chunk instead of cutting [`MORSEL_ROWS`] morsels.
     pub fn map_coarse<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
@@ -168,6 +205,23 @@ impl WorkerPool {
             range.map(&f).collect::<Vec<R>>()
         }))
     }
+}
+
+/// Split `0..len` into consecutive [`MORSEL_ROWS`]-sized ranges (the last
+/// may be shorter).  `len == 0` yields a single empty range so callers still
+/// receive one (empty) result.
+pub fn morsel_ranges(len: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return vec![0..0; 1];
+    }
+    let mut ranges = Vec::with_capacity(len.div_ceil(MORSEL_ROWS));
+    let mut start = 0;
+    while start < len {
+        let end = (start + MORSEL_ROWS).min(len);
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
 }
 
 /// Split `0..len` into `parts` contiguous ranges whose lengths differ by at
@@ -300,10 +354,44 @@ mod tests {
         assert_eq!(WorkerPool::new(6).threads(), 6);
         assert!(WorkerPool::available().threads() >= 1);
         let small = WorkerPool::new(8);
-        // Fine-grained batches below the chunking floor stay on one thread.
-        assert_eq!(small.fine_parts(10), 1);
-        assert!(small.fine_parts(10_000) > 1);
         assert_eq!(small.coarse_parts(3), 3);
+    }
+
+    #[test]
+    fn morsel_ranges_cover_without_overlap() {
+        for len in [
+            0usize,
+            1,
+            MORSEL_ROWS - 1,
+            MORSEL_ROWS,
+            MORSEL_ROWS + 1,
+            10_000,
+        ] {
+            let ranges = morsel_ranges(len);
+            let mut expected_start = 0;
+            for r in &ranges {
+                assert_eq!(r.start, expected_start);
+                assert!(r.len() <= MORSEL_ROWS);
+                expected_start = r.end;
+            }
+            assert_eq!(expected_start, len);
+            // Every range but the last is exactly one morsel.
+            for r in &ranges[..ranges.len().saturating_sub(1)] {
+                assert_eq!(r.len(), MORSEL_ROWS);
+            }
+        }
+    }
+
+    #[test]
+    fn morsel_fan_out_matches_serial_across_many_morsels() {
+        // More morsels than threads, so dynamic claiming actually rotates.
+        let items: Vec<i64> = (0..(4 * MORSEL_ROWS as i64 + 7)).collect();
+        let serial: Vec<i64> = items.iter().filter(|x| *x % 5 == 0).cloned().collect();
+        for threads in [1usize, 2, 3, 8] {
+            let pool = WorkerPool::new(threads);
+            let par = pool.flat_map(&items, |x| if x % 5 == 0 { vec![*x] } else { vec![] });
+            assert_eq!(par, serial);
+        }
     }
 
     #[test]

@@ -49,6 +49,20 @@ impl CmpOp {
         }
     }
 
+    /// [`CmpOp::eval`] specialized to two defined integers — the kernels'
+    /// branch-free inner-loop comparison.
+    #[inline]
+    pub fn eval_i64(self, left: i64, right: i64) -> bool {
+        match self {
+            CmpOp::Eq => left == right,
+            CmpOp::Ne => left != right,
+            CmpOp::Lt => left < right,
+            CmpOp::Le => left <= right,
+            CmpOp::Gt => left > right,
+            CmpOp::Ge => left >= right,
+        }
+    }
+
     /// The negated operator (`¬(a θ b)  ⇔  a θ̄ b` on defined comparisons).
     pub fn negate(self) -> CmpOp {
         match self {
@@ -208,6 +222,110 @@ impl Predicate {
             Predicate::Not(p) => !p.eval(schema, tuple)?,
         })
     }
+
+    /// Resolve every attribute position against `schema` once, so per-row
+    /// evaluation needs no name lookups.  Errors on the first unknown
+    /// attribute — callers that must reproduce [`Predicate::eval`]'s per-row
+    /// short-circuit masking of unknown attributes should fall back to the
+    /// uncompiled path when compilation fails (and skip evaluation entirely
+    /// on empty inputs).
+    pub fn compile(&self, schema: &Schema) -> Result<CompiledPredicate> {
+        Ok(match self {
+            Predicate::AttrConst { attr, op, value } => {
+                let pos = schema.position_of(attr)?;
+                match value {
+                    Value::Int(c) => CompiledPredicate::IntConst {
+                        pos,
+                        op: *op,
+                        value: *c,
+                    },
+                    _ => CompiledPredicate::AttrConst {
+                        pos,
+                        op: *op,
+                        value: value.clone(),
+                    },
+                }
+            }
+            Predicate::AttrAttr { left, op, right } => CompiledPredicate::AttrAttr {
+                lpos: schema.position_of(left)?,
+                op: *op,
+                rpos: schema.position_of(right)?,
+            },
+            Predicate::And(ps) => CompiledPredicate::And(
+                ps.iter()
+                    .map(|p| p.compile(schema))
+                    .collect::<Result<_>>()?,
+            ),
+            Predicate::Or(ps) => CompiledPredicate::Or(
+                ps.iter()
+                    .map(|p| p.compile(schema))
+                    .collect::<Result<_>>()?,
+            ),
+            Predicate::Not(p) => CompiledPredicate::Not(Box::new(p.compile(schema)?)),
+        })
+    }
+}
+
+/// A [`Predicate`] with every attribute name resolved to its tuple position —
+/// the per-row fast path of the selection hot loops ([`crate::kernels`], the
+/// UWSDT/U-relation selections).  Produced by [`Predicate::compile`];
+/// evaluation is infallible and returns exactly [`Predicate::eval`]'s truth
+/// value on every tuple of the compiled schema.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CompiledPredicate {
+    /// `A θ c` with an integer constant: the common census-style atom,
+    /// comparing without touching [`Value::partial_cmp_sql`] when the row
+    /// value is an integer too.
+    IntConst {
+        /// Resolved position of `A`.
+        pos: usize,
+        /// The comparison operator `θ`.
+        op: CmpOp,
+        /// The integer constant `c`.
+        value: i64,
+    },
+    /// `A θ c` with a general constant.
+    AttrConst {
+        /// Resolved position of `A`.
+        pos: usize,
+        /// The comparison operator `θ`.
+        op: CmpOp,
+        /// The constant `c`.
+        value: Value,
+    },
+    /// `A θ B`.
+    AttrAttr {
+        /// Resolved position of `A`.
+        lpos: usize,
+        /// The comparison operator `θ`.
+        op: CmpOp,
+        /// Resolved position of `B`.
+        rpos: usize,
+    },
+    /// Conjunction (empty = `true`).
+    And(Vec<CompiledPredicate>),
+    /// Disjunction (empty = `false`).
+    Or(Vec<CompiledPredicate>),
+    /// Negation.
+    Not(Box<CompiledPredicate>),
+}
+
+impl CompiledPredicate {
+    /// Evaluate on one tuple of the compiled schema.
+    pub fn eval(&self, tuple: &Tuple) -> bool {
+        match self {
+            CompiledPredicate::IntConst { pos, op, value } => match tuple[*pos] {
+                Value::Int(v) => op.eval_i64(v, *value),
+                // Non-integer θ integer is undefined, hence false.
+                _ => false,
+            },
+            CompiledPredicate::AttrConst { pos, op, value } => op.eval(&tuple[*pos], value),
+            CompiledPredicate::AttrAttr { lpos, op, rpos } => op.eval(&tuple[*lpos], &tuple[*rpos]),
+            CompiledPredicate::And(ps) => ps.iter().all(|p| p.eval(tuple)),
+            CompiledPredicate::Or(ps) => ps.iter().any(|p| p.eval(tuple)),
+            CompiledPredicate::Not(p) => !p.eval(tuple),
+        }
+    }
 }
 
 impl fmt::Display for Predicate {
@@ -345,5 +463,67 @@ mod tests {
         let s = p.to_string();
         assert!(s.contains("A=1"));
         assert!(s.contains("¬B<C"));
+    }
+
+    #[test]
+    fn compiled_eval_matches_interpreted_eval() {
+        let s = schema();
+        let preds = vec![
+            Predicate::eq_const("A", 1i64),
+            Predicate::cmp_const("B", CmpOp::Ge, 2i64),
+            Predicate::cmp_const("C", CmpOp::Ne, Value::Bottom),
+            Predicate::cmp_attr("A", CmpOp::Lt, "B"),
+            Predicate::and(vec![
+                Predicate::eq_const("A", 1i64),
+                Predicate::cmp_attr("B", CmpOp::Le, "C"),
+            ]),
+            Predicate::or(vec![
+                Predicate::eq_const("A", 9i64),
+                Predicate::not(Predicate::eq_const("C", 3i64)),
+            ]),
+        ];
+        for p in preds {
+            let c = p.compile(&s).unwrap();
+            for t in [
+                tuple(1, 2, 3),
+                tuple(1, 1, 1),
+                tuple(9, 0, 3),
+                tuple(-1, 5, 5),
+            ] {
+                assert_eq!(c.eval(&t), p.eval(&s, &t).unwrap(), "{p} on {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn compile_resolves_int_constants_to_positions() {
+        let s = schema();
+        match Predicate::eq_const("B", 7i64).compile(&s).unwrap() {
+            CompiledPredicate::IntConst { pos, op, value } => {
+                assert_eq!((pos, op, value), (1, CmpOp::Eq, 7));
+            }
+            other => panic!("expected IntConst, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compile_errors_on_unknown_attribute() {
+        let s = schema();
+        assert!(Predicate::eq_const("Z", 1i64).compile(&s).is_err());
+        assert!(Predicate::and(vec![
+            Predicate::eq_const("A", 1i64),
+            Predicate::eq_const("Z", 1i64),
+        ])
+        .compile(&s)
+        .is_err());
+    }
+
+    #[test]
+    fn compiled_non_int_value_against_int_atom_is_false() {
+        let s = schema();
+        let c = Predicate::eq_const("A", 1i64).compile(&s).unwrap();
+        let t = Tuple::from(vec![Value::Bottom, Value::Int(1), Value::Int(1)]);
+        assert!(!c.eval(&t));
+        assert!(!Predicate::eq_const("A", 1i64).eval(&s, &t).unwrap());
     }
 }

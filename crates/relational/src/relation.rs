@@ -30,12 +30,19 @@ impl Relation {
     }
 
     /// Create a relation and bulk-load rows (bag semantics, arity-checked).
+    ///
+    /// One validation pass by reference, then the vector is moved in whole —
+    /// no per-row push or reallocation, so this is the cheap materialization
+    /// boundary for the columnar executor and the generators.
     pub fn with_rows(schema: Schema, rows: Vec<Tuple>) -> Result<Self> {
-        let mut r = Relation::new(schema);
-        for t in rows {
-            r.push(t)?;
+        if let Some(t) = rows.iter().find(|t| t.arity() != schema.arity()) {
+            return Err(RelationalError::ArityMismatch {
+                relation: schema.relation().to_string(),
+                expected: schema.arity(),
+                actual: t.arity(),
+            });
         }
-        Ok(r)
+        Ok(Relation { schema, rows })
     }
 
     /// The schema.

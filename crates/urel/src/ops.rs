@@ -27,9 +27,23 @@ use crate::urelation::URelation;
 pub fn select(udb: &UDatabase, src: &str, pred: &Predicate) -> Result<URelation> {
     let input = udb.relation(src)?;
     let mut out = URelation::new(input.schema().clone());
-    for (tuple, descriptor) in input.rows() {
-        if pred.eval(input.schema(), tuple)? {
-            out.push(tuple.clone(), descriptor.clone())?;
+    // Compile the predicate once so the hot loop needs no name lookups.
+    // Compilation fails only on unknown attributes; those keep the per-row
+    // path, whose short-circuit can mask the error row by row.
+    match pred.compile(input.schema()) {
+        Ok(compiled) => {
+            for (tuple, descriptor) in input.rows() {
+                if compiled.eval(tuple) {
+                    out.push(tuple.clone(), descriptor.clone())?;
+                }
+            }
+        }
+        Err(_) => {
+            for (tuple, descriptor) in input.rows() {
+                if pred.eval(input.schema(), tuple)? {
+                    out.push(tuple.clone(), descriptor.clone())?;
+                }
+            }
         }
     }
     Ok(out)
@@ -82,10 +96,16 @@ pub fn join(
     let r = udb.relation(right)?;
     let schema = l.schema().product(r.schema(), dst)?;
     let mut out = URelation::new(schema.clone());
+    // Same compile-or-fallback split as `select`.
+    let compiled = pred.compile(&schema).ok();
     for (lt, ld) in l.rows() {
         for (rt, rd) in r.rows() {
             let joined = lt.concat(rt);
-            if pred.eval(&schema, &joined)? {
+            let keep = match &compiled {
+                Some(c) => c.eval(&joined),
+                None => pred.eval(&schema, &joined)?,
+            };
+            if keep {
                 if let Some(descriptor) = ld.conjoin(rd) {
                     out.push(joined, descriptor)?;
                 }

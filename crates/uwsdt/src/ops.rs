@@ -89,6 +89,9 @@ pub fn select(uwsdt: &mut Uwsdt, src: &str, dst: &str, pred: &Predicate) -> Resu
     for a in &referenced {
         src_template.schema().position_of(a)?;
     }
+    // Every referenced attribute resolved above, so compilation cannot fail
+    // and the per-row evaluations below skip all name lookups.
+    let compiled = pred.compile(src_template.schema())?;
     let attrs: Vec<String> = src_template
         .schema()
         .attrs()
@@ -109,7 +112,7 @@ pub fn select(uwsdt: &mut Uwsdt, src: &str, dst: &str, pred: &Predicate) -> Resu
 
         let restriction: Option<(Cid, BTreeSet<Lwid>)> = if uncertain_refs.is_empty() {
             // Purely certain condition: evaluate on the template row.
-            if !pred.eval(src_template.schema(), row)? {
+            if !compiled.eval(row) {
                 continue;
             }
             None
@@ -138,7 +141,7 @@ pub fn select(uwsdt: &mut Uwsdt, src: &str, dst: &str, pred: &Predicate) -> Resu
                         None => continue 'lwids,
                     }
                 }
-                if pred.eval(src_template.schema(), &values)? {
+                if compiled.eval(&values) {
                     satisfied.insert(lwid);
                 }
             }

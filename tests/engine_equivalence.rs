@@ -122,3 +122,99 @@ fn all_backends_agree_with_the_world_enumeration_oracle() {
         "the generator never produced a difference"
     );
 }
+
+/// A single-world database with `n` rows in `R` (plus a small join partner
+/// `S`), for exercising the columnar executor's morsel boundaries.
+fn batch_boundary_db(n: usize) -> Database {
+    let mut r = Relation::new(Schema::new("R", &["A", "B", "C"]).unwrap());
+    for i in 0..n {
+        r.push_values([i as i64, (i % 7) as i64, (i % 3) as i64])
+            .unwrap();
+    }
+    let mut s = Relation::new(Schema::new("S", &["K", "D"]).unwrap());
+    for k in 0..7i64 {
+        s.push_values([k, k * 10]).unwrap();
+    }
+    let mut db = Database::new();
+    db.insert_relation(r);
+    db.insert_relation(s);
+    db
+}
+
+/// Plans covering every columnar kernel: σ-chains (selective, all-filtering,
+/// attribute-attribute), projections, product, the equi-join shape, union
+/// and difference.
+fn batch_boundary_plans() -> Vec<RaExpr> {
+    vec![
+        RaExpr::rel("R"),
+        RaExpr::rel("R").select(Predicate::eq_const("B", 3i64)),
+        // Filters every row out — empty selection vectors in every morsel.
+        RaExpr::rel("R").select(Predicate::eq_const("A", -1i64)),
+        RaExpr::rel("R")
+            .select(Predicate::cmp_const("B", CmpOp::Ge, 2i64))
+            .select(Predicate::cmp_attr("B", CmpOp::Gt, "C")),
+        RaExpr::rel("R").project(vec!["B", "A"]),
+        RaExpr::rel("R")
+            .select(Predicate::and(vec![
+                Predicate::eq_const("C", 1i64),
+                Predicate::or(vec![
+                    Predicate::eq_const("B", 1i64),
+                    Predicate::eq_const("B", 4i64),
+                ]),
+            ]))
+            .project(vec!["C"]),
+        // The equi-join shape: recognized as a hash join when the engine's
+        // join recognition is on, product-then-select when it is off.
+        RaExpr::rel("R")
+            .product(RaExpr::rel("S"))
+            .select(Predicate::cmp_attr("B", CmpOp::Eq, "K")),
+        RaExpr::rel("R")
+            .project(vec!["B"])
+            .union(RaExpr::rel("S").rename("K", "B").project(vec!["B"])),
+        RaExpr::rel("R")
+            .project(vec!["B"])
+            .difference(RaExpr::rel("S").rename("K", "B").project(vec!["B"])),
+    ]
+}
+
+#[test]
+fn columnar_and_row_paths_are_bit_identical_at_batch_boundaries() {
+    // The columnar executor hands out 1024-row morsels
+    // (`ws_relational::cursor::NATIVE_BATCH_ROWS`): exercise the empty
+    // relation, a single row, the sizes straddling one morsel, and a
+    // multi-morsel relation.
+    assert_eq!(maybms::relational::cursor::NATIVE_BATCH_ROWS, 1024);
+    for n in [0usize, 1, 1023, 1024, 1025, 2500] {
+        let db = batch_boundary_db(n);
+        for query in &batch_boundary_plans() {
+            for optimize in [false, true] {
+                // Anchor: row-at-a-time operators, serial.
+                let mut anchor_cfg = if optimize {
+                    EngineConfig::default()
+                } else {
+                    EngineConfig::naive()
+                };
+                anchor_cfg.columnar = false;
+                let mut anchor_db = db.clone();
+                let out = evaluate_query_with(&mut anchor_db, query, "OUT", anchor_cfg).unwrap();
+                let anchor = anchor_db.relation(&out).unwrap().rows().to_vec();
+
+                for columnar in [false, true] {
+                    for threads in [1usize, 2, 4] {
+                        let mut config = anchor_cfg;
+                        config.columnar = columnar;
+                        config.threads = threads;
+                        let mut exec_db = db.clone();
+                        let out = evaluate_query_with(&mut exec_db, query, "OUT", config).unwrap();
+                        assert_eq!(
+                            exec_db.relation(&out).unwrap().rows(),
+                            &anchor[..],
+                            "n={n} optimize={optimize} columnar={columnar} \
+                             threads={threads}: rows (or order) differ for {query}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
