@@ -18,10 +18,12 @@
 //! `cargo bench -p ws-bench --bench ablation_confidence`
 //! (`WS_BENCH_QUICK=1` for the CI smoke grid).
 
+use maybms::{AnyBackend, ConfidenceStrategy, Session};
 use ws_bench::{bench_threads, is_quick, print_header, print_row, secs, time_once, Recorder};
 use ws_census::CensusScenario;
 use ws_core::confidence::approx::ApproxConfig;
-use ws_relational::{EngineConfig, RaExpr, WorkerPool};
+use ws_relational::{EngineConfig, RaExpr, Schema, Tuple, WorkerPool};
+use ws_urel::{UDatabase, URelation, WsDescriptor};
 
 fn main() {
     let mut rec = Recorder::new("ablation_confidence");
@@ -145,6 +147,108 @@ fn main() {
                 secs(u_mc_time),
             ]);
         }
+    }
+
+    // ----------------------------------------------------------------------
+    // Tier ablation: the same hierarchical query answered by each
+    // Session::confidence tier.  A tuple-independent relation with n
+    // variables all projecting onto one output tuple is the worst case for
+    // native exact enumeration (2^n joint assignments) and the best case for
+    // the safe-plan tier (one linear 1 − Π(1 − p) pass); the compiled d-tree
+    // sits in between (independent components, no Shannon expansion needed).
+    // All three must produce bit-identical numbers — the probabilities are
+    // dyadic (1/4, 3/4), so no exact algorithm rounds anywhere.
+    // ----------------------------------------------------------------------
+    println!();
+    println!("# Confidence tiers: safe plan vs compiled lineage vs native exact");
+    println!("(tuple-independent U-relation, query π_B(σ_A<n(T)); n independent variables)");
+    print_header(&[
+        "variables",
+        "safe (s)",
+        "compiled (s)",
+        "exact (s)",
+        "exact/safe",
+    ]);
+    let var_counts: &[usize] = if is_quick() {
+        &[14, 16]
+    } else {
+        &[14, 16, 18, 20]
+    };
+    for &n in var_counts {
+        let mut udb = UDatabase::new();
+        let mut rel = URelation::new(Schema::new("T", &["A", "B"]).unwrap());
+        for i in 0..n {
+            let var = format!("x{i}");
+            udb.world_table_mut()
+                .add_variable(&var, vec![0.25, 0.75])
+                .unwrap();
+            rel.push(
+                Tuple::from_iter([i as i64, 0i64]),
+                WsDescriptor::bind(&var, 1),
+            )
+            .unwrap();
+        }
+        udb.insert_relation(rel);
+        let query = RaExpr::rel("T")
+            .select(ws_relational::Predicate::cmp_const(
+                "A",
+                ws_relational::CmpOp::Lt,
+                n as i64,
+            ))
+            .project(vec!["B"]);
+
+        let timed_tier = |strategy: ConfidenceStrategy| {
+            let mut session = Session::over(AnyBackend::from(udb.clone()));
+            session.set_confidence_strategy(strategy);
+            let prepared = session.prepare(query.clone()).unwrap();
+            let (rows, t) = time_once(|| session.confidence(&prepared).unwrap());
+            (rows, session.stats(), t)
+        };
+        let (safe_rows, safe_stats, safe_time) = timed_tier(ConfidenceStrategy::Tiered);
+        let (compiled_rows, compiled_stats, compiled_time) =
+            timed_tier(ConfidenceStrategy::CompiledOnly);
+        let (exact_rows, exact_stats, exact_time) = timed_tier(ConfidenceStrategy::ExactOnly);
+
+        // Each strategy must hit its intended tier and agree bit-for-bit.
+        assert_eq!(safe_stats.conf_safe, 1, "safe tier did not fire");
+        assert_eq!(
+            compiled_stats.conf_compiled, 1,
+            "compiled tier did not fire"
+        );
+        assert_eq!(exact_stats.conf_exact, 1, "exact tier did not fire");
+        for rows in [&compiled_rows, &exact_rows] {
+            assert_eq!(safe_rows.len(), rows.len());
+            for ((ts, cs), (to, co)) in safe_rows.iter().zip(rows.iter()) {
+                assert_eq!(ts, to, "tiers disagree on the possible tuples");
+                assert_eq!(cs.to_bits(), co.to_bits(), "tiers are not bit-identical");
+            }
+        }
+        // Acceptance gate (quick mode, enforced again by bench_gate on the
+        // recorded JSON): the safe tier is at least 3× faster than native
+        // exact enumeration on hierarchical queries.
+        if is_quick() {
+            assert!(
+                safe_time.as_secs_f64() * 3.0 <= exact_time.as_secs_f64(),
+                "safe tier ({:?}) is not ≥3× faster than exact ({:?}) at n = {n}",
+                safe_time,
+                exact_time,
+            );
+        }
+
+        let cell = format!("v{n}");
+        rec.record("tiers", &cell, "safe_s", safe_time);
+        rec.record("tiers", &cell, "compiled_s", compiled_time);
+        rec.record("tiers", &cell, "exact_s", exact_time);
+        print_row(&[
+            n.to_string(),
+            secs(safe_time),
+            secs(compiled_time),
+            secs(exact_time),
+            format!(
+                "{:.1}x",
+                exact_time.as_secs_f64() / safe_time.as_secs_f64().max(1e-9)
+            ),
+        ]);
     }
     rec.flush();
 }

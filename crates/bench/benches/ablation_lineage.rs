@@ -1,0 +1,115 @@
+//! Ablation: the lineage layer — extraction, annotated evaluation, and the
+//! d-tree compiler against brute-force joint enumeration.
+//!
+//! The tiered `Session::confidence` strategy (PR 7) rests on four pieces of
+//! machinery whose costs this bench isolates on the census workload:
+//!
+//! * **extract** — mapping the WSD onto finite-domain lineage variables
+//!   ([`maybms::lineage::wsd_lineage`]),
+//! * **eval** — the annotated executor propagating one clause per derivation
+//!   ([`ws_relational::lineage::evaluate_lineage`]),
+//! * **dtree** — compiling every output tuple's DNF with the
+//!   Shannon-expansion compiler and shared memo
+//!   ([`ws_relational::lineage::DtreeCompiler`]),
+//! * **enumerate** — the same DNFs by brute-force joint enumeration over the
+//!   relevant variables ([`ws_relational::lineage::enumerate_probability`]),
+//!   the baseline the compiler must beat as components grow.
+//!
+//! Run with: `cargo bench -p ws-bench --bench ablation_lineage`
+//! (`WS_BENCH_QUICK=1` for the CI smoke grid).
+
+use std::collections::BTreeSet;
+
+use ws_bench::{is_quick, print_header, print_row, secs, time_once, Recorder};
+use ws_census::CensusScenario;
+use ws_relational::lineage::{enumerate_probability, evaluate_lineage, DtreeCompiler};
+use ws_relational::RaExpr;
+
+fn main() {
+    let mut rec = Recorder::new("ablation_lineage");
+    println!("# Lineage layer: extract / annotated eval / d-tree vs enumeration");
+    println!("(census scenarios; query π_CITIZEN,IMMIGR(R) evaluated over the extracted lineage)");
+    print_header(&[
+        "tuples",
+        "density",
+        "vars",
+        "output tuples",
+        "extract (s)",
+        "eval (s)",
+        "d-tree (s)",
+        "enumerate (s)",
+        "memo hits",
+    ]);
+
+    let query = RaExpr::rel(ws_census::RELATION_NAME).project(vec!["CITIZEN", "IMMIGR"]);
+    let relations: BTreeSet<String> = [ws_census::RELATION_NAME.to_string()].into();
+
+    let grid: &[(usize, f64, &str)] = if is_quick() {
+        &[(150, 0.001, "0.1%"), (300, 0.001, "0.1%")]
+    } else {
+        &[
+            (200, 0.001, "0.1%"),
+            (500, 0.001, "0.1%"),
+            (1000, 0.001, "0.1%"),
+            (1000, 0.0005, "0.05%"),
+        ]
+    };
+
+    for &(tuples, density, label) in grid {
+        let scenario = CensusScenario::new(tuples, density, 0xC0FFEE);
+        let wsd = scenario.dirty_wsd().unwrap();
+        let cell = format!("n{tuples}_d{label}");
+
+        let (lineage, extract_time) =
+            time_once(|| maybms::lineage::wsd_lineage(&wsd, &relations).unwrap());
+        rec.record("lineage", &cell, "extract_s", extract_time);
+
+        let (output, eval_time) = time_once(|| evaluate_lineage(&lineage, &query).unwrap());
+        rec.record("lineage", &cell, "eval_s", eval_time);
+        let dnfs = output.dnfs();
+
+        let mut compiler = DtreeCompiler::new(lineage.vars());
+        let (compiled, dtree_time) = time_once(|| {
+            dnfs.iter()
+                .map(|(tuple, dnf)| (tuple.clone(), compiler.probability(dnf).unwrap()))
+                .collect::<Vec<_>>()
+        });
+        rec.record("lineage", &cell, "dtree_s", dtree_time);
+
+        let (enumerated, enum_time) = time_once(|| {
+            dnfs.iter()
+                .map(|(tuple, dnf)| {
+                    (
+                        tuple.clone(),
+                        enumerate_probability(dnf, lineage.vars(), 1 << 24).unwrap(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+        rec.record("lineage", &cell, "enumerate_s", enum_time);
+
+        // Correctness gate: the compiler and the brute-force enumeration are
+        // two independent exact algorithms over the same DNFs.
+        assert_eq!(compiled.len(), enumerated.len());
+        for ((tc, pc), (te, pe)) in compiled.iter().zip(&enumerated) {
+            assert_eq!(tc, te);
+            assert!(
+                (pc - pe).abs() < 1e-9,
+                "d-tree and enumeration disagree on {tc}: {pc} vs {pe}"
+            );
+        }
+
+        print_row(&[
+            tuples.to_string(),
+            label.to_string(),
+            lineage.vars().len().to_string(),
+            dnfs.len().to_string(),
+            secs(extract_time),
+            secs(eval_time),
+            secs(dtree_time),
+            secs(enum_time),
+            compiler.memo_hits().to_string(),
+        ]);
+    }
+    rec.flush();
+}

@@ -1,0 +1,77 @@
+//! CI bench-regression gate.
+//!
+//! ```text
+//! bench_gate <BENCH_seed.json> <BENCH_ci.json>
+//! ```
+//!
+//! Diffs the CI metric snapshot against the committed seed baseline with the
+//! rules in [`ws_bench::gate`], prints the per-metric delta table, appends it
+//! to `$GITHUB_STEP_SUMMARY` when that variable is set, and exits non-zero if
+//! any tracked metric regressed past the 1.5× limit or the confidence-tier
+//! speedup bound is violated.
+
+use std::process::ExitCode;
+
+use ws_bench::gate::{compare, load_metrics};
+use ws_bench::json::Json;
+
+fn read_snapshot(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, seed_path, ci_path] = args.as_slice() else {
+        eprintln!("usage: bench_gate <BENCH_seed.json> <BENCH_ci.json>");
+        return ExitCode::from(2);
+    };
+    let (seed, ci) = match (read_snapshot(seed_path), read_snapshot(ci_path)) {
+        (Ok(seed), Ok(ci)) => (seed, ci),
+        (seed, ci) => {
+            for result in [seed, ci] {
+                if let Err(e) = result {
+                    eprintln!("bench_gate: {e}");
+                }
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = compare(&load_metrics(&seed), &load_metrics(&ci));
+    let table = report.to_markdown();
+    println!("{table}");
+    if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        if !summary_path.is_empty() {
+            use std::io::Write;
+            match std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&summary_path)
+            {
+                Ok(mut file) => {
+                    let _ = writeln!(file, "{table}");
+                }
+                Err(e) => eprintln!("bench_gate: cannot append to {summary_path}: {e}"),
+            }
+        }
+    }
+
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        for delta in report.regressions() {
+            let (bench, section, name, metric) = &delta.key;
+            eprintln!(
+                "bench_gate: {bench}/{section}/{name}/{metric} regressed: \
+                 seed {:.6}s -> ci {:.6}s",
+                delta.seed_seconds.unwrap_or(f64::NAN),
+                delta.ci_seconds.unwrap_or(f64::NAN),
+            );
+        }
+        for failure in &report.tier_failures {
+            eprintln!("bench_gate: {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}

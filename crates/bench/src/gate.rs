@@ -1,0 +1,317 @@
+//! The bench-regression gate: compare a CI metric snapshot against the
+//! committed seed baseline and fail loudly on slowdowns.
+//!
+//! Both files carry the same per-measurement records — the objects
+//! [`crate::Recorder`] emits, keyed by `(bench, section, name, metric)` with a
+//! `seconds` value — but wrap them differently: `BENCH_seed.json` stores them
+//! under a top-level `"entries"` array, while the CI smoke step collects the
+//! per-bench JSONL into a `"metrics"` array.  [`load_metrics`] accepts either.
+//!
+//! The gate's rules:
+//!
+//! * a metric present in both files **regresses** when
+//!   `ci > seed × RATIO_LIMIT + ABSOLUTE_FLOOR_SECONDS` — the multiplicative
+//!   limit catches real slowdowns, the absolute floor keeps micro-benchmarks
+//!   in the sub-millisecond range from tripping on scheduler noise;
+//! * a metric only in the CI file is **new** (no baseline yet) and passes —
+//!   this is how a PR introduces measurements without touching the seed;
+//! * a metric only in the seed is **retired** and passes, so benches can be
+//!   reshaped (the delta table still lists it for the reviewer);
+//! * the `tiers` section additionally enforces the PR 7 acceptance bound
+//!   *inside* the CI file: the safe-plan tier must be at least
+//!   [`SAFE_SPEEDUP_REQUIRED`]× faster than native exact enumeration on
+//!   every recorded variable count.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::json::Json;
+
+/// A CI metric may be at most this multiple of the seed baseline.
+pub const RATIO_LIMIT: f64 = 1.5;
+
+/// Additive noise floor: sub-millisecond metrics jitter more than 1.5×.
+pub const ABSOLUTE_FLOOR_SECONDS: f64 = 0.005;
+
+/// The safe-plan tier must beat native exact enumeration by this factor.
+pub const SAFE_SPEEDUP_REQUIRED: f64 = 3.0;
+
+/// One measurement key: `(bench, section, name, metric)`.
+pub type MetricKey = (String, String, String, String);
+
+/// How one metric fared against the baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Status {
+    /// Present in both files and within the limit.
+    Ok,
+    /// Present in both files and over the limit.
+    Regressed,
+    /// Only in the CI file: no baseline yet.
+    New,
+    /// Only in the seed file: the bench no longer records it.
+    Retired,
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Status::Ok => "ok",
+            Status::Regressed => "REGRESSED",
+            Status::New => "new",
+            Status::Retired => "retired",
+        })
+    }
+}
+
+/// One row of the delta table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    pub key: MetricKey,
+    pub seed_seconds: Option<f64>,
+    pub ci_seconds: Option<f64>,
+    pub status: Status,
+}
+
+/// The gate's verdict over a snapshot pair.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    pub deltas: Vec<Delta>,
+    /// Violations of the in-file `tiers` speedup bound, as messages.
+    pub tier_failures: Vec<String>,
+}
+
+impl Report {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.tier_failures.is_empty() && self.deltas.iter().all(|d| d.status != Status::Regressed)
+    }
+
+    /// The rows that regressed.
+    pub fn regressions(&self) -> impl Iterator<Item = &Delta> {
+        self.deltas.iter().filter(|d| d.status == Status::Regressed)
+    }
+
+    /// The delta table (and any tier violations) as a Markdown document,
+    /// printed to the job log and appended to `$GITHUB_STEP_SUMMARY`.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("## Bench regression gate\n\n");
+        out.push_str(&format!(
+            "limit: ci ≤ seed × {RATIO_LIMIT} + {ABSOLUTE_FLOOR_SECONDS}s\n\n"
+        ));
+        out.push_str("| bench | section | name | metric | seed (s) | ci (s) | ratio | status |\n");
+        out.push_str("| --- | --- | --- | --- | --- | --- | --- | --- |\n");
+        for delta in &self.deltas {
+            let (bench, section, name, metric) = &delta.key;
+            let fmt_opt = |v: Option<f64>| match v {
+                Some(s) => format!("{s:.6}"),
+                None => "—".to_string(),
+            };
+            let ratio = match (delta.seed_seconds, delta.ci_seconds) {
+                (Some(seed), Some(ci)) if seed > 0.0 => format!("{:.2}x", ci / seed),
+                _ => "—".to_string(),
+            };
+            out.push_str(&format!(
+                "| {bench} | {section} | {name} | {metric} | {} | {} | {ratio} | {} |\n",
+                fmt_opt(delta.seed_seconds),
+                fmt_opt(delta.ci_seconds),
+                delta.status
+            ));
+        }
+        if !self.tier_failures.is_empty() {
+            out.push_str("\n### Confidence-tier bound violations\n\n");
+            for failure in &self.tier_failures {
+                out.push_str(&format!("* {failure}\n"));
+            }
+        }
+        let verdict = if self.passed() { "PASS" } else { "FAIL" };
+        out.push_str(&format!("\n**{verdict}**\n"));
+        out
+    }
+}
+
+/// Extract the keyed metrics from a parsed snapshot, accepting either the
+/// seed layout (`"entries"`) or the CI layout (`"metrics"`).  Records missing
+/// a field or with a non-numeric `seconds` are skipped — a half-written line
+/// must not take the gate down with a parse panic.
+pub fn load_metrics(doc: &Json) -> BTreeMap<MetricKey, f64> {
+    let records = doc
+        .get("entries")
+        .or_else(|| doc.get("metrics"))
+        .and_then(Json::as_array)
+        .unwrap_or(&[]);
+    let mut metrics = BTreeMap::new();
+    for record in records {
+        let field = |k: &str| record.get(k).and_then(Json::as_str).map(str::to_string);
+        let (Some(bench), Some(section), Some(name), Some(metric)) = (
+            field("bench"),
+            field("section"),
+            field("name"),
+            field("metric"),
+        ) else {
+            continue;
+        };
+        let Some(seconds) = record.get("seconds").and_then(Json::as_f64) else {
+            continue;
+        };
+        metrics.insert((bench, section, name, metric), seconds);
+    }
+    metrics
+}
+
+/// Whether a CI measurement violates the regression limit.
+pub fn is_regression(seed_seconds: f64, ci_seconds: f64) -> bool {
+    ci_seconds > seed_seconds * RATIO_LIMIT + ABSOLUTE_FLOOR_SECONDS
+}
+
+/// Run the gate: diff the CI metrics against the seed baseline and check the
+/// `tiers` speedup bound inside the CI file.
+pub fn compare(seed: &BTreeMap<MetricKey, f64>, ci: &BTreeMap<MetricKey, f64>) -> Report {
+    let mut report = Report::default();
+    let mut keys: Vec<&MetricKey> = seed.keys().chain(ci.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    for key in keys {
+        let (seed_seconds, ci_seconds) = (seed.get(key).copied(), ci.get(key).copied());
+        let status = match (seed_seconds, ci_seconds) {
+            (Some(s), Some(c)) if is_regression(s, c) => Status::Regressed,
+            (Some(_), Some(_)) => Status::Ok,
+            (None, Some(_)) => Status::New,
+            (Some(_), None) => Status::Retired,
+            (None, None) => unreachable!("key came from one of the maps"),
+        };
+        report.deltas.push(Delta {
+            key: key.clone(),
+            seed_seconds,
+            ci_seconds,
+            status,
+        });
+    }
+
+    // The PR 7 acceptance bound: on every recorded `tiers` row of the CI run,
+    // safe-plan evaluation is ≥ SAFE_SPEEDUP_REQUIRED× faster than exact.
+    for ((bench, section, name, metric), &safe) in ci {
+        if section != "tiers" || metric != "safe_s" {
+            continue;
+        }
+        let exact_key = (
+            bench.clone(),
+            section.clone(),
+            name.clone(),
+            "exact_s".to_string(),
+        );
+        match ci.get(&exact_key) {
+            Some(&exact) if safe * SAFE_SPEEDUP_REQUIRED <= exact => {}
+            Some(&exact) => report.tier_failures.push(format!(
+                "{bench}/{section}/{name}: safe tier {safe:.6}s is not \
+                 {SAFE_SPEEDUP_REQUIRED}× faster than exact {exact:.6}s"
+            )),
+            None => report.tier_failures.push(format!(
+                "{bench}/{section}/{name}: safe_s recorded without exact_s"
+            )),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(metric: &str) -> MetricKey {
+        (
+            "ablation_confidence".into(),
+            "confidence".into(),
+            "n150_d0.1%_t1".into(),
+            metric.into(),
+        )
+    }
+
+    #[test]
+    fn loads_both_snapshot_layouts() {
+        let seed = Json::parse(
+            r#"{"commit": "abc", "entries": [
+                {"bench":"b","section":"s","name":"n","metric":"m","seconds":0.5},
+                {"bench":"b","section":"s","name":"n","seconds":0.5},
+                {"bench":"b","section":"s","name":"n","metric":"bad","seconds":"oops"}
+            ]}"#,
+        )
+        .unwrap();
+        let ci = Json::parse(
+            r#"{"results": [], "metrics": [
+                {"bench":"b","section":"s","name":"n","metric":"m","seconds":0.25}
+            ]}"#,
+        )
+        .unwrap();
+        let seed = load_metrics(&seed);
+        let ci = load_metrics(&ci);
+        // The malformed records are skipped, not fatal.
+        assert_eq!(seed.len(), 1);
+        assert_eq!(seed[&("b".into(), "s".into(), "n".into(), "m".into())], 0.5);
+        assert_eq!(ci.len(), 1);
+    }
+
+    #[test]
+    fn regression_limit_has_ratio_and_floor() {
+        // Under the multiplicative limit.
+        assert!(!is_regression(1.0, 1.49));
+        // Over it.
+        assert!(is_regression(1.0, 1.51));
+        // A micro-benchmark jumping 10× but staying under the absolute floor.
+        assert!(!is_regression(0.0002, 0.002));
+        assert!(is_regression(0.0002, 0.0061));
+    }
+
+    #[test]
+    fn compare_classifies_and_passes_correctly() {
+        let mut seed = BTreeMap::new();
+        seed.insert(key("fast_s"), 0.10);
+        seed.insert(key("slow_s"), 0.10);
+        seed.insert(key("retired_s"), 0.10);
+        let mut ci = BTreeMap::new();
+        ci.insert(key("fast_s"), 0.11);
+        ci.insert(key("slow_s"), 0.50);
+        ci.insert(key("new_s"), 9.99);
+        let report = compare(&seed, &ci);
+        assert!(!report.passed());
+        let by_metric: BTreeMap<&str, Status> = report
+            .deltas
+            .iter()
+            .map(|d| (d.key.3.as_str(), d.status))
+            .collect();
+        assert_eq!(by_metric["fast_s"], Status::Ok);
+        assert_eq!(by_metric["slow_s"], Status::Regressed);
+        assert_eq!(by_metric["new_s"], Status::New);
+        assert_eq!(by_metric["retired_s"], Status::Retired);
+        assert_eq!(report.regressions().count(), 1);
+        let table = report.to_markdown();
+        assert!(table.contains("REGRESSED"));
+        assert!(table.contains("**FAIL**"));
+    }
+
+    #[test]
+    fn tier_bound_is_enforced_inside_the_ci_file() {
+        let tier_key = |metric: &str| -> MetricKey {
+            (
+                "ablation_confidence".into(),
+                "tiers".into(),
+                "v14".into(),
+                metric.into(),
+            )
+        };
+        let seed = BTreeMap::new();
+        // Passing: safe is well over 3× faster than exact.
+        let mut ci = BTreeMap::new();
+        ci.insert(tier_key("safe_s"), 0.001);
+        ci.insert(tier_key("exact_s"), 0.100);
+        assert!(compare(&seed, &ci).passed());
+        // Failing: safe barely beats exact.
+        ci.insert(tier_key("safe_s"), 0.050);
+        let report = compare(&seed, &ci);
+        assert!(!report.passed());
+        assert_eq!(report.tier_failures.len(), 1);
+        assert!(report.to_markdown().contains("Confidence-tier bound"));
+        // A safe_s without its exact_s is also a failure.
+        ci.remove(&tier_key("exact_s"));
+        assert!(!compare(&seed, &ci).passed());
+    }
+}

@@ -1,0 +1,317 @@
+//! A minimal JSON reader for the benchmark snapshots.
+//!
+//! The workspace deliberately has no serialization dependency, and the two
+//! files the bench-regression gate compares — the committed `BENCH_seed.json`
+//! and the CI-produced `BENCH_ci.json` — are machine-written with a known
+//! shape (objects, arrays, strings, plain numbers).  This parser covers full
+//! JSON anyway so a hand-edited snapshot cannot silently mis-parse: strings
+//! with the standard escapes, numbers via [`f64`] parsing, `true`/`false`/
+//! `null`, and arbitrarily nested arrays and objects.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parse a complete JSON document; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// The object's field, if this is an object that has one.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.get(key),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: what went wrong and the byte offset it happened at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = BTreeMap::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value()?;
+            fields.insert(key, value);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            // Surrogate pairs do not occur in bench labels;
+                            // map lone surrogates to U+FFFD rather than fail.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar, not one byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    let ch = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.error("unterminated string"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_recorder_line_shape() {
+        let line = r#"{"bench":"ablation_confidence","section":"tiers","name":"v14","metric":"safe_s","seconds":0.000123}"#;
+        let value = Json::parse(line).unwrap();
+        assert_eq!(
+            value.get("bench").unwrap().as_str(),
+            Some("ablation_confidence")
+        );
+        assert_eq!(value.get("seconds").unwrap().as_f64(), Some(0.000123));
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = r#"{"quick": true, "entries": [{"seconds": 1e-3}, {"seconds": -2.5}], "note": "a \"quoted\" – label\n"}"#;
+        let value = Json::parse(doc).unwrap();
+        assert_eq!(value.get("quick"), Some(&Json::Bool(true)));
+        let entries = value.get("entries").unwrap().as_array().unwrap();
+        assert_eq!(entries[0].get("seconds").unwrap().as_f64(), Some(0.001));
+        assert_eq!(entries[1].get("seconds").unwrap().as_f64(), Some(-2.5));
+        assert_eq!(
+            value.get("note").unwrap().as_str(),
+            Some("a \"quoted\" – label\n")
+        );
+    }
+
+    #[test]
+    fn parses_escapes_and_empty_containers() {
+        let value = Json::parse(r#"{"a": [], "b": {}, "c": "A\t", "d": null}"#).unwrap();
+        assert_eq!(value.get("a").unwrap().as_array(), Some(&[][..]));
+        assert_eq!(value.get("b"), Some(&Json::Object(BTreeMap::new())));
+        assert_eq!(value.get("c").unwrap().as_str(), Some("A\t"));
+        assert_eq!(value.get("d"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1, ]x",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "{\"a\": 1} trailing",
+            "01a",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

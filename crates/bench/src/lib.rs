@@ -8,6 +8,9 @@
 use std::time::{Duration, Instant};
 use ws_census::CensusScenario;
 
+pub mod gate;
+pub mod json;
+
 /// The default tuple counts of the scaled-down sweep (the paper sweeps
 /// 0.1M–12.5M tuples on a 32 GB server; see DESIGN.md for the substitution).
 pub const DEFAULT_SIZES: [usize; 5] = [1_000, 5_000, 10_000, 20_000, 50_000];

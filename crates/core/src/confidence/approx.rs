@@ -27,110 +27,16 @@ use crate::error::{Result, WsError};
 use crate::field::FieldId;
 use crate::wsd::Wsd;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
 use ws_relational::{Tuple, Value, WorkerPool};
 
-/// Trials per Monte-Carlo block: the unit of parallel fan-out and of seed
-/// derivation (see the module docs on determinism).
-pub const SAMPLE_BLOCK: usize = 1024;
-
-/// Hard ceiling on the trial count an [`ApproxConfig`] may request
-/// (`≈ 4.2M`), so accidentally tiny `ε`/`δ` fail fast instead of hanging.
-pub const MAX_SAMPLES: usize = 1 << 22;
-
-/// The (ε, δ) knobs of the estimator.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct ApproxConfig {
-    /// Additive error bound `ε` (half-width of the guarantee interval).
-    pub epsilon: f64,
-    /// Failure probability `δ`: the estimate may miss `[p − ε, p + ε]` with
-    /// probability at most `δ`.
-    pub delta: f64,
-    /// Base RNG seed; block `b` derives its own seed from `(seed, b)`.
-    pub seed: u64,
-}
-
-impl Default for ApproxConfig {
-    fn default() -> Self {
-        ApproxConfig {
-            epsilon: 0.05,
-            delta: 0.01,
-            seed: 0x5EED_CAFE,
-        }
-    }
-}
-
-impl ApproxConfig {
-    /// An (ε, δ) configuration with the default seed.
-    pub fn new(epsilon: f64, delta: f64) -> Self {
-        ApproxConfig {
-            epsilon,
-            delta,
-            ..ApproxConfig::default()
-        }
-    }
-
-    /// The same configuration with a different base seed.
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// The trial count this configuration requires (validated).
-    pub fn samples(&self) -> Result<usize> {
-        hoeffding_samples(self.epsilon, self.delta)
-    }
-}
-
-/// The Hoeffding sample bound `⌈ln(2/δ) / (2ε²)⌉` for an additive
-/// (ε, δ)-approximation of a Bernoulli mean.  Errors when the parameters are
-/// outside `(0, 1)` or the bound exceeds [`MAX_SAMPLES`].
-pub fn hoeffding_samples(epsilon: f64, delta: f64) -> Result<usize> {
-    if !(epsilon > 0.0 && epsilon < 1.0 && delta > 0.0 && delta < 1.0) {
-        return Err(WsError::invalid(format!(
-            "(ε, δ) must lie in (0, 1): got ε = {epsilon}, δ = {delta}"
-        )));
-    }
-    let n = ((2.0 / delta).ln() / (2.0 * epsilon * epsilon)).ceil();
-    if n > MAX_SAMPLES as f64 {
-        return Err(WsError::invalid(format!(
-            "(ε = {epsilon}, δ = {delta}) needs {n:.0} Monte-Carlo trials, \
-             more than the {MAX_SAMPLES} ceiling"
-        )));
-    }
-    Ok((n as usize).max(1))
-}
-
-/// The per-block RNG seed: mixes the block index through SplitMix64's
-/// increment so nearby blocks diverge immediately.  Shared with the
-/// U-relational estimator (`ws_urel::confidence::approx`) so both samplers
-/// have the same determinism story.
-pub fn block_seed(seed: u64, block: u64) -> u64 {
-    seed ^ (block.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-}
-
-/// Run `samples` Monte-Carlo trials as [`SAMPLE_BLOCK`]-sized blocks fanned
-/// out on `pool`, collecting one result per block in block order.
-///
-/// This is the one block driver behind every (ε, δ) estimator of the stack
-/// (WSD and U-relational): each block gets an RNG seeded from
-/// `(seed, block index)` alone and its trial count (the last block may be
-/// partial), so the aggregate over the returned blocks is bit-identical for
-/// any thread count and the seeding scheme cannot diverge between the
-/// representations.
-pub fn run_trial_blocks<R, F>(pool: &WorkerPool, samples: usize, seed: u64, per_block: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(&mut StdRng, usize) -> R + Sync,
-{
-    let blocks = samples.div_ceil(SAMPLE_BLOCK);
-    pool.run_blocks(blocks, |b| {
-        let mut rng = StdRng::seed_from_u64(block_seed(seed, b as u64));
-        let block_len = SAMPLE_BLOCK.min(samples - b * SAMPLE_BLOCK);
-        per_block(&mut rng, block_len)
-    })
-}
+// The Hoeffding sample planner and the block-seeded trial driver are shared
+// with the U-relational estimator; they live in `ws_relational::approx` and
+// are re-exported here so existing WSD call sites keep compiling unchanged.
+pub use ws_relational::approx::{
+    block_seed, hoeffding_samples, run_trial_blocks, ApproxConfig, MAX_SAMPLES, SAMPLE_BLOCK,
+};
 
 /// A prepared sampler for one relation of a WSD: for every relevant
 /// component slot, the cumulative local-world distribution; for every live

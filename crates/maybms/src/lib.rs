@@ -90,13 +90,14 @@
 pub mod builder;
 pub mod durable;
 pub mod error;
+pub mod lineage;
 pub mod session;
 
 pub use builder::{q, typecheck, typecheck_update, IntoQuery, Query};
 pub use error::{Error, ErrorKind, Result};
 pub use session::{
-    AnyBackend, Prepared, RowSource, Rows, Session, SessionBackend, SessionStats,
-    DEFAULT_BATCH_SIZE,
+    AnyBackend, ConfidenceStrategy, Prepared, RowSource, Rows, Session, SessionBackend,
+    SessionStats, DEFAULT_BATCH_SIZE,
 };
 pub use ws_core::ops::update::{apply_update, UpdateExpr};
 pub use ws_storage::{DurabilityStats, Durable, Persist, StorageError};
@@ -115,7 +116,8 @@ pub mod prelude {
     pub use crate::builder::{q, typecheck, typecheck_update, IntoQuery, Query};
     pub use crate::error::{Error, ErrorKind};
     pub use crate::session::{
-        AnyBackend, Prepared, RowSource, Rows, Session, SessionBackend, SessionStats,
+        AnyBackend, ConfidenceStrategy, Prepared, RowSource, Rows, Session, SessionBackend,
+        SessionStats,
     };
     pub use ws_apps::{
         consistent_answers, possible_answers, repair_key_violations, MedicalScenario,
@@ -141,9 +143,10 @@ pub mod prelude {
         Component, FieldId, LocalWorld, TupleId, WorldSet, WorldSetRelation, WsError, Wsd, Wsdt,
     };
     pub use ws_relational::{
-        engine, evaluate_query, evaluate_query_with, world_satisfies, CmpOp, Cursor, Database,
-        EngineConfig, ExecContext, Predicate, QueryBackend, RaExpr, Relation, Schema,
-        SchemaCatalog, Tuple, Value, WorkerPool, WriteBackend,
+        engine, evaluate_query, evaluate_query_with, world_satisfies, Clause, CmpOp, Cursor,
+        Database, DtreeCompiler, EngineConfig, ExecContext, LineageDb, LineageRelation, Predicate,
+        QueryBackend, RaExpr, Relation, Schema, SchemaCatalog, Tuple, Value, VarTable, WorkerPool,
+        WriteBackend,
     };
     pub use ws_storage::{
         DirVfs, DurabilityStats, Durable, DurableError, MemVfs, Persist, StorageError, Vfs,

@@ -41,12 +41,13 @@
 
 use crate::builder::{typecheck, typecheck_update, IntoQuery};
 use crate::error::{Error, Result};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use ws_core::confidence::approx::ApproxConfig;
 use ws_core::ops::update::{apply_update, UpdateExpr};
 use ws_core::{WorldSet, Wsd};
 use ws_relational::engine::{self, EngineConfig, ExecContext, QueryBackend, SchemaCatalog};
+use ws_relational::lineage::{self, DtreeCompiler, LineageDb};
 use ws_relational::{
     fingerprint, optimizer, Database, Dependency, Predicate, RaExpr, Schema, Tuple, Value,
     WorkerPool, WriteBackend,
@@ -127,6 +128,16 @@ pub trait SessionBackend: QueryBackend {
     fn durability(&self) -> Option<DurabilityStats> {
         None
     }
+
+    /// Extract a [`LineageDb`] covering `relations` — a faithful mapping of
+    /// this representation onto independent finite-domain variables, feeding
+    /// the safe-plan and compiled-lineage confidence tiers.  `None` opts the
+    /// backend out (the session then uses [`SessionBackend::confidence_rows`]
+    /// directly), which is always safe; see [`crate::lineage`].
+    fn lineage(&self, relations: &BTreeSet<String>) -> Option<LineageDb> {
+        let _ = relations;
+        None
+    }
 }
 
 impl SessionBackend for Database {
@@ -162,6 +173,10 @@ impl SessionBackend for Database {
         rel.dedup();
         Ok(rel.rows().iter().map(|t| (t.clone(), 1.0)).collect())
     }
+
+    fn lineage(&self, relations: &BTreeSet<String>) -> Option<LineageDb> {
+        crate::lineage::database_lineage(self, relations)
+    }
 }
 
 impl SessionBackend for Wsd {
@@ -194,6 +209,10 @@ impl SessionBackend for Wsd {
             self, out, config, pool,
         )?)
     }
+
+    fn lineage(&self, relations: &BTreeSet<String>) -> Option<LineageDb> {
+        crate::lineage::wsd_lineage(self, relations)
+    }
 }
 
 impl SessionBackend for Uwsdt {
@@ -211,6 +230,10 @@ impl SessionBackend for Uwsdt {
 
     fn confidence_rows(&self, out: &str, _pool: &WorkerPool) -> Result<Vec<(Tuple, f64)>> {
         Ok(ws_uwsdt::confidence::possible_with_confidence(self, out)?)
+    }
+
+    fn lineage(&self, relations: &BTreeSet<String>) -> Option<LineageDb> {
+        crate::lineage::uwsdt_lineage(self, relations)
     }
 }
 
@@ -244,6 +267,10 @@ impl SessionBackend for UDatabase {
             self, out, config, pool,
         )?)
     }
+
+    fn lineage(&self, relations: &BTreeSet<String>) -> Option<LineageDb> {
+        crate::lineage::urel_lineage(self, relations)
+    }
 }
 
 impl SessionBackend for WorldSet {
@@ -268,6 +295,10 @@ impl SessionBackend for WorldSet {
                 Ok((t, c))
             })
             .collect()
+    }
+
+    fn lineage(&self, relations: &BTreeSet<String>) -> Option<LineageDb> {
+        crate::lineage::worldset_lineage(self, relations)
     }
 }
 
@@ -473,6 +504,10 @@ impl SessionBackend for AnyBackend {
     ) -> Result<Vec<(Tuple, f64)>> {
         dispatch!(self, b => b.confidence_rows_approx(out, config, pool))
     }
+
+    fn lineage(&self, relations: &BTreeSet<String>) -> Option<LineageDb> {
+        dispatch!(self, b => b.lineage(relations))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -517,6 +552,47 @@ impl fmt::Display for Prepared {
     }
 }
 
+/// How [`Session::confidence`] picks its evaluation tier.
+///
+/// Exact confidence computation is `#P`-hard in general, but large classes of
+/// plans and inputs admit cheaper *exact* evaluation.  The session tries, in
+/// order:
+///
+/// 1. **Safe plan** — when the plan shape is hierarchical
+///    ([`lineage::is_safe_shape`]) and every extensional rewrite step is
+///    verifiably sound on the actual lineage
+///    ([`lineage::safe_probabilities`]), probabilities are aggregated inside
+///    the plan (independent-AND / disjoint-OR / independent-project) in one
+///    linear pass.
+/// 2. **Compiled lineage** — otherwise the output DNFs are compiled to a
+///    Shannon-expansion d-tree with memoized cofactor sharing
+///    ([`DtreeCompiler`]), still exact, within a node budget.
+/// 3. **Native exact** — when the backend has no lineage mapping or a tier
+///    declines, the backend's own exact enumeration answers.
+///
+/// Every tier is exact; the strategy only chooses *how* the same numbers are
+/// computed, and [`SessionStats`] records which tier fired.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ConfidenceStrategy {
+    /// Safe plan, then compiled lineage, then the native exact path.
+    #[default]
+    Tiered,
+    /// Skip the safe-plan tier: always compile the lineage d-tree (with the
+    /// native exact path as fallback).  Mostly useful for testing and
+    /// benchmarking the compiler.
+    CompiledOnly,
+    /// Always use the backend's native exact enumeration (the pre-tier
+    /// behavior).
+    ExactOnly,
+}
+
+/// Which lineage tier produced an answer (internal bookkeeping for the
+/// [`SessionStats`] counters).
+enum LineageTier {
+    Safe,
+    Compiled,
+}
+
 /// Counters of one session's lifetime, for benches and capacity planning.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SessionStats {
@@ -544,6 +620,18 @@ pub struct SessionStats {
     /// Checkpoints taken through [`Session::checkpoint`] (durable sessions
     /// only).
     pub checkpoints: u64,
+    /// [`Session::confidence`] calls answered by the safe-plan (extensional)
+    /// tier.
+    pub conf_safe: u64,
+    /// [`Session::confidence`] calls answered by the compiled-lineage
+    /// (d-tree) tier.
+    pub conf_compiled: u64,
+    /// [`Session::confidence`] calls answered by the backend's native exact
+    /// path (the lineage tiers declined or were disabled).
+    pub conf_exact: u64,
+    /// [`Session::confidence_approx`] calls (Monte-Carlo or the backend's
+    /// exact fallback).
+    pub conf_approx: u64,
 }
 
 impl fmt::Display for SessionStats {
@@ -552,7 +640,7 @@ impl fmt::Display for SessionStats {
             f,
             "plans-prepared={} cache-hits={} executions={} rows-streamed={} \
              updates-applied={} plans-invalidated={} wal-records={} wal-bytes={} \
-             checkpoints={}",
+             checkpoints={} conf-safe={} conf-compiled={} conf-exact={} conf-approx={}",
             self.plans_prepared,
             self.cache_hits,
             self.executions,
@@ -562,6 +650,10 @@ impl fmt::Display for SessionStats {
             self.wal_records,
             self.wal_bytes,
             self.checkpoints,
+            self.conf_safe,
+            self.conf_compiled,
+            self.conf_exact,
+            self.conf_approx,
         )
     }
 }
@@ -594,6 +686,7 @@ pub struct Session<B: SessionBackend> {
     plans: HashMap<String, CachedPlan>,
     stats: SessionStats,
     batch_size: usize,
+    strategy: ConfidenceStrategy,
     scratch: usize,
     /// Scratch result relations still registered in the backend (results on
     /// component-sharing backends outlive their cursor; see
@@ -626,6 +719,7 @@ where
             plans: HashMap::new(),
             stats: SessionStats::default(),
             batch_size: DEFAULT_BATCH_SIZE,
+            strategy: ConfidenceStrategy::default(),
             scratch: 0,
             live_results: Vec::new(),
         }
@@ -677,6 +771,18 @@ where
             self.stats(),
             self.plans.len(),
         )
+    }
+
+    /// How [`Session::confidence`] picks its evaluation tier (default
+    /// [`ConfidenceStrategy::Tiered`]).
+    pub fn confidence_strategy(&self) -> ConfidenceStrategy {
+        self.strategy
+    }
+
+    /// Change the confidence evaluation strategy.  Every strategy computes
+    /// the same exact numbers; this only selects which machinery does.
+    pub fn set_confidence_strategy(&mut self, strategy: ConfidenceStrategy) {
+        self.strategy = strategy;
     }
 
     /// Rows per [`Rows`] batch pull (default [`DEFAULT_BATCH_SIZE`]).
@@ -806,18 +912,106 @@ where
     }
 
     /// The possible answer tuples of a prepared plan with their **exact**
-    /// confidences (§6), computed on the session's worker pool.
+    /// confidences (§6).
+    ///
+    /// Under the default [`ConfidenceStrategy::Tiered`] the session
+    /// shadow-evaluates the plan over the backend's extracted lineage and
+    /// answers from the cheapest applicable exact tier — safe-plan
+    /// extensional evaluation, then the compiled d-tree — falling back to
+    /// the backend's native exact enumeration (on the session's worker pool)
+    /// whenever a tier declines.  Every tier computes the same numbers;
+    /// [`SessionStats`] records which one fired.
     pub fn confidence(&mut self, prepared: &Prepared) -> Result<Vec<(Tuple, f64)>> {
         let out = self.run(prepared)?;
-        let pool = WorkerPool::new(self.config.threads);
-        let rows = self
-            .backend
-            .confidence_rows(&out, &pool)
-            .map_err(|e| e.with_plan(&prepared.display));
+        let rows = self.confidence_rows_tiered(prepared, &out);
         self.finish_result(&out);
         let rows = rows?;
         self.stats.rows_streamed += rows.len() as u64;
         Ok(rows)
+    }
+
+    /// The tier ladder behind [`Session::confidence`]: lineage tiers first
+    /// (unless [`ConfidenceStrategy::ExactOnly`]), the backend's native
+    /// exact path as the unconditional fallback.
+    fn confidence_rows_tiered(
+        &mut self,
+        prepared: &Prepared,
+        out: &str,
+    ) -> Result<Vec<(Tuple, f64)>> {
+        if self.strategy != ConfidenceStrategy::ExactOnly {
+            if let Some((tier, probs)) = self.lineage_probabilities(prepared) {
+                if let Some(rows) = self.lineage_rows(out, &probs)? {
+                    match tier {
+                        LineageTier::Safe => self.stats.conf_safe += 1,
+                        LineageTier::Compiled => self.stats.conf_compiled += 1,
+                    }
+                    return Ok(rows);
+                }
+            }
+        }
+        self.stats.conf_exact += 1;
+        let pool = WorkerPool::new(self.config.threads);
+        self.backend
+            .confidence_rows(out, &pool)
+            .map_err(|e| e.with_plan(&prepared.display))
+    }
+
+    /// Shadow-evaluate `prepared` over the backend's lineage, returning each
+    /// possible output tuple's exact probability — by the safe-plan tier
+    /// when the plan is hierarchical and every extensional step is sound on
+    /// the actual lineage, by the d-tree compiler otherwise.  `None` when no
+    /// lineage tier applies (no mapping, negation in the plan, compiler
+    /// budget exhausted).
+    fn lineage_probabilities(
+        &self,
+        prepared: &Prepared,
+    ) -> Option<(LineageTier, BTreeMap<Tuple, f64>)> {
+        let relations: BTreeSet<String> = prepared
+            .plan
+            .base_relations()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        let db = self.backend.lineage(&relations)?;
+        if self.strategy == ConfidenceStrategy::Tiered && lineage::is_safe_shape(&prepared.plan) {
+            if let Ok(Some(probs)) = lineage::safe_probabilities(&db, &prepared.plan) {
+                return Some((LineageTier::Safe, probs));
+            }
+        }
+        let output = lineage::evaluate_lineage(&db, &prepared.plan).ok()?;
+        let mut compiler = DtreeCompiler::new(db.vars());
+        let mut probs = BTreeMap::new();
+        for (tuple, dnf) in output.dnfs() {
+            probs.insert(tuple, compiler.probability(&dnf).ok()?);
+        }
+        Some((LineageTier::Compiled, probs))
+    }
+
+    /// Pair the materialized result's possible tuples (in their canonical
+    /// streaming order) with the lineage-computed probabilities.  `None`
+    /// when any streamed tuple is missing from the map — the native exact
+    /// path then answers, so a divergence can never produce wrong numbers.
+    fn lineage_rows(
+        &mut self,
+        out: &str,
+        probs: &BTreeMap<Tuple, f64>,
+    ) -> Result<Option<Vec<(Tuple, f64)>>> {
+        let tuples = match self.backend.open_rows(out)? {
+            RowSource::Owned(rows) => rows,
+            RowSource::InPlace { len } => self.backend.fetch_batch(out, 0, len)?,
+        };
+        let mut rows = Vec::with_capacity(tuples.len());
+        let mut seen: BTreeSet<Tuple> = BTreeSet::new();
+        for tuple in tuples {
+            if !seen.insert(tuple.clone()) {
+                continue;
+            }
+            match probs.get(&tuple) {
+                Some(&p) => rows.push((tuple, p)),
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(rows))
     }
 
     /// The possible answer tuples of a prepared plan with (ε, δ)-approximate
@@ -836,6 +1030,7 @@ where
             .map_err(|e| e.with_plan(&prepared.display));
         self.finish_result(&out);
         let rows = rows?;
+        self.stats.conf_approx += 1;
         self.stats.rows_streamed += rows.len() as u64;
         Ok(rows)
     }

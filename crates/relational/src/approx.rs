@@ -1,0 +1,172 @@
+//! The shared Hoeffding (ε, δ) sample planner behind every Monte-Carlo
+//! confidence estimator of the stack.
+//!
+//! The WSD estimator (`ws_core::confidence::approx`) and the U-relational
+//! estimator (`ws_urel::confidence::approx`) both reduce to the same
+//! question: how many i.i.d. Bernoulli trials give an additive
+//! (ε, δ)-approximation, and how are those trials fanned out over a
+//! [`WorkerPool`] without the thread count changing the estimate?  This
+//! module is the single answer both samplers share:
+//!
+//! * [`hoeffding_samples`] — the `⌈ln(2/δ) / (2ε²)⌉` trial bound from
+//!   Hoeffding's inequality: `Pr[|p̂ − p| > ε] ≤ 2·exp(−2nε²)`, so `n`
+//!   trials make `p̂` an (ε, δ)-approximation (`|p̂ − p| ≤ ε` with
+//!   probability at least `1 − δ`).  The guarantee is additive and per
+//!   estimated tuple; clients needing it simultaneously for `m` tuples
+//!   should pass `δ/m`.
+//! * [`block_seed`] / [`run_trial_blocks`] — the determinism story: trials
+//!   are drawn in fixed-size blocks ([`SAMPLE_BLOCK`]), each block's RNG is
+//!   seeded from `(seed, block index)` alone, and per-block results are
+//!   collected in block order — so the aggregate is bit-identical for every
+//!   [`WorkerPool`] thread count, including serial, and the seeding scheme
+//!   cannot diverge between the representations.
+
+use crate::error::{RelationalError, Result};
+use crate::par::WorkerPool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Trials per Monte-Carlo block: the unit of parallel fan-out and of seed
+/// derivation (see the module docs on determinism).
+pub const SAMPLE_BLOCK: usize = 1024;
+
+/// Hard ceiling on the trial count an [`ApproxConfig`] may request
+/// (`≈ 4.2M`), so accidentally tiny `ε`/`δ` fail fast instead of hanging.
+pub const MAX_SAMPLES: usize = 1 << 22;
+
+/// The (ε, δ) knobs of the estimator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ApproxConfig {
+    /// Additive error bound `ε` (half-width of the guarantee interval).
+    pub epsilon: f64,
+    /// Failure probability `δ`: the estimate may miss `[p − ε, p + ε]` with
+    /// probability at most `δ`.
+    pub delta: f64,
+    /// Base RNG seed; block `b` derives its own seed from `(seed, b)`.
+    pub seed: u64,
+}
+
+impl Default for ApproxConfig {
+    fn default() -> Self {
+        ApproxConfig {
+            epsilon: 0.05,
+            delta: 0.01,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+impl ApproxConfig {
+    /// An (ε, δ) configuration with the default seed.
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        ApproxConfig {
+            epsilon,
+            delta,
+            ..ApproxConfig::default()
+        }
+    }
+
+    /// The same configuration with a different base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The trial count this configuration requires (validated).
+    pub fn samples(&self) -> Result<usize> {
+        hoeffding_samples(self.epsilon, self.delta)
+    }
+}
+
+/// The Hoeffding sample bound `⌈ln(2/δ) / (2ε²)⌉` for an additive
+/// (ε, δ)-approximation of a Bernoulli mean.  Errors when the parameters are
+/// outside `(0, 1)` or the bound exceeds [`MAX_SAMPLES`].
+pub fn hoeffding_samples(epsilon: f64, delta: f64) -> Result<usize> {
+    if !(epsilon > 0.0 && epsilon < 1.0 && delta > 0.0 && delta < 1.0) {
+        return Err(RelationalError::Invalid(format!(
+            "(ε, δ) must lie in (0, 1): got ε = {epsilon}, δ = {delta}"
+        )));
+    }
+    let n = ((2.0 / delta).ln() / (2.0 * epsilon * epsilon)).ceil();
+    if n > MAX_SAMPLES as f64 {
+        return Err(RelationalError::Invalid(format!(
+            "(ε = {epsilon}, δ = {delta}) needs {n:.0} Monte-Carlo trials, \
+             more than the {MAX_SAMPLES} ceiling"
+        )));
+    }
+    Ok((n as usize).max(1))
+}
+
+/// The per-block RNG seed: mixes the block index through SplitMix64's
+/// increment so nearby blocks diverge immediately.  Shared by the WSD and
+/// U-relational estimators so both samplers have the same determinism story.
+pub fn block_seed(seed: u64, block: u64) -> u64 {
+    seed ^ (block.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Run `samples` Monte-Carlo trials as [`SAMPLE_BLOCK`]-sized blocks fanned
+/// out on `pool`, collecting one result per block in block order.
+///
+/// This is the one block driver behind every (ε, δ) estimator of the stack
+/// (WSD and U-relational): each block gets an RNG seeded from
+/// `(seed, block index)` alone and its trial count (the last block may be
+/// partial), so the aggregate over the returned blocks is bit-identical for
+/// any thread count and the seeding scheme cannot diverge between the
+/// representations.
+pub fn run_trial_blocks<R, F>(pool: &WorkerPool, samples: usize, seed: u64, per_block: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut StdRng, usize) -> R + Sync,
+{
+    let blocks = samples.div_ceil(SAMPLE_BLOCK);
+    pool.run_blocks(blocks, |b| {
+        let mut rng = StdRng::seed_from_u64(block_seed(seed, b as u64));
+        let block_len = SAMPLE_BLOCK.min(samples - b * SAMPLE_BLOCK);
+        per_block(&mut rng, block_len)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hoeffding_bound_shapes() {
+        // ε = 0.05, δ = 0.01 → ln(200)/0.005 ≈ 1060 trials.
+        let n = hoeffding_samples(0.05, 0.01).unwrap();
+        assert!((1000..1100).contains(&n), "n = {n}");
+        // Tighter ε needs quadratically more trials.
+        assert!(hoeffding_samples(0.025, 0.01).unwrap() > 4 * n - 8);
+        // Out-of-range or absurd parameters are rejected.
+        assert!(hoeffding_samples(0.0, 0.5).is_err());
+        assert!(hoeffding_samples(0.5, 1.0).is_err());
+        assert!(hoeffding_samples(1e-6, 0.01).is_err());
+        assert!(ApproxConfig::new(2.0, 0.5).samples().is_err());
+    }
+
+    #[test]
+    fn trial_blocks_are_thread_invariant() {
+        use rand::Rng;
+        let count = |pool: &WorkerPool| -> usize {
+            run_trial_blocks(pool, 3000, 0xABCD, |rng, block_len| {
+                (0..block_len).filter(|_| rng.gen::<f64>() < 0.25).count()
+            })
+            .into_iter()
+            .sum()
+        };
+        let serial = count(&WorkerPool::serial());
+        for threads in [2usize, 4, 8] {
+            assert_eq!(count(&WorkerPool::new(threads)), serial);
+        }
+        // The estimate is in the right ballpark (3000 trials at p = 0.25).
+        assert!((500..1000).contains(&serial), "hits = {serial}");
+    }
+
+    #[test]
+    fn block_seeds_diverge() {
+        let s0 = block_seed(42, 0);
+        let s1 = block_seed(42, 1);
+        assert_ne!(s0, s1);
+        assert_ne!(block_seed(42, u64::MAX), s0);
+    }
+}

@@ -10,7 +10,7 @@
 //! only materialized at the very end, for the rows that survived.
 //!
 //! Selections over base relations are additionally **late-materializing**: a
-//! `σ`-chain over a stored relation carries only a [`View`] — the relation's
+//! `σ`-chain over a stored relation carries only a `View` — the relation's
 //! name plus a selection vector — encoding just the predicate's columns to
 //! filter, so a query like `σ_{A=1}(R)` never encodes (or decodes) the
 //! columns it merely passes through; surviving rows are cloned straight from
@@ -23,7 +23,7 @@
 //!   left-major, the hash join probes in left order with per-key right rows
 //!   ascending (exactly the product-then-select order), and union/difference
 //!   deduplicate into the same `BTreeSet` order.
-//! * **Comparison semantics** mirror [`CmpOp::eval`]: comparisons involving
+//! * **Comparison semantics** mirror [`CmpOp::eval`](crate::predicate::CmpOp::eval): comparisons involving
 //!   `⊥`/`?` or mixed types are undefined (`false`), and undefined join keys
 //!   never match.
 //! * **Error semantics** mirror the row path's lazy per-row evaluation: an

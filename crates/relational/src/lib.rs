@@ -23,6 +23,12 @@
 //!   the single-world backend evaluate batch-at-a-time over flat `i64` /
 //!   dictionary-encoded columns with selection vectors, bit-identical to the
 //!   operator path (toggle with [`engine::EngineConfig::columnar`]), and
+//! * the **lineage layer** ([`lineage`]): boolean provenance over
+//!   finite-domain world variables with an annotated executor, a safe-plan
+//!   (extensional) evaluator, and a Shannon-expansion d-tree compiler — the
+//!   engine-side half of the tiered `Session::confidence` strategy — plus
+//!   the shared Hoeffding (ε, δ) sample planner ([`approx`]) every
+//!   Monte-Carlo confidence estimator draws its trial blocks from, and
 //! * the deterministic fan-out/fan-in [`par::WorkerPool`] behind
 //!   [`engine::EngineConfig::threads`]: scans, selections, projections, the
 //!   equi-join build/probe phases and the columnar kernels hand out row
@@ -35,6 +41,7 @@
 //! paper's Figure 30.
 
 pub mod algebra;
+pub mod approx;
 pub mod batch;
 pub mod constraint;
 pub mod cursor;
@@ -44,6 +51,7 @@ pub mod error;
 pub mod fingerprint;
 pub mod index;
 pub mod kernels;
+pub mod lineage;
 pub mod optimizer;
 pub mod par;
 pub mod predicate;
@@ -53,6 +61,7 @@ pub mod tuple;
 pub mod value;
 
 pub use algebra::{evaluate, evaluate_checked, evaluate_set, RaExpr};
+pub use approx::{hoeffding_samples, ApproxConfig};
 pub use batch::{Column, ColumnBatch};
 pub use constraint::{
     world_satisfies, AttrComparison, Dependency, EqualityGeneratingDependency, FunctionalDependency,
@@ -66,6 +75,7 @@ pub use engine::{
 pub use error::{RelationalError, Result};
 pub use fingerprint::{fingerprint, normalize_plan, normalize_predicate, plan_key};
 pub use index::Index;
+pub use lineage::{Clause, DtreeCompiler, LineageDb, LineageRelation, VarTable};
 pub use optimizer::{estimated_cost, estimated_rows, evaluate_optimized, optimize, output_attrs};
 pub use par::WorkerPool;
 pub use predicate::{CmpOp, CompiledPredicate, Predicate};

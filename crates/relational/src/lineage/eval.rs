@@ -1,0 +1,236 @@
+//! The annotated executor: evaluate a positive plan over a lineage database,
+//! propagating one clause per derivation.
+//!
+//! This mirrors the single-world evaluator in [`crate::algebra`] operator by
+//! operator, except that every intermediate row carries the [`Clause`](super::model::Clause) under
+//! which it exists:
+//!
+//! * a base scan emits the relation's annotated rows,
+//! * selection keeps a row's clause untouched,
+//! * projection and renaming reshape the tuple and keep the clause,
+//! * product conjoins the operand clauses — derivations whose clauses bind a
+//!   shared variable to different choices are *impossible* (no world
+//!   contains both rows) and drop out, and
+//! * union concatenates the derivations of both sides.
+//!
+//! Set-semantics deduplication is deferred to the end: the output tuple's
+//! lineage is the disjunction ([`Dnf`]) of **all** of its derivations'
+//! clauses, grouped by [`LineageOutput::dnfs`].  Difference is rejected —
+//! negation takes the lineage outside DNF and outside the safe/compiled
+//! tiers; callers fall back to the backend's native exact path.
+
+use super::model::{Dnf, LineageDb, LineageRelation};
+use crate::algebra::RaExpr;
+use crate::error::{RelationalError, Result};
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use std::collections::BTreeMap;
+
+/// The result of an annotated evaluation: every derivation of every output
+/// tuple, in plan order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LineageOutput {
+    rows: LineageRelation,
+}
+
+impl LineageOutput {
+    /// The annotated derivations (one row per derivation; tuples repeat).
+    pub fn derivations(&self) -> &LineageRelation {
+        &self.rows
+    }
+
+    /// The possible output tuples (set semantics, first-occurrence order).
+    pub fn possible(&self) -> Result<Relation> {
+        self.rows.possible()
+    }
+
+    /// Group the derivations into one [`Dnf`] per distinct output tuple.
+    pub fn dnfs(&self) -> BTreeMap<Tuple, Dnf> {
+        let mut out: BTreeMap<Tuple, Dnf> = BTreeMap::new();
+        for (tuple, clause) in self.rows.rows() {
+            let dnf = out.entry(tuple.clone()).or_default();
+            // Derivations repeat when distinct plan paths produce the same
+            // clause; the disjunction is idempotent, so keep one copy.
+            if !dnf.contains(clause) {
+                dnf.push(clause.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Evaluate a positive plan over `db`, returning every output derivation
+/// with its clause.  Errors on `Difference` (negation has no DNF lineage)
+/// and on the same schema violations the single-world evaluator rejects.
+pub fn evaluate_lineage(db: &LineageDb, plan: &RaExpr) -> Result<LineageOutput> {
+    Ok(LineageOutput {
+        rows: eval(db, plan)?,
+    })
+}
+
+fn eval(db: &LineageDb, expr: &RaExpr) -> Result<LineageRelation> {
+    match expr {
+        RaExpr::Rel(name) => Ok(db.relation(name)?.clone()),
+        RaExpr::Select { pred, input } => {
+            let rel = eval(db, input)?;
+            let mut out = LineageRelation::new(rel.schema().clone());
+            for (tuple, clause) in rel.rows() {
+                if pred.eval(rel.schema(), tuple)? {
+                    out.push(tuple.clone(), clause.clone())?;
+                }
+            }
+            Ok(out)
+        }
+        RaExpr::Project { attrs, input } => {
+            let rel = eval(db, input)?;
+            let positions: Vec<usize> = attrs
+                .iter()
+                .map(|a| rel.schema().position_of(a))
+                .collect::<Result<_>>()?;
+            let schema = rel
+                .schema()
+                .projected(&attrs.iter().map(String::as_str).collect::<Vec<_>>())?;
+            let mut out = LineageRelation::new(schema);
+            for (tuple, clause) in rel.rows() {
+                out.push(tuple.project_positions(&positions), clause.clone())?;
+            }
+            Ok(out)
+        }
+        RaExpr::Product { left, right } => {
+            let l = eval(db, left)?;
+            let r = eval(db, right)?;
+            let schema = l
+                .schema()
+                .product(r.schema(), l.schema().relation().as_ref())?;
+            let mut out = LineageRelation::new(schema);
+            for (lt, lc) in l.rows() {
+                for (rt, rc) in r.rows() {
+                    // A conflicting conjunction means no world derives the
+                    // combined row: drop the derivation entirely.
+                    if let Some(clause) = lc.conjoin(rc) {
+                        out.push(lt.concat(rt), clause)?;
+                    }
+                }
+            }
+            Ok(out)
+        }
+        RaExpr::Union { left, right } => {
+            let l = eval(db, left)?;
+            let r = eval(db, right)?;
+            l.schema().check_union_compatible(r.schema())?;
+            let mut out = LineageRelation::new(l.schema().clone());
+            for (tuple, clause) in l.rows().iter().chain(r.rows()) {
+                out.push(tuple.clone(), clause.clone())?;
+            }
+            Ok(out)
+        }
+        RaExpr::Difference { .. } => Err(RelationalError::Invalid(
+            "lineage evaluation does not support difference (negation has no DNF lineage)"
+                .to_string(),
+        )),
+        RaExpr::Rename { from, to, input } => {
+            let rel = eval(db, input)?;
+            let schema = rel.schema().renamed_attr(from, to.as_str())?;
+            let mut out = LineageRelation::new(schema);
+            for (tuple, clause) in rel.rows() {
+                out.push(tuple.clone(), clause.clone())?;
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::model::{Clause, VarTable};
+    use crate::predicate::Predicate;
+    use crate::schema::Schema;
+
+    /// Two tuple-independent relations: R(A, B) with vars x0, x1 and
+    /// S(B) with var y.
+    fn db() -> LineageDb {
+        let mut vars = VarTable::new();
+        let x0 = vars.add_var("x0", vec![0.5, 0.5]).unwrap();
+        let x1 = vars.add_var("x1", vec![0.75, 0.25]).unwrap();
+        let y = vars.add_var("y", vec![0.5, 0.5]).unwrap();
+        let mut db = LineageDb::new(vars);
+        let mut r = LineageRelation::new(Schema::new("R", &["A", "B"]).unwrap());
+        r.push(Tuple::from_iter([1i64, 10]), Clause::of(x0, 1))
+            .unwrap();
+        r.push(Tuple::from_iter([2i64, 20]), Clause::of(x1, 1))
+            .unwrap();
+        db.insert_relation(r);
+        let mut s = LineageRelation::new(Schema::new("S", &["C"]).unwrap());
+        s.push(Tuple::from_iter([10i64]), Clause::of(y, 1)).unwrap();
+        db.insert_relation(s);
+        db
+    }
+
+    #[test]
+    fn scan_select_project_keep_clauses() {
+        let db = db();
+        let q = RaExpr::rel("R")
+            .select(Predicate::eq_const("A", 1i64))
+            .project(vec!["B"]);
+        let out = evaluate_lineage(&db, &q).unwrap();
+        let dnfs = out.dnfs();
+        assert_eq!(dnfs.len(), 1);
+        let dnf = &dnfs[&Tuple::from_iter([10i64])];
+        assert_eq!(dnf.as_slice(), &[Clause::of(0, 1)]);
+    }
+
+    #[test]
+    fn product_conjoins_and_drops_conflicts() {
+        let db = db();
+        let q = RaExpr::rel("R").join(
+            RaExpr::rel("S"),
+            Predicate::cmp_attr("B", crate::predicate::CmpOp::Eq, "C"),
+        );
+        let out = evaluate_lineage(&db, &q).unwrap();
+        let dnfs = out.dnfs();
+        assert_eq!(dnfs.len(), 1);
+        let dnf = &dnfs[&Tuple::from_iter([1i64, 10, 10])];
+        assert_eq!(
+            dnf.as_slice(),
+            &[Clause::from_bindings([(0, 1), (2, 1)]).unwrap()]
+        );
+
+        // Conflicting derivations are impossible and drop out: join R with a
+        // row requiring x0 = 0 while R's row requires x0 = 1.
+        let mut db2 = db.clone();
+        let mut s2 = LineageRelation::new(Schema::new("S2", &["D"]).unwrap());
+        s2.push(Tuple::from_iter([10i64]), Clause::of(0, 0))
+            .unwrap();
+        db2.insert_relation(s2);
+        let q = RaExpr::rel("R").join(
+            RaExpr::rel("S2"),
+            Predicate::cmp_attr("B", crate::predicate::CmpOp::Eq, "D"),
+        );
+        let out = evaluate_lineage(&db2, &q).unwrap();
+        assert!(out.dnfs().is_empty());
+    }
+
+    #[test]
+    fn union_accumulates_dnf_and_dedups_identical_clauses() {
+        let db = db();
+        let q = RaExpr::rel("R")
+            .project(vec!["B"])
+            .union(RaExpr::rel("R").project(vec!["B"]));
+        let out = evaluate_lineage(&db, &q).unwrap();
+        let dnfs = out.dnfs();
+        // Identical clauses from both branches collapse to one.
+        assert_eq!(dnfs[&Tuple::from_iter([10i64])].len(), 1);
+        assert_eq!(dnfs[&Tuple::from_iter([20i64])].len(), 1);
+        // Possible output preserves first-occurrence order.
+        let possible = out.possible().unwrap();
+        assert_eq!(possible.rows().len(), 2);
+    }
+
+    #[test]
+    fn difference_is_rejected() {
+        let db = db();
+        let q = RaExpr::rel("S").difference(RaExpr::rel("S"));
+        assert!(evaluate_lineage(&db, &q).is_err());
+    }
+}

@@ -1,0 +1,465 @@
+//! Safe-plan detection and extensional (in-plan) confidence evaluation.
+//!
+//! Dalvi–Suciu's dichotomy (VLDB 2004) says that for *hierarchical* queries
+//! the answer probability can be computed **extensionally**: instead of
+//! materializing lineage and compiling it, push probability aggregation into
+//! the relational plan itself, using only two exact identities,
+//!
+//! * **independent-AND** — a product/join of derivations over disjoint
+//!   variable sets multiplies probabilities, and
+//! * **disjoint-OR / independent-project** — merging the derivations of one
+//!   output tuple at a deduplication point sums probabilities when the
+//!   derivations are pairwise mutually exclusive (they bind a shared
+//!   variable to different choices) and combines as `1 − Π (1 − pᵢ)` across
+//!   variable-disjoint (independent) groups.
+//!
+//! [`is_safe_shape`] is the static detector: a cheap hierarchical-shape test
+//! over the normalized fingerprint form ([`crate::fingerprint::normalize_plan`])
+//! — positive plans (no difference) that touch each base relation at most
+//! once.  [`safe_probabilities`] is the evaluator: it runs the plan
+//! bottom-up carrying `(tuple, event)` rows, applies the two identities
+//! *only when their side conditions verifiably hold*, and returns `None`
+//! the moment a combination is neither independent nor disjoint.  It is
+//! therefore self-validating: a `Some` result is the exact probability (the
+//! identities are exact), never an approximation — the detector only
+//! decides whether attempting the evaluation is worthwhile.
+
+use super::model::{Clause, LineageDb, Var, VarTable};
+use crate::algebra::RaExpr;
+use crate::error::Result;
+use crate::fingerprint::normalize_plan;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One derivation's probability summary during extensional evaluation.
+#[derive(Clone, Debug)]
+struct Event {
+    /// Exact probability of the derivation.
+    p: f64,
+    /// Every variable the derivation depends on.
+    vars: BTreeSet<Var>,
+    /// When the derivation is still a pure conjunction, its clause — the
+    /// only shape whose mutual exclusivity with another derivation can be
+    /// checked.  Aggregated (projected) derivations lose this.
+    clause: Option<Clause>,
+}
+
+impl Event {
+    fn from_clause(clause: &Clause, vars: &VarTable) -> Event {
+        Event {
+            p: clause.probability(vars),
+            vars: clause.vars().collect(),
+            clause: Some(clause.clone()),
+        }
+    }
+}
+
+/// The static hierarchical-shape test over the normalized plan: positive
+/// (no difference) and every base relation referenced at most once.  A
+/// sufficient condition for the extensional evaluator to apply on
+/// tuple-independent and component-decomposed inputs; the evaluator itself
+/// re-checks the independence/disjointness side conditions dynamically.
+pub fn is_safe_shape(plan: &RaExpr) -> bool {
+    let normalized = normalize_plan(plan);
+    let mut names = Vec::new();
+    if !positive_relations(&normalized, &mut names) {
+        return false;
+    }
+    let distinct: BTreeSet<&String> = names.iter().copied().collect();
+    distinct.len() == names.len()
+}
+
+/// Collect base relation names (with multiplicity); `false` when the plan
+/// contains a difference.
+fn positive_relations<'a>(expr: &'a RaExpr, out: &mut Vec<&'a String>) -> bool {
+    match expr {
+        RaExpr::Rel(name) => {
+            out.push(name);
+            true
+        }
+        RaExpr::Select { input, .. }
+        | RaExpr::Project { input, .. }
+        | RaExpr::Rename { input, .. } => positive_relations(input, out),
+        RaExpr::Product { left, right } | RaExpr::Union { left, right } => {
+            positive_relations(left, out) && positive_relations(right, out)
+        }
+        RaExpr::Difference { .. } => false,
+    }
+}
+
+/// Extensional evaluation of `plan` over `db`: the exact confidence of every
+/// possible output tuple, or `None` when some combination step is neither
+/// independent-AND nor disjoint-OR (the plan must then go through the
+/// d-tree or enumeration tiers).
+pub fn safe_probabilities(db: &LineageDb, plan: &RaExpr) -> Result<Option<BTreeMap<Tuple, f64>>> {
+    let Some(rows) = eval(db, plan)? else {
+        return Ok(None);
+    };
+    let mut out = BTreeMap::new();
+    for (tuple, events) in group(rows.rows) {
+        match or_combine(&events) {
+            Some(event) => {
+                out.insert(tuple, event.p);
+            }
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(out))
+}
+
+struct EventRows {
+    schema: Schema,
+    rows: Vec<(Tuple, Event)>,
+}
+
+fn eval(db: &LineageDb, expr: &RaExpr) -> Result<Option<EventRows>> {
+    match expr {
+        RaExpr::Rel(name) => {
+            let rel = db.relation(name)?;
+            let rows = rel
+                .rows()
+                .iter()
+                .map(|(tuple, clause)| (tuple.clone(), Event::from_clause(clause, db.vars())))
+                .collect();
+            Ok(Some(EventRows {
+                schema: rel.schema().clone(),
+                rows,
+            }))
+        }
+        RaExpr::Select { pred, input } => {
+            let Some(rel) = eval(db, input)? else {
+                return Ok(None);
+            };
+            let mut rows = Vec::new();
+            for (tuple, event) in rel.rows {
+                if pred.eval(&rel.schema, &tuple)? {
+                    rows.push((tuple, event));
+                }
+            }
+            Ok(Some(EventRows {
+                schema: rel.schema,
+                rows,
+            }))
+        }
+        RaExpr::Project { attrs, input } => {
+            let Some(rel) = eval(db, input)? else {
+                return Ok(None);
+            };
+            let positions: Vec<usize> = attrs
+                .iter()
+                .map(|a| rel.schema.position_of(a))
+                .collect::<Result<_>>()?;
+            let schema = rel
+                .schema
+                .projected(&attrs.iter().map(String::as_str).collect::<Vec<_>>())?;
+            // The independent-project step: projection is a deduplication
+            // point, so merge each output tuple's derivations here — this is
+            // where the probability aggregate runs *inside* the plan.
+            let mut rows = Vec::new();
+            for (tuple, events) in group(
+                rel.rows
+                    .into_iter()
+                    .map(|(tuple, event)| (tuple.project_positions(&positions), event)),
+            ) {
+                match or_combine(&events) {
+                    Some(event) => rows.push((tuple, event)),
+                    None => return Ok(None),
+                }
+            }
+            Ok(Some(EventRows { schema, rows }))
+        }
+        RaExpr::Product { left, right } => {
+            let Some(l) = eval(db, left)? else {
+                return Ok(None);
+            };
+            let Some(r) = eval(db, right)? else {
+                return Ok(None);
+            };
+            let schema = l.schema.product(&r.schema, l.schema.relation().as_ref())?;
+            let mut rows = Vec::new();
+            for (lt, le) in &l.rows {
+                for (rt, re) in &r.rows {
+                    match and_combine(le, re, db.vars()) {
+                        AndResult::Event(event) => rows.push((lt.concat(rt), event)),
+                        AndResult::Impossible => {}
+                        AndResult::NotExtensional => return Ok(None),
+                    }
+                }
+            }
+            Ok(Some(EventRows { schema, rows }))
+        }
+        RaExpr::Union { left, right } => {
+            let Some(l) = eval(db, left)? else {
+                return Ok(None);
+            };
+            let Some(r) = eval(db, right)? else {
+                return Ok(None);
+            };
+            l.schema.check_union_compatible(&r.schema)?;
+            // Union is a deduplication point too; shared tuples are merged
+            // by the same disjoint/independent-OR rule.
+            let mut rows = Vec::new();
+            for (tuple, events) in group(l.rows.into_iter().chain(r.rows)) {
+                match or_combine(&events) {
+                    Some(event) => rows.push((tuple, event)),
+                    None => return Ok(None),
+                }
+            }
+            Ok(Some(EventRows {
+                schema: l.schema,
+                rows,
+            }))
+        }
+        RaExpr::Difference { .. } => Ok(None),
+        RaExpr::Rename { from, to, input } => {
+            let Some(rel) = eval(db, input)? else {
+                return Ok(None);
+            };
+            let schema = rel.schema.renamed_attr(from, to.as_str())?;
+            Ok(Some(EventRows {
+                schema,
+                rows: rel.rows,
+            }))
+        }
+    }
+}
+
+/// Group `(tuple, event)` rows by tuple, preserving first-occurrence order
+/// of events within each group.
+fn group(rows: impl IntoIterator<Item = (Tuple, Event)>) -> Vec<(Tuple, Vec<Event>)> {
+    let mut index: BTreeMap<Tuple, usize> = BTreeMap::new();
+    let mut out: Vec<(Tuple, Vec<Event>)> = Vec::new();
+    for (tuple, event) in rows {
+        match index.get(&tuple) {
+            Some(&i) => out[i].1.push(event),
+            None => {
+                index.insert(tuple.clone(), out.len());
+                out.push((tuple, vec![event]));
+            }
+        }
+    }
+    out
+}
+
+enum AndResult {
+    /// The combined derivation with its exact probability.
+    Event(Event),
+    /// The derivations conflict — no world contains both rows.
+    Impossible,
+    /// Neither rule applies; the plan is not extensionally evaluable.
+    NotExtensional,
+}
+
+/// Independent-AND: conjoin pure clauses exactly (shared variables are
+/// handled by clause conjunction, whose probability is recomputed from the
+/// merged atom set so nothing double-counts), otherwise require
+/// variable-disjointness and multiply.
+fn and_combine(left: &Event, right: &Event, vars: &VarTable) -> AndResult {
+    if let (Some(lc), Some(rc)) = (&left.clause, &right.clause) {
+        return match lc.conjoin(rc) {
+            Some(clause) => AndResult::Event(Event::from_clause(&clause, vars)),
+            None => AndResult::Impossible,
+        };
+    }
+    if left.vars.is_disjoint(&right.vars) {
+        let mut vars = left.vars.clone();
+        vars.extend(right.vars.iter().copied());
+        AndResult::Event(Event {
+            p: left.p * right.p,
+            vars,
+            clause: None,
+        })
+    } else {
+        AndResult::NotExtensional
+    }
+}
+
+/// Disjoint-OR / independent-OR over one output tuple's derivations:
+/// partition into variable-disjoint connected groups; within a group every
+/// pair must be mutually exclusive clauses (sum), across groups the events
+/// are independent (`1 − Π (1 − p)`).  `None` when a shared-variable pair is
+/// not exclusive — the fan-out shape only the d-tree handles.
+fn or_combine(events: &[Event]) -> Option<Event> {
+    if events.len() == 1 {
+        return Some(events[0].clone());
+    }
+    // Connected components over shared variables.
+    let mut component: Vec<usize> = (0..events.len()).collect();
+    for i in 0..events.len() {
+        for j in (i + 1)..events.len() {
+            if !events[i].vars.is_disjoint(&events[j].vars) {
+                let (ci, cj) = (component[i], component[j]);
+                if ci != cj {
+                    let target = ci.min(cj);
+                    let source = ci.max(cj);
+                    for c in &mut component {
+                        if *c == source {
+                            *c = target;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut groups: BTreeMap<usize, Vec<&Event>> = BTreeMap::new();
+    for (i, event) in events.iter().enumerate() {
+        groups.entry(component[i]).or_default().push(event);
+    }
+    let mut miss = 1.0;
+    let mut vars = BTreeSet::new();
+    for group in groups.values() {
+        let p = if group.len() == 1 {
+            group[0].p
+        } else {
+            // Every pair shares the group through some variable chain; the
+            // sum is exact only when all pairs are mutually exclusive.
+            for (i, a) in group.iter().enumerate() {
+                for b in &group[i + 1..] {
+                    let (Some(ca), Some(cb)) = (&a.clause, &b.clause) else {
+                        return None;
+                    };
+                    if !ca.conflicts(cb) {
+                        return None;
+                    }
+                }
+            }
+            group.iter().map(|event| event.p).sum()
+        };
+        for event in group {
+            vars.extend(event.vars.iter().copied());
+        }
+        miss *= 1.0 - p;
+    }
+    Some(Event {
+        p: 1.0 - miss,
+        vars,
+        clause: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::dtree::DtreeCompiler;
+    use super::super::eval::evaluate_lineage;
+    use super::super::model::{LineageRelation, VarTable};
+    use super::*;
+    use crate::predicate::{CmpOp, Predicate};
+
+    fn independent_db(n: usize) -> LineageDb {
+        let mut vars = VarTable::new();
+        let mut db_vars = Vec::new();
+        for i in 0..n {
+            db_vars.push(vars.add_var(format!("x{i}"), vec![0.25, 0.75]).unwrap());
+        }
+        let mut db = LineageDb::new(vars);
+        let mut r = LineageRelation::new(Schema::new("R", &["A", "B"]).unwrap());
+        for (i, &v) in db_vars.iter().enumerate() {
+            r.push(
+                Tuple::from_iter([i as i64, (i % 2) as i64]),
+                Clause::of(v, 1),
+            )
+            .unwrap();
+        }
+        db.insert_relation(r);
+        db
+    }
+
+    #[test]
+    fn shape_detector_flags_difference_and_repeats() {
+        let safe = RaExpr::rel("R")
+            .select(Predicate::eq_const("B", 0i64))
+            .project(vec!["B"]);
+        assert!(is_safe_shape(&safe));
+        let self_join = RaExpr::rel("R").product(RaExpr::rel("R").rename("A", "A2"));
+        assert!(!is_safe_shape(&self_join));
+        let diff = RaExpr::rel("R").difference(RaExpr::rel("R"));
+        assert!(!is_safe_shape(&diff));
+        let two_rels = RaExpr::rel("R").product(RaExpr::rel("S"));
+        assert!(is_safe_shape(&two_rels));
+    }
+
+    #[test]
+    fn independent_project_matches_dtree() {
+        let db = independent_db(6);
+        // π_B(R): each output value aggregates three independent tuples.
+        let plan = RaExpr::rel("R").project(vec!["B"]);
+        let safe = safe_probabilities(&db, &plan).unwrap().expect("safe");
+        let lineage = evaluate_lineage(&db, &plan).unwrap();
+        let mut compiler = DtreeCompiler::new(db.vars());
+        for (tuple, dnf) in lineage.dnfs() {
+            let expected = compiler.probability(&dnf).unwrap();
+            assert_eq!(
+                safe[&tuple].to_bits(),
+                expected.to_bits(),
+                "extensional disagrees with d-tree on {tuple}"
+            );
+        }
+        // Three independent tuples at p = 0.75 each: 1 − 0.25³.
+        assert_eq!(safe[&Tuple::from_iter([0i64])], 1.0 - 0.25f64.powi(3));
+    }
+
+    #[test]
+    fn disjoint_or_sums_exclusive_choices() {
+        // One 3-valued variable feeding two rows that can never coexist.
+        let mut vars = VarTable::new();
+        let v = vars.add_var("c", vec![0.25, 0.25, 0.5]).unwrap();
+        let mut db = LineageDb::new(vars);
+        let mut r = LineageRelation::new(Schema::new("R", &["A"]).unwrap());
+        r.push(Tuple::from_iter([7i64]), Clause::of(v, 0)).unwrap();
+        r.push(Tuple::from_iter([7i64]), Clause::of(v, 2)).unwrap();
+        r.push(Tuple::from_iter([8i64]), Clause::of(v, 1)).unwrap();
+        db.insert_relation(r);
+        let plan = RaExpr::rel("R");
+        let safe = safe_probabilities(&db, &plan).unwrap().expect("safe");
+        assert_eq!(safe[&Tuple::from_iter([7i64])], 0.75);
+        assert_eq!(safe[&Tuple::from_iter([8i64])], 0.25);
+    }
+
+    #[test]
+    fn join_of_independent_relations_is_extensional() {
+        let mut vars = VarTable::new();
+        let x = vars.add_var("x", vec![0.5, 0.5]).unwrap();
+        let y = vars.add_var("y", vec![0.25, 0.75]).unwrap();
+        let mut db = LineageDb::new(vars);
+        let mut r = LineageRelation::new(Schema::new("R", &["A"]).unwrap());
+        r.push(Tuple::from_iter([1i64]), Clause::of(x, 1)).unwrap();
+        db.insert_relation(r);
+        let mut s = LineageRelation::new(Schema::new("S", &["B"]).unwrap());
+        s.push(Tuple::from_iter([1i64]), Clause::of(y, 1)).unwrap();
+        db.insert_relation(s);
+        let plan =
+            RaExpr::rel("R").join(RaExpr::rel("S"), Predicate::cmp_attr("A", CmpOp::Eq, "B"));
+        let safe = safe_probabilities(&db, &plan).unwrap().expect("safe");
+        assert_eq!(safe[&Tuple::from_iter([1i64, 1])], 0.375);
+    }
+
+    #[test]
+    fn unsafe_fanout_declines() {
+        // R(A) ⋈ S(A, B) projected to A: the R variable is shared by two
+        // non-exclusive derivations — extensional evaluation must decline.
+        let mut vars = VarTable::new();
+        let x = vars.add_var("x", vec![0.5, 0.5]).unwrap();
+        let y0 = vars.add_var("y0", vec![0.5, 0.5]).unwrap();
+        let y1 = vars.add_var("y1", vec![0.5, 0.5]).unwrap();
+        let mut db = LineageDb::new(vars);
+        let mut r = LineageRelation::new(Schema::new("R", &["A"]).unwrap());
+        r.push(Tuple::from_iter([1i64]), Clause::of(x, 1)).unwrap();
+        db.insert_relation(r);
+        let mut s = LineageRelation::new(Schema::new("S", &["B", "C"]).unwrap());
+        s.push(Tuple::from_iter([1i64, 10]), Clause::of(y0, 1))
+            .unwrap();
+        s.push(Tuple::from_iter([1i64, 20]), Clause::of(y1, 1))
+            .unwrap();
+        db.insert_relation(s);
+        let plan = RaExpr::rel("R")
+            .join(RaExpr::rel("S"), Predicate::cmp_attr("A", CmpOp::Eq, "B"))
+            .project(vec!["A"]);
+        assert!(safe_probabilities(&db, &plan).unwrap().is_none());
+        // The d-tree tier picks it up exactly: P(x ∧ (y0 ∨ y1)).
+        let lineage = evaluate_lineage(&db, &plan).unwrap();
+        let mut compiler = DtreeCompiler::new(db.vars());
+        let dnf = &lineage.dnfs()[&Tuple::from_iter([1i64])];
+        assert_eq!(compiler.probability(dnf).unwrap(), 0.5 * 0.75);
+    }
+}

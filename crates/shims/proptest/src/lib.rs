@@ -20,16 +20,32 @@ pub struct ProptestConfig {
     pub cases: u32,
 }
 
+/// The `PROPTEST_CASES` environment variable, if set to a positive number —
+/// the same knob real proptest reads.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+}
+
 impl ProptestConfig {
-    /// A configuration running `cases` random cases.
+    /// A configuration running `cases` random cases.  `PROPTEST_CASES` raises
+    /// (never lowers) the pinned count, so the nightly CI job can deepen
+    /// every property test without touching the sources while quick local
+    /// runs keep their fast defaults.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: env_cases().map_or(cases, |env| env.max(cases)),
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(64),
+        }
     }
 }
 
@@ -314,5 +330,13 @@ mod tests {
         fn default_config_works(x in (0i64..10).prop_map(|v| v * 2)) {
             prop_assert_eq!(x % 2, 0);
         }
+    }
+
+    #[test]
+    fn case_counts_are_floors_under_the_env_knob() {
+        // PROPTEST_CASES may or may not be set in this process; either way
+        // the pinned count is a floor and the default stays positive.
+        assert!(ProptestConfig::with_cases(16).cases >= 16);
+        assert!(ProptestConfig::default().cases >= 1);
     }
 }

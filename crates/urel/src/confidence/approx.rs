@@ -8,7 +8,7 @@
 //! of the *relevant* variables only (everything else marginalizes out) and
 //! checks the DNF directly, giving the same additive (ε, δ) guarantee from
 //! the shared Hoeffding bound
-//! [`hoeffding_samples`](ws_core::confidence::approx::hoeffding_samples):
+//! [`hoeffding_samples`](ws_relational::approx::hoeffding_samples):
 //! after `n = ⌈ln(2/δ) / (2ε²)⌉` trials, `|p̂ − p| ≤ ε` with probability at
 //! least `1 − δ`.
 //!
@@ -22,7 +22,7 @@
 use std::collections::BTreeSet;
 
 use rand::Rng;
-use ws_core::confidence::approx::{block_seed, run_trial_blocks, ApproxConfig};
+use ws_relational::approx::{block_seed, run_trial_blocks, ApproxConfig};
 use ws_relational::{Tuple, WorkerPool};
 
 use crate::database::UDatabase;
