@@ -20,7 +20,10 @@
 //! * the `tiers` section additionally enforces the PR 7 acceptance bound
 //!   *inside* the CI file: the safe-plan tier must be at least
 //!   [`SAFE_SPEEDUP_REQUIRED`]× faster than native exact enumeration on
-//!   every recorded variable count.
+//!   every recorded variable count;
+//! * the `service` section likewise enforces the PR 8 acceptance bound: at
+//!   every recorded writer count, the group-commit batcher must be at least
+//!   [`GROUP_COMMIT_SPEEDUP_REQUIRED`]× faster than per-record fsync.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -35,6 +38,10 @@ pub const ABSOLUTE_FLOOR_SECONDS: f64 = 0.005;
 
 /// The safe-plan tier must beat native exact enumeration by this factor.
 pub const SAFE_SPEEDUP_REQUIRED: f64 = 3.0;
+
+/// Group commit must beat per-record fsync by this factor (measured over
+/// `LatencyVfs`, so the ratio is deterministic across CI hosts).
+pub const GROUP_COMMIT_SPEEDUP_REQUIRED: f64 = 2.0;
 
 /// One measurement key: `(bench, section, name, metric)`.
 pub type MetricKey = (String, String, String, String);
@@ -118,7 +125,7 @@ impl Report {
             ));
         }
         if !self.tier_failures.is_empty() {
-            out.push_str("\n### Confidence-tier bound violations\n\n");
+            out.push_str("\n### Acceptance-bound violations\n\n");
             for failure in &self.tier_failures {
                 out.push_str(&format!("* {failure}\n"));
             }
@@ -207,6 +214,31 @@ pub fn compare(seed: &BTreeMap<MetricKey, f64>, ci: &BTreeMap<MetricKey, f64>) -
             )),
             None => report.tier_failures.push(format!(
                 "{bench}/{section}/{name}: safe_s recorded without exact_s"
+            )),
+        }
+    }
+
+    // The PR 8 acceptance bound: on every recorded `service` row of the CI
+    // run, the group-commit batcher beats per-record fsync by
+    // ≥ GROUP_COMMIT_SPEEDUP_REQUIRED×.
+    for ((bench, section, name, metric), &batched) in ci {
+        if section != "service" || metric != "group_commit_s" {
+            continue;
+        }
+        let baseline_key = (
+            bench.clone(),
+            section.clone(),
+            name.clone(),
+            "every_record_s".to_string(),
+        );
+        match ci.get(&baseline_key) {
+            Some(&every) if batched * GROUP_COMMIT_SPEEDUP_REQUIRED <= every => {}
+            Some(&every) => report.tier_failures.push(format!(
+                "{bench}/{section}/{name}: group commit {batched:.6}s is not \
+                 {GROUP_COMMIT_SPEEDUP_REQUIRED}× faster than per-record fsync {every:.6}s"
+            )),
+            None => report.tier_failures.push(format!(
+                "{bench}/{section}/{name}: group_commit_s recorded without every_record_s"
             )),
         }
     }
@@ -309,9 +341,40 @@ mod tests {
         let report = compare(&seed, &ci);
         assert!(!report.passed());
         assert_eq!(report.tier_failures.len(), 1);
-        assert!(report.to_markdown().contains("Confidence-tier bound"));
+        assert!(report.to_markdown().contains("Acceptance-bound"));
         // A safe_s without its exact_s is also a failure.
         ci.remove(&tier_key("exact_s"));
+        assert!(!compare(&seed, &ci).passed());
+    }
+
+    #[test]
+    fn service_bound_is_enforced_inside_the_ci_file() {
+        let service_key = |metric: &str| -> MetricKey {
+            (
+                "ablation_service".into(),
+                "service".into(),
+                "w8".into(),
+                metric.into(),
+            )
+        };
+        let seed = BTreeMap::new();
+        // Passing: the batcher is well over 2× faster than per-record fsync.
+        let mut ci = BTreeMap::new();
+        ci.insert(service_key("group_commit_s"), 0.050);
+        ci.insert(service_key("every_record_s"), 0.400);
+        assert!(compare(&seed, &ci).passed());
+        // Read-scaling metrics in the same section carry no in-file bound.
+        ci.insert(service_key("read_1t_s"), 0.100);
+        ci.insert(service_key("read_nt_s"), 0.090);
+        assert!(compare(&seed, &ci).passed());
+        // Failing: group commit barely beats the baseline.
+        ci.insert(service_key("group_commit_s"), 0.300);
+        let report = compare(&seed, &ci);
+        assert!(!report.passed());
+        assert_eq!(report.tier_failures.len(), 1);
+        assert!(report.to_markdown().contains("per-record fsync"));
+        // A group_commit_s without its every_record_s is also a failure.
+        ci.remove(&service_key("every_record_s"));
         assert!(!compare(&seed, &ci).passed());
     }
 }

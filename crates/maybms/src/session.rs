@@ -632,6 +632,29 @@ pub struct SessionStats {
     /// [`Session::confidence_approx`] calls (Monte-Carlo or the backend's
     /// exact fallback).
     pub conf_approx: u64,
+    /// Read snapshots pinned from a concurrent store (ws-server sessions
+    /// only; 0 on plain sessions).
+    pub snapshots_pinned: u64,
+    /// Group-commit batches the concurrent store's committer flushed.
+    pub commit_batches: u64,
+    /// Updates carried by those batches; `mean_batch()` is the ratio.
+    pub batched_updates: u64,
+    /// Bytes received over the wire protocol (ws-server only).
+    pub wire_bytes_in: u64,
+    /// Bytes sent over the wire protocol (ws-server only).
+    pub wire_bytes_out: u64,
+}
+
+impl SessionStats {
+    /// Mean updates per group-commit batch (0.0 before the first batch) —
+    /// the amortization factor each batch fsync buys.
+    pub fn mean_batch(&self) -> f64 {
+        if self.commit_batches == 0 {
+            0.0
+        } else {
+            self.batched_updates as f64 / self.commit_batches as f64
+        }
+    }
 }
 
 impl fmt::Display for SessionStats {
@@ -654,7 +677,24 @@ impl fmt::Display for SessionStats {
             self.conf_compiled,
             self.conf_exact,
             self.conf_approx,
-        )
+        )?;
+        // The service counters only appear once a concurrent store was
+        // involved; plain sessions keep the familiar one-liner.
+        if self.snapshots_pinned + self.commit_batches + self.wire_bytes_in + self.wire_bytes_out
+            > 0
+        {
+            write!(
+                f,
+                " snapshots-pinned={} commit-batches={} mean-batch={:.1} \
+                 wire-bytes-in={} wire-bytes-out={}",
+                self.snapshots_pinned,
+                self.commit_batches,
+                self.mean_batch(),
+                self.wire_bytes_in,
+                self.wire_bytes_out,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -757,6 +797,8 @@ where
             stats.wal_records = durability.wal_records;
             stats.wal_bytes = durability.wal_bytes;
             stats.checkpoints = durability.checkpoints;
+            stats.commit_batches = durability.commit_batches;
+            stats.batched_updates = durability.batched_updates;
         }
         stats
     }

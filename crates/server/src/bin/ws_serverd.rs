@@ -1,0 +1,119 @@
+//! `ws-serverd` — serve a durable world-set store over TCP.
+//!
+//! ```text
+//! ws-serverd serve <store-dir> [addr] [--group-commit N,WAIT_MS]
+//!     Serve an existing store directory (create it with the library or the
+//!     `smoke` subcommand first).  Default addr 127.0.0.1:7878.
+//!
+//! ws-serverd smoke
+//!     Self-test: bind an ephemeral port over an in-memory store, run one
+//!     client round-trip (hello, prepare, execute, apply, confidence,
+//!     checkpoint, shutdown), and exit 0 iff every step answered correctly.
+//! ```
+
+use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use maybms::{q, AnyBackend, UpdateExpr};
+use ws_relational::Predicate;
+use ws_server::{serve, spawn, Client, ConcurrentStore};
+use ws_storage::{DirVfs, MemVfs, SyncPolicy, Vfs};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("smoke") => cmd_smoke(),
+        _ => {
+            eprintln!("usage: ws-serverd serve <store-dir> [addr] [--group-commit N,WAIT_MS]");
+            eprintln!("       ws-serverd smoke");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ws-serverd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_policy(args: &[String]) -> Result<SyncPolicy, String> {
+    for (i, a) in args.iter().enumerate() {
+        if a == "--group-commit" {
+            let spec = args
+                .get(i + 1)
+                .ok_or("--group-commit needs N,WAIT_MS".to_string())?;
+            let (n, wait) = spec
+                .split_once(',')
+                .ok_or(format!("bad --group-commit spec {spec:?}"))?;
+            let max_batch: usize = n.parse().map_err(|e| format!("bad batch size: {e}"))?;
+            let wait_ms: u64 = wait.parse().map_err(|e| format!("bad wait: {e}"))?;
+            return Ok(SyncPolicy::GroupCommit {
+                max_batch,
+                max_wait: Duration::from_millis(wait_ms),
+            });
+        }
+    }
+    Ok(SyncPolicy::EveryRecord)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = args.first().ok_or("missing <store-dir>")?;
+    let addr = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--") && !a.contains(','))
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:7878");
+    let policy = parse_policy(args)?;
+    let vfs: Box<dyn Vfs> = Box::new(DirVfs::open(dir)?);
+    let store: ConcurrentStore<AnyBackend> = ConcurrentStore::open(vfs, policy)?;
+    let listener = std::net::TcpListener::bind(addr)?;
+    println!("ws-serverd: serving {dir} on {}", listener.local_addr()?);
+    let stop = Arc::new(AtomicBool::new(false));
+    serve(listener, store.clone(), stop)?;
+    store.close()?;
+    println!("ws-serverd: stopped");
+    Ok(())
+}
+
+fn cmd_smoke() -> Result<(), Box<dyn std::error::Error>> {
+    let backend = AnyBackend::Wsd(maybms::core::wsd::example_census_wsd());
+    let vfs: Box<dyn Vfs> = Box::new(MemVfs::new());
+    let store: ConcurrentStore<AnyBackend> = ConcurrentStore::create(
+        vfs,
+        backend,
+        SyncPolicy::GroupCommit {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+        },
+    )?;
+    let handle = spawn("127.0.0.1:0", store.clone())?;
+    let addr = handle.addr();
+    println!("smoke: serving on {addr}");
+
+    let mut client = Client::connect(addr)?;
+    println!("smoke: connected to a {} store", client.backend_name());
+    let plan = client.prepare(q("R").project(["S"]))?;
+    let rows_before = client.execute(&plan)?.len();
+    let confidences = client.confidence(&plan)?;
+    let mass = client.apply(&UpdateExpr::delete("R", Predicate::eq_const("M", 4i64)))?;
+    let rows_after = client.execute(&plan)?.len();
+    let generation = client.checkpoint()?;
+    let summary = client.stats()?;
+    println!("smoke: rows {rows_before} -> {rows_after}, {} confidences, mass {mass}, generation {generation}", confidences.len());
+    println!("smoke: {summary}");
+    client.shutdown_server()?;
+    handle.shutdown()?;
+    store.close()?;
+
+    if rows_before == 0 || confidences.is_empty() {
+        return Err("smoke: the example store answered nothing".into());
+    }
+    println!("smoke: OK");
+    Ok(())
+}

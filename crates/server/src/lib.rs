@@ -1,0 +1,43 @@
+//! # ws-server — a concurrent multi-session service over the world-set stack
+//!
+//! Everything below PR 8 was a library: one thread, one [`Session`], one
+//! process.  The paper's pitch — managing `10^(10^6)` worlds *as a database
+//! system* — implies the other half of a database system: many sessions at
+//! once, isolation between them, and a client/server seam.  This crate adds
+//! that half in three layers:
+//!
+//! * [`store`] — [`ConcurrentStore<B>`]: MVCC-style snapshot reads (readers
+//!   pin an `Arc` image and never block on writers; old generations are
+//!   reclaimed when the last reader drops) over a single *committer* thread
+//!   that owns the [`Durable<B>`](ws_storage::Durable) store and coalesces
+//!   concurrent updates into group-commit WAL batches — one batch frame, one
+//!   fsync, per-caller outcomes.  The WAL append is the commit point, so a
+//!   crash tears whole batches, never splits them.
+//! * [`wire`] — a length-prefixed, CRC-framed binary protocol carrying the
+//!   prepared-plan Session verbs (hello / prepare / execute with streamed
+//!   row batches / confidence / apply / condition / checkpoint / stats),
+//!   encoded with the same ws-storage codec the snapshot and WAL files use.
+//! * [`server`] + [`client`] — a thread-per-connection TCP [`server`] whose
+//!   connections re-pin snapshots and transparently re-prepare their plans
+//!   when writers commit, and a blocking [`Client`] mirroring the Session
+//!   API remotely.
+//!
+//! The `ws-serverd` binary serves a store directory; the repository-level
+//! `tests/service_equivalence.rs` suite proves the concurrency story
+//! differentially: every reader-observed snapshot equals a serial prefix of
+//! the committed update sequence, bit-identically, on all five backends.
+//!
+//! [`Session`]: maybms::Session
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod store;
+pub mod wire;
+
+pub use client::{Client, RemotePlan, ServiceError};
+pub use server::{serve, spawn, ServerHandle};
+pub use store::{ConcurrentStore, StoreSnapshot, StoreStats, UpdateOutcome};
+pub use wire::{Request, Response, WIRE_VERSION};

@@ -1,0 +1,355 @@
+//! The TCP server: one [`ConcurrentStore`] served to many connections.
+//!
+//! Each connection runs on its own thread and owns a private
+//! [`Session<AnyBackend>`] built from a pinned store snapshot.  Queries
+//! (`Prepare`/`Execute`/`Confidence`) run against that pinned image without
+//! taking any store lock; before each query the connection compares its
+//! pinned sequence number with the store's and, if writers have committed in
+//! the meantime, re-pins the newest snapshot and transparently re-prepares
+//! its registered plans through the session plan cache.  Writes
+//! (`Apply`/`Condition`/`Checkpoint`) go straight to the store's
+//! group-commit committer, so concurrent connections' updates coalesce into
+//! shared WAL batches.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use maybms::{AnyBackend, Prepared, Session, SessionBackend, UpdateExpr};
+use ws_relational::RaExpr;
+
+use crate::store::ConcurrentStore;
+use crate::wire::{read_frame, write_frame, CountingStream, Request, Response, WIRE_VERSION};
+
+/// Rows per [`Response::RowBatch`] frame.
+const ROW_BATCH: usize = 256;
+
+/// Serve `store` on `listener` until `stop` is raised (by a client
+/// `Shutdown` verb or [`ServerHandle::shutdown`]).
+///
+/// Blocks the calling thread; connection handlers run on their own threads
+/// and are joined before this returns.  The store itself is *not* closed —
+/// the caller decides when the committer stops.
+pub fn serve(
+    listener: TcpListener,
+    store: ConcurrentStore<AnyBackend>,
+    stop: Arc<AtomicBool>,
+) -> io::Result<()> {
+    let addr = listener.local_addr()?;
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let store = store.clone();
+        let stop = Arc::clone(&stop);
+        workers.push(std::thread::spawn(move || {
+            // A connection error tears down that one connection only.
+            let _ = handle_connection(stream, store, stop, addr);
+        }));
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    Ok(())
+}
+
+/// A running server: its address, its stop flag, and the accept thread.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<io::Result<()>>>,
+}
+
+/// Bind `addr` (use port 0 for an ephemeral port) and serve `store` on a
+/// background thread.
+pub fn spawn(
+    addr: impl ToSocketAddrs,
+    store: ConcurrentStore<AnyBackend>,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let serve_stop = Arc::clone(&stop);
+    let join = std::thread::Builder::new()
+        .name("ws-server-accept".into())
+        .spawn(move || serve(listener, store, serve_stop))?;
+    Ok(ServerHandle {
+        addr: local,
+        stop,
+        join: Some(join),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves an ephemeral port request).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake the accept loop, and join it.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.stop.store(true, Ordering::SeqCst);
+        // A throwaway connection unblocks the blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        match self.join.take() {
+            Some(join) => join
+                .join()
+                .map_err(|_| io::Error::other("the accept thread panicked"))?,
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(join) = self.join.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(self.addr);
+            let _ = join.join();
+        }
+    }
+}
+
+/// Per-connection state: the pinned read session and the registered plans.
+struct Conn {
+    store: ConcurrentStore<AnyBackend>,
+    /// The session over the pinned snapshot, tagged with the sequence number
+    /// it was pinned at.  Rebuilt lazily when the store moves on.
+    session: Option<(u64, Session<AnyBackend>)>,
+    /// Plan handle → the lowered plan, the durable registration.
+    plans: HashMap<u64, RaExpr>,
+    /// Plan handle → the prepared form against the *current* session.
+    prepared: HashMap<u64, Prepared>,
+    next_plan: u64,
+}
+
+impl Conn {
+    /// Pin the newest snapshot if the committed sequence moved, re-preparing
+    /// every registered plan against the fresh session.
+    fn refresh(&mut self) -> Result<(), maybms::Error> {
+        let tip = self.store.seq();
+        let stale = match &self.session {
+            Some((seq, _)) => *seq != tip,
+            None => true,
+        };
+        if stale {
+            let snapshot = self.store.snapshot();
+            let mut session = Session::new(snapshot.backend.clone());
+            self.prepared.clear();
+            for (&id, plan) in &self.plans {
+                let p = session.prepare(plan.clone())?;
+                self.prepared.insert(id, p);
+            }
+            self.session = Some((snapshot.seq, session));
+        }
+        Ok(())
+    }
+
+    /// The pinned session ([`Conn::refresh`] must have succeeded first).
+    fn session(&mut self) -> &mut Session<AnyBackend> {
+        &mut self.session.as_mut().expect("session pinned by refresh").1
+    }
+}
+
+fn error_response(e: &maybms::Error) -> Response {
+    Response::Error {
+        inconsistent: e.is_inconsistent(),
+        message: e.to_string(),
+    }
+}
+
+fn storage_error_response(e: &impl std::fmt::Display) -> Response {
+    Response::Error {
+        inconsistent: false,
+        message: e.to_string(),
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    store: ConcurrentStore<AnyBackend>,
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+) -> io::Result<()> {
+    let mut stream = CountingStream::new(stream);
+    let mut conn = Conn {
+        store,
+        session: None,
+        plans: HashMap::new(),
+        prepared: HashMap::new(),
+        next_plan: 1,
+    };
+    loop {
+        let payload = match read_frame(&mut stream)? {
+            Some(p) => p,
+            None => return Ok(()), // clean hang-up
+        };
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                let resp = storage_error_response(&e).encode();
+                write_frame(&mut stream, &resp)?;
+                continue;
+            }
+        };
+        match request {
+            Request::Hello { version } => {
+                let resp = if version != WIRE_VERSION {
+                    Response::Error {
+                        inconsistent: false,
+                        message: format!(
+                            "wire version mismatch: client speaks {version}, server speaks {WIRE_VERSION}"
+                        ),
+                    }
+                } else {
+                    match conn.refresh() {
+                        Ok(()) => Response::HelloOk {
+                            version: WIRE_VERSION,
+                            backend: conn.session().backend().backend_name().to_string(),
+                            seq: conn.store.seq(),
+                        },
+                        Err(e) => error_response(&e),
+                    }
+                };
+                write_frame(&mut stream, &resp.encode())?;
+            }
+            Request::Prepare { plan } => {
+                let resp = match conn.refresh() {
+                    Ok(()) => match conn.session().prepare(plan.clone()) {
+                        Ok(p) => {
+                            let id = conn.next_plan;
+                            conn.next_plan += 1;
+                            let resp = Response::Prepared {
+                                plan: id,
+                                display: p.key().to_string(),
+                                attrs: p.attrs().to_vec(),
+                            };
+                            conn.plans.insert(id, plan);
+                            conn.prepared.insert(id, p);
+                            resp
+                        }
+                        Err(e) => error_response(&e),
+                    },
+                    Err(e) => error_response(&e),
+                };
+                write_frame(&mut stream, &resp.encode())?;
+            }
+            Request::Execute { plan } => {
+                let rows = match conn.refresh() {
+                    Ok(()) => match conn.prepared.get(&plan).cloned() {
+                        Some(p) => match conn.session().execute(&p) {
+                            Ok(cursor) => Ok(cursor.collect::<Vec<_>>()),
+                            Err(e) => Err(error_response(&e)),
+                        },
+                        None => Err(Response::Error {
+                            inconsistent: false,
+                            message: format!("unknown plan handle {plan}"),
+                        }),
+                    },
+                    Err(e) => Err(error_response(&e)),
+                };
+                match rows {
+                    Ok(rows) => {
+                        let mut chunks = rows.chunks(ROW_BATCH).peekable();
+                        if chunks.peek().is_none() {
+                            let resp = Response::RowBatch {
+                                rows: Vec::new(),
+                                done: true,
+                            };
+                            write_frame(&mut stream, &resp.encode())?;
+                        }
+                        while let Some(chunk) = chunks.next() {
+                            let resp = Response::RowBatch {
+                                rows: chunk.to_vec(),
+                                done: chunks.peek().is_none(),
+                            };
+                            write_frame(&mut stream, &resp.encode())?;
+                        }
+                    }
+                    Err(resp) => write_frame(&mut stream, &resp.encode())?,
+                }
+            }
+            Request::Confidence { plan } => {
+                let resp = match conn.refresh() {
+                    Ok(()) => match conn.prepared.get(&plan).cloned() {
+                        Some(p) => match conn.session().confidence(&p) {
+                            Ok(rows) => Response::Confidences { rows },
+                            Err(e) => error_response(&e),
+                        },
+                        None => Response::Error {
+                            inconsistent: false,
+                            message: format!("unknown plan handle {plan}"),
+                        },
+                    },
+                    Err(e) => error_response(&e),
+                };
+                write_frame(&mut stream, &resp.encode())?;
+            }
+            Request::Apply { update } => {
+                let resp = apply_through_store(&conn.store, update);
+                write_frame(&mut stream, &resp.encode())?;
+            }
+            Request::Condition { constraints } => {
+                let resp = apply_through_store(&conn.store, UpdateExpr::condition(constraints));
+                write_frame(&mut stream, &resp.encode())?;
+            }
+            Request::Checkpoint => {
+                let resp = match conn.store.checkpoint() {
+                    Ok(generation) => Response::Checkpointed { generation },
+                    Err(e) => storage_error_response(&e),
+                };
+                write_frame(&mut stream, &resp.encode())?;
+            }
+            Request::Stats => {
+                let resp = match conn.refresh() {
+                    Ok(()) => {
+                        let mut stats = conn.session().stats();
+                        let store_stats = conn.store.stats();
+                        stats.snapshots_pinned = store_stats.snapshots_pinned;
+                        stats.commit_batches = store_stats.commit_batches;
+                        stats.batched_updates = store_stats.batched_updates;
+                        stats.wire_bytes_in = stream.bytes_in();
+                        stats.wire_bytes_out = stream.bytes_out();
+                        Response::Stats {
+                            summary: stats.to_string(),
+                        }
+                    }
+                    Err(e) => error_response(&e),
+                };
+                write_frame(&mut stream, &resp.encode())?;
+            }
+            Request::Close => {
+                write_frame(&mut stream, &Response::Bye.encode())?;
+                return Ok(());
+            }
+            Request::Shutdown => {
+                write_frame(&mut stream, &Response::Bye.encode())?;
+                stop.store(true, Ordering::SeqCst);
+                // Wake the accept loop so the flag is observed.
+                let _ = TcpStream::connect(addr);
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Route one update through the committer and render the outcome.
+fn apply_through_store(store: &ConcurrentStore<AnyBackend>, update: UpdateExpr) -> Response {
+    match store.update(update) {
+        Ok(mass) => Response::Applied {
+            mass,
+            seq: store.seq(),
+        },
+        Err(ws_storage::DurableError::Backend(e)) => error_response(&e),
+        Err(ws_storage::DurableError::Storage(e)) => storage_error_response(&e),
+    }
+}

@@ -26,7 +26,7 @@ use ws_core::ops::update::UpdateExpr;
 use ws_core::{Component, FieldId, LocalWorld, RelationMeta, WorldSet, Wsd};
 use ws_relational::{
     AttrComparison, CmpOp, Database, Dependency, EqualityGeneratingDependency,
-    FunctionalDependency, Predicate, Relation, Schema, Tuple, Value,
+    FunctionalDependency, Predicate, RaExpr, Relation, Schema, Tuple, Value,
 };
 use ws_urel::{UDatabase, URelation, WsDescriptor};
 use ws_uwsdt::{PresenceCondition, Uwsdt, UwsdtSnapshot, WorldEntry};
@@ -427,6 +427,88 @@ pub fn dec_predicate(r: &mut Reader) -> Result<Predicate> {
         }
         4 => Predicate::Not(Box::new(dec_predicate(r)?)),
         t => return Err(bad_tag("predicate", t)),
+    })
+}
+
+/// Encode a relational-algebra plan (the wire protocol's `prepare` payload;
+/// plans never touch the durability files, which store states and updates).
+pub fn enc_ra(w: &mut Writer, e: &RaExpr) {
+    match e {
+        RaExpr::Rel(name) => {
+            w.u8(0);
+            w.str(name);
+        }
+        RaExpr::Select { pred, input } => {
+            w.u8(1);
+            enc_predicate(w, pred);
+            enc_ra(w, input);
+        }
+        RaExpr::Project { attrs, input } => {
+            w.u8(2);
+            w.len_of(attrs.len());
+            for a in attrs {
+                w.str(a);
+            }
+            enc_ra(w, input);
+        }
+        RaExpr::Product { left, right } => {
+            w.u8(3);
+            enc_ra(w, left);
+            enc_ra(w, right);
+        }
+        RaExpr::Union { left, right } => {
+            w.u8(4);
+            enc_ra(w, left);
+            enc_ra(w, right);
+        }
+        RaExpr::Difference { left, right } => {
+            w.u8(5);
+            enc_ra(w, left);
+            enc_ra(w, right);
+        }
+        RaExpr::Rename { from, to, input } => {
+            w.u8(6);
+            w.str(from);
+            w.str(to);
+            enc_ra(w, input);
+        }
+    }
+}
+
+/// Decode a relational-algebra plan.
+pub fn dec_ra(r: &mut Reader) -> Result<RaExpr> {
+    Ok(match r.u8("plan tag")? {
+        0 => RaExpr::Rel(r.str("relation name")?),
+        1 => RaExpr::Select {
+            pred: dec_predicate(r)?,
+            input: Box::new(dec_ra(r)?),
+        },
+        2 => {
+            let n = r.len_of("projection attribute count")?;
+            let mut attrs = Vec::with_capacity(n);
+            for _ in 0..n {
+                attrs.push(r.str("projection attribute")?);
+            }
+            RaExpr::Project {
+                attrs,
+                input: Box::new(dec_ra(r)?),
+            }
+        }
+        tag @ 3..=5 => {
+            let left = Box::new(dec_ra(r)?);
+            let right = Box::new(dec_ra(r)?);
+            match tag {
+                3 => RaExpr::Product { left, right },
+                4 => RaExpr::Union { left, right },
+                _ => RaExpr::Difference { left, right },
+            }
+        }
+        6 => RaExpr::Rename {
+            from: r.str("rename source")?,
+            to: r.str("rename target")?,
+            input: Box::new(dec_ra(r)?),
+        },
+        t => return Err(bad_tag("plan", t)),
     })
 }
 
@@ -1004,6 +1086,38 @@ mod tests {
         for u in updates {
             assert_eq!(roundtrip(&u, enc_update, dec_update), u);
         }
+    }
+
+    #[test]
+    fn plans_roundtrip() {
+        let plan = RaExpr::Project {
+            attrs: vec!["S".into(), "N".into()],
+            input: Box::new(RaExpr::Select {
+                pred: Predicate::eq_const("M", 1i64),
+                input: Box::new(RaExpr::Union {
+                    left: Box::new(RaExpr::Rename {
+                        from: "A".into(),
+                        to: "S".into(),
+                        input: Box::new(RaExpr::rel("R")),
+                    }),
+                    right: Box::new(RaExpr::Difference {
+                        left: Box::new(RaExpr::Product {
+                            left: Box::new(RaExpr::rel("S")),
+                            right: Box::new(RaExpr::rel("T")),
+                        }),
+                        right: Box::new(RaExpr::rel("U")),
+                    }),
+                }),
+            }),
+        };
+        assert_eq!(roundtrip(&plan, enc_ra, dec_ra), plan);
+
+        // Unknown plan tags are corrupt, not trusted.
+        let mut w = Writer::new();
+        enc_ra(&mut w, &RaExpr::rel("R"));
+        let mut bytes = w.into_bytes();
+        bytes[0] = 42;
+        assert!(dec_ra(&mut Reader::new(&bytes)).is_err());
     }
 
     #[test]

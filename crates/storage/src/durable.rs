@@ -23,6 +23,17 @@
 //! resets the log to `g+1`; [`Durable::open`] loads the newest valid
 //! snapshot and replays whatever log tail extends it.  The crash-safety
 //! argument for every interleaving is in the [`crate::wal`] docs.
+//!
+//! When appends reach *stable* storage is a separate axis, chosen by
+//! [`SyncPolicy`]:
+//!
+//! * [`SyncPolicy::EveryRecord`] — fsync before each update is
+//!   acknowledged (the default; power-cut durable per update),
+//! * [`SyncPolicy::GroupCommit`] — coalesce concurrent updates into one
+//!   batch frame via [`Durable::apply_batch`] and fsync once per batch,
+//!   acknowledging every update in the batch after that single fsync,
+//! * [`SyncPolicy::OnCheckpoint`] — defer fsyncs to
+//!   checkpoint/sync/close.
 
 use crate::error::{DurableError, Result, StorageError};
 use crate::persist::Persist;
@@ -31,6 +42,7 @@ use crate::vfs::{DirVfs, Vfs};
 use crate::wal::{Wal, WAL_HEADER_LEN};
 use std::fmt;
 use std::path::Path;
+use std::time::Duration;
 use ws_core::ops::update::{apply_update, UpdateExpr};
 use ws_relational::engine::{ExecContext, QueryBackend, SchemaCatalog, WriteBackend};
 use ws_relational::{Dependency, Predicate, Schema, Tuple, Value};
@@ -54,9 +66,14 @@ pub struct DurabilityStats {
     pub replayed_failures: u64,
     /// Torn trailing bytes truncated off the WAL on open.
     pub torn_bytes_truncated: u64,
+    /// Batches appended through [`Durable::apply_batch`] (each batch is one
+    /// WAL frame + at most one fsync).
+    pub commit_batches: u64,
+    /// Updates carried by those batches; the mean batch size is
+    /// `batched_updates / commit_batches`.
+    pub batched_updates: u64,
 }
 
-/// A write-ahead-logged, snapshot-checkpointed backend.
 /// When WAL appends reach stable storage.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SyncPolicy {
@@ -64,6 +81,18 @@ pub enum SyncPolicy {
     /// with `Ok` survives a power cut, not just a process crash.
     #[default]
     EveryRecord,
+    /// Coalesce updates into batch frames: [`Durable::apply_batch`] appends
+    /// at most `max_batch` updates per [`crate::wal::RECORD_BATCH`] frame
+    /// and fsyncs **once per call**, so every update in the batch becomes
+    /// power-cut durable with one fsync.  `max_wait` is read by concurrent
+    /// batchers (the ws-server committer) as the longest a leader waits for
+    /// followers to coalesce; the single-threaded write path ignores it.
+    GroupCommit {
+        /// Most updates allowed in one batch frame (0 is treated as 1).
+        max_batch: usize,
+        /// How long a concurrent batcher waits to fill a batch.
+        max_wait: Duration,
+    },
     /// Only flush to the OS per record; fsync happens at
     /// [`Durable::checkpoint`], [`Durable::sync`] and [`Durable::close`].
     /// Faster, but acknowledged updates between syncs can be lost to a
@@ -71,6 +100,7 @@ pub enum SyncPolicy {
     OnCheckpoint,
 }
 
+/// A write-ahead-logged, snapshot-checkpointed backend.
 pub struct Durable<B> {
     inner: B,
     vfs: Box<dyn Vfs>,
@@ -174,18 +204,23 @@ impl<B: Persist + WriteBackend> Durable<B> {
         let (wal, scanned) = Wal::open(vfs.as_mut(), generation)?;
         let mut stats = DurabilityStats {
             snapshot_generation: generation,
-            recovered_records: scanned.records.len() as u64,
+            recovered_records: scanned.update_count() as u64,
             torn_bytes_truncated: scanned.torn_bytes as u64,
-            wal_records: scanned.records.len() as u64,
+            wal_records: scanned.update_count() as u64,
             wal_bytes: scanned.valid_len.saturating_sub(WAL_HEADER_LEN) as u64,
             ..DurabilityStats::default()
         };
         for record in &scanned.records {
             // A record that failed live fails identically on replay (the
             // verbs are deterministic); reproducing the failure reproduces
-            // the crashed process's state, so replay continues past it.
-            if apply_update(&mut inner, &record.update).is_err() {
-                stats.replayed_failures += 1;
+            // the crashed process's state, so replay continues past it.  A
+            // batch frame replays all of its updates in order — the frame
+            // either validated whole or was truncated whole, so recovery
+            // always lands on a batch boundary.
+            for update in &record.updates {
+                if apply_update(&mut inner, update).is_err() {
+                    stats.replayed_failures += 1;
+                }
             }
         }
         Ok(Durable {
@@ -241,9 +276,25 @@ impl<B> Durable<B> {
 
     /// Flush and fsync the log, surfacing I/O errors, then hand the backend
     /// back — the drop-with-result teardown `Session::close` builds on.
+    ///
+    /// Closing a **poisoned** handle (a checkpoint's snapshot landed but
+    /// its log reset failed) is an error that reports the whole cause
+    /// chain: the original poison cause first, then the final sync's
+    /// outcome if that failed too — not just whichever error happened
+    /// last.  The backend's state is still recoverable via
+    /// [`Durable::open`] (it lives in the durable snapshot).
     pub fn close(mut self) -> Result<B> {
-        self.wal.sync(self.vfs.as_mut())?;
-        Ok(self.inner)
+        let synced = self.wal.sync(self.vfs.as_mut());
+        match (self.poisoned.take(), synced) {
+            (None, Ok(())) => Ok(self.inner),
+            (None, Err(e)) => Err(e),
+            (Some(why), Ok(())) => {
+                Err(StorageError::io(format!("closing a poisoned store: {why}")))
+            }
+            (Some(why), Err(e)) => Err(StorageError::io(format!(
+                "closing a poisoned store: {why}; the final sync failed too: {e}"
+            ))),
+        }
     }
 
     /// How WAL appends reach stable storage (default:
@@ -271,6 +322,60 @@ impl<B> Durable<B> {
         self.stats.wal_records += 1;
         self.stats.wal_bytes += bytes as u64;
         Ok(())
+    }
+}
+
+impl<B: WriteBackend> Durable<B> {
+    /// The group-commit entry point: log the whole batch, fsync **once**
+    /// (unless the policy is [`SyncPolicy::OnCheckpoint`]), then apply each
+    /// update, returning the per-update outcomes in submission order.
+    ///
+    /// The batch is framed as one [`crate::wal::RECORD_BATCH`] record (split
+    /// at the policy's `max_batch`), so a crash mid-append tears the frame's
+    /// CRC and recovery drops the batch whole — callers whose updates were
+    /// in a torn batch were never acknowledged, and no prefix of a batch is
+    /// ever replayed.
+    ///
+    /// Per-update failures (e.g. a deterministic `Inconsistent` conditioning
+    /// outcome) are *values* in the returned vector, not errors of the call:
+    /// they are logged and replayed like any other update.  The outer error
+    /// is reserved for log I/O failures, in which case no update of the
+    /// batch touched the backend.
+    pub fn apply_batch(
+        &mut self,
+        updates: &[UpdateExpr],
+    ) -> Result<Vec<std::result::Result<f64, B::Error>>> {
+        if let Some(why) = &self.poisoned {
+            return Err(StorageError::io(format!(
+                "store refuses writes: {why}; reopen it to resume"
+            )));
+        }
+        if updates.is_empty() {
+            return Ok(Vec::new());
+        }
+        let max_batch = match self.sync_policy {
+            SyncPolicy::GroupCommit { max_batch, .. } => max_batch.max(1),
+            _ => updates.len(),
+        };
+        let mut bytes = 0usize;
+        for chunk in updates.chunks(max_batch) {
+            bytes += if chunk.len() == 1 {
+                self.wal.append(self.vfs.as_mut(), &chunk[0])?
+            } else {
+                self.wal.append_batch(self.vfs.as_mut(), chunk)?
+            };
+        }
+        if !matches!(self.sync_policy, SyncPolicy::OnCheckpoint) {
+            self.wal.sync(self.vfs.as_mut())?;
+        }
+        self.stats.wal_records += updates.len() as u64;
+        self.stats.wal_bytes += bytes as u64;
+        self.stats.commit_batches += 1;
+        self.stats.batched_updates += updates.len() as u64;
+        Ok(updates
+            .iter()
+            .map(|update| apply_update(&mut self.inner, update))
+            .collect())
     }
 }
 
@@ -605,6 +710,129 @@ mod tests {
             .delete_where("R", &Predicate::eq_const("N", "Smith"))
             .unwrap();
         assert_eq!(durable.stats().wal_records, 1);
+    }
+
+    #[test]
+    fn group_commit_fsyncs_once_per_batch() {
+        let vfs = MemVfs::new();
+        let wsd = ws_core::wsd::example_census_wsd();
+        let mut durable = Durable::create(boxed(&vfs), wsd).unwrap();
+        durable.set_sync_policy(SyncPolicy::GroupCommit {
+            max_batch: 64,
+            max_wait: std::time::Duration::from_millis(2),
+        });
+        let updates: Vec<UpdateExpr> = (0..5)
+            .map(|i| {
+                UpdateExpr::insert(
+                    "R",
+                    Tuple::from_iter([Value::int(1000 + i), Value::text("x"), Value::int(1)]),
+                )
+            })
+            .collect();
+        let before = vfs.sync_count();
+        let outcomes = durable.apply_batch(&updates).unwrap();
+        assert_eq!(outcomes.len(), 5);
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+        assert_eq!(vfs.sync_count(), before + 1, "one fsync for the batch");
+        assert_eq!(durable.stats().commit_batches, 1);
+        assert_eq!(durable.stats().batched_updates, 5);
+
+        // The per-record default pays one fsync per update instead.
+        durable.set_sync_policy(SyncPolicy::EveryRecord);
+        let before = vfs.sync_count();
+        for update in &updates[..3] {
+            durable.apply_batch(std::slice::from_ref(update)).unwrap();
+        }
+        assert_eq!(vfs.sync_count(), before + 3);
+    }
+
+    #[test]
+    fn apply_batch_splits_frames_at_max_batch() {
+        let vfs = MemVfs::new();
+        let wsd = ws_core::wsd::example_census_wsd();
+        let mut durable = Durable::create(boxed(&vfs), wsd).unwrap();
+        durable.set_sync_policy(SyncPolicy::GroupCommit {
+            max_batch: 2,
+            max_wait: std::time::Duration::ZERO,
+        });
+        let updates: Vec<UpdateExpr> = (0..5)
+            .map(|i| {
+                UpdateExpr::insert(
+                    "R",
+                    Tuple::from_iter([Value::int(2000 + i), Value::text("y"), Value::int(1)]),
+                )
+            })
+            .collect();
+        durable.apply_batch(&updates).unwrap();
+        let scan = crate::wal::scan(&vfs.bytes(crate::wal::WAL_FILE).unwrap()).unwrap();
+        // 2 + 2 + 1: two batch frames and one singleton.
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.update_count(), 5);
+        assert_eq!(durable.stats().wal_records, 5);
+
+        // Recovery replays every update of every frame.
+        let recovered = Durable::<Wsd>::open(boxed(&vfs)).unwrap();
+        assert_eq!(recovered.stats().recovered_records, 5);
+        let live = durable.inner().rep().unwrap();
+        let rec = recovered.inner().rep().unwrap();
+        assert!(live.same_worlds(&rec) && live.same_distribution(&rec, 0.0));
+    }
+
+    #[test]
+    fn a_batched_inconsistency_is_an_outcome_not_an_error() {
+        let vfs = MemVfs::new();
+        let wsd = ws_core::wsd::example_census_wsd();
+        let mut durable = Durable::create(boxed(&vfs), wsd).unwrap();
+        durable.set_sync_policy(SyncPolicy::GroupCommit {
+            max_batch: 8,
+            max_wait: std::time::Duration::ZERO,
+        });
+        let impossible = Dependency::Egd(EqualityGeneratingDependency::implies(
+            "R",
+            "N",
+            "Smith",
+            "M",
+            CmpOp::Gt,
+            100i64,
+        ));
+        let batch = vec![
+            UpdateExpr::insert(
+                "R",
+                Tuple::from_iter([Value::int(7), Value::text("z"), Value::int(0)]),
+            ),
+            UpdateExpr::condition(vec![impossible]),
+        ];
+        let outcomes = durable.apply_batch(&batch).unwrap();
+        assert!(outcomes[0].is_ok());
+        assert!(
+            outcomes[1].is_err(),
+            "the inconsistency is a per-update outcome"
+        );
+        let live = durable.inner().clone();
+
+        // Replay reproduces the same partial state, failure included.
+        let recovered = Durable::<Wsd>::open(boxed(&vfs)).unwrap();
+        assert_eq!(recovered.stats().recovered_records, 2);
+        assert_eq!(recovered.stats().replayed_failures, 1);
+        assert_eq!(recovered.inner().encode_to_vec(), live.encode_to_vec());
+    }
+
+    #[test]
+    fn closing_a_poisoned_store_reports_the_cause_chain() {
+        let vfs = MemVfs::new();
+        let wsd = ws_core::wsd::example_census_wsd();
+        let mut durable = Durable::create(boxed(&vfs), wsd.clone()).unwrap();
+        let image = crate::snapshot::encode_snapshot(1, &wsd);
+        vfs.set_write_budget(Some(image.len()));
+        assert!(durable.checkpoint().is_err());
+        vfs.set_write_budget(None);
+        let err = durable.close().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("poisoned"), "got: {msg}");
+        assert!(
+            msg.contains("could not be reset"),
+            "the poison cause must survive into close's error: {msg}"
+        );
     }
 
     #[test]

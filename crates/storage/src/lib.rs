@@ -53,5 +53,5 @@ pub use crc32::crc32;
 pub use durable::{DurabilityStats, Durable, SyncPolicy};
 pub use error::{DurableError, StorageError};
 pub use persist::Persist;
-pub use vfs::{DirVfs, MemVfs, Vfs};
+pub use vfs::{DirVfs, LatencyVfs, MemVfs, Vfs};
 pub use wal::{Wal, WalRecord, WalScan};

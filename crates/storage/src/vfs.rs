@@ -12,6 +12,11 @@
 //!   simulate a power cut after every WAL-record prefix without ever
 //!   touching a disk.
 //!
+//! A third implementation, [`LatencyVfs`], wraps any medium and charges a
+//! fixed, deterministic latency per `sync` — the cost model the group-commit
+//! benchmarks use to show fsync amortization without depending on the CI
+//! host's disk.
+//!
 //! File *names* are flat (no subdirectories); the durability layer only ever
 //! uses its own fixed names (`wal.log`, `snapshot-*.ws`).
 
@@ -20,10 +25,16 @@ use std::collections::{BTreeMap, HashMap};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// A flat, crash-aware file namespace.
-pub trait Vfs {
+///
+/// `Send` is a supertrait so a `Box<dyn Vfs>` (and the [`crate::Durable`]
+/// owning it) can move onto a dedicated committer thread — the shape the
+/// concurrent service's group-commit batcher takes.
+pub trait Vfs: Send {
     /// Read a whole file; `None` if it does not exist.
     fn read(&mut self, name: &str) -> Result<Option<Vec<u8>>>;
 
@@ -202,6 +213,8 @@ struct MemState {
     /// exceeds it, the budget's worth of bytes land (a *torn* write) and the
     /// operation errors — the moral equivalent of the power going out.
     budget: Option<usize>,
+    /// `sync` calls observed (the group-commit tests count fsyncs).
+    syncs: u64,
 }
 
 /// An in-memory [`Vfs`].  Clones share the same underlying state, so a test
@@ -237,6 +250,12 @@ impl MemVfs {
         self.lock().files.insert(name.to_string(), bytes);
     }
 
+    /// How many `sync` calls this namespace has seen — the group-commit
+    /// tests assert one fsync per batch rather than one per record.
+    pub fn sync_count(&self) -> u64 {
+        self.lock().syncs
+    }
+
     /// A deep, *independent* copy of the current state (the "disk image" a
     /// simulated crash freezes): further writes through `self` do not affect
     /// the copy.
@@ -246,6 +265,7 @@ impl MemVfs {
             state: Arc::new(Mutex::new(MemState {
                 files: state.files.clone(),
                 budget: None,
+                syncs: 0,
             })),
         }
     }
@@ -310,6 +330,7 @@ impl Vfs for MemVfs {
     }
 
     fn sync(&mut self, _name: &str) -> Result<()> {
+        self.lock().syncs += 1;
         Ok(())
     }
 
@@ -320,6 +341,80 @@ impl Vfs for MemVfs {
 
     fn list(&mut self) -> Result<Vec<String>> {
         Ok(self.lock().files.keys().cloned().collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The fixed-latency medium.
+// ---------------------------------------------------------------------------
+
+/// A [`Vfs`] wrapper that charges a fixed wall-clock latency per `sync`.
+///
+/// Real fsync cost varies wildly across CI hosts (tmpfs makes it nearly
+/// free), so the group-commit throughput comparison runs on this wrapper
+/// instead: `EveryRecord` pays the latency once per update, a batcher pays
+/// it once per batch, and the ratio between the two is deterministic.
+pub struct LatencyVfs {
+    inner: Box<dyn Vfs>,
+    sync_delay: Duration,
+    syncs: Arc<AtomicU64>,
+}
+
+impl LatencyVfs {
+    /// Wrap `inner`, stalling every `sync` for `sync_delay`.
+    pub fn new(inner: Box<dyn Vfs>, sync_delay: Duration) -> Self {
+        LatencyVfs {
+            inner,
+            sync_delay,
+            syncs: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A shared handle onto the sync counter (usable after the wrapper moved
+    /// into a `Box<dyn Vfs>` on another thread).
+    pub fn sync_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.syncs)
+    }
+}
+
+impl std::fmt::Debug for LatencyVfs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyVfs")
+            .field("sync_delay", &self.sync_delay)
+            .field("syncs", &self.syncs.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Vfs for LatencyVfs {
+    fn read(&mut self, name: &str) -> Result<Option<Vec<u8>>> {
+        self.inner.read(name)
+    }
+
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<()> {
+        self.inner.write_atomic(name, bytes)
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<()> {
+        self.inner.append(name, bytes)
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> Result<()> {
+        self.inner.truncate(name, len)
+    }
+
+    fn sync(&mut self, name: &str) -> Result<()> {
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(self.sync_delay);
+        self.inner.sync(name)
+    }
+
+    fn remove(&mut self, name: &str) -> Result<()> {
+        self.inner.remove(name)
+    }
+
+    fn list(&mut self) -> Result<Vec<String>> {
+        self.inner.list()
     }
 }
 
@@ -366,6 +461,31 @@ mod tests {
         vfs.append("wal", b"def").unwrap();
         assert_eq!(frozen.bytes("wal").unwrap(), b"abc");
         assert_eq!(vfs.bytes("wal").unwrap(), b"abcdef");
+    }
+
+    #[test]
+    fn mem_vfs_counts_syncs() {
+        let mut vfs = MemVfs::new();
+        assert_eq!(vfs.sync_count(), 0);
+        vfs.append("wal", b"x").unwrap();
+        vfs.sync("wal").unwrap();
+        vfs.sync("wal").unwrap();
+        assert_eq!(vfs.sync_count(), 2);
+        // Clones share the counter along with the files.
+        assert_eq!(vfs.clone().sync_count(), 2);
+    }
+
+    #[test]
+    fn latency_vfs_delegates_and_counts_syncs() {
+        let mem = MemVfs::new();
+        let mut vfs = LatencyVfs::new(Box::new(mem.clone()), Duration::from_millis(0));
+        let counter = vfs.sync_counter();
+        vfs.append("wal", b"abc").unwrap();
+        vfs.sync("wal").unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+        // The write went through to the wrapped medium.
+        assert_eq!(mem.bytes("wal").unwrap(), b"abc");
+        assert_eq!(mem.sync_count(), 1);
     }
 
     // `DirVfs` is exercised against a real directory in

@@ -13,10 +13,21 @@
 //! crash that tears the tail of an append is detected on open and the torn
 //! bytes are truncated away — everything before the tear replays, and a
 //! record torn by a failed append never reached the backend either, because
-//! the log write failed first.  Whether a *fully appended* record survives a
-//! power cut (as opposed to a process crash) is governed by
-//! [`crate::durable::SyncPolicy`]: the default fsyncs every record before
-//! the update is acknowledged.
+//! the log write failed first.
+//!
+//! A group-committed batch is one [`RECORD_BATCH`] frame holding *all* of
+//! its updates behind a single length + CRC ([`batch_record_bytes`]): the
+//! frame is appended in one write and either validates whole or is dropped
+//! whole, so a crash mid-group-commit always recovers to a batch boundary —
+//! no prefix of a batch is ever replayed.
+//!
+//! Whether a *fully appended* record survives a power cut (as opposed to a
+//! process crash) is governed by [`crate::durable::SyncPolicy`]:
+//!
+//! * `EveryRecord` (default) fsyncs before each update is acknowledged,
+//! * `GroupCommit` fsyncs once per coalesced batch frame, acknowledging all
+//!   of the batch's updates after that one fsync,
+//! * `OnCheckpoint` defers the fsync to checkpoint/sync/close entirely.
 //!
 //! The header pins the snapshot *generation* the log extends.  A checkpoint
 //! writes snapshot `g+1` first (atomically) and then resets the log to
@@ -45,14 +56,30 @@ const MAX_RECORD_LEN: u32 = 1 << 28;
 pub const RECORD_UPDATE: u8 = 1;
 /// Record kind: a conditioning step (worlds removed, mass renormalized).
 pub const RECORD_CONDITION: u8 = 2;
+/// Record kind: a group-committed batch of updates in one CRC-covered frame.
+pub const RECORD_BATCH: u8 = 3;
 
-/// One decoded WAL record.
+/// One decoded WAL frame.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WalRecord {
-    /// [`RECORD_UPDATE`] or [`RECORD_CONDITION`].
+    /// [`RECORD_UPDATE`], [`RECORD_CONDITION`] or [`RECORD_BATCH`].
     pub kind: u8,
-    /// The logged update.
-    pub update: UpdateExpr,
+    /// The logged updates: exactly one for the singleton kinds, the whole
+    /// coalesced group for a [`RECORD_BATCH`] frame.
+    pub updates: Vec<UpdateExpr>,
+}
+
+impl WalRecord {
+    /// The sole update of a singleton frame (panics on a batch frame with
+    /// more than one update — use [`WalRecord::updates`] there).
+    pub fn update(&self) -> &UpdateExpr {
+        assert!(
+            self.updates.len() == 1,
+            "update() on a {}-update batch frame",
+            self.updates.len()
+        );
+        &self.updates[0]
+    }
 }
 
 /// The result of scanning a WAL image.
@@ -60,15 +87,24 @@ pub struct WalRecord {
 pub struct WalScan {
     /// The snapshot generation the log extends.
     pub generation: u64,
-    /// The valid records, in append order.
+    /// The valid frames, in append order (a batch frame is one entry
+    /// carrying all of its updates).
     pub records: Vec<WalRecord>,
-    /// Byte offset at which each record starts (record boundaries; the
+    /// Byte offset at which each frame starts (record boundaries; the
     /// crash-simulation suite truncates at exactly these points).
     pub offsets: Vec<usize>,
     /// The prefix length that survived validation; bytes past it are torn.
     pub valid_len: usize,
     /// How many trailing bytes failed validation (0 on a clean log).
     pub torn_bytes: usize,
+}
+
+impl WalScan {
+    /// Total updates across all valid frames (≥ `records.len()` once batch
+    /// frames are present).
+    pub fn update_count(&self) -> usize {
+        self.records.iter().map(|r| r.updates.len()).sum()
+    }
 }
 
 /// Render the WAL header for a generation.
@@ -89,7 +125,23 @@ pub fn record_bytes(update: &UpdateExpr) -> Vec<u8> {
     };
     payload.u8(kind);
     codec::enc_update(&mut payload, update);
-    let payload = payload.into_bytes();
+    frame(payload.into_bytes())
+}
+
+/// Render one [`RECORD_BATCH`] frame holding `updates` behind a single
+/// length + CRC, so the whole batch validates or truncates as one unit.
+pub fn batch_record_bytes(updates: &[UpdateExpr]) -> Vec<u8> {
+    let mut payload = Writer::new();
+    payload.u8(RECORD_BATCH);
+    payload.len_of(updates.len());
+    for update in updates {
+        codec::enc_update(&mut payload, update);
+    }
+    frame(payload.into_bytes())
+}
+
+/// Wrap a record payload in the `len + crc32` frame header.
+fn frame(payload: Vec<u8>) -> Vec<u8> {
     let mut w = Writer::new();
     w.u32(payload.len() as u32);
     w.u32(crc32(&payload));
@@ -141,17 +193,33 @@ pub fn scan(bytes: &[u8]) -> Result<WalScan> {
         }
         let mut pr = Reader::new(payload);
         let kind = match pr.u8("record kind") {
-            Ok(k @ (RECORD_UPDATE | RECORD_CONDITION)) => k,
+            Ok(k @ (RECORD_UPDATE | RECORD_CONDITION | RECORD_BATCH)) => k,
             _ => break,
         };
-        let Ok(update) = codec::dec_update(&mut pr) else {
-            break;
+        let count = if kind == RECORD_BATCH {
+            match pr.len_of("batch update count") {
+                Ok(n) => n,
+                Err(_) => break,
+            }
+        } else {
+            1
         };
-        if pr.finish("WAL record").is_err() {
+        let mut updates = Vec::with_capacity(count.min(1024));
+        let mut bad = false;
+        for _ in 0..count {
+            match codec::dec_update(&mut pr) {
+                Ok(update) => updates.push(update),
+                Err(_) => {
+                    bad = true;
+                    break;
+                }
+            }
+        }
+        if bad || pr.finish("WAL record").is_err() {
             break;
         }
         scan.offsets.push(pos);
-        scan.records.push(WalRecord { kind, update });
+        scan.records.push(WalRecord { kind, updates });
         pos += 8 + len as usize;
         scan.valid_len = pos;
     }
@@ -218,6 +286,18 @@ impl Wal {
         Ok(bytes.len())
     }
 
+    /// Append a whole batch as one [`RECORD_BATCH`] frame in one write;
+    /// returns the bytes written.  A crash anywhere inside the write tears
+    /// the frame's CRC, so recovery drops the entire batch — never a prefix.
+    pub fn append_batch(&mut self, vfs: &mut dyn Vfs, updates: &[UpdateExpr]) -> Result<usize> {
+        if updates.is_empty() {
+            return Ok(0);
+        }
+        let bytes = batch_record_bytes(updates);
+        vfs.append(WAL_FILE, &bytes)?;
+        Ok(bytes.len())
+    }
+
     /// Force the log to stable storage.
     pub fn sync(&mut self, vfs: &mut dyn Vfs) -> Result<()> {
         vfs.sync(WAL_FILE)
@@ -252,7 +332,7 @@ mod tests {
         assert_eq!(
             scan.records
                 .iter()
-                .map(|r| r.update.clone())
+                .map(|r| r.update().clone())
                 .collect::<Vec<_>>(),
             updates()
         );
@@ -291,6 +371,40 @@ mod tests {
         vfs2.put(WAL_FILE, flipped);
         let (_, scanned) = Wal::open(&mut vfs2, 0).unwrap();
         assert_eq!(scanned.records.len(), 1);
+    }
+
+    #[test]
+    fn batch_frames_roundtrip_as_one_record() {
+        let mut vfs = MemVfs::new();
+        let mut wal = Wal::reset(&mut vfs, 2).unwrap();
+        wal.append(&mut vfs, &updates()[0]).unwrap();
+        wal.append_batch(&mut vfs, &updates()).unwrap();
+        // An empty batch writes nothing.
+        assert_eq!(wal.append_batch(&mut vfs, &[]).unwrap(), 0);
+        let scan = scan(&vfs.bytes(WAL_FILE).unwrap()).unwrap();
+        assert_eq!(scan.records.len(), 2, "one singleton + one batch frame");
+        assert_eq!(scan.update_count(), 4);
+        assert_eq!(scan.records[1].kind, RECORD_BATCH);
+        assert_eq!(scan.records[1].updates, updates());
+    }
+
+    #[test]
+    fn a_torn_batch_frame_is_dropped_whole() {
+        let mut vfs = MemVfs::new();
+        let mut wal = Wal::reset(&mut vfs, 0).unwrap();
+        wal.append(&mut vfs, &updates()[0]).unwrap();
+        wal.append_batch(&mut vfs, &updates()).unwrap();
+        let full = vfs.bytes(WAL_FILE).unwrap();
+        let batch_start = scan(&full).unwrap().offsets[1];
+        // Cut at every byte inside the batch frame: recovery must land on
+        // the boundary *before* the batch — never a prefix of it.
+        for cut in batch_start + 1..full.len() {
+            let mut torn = MemVfs::new();
+            torn.put(WAL_FILE, full[..cut].to_vec());
+            let (_, scanned) = Wal::open(&mut torn, 0).unwrap();
+            assert_eq!(scanned.update_count(), 1, "cut at {cut}");
+            assert_eq!(torn.bytes(WAL_FILE).unwrap().len(), batch_start);
+        }
     }
 
     #[test]

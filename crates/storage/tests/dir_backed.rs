@@ -125,3 +125,93 @@ fn close_is_the_drop_with_result_teardown() {
     assert_eq!(recovered.inner().meta("R").unwrap().tuple_count, 3);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// A real-directory medium whose WAL writes can be made to fail on demand —
+/// the minimal fault injector for driving a store into the poisoned state
+/// (checkpoint snapshot durable, log reset failed) on disk.
+#[derive(Debug)]
+struct SabotagedDir {
+    inner: DirVfs,
+    fail_wal_writes: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl Vfs for SabotagedDir {
+    fn read(&mut self, name: &str) -> ws_storage::error::Result<Option<Vec<u8>>> {
+        self.inner.read(name)
+    }
+
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> ws_storage::error::Result<()> {
+        if name == WAL_FILE
+            && self
+                .fail_wal_writes
+                .load(std::sync::atomic::Ordering::SeqCst)
+        {
+            return Err(StorageError::io("injected: the log write went dark"));
+        }
+        self.inner.write_atomic(name, bytes)
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> ws_storage::error::Result<()> {
+        self.inner.append(name, bytes)
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> ws_storage::error::Result<()> {
+        self.inner.truncate(name, len)
+    }
+
+    fn sync(&mut self, name: &str) -> ws_storage::error::Result<()> {
+        self.inner.sync(name)
+    }
+
+    fn remove(&mut self, name: &str) -> ws_storage::error::Result<()> {
+        self.inner.remove(name)
+    }
+
+    fn list(&mut self) -> ws_storage::error::Result<Vec<String>> {
+        self.inner.list()
+    }
+}
+
+#[test]
+fn closing_a_poisoned_directory_store_reports_the_cause_chain() {
+    let dir = scratch_dir("durable_poisoned_close");
+    let wsd = ws_core::wsd::example_census_wsd();
+    let fail_wal_writes = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let vfs = SabotagedDir {
+        inner: DirVfs::open(&dir).unwrap(),
+        fail_wal_writes: fail_wal_writes.clone(),
+    };
+    let mut durable = Durable::create(Box::new(vfs), wsd.clone()).unwrap();
+    durable
+        .insert_certain(
+            "R",
+            &Tuple::from_iter([Value::int(9), Value::text("Frank"), Value::int(2)]),
+        )
+        .unwrap();
+
+    // Checkpoint with the WAL write sabotaged: the snapshot lands on disk,
+    // the log reset fails, and the store poisons itself.
+    fail_wal_writes.store(true, std::sync::atomic::Ordering::SeqCst);
+    let checkpoint_err = durable.checkpoint().unwrap_err();
+    assert!(
+        checkpoint_err.to_string().contains("went dark"),
+        "got: {checkpoint_err}"
+    );
+    fail_wal_writes.store(false, std::sync::atomic::Ordering::SeqCst);
+
+    // Regression: close() must surface the poison diagnosis, not swallow it
+    // behind a successful final sync.
+    let close_err = durable.close().unwrap_err();
+    let msg = close_err.to_string();
+    assert!(msg.contains("closing a poisoned store"), "got: {msg}");
+    assert!(msg.contains("could not be reset"), "got: {msg}");
+    assert!(msg.contains("went dark"), "got: {msg}");
+
+    // The crash point is recoverable: the durable snapshot wins, the stale
+    // older-generation WAL is discarded, nothing double-applies.
+    let recovered = Durable::<Wsd>::open_dir(&dir).unwrap();
+    assert_eq!(recovered.generation(), 1);
+    assert_eq!(recovered.stats().recovered_records, 0);
+    assert_eq!(recovered.inner().meta("R").unwrap().tuple_count, 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}

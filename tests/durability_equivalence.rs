@@ -364,3 +364,79 @@ proptest! {
         prop_assert_eq!(replayed, whole, "cut at {} of {}", cut, full.len());
     }
 }
+
+/// Satellite of the ws-server PR: a reader that pins a snapshot and then
+/// sits through checkpoint churn must keep its image even after keep-2
+/// pruning has removed that generation's file from disk — MVCC pinning is
+/// `Arc` liveness, not file liveness.
+#[test]
+fn pinned_readers_survive_checkpoint_churn_past_keep_2_pruning() {
+    use std::time::Duration;
+    use ws_server::ConcurrentStore;
+    use ws_storage::snapshot::snapshot_name;
+    use ws_storage::SyncPolicy;
+
+    const CHURN: usize = 4;
+    let mut rng = StdRng::seed_from_u64(0xC8A9);
+    let mut generator = Generator::new(0x5EEDE);
+    let wsd = random_wsd(&mut rng);
+    let queries = probe_queries(&mut generator, &mut rng);
+    let updates: Vec<UpdateExpr> = (0..CHURN)
+        .map(|_| random_update(&mut generator, &mut rng, false, false))
+        .collect();
+
+    for (name, backend) in all_backends(&wsd) {
+        let vfs = MemVfs::new();
+        let store: ConcurrentStore<AnyBackend> = ConcurrentStore::create_recording(
+            boxed(&vfs),
+            backend.clone(),
+            SyncPolicy::GroupCommit {
+                max_batch: 4,
+                max_wait: Duration::from_millis(1),
+            },
+        )
+        .unwrap();
+
+        // Pin one snapshot per generation while churning through
+        // update+checkpoint cycles.
+        let mut pinned = vec![store.snapshot()];
+        for update in &updates {
+            store.update(update.clone()).unwrap();
+            store.checkpoint().unwrap();
+            pinned.push(store.snapshot());
+        }
+        let history = store.history();
+        store.close().unwrap();
+
+        // Keep-2 pruning has removed the early generations from disk…
+        let files = {
+            let mut handle = vfs.clone();
+            Vfs::list(&mut handle).unwrap()
+        };
+        assert!(
+            !files.contains(&snapshot_name(0)) && !files.contains(&snapshot_name(1)),
+            "[{name}] early snapshot generations should be pruned, files: {files:?}"
+        );
+        assert!(
+            files.contains(&snapshot_name(CHURN as u64)),
+            "[{name}] the newest generation must exist"
+        );
+
+        // …yet every pinned image still answers exactly as the serial
+        // prefix it was pinned at, bit-identically.
+        let config = EngineConfig::default();
+        for snap in pinned {
+            assert_eq!(
+                snap.generation, snap.seq,
+                "[{name}] one checkpoint per update in this schedule"
+            );
+            let reference = reference_state(&backend, &history[..snap.seq as usize]);
+            assert_eq!(
+                probe(snap.backend.clone(), config, &queries),
+                probe(reference, config, &queries),
+                "[{name}] the image pinned at generation {} drifted",
+                snap.generation
+            );
+        }
+    }
+}
