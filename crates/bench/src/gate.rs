@@ -23,7 +23,11 @@
 //!   every recorded variable count;
 //! * the `service` section likewise enforces the PR 8 acceptance bound: at
 //!   every recorded writer count, the group-commit batcher must be at least
-//!   [`GROUP_COMMIT_SPEEDUP_REQUIRED`]× faster than per-record fsync.
+//!   [`GROUP_COMMIT_SPEEDUP_REQUIRED`]× faster than per-record fsync;
+//! * the `observability` section enforces the PR 10 acceptance bound: at
+//!   every recorded workload size, an observed session must stay within
+//!   [`OBS_OVERHEAD_LIMIT`]× of the unobserved baseline (plus the absolute
+//!   floor), so instrumentation can never quietly become a tax.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -42,6 +46,10 @@ pub const SAFE_SPEEDUP_REQUIRED: f64 = 3.0;
 /// Group commit must beat per-record fsync by this factor (measured over
 /// `LatencyVfs`, so the ratio is deterministic across CI hosts).
 pub const GROUP_COMMIT_SPEEDUP_REQUIRED: f64 = 2.0;
+
+/// An observed session may cost at most this multiple of the baseline
+/// (both sides minimum-of-repeats, plus [`ABSOLUTE_FLOOR_SECONDS`]).
+pub const OBS_OVERHEAD_LIMIT: f64 = 1.10;
 
 /// One measurement key: `(bench, section, name, metric)`.
 pub type MetricKey = (String, String, String, String);
@@ -242,6 +250,31 @@ pub fn compare(seed: &BTreeMap<MetricKey, f64>, ci: &BTreeMap<MetricKey, f64>) -
             )),
         }
     }
+
+    // The PR 10 acceptance bound: on every recorded `observability` row of
+    // the CI run, the observed workload stays within OBS_OVERHEAD_LIMIT× of
+    // the unobserved baseline (the absolute floor absorbs sub-5ms noise).
+    for ((bench, section, name, metric), &observed) in ci {
+        if section != "observability" || metric != "observed_s" {
+            continue;
+        }
+        let baseline_key = (
+            bench.clone(),
+            section.clone(),
+            name.clone(),
+            "baseline_s".to_string(),
+        );
+        match ci.get(&baseline_key) {
+            Some(&baseline)
+                if observed <= baseline * OBS_OVERHEAD_LIMIT + ABSOLUTE_FLOOR_SECONDS => {}
+            Some(&baseline) => report.tier_failures.push(format!(
+                "{bench}/{section}/{name}: observed {observed:.6}s exceeds                  {OBS_OVERHEAD_LIMIT}× the unobserved baseline {baseline:.6}s"
+            )),
+            None => report.tier_failures.push(format!(
+                "{bench}/{section}/{name}: observed_s recorded without baseline_s"
+            )),
+        }
+    }
     report
 }
 
@@ -375,6 +408,43 @@ mod tests {
         assert!(report.to_markdown().contains("per-record fsync"));
         // A group_commit_s without its every_record_s is also a failure.
         ci.remove(&service_key("every_record_s"));
+        assert!(!compare(&seed, &ci).passed());
+    }
+
+    #[test]
+    fn observability_bound_is_enforced_inside_the_ci_file() {
+        let obs_key = |metric: &str| -> MetricKey {
+            (
+                "ablation_observability".into(),
+                "observability".into(),
+                "query_n400".into(),
+                metric.into(),
+            )
+        };
+        let seed = BTreeMap::new();
+        // Passing: 8% overhead on a workload large enough to measure.
+        let mut ci = BTreeMap::new();
+        ci.insert(obs_key("baseline_s"), 0.500);
+        ci.insert(obs_key("observed_s"), 0.540);
+        assert!(compare(&seed, &ci).passed());
+        // Exactly on the limit (plus floor) still passes.
+        ci.insert(
+            obs_key("observed_s"),
+            0.500 * OBS_OVERHEAD_LIMIT + ABSOLUTE_FLOOR_SECONDS,
+        );
+        assert!(compare(&seed, &ci).passed());
+        // Failing: 30% overhead.
+        ci.insert(obs_key("observed_s"), 0.650);
+        let report = compare(&seed, &ci);
+        assert!(!report.passed());
+        assert_eq!(report.tier_failures.len(), 1);
+        assert!(report.to_markdown().contains("unobserved baseline"));
+        // A tiny workload is absorbed by the absolute floor.
+        ci.insert(obs_key("baseline_s"), 0.001);
+        ci.insert(obs_key("observed_s"), 0.004);
+        assert!(compare(&seed, &ci).passed());
+        // An observed_s without its baseline_s is a failure.
+        ci.remove(&obs_key("baseline_s"));
         assert!(!compare(&seed, &ci).passed());
     }
 }

@@ -96,8 +96,8 @@ pub mod session;
 pub use builder::{q, typecheck, typecheck_update, IntoQuery, Query};
 pub use error::{Error, ErrorKind, Result};
 pub use session::{
-    AnyBackend, ConfidenceStrategy, Prepared, RowSource, Rows, Session, SessionBackend,
-    SessionStats, DEFAULT_BATCH_SIZE,
+    AnyBackend, ConfidenceStrategy, Prepared, QueryProfile, RowSource, Rows, Session,
+    SessionBackend, SessionStats, DEFAULT_BATCH_SIZE,
 };
 pub use ws_core::ops::update::{apply_update, UpdateExpr};
 pub use ws_storage::{DurabilityStats, Durable, Persist, StorageError};
@@ -106,6 +106,7 @@ pub use ws_apps as apps;
 pub use ws_baselines as baselines;
 pub use ws_census as census;
 pub use ws_core as core;
+pub use ws_obs as obs;
 pub use ws_relational as relational;
 pub use ws_storage as storage;
 pub use ws_urel as urel;
@@ -116,8 +117,8 @@ pub mod prelude {
     pub use crate::builder::{q, typecheck, typecheck_update, IntoQuery, Query};
     pub use crate::error::{Error, ErrorKind};
     pub use crate::session::{
-        AnyBackend, ConfidenceStrategy, Prepared, RowSource, Rows, Session, SessionBackend,
-        SessionStats,
+        AnyBackend, ConfidenceStrategy, Prepared, QueryProfile, RowSource, Rows, Session,
+        SessionBackend, SessionStats,
     };
     pub use ws_apps::{
         consistent_answers, possible_answers, repair_key_violations, MedicalScenario,
@@ -141,6 +142,10 @@ pub mod prelude {
         normalize::normalize,
         ops::update::{apply_update, UpdateExpr},
         Component, FieldId, LocalWorld, TupleId, WorldSet, WorldSetRelation, WsError, Wsd, Wsdt,
+    };
+    pub use ws_obs::{
+        HistogramSummary, LineSink, MetricsRegistry, MetricsSnapshot, NullSink, Observer,
+        ProfileNode, RingSink, TraceEvent, TraceSink,
     };
     pub use ws_relational::{
         engine, evaluate_query, evaluate_query_with, world_satisfies, Clause, CmpOp, Cursor,

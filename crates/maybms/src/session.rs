@@ -43,9 +43,12 @@ use crate::builder::{typecheck, typecheck_update, IntoQuery};
 use crate::error::{Error, Result};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 use ws_core::confidence::approx::ApproxConfig;
 use ws_core::ops::update::{apply_update, UpdateExpr};
 use ws_core::{WorldSet, Wsd};
+use ws_obs::{Observer, ProfileNode};
 use ws_relational::engine::{self, EngineConfig, ExecContext, QueryBackend, SchemaCatalog};
 use ws_relational::lineage::{self, DtreeCompiler, LineageDb};
 use ws_relational::{
@@ -446,6 +449,10 @@ impl QueryBackend for AnyBackend {
     fn drop_scratch(&mut self, name: &str) {
         dispatch!(self, b => b.drop_scratch(name))
     }
+
+    fn profile_rows(&self, relation: &str) -> Option<u64> {
+        dispatch!(self, b => b.profile_rows(relation))
+    }
 }
 
 impl WriteBackend for AnyBackend {
@@ -646,6 +653,32 @@ pub struct SessionStats {
 }
 
 impl SessionStats {
+    /// Fold another stats block into this one, field by field.  The server
+    /// carries a connection's counters across snapshot re-pins with this:
+    /// each re-pin rebuilds the session (zeroing its counters), so the old
+    /// session's stats are absorbed first and the remote `summary()` keeps
+    /// accumulating — matching what a local session would report.
+    pub fn absorb(&mut self, other: &SessionStats) {
+        self.plans_prepared += other.plans_prepared;
+        self.cache_hits += other.cache_hits;
+        self.executions += other.executions;
+        self.rows_streamed += other.rows_streamed;
+        self.updates_applied += other.updates_applied;
+        self.plans_invalidated += other.plans_invalidated;
+        self.wal_records += other.wal_records;
+        self.wal_bytes += other.wal_bytes;
+        self.checkpoints += other.checkpoints;
+        self.conf_safe += other.conf_safe;
+        self.conf_compiled += other.conf_compiled;
+        self.conf_exact += other.conf_exact;
+        self.conf_approx += other.conf_approx;
+        self.snapshots_pinned += other.snapshots_pinned;
+        self.commit_batches += other.commit_batches;
+        self.batched_updates += other.batched_updates;
+        self.wire_bytes_in += other.wire_bytes_in;
+        self.wire_bytes_out += other.wire_bytes_out;
+    }
+
     /// Mean updates per group-commit batch (0.0 before the first batch) —
     /// the amortization factor each batch fsync buys.
     pub fn mean_batch(&self) -> f64 {
@@ -678,23 +711,52 @@ impl fmt::Display for SessionStats {
             self.conf_exact,
             self.conf_approx,
         )?;
-        // The service counters only appear once a concurrent store was
-        // involved; plain sessions keep the familiar one-liner.
-        if self.snapshots_pinned + self.commit_batches + self.wire_bytes_in + self.wire_bytes_out
-            > 0
-        {
-            write!(
-                f,
-                " snapshots-pinned={} commit-batches={} mean-batch={:.1} \
-                 wire-bytes-in={} wire-bytes-out={}",
-                self.snapshots_pinned,
-                self.commit_batches,
-                self.mean_batch(),
-                self.wire_bytes_in,
-                self.wire_bytes_out,
-            )?;
-        }
-        Ok(())
+        // The service counters print unconditionally (0 on plain sessions),
+        // so a local and a remote `summary()` always show the same fields.
+        write!(
+            f,
+            " snapshots-pinned={} commit-batches={} mean-batch={:.1} \
+             wire-bytes-in={} wire-bytes-out={}",
+            self.snapshots_pinned,
+            self.commit_batches,
+            self.mean_batch(),
+            self.wire_bytes_in,
+            self.wire_bytes_out,
+        )
+    }
+}
+
+/// What [`Session::explain_analyze`] returns: real measurements of one
+/// profiled execution — a per-operator tree plus the query-level facts
+/// (row count, confidence tier, plan-cache hit).
+#[derive(Clone, Debug)]
+pub struct QueryProfile {
+    /// The profiled plan, rendered.
+    pub plan: String,
+    /// The per-operator execution tree: rows in/out, batches, wall-clock
+    /// and the columnar-vs-row path each operator took.
+    pub root: ProfileNode,
+    /// The confidence step: rows in = streamed answers, rows out = distinct
+    /// tuples with confidences, detail = the tier that fired.
+    pub confidence: ProfileNode,
+    /// Which confidence tier answered: `"safe"`, `"compiled"` or `"exact"`.
+    pub tier: &'static str,
+    /// Whether the plan was in the prepared-plan cache: `"hit"` or `"miss"`.
+    pub cache: &'static str,
+    /// Rows the execution materialized (matches the streamed answer count).
+    pub rows: u64,
+}
+
+impl fmt::Display for QueryProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "query: {}", self.plan)?;
+        writeln!(
+            f,
+            "rows={} tier={} plan-cache={}",
+            self.rows, self.tier, self.cache
+        )?;
+        f.write_str(&self.root.render())?;
+        f.write_str(&self.confidence.render())
     }
 }
 
@@ -732,6 +794,11 @@ pub struct Session<B: SessionBackend> {
     /// component-sharing backends outlive their cursor; see
     /// [`Session::apply`] for the staleness rule).
     live_results: Vec<String>,
+    /// The observability domain queries report into, when one was attached
+    /// with [`Session::set_observer`].
+    observer: Option<Arc<Observer>>,
+    /// This session's id in the observer's trace stream (0 when unobserved).
+    session_id: u64,
 }
 
 impl Session<AnyBackend> {
@@ -762,7 +829,29 @@ where
             strategy: ConfidenceStrategy::default(),
             scratch: 0,
             live_results: Vec::new(),
+            observer: None,
+            session_id: 0,
         }
+    }
+
+    /// Attach an observability domain: queries and updates emit trace spans
+    /// and metrics to `observer` from here on, and the engine's hot-path
+    /// instrumentation turns on ([`EngineConfig::observe`] is set — results
+    /// stay bit-identical).
+    pub fn set_observer(&mut self, observer: Arc<Observer>) {
+        self.session_id = observer.next_session_id();
+        self.config.observe = true;
+        self.observer = Some(observer);
+    }
+
+    /// The attached observer, if any.
+    pub fn observer(&self) -> Option<&Arc<Observer>> {
+        self.observer.as_ref()
+    }
+
+    /// This session's id in the observer's trace stream (0 when unobserved).
+    pub fn session_id(&self) -> u64 {
+        self.session_id
     }
 
     /// The engine configuration the session plans and executes under.
@@ -980,22 +1069,55 @@ where
         prepared: &Prepared,
         out: &str,
     ) -> Result<Vec<(Tuple, f64)>> {
+        let observer = self.observer.clone();
         if self.strategy != ConfidenceStrategy::ExactOnly {
+            let started = Instant::now();
             if let Some((tier, probs)) = self.lineage_probabilities(prepared) {
                 if let Some(rows) = self.lineage_rows(out, &probs)? {
-                    match tier {
-                        LineageTier::Safe => self.stats.conf_safe += 1,
-                        LineageTier::Compiled => self.stats.conf_compiled += 1,
+                    let name = match tier {
+                        LineageTier::Safe => {
+                            self.stats.conf_safe += 1;
+                            "safe"
+                        }
+                        LineageTier::Compiled => {
+                            self.stats.conf_compiled += 1;
+                            "compiled"
+                        }
+                    };
+                    if let Some(observer) = &observer {
+                        let metrics = observer.metrics();
+                        metrics.counter(&format!("conf.tier.{name}.hits")).inc();
+                        metrics
+                            .histogram(&format!("conf.tier.{name}.ns"))
+                            .record_duration(started.elapsed());
                     }
                     return Ok(rows);
                 }
             }
+            if let Some(observer) = &observer {
+                // The lineage tiers were tried and declined; the native
+                // exact path below answers.
+                observer
+                    .metrics()
+                    .counter("conf.tier.lineage.declined")
+                    .inc();
+            }
         }
         self.stats.conf_exact += 1;
+        let started = Instant::now();
         let pool = WorkerPool::new(self.config.threads);
-        self.backend
+        let rows = self
+            .backend
             .confidence_rows(out, &pool)
-            .map_err(|e| e.with_plan(&prepared.display))
+            .map_err(|e| e.with_plan(&prepared.display));
+        if let Some(observer) = &observer {
+            let metrics = observer.metrics();
+            metrics.counter("conf.tier.exact.hits").inc();
+            metrics
+                .histogram("conf.tier.exact.ns")
+                .record_duration(started.elapsed());
+        }
+        rows
     }
 
     /// Shadow-evaluate `prepared` over the backend's lineage, returning each
@@ -1077,6 +1199,77 @@ where
         Ok(rows)
     }
 
+    /// Execute `prepared` with profiling on and return a [`QueryProfile`]:
+    /// rows in/out, batches, wall-clock and the columnar-vs-row path of
+    /// every operator, plus which confidence tier answered and whether the
+    /// plan cache held the plan.  The query runs twice — once streamed for
+    /// the per-operator tree and the row count, once for the confidence
+    /// step — so every number is a real measurement, not an estimate.
+    ///
+    /// Works with or without an attached observer; profiling is scoped to
+    /// this call and [`EngineConfig::observe`] is restored afterwards.
+    pub fn explain_analyze(&mut self, prepared: &Prepared) -> Result<QueryProfile> {
+        let saved = self.config.observe;
+        self.config.observe = true;
+        let result = self.explain_analyze_profiled(prepared);
+        self.config.observe = saved;
+        result
+    }
+
+    fn explain_analyze_profiled(&mut self, prepared: &Prepared) -> Result<QueryProfile> {
+        let cache = if self.plans.contains_key(prepared.key()) {
+            "hit"
+        } else {
+            "miss"
+        };
+        // First pass: stream the answer under a profile collector.
+        ws_obs::profile::begin();
+        let counted = self.execute(prepared).map(|rows| rows.count() as u64);
+        let children = ws_obs::profile::take();
+        let rows = counted?;
+        // Second pass: the confidence tiers (no collector — the tree above
+        // already covers the plan; the stats delta identifies the tier).
+        let before = self.stats;
+        let started = Instant::now();
+        let out = self.run(prepared)?;
+        let conf = self.confidence_rows_tiered(prepared, &out);
+        self.finish_result(&out);
+        let confidences = conf?.len() as u64;
+        let conf_elapsed = started.elapsed();
+        let tier = if self.stats.conf_safe > before.conf_safe {
+            "safe"
+        } else if self.stats.conf_compiled > before.conf_compiled {
+            "compiled"
+        } else {
+            "exact"
+        };
+        let mut root = ProfileNode::new("query", prepared.display.clone());
+        root.rows_out = rows;
+        root.batches = 1;
+        root.path = if children.iter().any(|c| c.path != "row") {
+            "columnar"
+        } else {
+            "row"
+        };
+        root.elapsed_ns = children.iter().map(|c| c.elapsed_ns).sum();
+        root.children = children;
+        root.derive_rows_in();
+        let mut confidence = ProfileNode::new("confidence", format!("tier={tier}"));
+        confidence.rows_in = rows;
+        confidence.rows_out = confidences;
+        confidence.batches = 1;
+        confidence.path = "row";
+        confidence.elapsed_ns = u64::try_from(conf_elapsed.as_nanos()).unwrap_or(u64::MAX);
+        Ok(QueryProfile {
+            plan: prepared.display.clone(),
+            root,
+            confidence,
+            tier,
+            cache,
+            rows,
+        })
+    }
+
     /// Execute the physical plan into a fresh scratch result, returning its
     /// name.
     fn run(&mut self, prepared: &Prepared) -> Result<String> {
@@ -1093,6 +1286,20 @@ where
             drop_temps: self.backend.self_contained(),
             ..self.config
         };
+        // With an observer attached, scope this execution (the engine's
+        // hooks read the scope back thread-locally) and trace it as a
+        // `query` span; the span emits on drop, errors included.
+        let _guard = self.observer.as_ref().map(|observer| {
+            ws_obs::attach(ws_obs::Scope {
+                observer: Arc::clone(observer),
+                session: self.session_id,
+                request: observer.next_request_id(),
+            })
+        });
+        let _span = self
+            .observer
+            .as_ref()
+            .map(|observer| observer.span("query").field("plan", &prepared.display));
         engine::evaluate_query_with(&mut self.backend, &prepared.plan, &out, exec)
             .map_err(|e| Into::<Error>::into(e).with_plan(&prepared.display))?;
         self.stats.executions += 1;
@@ -1151,6 +1358,12 @@ where
     ///   instead.  (A live [`Rows`] cursor borrows the session mutably, so
     ///   no cursor can ever observe a mid-stream update.)
     pub fn apply(&mut self, update: &UpdateExpr) -> Result<f64> {
+        let _span = self.observer.as_ref().map(|observer| {
+            observer
+                .span("apply")
+                .ids(self.session_id, observer.next_request_id())
+                .field("update", update)
+        });
         typecheck_update(&self.backend, update)?;
         // Drop stale scratch results *before* mutating: on component-sharing
         // backends a registered result relation would otherwise be updated

@@ -1,0 +1,297 @@
+//! Log-bucketed latency histograms: lock-free recording into per-thread
+//! shards, folded into a plain [`HistogramSummary`] on scrape.
+//!
+//! The bucket layout is power-of-two: bucket `0` holds the value `0` and
+//! bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`, so 64 buckets cover the
+//! whole `u64` range and a nanosecond latency lands in a bucket with at most
+//! 2× relative error.  Quantiles are read as the *upper bound* of the bucket
+//! where the cumulative count crosses the rank — deliberately pessimistic,
+//! never under-reporting a tail latency.
+//!
+//! Recording is a relaxed `fetch_add` on one shard (threads are spread over
+//! [`SHARD_COUNT`] shards round-robin, so concurrent recorders rarely touch
+//! the same cache line); folding sums the shards.  Summaries merge by bucket
+//! addition, which is associative and commutative — the property test in
+//! `tests/observability_equivalence.rs` checks it.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two buckets: enough for every `u64` value.
+pub const BUCKET_COUNT: usize = 64;
+
+/// Number of per-thread shards a [`Histogram`] spreads its recorders over.
+pub const SHARD_COUNT: usize = 16;
+
+/// The bucket a value lands in: `0 → 0`, otherwise `⌊log2 v⌋ + 1`.
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros() as usize).min(BUCKET_COUNT - 1)
+}
+
+/// The largest value bucket `index` can hold (the quantile read-out point).
+fn bucket_upper_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        (1u64 << index).wrapping_sub(1)
+    }
+}
+
+/// One shard: a bucket array plus exact running `sum` and `max`.
+#[derive(Debug)]
+struct Shard {
+    counts: [AtomicU64; BUCKET_COUNT],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Round-robin shard assignment: each thread caches its index on first use.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static MINE: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    MINE.with(|mine| {
+        let mut index = mine.get();
+        if index == usize::MAX {
+            index = NEXT.fetch_add(1, Ordering::Relaxed) % SHARD_COUNT;
+            mine.set(index);
+        }
+        index
+    })
+}
+
+/// A concurrent log-bucketed histogram; see the module docs for the layout.
+#[derive(Debug)]
+pub struct Histogram {
+    shards: Vec<Shard>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            shards: (0..SHARD_COUNT).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    /// Record one value (relaxed atomics on this thread's shard).
+    pub fn record(&self, value: u64) {
+        let shard = &self.shards[shard_index()];
+        shard.counts[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(value, Ordering::Relaxed);
+        shard.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration as whole nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, elapsed: Duration) {
+        self.record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Fold every shard into one plain summary (the scrape-time step).
+    pub fn fold(&self) -> HistogramSummary {
+        let mut out = HistogramSummary::default();
+        for shard in &self.shards {
+            for (bucket, count) in shard.counts.iter().enumerate() {
+                let n = count.load(Ordering::Relaxed);
+                out.buckets[bucket] += n;
+                out.count += n;
+            }
+            out.sum += shard.sum.load(Ordering::Relaxed);
+            out.max = out.max.max(shard.max.load(Ordering::Relaxed));
+        }
+        out
+    }
+}
+
+/// A folded histogram: plain data, mergeable, comparable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Exact sum of recorded values.
+    pub sum: u64,
+    /// Exact maximum recorded value (0 when empty).
+    pub max: u64,
+    /// Per-bucket counts (see the module docs for the bucket layout).
+    pub buckets: [u64; BUCKET_COUNT],
+}
+
+impl Default for HistogramSummary {
+    fn default() -> Self {
+        HistogramSummary {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; BUCKET_COUNT],
+        }
+    }
+}
+
+impl HistogramSummary {
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The mean recorded value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`: the upper bound of the bucket
+    /// where the cumulative count reaches `⌈q·count⌉` (0 when empty).  The
+    /// exact `max` caps the answer, so `quantile(1.0) == max`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return bucket_upper_bound(bucket).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The median (bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The 95th percentile (bucket upper bound).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// The 99th percentile (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The merge of two summaries: bucket-wise addition, exact `sum`, exact
+    /// `max`.  Associative and commutative.
+    pub fn merged(&self, other: &HistogramSummary) -> HistogramSummary {
+        let mut out = self.clone();
+        out.count += other.count;
+        out.sum += other.sum;
+        out.max = out.max.max(other.max);
+        for (mine, theirs) in out.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_power_of_two_ranges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKET_COUNT - 1);
+        // Every value is ≤ its bucket's upper bound.
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, 1 << 40] {
+            assert!(v <= bucket_upper_bound(bucket_of(v)));
+        }
+    }
+
+    #[test]
+    fn record_and_fold_round_trip() {
+        let hist = Histogram::new();
+        for v in [0u64, 1, 1, 100, 1000, 1_000_000] {
+            hist.record(v);
+        }
+        let summary = hist.fold();
+        assert_eq!(summary.count, 6);
+        assert_eq!(summary.sum, 1_001_102);
+        assert_eq!(summary.max, 1_000_000);
+        assert!(!summary.is_empty());
+        assert!((summary.mean() - 1_001_102.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_never_under_report() {
+        let hist = Histogram::new();
+        for v in 1..=100u64 {
+            hist.record(v);
+        }
+        let s = hist.fold();
+        // Bucket upper bounds are ≥ the true quantile and ≤ 2× over it.
+        assert!(s.p50() >= 50 && s.p50() <= 127);
+        assert!(s.p95() >= 95 && s.p95() <= 255);
+        assert!(s.p99() >= 99 && s.p99() <= 255);
+        assert_eq!(s.quantile(1.0), 100); // capped by the exact max
+        assert_eq!(HistogramSummary::default().p99(), 0);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let summaries: Vec<HistogramSummary> = [vec![1u64, 5, 9], vec![2, 2], vec![1 << 30]]
+            .iter()
+            .map(|values| {
+                let h = Histogram::new();
+                for &v in values {
+                    h.record(v);
+                }
+                h.fold()
+            })
+            .collect();
+        let (a, b, c) = (&summaries[0], &summaries[1], &summaries[2]);
+        assert_eq!(a.merged(b), b.merged(a));
+        assert_eq!(a.merged(b).merged(c), a.merged(&b.merged(c)));
+        let all = a.merged(b).merged(c);
+        assert_eq!(all.count, 6);
+        assert_eq!(all.max, 1 << 30);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let hist = std::sync::Arc::new(Histogram::new());
+        let threads = 8;
+        let per_thread = 1_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let hist = std::sync::Arc::clone(&hist);
+                scope.spawn(move || {
+                    for v in 0..per_thread {
+                        hist.record(t * per_thread + v);
+                    }
+                });
+            }
+        });
+        let s = hist.fold();
+        assert_eq!(s.count, threads * per_thread);
+        assert_eq!(s.max, threads * per_thread - 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! The metrics registry: named counters, gauges and histograms, created on
+//! first use and folded into a plain [`MetricsSnapshot`] on scrape.
+//!
+//! Handles are `Arc`s — a hot path looks its instrument up once and then
+//! records through the `Arc` with relaxed atomics, never touching the
+//! registry lock again.  Names are dotted lowercase paths
+//! (`exec.op.select.ns`, `wal.fsync.ns`); the Prometheus renderer maps them
+//! to `ws_`-prefixed underscore form.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{Histogram, HistogramSummary};
+
+/// A monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (negative to decrease).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Named instruments, created lazily on first use.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("metrics lock poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("metrics lock poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("metrics lock poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Fold every instrument into a plain snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("metrics lock poisoned")
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("metrics lock poisoned")
+                .iter()
+                .map(|(name, g)| (name.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("metrics lock poisoned")
+                .iter()
+                .map(|(name, h)| (name.clone(), h.fold()))
+                .collect(),
+        }
+    }
+
+    /// The snapshot rendered in the Prometheus text exposition format
+    /// (version 0.0.4): counters and gauges as single samples, histograms as
+    /// summaries with `quantile` labels plus `_sum`, `_count` and `_max`.
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+}
+
+/// One folded scrape of a [`MetricsRegistry`]: plain, comparable data.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Folded histograms by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// Map a dotted metric name to a Prometheus identifier: `ws_` prefix, every
+/// non-alphanumeric byte folded to `_`.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("ws_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+impl MetricsSnapshot {
+    /// See [`MetricsRegistry::render_prometheus`].
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let id = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {id} counter");
+            let _ = writeln!(out, "{id} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let id = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {id} gauge");
+            let _ = writeln!(out, "{id} {value}");
+        }
+        for (name, hist) in &self.histograms {
+            let id = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {id} summary");
+            for (q, v) in [
+                ("0.5", hist.p50()),
+                ("0.95", hist.p95()),
+                ("0.99", hist.p99()),
+            ] {
+                let _ = writeln!(out, "{id}{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "{id}_sum {}", hist.sum);
+            let _ = writeln!(out, "{id}_count {}", hist.count);
+            let _ = writeln!(out, "{id}_max {}", hist.max);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruments_are_shared_by_name() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("session.query");
+        let b = registry.counter("session.query");
+        a.inc();
+        b.add(2);
+        assert_eq!(registry.counter("session.query").get(), 3);
+        let gauge = registry.gauge("pool.size");
+        gauge.set(4);
+        gauge.add(-1);
+        assert_eq!(registry.gauge("pool.size").get(), 3);
+        registry.histogram("exec.ns").record(10);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counters["session.query"], 3);
+        assert_eq!(snapshot.gauges["pool.size"], 3);
+        assert_eq!(snapshot.histograms["exec.ns"].count, 1);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let registry = MetricsRegistry::new();
+        registry.counter("wal.append").add(7);
+        registry.gauge("store.pins").set(-2);
+        let hist = registry.histogram("exec.op.select.ns");
+        hist.record(100);
+        hist.record(3000);
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE ws_wal_append counter\nws_wal_append 7\n"));
+        assert!(text.contains("# TYPE ws_store_pins gauge\nws_store_pins -2\n"));
+        assert!(text.contains("# TYPE ws_exec_op_select_ns summary"));
+        assert!(text.contains("ws_exec_op_select_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("ws_exec_op_select_ns_count 2"));
+        assert!(text.contains("ws_exec_op_select_ns_sum 3100"));
+        assert!(text.contains("ws_exec_op_select_ns_max 3000"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad sample line: {line}");
+        }
+    }
+}

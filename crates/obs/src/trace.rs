@@ -1,0 +1,192 @@
+//! Structured trace events and pluggable sinks.
+//!
+//! A [`TraceEvent`] is the record a finished [`crate::Span`] emits: the span
+//! name, the session/request ids it was scoped to, the measured latency and
+//! free-form `key=value` fields.  Sinks decide where events go: a bounded
+//! [`RingSink`] for tests and the in-process slow-query log, a [`LineSink`]
+//! writing one rendered line per event for `ws-serverd`, or [`NullSink`].
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// One finished span, ready for a sink.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The span name (`"query"`, `"apply"`, …).
+    pub name: String,
+    /// The session the span ran under (0 when unscoped).
+    pub session: u64,
+    /// The request the span ran under (0 when unscoped).
+    pub request: u64,
+    /// The measured wall-clock latency in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Free-form `key=value` annotations, in attachment order.
+    pub fields: Vec<(String, String)>,
+}
+
+impl TraceEvent {
+    /// The line-oriented rendering used by [`LineSink`]:
+    /// `span=query session=1 request=3 elapsed_us=1234 plan="…"`.
+    pub fn render_line(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "span={} session={} request={} elapsed_us={}",
+            self.name,
+            self.session,
+            self.request,
+            self.elapsed_ns / 1_000
+        );
+        for (key, value) in &self.fields {
+            let _ = write!(out, " {key}={value:?}");
+        }
+        out
+    }
+}
+
+/// Where finished spans go.  Implementations must tolerate concurrent
+/// emitters (every session thread of a server shares one sink).
+pub trait TraceSink: Send + Sync {
+    /// Consume one finished span.
+    fn emit(&self, event: &TraceEvent);
+}
+
+/// A sink that drops everything (the default).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&self, _event: &TraceEvent) {}
+}
+
+/// A bounded in-memory ring of the most recent events.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl RingSink {
+    /// A ring keeping at most `capacity` events (oldest evicted first).
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .expect("trace ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// How many events are retained.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace ring poisoned").len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every retained event.
+    pub fn clear(&self) {
+        self.events.lock().expect("trace ring poisoned").clear();
+    }
+}
+
+impl TraceSink for RingSink {
+    fn emit(&self, event: &TraceEvent) {
+        let mut events = self.events.lock().expect("trace ring poisoned");
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event.clone());
+    }
+}
+
+/// A sink writing one [`TraceEvent::render_line`] line per event.
+#[derive(Debug)]
+pub struct LineSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> LineSink<W> {
+    /// Wrap a writer (stdout, a log file, a `Vec<u8>` in tests).
+    pub fn new(out: W) -> LineSink<W> {
+        LineSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Unwrap the writer (tests read back what was written).
+    pub fn into_inner(self) -> W {
+        self.out.into_inner().expect("trace writer poisoned")
+    }
+}
+
+impl<W: Write + Send> TraceSink for LineSink<W> {
+    fn emit(&self, event: &TraceEvent) {
+        // A full disk must not take the query path down: ignore I/O errors.
+        let mut out = self.out.lock().expect("trace writer poisoned");
+        let _ = writeln!(out, "{}", event.render_line());
+        let _ = out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(n: u64) -> TraceEvent {
+        TraceEvent {
+            name: "query".into(),
+            session: 1,
+            request: n,
+            elapsed_ns: 2_500,
+            fields: vec![("plan".into(), "π_S(R)".into())],
+        }
+    }
+
+    #[test]
+    fn lines_carry_ids_and_fields() {
+        let line = event(7).render_line();
+        assert_eq!(
+            line,
+            "span=query session=1 request=7 elapsed_us=2 plan=\"π_S(R)\""
+        );
+    }
+
+    #[test]
+    fn ring_evicts_oldest_first() {
+        let ring = RingSink::new(2);
+        assert!(ring.is_empty());
+        for n in 0..3 {
+            ring.emit(&event(n));
+        }
+        let kept = ring.events();
+        assert_eq!(ring.len(), 2);
+        assert_eq!(kept[0].request, 1);
+        assert_eq!(kept[1].request, 2);
+        ring.clear();
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn line_sink_writes_one_line_per_event() {
+        let sink = LineSink::new(Vec::new());
+        sink.emit(&event(1));
+        sink.emit(&event(2));
+        let written = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(written.lines().count(), 2);
+        assert!(written.starts_with("span=query"));
+    }
+}

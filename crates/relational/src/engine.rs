@@ -84,6 +84,14 @@ pub trait QueryBackend: SchemaCatalog {
         None
     }
 
+    /// Best-effort row count of a materialized relation, used by profiles
+    /// (`explain_analyze`) to fill per-operator `rows_out`.  The default
+    /// `None` is for backends whose "relation" is a compressed
+    /// representation with no cheap tuple count; they report 0 in profiles.
+    fn profile_rows(&self, _relation: &str) -> Option<u64> {
+        None
+    }
+
     /// Materialize base relation `name` under the result name `out`.
     fn materialize_base(&mut self, name: &str, out: &str) -> std::result::Result<(), Self::Error>;
 
@@ -347,6 +355,12 @@ impl TempNames {
 pub struct ExecContext {
     temps: TempNames,
     pool: WorkerPool,
+    /// The observation scope of this execution — the observer plus the
+    /// session/request ids every instrumented operator stamps on its
+    /// measurements.  Captured from the thread-local [`ws_obs::scope`]
+    /// (installed by the session layer) only when [`EngineConfig::observe`]
+    /// is set, so a non-observed run never touches the thread-local.
+    obs: Option<ws_obs::Scope>,
 }
 
 impl ExecContext {
@@ -355,7 +369,18 @@ impl ExecContext {
         ExecContext {
             temps: TempNames::new(),
             pool: WorkerPool::new(config.threads),
+            obs: if config.observe {
+                ws_obs::scope()
+            } else {
+                None
+            },
         }
+    }
+
+    /// The observation scope propagated through this execution, when
+    /// [`EngineConfig::observe`] is on and a session attached one.
+    pub fn obs(&self) -> Option<&ws_obs::Scope> {
+        self.obs.as_ref()
     }
 
     /// A fresh scratch name that `exists` rejects; recorded for cleanup.
@@ -424,6 +449,16 @@ pub struct EngineConfig {
     /// (`maybms::Session`); the one-shot [`evaluate_query`] entry points
     /// below plan every call regardless.
     pub plan_cache: bool,
+    /// Record per-operator timings, row counts and profile nodes into the
+    /// thread-local [`ws_obs::Scope`] / [`ws_obs::profile`] collector while
+    /// executing (default **off**).
+    ///
+    /// Instrumentation is observation only — it never changes which code
+    /// runs, so results are bit-identical with the flag on or off (checked
+    /// by `tests/observability_equivalence.rs`).  When off, the entire cost
+    /// is this one branch per operator; the bench gate holds the observed
+    /// path to ≤ 1.10× of the unobserved one.
+    pub observe: bool,
 }
 
 impl Default for EngineConfig {
@@ -435,6 +470,7 @@ impl Default for EngineConfig {
             threads: 1,
             columnar: true,
             plan_cache: true,
+            observe: false,
         }
     }
 }
@@ -477,13 +513,14 @@ impl EngineConfig {
             }
         }
         format!(
-            "optimize={} join-recognition={} drop-temps={} threads={} columnar={} plan-cache={}",
+            "optimize={} join-recognition={} drop-temps={} threads={} columnar={} plan-cache={} observe={}",
             on_off(self.optimize),
             on_off(self.recognize_joins),
             on_off(self.drop_temps),
             self.threads.max(1),
             on_off(self.columnar),
             on_off(self.plan_cache),
+            on_off(self.observe),
         )
     }
 }
@@ -546,7 +583,67 @@ fn execute_with<B: QueryBackend>(
     result
 }
 
+/// The profile/metrics label of a plan node's operator.
+pub(crate) fn op_name(plan: &RaExpr) -> &'static str {
+    match plan {
+        RaExpr::Rel(_) => "scan",
+        RaExpr::Select { .. } => "select",
+        RaExpr::Project { .. } => "project",
+        RaExpr::Product { .. } => "product",
+        RaExpr::Union { .. } => "union",
+        RaExpr::Difference { .. } => "difference",
+        RaExpr::Rename { .. } => "rename",
+    }
+}
+
+/// The operator detail shown in profiles (predicate, attribute list, …).
+/// Only rendered when a profile collector is installed.
+pub(crate) fn op_detail(plan: &RaExpr) -> String {
+    match plan {
+        RaExpr::Rel(name) => name.clone(),
+        RaExpr::Select { pred, .. } => pred.to_string(),
+        RaExpr::Project { attrs, .. } => attrs.join(", "),
+        RaExpr::Rename { from, to, .. } => format!("{from}→{to}"),
+        RaExpr::Product { .. } | RaExpr::Union { .. } | RaExpr::Difference { .. } => String::new(),
+    }
+}
+
+/// One operator of the row-at-a-time path, wrapped in instrumentation when
+/// [`EngineConfig::observe`] is on: a profile node (rows out via
+/// [`QueryBackend::profile_rows`]) plus an `exec.op.<name>.ns` histogram
+/// sample on the scope's observer.  With the flag off this is a single
+/// branch in front of [`eval_node_inner`].
 fn eval_node<B: QueryBackend>(
+    backend: &mut B,
+    plan: &RaExpr,
+    out: &str,
+    ctx: &mut ExecContext,
+    config: EngineConfig,
+) -> std::result::Result<(), B::Error> {
+    if !config.observe {
+        return eval_node_inner(backend, plan, out, ctx, config);
+    }
+    let token = ws_obs::profile::enter(op_name(plan), || op_detail(plan));
+    let started = std::time::Instant::now();
+    let result = eval_node_inner(backend, plan, out, ctx, config);
+    if let Some(token) = token {
+        let rows_out = match &result {
+            Ok(()) => backend.profile_rows(out).unwrap_or(0),
+            Err(_) => 0,
+        };
+        token.finish(rows_out, 1, "row");
+    }
+    if let Some(scope) = ctx.obs() {
+        scope
+            .observer
+            .metrics()
+            .histogram(&format!("exec.op.{}.ns", op_name(plan)))
+            .record_duration(started.elapsed());
+    }
+    result
+}
+
+fn eval_node_inner<B: QueryBackend>(
     backend: &mut B,
     plan: &RaExpr,
     out: &str,
@@ -571,6 +668,15 @@ fn eval_node<B: QueryBackend>(
                 if let Some(join) =
                     recognize_equi_join(backend, pred, left, right).map_err(B::Error::from)?
                 {
+                    if config.observe {
+                        if let Some(scope) = ctx.obs() {
+                            scope
+                                .observer
+                                .metrics()
+                                .counter("exec.join.recognized")
+                                .inc();
+                        }
+                    }
                     let l = eval_operand(backend, left, ctx, config)?;
                     let r = eval_operand(backend, right, ctx, config)?;
                     return match join.residual {
@@ -758,6 +864,11 @@ impl QueryBackend for Database {
             return None;
         }
         Some(crate::kernels::execute_columnar(self, plan, out, config))
+    }
+
+    /// Single-world relations have an exact, O(1) tuple count.
+    fn profile_rows(&self, relation: &str) -> Option<u64> {
+        self.relation(relation).ok().map(|r| r.len() as u64)
     }
 
     fn materialize_base(&mut self, name: &str, out: &str) -> Result<()> {
@@ -1241,11 +1352,13 @@ mod tests {
     fn engine_config_summary_is_self_describing() {
         assert_eq!(
             EngineConfig::default().summary(),
-            "optimize=on join-recognition=on drop-temps=off threads=1 columnar=on plan-cache=on"
+            "optimize=on join-recognition=on drop-temps=off threads=1 columnar=on \
+             plan-cache=on observe=off"
         );
         assert_eq!(
             EngineConfig::naive().summary(),
-            "optimize=off join-recognition=off drop-temps=off threads=1 columnar=on plan-cache=on"
+            "optimize=off join-recognition=off drop-temps=off threads=1 columnar=on \
+             plan-cache=on observe=off"
         );
         let parallel = EngineConfig::with_threads(8);
         assert!(parallel.summary().contains("threads=8"));
@@ -1254,7 +1367,12 @@ mod tests {
             plan_cache: false,
             ..EngineConfig::default()
         };
-        assert!(uncached.summary().ends_with("plan-cache=off"));
+        assert!(uncached.summary().contains("plan-cache=off"));
+        let observed = EngineConfig {
+            observe: true,
+            ..EngineConfig::default()
+        };
+        assert!(observed.summary().ends_with("observe=on"));
     }
 
     #[test]

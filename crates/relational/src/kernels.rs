@@ -40,10 +40,10 @@
 use crate::algebra::RaExpr;
 use crate::batch::{Column, ColumnBatch};
 use crate::database::Database;
-use crate::engine::{recognize_equi_join, EngineConfig, EquiJoin};
+use crate::engine::{op_detail, op_name, recognize_equi_join, EngineConfig, EquiJoin};
 use crate::error::Result;
 use crate::optimizer;
-use crate::par::WorkerPool;
+use crate::par::{WorkerPool, MORSEL_ROWS};
 use crate::predicate::{CompiledPredicate, Predicate};
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -121,7 +121,85 @@ fn eval_to_batch(
     }
 }
 
+/// Cheaply count the rows an [`Eval`] holds (for profiles; a view counts
+/// through the base relation without materializing anything).
+fn eval_len(db: &Database, eval: &Eval) -> u64 {
+    match eval {
+        Eval::Batch(batch) => batch.len() as u64,
+        Eval::View(view) => match &view.sel {
+            Some(sel) => sel.len() as u64,
+            None => db.relation(&view.name).map(|r| r.len() as u64).unwrap_or(0),
+        },
+    }
+}
+
+/// Bump `exec.morsels` by the fan-out `map_chunks` cuts for `rows` rows.
+/// Call sites are already gated on [`EngineConfig::observe`].
+fn record_morsels(rows: usize) {
+    if let Some(scope) = ws_obs::scope() {
+        scope
+            .observer
+            .metrics()
+            .counter("exec.morsels")
+            .add(rows.div_ceil(MORSEL_ROWS).max(1) as u64);
+    }
+}
+
+/// Record a selection's survival rate (`exec.select.survival_pct`) and its
+/// morsel fan-out.  Call sites are already gated on [`EngineConfig::observe`].
+fn record_selection(rows_in: usize, rows_out: usize) {
+    if let Some(scope) = ws_obs::scope() {
+        scope
+            .observer
+            .metrics()
+            .histogram("exec.select.survival_pct")
+            .record((rows_out * 100 / rows_in.max(1)) as u64);
+    }
+    record_morsels(rows_in);
+}
+
+/// One operator of the columnar path, wrapped in instrumentation when
+/// [`EngineConfig::observe`] is on: a profile node (rows via [`eval_len`],
+/// path `"columnar"` or `"view"`) plus an `exec.op.<name>.ns` histogram
+/// sample.  With the flag off this is a single branch in front of
+/// [`eval_expr_inner`].
 fn eval_expr(
+    db: &Database,
+    expr: &RaExpr,
+    needed: Option<&BTreeSet<String>>,
+    config: &EngineConfig,
+    pool: &WorkerPool,
+) -> Result<Eval> {
+    if !config.observe {
+        return eval_expr_inner(db, expr, needed, config, pool);
+    }
+    let token = ws_obs::profile::enter(op_name(expr), || op_detail(expr));
+    let started = std::time::Instant::now();
+    let result = eval_expr_inner(db, expr, needed, config, pool);
+    if let Some(token) = token {
+        let (rows, path) = match &result {
+            Ok(eval) => (
+                eval_len(db, eval),
+                match eval {
+                    Eval::Batch(_) => "columnar",
+                    Eval::View(_) => "view",
+                },
+            ),
+            Err(_) => (0, "columnar"),
+        };
+        token.finish(rows, 1, path);
+    }
+    if let Some(scope) = ws_obs::scope() {
+        scope
+            .observer
+            .metrics()
+            .histogram(&format!("exec.op.{}.ns", op_name(expr)))
+            .record_duration(started.elapsed());
+    }
+    result
+}
+
+fn eval_expr_inner(
     db: &Database,
     expr: &RaExpr,
     needed: Option<&BTreeSet<String>>,
@@ -141,6 +219,15 @@ fn eval_expr(
             if config.recognize_joins {
                 if let RaExpr::Product { left, right } = input.as_ref() {
                     if let Some(join) = recognize_equi_join(db, pred, left, right)? {
+                        if config.observe {
+                            if let Some(scope) = ws_obs::scope() {
+                                scope
+                                    .observer
+                                    .metrics()
+                                    .counter("exec.join.recognized")
+                                    .inc();
+                            }
+                        }
                         return Ok(Eval::Batch(eval_join(
                             db, left, right, &join, needed, config, pool,
                         )?));
@@ -151,6 +238,9 @@ fn eval_expr(
             match eval_expr(db, input, child_needed.as_ref(), config, pool)? {
                 Eval::Batch(batch) => {
                     let sel = select_vector(&batch, pred, pool)?;
+                    if config.observe {
+                        record_selection(batch.len(), sel.len());
+                    }
                     Ok(Eval::Batch(batch.gather(&sel)))
                 }
                 Eval::View(view) => {
@@ -177,13 +267,16 @@ fn eval_expr(
                                     &owned
                                 }
                             };
-                            let sel = pool
+                            let sel: Vec<u32> = pool
                                 .map_chunks(candidates, |_, chunk| {
                                     filter_rows(rows, &compiled, chunk.to_vec())
                                 })
                                 .into_iter()
                                 .flatten()
                                 .collect();
+                            if config.observe {
+                                record_selection(candidates.len(), sel.len());
+                            }
                             return Ok(Eval::View(View {
                                 name: view.name,
                                 sel: Some(sel),
@@ -204,6 +297,9 @@ fn eval_expr(
                         Some(sel) => ColumnBatch::from_relation_sel(rel, sel, Some(&pred_attrs)),
                     };
                     let local = select_vector(&pred_batch, pred, pool)?;
+                    if config.observe {
+                        record_selection(pred_batch.len(), local.len());
+                    }
                     let sel = match view.sel {
                         None => local,
                         Some(sel) => local.into_iter().map(|i| sel[i as usize]).collect(),
@@ -365,6 +461,10 @@ fn eval_join(
     let (ln, rn) = split_needed(db, combined.as_ref(), left, right)?;
     let l = eval_to_batch(db, left, ln.as_ref(), config, pool)?;
     let r = eval_to_batch(db, right, rn.as_ref(), config, pool)?;
+    if config.observe {
+        // The probe side is what map_chunks fans out over.
+        record_morsels(l.len());
+    }
     let joined = join_batches(&l, &r, &join.left_attr, &join.right_attr, pool)?;
     match &join.residual {
         None => Ok(joined),

@@ -2,13 +2,24 @@
 //!
 //! ```text
 //! ws-serverd serve <store-dir> [addr] [--group-commit N,WAIT_MS]
+//!                  [--slow-query MS] [--metrics [ADDR]]
 //!     Serve an existing store directory (create it with the library or the
 //!     `smoke` subcommand first).  Default addr 127.0.0.1:7878.
 //!
+//!     --group-commit N,WAIT_MS   Coalesce up to N updates per WAL batch,
+//!                                waiting at most WAIT_MS for stragglers.
+//!     --slow-query MS            Trace spans to stderr and record queries
+//!                                slower than MS milliseconds in the
+//!                                slow-query ring (use 0 to log every query).
+//!     --metrics [ADDR]           Serve the metrics registry as Prometheus
+//!                                text over HTTP at ADDR (default
+//!                                127.0.0.1:9187); implies observation.
+//!
 //! ws-serverd smoke
-//!     Self-test: bind an ephemeral port over an in-memory store, run one
-//!     client round-trip (hello, prepare, execute, apply, confidence,
-//!     checkpoint, shutdown), and exit 0 iff every step answered correctly.
+//!     Self-test: bind an ephemeral port over an in-memory observed store,
+//!     run one client round-trip (hello, prepare, execute, apply,
+//!     confidence, checkpoint, metrics, stats, shutdown), scrape the HTTP
+//!     metrics endpoint, and exit 0 iff every step answered correctly.
 //! ```
 
 use std::process::ExitCode;
@@ -17,18 +28,34 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use maybms::{q, AnyBackend, UpdateExpr};
+use ws_obs::{LineSink, Observer};
 use ws_relational::Predicate;
-use ws_server::{serve, spawn, Client, ConcurrentStore};
+use ws_server::{serve, serve_metrics, spawn, Client, ConcurrentStore};
 use ws_storage::{DirVfs, MemVfs, SyncPolicy, Vfs};
+
+const USAGE: &str = "usage: ws-serverd serve <store-dir> [addr] [--group-commit N,WAIT_MS] \
+                     [--slow-query MS] [--metrics [ADDR]]\n       ws-serverd smoke\n       \
+                     ws-serverd --help";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("serve") => cmd_serve(&args[1..]),
         Some("smoke") => cmd_smoke(),
+        Some("--help") | Some("-h") | Some("help") => {
+            println!("{USAGE}");
+            println!();
+            println!("  --group-commit N,WAIT_MS  coalesce up to N updates per WAL batch,");
+            println!("                            waiting at most WAIT_MS for stragglers");
+            println!("  --slow-query MS           trace query spans to stderr and keep queries");
+            println!("                            slower than MS ms in the slow-query ring");
+            println!("                            (0 logs every query)");
+            println!("  --metrics [ADDR]          serve Prometheus text metrics over HTTP at");
+            println!("                            ADDR (default 127.0.0.1:9187)");
+            return ExitCode::SUCCESS;
+        }
         _ => {
-            eprintln!("usage: ws-serverd serve <store-dir> [addr] [--group-commit N,WAIT_MS]");
-            eprintln!("       ws-serverd smoke");
+            eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     };
@@ -61,17 +88,82 @@ fn parse_policy(args: &[String]) -> Result<SyncPolicy, String> {
     Ok(SyncPolicy::EveryRecord)
 }
 
+/// `--slow-query MS` → the slow-query threshold.
+fn parse_slow_query(args: &[String]) -> Result<Option<Duration>, String> {
+    for (i, a) in args.iter().enumerate() {
+        if a == "--slow-query" {
+            let ms: u64 = args
+                .get(i + 1)
+                .ok_or("--slow-query needs MS".to_string())?
+                .parse()
+                .map_err(|e| format!("bad --slow-query threshold: {e}"))?;
+            return Ok(Some(Duration::from_millis(ms)));
+        }
+    }
+    Ok(None)
+}
+
+/// `--metrics [ADDR]` → the scrape address (the value is optional).
+fn parse_metrics(args: &[String]) -> Option<String> {
+    for (i, a) in args.iter().enumerate() {
+        if a == "--metrics" {
+            let addr = match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") && v.contains(':') => v.clone(),
+                _ => "127.0.0.1:9187".to_string(),
+            };
+            return Some(addr);
+        }
+    }
+    None
+}
+
+/// Flag values that must not be mistaken for the positional `addr`.
+fn is_flag_value(args: &[String], i: usize) -> bool {
+    i > 0
+        && matches!(
+            args[i - 1].as_str(),
+            "--group-commit" | "--slow-query" | "--metrics"
+        )
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let dir = args.first().ok_or("missing <store-dir>")?;
     let addr = args
         .iter()
+        .enumerate()
         .skip(1)
-        .find(|a| !a.starts_with("--") && !a.contains(','))
-        .map(String::as_str)
+        .find(|(i, a)| !a.starts_with("--") && !a.contains(',') && !is_flag_value(args, *i))
+        .map(|(_, a)| a.as_str())
         .unwrap_or("127.0.0.1:7878");
     let policy = parse_policy(args)?;
+    let slow = parse_slow_query(args)?;
+    let metrics_addr = parse_metrics(args);
     let vfs: Box<dyn Vfs> = Box::new(DirVfs::open(dir)?);
-    let store: ConcurrentStore<AnyBackend> = ConcurrentStore::open(vfs, policy)?;
+
+    // Any observability flag switches the store to the observed path; spans
+    // go to stderr as one line each, so they interleave with our own logs.
+    let observer = if slow.is_some() || metrics_addr.is_some() {
+        let observer = Arc::new(Observer::with_sink(Box::new(LineSink::new(
+            std::io::stderr(),
+        ))));
+        observer.set_slow_query_threshold(slow);
+        Some(observer)
+    } else {
+        None
+    };
+    let store: ConcurrentStore<AnyBackend> = match &observer {
+        Some(observer) => ConcurrentStore::open_observed(vfs, policy, Arc::clone(observer))?,
+        None => ConcurrentStore::open(vfs, policy)?,
+    };
+    let _metrics = match (&observer, metrics_addr) {
+        (Some(observer), Some(addr)) => {
+            let handle = serve_metrics(addr.as_str(), Arc::clone(observer))?;
+            println!("ws-serverd: metrics on http://{}/metrics", handle.addr());
+            Some(handle)
+        }
+        _ => None,
+    };
+
     let listener = std::net::TcpListener::bind(addr)?;
     println!("ws-serverd: serving {dir} on {}", listener.local_addr()?);
     let stop = Arc::new(AtomicBool::new(false));
@@ -82,19 +174,26 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_smoke() -> Result<(), Box<dyn std::error::Error>> {
+    use std::io::{Read, Write};
+
     let backend = AnyBackend::Wsd(maybms::core::wsd::example_census_wsd());
     let vfs: Box<dyn Vfs> = Box::new(MemVfs::new());
-    let store: ConcurrentStore<AnyBackend> = ConcurrentStore::create(
+    let observer = Arc::new(Observer::new());
+    // Threshold 0: every query lands in the slow-query ring.
+    observer.set_slow_query_threshold(Some(Duration::ZERO));
+    let store: ConcurrentStore<AnyBackend> = ConcurrentStore::create_observed(
         vfs,
         backend,
         SyncPolicy::GroupCommit {
             max_batch: 8,
             max_wait: Duration::from_millis(2),
         },
+        Arc::clone(&observer),
     )?;
     let handle = spawn("127.0.0.1:0", store.clone())?;
     let addr = handle.addr();
-    println!("smoke: serving on {addr}");
+    let scrape = serve_metrics("127.0.0.1:0", Arc::clone(&observer))?;
+    println!("smoke: serving on {addr}, metrics on {}", scrape.addr());
 
     let mut client = Client::connect(addr)?;
     println!("smoke: connected to a {} store", client.backend_name());
@@ -107,12 +206,35 @@ fn cmd_smoke() -> Result<(), Box<dyn std::error::Error>> {
     let summary = client.stats()?;
     println!("smoke: rows {rows_before} -> {rows_after}, {} confidences, mass {mass}, generation {generation}", confidences.len());
     println!("smoke: {summary}");
+
+    // The registry over the wire verb and over HTTP must agree on content.
+    let wire_metrics = client.metrics()?;
+    let mut http = std::net::TcpStream::connect(scrape.addr())?;
+    http.write_all(b"GET /metrics HTTP/1.1\r\nHost: smoke\r\n\r\n")?;
+    let mut http_response = String::new();
+    http.read_to_string(&mut http_response)?;
+    let slow = observer.slow_queries();
+    for event in &slow {
+        println!("smoke: slow-query {}", event.render_line());
+    }
+
     client.shutdown_server()?;
     handle.shutdown()?;
+    scrape.shutdown()?;
     store.close()?;
 
     if rows_before == 0 || confidences.is_empty() {
         return Err("smoke: the example store answered nothing".into());
+    }
+    if !wire_metrics.contains("ws_exec_op_") {
+        return Err(format!("smoke: no operator metrics on the wire:\n{wire_metrics}").into());
+    }
+    if !http_response.starts_with("HTTP/1.1 200 OK") || !http_response.contains("ws_wal_append_ns")
+    {
+        return Err(format!("smoke: bad metrics scrape:\n{http_response}").into());
+    }
+    if slow.is_empty() {
+        return Err("smoke: a zero threshold logged no slow queries".into());
     }
     println!("smoke: OK");
     Ok(())

@@ -97,6 +97,9 @@ pub struct Client {
     stream: CountingStream<TcpStream>,
     backend: String,
     seq: u64,
+    /// The trace id stamped on the next request frame (1-based; the server
+    /// echoes it on every response frame of that request).
+    next_trace: u64,
 }
 
 impl Client {
@@ -107,6 +110,7 @@ impl Client {
             stream: CountingStream::new(stream),
             backend: String::new(),
             seq: 0,
+            next_trace: 1,
         };
         match client.call(&Request::Hello {
             version: WIRE_VERSION,
@@ -135,14 +139,22 @@ impl Client {
         (self.stream.bytes_in(), self.stream.bytes_out())
     }
 
-    fn send(&mut self, request: &Request) -> Result<(), ServiceError> {
-        write_frame(&mut self.stream, &request.encode()).map_err(ServiceError::transport)
+    fn send(&mut self, request: &Request) -> Result<u64, ServiceError> {
+        let trace = self.next_trace;
+        self.next_trace += 1;
+        write_frame(&mut self.stream, trace, &request.encode()).map_err(ServiceError::transport)?;
+        Ok(trace)
     }
 
-    fn receive(&mut self) -> Result<Response, ServiceError> {
-        let payload = read_frame(&mut self.stream)
+    fn receive(&mut self, trace: u64) -> Result<Response, ServiceError> {
+        let (echoed, payload) = read_frame(&mut self.stream)
             .map_err(ServiceError::transport)?
             .ok_or_else(|| ServiceError::transport("the server hung up"))?;
+        if echoed != trace {
+            return Err(ServiceError::transport(format!(
+                "trace id mismatch: sent request {trace}, response echoes {echoed}"
+            )));
+        }
         let response = Response::decode(&payload).map_err(ServiceError::transport)?;
         if let Response::Error {
             inconsistent,
@@ -158,8 +170,8 @@ impl Client {
     }
 
     fn call(&mut self, request: &Request) -> Result<Response, ServiceError> {
-        self.send(request)?;
-        self.receive()
+        let trace = self.send(request)?;
+        self.receive(trace)
     }
 
     /// Register a query; the plan is lowered locally and optimized remotely.
@@ -181,10 +193,10 @@ impl Client {
 
     /// All answer rows of a prepared plan, over the server's read snapshot.
     pub fn execute(&mut self, plan: &RemotePlan) -> Result<Vec<Tuple>, ServiceError> {
-        self.send(&Request::Execute { plan: plan.id })?;
+        let trace = self.send(&Request::Execute { plan: plan.id })?;
         let mut rows = Vec::new();
         loop {
-            match self.receive()? {
+            match self.receive(trace)? {
                 Response::RowBatch { rows: batch, done } => {
                     rows.extend(batch);
                     if done {
@@ -242,6 +254,15 @@ impl Client {
     pub fn stats(&mut self) -> Result<String, ServiceError> {
         match self.call(&Request::Stats)? {
             Response::Stats { summary } => Ok(summary),
+            other => Err(ServiceError::protocol(&other)),
+        }
+    }
+
+    /// The server's metrics registry rendered in Prometheus text format
+    /// (empty when the server was started without an observer).
+    pub fn metrics(&mut self) -> Result<String, ServiceError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
             other => Err(ServiceError::protocol(&other)),
         }
     }

@@ -27,17 +27,31 @@
 //! differentially: every reader-observed snapshot equals a serial prefix of
 //! the committed update sequence, bit-identically, on all five backends.
 //!
+//! ## Observability
+//!
+//! An observed store ([`ConcurrentStore::create_observed`] /
+//! [`ConcurrentStore::open_observed`]) threads one
+//! [`Observer`](ws_obs::Observer) through every layer: the WAL reports
+//! append/fsync/checkpoint/recovery timings, the committer reports batch
+//! sizes and coalesce waits, snapshot generations report their lifetimes,
+//! and each connection's session reports per-operator kernel timings and
+//! query spans.  The registry is scrapeable two ways: the
+//! [`Request::Metrics`] wire verb, and the [`metrics_http`] endpoint
+//! (Prometheus text over plain HTTP, `ws-serverd serve --metrics`).
+//!
 //! [`Session`]: maybms::Session
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod metrics_http;
 pub mod server;
 pub mod store;
 pub mod wire;
 
 pub use client::{Client, RemotePlan, ServiceError};
+pub use metrics_http::{serve_metrics, MetricsHandle};
 pub use server::{serve, spawn, ServerHandle};
 pub use store::{ConcurrentStore, StoreSnapshot, StoreStats, UpdateOutcome};
 pub use wire::{Request, Response, WIRE_VERSION};

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use maybms::{AnyBackend, Prepared, Session, SessionBackend, UpdateExpr};
+use maybms::{AnyBackend, Prepared, Session, SessionBackend, SessionStats, UpdateExpr};
 use ws_relational::RaExpr;
 
 use crate::store::ConcurrentStore;
@@ -130,6 +130,9 @@ struct Conn {
     /// Plan handle → the prepared form against the *current* session.
     prepared: HashMap<u64, Prepared>,
     next_plan: u64,
+    /// Counters accumulated by sessions this connection already retired
+    /// (each snapshot re-pin rebuilds the session, zeroing its counters).
+    carried: SessionStats,
 }
 
 impl Conn {
@@ -142,8 +145,14 @@ impl Conn {
             None => true,
         };
         if stale {
+            if let Some((_, old)) = &self.session {
+                self.carried.absorb(&old.stats());
+            }
             let snapshot = self.store.snapshot();
             let mut session = Session::new(snapshot.backend.clone());
+            if let Some(observer) = self.store.observer() {
+                session.set_observer(Arc::clone(observer));
+            }
             self.prepared.clear();
             for (&id, plan) in &self.plans {
                 let p = session.prepare(plan.clone())?;
@@ -187,9 +196,13 @@ fn handle_connection(
         plans: HashMap::new(),
         prepared: HashMap::new(),
         next_plan: 1,
+        carried: SessionStats::default(),
     };
     loop {
-        let payload = match read_frame(&mut stream)? {
+        // The trace id from the frame header is echoed on every response
+        // frame of this request, so a client (or a wire capture) can match
+        // responses to in-flight requests.
+        let (trace, payload) = match read_frame(&mut stream)? {
             Some(p) => p,
             None => return Ok(()), // clean hang-up
         };
@@ -197,7 +210,7 @@ fn handle_connection(
             Ok(r) => r,
             Err(e) => {
                 let resp = storage_error_response(&e).encode();
-                write_frame(&mut stream, &resp)?;
+                write_frame(&mut stream, trace, &resp)?;
                 continue;
             }
         };
@@ -220,7 +233,7 @@ fn handle_connection(
                         Err(e) => error_response(&e),
                     }
                 };
-                write_frame(&mut stream, &resp.encode())?;
+                write_frame(&mut stream, trace, &resp.encode())?;
             }
             Request::Prepare { plan } => {
                 let resp = match conn.refresh() {
@@ -241,7 +254,7 @@ fn handle_connection(
                     },
                     Err(e) => error_response(&e),
                 };
-                write_frame(&mut stream, &resp.encode())?;
+                write_frame(&mut stream, trace, &resp.encode())?;
             }
             Request::Execute { plan } => {
                 let rows = match conn.refresh() {
@@ -265,17 +278,17 @@ fn handle_connection(
                                 rows: Vec::new(),
                                 done: true,
                             };
-                            write_frame(&mut stream, &resp.encode())?;
+                            write_frame(&mut stream, trace, &resp.encode())?;
                         }
                         while let Some(chunk) = chunks.next() {
                             let resp = Response::RowBatch {
                                 rows: chunk.to_vec(),
                                 done: chunks.peek().is_none(),
                             };
-                            write_frame(&mut stream, &resp.encode())?;
+                            write_frame(&mut stream, trace, &resp.encode())?;
                         }
                     }
-                    Err(resp) => write_frame(&mut stream, &resp.encode())?,
+                    Err(resp) => write_frame(&mut stream, trace, &resp.encode())?,
                 }
             }
             Request::Confidence { plan } => {
@@ -292,27 +305,28 @@ fn handle_connection(
                     },
                     Err(e) => error_response(&e),
                 };
-                write_frame(&mut stream, &resp.encode())?;
+                write_frame(&mut stream, trace, &resp.encode())?;
             }
             Request::Apply { update } => {
                 let resp = apply_through_store(&conn.store, update);
-                write_frame(&mut stream, &resp.encode())?;
+                write_frame(&mut stream, trace, &resp.encode())?;
             }
             Request::Condition { constraints } => {
                 let resp = apply_through_store(&conn.store, UpdateExpr::condition(constraints));
-                write_frame(&mut stream, &resp.encode())?;
+                write_frame(&mut stream, trace, &resp.encode())?;
             }
             Request::Checkpoint => {
                 let resp = match conn.store.checkpoint() {
                     Ok(generation) => Response::Checkpointed { generation },
                     Err(e) => storage_error_response(&e),
                 };
-                write_frame(&mut stream, &resp.encode())?;
+                write_frame(&mut stream, trace, &resp.encode())?;
             }
             Request::Stats => {
                 let resp = match conn.refresh() {
                     Ok(()) => {
-                        let mut stats = conn.session().stats();
+                        let mut stats = conn.carried;
+                        stats.absorb(&conn.session().stats());
                         let store_stats = conn.store.stats();
                         stats.snapshots_pinned = store_stats.snapshots_pinned;
                         stats.commit_batches = store_stats.commit_batches;
@@ -325,14 +339,22 @@ fn handle_connection(
                     }
                     Err(e) => error_response(&e),
                 };
-                write_frame(&mut stream, &resp.encode())?;
+                write_frame(&mut stream, trace, &resp.encode())?;
+            }
+            Request::Metrics => {
+                let text = match conn.store.observer() {
+                    Some(observer) => observer.metrics().snapshot().render_prometheus(),
+                    None => String::new(),
+                };
+                let resp = Response::Metrics { text };
+                write_frame(&mut stream, trace, &resp.encode())?;
             }
             Request::Close => {
-                write_frame(&mut stream, &Response::Bye.encode())?;
+                write_frame(&mut stream, trace, &Response::Bye.encode())?;
                 return Ok(());
             }
             Request::Shutdown => {
-                write_frame(&mut stream, &Response::Bye.encode())?;
+                write_frame(&mut stream, trace, &Response::Bye.encode())?;
                 stop.store(true, Ordering::SeqCst);
                 // Wake the accept loop so the flag is observed.
                 let _ = TcpStream::connect(addr);

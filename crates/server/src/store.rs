@@ -35,6 +35,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ws_core::ops::update::UpdateExpr;
+use ws_obs::Observer;
 use ws_relational::WriteBackend;
 use ws_storage::{DurabilityStats, Durable, DurableError, Persist, StorageError, SyncPolicy, Vfs};
 
@@ -54,6 +55,41 @@ pub struct StoreSnapshot<B> {
     pub seq: u64,
     /// The durable checkpoint generation backing this image.
     pub generation: u64,
+    /// Measures how long this image stays alive (publish to last-pin drop)
+    /// into `store.snapshot.lifetime_ns`, when the store is observed.  Held
+    /// only for its `Drop`.
+    _pin: Option<PinGuard>,
+}
+
+/// Records the owning snapshot's lifetime on drop — i.e. when the *last*
+/// `Arc` pinning the image (the published slot or a reader) lets go.
+struct PinGuard {
+    observer: Arc<Observer>,
+    born: Instant,
+}
+
+impl std::fmt::Debug for PinGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PinGuard")
+            .field("born", &self.born)
+            .finish()
+    }
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        self.observer
+            .metrics()
+            .histogram("store.snapshot.lifetime_ns")
+            .record_duration(self.born.elapsed());
+    }
+}
+
+fn pin_guard(observer: &Option<Arc<Observer>>) -> Option<PinGuard> {
+    observer.as_ref().map(|observer| PinGuard {
+        observer: Arc::clone(observer),
+        born: Instant::now(),
+    })
 }
 
 /// Counters of the concurrent store, all monotone.
@@ -136,6 +172,8 @@ struct Shared<B> {
     /// recording is on (the concurrent differential oracle replays it).
     history: Mutex<Vec<UpdateExpr>>,
     record_history: bool,
+    /// The observability domain the committer and snapshot pins report into.
+    observer: Option<Arc<Observer>>,
 }
 
 /// A cloneable handle to one durable store shared by many sessions.
@@ -189,11 +227,37 @@ where
         Ok(Self::start(durable, false))
     }
 
+    /// [`ConcurrentStore::create`] with an observability domain attached:
+    /// the WAL, the committer and snapshot pins record into `observer`.
+    pub fn create_observed(
+        vfs: Box<dyn Vfs>,
+        backend: B,
+        policy: SyncPolicy,
+        observer: Arc<Observer>,
+    ) -> Result<Self, StorageError> {
+        let mut durable = Durable::create(vfs, backend)?;
+        durable.set_sync_policy(policy);
+        durable.set_observer(Arc::clone(&observer));
+        Ok(Self::start_observed(durable, false, Some(observer)))
+    }
+
     /// Recover an existing store from `vfs` and start the committer.
     pub fn open(vfs: Box<dyn Vfs>, policy: SyncPolicy) -> Result<Self, StorageError> {
         let mut durable = Durable::open(vfs)?;
         durable.set_sync_policy(policy);
         Ok(Self::start(durable, false))
+    }
+
+    /// [`ConcurrentStore::open`] with an observability domain attached from
+    /// recovery replay on.
+    pub fn open_observed(
+        vfs: Box<dyn Vfs>,
+        policy: SyncPolicy,
+        observer: Arc<Observer>,
+    ) -> Result<Self, StorageError> {
+        let mut durable = Durable::open_observed(vfs, Arc::clone(&observer))?;
+        durable.set_sync_policy(policy);
+        Ok(Self::start_observed(durable, false, Some(observer)))
     }
 
     /// Like [`ConcurrentStore::create`], additionally recording every
@@ -211,10 +275,20 @@ where
 
     /// Wrap an already-built durable store (any policy, any medium).
     pub fn start(durable: Durable<B>, record_history: bool) -> Self {
+        Self::start_observed(durable, record_history, None)
+    }
+
+    /// [`ConcurrentStore::start`] with an optional observability domain.
+    pub fn start_observed(
+        durable: Durable<B>,
+        record_history: bool,
+        observer: Option<Arc<Observer>>,
+    ) -> Self {
         let snapshot = Arc::new(StoreSnapshot {
             backend: durable.inner().clone(),
             seq: 0,
             generation: durable.generation(),
+            _pin: pin_guard(&observer),
         });
         let shared = Arc::new(Shared {
             published: Mutex::new(snapshot),
@@ -223,6 +297,7 @@ where
             batched_updates: AtomicU64::new(0),
             history: Mutex::new(Vec::new()),
             record_history,
+            observer,
         });
         let (tx, rx) = mpsc::channel();
         let worker_shared = Arc::clone(&shared);
@@ -241,7 +316,15 @@ where
     /// against in-flight commits (one short mutex hold to clone the `Arc`).
     pub fn snapshot(&self) -> Arc<StoreSnapshot<B>> {
         self.shared.snapshots_pinned.fetch_add(1, Ordering::Relaxed);
+        if let Some(observer) = &self.shared.observer {
+            observer.metrics().counter("store.snapshot.pinned").inc();
+        }
         Arc::clone(&self.shared.published.lock().unwrap())
+    }
+
+    /// The observability domain this store reports into, if any.
+    pub fn observer(&self) -> Option<&Arc<Observer>> {
+        self.shared.observer.as_ref()
     }
 
     /// The committed update sequence number of the newest image.
@@ -378,6 +461,7 @@ where
                 slot.fill(res);
             }
             Command::Update(first, first_slot) => {
+                let coalesce_started = Instant::now();
                 let mut updates = vec![first];
                 let mut slots = vec![first_slot];
                 if max_batch > 1 {
@@ -409,8 +493,24 @@ where
                         }
                     }
                 }
+                if let Some(observer) = &shared.observer {
+                    let metrics = observer.metrics();
+                    metrics
+                        .histogram("store.commit.coalesce_ns")
+                        .record_duration(coalesce_started.elapsed());
+                    metrics
+                        .histogram("store.commit.batch_size")
+                        .record(updates.len() as u64);
+                }
+                let apply_started = Instant::now();
                 match durable.apply_batch(&updates) {
                     Ok(outcomes) => {
+                        if let Some(observer) = &shared.observer {
+                            observer
+                                .metrics()
+                                .histogram("store.commit.apply_ns")
+                                .record_duration(apply_started.elapsed());
+                        }
                         shared.commit_batches.fetch_add(1, Ordering::Relaxed);
                         shared
                             .batched_updates
@@ -450,6 +550,7 @@ where
         backend: durable.inner().clone(),
         seq,
         generation: durable.generation(),
+        _pin: pin_guard(&shared.observer),
     });
 }
 

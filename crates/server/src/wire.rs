@@ -4,14 +4,17 @@
 //! Every message travels as one *frame*:
 //!
 //! ```text
-//! ┌──────────────┬──────────────┬───────────────────┐
-//! │ len: u32 LE  │ crc: u32 LE  │ payload (len B)   │
-//! └──────────────┴──────────────┴───────────────────┘
+//! ┌──────────────┬──────────────┬──────────────────┬───────────────────┐
+//! │ len: u32 LE  │ crc: u32 LE  │ request: u64 LE  │ payload (len B)   │
+//! └──────────────┴──────────────┴──────────────────┴───────────────────┘
 //! ```
 //!
 //! `crc` is the CRC-32 of the payload (the same polynomial the ws-storage
 //! WAL uses); a frame whose checksum or length does not hold is a protocol
-//! error, not a panic.  Payloads are encoded with the ws-storage
+//! error, not a panic.  `request` is the trace id the client stamps on each
+//! request (0 = untraced); the server echoes it on every response frame of
+//! that request and threads it through its spans and the slow-query log, so
+//! a wire exchange and the server-side trace line it produced correlate.  Payloads are encoded with the ws-storage
 //! [`codec`](ws_storage::codec) primitives — the same hand-rolled,
 //! version-tagged binary vocabulary the snapshot and WAL files speak, so
 //! plans ([`RaExpr`]), updates ([`UpdateExpr`]), constraints
@@ -32,8 +35,9 @@ use ws_storage::codec::{
 use ws_storage::{crc32, StorageError};
 
 /// Protocol revision; [`Request::Hello`] carries it and the server rejects a
-/// mismatch rather than mis-decoding.
-pub const WIRE_VERSION: u32 = 1;
+/// mismatch rather than mis-decoding.  Version 2 added the `request` trace
+/// id to the frame header and the [`Request::Metrics`] verb.
+pub const WIRE_VERSION: u32 = 2;
 
 /// Upper bound on a single frame, preventing an implausible length prefix
 /// from sizing an allocation.
@@ -77,6 +81,8 @@ pub enum Request {
     Checkpoint,
     /// The server-side session summary for this connection.
     Stats,
+    /// The server's metrics registry in Prometheus text exposition format.
+    Metrics,
     /// End this connection (the store keeps serving others).
     Close,
     /// Stop the whole server after answering.
@@ -133,6 +139,12 @@ pub enum Response {
         /// `SessionStats` display form, service counters included.
         summary: String,
     },
+    /// The metrics scrape.
+    Metrics {
+        /// Prometheus text exposition (counters, gauges, histogram
+        /// summaries), empty when the server runs unobserved.
+        text: String,
+    },
     /// The request failed; the connection stays usable.
     Error {
         /// Whether this is the deterministic *inconsistent worlds* outcome
@@ -159,6 +171,7 @@ const REQ_CHECKPOINT: u8 = 6;
 const REQ_STATS: u8 = 7;
 const REQ_CLOSE: u8 = 8;
 const REQ_SHUTDOWN: u8 = 9;
+const REQ_METRICS: u8 = 10;
 
 const RESP_HELLO_OK: u8 = 0;
 const RESP_PREPARED: u8 = 1;
@@ -169,6 +182,7 @@ const RESP_CHECKPOINTED: u8 = 5;
 const RESP_STATS: u8 = 6;
 const RESP_ERROR: u8 = 7;
 const RESP_BYE: u8 = 8;
+const RESP_METRICS: u8 = 9;
 
 impl Request {
     /// Encode to a frame payload.
@@ -204,6 +218,7 @@ impl Request {
             }
             Request::Checkpoint => w.u8(REQ_CHECKPOINT),
             Request::Stats => w.u8(REQ_STATS),
+            Request::Metrics => w.u8(REQ_METRICS),
             Request::Close => w.u8(REQ_CLOSE),
             Request::Shutdown => w.u8(REQ_SHUTDOWN),
         }
@@ -239,6 +254,7 @@ impl Request {
             }
             REQ_CHECKPOINT => Request::Checkpoint,
             REQ_STATS => Request::Stats,
+            REQ_METRICS => Request::Metrics,
             REQ_CLOSE => Request::Close,
             REQ_SHUTDOWN => Request::Shutdown,
             t => {
@@ -309,6 +325,10 @@ impl Response {
                 w.u8(RESP_STATS);
                 w.str(summary);
             }
+            Response::Metrics { text } => {
+                w.u8(RESP_METRICS);
+                w.str(text);
+            }
             Response::Error {
                 inconsistent,
                 message,
@@ -374,6 +394,9 @@ impl Response {
             RESP_STATS => Response::Stats {
                 summary: r.str("summary")?,
             },
+            RESP_METRICS => Response::Metrics {
+                text: r.str("metrics text")?,
+            },
             RESP_ERROR => Response::Error {
                 inconsistent: r.bool("inconsistent flag")?,
                 message: r.str("message")?,
@@ -394,22 +417,24 @@ impl Response {
 // Framing.
 // ---------------------------------------------------------------------------
 
-/// Write one frame (length, checksum, payload) and flush.
-pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+/// Write one frame (length, checksum, request trace id, payload) and flush.
+pub fn write_frame(stream: &mut impl Write, request: u64, payload: &[u8]) -> std::io::Result<()> {
     debug_assert!(payload.len() as u64 <= MAX_FRAME as u64);
     stream.write_all(&(payload.len() as u32).to_le_bytes())?;
     stream.write_all(&crc32(payload).to_le_bytes())?;
+    stream.write_all(&request.to_le_bytes())?;
     stream.write_all(payload)?;
     stream.flush()
 }
 
-/// Read one frame, verifying length plausibility and checksum.
+/// Read one frame, verifying length plausibility and checksum; returns the
+/// request trace id alongside the payload.
 ///
 /// Returns `Ok(None)` on a clean end-of-stream *before* the first header
 /// byte (the peer hung up between messages); any torn or corrupt frame is an
 /// error.
-pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
-    let mut header = [0u8; 8];
+pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<(u64, Vec<u8>)>> {
+    let mut header = [0u8; 16];
     let mut filled = 0;
     while filled < header.len() {
         let n = stream.read(&mut header[filled..])?;
@@ -426,6 +451,10 @@ pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
     }
     let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
     let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    let request = u64::from_le_bytes([
+        header[8], header[9], header[10], header[11], header[12], header[13], header[14],
+        header[15],
+    ]);
     if len > MAX_FRAME {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
@@ -440,7 +469,7 @@ pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
             "frame checksum mismatch",
         ));
     }
-    Ok(Some(payload))
+    Ok(Some((request, payload)))
 }
 
 // ---------------------------------------------------------------------------
@@ -540,6 +569,7 @@ mod tests {
             },
             Request::Checkpoint,
             Request::Stats,
+            Request::Metrics,
             Request::Close,
             Request::Shutdown,
         ];
@@ -574,6 +604,9 @@ mod tests {
             Response::Stats {
                 summary: "queries=1".into(),
             },
+            Response::Metrics {
+                text: "# TYPE ws_span_slow counter\nws_span_slow 0\n".into(),
+            },
             Response::Error {
                 inconsistent: true,
                 message: "conditioning emptied the world set".into(),
@@ -590,9 +623,10 @@ mod tests {
     fn frames_detect_corruption() {
         let payload = Request::Checkpoint.encode();
         let mut buf = Vec::new();
-        write_frame(&mut buf, &payload).unwrap();
-        // Intact frame reads back.
-        let got = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        write_frame(&mut buf, 42, &payload).unwrap();
+        // Intact frame reads back, trace id included.
+        let (request, got) = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(request, 42);
         assert_eq!(got, payload);
         // A flipped payload byte fails the checksum.
         let mut bad = buf.clone();

@@ -42,7 +42,8 @@ use crate::vfs::{DirVfs, Vfs};
 use crate::wal::{Wal, WAL_HEADER_LEN};
 use std::fmt;
 use std::path::Path;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use ws_core::ops::update::{apply_update, UpdateExpr};
 use ws_relational::engine::{ExecContext, QueryBackend, SchemaCatalog, WriteBackend};
 use ws_relational::{Dependency, Predicate, Schema, Tuple, Value};
@@ -111,6 +112,10 @@ pub struct Durable<B> {
     /// its snapshot but could not reset the log): further appends would be
     /// silently discarded by recovery, so the write path refuses them.
     poisoned: Option<String>,
+    /// Observability domain for the WAL latency histograms
+    /// (`wal.append_ns`, `wal.fsync_ns`, `wal.checkpoint_ns`,
+    /// `wal.recovery_replay_ns`); `None` records nothing.
+    observer: Option<Arc<ws_obs::Observer>>,
 }
 
 impl<B> fmt::Debug for Durable<B> {
@@ -155,6 +160,7 @@ impl<B: Persist + WriteBackend + Clone> Durable<B> {
             stats: DurabilityStats::default(),
             sync_policy: SyncPolicy::default(),
             poisoned: None,
+            observer: None,
         })
     }
 
@@ -172,6 +178,7 @@ impl<B: Persist + WriteBackend + Clone> Durable<B> {
     /// lose them — the write path refuses instead (reads keep working, and
     /// everything logged so far is safely inside the new snapshot).
     pub fn checkpoint(&mut self) -> Result<u64> {
+        let started = Instant::now();
         let mut scrubbed = self.inner.clone();
         scrubbed.scrub_scratch();
         let generation = self.wal.generation() + 1;
@@ -191,6 +198,7 @@ impl<B: Persist + WriteBackend + Clone> Durable<B> {
         self.stats.snapshot_generation = generation;
         self.stats.wal_records = 0;
         self.stats.wal_bytes = 0;
+        self.record_ns("wal.checkpoint_ns", started.elapsed());
         Ok(generation)
     }
 }
@@ -199,7 +207,18 @@ impl<B: Persist + WriteBackend> Durable<B> {
     /// Recover a store from `vfs`: load the newest valid snapshot, truncate
     /// the WAL's torn tail, and replay the remaining records through the
     /// wrapped backend's own [`WriteBackend`] verbs.
-    pub fn open(mut vfs: Box<dyn Vfs>) -> Result<Self> {
+    pub fn open(vfs: Box<dyn Vfs>) -> Result<Self> {
+        Self::open_with(vfs, None)
+    }
+
+    /// [`Durable::open`] with an observer attached from the first replayed
+    /// record on: recovery replay is timed into `wal.recovery_replay_ns`
+    /// and the handle keeps recording WAL latencies afterwards.
+    pub fn open_observed(vfs: Box<dyn Vfs>, observer: Arc<ws_obs::Observer>) -> Result<Self> {
+        Self::open_with(vfs, Some(observer))
+    }
+
+    fn open_with(mut vfs: Box<dyn Vfs>, observer: Option<Arc<ws_obs::Observer>>) -> Result<Self> {
         let (generation, mut inner) = snapshot::load_newest::<B>(vfs.as_mut())?;
         let (wal, scanned) = Wal::open(vfs.as_mut(), generation)?;
         let mut stats = DurabilityStats {
@@ -210,6 +229,7 @@ impl<B: Persist + WriteBackend> Durable<B> {
             wal_bytes: scanned.valid_len.saturating_sub(WAL_HEADER_LEN) as u64,
             ..DurabilityStats::default()
         };
+        let replay_started = Instant::now();
         for record in &scanned.records {
             // A record that failed live fails identically on replay (the
             // verbs are deterministic); reproducing the failure reproduces
@@ -223,6 +243,16 @@ impl<B: Persist + WriteBackend> Durable<B> {
                 }
             }
         }
+        if let Some(observer) = &observer {
+            observer
+                .metrics()
+                .histogram("wal.recovery_replay_ns")
+                .record_duration(replay_started.elapsed());
+            observer
+                .metrics()
+                .counter("wal.recovery.records")
+                .add(stats.recovered_records);
+        }
         Ok(Durable {
             inner,
             vfs,
@@ -230,6 +260,7 @@ impl<B: Persist + WriteBackend> Durable<B> {
             stats,
             sync_policy: SyncPolicy::default(),
             poisoned: None,
+            observer,
         })
     }
 
@@ -308,6 +339,19 @@ impl<B> Durable<B> {
         self.sync_policy = policy;
     }
 
+    /// Attach an observability domain: WAL appends, fsyncs and checkpoints
+    /// record latency histograms on it from here on.
+    pub fn set_observer(&mut self, observer: Arc<ws_obs::Observer>) {
+        self.observer = Some(observer);
+    }
+
+    /// Record `elapsed` into the named histogram, when observed.
+    fn record_ns(&self, name: &str, elapsed: Duration) {
+        if let Some(observer) = &self.observer {
+            observer.metrics().histogram(name).record_duration(elapsed);
+        }
+    }
+
     /// Append one record to the log (the *log* half of log-then-apply).
     fn log(&mut self, update: &UpdateExpr) -> std::result::Result<(), StorageError> {
         if let Some(why) = &self.poisoned {
@@ -315,9 +359,13 @@ impl<B> Durable<B> {
                 "store refuses writes: {why}; reopen it to resume"
             )));
         }
+        let started = Instant::now();
         let bytes = self.wal.append(self.vfs.as_mut(), update)?;
+        self.record_ns("wal.append_ns", started.elapsed());
         if self.sync_policy == SyncPolicy::EveryRecord {
+            let started = Instant::now();
             self.wal.sync(self.vfs.as_mut())?;
+            self.record_ns("wal.fsync_ns", started.elapsed());
         }
         self.stats.wal_records += 1;
         self.stats.wal_bytes += bytes as u64;
@@ -358,6 +406,7 @@ impl<B: WriteBackend> Durable<B> {
             _ => updates.len(),
         };
         let mut bytes = 0usize;
+        let started = Instant::now();
         for chunk in updates.chunks(max_batch) {
             bytes += if chunk.len() == 1 {
                 self.wal.append(self.vfs.as_mut(), &chunk[0])?
@@ -365,8 +414,11 @@ impl<B: WriteBackend> Durable<B> {
                 self.wal.append_batch(self.vfs.as_mut(), chunk)?
             };
         }
+        self.record_ns("wal.append_ns", started.elapsed());
         if !matches!(self.sync_policy, SyncPolicy::OnCheckpoint) {
+            let started = Instant::now();
             self.wal.sync(self.vfs.as_mut())?;
+            self.record_ns("wal.fsync_ns", started.elapsed());
         }
         self.stats.wal_records += updates.len() as u64;
         self.stats.wal_bytes += bytes as u64;

@@ -1,0 +1,186 @@
+//! Observability must be a *pure* observer: turning it on changes nothing
+//! about what the engine computes.
+//!
+//! Three suites pin that down:
+//!
+//! * **Bit-identity** — for random world-sets and random plans, a session
+//!   with an [`Observer`] attached (slow-query threshold 0, so every code
+//!   path that can fire does fire) streams the identical answer tuples and
+//!   the identical confidence *bit patterns* as an unobserved session, on
+//!   all five backends, single-threaded and with a worker pool.
+//! * **Profile consistency** — [`Session::explain_analyze`] reports row
+//!   counts that match the materialized results it profiles: the root
+//!   operator's `rows_out`, the profile's `rows`, and the confidence step's
+//!   inputs/outputs all agree with independently executed queries.
+//! * **Histogram algebra** (proptest) — merging folded histograms is
+//!   associative and agrees with recording the concatenated samples into
+//!   one histogram, so per-thread shards can be folded in any order.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::{all_backends, random_wsd, Generator};
+use maybms::obs::{Histogram, HistogramSummary, Observer};
+use maybms::prelude::*;
+use maybms::{AnyBackend, Session};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Answers and confidence bit patterns of one plan, on one session.
+fn probe(
+    backend: AnyBackend,
+    threads: usize,
+    observer: Option<Arc<Observer>>,
+    plan: &RaExpr,
+) -> (Vec<Tuple>, Vec<(Tuple, u64)>) {
+    let mut session = Session::with_config(backend, EngineConfig::with_threads(threads));
+    if let Some(observer) = observer {
+        observer.set_slow_query_threshold(Some(std::time::Duration::ZERO));
+        session.set_observer(observer);
+    }
+    let prepared = session.prepare(plan.clone()).expect("plan prepares");
+    let rows: Vec<Tuple> = session.execute(&prepared).expect("plan runs").collect();
+    let confidences = session
+        .confidence(&prepared)
+        .expect("confidence runs")
+        .into_iter()
+        .map(|(t, p)| (t, p.to_bits()))
+        .collect();
+    (rows, confidences)
+}
+
+// Observed and unobserved sessions agree bit-for-bit: same tuples in the
+// same order, same confidence doubles, on every backend at 1 and 4 threads.
+#[test]
+fn observation_is_bit_identical_across_backends() {
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0B5E);
+        let wsd = random_wsd(&mut rng);
+        let mut generator = Generator::new(seed.wrapping_mul(31) + 7);
+        // No difference operator: the U-relational backend rejects it.
+        let plans: Vec<RaExpr> = (0..3).map(|_| generator.expr(2, false).expr).collect();
+        for plan in &plans {
+            for threads in [1usize, 4] {
+                for (name, backend) in all_backends(&wsd) {
+                    let baseline = probe(backend.clone(), threads, None, plan);
+                    let observed = probe(backend, threads, Some(Arc::new(Observer::new())), plan);
+                    assert_eq!(
+                        baseline, observed,
+                        "[{name} threads={threads} seed={seed}] observation changed \
+                         the answer of {plan}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// The observer actually observed something while staying pure: the metrics
+// registry is non-empty after an observed query, and a second observed run
+// still matches the baseline (the registry is not consulted by the engine).
+#[test]
+fn observed_sessions_populate_the_registry() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    let wsd = random_wsd(&mut rng);
+    let observer = Arc::new(Observer::new());
+    let (_, backend) = all_backends(&wsd).remove(1); // the WSD itself
+    let (rows, _) = probe(backend, 1, Some(Arc::clone(&observer)), &RaExpr::rel("R"));
+    assert!(!rows.is_empty());
+    let snapshot = observer.metrics().snapshot();
+    let rendered = snapshot.render_prometheus();
+    assert!(
+        rendered.contains("ws_exec_op_"),
+        "no operator timings were recorded:\n{rendered}"
+    );
+    assert!(
+        !observer.slow_queries().is_empty(),
+        "threshold 0 must log every query"
+    );
+}
+
+// explain_analyze's numbers are not decorative: they match independently
+// materialized results on every backend.
+#[test]
+fn profile_row_counts_match_materialized_results() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xAA17);
+        let wsd = random_wsd(&mut rng);
+        let mut generator = Generator::new(seed.wrapping_mul(17) + 3);
+        let plan = generator.expr(2, false).expr;
+        for (name, backend) in all_backends(&wsd) {
+            let mut session = Session::new(backend);
+            let prepared = session.prepare(plan.clone()).expect("plan prepares");
+            let rows = session.execute(&prepared).expect("plan runs").count() as u64;
+            let confidences = session
+                .confidence(&prepared)
+                .expect("confidence runs")
+                .len() as u64;
+            let profile = session
+                .explain_analyze(&prepared)
+                .expect("explain_analyze runs");
+            assert_eq!(
+                profile.rows, rows,
+                "[{name} seed={seed}] profile rows vs materialized rows of {plan}"
+            );
+            assert_eq!(
+                profile.root.rows_out, rows,
+                "[{name} seed={seed}] root operator rows_out"
+            );
+            assert_eq!(
+                profile.confidence.rows_in, rows,
+                "[{name} seed={seed}] confidence step consumes the answer stream"
+            );
+            assert_eq!(
+                profile.confidence.rows_out, confidences,
+                "[{name} seed={seed}] confidence step output count"
+            );
+            assert_eq!(profile.cache, "hit", "[{name}] the plan was prepared above");
+            // The rendered tree mentions the root and the confidence tier.
+            let rendered = profile.to_string();
+            assert!(rendered.contains("tier="), "{rendered}");
+        }
+    }
+}
+
+/// Record samples into a fresh histogram and fold it.
+fn folded(samples: &[u64]) -> HistogramSummary {
+    let histogram = Histogram::new();
+    for &s in samples {
+        histogram.record(s);
+    }
+    histogram.fold()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Property: merging is associative, commutative, and equal to folding
+    // the concatenated samples — the algebra that makes per-thread shards
+    // and cross-process scrapes sound in any fold order.
+    #[test]
+    fn histogram_merge_is_associative(
+        samples in proptest::collection::vec(0u64..1 << 40, 0..72)
+    ) {
+        // Three shards from one sample stream, round-robin — the shape the
+        // per-thread histogram shards produce.
+        let shard = |k: usize| -> Vec<u64> {
+            samples.iter().copied().skip(k).step_by(3).collect()
+        };
+        let (a, b, c) = (shard(0), shard(1), shard(2));
+        let (fa, fb, fc) = (folded(&a), folded(&b), folded(&c));
+        let left = fa.merged(&fb).merged(&fc);
+        let right = fa.merged(&fb.merged(&fc));
+        prop_assert_eq!(&left, &right, "associativity");
+        prop_assert_eq!(&fb.merged(&fa), &fa.merged(&fb), "commutativity");
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &folded(&all), "merge == fold of concatenation");
+
+        // The identity element really is the empty summary.
+        prop_assert_eq!(&fa.merged(&HistogramSummary::default()), &fa, "identity");
+    }
+}
